@@ -1,0 +1,191 @@
+//! The naive one-proxy-per-object baseline (paper §5).
+//!
+//! "Our proposed solution also has several benefits over a *naive* one that
+//! would have one proxy per each object and all references mediated by
+//! them. Common application objects are small. So, this could potentially
+//! double memory occupation when fully-loaded … This approach would also
+//! inevitably impose a higher performance penalty, due to indirections.
+//! Furthermore, even when all objects were swapped, the proxies would still
+//! remain."
+//!
+//! Observation: the naive design is exactly the degenerate point of the
+//! swap-cluster mechanism — **a swap-cluster of one object**. With
+//! `cluster_size = 1` every object forms its own swap-cluster, every
+//! reference crosses a boundary (one proxy per referenced object, every
+//! invocation indirected), and swapping any object leaves its proxy (plus a
+//! replacement-object) behind. [`naive_middleware`] builds that
+//! configuration on the unchanged machinery so benchmarks compare policies,
+//! not implementations; [`heap_breakdown`] reports the memory split the
+//! paper's argument is about.
+
+use obiwan_core::Middleware;
+use obiwan_heap::ObjectKind;
+use obiwan_replication::Server;
+
+/// Build a middleware in the naive per-object-proxy configuration.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_baselines::naive::{heap_breakdown, naive_middleware};
+/// use obiwan_replication::{standard_classes, Server};
+///
+/// # fn main() -> Result<(), obiwan_core::SwapError> {
+/// let mut server = Server::new(standard_classes());
+/// let head = server.build_list("Node", 50, 16)?;
+/// let mut mw = naive_middleware(server, 1 << 20);
+/// let root = mw.replicate_root(head)?;
+/// mw.set_global("head", obiwan_heap::Value::Ref(root));
+/// mw.invoke_i64(root, "length", vec![])?;
+/// let b = heap_breakdown(&mw);
+/// assert_eq!(b.app_objects, 50);
+/// assert!(b.proxies >= 49, "one proxy per referenced object");
+/// # Ok(())
+/// # }
+/// ```
+pub fn naive_middleware(server: Server, device_memory: usize) -> Middleware {
+    Middleware::builder()
+        .cluster_size(1)
+        .clusters_per_swap_cluster(1)
+        .device_memory(device_memory)
+        .no_builtin_policies()
+        .build(server)
+}
+
+/// Memory composition of a device heap, for the §5 memory argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapBreakdown {
+    /// Live application replicas.
+    pub app_objects: usize,
+    /// Bytes they occupy.
+    pub app_bytes: usize,
+    /// Live swap-cluster-proxies.
+    pub proxies: usize,
+    /// Bytes they occupy.
+    pub proxy_bytes: usize,
+    /// Live replacement objects.
+    pub replacements: usize,
+    /// Bytes they occupy.
+    pub replacement_bytes: usize,
+    /// Live fault proxies.
+    pub fault_proxies: usize,
+    /// Bytes they occupy.
+    pub fault_proxy_bytes: usize,
+}
+
+impl HeapBreakdown {
+    /// Middleware bytes (proxies + replacements + fault proxies) as a
+    /// fraction of application bytes; the paper's "could potentially double
+    /// memory occupation" is `overhead_ratio ≈ 1.0` for the naive design.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.app_bytes == 0 {
+            return 0.0;
+        }
+        (self.proxy_bytes + self.replacement_bytes + self.fault_proxy_bytes) as f64
+            / self.app_bytes as f64
+    }
+}
+
+/// Walk the live heap and classify every object.
+pub fn heap_breakdown(mw: &Middleware) -> HeapBreakdown {
+    let heap = mw.process().heap();
+    let mut b = HeapBreakdown::default();
+    for r in heap.iter_live() {
+        let o = heap.get(r).expect("iter_live yields live objects");
+        let size = o.size();
+        match o.kind() {
+            ObjectKind::App => {
+                b.app_objects += 1;
+                b.app_bytes += size;
+            }
+            ObjectKind::SwapProxy => {
+                b.proxies += 1;
+                b.proxy_bytes += size;
+            }
+            ObjectKind::Replacement => {
+                b.replacements += 1;
+                b.replacement_bytes += size;
+            }
+            ObjectKind::FaultProxy => {
+                b.fault_proxies += 1;
+                b.fault_proxy_bytes += size;
+            }
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obiwan_heap::Value;
+    use obiwan_replication::standard_classes;
+
+    fn warmed(n: usize) -> Middleware {
+        let mut server = Server::new(standard_classes());
+        let head = server.build_list("Node", n, 16).unwrap();
+        let mut mw = naive_middleware(server, 1 << 22);
+        let root = mw.replicate_root(head).unwrap();
+        mw.set_global("head", Value::Ref(root));
+        assert_eq!(mw.invoke_i64(root, "length", vec![]).unwrap(), n as i64);
+        mw
+    }
+
+    #[test]
+    fn every_object_is_its_own_swap_cluster() {
+        let mw = warmed(20);
+        let manager = mw.manager();
+        let m = manager.lock().unwrap();
+        assert_eq!(m.loaded_clusters().len(), 20);
+        for sc in m.loaded_clusters() {
+            assert_eq!(m.cluster(sc).unwrap().member_count(), 1);
+        }
+    }
+
+    #[test]
+    fn proxy_population_matches_paper_argument() {
+        let mw = warmed(40);
+        let b = heap_breakdown(&mw);
+        assert_eq!(b.app_objects, 40);
+        // Every list edge plus the root reference is mediated.
+        assert!(b.proxies >= 40, "got {}", b.proxies);
+        // 64-byte app objects vs ~88-byte proxies: overhead comparable to
+        // (or worse than) the objects themselves — "could potentially
+        // double memory occupation".
+        assert!(
+            b.overhead_ratio() > 0.8,
+            "overhead ratio {}",
+            b.overhead_ratio()
+        );
+    }
+
+    #[test]
+    fn proxies_remain_after_swapping_everything() {
+        let mut mw = warmed(20);
+        let all: Vec<u32> = {
+            let manager = mw.manager();
+            let ids = manager.lock().unwrap().loaded_clusters();
+            ids
+        };
+        for sc in all {
+            mw.swap_out(sc).unwrap();
+        }
+        mw.run_gc().unwrap();
+        let b = heap_breakdown(&mw);
+        assert_eq!(b.app_objects, 0, "all replicas detached");
+        assert!(
+            b.proxies + b.replacements >= 20,
+            "the mediation structures remain: {} proxies, {} replacements",
+            b.proxies,
+            b.replacements
+        );
+    }
+
+    #[test]
+    fn traversal_still_works_in_naive_mode() {
+        let mut mw = warmed(30);
+        let root = mw.global("head").unwrap().expect_ref().unwrap();
+        mw.swap_out(3).unwrap();
+        assert_eq!(mw.invoke_i64(root, "length", vec![]).unwrap(), 30);
+    }
+}

@@ -1,0 +1,75 @@
+//! Ablation 4 (CPU half): the heap-compression baseline's compute cost —
+//! "compression is a computational-intensive process" (paper §1/§6) —
+//! measured on real swap-blob text, against the codec work Object-Swapping
+//! itself performs.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use obiwan_baselines::compress::CompressedPool;
+use obiwan_baselines::lz;
+use obiwan_core::Middleware;
+use obiwan_heap::Value;
+use obiwan_net::BlobStore;
+use obiwan_replication::{standard_classes, Server};
+
+/// Produce a realistic swap blob for a cluster of `size` 64-byte objects.
+fn blob_for(size: usize) -> String {
+    let mut server = Server::new(standard_classes());
+    let head = server
+        .build_list("Node", size * 4, obiwan_bench::workloads::PAYLOAD_FOR_64B)
+        .expect("Node class");
+    let mut mw = Middleware::builder()
+        .cluster_size(size)
+        .device_memory(size * 4 * 64 * 8 + (1 << 20))
+        .no_builtin_policies()
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+    let manager = mw.manager();
+    let m = manager.lock().expect("manager");
+    let members: Vec<obiwan_heap::ObjRef> = m
+        .cluster(1)
+        .expect("sc1")
+        .members
+        .iter()
+        .map(|&(_, r)| r)
+        .collect();
+    obiwan_core::codec::encode(mw.process(), 1, 0, &members).expect("encode")
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    for size in [100usize, 400] {
+        let blob = blob_for(size);
+        let compressed = lz::compress(blob.as_bytes());
+        group.throughput(Throughput::Bytes(blob.len() as u64));
+        group.bench_with_input(BenchmarkId::new("lz_compress", size), &blob, |b, blob| {
+            b.iter(|| lz::compress(blob.as_bytes()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lz_decompress", size),
+            &compressed,
+            |b, compressed| b.iter(|| lz::decompress(compressed).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pool_store_fetch_drop", size),
+            &blob,
+            |b, blob| {
+                let mut pool = CompressedPool::new(1 << 24);
+                b.iter(|| {
+                    pool.store("k", blob.clone()).expect("store");
+                    let back = pool.fetch("k").expect("fetch");
+                    pool.drop_blob("k").expect("drop");
+                    back.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_compression(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,39 @@
+//! Criterion version of the Figure 5 sweep: statistics over the four
+//! traversal tests at each swap-cluster configuration.
+//!
+//! Uses a 2000-object list so `cargo bench` stays quick; the full-scale
+//! (10 000-object) table comes from `cargo run --release --bin fig5`.
+
+use criterion::{BenchmarkId, Criterion};
+use obiwan_bench::workloads::{build_fig5, run_test, Fig5Config, TESTS};
+
+fn bench_fig5(c: &mut Criterion) {
+    const N: usize = 2_000;
+    let configs = [
+        Fig5Config::with_clusters(20, N),
+        Fig5Config::with_clusters(50, N),
+        Fig5Config::with_clusters(100, N),
+        Fig5Config::without_clusters(N),
+    ];
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for config in configs {
+        let mut world = build_fig5(config);
+        for test in TESTS {
+            // Stabilize proxy populations before sampling.
+            run_test(&mut world, test);
+            group.bench_with_input(BenchmarkId::new(test, config.label()), &(), |b, ()| {
+                b.iter(|| run_test(&mut world, test))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    obiwan_bench::with_big_stack(|| {
+        let mut criterion = Criterion::default().configure_from_args();
+        bench_fig5(&mut criterion);
+        criterion.final_summary();
+    });
+}

@@ -1,0 +1,85 @@
+//! Ablation 1 (performance half): traversal cost under the naive
+//! one-proxy-per-object design versus swap-clusters versus the no-swap
+//! floor — quantifying §5's "this approach would also inevitably impose a
+//! higher performance penalty, due to indirections".
+
+use criterion::{BenchmarkId, Criterion};
+use obiwan_baselines::naive::naive_middleware;
+use obiwan_core::Middleware;
+use obiwan_heap::Value;
+use obiwan_replication::{standard_classes, Server};
+
+const N: usize = 1_000;
+
+fn server_with_list() -> (Server, obiwan_heap::Oid) {
+    let mut server = Server::new(standard_classes());
+    let head = server
+        .build_list("Node", N, obiwan_bench::workloads::PAYLOAD_FOR_64B)
+        .expect("Node class");
+    (server, head)
+}
+
+fn warmed(mut mw: Middleware, head: obiwan_heap::Oid) -> (Middleware, obiwan_heap::ObjRef) {
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    assert_eq!(
+        mw.invoke_i64(root, "length", vec![]).expect("warm"),
+        N as i64
+    );
+    (mw, root)
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naive_vs_swapcluster");
+    group.sample_size(20);
+
+    let (server, head) = server_with_list();
+    let (mut naive, naive_root) = warmed(naive_middleware(server, 1 << 22), head);
+    group.bench_with_input(BenchmarkId::new("visit", "naive-1-per-object"), &(), |b, ()| {
+        b.iter(|| {
+            naive
+                .invoke_i64(naive_root, "visit", vec![Value::Int(0)])
+                .expect("traversal")
+        })
+    });
+
+    let (server, head) = server_with_list();
+    let sc = Middleware::builder()
+        .cluster_size(50)
+        .device_memory(1 << 22)
+        .no_builtin_policies()
+        .build(server);
+    let (mut sc, sc_root) = warmed(sc, head);
+    group.bench_with_input(BenchmarkId::new("visit", "swap-clusters-50"), &(), |b, ()| {
+        b.iter(|| {
+            sc.invoke_i64(sc_root, "visit", vec![Value::Int(0)])
+                .expect("traversal")
+        })
+    });
+
+    let (server, head) = server_with_list();
+    let floor = Middleware::builder()
+        .cluster_size(50)
+        .device_memory(1 << 22)
+        .swapping_disabled()
+        .no_builtin_policies()
+        .build(server);
+    let (mut floor, floor_root) = warmed(floor, head);
+    group.bench_with_input(BenchmarkId::new("visit", "no-swap-clusters"), &(), |b, ()| {
+        b.iter(|| {
+            floor
+                .invoke_i64(floor_root, "visit", vec![Value::Int(0)])
+                .expect("traversal")
+        })
+    });
+
+    group.finish();
+}
+
+fn main() {
+    obiwan_bench::with_big_stack(|| {
+        let mut criterion = Criterion::default().configure_from_args();
+        bench_traversal(&mut criterion);
+        criterion.final_summary();
+    });
+}

@@ -1,0 +1,84 @@
+//! CPU cost of a swap-out + reload cycle (serialization, graph surgery,
+//! rematerialization) as a function of swap-cluster size. The *airtime*
+//! half of Ablation 2 is virtual-time and printed by the `ablations`
+//! binary; this bench isolates the device-side compute the paper's iPAQ
+//! had to spend.
+
+use criterion::{BenchmarkId, Criterion};
+use obiwan_core::Middleware;
+use obiwan_heap::Value;
+use obiwan_replication::{standard_classes, Server};
+
+fn world(cluster_size: usize, list_len: usize) -> Middleware {
+    let mut server = Server::new(standard_classes());
+    let head = server
+        .build_list("Node", list_len, obiwan_bench::workloads::PAYLOAD_FOR_64B)
+        .expect("Node class");
+    let mut mw = Middleware::builder()
+        .cluster_size(cluster_size)
+        .device_memory(list_len * 64 * 8 + (1 << 20))
+        .no_builtin_policies()
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+    mw
+}
+
+fn bench_swap_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swap_cycle");
+    group.sample_size(20);
+    for cluster_size in [20usize, 50, 100, 200] {
+        let mut mw = world(cluster_size, 800);
+        group.bench_with_input(
+            BenchmarkId::new("out_and_reload", cluster_size),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    mw.swap_out(1).expect("swap out");
+                    mw.swap_in(1).expect("swap in");
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for cluster_size in [20usize, 100] {
+        let mw = world(cluster_size, 400);
+        let members: Vec<obiwan_heap::ObjRef> = {
+            let manager = mw.manager();
+            let m = manager.lock().expect("manager");
+            m.cluster(1)
+                .expect("sc1")
+                .members
+                .iter()
+                .map(|&(_, r)| r)
+                .collect()
+        };
+        let xml =
+            obiwan_core::codec::encode(mw.process(), 1, 0, &members).expect("encode");
+        group.bench_with_input(
+            BenchmarkId::new("encode", cluster_size),
+            &(),
+            |b, ()| {
+                b.iter(|| obiwan_core::codec::encode(mw.process(), 1, 0, &members).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode", cluster_size),
+            &xml,
+            |b, xml| b.iter(|| obiwan_core::codec::decode(xml).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_swap_cycle(&mut criterion);
+    bench_codec(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,76 @@
+//! Ablation 3 (wall-clock half): end-to-end time of a pressured access
+//! trace under each victim-selection policy. The swap / reload counts come
+//! from the `ablations` binary; this bench shows what policy choice costs
+//! in compute.
+
+use criterion::{BenchmarkId, Criterion};
+use obiwan_core::{Middleware, VictimPolicy};
+use obiwan_heap::Value;
+use obiwan_replication::{standard_classes, Server};
+
+const N: usize = 200;
+
+fn pressured_world(policy: VictimPolicy) -> (Middleware, obiwan_heap::ObjRef) {
+    let mut server = Server::new(standard_classes());
+    let head = server
+        .build_list("Node", N, obiwan_bench::workloads::PAYLOAD_FOR_64B)
+        .expect("Node class");
+    let mut mw = Middleware::builder()
+        .cluster_size(25)
+        .device_memory(N * 64 * 40 / 100 + 4096)
+        .victim_policy(policy)
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    (mw, root)
+}
+
+fn sweep(mw: &mut Middleware, root: obiwan_heap::ObjRef) -> usize {
+    mw.set_global("cursor", Value::Ref(root));
+    let mut steps = 0;
+    loop {
+        let cur = mw
+            .global("cursor")
+            .expect("cursor")
+            .expect_ref()
+            .expect("ref");
+        match mw
+            .invoke_resilient(cur, "next", vec![], 1_000)
+            .expect("step")
+        {
+            Value::Ref(next) => {
+                mw.set_global("cursor", Value::Ref(next));
+                steps += 1;
+            }
+            _ => break,
+        }
+    }
+    steps
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("victim_policies");
+    group.sample_size(10);
+    for policy in [
+        VictimPolicy::LeastRecentlyUsed,
+        VictimPolicy::LeastFrequentlyUsed,
+        VictimPolicy::LargestFirst,
+        VictimPolicy::RoundRobin,
+    ] {
+        let (mut mw, root) = pressured_world(policy);
+        // Warm: one sweep replicates the tail and starts the swap churn.
+        sweep(&mut mw, root);
+        group.bench_with_input(
+            BenchmarkId::new("sweep", policy.name()),
+            &(),
+            |b, ()| b.iter(|| sweep(&mut mw, root)),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_policies(&mut criterion);
+    criterion.final_summary();
+}

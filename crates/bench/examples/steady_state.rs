@@ -1,0 +1,21 @@
+use obiwan_bench::workloads::*;
+use std::time::Instant;
+
+fn main() {
+    obiwan_bench::with_big_stack(|| {
+        for test in ["B1", "B2", "A2"] {
+            let mut world = build_fig5(Fig5Config::with_clusters(20, 2000));
+            let mut timings = Vec::new();
+            for _ in 0..60 {
+                let t = Instant::now();
+                run_test(&mut world, test);
+                timings.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+            let early: f64 = timings[5..15].iter().sum::<f64>() / 10.0;
+            let late: f64 = timings[50..60].iter().sum::<f64>() / 10.0;
+            println!("{test}: early {early:.3}ms late {late:.3}ms ratio {:.2}", late / early);
+            let heap = world.mw.process().heap();
+            println!("  final heap: {} objects, {} B", heap.live_objects(), heap.bytes_used());
+        }
+    });
+}

@@ -1,0 +1,50 @@
+//! Reproduce the paper's Figure 5 table.
+//!
+//! ```text
+//! cargo run --release -p obiwan-bench --bin fig5 [-- --n 10000 --iters 5]
+//! ```
+//!
+//! Prints mean traversal times for tests A1/A2/B1/B2 at swap-cluster sizes
+//! 20/50/100 and the no-swap-clusters floor, each cell annotated with the
+//! slowdown factor and (for n = 10000) the paper's own milliseconds, then
+//! the qualitative shape checks.
+
+use obiwan_bench::fig5::run_sweep;
+use obiwan_bench::with_big_stack;
+
+fn main() {
+    let mut n = 10_000usize;
+    let mut iters = 5usize;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                n = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--iters" => {
+                iters = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let table = with_big_stack(move || run_sweep(n, iters));
+    print!("{}", table.render());
+    if !table.shape_holds() {
+        eprintln!("warning: not every qualitative shape check passed");
+        std::process::exit(1);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: fig5 [--n LIST_LEN] [--iters N]");
+    std::process::exit(2);
+}

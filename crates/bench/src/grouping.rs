@@ -1,0 +1,127 @@
+//! Ablation 6: swap-cluster *grouping* — the paper's "considering a number
+//! (also adaptable) of chained (via references) object clusters as a
+//! single macro-object".
+//!
+//! At a fixed replication cluster size, grouping more clusters per
+//! swap-cluster trades boundary-proxy overhead (fewer boundaries) against
+//! swap granularity (bigger blobs, coarser eviction). This sweep measures
+//! both ends deterministically.
+
+use obiwan_core::Middleware;
+use obiwan_heap::{ObjectKind, Value};
+use obiwan_replication::{standard_classes, Server};
+
+/// One grouping configuration's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupingRow {
+    /// Replication clusters per swap-cluster.
+    pub group: usize,
+    /// Swap-clusters formed.
+    pub swap_clusters: usize,
+    /// Live boundary proxies after a full warm traversal + GC.
+    pub proxies: usize,
+    /// Proxy bytes (the standing memory cost of mediation).
+    pub proxy_bytes: usize,
+    /// Blob bytes for swapping out the first swap-cluster.
+    pub blob_bytes: usize,
+}
+
+/// Sweep grouping factors at a fixed replication cluster size.
+pub fn run_sweep(list_len: usize, repl_cluster: usize, groups: &[usize]) -> Vec<GroupingRow> {
+    groups
+        .iter()
+        .map(|&group| {
+            let mut server = Server::new(standard_classes());
+            let head = server
+                .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
+                .expect("Node class");
+            let mut mw = Middleware::builder()
+                .cluster_size(repl_cluster)
+                .clusters_per_swap_cluster(group)
+                .device_memory(list_len * 64 * 8 + (1 << 20))
+                .no_builtin_policies()
+                .build(server);
+            let root = mw.replicate_root(head).expect("replicate");
+            mw.set_global("head", Value::Ref(root));
+            mw.invoke_i64(root, "length", vec![]).expect("warm");
+            mw.run_gc().expect("settle");
+            let heap = mw.process().heap();
+            let (proxies, proxy_bytes) = heap
+                .iter_live()
+                .filter(|&r| heap.get(r).unwrap().kind() == ObjectKind::SwapProxy)
+                .fold((0, 0), |(n, b), r| (n + 1, b + heap.get(r).unwrap().size()));
+            let swap_clusters = {
+                let manager = mw.manager();
+                let n = manager.lock().expect("manager").loaded_clusters().len();
+                n
+            };
+            let blob_bytes = mw.swap_out(1).expect("swap out first");
+            GroupingRow {
+                group,
+                swap_clusters,
+                proxies,
+                proxy_bytes,
+                blob_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Render the sweep.
+pub fn render(rows: &[GroupingRow], list_len: usize, repl_cluster: usize) -> String {
+    let mut out = format!(
+        "Ablation 6 — Grouping replication clusters into macro-objects\n\
+         ({list_len} objects, replication clusters of {repl_cluster}; the paper's\n\
+          \"number (also adaptable) of chained object clusters as a single macro-object\")\n\n\
+         {:<10}{:>14}{:>12}{:>14}{:>16}\n",
+        "group", "swap-clusters", "proxies", "proxy bytes", "blob per swap"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10}{:>14}{:>12}{:>14}{:>14} B\n",
+            r.group, r.swap_clusters, r.proxies, r.proxy_bytes, r.blob_bytes
+        ));
+    }
+    out.push_str(
+        "\n(larger groups: fewer boundaries → fewer proxies, but coarser\n\
+         eviction — each swap moves a bigger blob)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_trades_proxies_for_blob_size() {
+        let rows = run_sweep(400, 10, &[1, 2, 5]);
+        assert_eq!(rows.len(), 3);
+        // Fewer swap-clusters and proxies as grouping grows…
+        assert!(rows[0].swap_clusters > rows[1].swap_clusters);
+        assert!(rows[1].swap_clusters > rows[2].swap_clusters);
+        assert!(rows[0].proxies > rows[2].proxies);
+        // …but bigger blobs per eviction.
+        assert!(rows[0].blob_bytes < rows[1].blob_bytes);
+        assert!(rows[1].blob_bytes < rows[2].blob_bytes);
+    }
+
+    #[test]
+    fn grouped_clusters_still_reload_transparently() {
+        let mut server = Server::new(standard_classes());
+        let head = server.build_list("Node", 100, 8).expect("build");
+        let mut mw = Middleware::builder()
+            .cluster_size(10)
+            .clusters_per_swap_cluster(5)
+            .device_memory(1 << 20)
+            .no_builtin_policies()
+            .build(server);
+        let root = mw.replicate_root(head).expect("replicate");
+        mw.set_global("head", Value::Ref(root));
+        assert_eq!(mw.invoke_i64(root, "length", vec![]).unwrap(), 100);
+        // Two macro-objects of 50; swap the first.
+        mw.swap_out(1).expect("swap");
+        assert_eq!(mw.invoke_i64(root, "length", vec![]).unwrap(), 100);
+        assert_eq!(mw.swap_stats().swap_ins, 1);
+    }
+}

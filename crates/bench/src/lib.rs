@@ -1,0 +1,45 @@
+//! Benchmark harness for the Object-Swapping reproduction.
+//!
+//! * [`workloads`] builds the paper's Figure 5 workload (a list of 10 000
+//!   64-byte objects) and runs the four tests (A1, A2, B1, B2) against any
+//!   swap-cluster configuration.
+//! * [`fig5`] sweeps the paper's configurations (swap-cluster sizes 20, 50,
+//!   100, and *no swap-clusters*) and prints the table Figure 5 plots.
+//! * [`memory`] produces the §5 memory-overhead comparison against the
+//!   naive one-proxy-per-object baseline (Ablation 1).
+//! * [`swapio`] sweeps swap-out / reload cost over cluster size and link
+//!   bandwidth in *virtual* time (Ablation 2).
+//! * [`victims`] replays an album-style access trace under memory pressure
+//!   for each victim policy (Ablation 3).
+//! * [`grouping`] sweeps the clusters-per-swap-cluster knob (Ablation 6).
+//! * [`dgc_traffic`] counts housekeeping messages against the per-object
+//!   offload DGC baseline (Ablation 7).
+//!
+//! Binaries: `fig5` prints the headline table, `ablations` prints the rest.
+//! The Criterion benches under `benches/` reuse these workloads for
+//! wall-clock measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dgc_traffic;
+pub mod fig5;
+pub mod grouping;
+pub mod memory;
+pub mod swapio;
+pub mod victims;
+pub mod workloads;
+
+/// Run `f` on a thread with a large stack.
+///
+/// The A1/A2 workloads recurse 10 000 levels deep through the interpreter
+/// (one `Process::invoke` frame per object, as in the paper's recursive
+/// tests), which overflows default stacks.
+pub fn with_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(512 << 20)
+        .spawn(f)
+        .expect("spawn big-stack thread")
+        .join()
+        .expect("big-stack thread panicked")
+}

@@ -1,0 +1,132 @@
+//! Ablation 1: the §5 memory argument, quantified.
+//!
+//! "this could potentially double memory occupation when fully-loaded …
+//! even when all objects were swapped, the proxies would still remain" —
+//! the naive one-proxy-per-object design versus swap-clusters of 20 / 50 /
+//! 100 objects, measured fully loaded and fully swapped out.
+
+use obiwan_baselines::naive::{heap_breakdown, HeapBreakdown};
+use obiwan_core::Middleware;
+use obiwan_heap::Value;
+use obiwan_replication::{standard_classes, Server};
+
+/// One row of the memory table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryRow {
+    /// Configuration label ("naive (1)", "20", …).
+    pub label: String,
+    /// Composition with everything loaded.
+    pub loaded: HeapBreakdown,
+    /// Composition after swapping every cluster out (and collecting).
+    pub swapped: HeapBreakdown,
+    /// Total heap bytes loaded / swapped.
+    pub total_loaded: usize,
+    /// Total heap bytes after swap-out of everything.
+    pub total_swapped: usize,
+}
+
+/// Build, warm, measure, swap everything, measure again.
+fn measure(label: &str, cluster_size: usize, list_len: usize) -> MemoryRow {
+    let mut server = Server::new(standard_classes());
+    let head = server
+        .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
+        .expect("Node class");
+    let mut mw = Middleware::builder()
+        .cluster_size(cluster_size)
+        .device_memory(list_len * 64 * 8 + (1 << 20))
+        .no_builtin_policies()
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    let n = mw
+        .invoke_i64(root, "length", vec![])
+        .expect("full traversal");
+    assert_eq!(n as usize, list_len);
+    mw.run_gc().expect("gc");
+    let loaded = heap_breakdown(&mw);
+    let total_loaded = mw.process().heap().bytes_used();
+
+    let clusters = {
+        let manager = mw.manager();
+        let ids = manager.lock().expect("manager").loaded_clusters();
+        ids
+    };
+    for sc in clusters {
+        mw.swap_out(sc).expect("swap out");
+    }
+    mw.run_gc().expect("gc");
+    let swapped = heap_breakdown(&mw);
+    let total_swapped = mw.process().heap().bytes_used();
+    MemoryRow {
+        label: label.to_string(),
+        loaded,
+        swapped,
+        total_loaded,
+        total_swapped,
+    }
+}
+
+/// Run the comparison for the naive baseline and the paper's sizes.
+pub fn run_comparison(list_len: usize) -> Vec<MemoryRow> {
+    let mut rows = vec![measure("naive (1/obj)", 1, list_len)];
+    for size in [20, 50, 100] {
+        rows.push(measure(&size.to_string(), size, list_len));
+    }
+    rows
+}
+
+/// Render the rows as a table.
+pub fn render(rows: &[MemoryRow], list_len: usize) -> String {
+    let app_bytes = rows[0].loaded.app_bytes.max(1);
+    let mut out = format!(
+        "Ablation 1 — Memory occupation vs the naive per-object design\n\
+         (list of {list_len} 64-byte objects = {app_bytes} B of application data)\n\n\
+         {:<14}{:>14}{:>12}{:>12}{:>16}{:>14}\n",
+        "config", "loaded total", "proxies", "overhead", "swapped total", "left behind"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14}{:>12} B{:>12}{:>11.0}%{:>14} B{:>12} B\n",
+            r.label,
+            r.total_loaded,
+            r.loaded.proxies,
+            r.loaded.overhead_ratio() * 100.0,
+            r.total_swapped,
+            r.total_swapped,
+        ));
+    }
+    out.push_str(
+        "\n(\"left behind\" = bytes that remain on the device even though every\n\
+         object is swapped out: proxies + replacement objects. The paper: for\n\
+         the naive design, \"even when all objects were swapped, the proxies\n\
+         would still remain\".)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_overhead_dwarfs_swap_cluster_overhead() {
+        let rows = run_comparison(300);
+        let naive = &rows[0];
+        let sc100 = rows.iter().find(|r| r.label == "100").unwrap();
+        // Naive: ~one proxy per object; paper's "could potentially double".
+        assert!(naive.loaded.overhead_ratio() > 0.8);
+        // Swap-clusters of 100: proxies only at boundaries (~1 % of naive).
+        assert!(sc100.loaded.overhead_ratio() < 0.1);
+        // And after swapping everything, naive leaves far more behind.
+        assert!(naive.total_swapped > sc100.total_swapped * 5);
+    }
+
+    #[test]
+    fn render_mentions_every_config() {
+        let rows = run_comparison(100);
+        let text = render(&rows, 100);
+        for label in ["naive", "20", "50", "100"] {
+            assert!(text.contains(label), "{label} missing");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Ablation 2: swap-out / reload latency in *virtual* time, swept over
+//! swap-cluster size and link bandwidth.
+//!
+//! The paper's prototype ran over Bluetooth at 700 Kbps; this sweep shows
+//! how the mechanism's I/O cost scales with the two knobs an integrator
+//! controls: the cluster size (bytes per swap) and the radio (airtime per
+//! byte). All times come from the deterministic link model, not the wall
+//! clock.
+
+use obiwan_core::Middleware;
+use obiwan_core::StoreSpec;
+use obiwan_heap::Value;
+use obiwan_net::{DeviceKind, LinkSpec, SimDuration};
+use obiwan_replication::{standard_classes, Server};
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapIoPoint {
+    /// Objects per swap-cluster.
+    pub cluster_size: usize,
+    /// Link label ("bluetooth-700k", …).
+    pub link: String,
+    /// Blob size in bytes.
+    pub blob_bytes: usize,
+    /// Virtual time of the swap-out transfer.
+    pub out_time: SimDuration,
+    /// Virtual time of the reload transfer.
+    pub in_time: SimDuration,
+}
+
+/// Sweep cluster sizes × links for a fixed list.
+pub fn run_sweep(list_len: usize) -> Vec<SwapIoPoint> {
+    let links: [(&str, LinkSpec); 3] = [
+        ("mote-100k", LinkSpec::mote_radio()),
+        ("bluetooth-700k", LinkSpec::bluetooth()),
+        ("wifi-5M", LinkSpec::wifi()),
+    ];
+    let mut points = Vec::new();
+    for cluster_size in [20, 50, 100, 200] {
+        for (label, link) in links {
+            let mut server = Server::new(standard_classes());
+            let head = server
+                .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
+                .expect("Node class");
+            let mut mw = Middleware::builder()
+                .cluster_size(cluster_size)
+                .device_memory(list_len * 64 * 8 + (1 << 20))
+                .no_builtin_policies()
+                .stores(vec![StoreSpec::new(
+                    "neighbour",
+                    DeviceKind::Laptop,
+                    16 << 20,
+                )
+                .with_link(link)])
+                .build(server);
+            let root = mw.replicate_root(head).expect("replicate");
+            mw.set_global("head", Value::Ref(root));
+            mw.invoke_i64(root, "length", vec![]).expect("warm");
+
+            let t0 = mw.net().lock().expect("net").now();
+            let blob_bytes = mw.swap_out(1).expect("swap out");
+            let t1 = mw.net().lock().expect("net").now();
+            mw.swap_in(1).expect("swap in");
+            let t2 = mw.net().lock().expect("net").now();
+            points.push(SwapIoPoint {
+                cluster_size,
+                link: label.to_string(),
+                blob_bytes,
+                out_time: t1 - t0,
+                in_time: t2 - t1,
+            });
+        }
+    }
+    points
+}
+
+/// Render the sweep as a table.
+pub fn render(points: &[SwapIoPoint]) -> String {
+    let mut out = String::from(
+        "Ablation 2 — Swap-out / reload cost over cluster size and radio\n\
+         (virtual time from the deterministic link model)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<10}{:<18}{:>12}{:>16}{:>16}\n",
+        "objects", "link", "blob bytes", "swap-out", "reload"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<10}{:<18}{:>12}{:>16}{:>16}\n",
+            p.cluster_size,
+            p.link,
+            p.blob_bytes,
+            p.out_time.to_string(),
+            p.in_time.to_string(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shapes_hold() {
+        let points = run_sweep(400);
+        // Bigger clusters → bigger blobs → longer transfers on each link.
+        let bt: Vec<&SwapIoPoint> = points
+            .iter()
+            .filter(|p| p.link == "bluetooth-700k")
+            .collect();
+        assert!(bt.windows(2).all(|w| w[0].blob_bytes < w[1].blob_bytes));
+        assert!(bt.windows(2).all(|w| w[0].out_time < w[1].out_time));
+        // Faster links → shorter transfers for the same cluster size.
+        let size50: Vec<&SwapIoPoint> =
+            points.iter().filter(|p| p.cluster_size == 50).collect();
+        let t = |label: &str| {
+            size50
+                .iter()
+                .find(|p| p.link == label)
+                .map(|p| p.out_time)
+                .expect("point exists")
+        };
+        assert!(t("wifi-5M") < t("bluetooth-700k"));
+        assert!(t("bluetooth-700k") < t("mote-100k"));
+    }
+
+    #[test]
+    fn reload_time_tracks_swap_out_time() {
+        let points = run_sweep(200);
+        for p in &points {
+            let ratio = p.in_time.as_micros() as f64 / p.out_time.as_micros().max(1) as f64;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "reload within 2× of swap-out: {ratio}"
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Ablation 3: victim-selection policies under memory pressure.
+//!
+//! A PDA-style access trace (an "album browser": mostly-sequential sweeps
+//! with periodic revisits to a hot prefix) runs in a memory budget that
+//! holds only a fraction of the data. The policy that picks swap-out
+//! victims determines how often clusters bounce: swap-outs and reloads per
+//! completed pass are the figures of merit.
+
+use obiwan_core::{Middleware, VictimPolicy};
+use obiwan_heap::Value;
+use obiwan_replication::{standard_classes, Server};
+
+/// Result of one policy run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VictimRow {
+    /// Policy evaluated.
+    pub policy: VictimPolicy,
+    /// Swap-outs performed.
+    pub swap_outs: u64,
+    /// Reloads performed.
+    pub swap_ins: u64,
+    /// Payload bytes moved in both directions.
+    pub bytes_moved: u64,
+    /// Virtual time spent on the air.
+    pub airtime_ms: u64,
+}
+
+/// The access trace: `passes` sweeps over the list, and between sweeps
+/// `hot_revisits` touches of the first `hot_prefix` objects (the "favorite
+/// album"). Returns the step count (for sanity checks).
+fn run_trace(
+    mw: &mut Middleware,
+    root: obiwan_heap::ObjRef,
+    passes: usize,
+    hot_prefix: usize,
+    hot_revisits: usize,
+) -> usize {
+    let mut steps = 0;
+    for _ in 0..passes {
+        // Sequential sweep.
+        mw.set_global("cursor", Value::Ref(root));
+        loop {
+            let cur = mw
+                .global("cursor")
+                .expect("cursor")
+                .expect_ref()
+                .expect("ref");
+            match mw
+                .invoke_resilient(cur, "next", vec![], 1_000)
+                .expect("step")
+            {
+                Value::Ref(next) => {
+                    mw.set_global("cursor", Value::Ref(next));
+                    steps += 1;
+                }
+                _ => break,
+            }
+        }
+        // Hot-prefix revisits.
+        for _ in 0..hot_revisits {
+            mw.set_global("cursor", Value::Ref(root));
+            for _ in 0..hot_prefix {
+                let cur = mw
+                    .global("cursor")
+                    .expect("cursor")
+                    .expect_ref()
+                    .expect("ref");
+                match mw
+                    .invoke_resilient(cur, "next", vec![], 1_000)
+                    .expect("hot step")
+                {
+                    Value::Ref(next) => {
+                        mw.set_global("cursor", Value::Ref(next));
+                        steps += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+    steps
+}
+
+/// Evaluate every policy on the same trace and budget.
+pub fn run_comparison(list_len: usize, memory_fraction_pct: usize) -> Vec<VictimRow> {
+    [
+        VictimPolicy::LeastRecentlyUsed,
+        VictimPolicy::LeastFrequentlyUsed,
+        VictimPolicy::LargestFirst,
+        VictimPolicy::RoundRobin,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let mut server = Server::new(standard_classes());
+        let head = server
+            .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
+            .expect("Node class");
+        let data_bytes = list_len * 64;
+        let memory = data_bytes * memory_fraction_pct / 100 + 4096;
+        let mut mw = Middleware::builder()
+            .cluster_size(25)
+            .device_memory(memory)
+            .victim_policy(policy)
+            .build(server);
+        let root = mw.replicate_root(head).expect("replicate");
+        mw.set_global("head", Value::Ref(root));
+        run_trace(&mut mw, root, 3, list_len / 10, 2);
+        let stats = mw.stats();
+        VictimRow {
+            policy,
+            swap_outs: stats.swap.swap_outs,
+            swap_ins: stats.swap.swap_ins,
+            bytes_moved: stats.swap.bytes_swapped_out + stats.swap.bytes_swapped_in,
+            airtime_ms: stats.now.as_millis(),
+        }
+    })
+    .collect()
+}
+
+/// Render the comparison.
+pub fn render(rows: &[VictimRow], list_len: usize, memory_fraction_pct: usize) -> String {
+    let mut out = format!(
+        "Ablation 3 — Victim-selection policies under pressure\n\
+         ({list_len} objects, device memory = {memory_fraction_pct}% of the data,\n\
+          trace: 3 sweeps with hot-prefix revisits)\n\n\
+         {:<14}{:>10}{:>10}{:>14}{:>12}\n",
+        "policy", "swap-outs", "reloads", "bytes moved", "airtime"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14}{:>10}{:>10}{:>14}{:>10}ms\n",
+            r.policy.to_string(),
+            r.swap_outs,
+            r.swap_ins,
+            r.bytes_moved,
+            r.airtime_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_policies_complete_the_trace() {
+        let rows = run_comparison(300, 40);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.swap_outs > 0, "{}: pressure must evict", r.policy);
+            assert!(r.swap_ins > 0, "{}: revisits must reload", r.policy);
+        }
+    }
+
+    #[test]
+    fn comparison_is_deterministic() {
+        // The sweep is pure simulation: identical runs must agree exactly,
+        // so the ablation table in EXPERIMENTS.md is reproducible.
+        let a = run_comparison(300, 40);
+        let b = run_comparison(300, 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn policies_actually_differ_in_behavior() {
+        let rows = run_comparison(400, 40);
+        let reload_counts: std::collections::HashSet<u64> =
+            rows.iter().map(|r| r.swap_ins).collect();
+        // The knob is real: at least two policies produce different
+        // swapping behaviour on this trace. (Which one wins is reported,
+        // not asserted — that is the experiment's finding.)
+        assert!(reload_counts.len() >= 2, "{rows:?}");
+    }
+}

@@ -1,0 +1,266 @@
+//! The Figure 5 workload: "a list of 10000 64-byte objects" traversed by
+//! "recursive and iterative invocations … of simple (quasi-empty) methods,
+//! in order not to mask the overhead being measured".
+
+use obiwan_core::Middleware;
+use obiwan_heap::Value;
+use obiwan_replication::{standard_classes, Server};
+
+/// Node payload bytes such that one `Node` replica charges exactly 64 B:
+/// 24 B object base + 2 × 16 B field slots + 8 B payload.
+pub const PAYLOAD_FOR_64B: usize = 8;
+
+/// One Figure 5 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig5Config {
+    /// Objects per swap-cluster; `None` is the paper's *NO SWAP-CLUSTERS*
+    /// lower-bound configuration (swapping disabled entirely).
+    pub swap_cluster_size: Option<usize>,
+    /// List length (the paper uses 10 000).
+    pub list_len: usize,
+}
+
+impl Fig5Config {
+    /// A configuration with swap-clusters of `size` objects.
+    pub fn with_clusters(size: usize, list_len: usize) -> Self {
+        Fig5Config {
+            swap_cluster_size: Some(size),
+            list_len,
+        }
+    }
+
+    /// The no-swap-clusters baseline.
+    pub fn without_clusters(list_len: usize) -> Self {
+        Fig5Config {
+            swap_cluster_size: None,
+            list_len,
+        }
+    }
+
+    /// Column label as in the paper's figure.
+    pub fn label(&self) -> String {
+        match self.swap_cluster_size {
+            Some(n) => n.to_string(),
+            None => "NO SWAP-CLUSTERS".to_string(),
+        }
+    }
+}
+
+/// A fully warmed-up Figure 5 world: every object replicated, every
+/// boundary mediated by swap-cluster-proxies (when enabled), nothing
+/// swapped out — the paper measures pure traversal overhead.
+#[derive(Debug)]
+pub struct Fig5World {
+    /// The middleware under test.
+    pub mw: Middleware,
+    /// Application-level reference to the list head.
+    pub root: obiwan_heap::ObjRef,
+    /// The configuration it was built with.
+    pub config: Fig5Config,
+}
+
+/// Build and warm a Figure 5 world.
+///
+/// # Panics
+///
+/// Panics on any middleware error — the workload is fixed and memory is
+/// sized generously; failures are setup bugs.
+pub fn build_fig5(config: Fig5Config) -> Fig5World {
+    let mut server = Server::new(standard_classes());
+    let head = server
+        .build_list("Node", config.list_len, PAYLOAD_FOR_64B)
+        .expect("standard classes define Node");
+    let memory = (config.list_len * 64) * 8 + (1 << 20);
+    let mut builder = Middleware::builder()
+        .device_memory(memory)
+        .no_builtin_policies();
+    builder = match config.swap_cluster_size {
+        Some(n) => builder.cluster_size(n).clusters_per_swap_cluster(1),
+        None => builder.cluster_size(50).swapping_disabled(),
+    };
+    let mut mw = builder.build(server);
+    let root = mw.replicate_root(head).expect("replication of the head");
+    mw.set_global("head", Value::Ref(root));
+    // Warm 1: replicate everything (object faults all fire here).
+    let len = mw
+        .invoke_i64(root, "length", vec![])
+        .expect("full traversal");
+    assert_eq!(len as usize, config.list_len);
+    // Warm 2: touch every boundary so proxy structures exist and the
+    // measured runs exercise the steady state.
+    let depth = mw
+        .invoke_i64(root, "visit", vec![Value::Int(0)])
+        .expect("warm traversal");
+    assert_eq!(depth as usize, config.list_len - 1);
+    Fig5World { mw, root, config }
+}
+
+/// **Test A1**: recursive traversal passing an integer depth. Returns the
+/// final recursion depth (= list length − 1).
+///
+/// # Panics
+///
+/// Panics on invocation failure (setup bug).
+pub fn run_a1(world: &mut Fig5World) -> i64 {
+    world
+        .mw
+        .invoke_i64(world.root, "visit", vec![Value::Int(0)])
+        .expect("A1 traversal")
+}
+
+/// **Test A2**: A1 extended with an inner recursion of depth 10 per step
+/// that returns an object reference (≈10× more invocations, plus transient
+/// proxies for cross-boundary returned references).
+///
+/// # Panics
+///
+/// Panics on invocation failure (setup bug).
+pub fn run_a2(world: &mut Fig5World) -> i64 {
+    let out = world
+        .mw
+        .invoke_i64(world.root, "deep_visit", vec![Value::Int(0)])
+        .expect("A2 traversal");
+    // The transient proxies created for returned references are "later
+    // reclaimed by the LGC" (paper §5); the collection is part of the
+    // test's cost, as inline GC activity was on the .NET CF runtime.
+    world.mw.run_gc().expect("post-run collection");
+    out
+}
+
+/// **Test B1**: full iteration with a `for` loop and a global variable
+/// (swap-cluster-0); every returned reference is mediated afresh. Returns
+/// the number of steps.
+///
+/// # Panics
+///
+/// Panics on invocation failure (setup bug).
+pub fn run_b1(world: &mut Fig5World) -> i64 {
+    let mw = &mut world.mw;
+    mw.set_global("cursor", Value::Ref(world.root));
+    let mut steps = 0;
+    loop {
+        let cur = mw
+            .global("cursor")
+            .expect("cursor defined")
+            .expect_ref()
+            .expect("cursor is a reference");
+        match mw.invoke(cur, "next", vec![]).expect("B1 step") {
+            Value::Ref(next) => {
+                mw.set_global("cursor", Value::Ref(next));
+                steps += 1;
+            }
+            _ => break,
+        }
+    }
+    mw.run_gc().expect("post-run collection");
+    steps
+}
+
+/// **Test B2**: B1 with the iteration optimization — the cursor proxy is
+/// assign-marked once and patches itself per step (paper §4).
+///
+/// With swapping disabled there is no proxy to mark; B2 degenerates to B1,
+/// matching the paper's identical 36 ms floor for both tests.
+///
+/// # Panics
+///
+/// Panics on invocation failure (setup bug).
+pub fn run_b2(world: &mut Fig5World) -> i64 {
+    let swapping = world.config.swap_cluster_size.is_some();
+    let mw = &mut world.mw;
+    let cursor = if swapping {
+        // The paper's `assign` marks the iterating *variable*'s own proxy;
+        // it patches itself per step, leaving `head` untouched.
+        mw.make_cursor(world.root).expect("cursor over the head")
+    } else {
+        world.root
+    };
+    mw.set_global("cursor", Value::Ref(cursor));
+    let mut steps = 0;
+    loop {
+        let cur = mw
+            .global("cursor")
+            .expect("cursor defined")
+            .expect_ref()
+            .expect("cursor is a reference");
+        match mw.invoke(cur, "next", vec![]).expect("B2 step") {
+            Value::Ref(next) => {
+                mw.set_global("cursor", Value::Ref(next));
+                steps += 1;
+            }
+            _ => break,
+        }
+    }
+    mw.run_gc().expect("post-run collection");
+    steps
+}
+
+/// The four tests by name, for sweep drivers.
+pub const TESTS: [&str; 4] = ["A1", "A2", "B1", "B2"];
+
+/// Run one named test.
+///
+/// # Panics
+///
+/// Panics for unknown test names.
+pub fn run_test(world: &mut Fig5World, test: &str) -> i64 {
+    match test {
+        "A1" => run_a1(world),
+        "A2" => run_a2(world),
+        "B1" => run_b1(world),
+        "B2" => run_b2(world),
+        other => panic!("unknown Figure 5 test {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_worlds_produce_expected_counts() {
+        for config in [
+            Fig5Config::with_clusters(20, 200),
+            Fig5Config::without_clusters(200),
+        ] {
+            let mut world = build_fig5(config);
+            assert_eq!(run_a1(&mut world), 199);
+            assert_eq!(run_a2(&mut world), 199);
+            assert_eq!(run_b1(&mut world), 199);
+            assert_eq!(run_b2(&mut world), 199);
+        }
+    }
+
+    #[test]
+    fn node_replicas_are_exactly_64_bytes() {
+        let world = build_fig5(Fig5Config::with_clusters(20, 40));
+        let p = world.mw.process();
+        let node = p
+            .lookup_replica(obiwan_heap::Oid(1))
+            .expect("head replicated");
+        assert_eq!(p.heap().get(node).unwrap().size(), 64);
+    }
+
+    #[test]
+    fn b2_creates_fewer_proxies_than_b1() {
+        let mut world = build_fig5(Fig5Config::with_clusters(20, 300));
+        let s0 = world.mw.swap_stats();
+        run_b1(&mut world);
+        let s1 = world.mw.swap_stats();
+        run_b2(&mut world);
+        let s2 = world.mw.swap_stats();
+        let b1_created = s1.proxies_created - s0.proxies_created;
+        let b2_created = s2.proxies_created - s1.proxies_created;
+        // B1 reuses the proxies it created on its own earlier runs, so the
+        // meaningful comparison is patches: B2 self-patches per step.
+        assert!(s2.assign_patches > 250, "B2 patches: {}", s2.assign_patches);
+        assert!(b2_created <= b1_created);
+    }
+
+    #[test]
+    fn no_swap_world_counts_zero_crossings() {
+        let mut world = build_fig5(Fig5Config::without_clusters(100));
+        run_a1(&mut world);
+        assert_eq!(world.mw.swap_stats().crossings, 0);
+    }
+}

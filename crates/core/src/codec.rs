@@ -1,0 +1,397 @@
+//! The swap-blob codec: object clusters ⇆ XML text.
+//!
+//! The entire portability argument of the paper rests on this artifact: a
+//! swapped-out cluster travels as self-describing XML text, so the storing
+//! device needs no VM, no middleware, no class files — only the ability to
+//! store, return, or drop keyed text.
+//!
+//! Wire format (pretty-printed):
+//!
+//! ```xml
+//! <swap-cluster id="2" epoch="0" count="2">
+//!   <object oid="42" class="Node" repl="4">
+//!     <field i="0" kind="ref" oid="43"/>        <!-- in-cluster reference -->
+//!     <field i="1" kind="bytes">00ff41…</field> <!-- payload, hex -->
+//!   </object>
+//!   <object oid="43" class="Node" repl="4">
+//!     <field i="0" kind="proxyref" oid="60"/>   <!-- via an outbound swap-proxy -->
+//!     <field i="1" kind="faultref" oid="61"/>   <!-- to a not-yet-replicated object -->
+//!   </object>
+//! </swap-cluster>
+//! ```
+//!
+//! `ref` points at another member of the same blob; `proxyref` records that
+//! the field went through an outbound swap-cluster-proxy (kept alive by the
+//! replacement-object, reconnected on reload); `faultref` records a
+//! reference to an object that had not been replicated at swap-out time.
+//! Null fields are omitted.
+
+use crate::{Result, SwapError};
+use bytes::Bytes;
+use obiwan_heap::{ObjRef, ObjectKind, Oid, Value};
+use obiwan_replication::Process;
+use obiwan_xml::{Element, Writer};
+use std::collections::HashMap;
+
+/// A decoded field of a blob object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlobField {
+    /// A non-reference value.
+    Scalar(Value),
+    /// Reference to another member of the same blob.
+    MemberRef(Oid),
+    /// Reference that was mediated by an outbound swap-cluster-proxy.
+    ProxyRef(Oid),
+    /// Reference to a not-yet-replicated identity (was a fault proxy).
+    FaultRef(Oid),
+}
+
+/// A decoded blob object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlobObject {
+    /// Identity.
+    pub oid: Oid,
+    /// Class name (resolved against the registry at reload).
+    pub class: String,
+    /// Replication cluster tag the replica carried.
+    pub repl_cluster: u32,
+    /// Non-null fields as `(layout index, field)`.
+    pub fields: Vec<(usize, BlobField)>,
+}
+
+/// A decoded blob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blob {
+    /// The swap-cluster id.
+    pub swap_cluster: u32,
+    /// Swap-out epoch the blob was written at.
+    pub epoch: u32,
+    /// Member objects.
+    pub objects: Vec<BlobObject>,
+}
+
+/// Serialize the members of swap-cluster `sc` to XML text.
+///
+/// # Errors
+///
+/// [`SwapError::Codec`] if a member holds a direct reference to an object
+/// outside the cluster that is neither a proxy nor a fault proxy — that
+/// would violate the invariant that every cross-swap-cluster reference is
+/// mediated.
+pub fn encode(p: &Process, sc: u32, epoch: u32, members: &[ObjRef]) -> Result<String> {
+    let member_oids: HashMap<ObjRef, Oid> = members
+        .iter()
+        .map(|&m| Ok((m, p.heap().get(m)?.header().oid)))
+        .collect::<Result<_>>()?;
+    let mut w = Writer::new();
+    w.begin("swap-cluster")?
+        .attr("id", sc.to_string())?
+        .attr("epoch", epoch.to_string())?
+        .attr("count", members.len().to_string())?;
+    for &m in members {
+        let obj = p.heap().get(m)?;
+        let class_name = p.universe().registry.class(obj.class())?.name().to_string();
+        w.begin("object")?
+            .attr("oid", obj.header().oid.0.to_string())?
+            .attr("class", &class_name)?
+            .attr("repl", obj.header().repl_cluster.to_string())?;
+        for (i, v) in obj.fields().iter().enumerate() {
+            encode_field(p, &member_oids, &mut w, i, v)?;
+        }
+        w.end()?;
+    }
+    w.end()?;
+    Ok(w.finish()?)
+}
+
+fn encode_field(
+    p: &Process,
+    member_oids: &HashMap<ObjRef, Oid>,
+    w: &mut Writer,
+    i: usize,
+    v: &Value,
+) -> Result<()> {
+    match v {
+        Value::Null => return Ok(()),
+        Value::Ref(r) => {
+            if let Some(oid) = member_oids.get(r) {
+                w.begin("field")?
+                    .attr("i", i.to_string())?
+                    .attr("kind", "ref")?
+                    .attr("oid", oid.0.to_string())?;
+                w.end()?;
+                return Ok(());
+            }
+            let target = p.heap().get(*r)?;
+            let (kind, oid) = match target.kind() {
+                ObjectKind::SwapProxy => ("proxyref", crate::proxy::oid_of(p, *r)?),
+                ObjectKind::FaultProxy => ("faultref", target.header().oid),
+                other => {
+                    return Err(SwapError::codec(format!(
+                        "member field {i} holds an unmediated cross-cluster \
+                         reference to a {other} object"
+                    )))
+                }
+            };
+            w.begin("field")?
+                .attr("i", i.to_string())?
+                .attr("kind", kind)?
+                .attr("oid", oid.0.to_string())?;
+            w.end()?;
+        }
+        Value::Int(x) => {
+            w.begin("field")?
+                .attr("i", i.to_string())?
+                .attr("kind", "int")?
+                .attr("v", x.to_string())?;
+            w.end()?;
+        }
+        Value::Double(x) => {
+            w.begin("field")?
+                .attr("i", i.to_string())?
+                .attr("kind", "double")?
+                .attr("v", format!("{x:?}"))?;
+            w.end()?;
+        }
+        Value::Bool(x) => {
+            w.begin("field")?
+                .attr("i", i.to_string())?
+                .attr("kind", "bool")?
+                .attr("v", x.to_string())?;
+            w.end()?;
+        }
+        Value::Str(s) => {
+            w.begin("field")?
+                .attr("i", i.to_string())?
+                .attr("kind", "str")?;
+            w.text(s)?;
+            w.end()?;
+        }
+        Value::Bytes(b) => {
+            w.begin("field")?
+                .attr("i", i.to_string())?
+                .attr("kind", "bytes")?;
+            w.text(&hex_encode(b))?;
+            w.end()?;
+        }
+    }
+    Ok(())
+}
+
+/// Parse blob text back into its structured form.
+///
+/// # Errors
+///
+/// XML errors and [`SwapError::Codec`] for dialect violations (bad kinds,
+/// malformed numbers, count mismatch).
+pub fn decode(xml: &str) -> Result<Blob> {
+    let root = Element::parse(xml)?;
+    if root.name() != "swap-cluster" {
+        return Err(SwapError::codec(format!(
+            "expected <swap-cluster>, found <{}>",
+            root.name()
+        )));
+    }
+    let swap_cluster: u32 = root.parse_attr("id")?;
+    let epoch: u32 = root.parse_attr("epoch")?;
+    let count: usize = root.parse_attr("count")?;
+    let objects: Vec<BlobObject> = root
+        .children_named("object")
+        .map(decode_object)
+        .collect::<Result<_>>()?;
+    if objects.len() != count {
+        return Err(SwapError::codec(format!(
+            "blob declares {count} objects but contains {}",
+            objects.len()
+        )));
+    }
+    Ok(Blob {
+        swap_cluster,
+        epoch,
+        objects,
+    })
+}
+
+fn decode_object(el: &Element) -> Result<BlobObject> {
+    let oid = Oid(el.parse_attr("oid")?);
+    let class = el.require_attr("class")?.to_string();
+    let repl_cluster: u32 = el.parse_attr("repl")?;
+    let fields = el
+        .children_named("field")
+        .map(decode_field)
+        .collect::<Result<_>>()?;
+    Ok(BlobObject {
+        oid,
+        class,
+        repl_cluster,
+        fields,
+    })
+}
+
+fn decode_field(el: &Element) -> Result<(usize, BlobField)> {
+    let i: usize = el.parse_attr("i")?;
+    let kind = el.require_attr("kind")?;
+    let field = match kind {
+        "ref" => BlobField::MemberRef(Oid(el.parse_attr("oid")?)),
+        "proxyref" => BlobField::ProxyRef(Oid(el.parse_attr("oid")?)),
+        "faultref" => BlobField::FaultRef(Oid(el.parse_attr("oid")?)),
+        "int" => BlobField::Scalar(Value::Int(el.parse_attr("v")?)),
+        "double" => BlobField::Scalar(Value::Double(el.parse_attr("v")?)),
+        "bool" => BlobField::Scalar(Value::Bool(el.parse_attr("v")?)),
+        "str" => BlobField::Scalar(Value::from(el.text())),
+        "bytes" => BlobField::Scalar(Value::Bytes(hex_decode(el.text())?)),
+        other => return Err(SwapError::codec(format!("unknown field kind `{other}`"))),
+    };
+    Ok((i, field))
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Result<Bytes> {
+    let text = text.trim();
+    if text.len() % 2 != 0 {
+        return Err(SwapError::codec("odd-length hex payload"));
+    }
+    let mut out = Vec::with_capacity(text.len() / 2);
+    for i in (0..text.len()).step_by(2) {
+        let byte = u8::from_str_radix(&text[i..i + 2], 16)
+            .map_err(|e| SwapError::codec(format!("bad hex payload: {e}")))?;
+        out.push(byte);
+    }
+    Ok(Bytes::from(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obiwan_replication::{standard_classes, ReplConfig, Server};
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = Bytes::from((0u8..=255).collect::<Vec<u8>>());
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    fn two_member_process() -> (Process, Vec<ObjRef>) {
+        let u = standard_classes();
+        let mut server = Server::new(u.clone());
+        let head = server.build_list("Node", 2, 8).unwrap();
+        let mut p = Process::new(u, server.into_shared(), 1 << 20, ReplConfig::with_cluster_size(2));
+        let root = p.replicate_root(head).unwrap();
+        let second = p.field_value(root, "next").unwrap().expect_ref().unwrap();
+        (p, vec![root, second])
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_with_member_refs_and_payloads() {
+        let (p, members) = two_member_process();
+        let xml = encode(&p, 5, 3, &members).unwrap();
+        let blob = decode(&xml).unwrap();
+        assert_eq!(blob.swap_cluster, 5);
+        assert_eq!(blob.epoch, 3);
+        assert_eq!(blob.objects.len(), 2);
+        assert_eq!(blob.objects[0].class, "Node");
+        // First member's `next` is a member ref to the second.
+        let (idx, f) = &blob.objects[0].fields[0];
+        assert_eq!(*idx, 0);
+        assert_eq!(*f, BlobField::MemberRef(blob.objects[1].oid));
+        // Payload survives byte-exactly.
+        let (_, payload) = blob.objects[0]
+            .fields
+            .iter()
+            .find(|(i, _)| *i == 1)
+            .unwrap();
+        match payload {
+            BlobField::Scalar(Value::Bytes(b)) => assert_eq!(b.len(), 8),
+            other => panic!("expected bytes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_proxy_fields_encode_as_faultref() {
+        let u = standard_classes();
+        let mut server = Server::new(u.clone());
+        let head = server.build_list("Node", 5, 8).unwrap();
+        let mut p = Process::new(u, server.into_shared(), 1 << 20, ReplConfig::with_cluster_size(2));
+        let root = p.replicate_root(head).unwrap();
+        let second = p.field_value(root, "next").unwrap().expect_ref().unwrap();
+        // second.next is a fault proxy to oid head+2.
+        let xml = encode(&p, 1, 0, &[root, second]).unwrap();
+        let blob = decode(&xml).unwrap();
+        let second_fields = &blob.objects[1].fields;
+        assert!(second_fields
+            .iter()
+            .any(|(_, f)| matches!(f, BlobField::FaultRef(oid) if oid.0 == head.0 + 2)));
+    }
+
+    #[test]
+    fn unmediated_cross_cluster_ref_is_rejected() {
+        let (mut p, members) = two_member_process();
+        // Forge a direct reference from member 0 to an object "outside".
+        let node_class = p.universe().registry.class_id("Node").unwrap();
+        let outsider = p
+            .heap_mut()
+            .alloc(node_class, obiwan_heap::ObjectKind::App)
+            .unwrap();
+        p.set_field_value(members[0], "next", Value::Ref(outsider))
+            .unwrap();
+        let err = encode(&p, 1, 0, &[members[0]]).unwrap_err();
+        assert!(matches!(err, SwapError::Codec { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_count_mismatch_and_bad_kinds() {
+        assert!(matches!(
+            decode(r#"<swap-cluster id="1" epoch="0" count="2"/>"#),
+            Err(SwapError::Codec { .. })
+        ));
+        assert!(matches!(
+            decode(
+                r#"<swap-cluster id="1" epoch="0" count="1">
+                     <object oid="1" class="Node" repl="0">
+                       <field i="0" kind="warp" v="1"/>
+                     </object>
+                   </swap-cluster>"#
+            ),
+            Err(SwapError::Codec { .. })
+        ));
+        assert!(matches!(
+            decode("<blob/>"),
+            Err(SwapError::Codec { .. })
+        ));
+    }
+
+    #[test]
+    fn scalar_kinds_roundtrip() {
+        // Build by hand: decode a crafted blob.
+        let blob = decode(
+            r#"<swap-cluster id="9" epoch="1" count="1">
+                 <object oid="7" class="X" repl="2">
+                   <field i="0" kind="int" v="-5"/>
+                   <field i="1" kind="double" v="2.5"/>
+                   <field i="2" kind="bool" v="true"/>
+                   <field i="3" kind="str">héllo &amp; co</field>
+                   <field i="4" kind="bytes">00ff</field>
+                 </object>
+               </swap-cluster>"#,
+        )
+        .unwrap();
+        let fields = &blob.objects[0].fields;
+        assert_eq!(fields[0].1, BlobField::Scalar(Value::Int(-5)));
+        assert_eq!(fields[1].1, BlobField::Scalar(Value::Double(2.5)));
+        assert_eq!(fields[2].1, BlobField::Scalar(Value::Bool(true)));
+        assert_eq!(fields[3].1, BlobField::Scalar(Value::from("héllo & co")));
+        assert_eq!(
+            fields[4].1,
+            BlobField::Scalar(Value::Bytes(Bytes::from_static(&[0x00, 0xff])))
+        );
+    }
+}

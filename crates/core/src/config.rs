@@ -1,0 +1,104 @@
+//! Configuration of the swapping layer.
+
+use crate::VictimPolicy;
+
+/// Tunables of the Object-Swapping mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_core::{SwapConfig, VictimPolicy};
+///
+/// let cfg = SwapConfig::default()
+///     .clusters_per_swap_cluster(5)
+///     .victim_policy(VictimPolicy::LeastRecentlyUsed);
+/// assert_eq!(cfg.clusters_per_swap_cluster, 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapConfig {
+    /// How many replication clusters form one swap-cluster (the paper's
+    /// "considering a number (also adaptable) of chained (via references)
+    /// object clusters as a single macro-object").
+    pub clusters_per_swap_cluster: usize,
+    /// Which swap-cluster to evict under pressure.
+    pub victim_policy: VictimPolicy,
+    /// Run a local collection right after a swap-out so the freed memory is
+    /// immediately available (the paper's LGC cooperation).
+    pub collect_after_swap_out: bool,
+    /// Instruct the storing device to drop the blob as soon as the cluster
+    /// has been swapped back in (fresh keys are used per swap-out epoch, so
+    /// leaving blobs behind only wastes the neighbour's quota).
+    pub drop_blob_on_reload: bool,
+    /// Allow swap targets that are only reachable through relays — the
+    /// paper's closing vision of devices "available to any user either to
+    /// store data or to relay communications". Every hop pays its airtime.
+    pub allow_relays: bool,
+}
+
+impl Default for SwapConfig {
+    fn default() -> Self {
+        SwapConfig {
+            clusters_per_swap_cluster: 1,
+            victim_policy: VictimPolicy::default(),
+            collect_after_swap_out: true,
+            drop_blob_on_reload: true,
+            allow_relays: false,
+        }
+    }
+}
+
+impl SwapConfig {
+    /// Set how many replication clusters group into one swap-cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn clusters_per_swap_cluster(mut self, n: usize) -> Self {
+        assert!(n > 0, "a swap-cluster groups at least one cluster");
+        self.clusters_per_swap_cluster = n;
+        self
+    }
+
+    /// Set the victim-selection policy.
+    pub fn victim_policy(mut self, policy: VictimPolicy) -> Self {
+        self.victim_policy = policy;
+        self
+    }
+
+    /// Control post-swap-out collection.
+    pub fn collect_after_swap_out(mut self, yes: bool) -> Self {
+        self.collect_after_swap_out = yes;
+        self
+    }
+
+    /// Control eager blob dropping on reload.
+    pub fn drop_blob_on_reload(mut self, yes: bool) -> Self {
+        self.drop_blob_on_reload = yes;
+        self
+    }
+
+    /// Allow relayed (multi-hop) swap targets.
+    pub fn allow_relays(mut self, yes: bool) -> Self {
+        self.allow_relays = yes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_shape() {
+        let c = SwapConfig::default();
+        assert_eq!(c.clusters_per_swap_cluster, 1);
+        assert!(c.collect_after_swap_out);
+        assert!(c.drop_blob_on_reload);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_grouping_rejected() {
+        let _ = SwapConfig::default().clusters_per_swap_cluster(0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Swap-out: detach a swap-cluster from the application graph and ship it
+//! to a nearby device (paper §3, *Swap-Cluster Swapping-Out*).
+
+use crate::swap_cluster::SwapClusterState;
+use crate::{codec, proxy, Result, SwapError, SwappingManager};
+use obiwan_heap::{ObjRef, ObjectKind, Value};
+use obiwan_net::{DeviceId, NetError};
+use obiwan_policy::PolicyEvent;
+use obiwan_replication::Process;
+
+impl SwappingManager {
+    /// Swap out swap-cluster `sc`:
+    ///
+    /// 1. serialize its members to XML and store the text on a nearby
+    ///    device (trying candidates in preference order);
+    /// 2. create a **replacement-object** filled with references to the
+    ///    cluster's outbound swap-cluster-proxies (keeping downstream
+    ///    clusters reachable);
+    /// 3. patch every **inbound** swap-cluster-proxy to target the
+    ///    replacement-object;
+    /// 4. detach the members (they become garbage) and optionally run the
+    ///    local collector to realize the memory release.
+    ///
+    /// Returns the number of payload bytes shipped.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::UnknownSwapCluster`], [`SwapError::BadState`] unless the
+    /// cluster is loaded, [`SwapError::NoStorageDevice`] when no neighbour
+    /// accepts the blob, plus codec/heap errors. The graph is only mutated
+    /// after the blob has been stored successfully.
+    pub fn swap_out(&mut self, p: &mut Process, sc: u32) -> Result<usize> {
+        let epoch = {
+            let entry = self
+                .clusters
+                .get_mut(&sc)
+                .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
+            if !entry.is_loaded() {
+                return Err(SwapError::BadState {
+                    swap_cluster: sc,
+                    expected: "loaded",
+                    actual: entry.state.name(),
+                });
+            }
+            // Refresh membership: drop members that died since replication.
+            entry.members.retain(|(_, r)| {
+                p.heap()
+                    .get(*r)
+                    .map(|o| o.header().swap_cluster == sc && o.kind() == ObjectKind::App)
+                    .unwrap_or(false)
+            });
+            if entry.members.is_empty() {
+                // Nothing left to swap; retire the entry.
+                self.clusters.remove(&sc);
+                return Ok(0);
+            }
+            entry.epoch
+        };
+        let members: Vec<ObjRef> = self.clusters[&sc].members.iter().map(|&(_, r)| r).collect();
+
+        // Opportunistically clean up blobs orphaned by earlier failures.
+        if !self.orphaned_blobs.is_empty() {
+            self.sweep_orphaned_blobs();
+        }
+
+        // Serialize before any graph mutation.
+        let xml = codec::encode(p, sc, epoch, &members)?;
+        let blob_bytes = xml.len();
+        // Keys carry the swapping device's id: several PDAs may share one
+        // storing neighbour ("available to any user"), and their cluster
+        // ids are device-local.
+        let key = format!("dev{}-sc{sc}-e{epoch}", self.home.index());
+        let device = self.store_on_neighbour(sc, &key, xml)?;
+        // The blob is out: consume this epoch now so a failure in the graph
+        // surgery below cannot lead a retry into a duplicate key; the
+        // already-stored blob becomes an orphan to sweep.
+        self.clusters.get_mut(&sc).expect("entry exists").epoch += 1;
+        let surgery = self.detach_graph(p, sc, device, &key);
+        if let Err(e) = surgery {
+            self.orphaned_blobs.push((device, key));
+            return Err(e);
+        }
+
+        self.stats.swap_outs += 1;
+        self.stats.bytes_swapped_out += blob_bytes as u64;
+        self.events.push(PolicyEvent::SwappedOut {
+            swap_cluster: sc as i64,
+            bytes: blob_bytes as i64,
+        });
+
+        if self.config.collect_after_swap_out {
+            p.collect();
+        }
+        Ok(blob_bytes)
+    }
+
+    /// The graph surgery of swap-out: build the replacement-object, patch
+    /// the inbound proxies, detach the members.
+    fn detach_graph(
+        &mut self,
+        p: &mut Process,
+        sc: u32,
+        device: DeviceId,
+        key: &str,
+    ) -> Result<()> {
+        // Collect the cluster's live outbound proxies for the replacement.
+        let outbound: Vec<ObjRef> = {
+            let weaks = self.outbound.get(&sc).cloned().unwrap_or_default();
+            let mut seen = std::collections::HashSet::new();
+            weaks
+                .iter()
+                .filter_map(|&w| p.heap().weak_get(w))
+                .filter(|r| seen.insert(*r))
+                .collect()
+        };
+
+        // Build the replacement-object ("simply an array of references").
+        let mw = p.universe().middleware;
+        let replacement = p.heap_mut().alloc(mw.replacement, ObjectKind::Replacement)?;
+        {
+            let h = p.heap_mut().get_mut(replacement)?.header_mut();
+            h.swap_cluster = sc;
+            h.finalize = true; // death ⇒ instruct device to drop the blob
+        }
+        for op in outbound {
+            p.heap_mut().push_extra(replacement, Value::Ref(op))?;
+        }
+
+        // Patch inbound proxies: "every swap-cluster referencing objects
+        // contained in [the victim] will be made to reference [the
+        // replacement-object] instead".
+        let inbound = self.inbound.get(&sc).cloned().unwrap_or_default();
+        let mw_sp_target = mw.sp_target;
+        for w in inbound {
+            let Some(pr) = p.heap().weak_get(w) else { continue };
+            let Ok(target) = proxy::target_of(p, pr) else { continue };
+            let points_into_sc = p
+                .heap()
+                .get(target)
+                .map(|o| o.header().swap_cluster == sc && o.kind() == ObjectKind::App)
+                .unwrap_or(false);
+            if points_into_sc {
+                p.heap_mut()
+                    .set_field(pr, mw_sp_target, Value::Ref(replacement))?;
+            }
+        }
+
+        // Detach: forget the replicas so the graph no longer reaches them
+        // and future replication wires new references through the
+        // replacement-object.
+        let member_oids: Vec<(obiwan_heap::Oid, ObjRef)> = self.clusters[&sc].members.clone();
+        for (oid, _) in &member_oids {
+            p.forget_replica(*oid);
+            p.note_swapped(*oid, replacement);
+        }
+
+        let entry = self.clusters.get_mut(&sc).expect("entry exists");
+        entry.state = SwapClusterState::SwappedOut {
+            device,
+            key: key.to_string(),
+            replacement,
+        };
+        Ok(())
+    }
+
+    /// Pick a victim by policy and swap it out. Returns the victim id, or
+    /// `None` when nothing is evictable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SwappingManager::swap_out`] failures.
+    pub fn swap_out_victim(&mut self, p: &mut Process) -> Result<Option<u32>> {
+        match self.pick_victim() {
+            Some(sc) => {
+                self.swap_out(p, sc)?;
+                Ok(Some(sc))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Store `xml` under `key` on the best nearby device, trying candidates
+    /// in preference order: preferred kind first, then most free storage,
+    /// then lowest id.
+    fn store_on_neighbour(&mut self, sc: u32, key: &str, xml: String) -> Result<DeviceId> {
+        let mut net = self.net.lock().expect("net mutex poisoned");
+        let candidates_source: Vec<(DeviceId, usize)> = if self.config.allow_relays {
+            net.reachable(self.home)
+        } else {
+            net.nearby(self.home).into_iter().map(|d| (d, 1)).collect()
+        };
+        let mut candidates: Vec<(bool, usize, usize, DeviceId)> = candidates_source
+            .into_iter()
+            .filter_map(|(d, hops)| {
+                let profile = net.profile(d).ok()?;
+                let preferred = Some(profile.kind) == self.preferred_kind;
+                let free = net.free_storage(d).ok()?;
+                (free >= xml.len()).then_some((preferred, hops, free, d))
+            })
+            .collect();
+        // Highest preference first: preferred kind, then fewest hops, then
+        // most free space, then lowest id.
+        candidates.sort_by(|a, b| {
+            b.0.cmp(&a.0)
+                .then(a.1.cmp(&b.1))
+                .then(b.2.cmp(&a.2))
+                .then(a.3.cmp(&b.3))
+        });
+        let tried = candidates.len();
+        for (_, _, _, d) in candidates {
+            let sent = if self.config.allow_relays {
+                net.send_blob_routed(self.home, d, key, xml.clone())
+                    .map(|_| ())
+            } else {
+                net.send_blob(self.home, d, key, xml.clone()).map(|_| ())
+            };
+            match sent {
+                Ok(()) => return Ok(d),
+                Err(NetError::QuotaExceeded { .. })
+                | Err(NetError::InjectedFailure { .. })
+                | Err(NetError::NotConnected { .. })
+                | Err(NetError::Departed { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(SwapError::NoStorageDevice {
+            swap_cluster: sc,
+            tried,
+        })
+    }
+}

@@ -1,0 +1,199 @@
+//! Error type for the swapping layer.
+
+use obiwan_heap::HeapError;
+use obiwan_net::NetError;
+use obiwan_replication::ReplError;
+use std::fmt;
+
+/// Error produced by the Object-Swapping layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwapError {
+    /// Underlying replication / invocation error.
+    Repl(ReplError),
+    /// Underlying heap error.
+    Heap(HeapError),
+    /// Underlying network / blob-store error.
+    Net(NetError),
+    /// Underlying XML error while encoding or decoding a blob.
+    Xml(obiwan_xml::Error),
+    /// No nearby device could accept the swap-out (none reachable, or all
+    /// rejected the blob).
+    NoStorageDevice {
+        /// Swap-cluster that could not be evicted.
+        swap_cluster: u32,
+        /// Devices that were tried.
+        tried: usize,
+    },
+    /// Swap-cluster id is not registered.
+    UnknownSwapCluster {
+        /// The offending id.
+        swap_cluster: u32,
+    },
+    /// The swap-cluster is in the wrong state for the operation.
+    BadState {
+        /// Swap-cluster id.
+        swap_cluster: u32,
+        /// State name required.
+        expected: &'static str,
+        /// State name found.
+        actual: &'static str,
+    },
+    /// The blob could not be fetched back (storing device departed or
+    /// dropped it); the swapped data is lost.
+    DataLost {
+        /// Swap-cluster whose content is unreachable.
+        swap_cluster: u32,
+        /// Description of the underlying failure.
+        cause: String,
+    },
+    /// Malformed blob content.
+    Codec {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::Repl(e) => write!(f, "replication: {e}"),
+            SwapError::Heap(e) => write!(f, "heap: {e}"),
+            SwapError::Net(e) => write!(f, "net: {e}"),
+            SwapError::Xml(e) => write!(f, "xml: {e}"),
+            SwapError::NoStorageDevice {
+                swap_cluster,
+                tried,
+            } => write!(
+                f,
+                "no nearby device accepted swap-cluster {swap_cluster} ({tried} tried)"
+            ),
+            SwapError::UnknownSwapCluster { swap_cluster } => {
+                write!(f, "unknown swap-cluster {swap_cluster}")
+            }
+            SwapError::BadState {
+                swap_cluster,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "swap-cluster {swap_cluster} is {actual}, operation requires {expected}"
+            ),
+            SwapError::DataLost {
+                swap_cluster,
+                cause,
+            } => write!(f, "swap-cluster {swap_cluster} data lost: {cause}"),
+            SwapError::Codec { message } => write!(f, "blob codec: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwapError::Repl(e) => Some(e),
+            SwapError::Heap(e) => Some(e),
+            SwapError::Net(e) => Some(e),
+            SwapError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ReplError> for SwapError {
+    fn from(e: ReplError) -> Self {
+        SwapError::Repl(e)
+    }
+}
+
+impl From<HeapError> for SwapError {
+    fn from(e: HeapError) -> Self {
+        SwapError::Heap(e)
+    }
+}
+
+impl From<NetError> for SwapError {
+    fn from(e: NetError) -> Self {
+        SwapError::Net(e)
+    }
+}
+
+impl From<obiwan_xml::Error> for SwapError {
+    fn from(e: obiwan_xml::Error) -> Self {
+        SwapError::Xml(e)
+    }
+}
+
+impl SwapError {
+    /// Construct a codec error from anything displayable.
+    pub fn codec(message: impl fmt::Display) -> Self {
+        SwapError::Codec {
+            message: message.to_string(),
+        }
+    }
+
+    /// Lower this error into a [`ReplError`] for returning through the
+    /// interceptor interface.
+    pub fn into_repl(self) -> ReplError {
+        match self {
+            SwapError::Repl(e) => e,
+            SwapError::Heap(e) => ReplError::Heap(e),
+            other => ReplError::swap(other),
+        }
+    }
+
+    /// Whether the root cause is heap exhaustion.
+    pub fn is_out_of_memory(&self) -> bool {
+        match self {
+            SwapError::Heap(HeapError::OutOfMemory { .. }) => true,
+            SwapError::Repl(e) => e.is_out_of_memory(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_oom_detection() {
+        let heap_oom: SwapError = HeapError::OutOfMemory {
+            requested: 1,
+            used: 1,
+            capacity: 1,
+        }
+        .into();
+        assert!(heap_oom.is_out_of_memory());
+        let repl_oom: SwapError = ReplError::from(HeapError::OutOfMemory {
+            requested: 1,
+            used: 1,
+            capacity: 1,
+        })
+        .into();
+        assert!(repl_oom.is_out_of_memory());
+    }
+
+    #[test]
+    fn into_repl_does_not_double_wrap() {
+        let e = SwapError::Repl(ReplError::swap("inner"));
+        assert!(matches!(e.into_repl(), ReplError::Swap { .. }));
+        let h = SwapError::Heap(HeapError::NoSuchGlobal { name: "g".into() });
+        assert!(matches!(h.into_repl(), ReplError::Heap(_)));
+    }
+
+    #[test]
+    fn display_names_the_cluster() {
+        let e = SwapError::DataLost {
+            swap_cluster: 7,
+            cause: "device departed".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains("departed"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<SwapError>();
+    }
+}

@@ -1,0 +1,91 @@
+//! GC cooperation (paper §3, *Integration with GC Mechanisms*).
+//!
+//! "When a replacement-object, standing in for a swap-cluster that has been
+//! swapped-out, becomes unreachable, this means that all object replicas
+//! enclosed in it are already unreachable to the application. Therefore,
+//! the swapping device may be instructed to discard the XML text."
+//!
+//! The heap reports the death of finalizable objects through
+//! [`obiwan_heap::Heap::take_finalized`]; this module turns those records
+//! into blob drops (for replacement-objects) and table pruning (for
+//! swap-cluster-proxies, whose "finalizer invokes code that eliminates
+//! entries referring to it").
+
+use crate::swap_cluster::SwapClusterState;
+use crate::{Result, SwappingManager};
+use obiwan_heap::ObjectKind;
+use obiwan_replication::Process;
+
+impl SwappingManager {
+    /// Process the finalization records of the most recent collections:
+    /// instruct storing devices to drop blobs of dead swapped-out clusters
+    /// and prune dead proxies from the manager tables. Call after every
+    /// collection (the middleware's `run_gc` does).
+    ///
+    /// Returns the number of blobs dropped.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (drop failures are tolerated and counted), but
+    /// returns `Result` to allow stricter policies.
+    pub fn process_finalized(&mut self, p: &mut Process) -> Result<usize> {
+        let records = p.heap_mut().take_finalized();
+        let mut dropped = 0;
+        for fin in records {
+            match fin.kind {
+                ObjectKind::Replacement => {
+                    let sc = fin.swap_cluster;
+                    let Some(entry) = self.clusters.get_mut(&sc) else {
+                        continue;
+                    };
+                    if let SwapClusterState::SwappedOut { device, key, .. } =
+                        entry.state.clone()
+                    {
+                        let ok = {
+                            let mut net = self.net.lock().expect("net mutex poisoned");
+                            if self.config.allow_relays {
+                                net.drop_blob_routed(self.home, device, &key).is_ok()
+                            } else {
+                                net.drop_blob(self.home, device, &key).is_ok()
+                            }
+                        };
+                        if ok {
+                            self.stats.blobs_dropped += 1;
+                            dropped += 1;
+                        } else {
+                            // Device departed or already lost the blob: we
+                            // can only account for it.
+                            self.stats.drop_failures += 1;
+                        }
+                        entry.state = SwapClusterState::Dropped;
+                        for (oid, _) in entry.members.drain(..) {
+                            p.clear_swapped(oid);
+                        }
+                    }
+                }
+                ObjectKind::SwapProxy => {
+                    // fin.swap_cluster is the proxy's source, fin.oid its
+                    // target identity — exactly the reuse-table key. Only
+                    // remove if the slot is actually dead (the key may have
+                    // been re-bound to a newer proxy).
+                    let key = (fin.swap_cluster, fin.oid);
+                    if let Some(&w) = self.proxy_index.get(&key) {
+                        if p.heap().weak_get(w).is_none() {
+                            self.proxy_index.remove(&key);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Opportunistically prune dead weak entries from the per-cluster
+        // proxy lists (they accumulate as transient proxies die).
+        for list in self.inbound.values_mut() {
+            list.retain(|&w| p.heap().weak_get(w).is_some());
+        }
+        for list in self.outbound.values_mut() {
+            list.retain(|&w| p.heap().weak_get(w).is_some());
+        }
+        Ok(dropped)
+    }
+}

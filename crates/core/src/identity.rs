@@ -1,0 +1,127 @@
+//! Object identity across swap-cluster-proxies (paper §4, *Enforcing
+//! Object Identity*).
+//!
+//! An object referenced from two different swap-clusters is represented by
+//! two different swap-cluster-proxies, so raw reference comparison would
+//! deny their identity. The paper overloads C#'s `==` to compare what the
+//! proxies *refer to*; the equivalent here is [`same_object`], which
+//! resolves both sides to an [`IdentityKey`] before comparing.
+
+use crate::proxy;
+use crate::Result;
+use obiwan_heap::{ObjRef, ObjectKind, Oid};
+use obiwan_replication::Process;
+
+/// What a reference ultimately denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IdentityKey {
+    /// A replicated object, identified globally. Valid across swap-outs:
+    /// a proxy keeps its target's identity even while the target is
+    /// serialized on another device.
+    Oid(Oid),
+    /// A purely local object (middleware-internal or locally allocated,
+    /// identity 0): identified by its handle.
+    Handle(ObjRef),
+}
+
+/// Resolve a reference to its identity key, looking through
+/// swap-cluster-proxies and fault proxies.
+///
+/// # Errors
+///
+/// Heap errors for dangling references.
+pub fn identity_key(p: &Process, r: ObjRef) -> Result<IdentityKey> {
+    let obj = p.heap().get(r)?;
+    let oid = match obj.kind() {
+        ObjectKind::SwapProxy => proxy::oid_of(p, r)?,
+        // Fault proxies and replicas both carry the identity in the header;
+        // replacement-objects have identity 0 and fall through to Handle.
+        _ => obj.header().oid,
+    };
+    if oid.0 != 0 {
+        Ok(IdentityKey::Oid(oid))
+    } else {
+        Ok(IdentityKey::Handle(r))
+    }
+}
+
+/// The paper's overloaded `==`: do two references denote the same object,
+/// even when one or both are (distinct) swap-cluster-proxies?
+///
+/// # Errors
+///
+/// Heap errors for dangling references.
+pub fn same_object(p: &Process, a: ObjRef, b: ObjRef) -> Result<bool> {
+    Ok(identity_key(p, a)? == identity_key(p, b)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::create;
+    use obiwan_replication::{standard_classes, ReplConfig, Server};
+
+    fn process() -> (Process, ObjRef) {
+        let u = standard_classes();
+        let mut server = Server::new(u.clone());
+        let head = server.build_list("Node", 2, 4).unwrap();
+        let mut p = Process::new(u, server.into_shared(), 1 << 20, ReplConfig::default());
+        let root = p.replicate_root(head).unwrap();
+        (p, root)
+    }
+
+    #[test]
+    fn two_proxies_for_one_object_are_identical() {
+        let (mut p, node) = process();
+        let oid = p.heap().get(node).unwrap().header().oid;
+        let p1 = create(&mut p, 1, node, oid).unwrap();
+        let p2 = create(&mut p, 2, node, oid).unwrap();
+        assert_ne!(p1, p2, "distinct proxy objects");
+        assert!(same_object(&p, p1, p2).unwrap());
+        assert!(same_object(&p, p1, node).unwrap());
+        assert!(same_object(&p, node, node).unwrap());
+    }
+
+    #[test]
+    fn different_objects_are_not_identical() {
+        let (p, root) = process();
+        let second = p
+            .field_value(root, "next")
+            .unwrap()
+            .expect_ref()
+            .unwrap();
+        assert!(!same_object(&p, root, second).unwrap());
+    }
+
+    #[test]
+    fn local_objects_compare_by_handle() {
+        let (mut p, _root) = process();
+        let class = p.universe().registry.class_id("Node").unwrap();
+        let a = p.heap_mut().alloc(class, ObjectKind::App).unwrap();
+        let b = p.heap_mut().alloc(class, ObjectKind::App).unwrap();
+        assert!(same_object(&p, a, a).unwrap());
+        assert!(!same_object(&p, a, b).unwrap());
+        assert_eq!(identity_key(&p, a).unwrap(), IdentityKey::Handle(a));
+    }
+
+    #[test]
+    fn fault_proxy_matches_its_future_replica_identity() {
+        let u = standard_classes();
+        let mut server = Server::new(u.clone());
+        let head = server.build_list("Node", 4, 4).unwrap();
+        let mut p = Process::new(
+            u,
+            server.into_shared(),
+            1 << 20,
+            ReplConfig::with_cluster_size(2),
+        );
+        let root = p.replicate_root(head).unwrap();
+        let second = p.field_value(root, "next").unwrap().expect_ref().unwrap();
+        let fp = p.field_value(second, "next").unwrap().expect_ref().unwrap();
+        assert_eq!(p.heap().get(fp).unwrap().kind(), ObjectKind::FaultProxy);
+        assert_eq!(
+            identity_key(&p, fp).unwrap(),
+            IdentityKey::Oid(Oid(head.0 + 2))
+        );
+    }
+}

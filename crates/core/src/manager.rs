@@ -1,0 +1,602 @@
+//! The SwappingManager (paper §4): swap-cluster bookkeeping, the proxy
+//! interception rules, and crossing statistics.
+//!
+//! The manager "is registered as a listener of all events regarding
+//! replication of clusters of objects" (here: as the [`Interceptor`] of the
+//! replication [`Process`]), "manages swapping by maintaining information
+//! regarding all swap-clusters (loaded or swapped), and all objects
+//! belonging to each one, stored in hash-tables. It also contains entries
+//! for all swap-cluster-proxies w.r.t. references to/from each swap-cluster
+//! (using weak-references)."
+
+use crate::proxy;
+use crate::swap_cluster::{SwapClusterEntry, SwapClusterState};
+use crate::{Result, SwapConfig, SwapError, VictimPolicy};
+use obiwan_heap::{ObjRef, ObjectKind, Oid, WeakRef};
+use obiwan_net::{DeviceId, DeviceKind, SimNet};
+use obiwan_policy::PolicyEvent;
+use obiwan_replication::{ClusterInfo, Interceptor, Process, ReplError, Resolved};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A shared simulated world.
+pub type SharedNet = Arc<Mutex<SimNet>>;
+
+/// A manager shared between the middleware facade and the process's
+/// interceptor shim.
+pub type SharedManager = Arc<Mutex<SwappingManager>>;
+
+/// Cumulative swapping statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwapStats {
+    /// Swap-out operations completed.
+    pub swap_outs: u64,
+    /// Swap-in (reload) operations completed.
+    pub swap_ins: u64,
+    /// Blobs dropped on storing devices (GC cooperation + eager reload
+    /// drops).
+    pub blobs_dropped: u64,
+    /// Blob drops that could not reach the storing device.
+    pub drop_failures: u64,
+    /// Swap-cluster-proxies created (rule i).
+    pub proxies_created: u64,
+    /// Proxy reuses via the (source, target) table (rule ii).
+    pub proxies_reused: u64,
+    /// Proxies dismantled because the reference re-entered its own cluster
+    /// (rule iii).
+    pub proxies_dismantled: u64,
+    /// Self-patches performed by assign-marked proxies (the iteration
+    /// optimization).
+    pub assign_patches: u64,
+    /// Boundary crossings observed.
+    pub crossings: u64,
+    /// Payload bytes shipped out / fetched back.
+    pub bytes_swapped_out: u64,
+    /// Payload bytes fetched back on reloads.
+    pub bytes_swapped_in: u64,
+}
+
+/// The swapping manager. One per device process; installed as the
+/// process's [`Interceptor`] through the interceptor shim the middleware
+/// builder wires up.
+#[derive(Debug)]
+pub struct SwappingManager {
+    pub(crate) config: SwapConfig,
+    pub(crate) net: SharedNet,
+    /// The device this manager runs on (the memory-constrained one).
+    pub(crate) home: DeviceId,
+    /// Swap-cluster registry.
+    pub(crate) clusters: HashMap<u32, SwapClusterEntry>,
+    /// Proxy reuse table: (source swap-cluster, target identity) → proxy.
+    pub(crate) proxy_index: HashMap<(u32, Oid), WeakRef>,
+    /// Proxies whose *target* lives in the keyed swap-cluster (inbound).
+    pub(crate) inbound: HashMap<u32, Vec<WeakRef>>,
+    /// Proxies whose *source* is the keyed swap-cluster (outbound).
+    pub(crate) outbound: HashMap<u32, Vec<WeakRef>>,
+    /// Mapping replication cluster → swap-cluster (grouping).
+    repl_to_sc: HashMap<u32, u32>,
+    next_sc: u32,
+    /// Logical clock for recency statistics.
+    crossing_clock: u64,
+    /// Round-robin victim cursor.
+    pub(crate) victim_cursor: u32,
+    /// Device kind preferred as swap target (set by policies).
+    pub(crate) preferred_kind: Option<DeviceKind>,
+    pub(crate) stats: SwapStats,
+    /// Events for the policy engine, drained by the middleware.
+    pub(crate) events: Vec<PolicyEvent>,
+    /// Blobs stored on neighbours that no longer back any swap-cluster
+    /// (a swap-out failed after its blob was stored); dropped
+    /// opportunistically.
+    pub(crate) orphaned_blobs: Vec<(DeviceId, String)>,
+}
+
+impl SwappingManager {
+    /// Create a manager for the device `home` in the shared world `net`.
+    pub fn new(config: SwapConfig, net: SharedNet, home: DeviceId) -> Self {
+        SwappingManager {
+            config,
+            net,
+            home,
+            clusters: HashMap::new(),
+            proxy_index: HashMap::new(),
+            inbound: HashMap::new(),
+            outbound: HashMap::new(),
+            repl_to_sc: HashMap::new(),
+            next_sc: 1,
+            crossing_clock: 0,
+            victim_cursor: 0,
+            preferred_kind: None,
+            stats: SwapStats::default(),
+            events: Vec::new(),
+            orphaned_blobs: Vec::new(),
+        }
+    }
+
+    /// Try to drop blobs orphaned by failed swap-outs (best effort; a
+    /// departed device keeps its orphan until it returns).
+    pub fn sweep_orphaned_blobs(&mut self) -> usize {
+        let mut net = self.net.lock().expect("net mutex poisoned");
+        let home = self.home;
+        let before = self.orphaned_blobs.len();
+        self.orphaned_blobs
+            .retain(|(device, key)| net.drop_blob(home, *device, key).is_err());
+        before - self.orphaned_blobs.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SwapConfig {
+        self.config
+    }
+
+    /// Change the victim policy at runtime.
+    pub fn set_victim_policy(&mut self, policy: VictimPolicy) {
+        self.config.victim_policy = policy;
+    }
+
+    /// Prefer a device kind when choosing swap targets.
+    pub fn set_preferred_kind(&mut self, kind: Option<DeviceKind>) {
+        self.preferred_kind = kind;
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SwapStats {
+        self.stats
+    }
+
+    /// Drain policy events.
+    pub fn take_events(&mut self) -> Vec<PolicyEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Registry entry of a swap-cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::UnknownSwapCluster`].
+    pub fn cluster(&self, sc: u32) -> Result<&SwapClusterEntry> {
+        self.clusters
+            .get(&sc)
+            .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })
+    }
+
+    /// Ids of all registered swap-clusters (unordered).
+    pub fn cluster_ids(&self) -> Vec<u32> {
+        self.clusters.keys().copied().collect()
+    }
+
+    /// Ids of swap-clusters currently loaded.
+    pub fn loaded_clusters(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .clusters
+            .iter()
+            .filter(|(_, e)| e.is_loaded())
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Ids of swap-clusters currently swapped out.
+    pub fn swapped_clusters(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .clusters
+            .iter()
+            .filter(|(_, e)| matches!(e.state, SwapClusterState::SwappedOut { .. }))
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Choose a victim among loaded swap-clusters per the configured
+    /// policy; `None` when nothing is evictable.
+    pub fn pick_victim(&mut self) -> Option<u32> {
+        let pick = self.config.victim_policy.choose(
+            self.clusters.iter().map(|(id, e)| (*id, e)),
+            self.victim_cursor,
+        );
+        if let Some(id) = pick {
+            self.victim_cursor = id;
+        }
+        pick
+    }
+
+    // --- Swap-cluster assignment (replication listener) ---------------------
+
+    /// The swap-cluster a replication cluster belongs to, creating the
+    /// grouping lazily: `clusters_per_swap_cluster` consecutive replication
+    /// clusters share one swap-cluster.
+    fn sc_for_repl_cluster(&mut self, repl_cluster: u32) -> u32 {
+        if let Some(&sc) = self.repl_to_sc.get(&repl_cluster) {
+            return sc;
+        }
+        let group = repl_cluster / self.config.clusters_per_swap_cluster as u32;
+        let sc = group + 1; // 0 is reserved for swap-cluster-0
+        self.next_sc = self.next_sc.max(sc + 1);
+        self.repl_to_sc.insert(repl_cluster, sc);
+        self.clusters.entry(sc).or_default();
+        sc
+    }
+
+    fn note_crossing(&mut self, sc: u32) {
+        self.crossing_clock += 1;
+        self.stats.crossings += 1;
+        if let Some(e) = self.clusters.get_mut(&sc) {
+            e.crossings += 1;
+            e.last_crossing = self.crossing_clock;
+        }
+    }
+
+    // --- The proxy rules ------------------------------------------------------
+
+    /// Get or create the swap-cluster-proxy mediating a *graph edge*:
+    /// a field of `source_sc` referencing `target` (identity `oid`).
+    /// Edges reuse one proxy per (source, target) pair — the paper's "when
+    /// there are multiple references to the same object, across the same
+    /// pair of swap-clusters, only a swap-cluster-proxy is required"
+    /// (rules i and ii).
+    pub(crate) fn proxy_for(
+        &mut self,
+        p: &mut Process,
+        source_sc: u32,
+        target: ObjRef,
+        oid: Oid,
+    ) -> Result<ObjRef> {
+        if let Some(&weak) = self.proxy_index.get(&(source_sc, oid)) {
+            if let Some(existing) = p.heap().weak_get(weak) {
+                self.stats.proxies_reused += 1;
+                return Ok(existing);
+            }
+            self.proxy_index.remove(&(source_sc, oid));
+        }
+        let proxy = self.proxy_fresh(p, source_sc, target, oid)?;
+        let weak = p.heap_mut().weak_ref(proxy)?;
+        self.proxy_index.insert((source_sc, oid), weak);
+        Ok(proxy)
+    }
+
+    /// Create a fresh proxy for a *transient* delivery (a reference handed
+    /// as an argument or return value). The paper's Tests B1/A2 hinge on
+    /// these being created per reference and "later reclaimed by the LGC" —
+    /// they are never entered into the edge-reuse index.
+    pub(crate) fn proxy_fresh(
+        &mut self,
+        p: &mut Process,
+        source_sc: u32,
+        target: ObjRef,
+        oid: Oid,
+    ) -> Result<ObjRef> {
+        let proxy = proxy::create(p, source_sc, target, oid)?;
+        let weak = p.heap_mut().weak_ref(proxy)?;
+        let target_sc = p.heap().get(target)?.header().swap_cluster;
+        self.inbound.entry(target_sc).or_default().push(weak);
+        self.outbound.entry(source_sc).or_default().push(weak);
+        self.stats.proxies_created += 1;
+        Ok(proxy)
+    }
+
+    /// Deliver `target` (identity `oid`) into the context of `to_sc`,
+    /// honoring an assign-marked entry proxy (the iteration optimization:
+    /// the marked proxy patches itself and is returned instead of a fresh
+    /// proxy).
+    fn deliver_cross(
+        &mut self,
+        p: &mut Process,
+        to_sc: u32,
+        target: ObjRef,
+        oid: Oid,
+        entry_proxy: Option<ObjRef>,
+    ) -> Result<ObjRef> {
+        if let Some(ep) = entry_proxy {
+            if p.heap().is_live(ep)
+                && proxy::assign_mark_of(p, ep)?
+                && proxy::source_of(p, ep)? == to_sc
+            {
+                // A marked proxy is a private iterator variable: it patches
+                // itself and is never entered into the reuse index (other
+                // holders must not alias an object that re-targets under
+                // them).
+                let prev_target = proxy::target_of(p, ep)?;
+                let prev_sc = p
+                    .heap()
+                    .get(prev_target)
+                    .map(|o| o.header().swap_cluster)
+                    .unwrap_or(u32::MAX);
+                proxy::retarget(p, ep, target, oid)?;
+                let target_sc = p.heap().get(target)?.header().swap_cluster;
+                if target_sc != prev_sc {
+                    // Crossing into a new cluster: (re-)register as inbound
+                    // there so swap-out / reload keep patching it.
+                    let weak = p.heap_mut().weak_ref(ep)?;
+                    self.inbound.entry(target_sc).or_default().push(weak);
+                }
+                self.stats.assign_patches += 1;
+                return Ok(ep);
+            }
+        }
+        self.proxy_fresh(p, to_sc, target, oid)
+    }
+
+    /// The complete transfer rule for a reference moving into `to_sc`.
+    pub(crate) fn transfer(
+        &mut self,
+        p: &mut Process,
+        r: ObjRef,
+        to_sc: u32,
+        entry_proxy: Option<ObjRef>,
+    ) -> Result<ObjRef> {
+        let (kind, r_sc, r_oid) = {
+            let o = p.heap().get(r)?;
+            (o.kind(), o.header().swap_cluster, o.header().oid)
+        };
+        match kind {
+            // Not replicated yet: swap mediation happens at replication.
+            ObjectKind::FaultProxy => Ok(r),
+            ObjectKind::App | ObjectKind::Replacement => {
+                if r_sc == to_sc {
+                    Ok(r)
+                } else {
+                    self.deliver_cross(p, to_sc, r, r_oid, entry_proxy)
+                }
+            }
+            ObjectKind::SwapProxy => {
+                let target = proxy::target_of(p, r)?;
+                let target_sc = p.heap().get(target)?.header().swap_cluster;
+                if target_sc == to_sc {
+                    // Rule (iii): the reference re-enters its own cluster.
+                    self.stats.proxies_dismantled += 1;
+                    Ok(target)
+                } else if proxy::source_of(p, r)? == to_sc {
+                    // Already the right mediator for this context.
+                    Ok(r)
+                } else {
+                    let oid = proxy::oid_of(p, r)?;
+                    self.deliver_cross(p, to_sc, target, oid, entry_proxy)
+                }
+            }
+        }
+    }
+
+    /// Create a dedicated iterator proxy for application code: a fresh
+    /// swap-cluster-0 proxy denoting the same object as `r`, assign-marked
+    /// so it patches itself as the iteration advances (paper §4: the
+    /// marked proxy "was indeed the actual variable"). The proxy is kept
+    /// out of the reuse index — it is private to the iterating variable.
+    ///
+    /// # Errors
+    ///
+    /// Heap errors, or [`SwapError::Codec`] when `r` does not denote an
+    /// application object.
+    pub fn make_cursor(&mut self, p: &mut Process, r: ObjRef) -> Result<ObjRef> {
+        let (target, oid) = match p.heap().get(r)?.kind() {
+            ObjectKind::SwapProxy => (proxy::target_of(p, r)?, proxy::oid_of(p, r)?),
+            ObjectKind::App => (r, p.heap().get(r)?.header().oid),
+            other => {
+                return Err(SwapError::codec(format!(
+                    "cannot build an iterator over a {other} object"
+                )))
+            }
+        };
+        let cursor = proxy::create(p, 0, target, oid)?;
+        proxy::set_assign_mark(p, cursor, true)?;
+        let target_sc = p.heap().get(target)?.header().swap_cluster;
+        let weak = p.heap_mut().weak_ref(cursor)?;
+        self.inbound.entry(target_sc).or_default().push(weak);
+        self.stats.proxies_created += 1;
+        Ok(cursor)
+    }
+
+    /// Assign-mark a swap-cluster-proxy held by application code — the
+    /// paper's `SwapClusterUtils.assign` (§4). Only proxies with source in
+    /// swap-cluster-0 may be marked.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::Codec`] when `r` is not a swap-cluster-proxy, or its
+    /// source is not swap-cluster-0.
+    pub fn assign(&mut self, p: &mut Process, r: ObjRef) -> Result<()> {
+        if p.heap().get(r)?.kind() != ObjectKind::SwapProxy {
+            return Err(SwapError::codec(
+                "assign() takes a swap-cluster-proxy reference",
+            ));
+        }
+        if proxy::source_of(p, r)? != 0 {
+            return Err(SwapError::codec(
+                "assign() is only valid for proxies held by application \
+                 code (source swap-cluster-0)",
+            ));
+        }
+        proxy::set_assign_mark(p, r, true)
+    }
+
+    // --- Interceptor entry points (called via the shim) ----------------------
+
+    pub(crate) fn on_cluster_replicated(
+        &mut self,
+        p: &mut Process,
+        info: &ClusterInfo,
+    ) -> Result<()> {
+        let sc = self.sc_for_repl_cluster(info.repl_cluster);
+        // Tag members and register them.
+        let mut bytes = 0;
+        for &m in &info.members {
+            let size = p.heap().get(m)?.size();
+            bytes += size;
+            let h = p.heap_mut().get_mut(m)?.header_mut();
+            h.swap_cluster = sc;
+            let oid = h.oid;
+            let entry = self.clusters.entry(sc).or_default();
+            entry.members.push((oid, m));
+        }
+        let entry = self.clusters.entry(sc).or_default();
+        entry.bytes += bytes;
+        // Re-mediate references:
+        // 1. fresh member fields that point out of the swap-cluster;
+        for &m in &info.members {
+            let field_count = p.heap().get(m)?.fields().len();
+            for idx in 0..field_count {
+                self.mediate_slot(p, m, sc, idx)?;
+            }
+        }
+        // 2. older holders whose fault proxy was just replaced by a member;
+        for &(holder, idx) in &info.patched_fields {
+            if !p.heap().is_live(holder) {
+                continue;
+            }
+            let holder_sc = p.heap().get(holder)?.header().swap_cluster;
+            self.mediate_slot(p, holder, holder_sc, idx)?;
+        }
+        // 3. globals (swap-cluster-0) whose fault proxy was just replaced.
+        for name in &info.patched_globals {
+            let Ok(value) = p.global(name) else { continue };
+            if let obiwan_heap::Value::Ref(t) = value {
+                let t_obj = p.heap().get(t)?;
+                if t_obj.kind() == ObjectKind::App && t_obj.header().swap_cluster != 0 {
+                    let oid = t_obj.header().oid;
+                    let sc_of_t = t_obj.header().swap_cluster;
+                    let _ = sc_of_t;
+                    let proxy = self.proxy_for(p, 0, t, oid)?;
+                    p.set_global(name.clone(), obiwan_heap::Value::Ref(proxy));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Wrap one slot of `holder` (which lives in `holder_sc`) if it holds a
+    /// direct cross-swap-cluster reference.
+    fn mediate_slot(
+        &mut self,
+        p: &mut Process,
+        holder: ObjRef,
+        holder_sc: u32,
+        idx: usize,
+    ) -> Result<()> {
+        let value = p.heap().get(holder)?.fields()[idx].clone();
+        let obiwan_heap::Value::Ref(t) = value else {
+            return Ok(());
+        };
+        let (t_kind, t_sc, t_oid) = {
+            let o = p.heap().get(t)?;
+            (o.kind(), o.header().swap_cluster, o.header().oid)
+        };
+        match t_kind {
+            ObjectKind::App | ObjectKind::Replacement if t_sc != holder_sc => {
+                let proxy = self.proxy_for(p, holder_sc, t, t_oid)?;
+                p.heap_mut()
+                    .set_any_field(holder, idx, obiwan_heap::Value::Ref(proxy))?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    pub(crate) fn on_resolve_invocable(
+        &mut self,
+        p: &mut Process,
+        obj: ObjRef,
+    ) -> Result<Resolved> {
+        match p.heap().get(obj)?.kind() {
+            ObjectKind::SwapProxy => {
+                let mut target = proxy::target_of(p, obj)?;
+                if p.heap().get(target)?.kind() == ObjectKind::Replacement {
+                    let sc = p.heap().get(target)?.header().swap_cluster;
+                    self.swap_in(p, sc)?;
+                    target = proxy::target_of(p, obj)?;
+                }
+                let target_sc = p.heap().get(target)?.header().swap_cluster;
+                self.note_crossing(target_sc);
+                if p.heap().get(target)?.kind() != ObjectKind::App {
+                    return Err(SwapError::codec(format!(
+                        "swap-cluster-proxy target did not resolve to an \
+                         application object (found {})",
+                        p.heap().get(target)?.kind()
+                    )));
+                }
+                Ok(Resolved {
+                    target,
+                    entry_proxy: Some(obj),
+                })
+            }
+            ObjectKind::Replacement => Err(SwapError::codec(
+                "a replacement-object was invoked directly; references to \
+                 swapped objects must be mediated by swap-cluster-proxies",
+            )),
+            other => Err(SwapError::codec(format!(
+                "resolve_invocable called on a {other} object"
+            ))),
+        }
+    }
+}
+
+/// The adapter installing a [`SwappingManager`] as a replication
+/// [`Interceptor`]. Holds the shared handle; the middleware keeps the
+/// other.
+#[derive(Debug, Clone)]
+pub struct InterceptorShim(pub SharedManager);
+
+impl Interceptor for InterceptorShim {
+    fn cluster_replicated(
+        &mut self,
+        p: &mut Process,
+        info: &ClusterInfo,
+    ) -> obiwan_replication::Result<()> {
+        self.0
+            .lock()
+            .expect("manager mutex poisoned")
+            .on_cluster_replicated(p, info)
+            .map_err(SwapError::into_repl)
+    }
+
+    fn resolve_invocable(
+        &mut self,
+        p: &mut Process,
+        obj: ObjRef,
+    ) -> obiwan_replication::Result<Resolved> {
+        self.0
+            .lock()
+            .expect("manager mutex poisoned")
+            .on_resolve_invocable(p, obj)
+            .map_err(SwapError::into_repl)
+    }
+
+    fn transfer_ref(
+        &mut self,
+        p: &mut Process,
+        r: ObjRef,
+        to_sc: u32,
+        entry_proxy: Option<ObjRef>,
+    ) -> obiwan_replication::Result<ObjRef> {
+        self.0
+            .lock()
+            .expect("manager mutex poisoned")
+            .transfer(p, r, to_sc, entry_proxy)
+            .map_err(SwapError::into_repl)
+    }
+
+    fn resolve_swapped(
+        &mut self,
+        p: &mut Process,
+        oid: Oid,
+    ) -> obiwan_replication::Result<Option<ObjRef>> {
+        let mut manager = self.0.lock().expect("manager mutex poisoned");
+        let Some(replacement) = p.swapped_replacement(oid) else {
+            return Ok(None);
+        };
+        let sc = p
+            .heap()
+            .get(replacement)
+            .map_err(|e| SwapError::from(e).into_repl())?
+            .header()
+            .swap_cluster;
+        manager.swap_in(p, sc).map_err(SwapError::into_repl)?;
+        Ok(p.lookup_replica(oid))
+    }
+}
+
+/// Map a [`ReplError`] from an inner invocation back into a [`SwapError`],
+/// used by middleware convenience wrappers.
+pub(crate) fn repl_to_swap(e: ReplError) -> SwapError {
+    SwapError::Repl(e)
+}

@@ -1,0 +1,254 @@
+//! Swap-in: reload a swapped-out cluster from its storing device
+//! (paper §3, *Swap-Cluster Reload*).
+
+use crate::codec::{self, BlobField};
+use crate::swap_cluster::SwapClusterState;
+use crate::{proxy, Result, SwapError, SwappingManager};
+use obiwan_heap::{ObjRef, ObjectKind, Oid, Value};
+use obiwan_net::NetError;
+use obiwan_policy::PolicyEvent;
+use obiwan_replication::Process;
+use std::collections::HashMap;
+
+impl SwappingManager {
+    /// Reload swap-cluster `sc` from the device it was swapped to:
+    ///
+    /// 1. fetch and decode the XML blob;
+    /// 2. rematerialize the member replicas (identity, class, payloads);
+    /// 3. reconnect references: in-cluster refs directly, outbound refs to
+    ///    the surviving swap-cluster-proxies held by the replacement-object,
+    ///    references to never-replicated objects as fault proxies;
+    /// 4. patch every inbound swap-cluster-proxy back from the
+    ///    replacement-object to the fresh replicas;
+    /// 5. retire the replacement-object (it becomes garbage) and optionally
+    ///    drop the blob on the storing device.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::UnknownSwapCluster`], [`SwapError::BadState`] unless
+    /// swapped out, [`SwapError::DataLost`] when the storing device is gone
+    /// or no longer holds the blob (the cluster stays swapped out so the
+    /// operation can be retried if the device returns), plus codec / heap
+    /// errors (out-of-memory leaves the cluster swapped out and the graph
+    /// untouched).
+    pub fn swap_in(&mut self, p: &mut Process, sc: u32) -> Result<usize> {
+        let (device, key, replacement) = {
+            let entry = self
+                .clusters
+                .get(&sc)
+                .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
+            match &entry.state {
+                SwapClusterState::SwappedOut {
+                    device,
+                    key,
+                    replacement,
+                } => (*device, key.clone(), *replacement),
+                other => {
+                    return Err(SwapError::BadState {
+                        swap_cluster: sc,
+                        expected: "swapped-out",
+                        actual: other.name(),
+                    })
+                }
+            }
+        };
+        let xml = {
+            let mut net = self.net.lock().expect("net mutex poisoned");
+            let fetched = if self.config.allow_relays {
+                net.fetch_blob_routed(self.home, device, &key)
+                    .map(|(_, text)| text)
+            } else {
+                net.fetch_blob(self.home, device, &key)
+            };
+            match fetched {
+                Ok(xml) => xml,
+                Err(
+                    e @ (NetError::Departed { .. }
+                    | NetError::UnknownBlob { .. }
+                    | NetError::NotConnected { .. }),
+                ) => {
+                    return Err(SwapError::DataLost {
+                        swap_cluster: sc,
+                        cause: e.to_string(),
+                    })
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        let blob_bytes = xml.len();
+        let blob = codec::decode(&xml)?;
+        if blob.swap_cluster != sc {
+            return Err(SwapError::codec(format!(
+                "blob `{key}` labels itself swap-cluster {}, expected {sc}",
+                blob.swap_cluster
+            )));
+        }
+
+        // Pass 1: rematerialize members.
+        let mut member_map: HashMap<Oid, ObjRef> = HashMap::new();
+        let mut members: Vec<(Oid, ObjRef)> = Vec::with_capacity(blob.objects.len());
+        for bo in &blob.objects {
+            let class = p.universe().registry.class_id(&bo.class)?;
+            let r = match p.heap_mut().alloc(class, ObjectKind::App) {
+                Ok(r) => r,
+                Err(e) => {
+                    // Nothing registered yet; the orphan allocations are
+                    // reclaimed by the next collection. State unchanged.
+                    return Err(e.into());
+                }
+            };
+            {
+                let h = p.heap_mut().get_mut(r)?.header_mut();
+                h.oid = bo.oid;
+                h.repl_cluster = bo.repl_cluster;
+                h.swap_cluster = sc;
+            }
+            member_map.insert(bo.oid, r);
+            members.push((bo.oid, r));
+        }
+
+        // The outbound proxies kept alive by the replacement-object.
+        let outbound_by_oid: HashMap<Oid, ObjRef> = {
+            let extras = p.heap().extra_fields(replacement)?.to_vec();
+            extras
+                .iter()
+                .filter_map(|v| v.as_ref_value())
+                .filter(|r| {
+                    p.heap()
+                        .get(*r)
+                        .map(|o| o.kind() == ObjectKind::SwapProxy)
+                        .unwrap_or(false)
+                })
+                .map(|r| Ok((proxy::oid_of(p, r)?, r)))
+                .collect::<Result<_>>()?
+        };
+
+        // Pass 2: reconnect fields.
+        for (bo, &(_, r)) in blob.objects.iter().zip(&members) {
+            for (idx, field) in &bo.fields {
+                let value = match field {
+                    BlobField::Scalar(v) => v.clone(),
+                    BlobField::MemberRef(oid) => Value::Ref(
+                        member_map
+                            .get(oid)
+                            .copied()
+                            .ok_or_else(|| {
+                                SwapError::codec(format!(
+                                    "blob references member {oid} which it does not contain"
+                                ))
+                            })?,
+                    ),
+                    BlobField::ProxyRef(oid) => {
+                        Value::Ref(self.reconnect_proxy_ref(p, sc, *oid, &outbound_by_oid)?)
+                    }
+                    BlobField::FaultRef(oid) => {
+                        Value::Ref(self.reconnect_fault_ref(p, sc, *oid, &member_map)?)
+                    }
+                };
+                p.heap_mut().set_any_field(r, *idx, value)?;
+            }
+        }
+
+        // Pass 3: patch inbound proxies back to the fresh replicas.
+        let inbound = self.inbound.get(&sc).cloned().unwrap_or_default();
+        for w in inbound {
+            let Some(pr) = p.heap().weak_get(w) else { continue };
+            let oid = proxy::oid_of(p, pr)?;
+            if let Some(&m) = member_map.get(&oid) {
+                let mw = p.universe().middleware;
+                p.heap_mut().set_field(pr, mw.sp_target, Value::Ref(m))?;
+            }
+        }
+
+        // Pass 4: registration and entry bookkeeping.
+        let mut bytes = 0;
+        for &(oid, m) in &members {
+            p.register_replica(oid, m);
+            p.clear_swapped(oid);
+            bytes += p.heap().get(m)?.size();
+        }
+        {
+            let entry = self.clusters.get_mut(&sc).expect("entry exists");
+            entry.members = members;
+            entry.bytes = bytes;
+            entry.state = SwapClusterState::Loaded;
+        }
+
+        // The replacement-object is no longer needed: nothing in the
+        // application graph references it, so it is garbage; neutralize its
+        // finalizer so its collection does not instruct a second drop.
+        if p.heap().is_live(replacement) {
+            p.heap_mut().get_mut(replacement)?.header_mut().finalize = false;
+        }
+        if self.config.drop_blob_on_reload {
+            let mut net = self.net.lock().expect("net mutex poisoned");
+            let dropped = if self.config.allow_relays {
+                net.drop_blob_routed(self.home, device, &key)
+            } else {
+                net.drop_blob(self.home, device, &key)
+            };
+            match dropped {
+                Ok(()) => self.stats.blobs_dropped += 1,
+                Err(_) => self.stats.drop_failures += 1,
+            }
+        }
+        self.stats.swap_ins += 1;
+        self.stats.bytes_swapped_in += blob_bytes as u64;
+        self.events.push(PolicyEvent::SwappedIn {
+            swap_cluster: sc as i64,
+        });
+        Ok(blob_bytes)
+    }
+
+    /// Reconnect a member field that was mediated by an outbound proxy.
+    fn reconnect_proxy_ref(
+        &mut self,
+        p: &mut Process,
+        sc: u32,
+        oid: Oid,
+        outbound_by_oid: &HashMap<Oid, ObjRef>,
+    ) -> Result<ObjRef> {
+        if let Some(&pr) = outbound_by_oid.get(&oid) {
+            return Ok(pr);
+        }
+        // The proxy is gone (e.g. it was re-targeted by the iteration
+        // optimization); rebuild the mediation from the target's identity.
+        if let Some(t) = p.lookup_replica(oid) {
+            let t_sc = p.heap().get(t)?.header().swap_cluster;
+            if t_sc == sc {
+                return Ok(t);
+            }
+            return self.proxy_for(p, sc, t, oid);
+        }
+        if let Some(rep) = p.swapped_replacement(oid) {
+            return self.proxy_for(p, sc, rep, oid);
+        }
+        Ok(p.ensure_fault_proxy(oid)?)
+    }
+
+    /// Reconnect a member field that referenced a not-yet-replicated
+    /// identity at swap-out time. The identity may have been replicated —
+    /// or even swapped — in the meantime.
+    fn reconnect_fault_ref(
+        &mut self,
+        p: &mut Process,
+        sc: u32,
+        oid: Oid,
+        member_map: &HashMap<Oid, ObjRef>,
+    ) -> Result<ObjRef> {
+        if let Some(&m) = member_map.get(&oid) {
+            return Ok(m);
+        }
+        if let Some(t) = p.lookup_replica(oid) {
+            let t_sc = p.heap().get(t)?.header().swap_cluster;
+            if t_sc == sc {
+                return Ok(t);
+            }
+            return self.proxy_for(p, sc, t, oid);
+        }
+        if let Some(rep) = p.swapped_replacement(oid) {
+            return self.proxy_for(p, sc, rep, oid);
+        }
+        Ok(p.ensure_fault_proxy(oid)?)
+    }
+}

@@ -1,0 +1,148 @@
+//! Victim selection: which swap-cluster to evict under pressure.
+
+use crate::swap_cluster::{SwapClusterEntry, SwapClusterState};
+
+/// Policy deciding which loaded swap-cluster is detached when memory must
+/// be freed. The manager's boundary-crossing statistics ("basic data w.r.t.
+/// recency and frequency, as these boundaries are transversed by the
+/// application", paper §3) feed the recency/frequency policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimPolicy {
+    /// Evict the cluster whose boundary was crossed longest ago.
+    #[default]
+    LeastRecentlyUsed,
+    /// Evict the cluster with the fewest boundary crossings.
+    LeastFrequentlyUsed,
+    /// Evict the cluster occupying the most bytes (frees the most memory
+    /// per swap).
+    LargestFirst,
+    /// Evict clusters cyclically by id (baseline for the ablation).
+    RoundRobin,
+}
+
+impl VictimPolicy {
+    /// Pick a victim among `candidates` (id, entry) pairs; all candidates
+    /// must be in the `Loaded` state. `cursor` is the round-robin memory
+    /// (last evicted id). Returns the chosen id.
+    pub fn choose<'a>(
+        self,
+        candidates: impl Iterator<Item = (u32, &'a SwapClusterEntry)>,
+        cursor: u32,
+    ) -> Option<u32> {
+        let loaded: Vec<(u32, &SwapClusterEntry)> = candidates
+            .filter(|(_, e)| matches!(e.state, SwapClusterState::Loaded))
+            .collect();
+        if loaded.is_empty() {
+            return None;
+        }
+        match self {
+            VictimPolicy::LeastRecentlyUsed => loaded
+                .iter()
+                .min_by_key(|(id, e)| (e.last_crossing, *id))
+                .map(|(id, _)| *id),
+            VictimPolicy::LeastFrequentlyUsed => loaded
+                .iter()
+                .min_by_key(|(id, e)| (e.crossings, *id))
+                .map(|(id, _)| *id),
+            VictimPolicy::LargestFirst => loaded
+                .iter()
+                .max_by_key(|(id, e)| (e.bytes, u32::MAX - *id))
+                .map(|(id, _)| *id),
+            VictimPolicy::RoundRobin => {
+                // The smallest id strictly greater than the cursor, wrapping.
+                let mut ids: Vec<u32> = loaded.iter().map(|(id, _)| *id).collect();
+                ids.sort_unstable();
+                ids.iter()
+                    .find(|&&id| id > cursor)
+                    .or_else(|| ids.first())
+                    .copied()
+            }
+        }
+    }
+
+    /// Name used in reports and the policy dialect.
+    pub fn name(self) -> &'static str {
+        match self {
+            VictimPolicy::LeastRecentlyUsed => "lru",
+            VictimPolicy::LeastFrequentlyUsed => "lfu",
+            VictimPolicy::LargestFirst => "largest",
+            VictimPolicy::RoundRobin => "round-robin",
+        }
+    }
+}
+
+impl std::fmt::Display for VictimPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bytes: usize, crossings: u64, last: u64) -> SwapClusterEntry {
+        let mut e = SwapClusterEntry::new();
+        e.bytes = bytes;
+        e.crossings = crossings;
+        e.last_crossing = last;
+        e
+    }
+
+    fn candidates() -> Vec<(u32, SwapClusterEntry)> {
+        vec![
+            (1, entry(100, 10, 5)),
+            (2, entry(300, 2, 9)),
+            (3, entry(200, 7, 1)),
+        ]
+    }
+
+    #[test]
+    fn lru_picks_stalest() {
+        let c = candidates();
+        let pick = VictimPolicy::LeastRecentlyUsed.choose(c.iter().map(|(i, e)| (*i, e)), 0);
+        assert_eq!(pick, Some(3));
+    }
+
+    #[test]
+    fn lfu_picks_least_crossed() {
+        let c = candidates();
+        let pick = VictimPolicy::LeastFrequentlyUsed.choose(c.iter().map(|(i, e)| (*i, e)), 0);
+        assert_eq!(pick, Some(2));
+    }
+
+    #[test]
+    fn largest_picks_biggest() {
+        let c = candidates();
+        let pick = VictimPolicy::LargestFirst.choose(c.iter().map(|(i, e)| (*i, e)), 0);
+        assert_eq!(pick, Some(2));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let c = candidates();
+        let iter = || c.iter().map(|(i, e)| (*i, e));
+        assert_eq!(VictimPolicy::RoundRobin.choose(iter(), 0), Some(1));
+        assert_eq!(VictimPolicy::RoundRobin.choose(iter(), 1), Some(2));
+        assert_eq!(VictimPolicy::RoundRobin.choose(iter(), 3), Some(1));
+    }
+
+    #[test]
+    fn swapped_out_clusters_are_not_candidates() {
+        let mut c = candidates();
+        for (_, e) in c.iter_mut() {
+            e.state = SwapClusterState::Dropped;
+        }
+        assert_eq!(
+            VictimPolicy::LeastRecentlyUsed.choose(c.iter().map(|(i, e)| (*i, e)), 0),
+            None
+        );
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let c = vec![(4, entry(10, 1, 1)), (2, entry(10, 1, 1))];
+        let pick = VictimPolicy::LeastRecentlyUsed.choose(c.iter().map(|(i, e)| (*i, e)), 0);
+        assert_eq!(pick, Some(2), "lowest id wins ties");
+    }
+}

@@ -1,0 +1,285 @@
+//! Direct tests of the paper's §4 interception rules, driven through the
+//! SwappingManager without the invocation machinery in the way:
+//!
+//! * **(i)** a cross-cluster reference gets a swap-cluster-proxy;
+//! * **(ii)** graph edges across the same (source, target) pair share one
+//!   proxy, while transient deliveries mint fresh ones per reference;
+//! * **(iii)** a proxy handed back into its target's own cluster is
+//!   dismantled.
+
+use obiwan_core::{Middleware, SwapStats};
+use obiwan_heap::{ObjectKind, Value};
+use obiwan_replication::{standard_classes, Server};
+
+/// Two clusters of ten nodes each, fully replicated.
+fn world() -> (Middleware, obiwan_heap::ObjRef) {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 20, 8).expect("build");
+    let mut mw = Middleware::builder()
+        .cluster_size(10)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+    (mw, root)
+}
+
+fn stats(mw: &Middleware) -> SwapStats {
+    mw.swap_stats()
+}
+
+#[test]
+fn rule_i_cross_cluster_references_are_mediated() {
+    let (mw, root) = world();
+    // The root reference handed to the application (swap-cluster-0) is a
+    // proxy, and the edge node10 → node11 (cluster 1 → 2) is a proxy.
+    let heap = mw.process().heap();
+    assert_eq!(heap.get(root).unwrap().kind(), ObjectKind::SwapProxy);
+    let node10 = (0..10).fold(
+        {
+            // resolve through the root proxy to the replica
+            mw.process().lookup_replica(obiwan_heap::Oid(1)).unwrap()
+        },
+        |cur, _| {
+            let next = heap.field_by_name(cur, "next").unwrap().expect_ref().unwrap();
+            match heap.get(next).unwrap().kind() {
+                ObjectKind::App => next,
+                // stop walking at the boundary proxy
+                _ => cur,
+            }
+        },
+    );
+    let boundary = heap
+        .field_by_name(node10, "next")
+        .unwrap()
+        .expect_ref()
+        .unwrap();
+    assert_eq!(heap.get(boundary).unwrap().kind(), ObjectKind::SwapProxy);
+}
+
+#[test]
+fn rule_ii_graph_edges_share_one_proxy_per_pair() {
+    // Three nodes in cluster 1 all pointing at one node in cluster 2:
+    // exactly one proxy must mediate all three edges.
+    let u = standard_classes();
+    let mut server = Server::new(u);
+    let a = server.create("Node").unwrap();
+    let b = server.create("Node").unwrap();
+    let c = server.create("Node").unwrap();
+    let shared_target = server.create("Node").unwrap();
+    // Chain a→b→c so they land in one BFS cluster, then all point at the
+    // shared target via `next` of c and payload-level links… `Node` has
+    // only one ref field, so chain c→target and also a second route via
+    // b→…: instead, point both a and b at the target through `next` after
+    // replication-time clustering: build a→b, b→target, and c→target.
+    server.set_ref(a, "next", Some(b)).unwrap();
+    server.set_ref(b, "next", Some(shared_target)).unwrap();
+    server.set_ref(c, "next", Some(shared_target)).unwrap();
+    let mut mw = Middleware::builder()
+        .cluster_size(3)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .build(server);
+    // Replicate a's cluster: BFS from a with size 3 → {a, b, c? no: BFS
+    // order a,b,target…}. Replicate c explicitly afterwards; what matters
+    // is that the two edges into the target's cluster share the proxy.
+    let ra = mw.replicate_root(a).expect("replicate a");
+    mw.set_global("a", Value::Ref(ra));
+    mw.invoke_i64(ra, "length", vec![]).expect("walk a");
+    let rc = mw.replicate_root(c).expect("replicate c");
+    mw.set_global("c", Value::Ref(rc));
+    mw.invoke_i64(rc, "length", vec![]).expect("walk c");
+
+    // Count live swap proxies per (source, oid) — no duplicates among
+    // *edge* proxies (globals' fresh deliveries may add transients).
+    let heap = mw.process().heap();
+    let mwc = mw.process().universe().middleware;
+    let mut edge_targets = std::collections::HashMap::new();
+    for r in heap.iter_live() {
+        let o = heap.get(r).unwrap();
+        if o.kind() != ObjectKind::App {
+            continue;
+        }
+        for v in o.fields() {
+            if let Value::Ref(t) = v {
+                if heap.get(*t).unwrap().kind() == ObjectKind::SwapProxy {
+                    let src = heap
+                        .field(*t, mwc.sp_source)
+                        .unwrap()
+                        .expect_int()
+                        .unwrap();
+                    let oid = heap.field(*t, mwc.sp_oid).unwrap().expect_int().unwrap();
+                    edge_targets
+                        .entry((src, oid))
+                        .or_insert_with(Vec::new)
+                        .push(*t);
+                }
+            }
+        }
+    }
+    for ((src, oid), proxies) in edge_targets {
+        let mut unique = proxies.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            1,
+            "edges ({src} → {oid}) must share one proxy, found {proxies:?}"
+        );
+    }
+}
+
+#[test]
+fn transient_deliveries_mint_fresh_proxies() {
+    let (mut mw, root) = world();
+    mw.run_gc().expect("settle");
+    let before = stats(&mw);
+    // Ask for the same cross-cluster reference three times. Each probe's
+    // returned reference crosses TWO boundaries on its way out (cluster 2
+    // → cluster 1 at the inter-cluster frame, then cluster 1 → SC0), and
+    // each crossing mints a fresh transient proxy — the paper's Test A2
+    // behaviour ("an additional swap-cluster-proxy is created to mediate
+    // the object reference being returned").
+    for round in 1..=3u64 {
+        let r = mw
+            .invoke_ref(root, "probe_step", vec![Value::Int(15)])
+            .expect("probe");
+        mw.set_global("hold", Value::Ref(r));
+        let now = stats(&mw);
+        assert_eq!(
+            now.proxies_created - before.proxies_created,
+            2 * round,
+            "two fresh proxies per delivery chain"
+        );
+    }
+}
+
+#[test]
+fn rule_iii_references_reentering_their_cluster_are_dismantled() {
+    let (mut mw, root) = world();
+    mw.run_gc().expect("settle");
+    // probe_step(15) hands a reference to node 16 (cluster 2) out to the
+    // application; passing it back *into* cluster 2 as an argument must
+    // dismantle the proxy: compare as arguments via identity inside the
+    // callee's own cluster.
+    let to_16 = mw
+        .invoke_ref(root, "probe_step", vec![Value::Int(15)])
+        .expect("probe");
+    mw.set_global("p16", Value::Ref(to_16));
+    let to_17 = mw
+        .invoke_ref(root, "probe_step", vec![Value::Int(16)])
+        .expect("probe 17");
+    mw.set_global("p17", Value::Ref(to_17));
+    let before = stats(&mw);
+    let p16 = mw.global("p16").unwrap().expect_ref().unwrap();
+    let p17 = mw.global("p17").unwrap().expect_ref().unwrap();
+    // `probe_step(0)` on p16 with p17 as… probe_step takes an int; use the
+    // dismantle path through invocation targets instead: invoking p17 and
+    // RETURNING `this` to SC0 reuses… simplest observable: transfer of the
+    // proxy back into its own cluster happens when node16 reads its own
+    // `next` through the mediated route — count dismantles after invoking
+    // through both proxies.
+    mw.invoke_i64(p16, "ping", vec![]).expect("ping 16");
+    mw.invoke_i64(p17, "ping", vec![]).expect("ping 17");
+    let after = stats(&mw);
+    // The ping returns no references; dismantling is observed through the
+    // arguments-path in the property below instead. What must hold here:
+    // no *new* proxies were created for plain pings.
+    assert_eq!(after.proxies_created, before.proxies_created);
+    // And identity agrees the two proxies denote neighbours, not the same
+    // object.
+    assert!(!mw.same_object(p16, p17).unwrap());
+}
+
+#[test]
+fn rule_iii_dismantled_arguments_compare_raw_equal() {
+    let (mut mw, root) = world();
+    mw.run_gc().expect("settle");
+    // Hand the application a proxy to node 17 (cluster 2), then pass it
+    // as an argument to node 16 (same cluster): rule (iii) dismantles it
+    // on the way in, so node 16's *raw* comparison against its own `next`
+    // field succeeds — the paper's §4 identity guarantee.
+    let p16 = mw
+        .invoke_ref(root, "probe_step", vec![Value::Int(15)])
+        .expect("node 16");
+    mw.set_global("p16", Value::Ref(p16));
+    let p17 = mw
+        .invoke_ref(root, "probe_step", vec![Value::Int(16)])
+        .expect("node 17");
+    mw.set_global("p17", Value::Ref(p17));
+    let before = stats(&mw);
+    let is_next = mw
+        .invoke(p16, "is_next", vec![Value::Ref(p17)])
+        .expect("is_next")
+        .expect_bool()
+        .expect("bool");
+    assert!(is_next, "the dismantled argument equals the raw field");
+    let after = stats(&mw);
+    assert!(
+        after.proxies_dismantled > before.proxies_dismantled,
+        "rule (iii) fired"
+    );
+    // Passing a reference to a *different* cluster's object is mediated,
+    // not dismantled, and compares unequal.
+    let far = mw
+        .invoke_ref(root, "probe_step", vec![Value::Int(3)])
+        .expect("node 4 (cluster 1)");
+    mw.set_global("far", Value::Ref(far));
+    let is_next = mw
+        .invoke(p16, "is_next", vec![Value::Ref(far)])
+        .expect("is_next far")
+        .expect_bool()
+        .expect("bool");
+    assert!(!is_next);
+}
+
+#[test]
+fn fault_proxies_pass_transfer_untouched() {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 30, 8).expect("build");
+    let mut mw = Middleware::builder()
+        .cluster_size(10)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    // Walk to the cluster edge WITHOUT faulting past it: nodes 0..9 are
+    // loaded, node 9's `next` is a fault proxy. Returning it to SC0 must
+    // hand the fault proxy itself through (no swap mediation yet).
+    let mut cur = root;
+    for _ in 0..9 {
+        cur = mw.invoke_ref(cur, "next", vec![]).expect("walk");
+        mw.set_global("cursor", Value::Ref(cur));
+    }
+    let edge = mw.invoke_ref(cur, "next", vec![]).expect("edge");
+    assert_eq!(
+        mw.process().heap().get(edge).unwrap().kind(),
+        ObjectKind::FaultProxy
+    );
+}
+
+#[test]
+fn proxy_with_matching_source_is_reused_not_rewrapped() {
+    let (mut mw, root) = world();
+    mw.run_gc().expect("settle");
+    // `next()` on the boundary node returns the SAME SC0-destined value
+    // twice; the proxy handed out the second time is a fresh transient
+    // (per B1 semantics), but handing an SC0 proxy back to SC0 context
+    // (e.g. reading a global) performs no work at all: transfer only runs
+    // on invocation boundaries. Verify: re-invoking through the SAME
+    // proxy does not create or dismantle anything.
+    let p = mw
+        .invoke_ref(root, "probe_step", vec![Value::Int(15)])
+        .expect("probe");
+    mw.set_global("p", Value::Ref(p));
+    let before = stats(&mw);
+    for _ in 0..5 {
+        mw.invoke_i64(p, "ping", vec![]).expect("ping");
+    }
+    let after = stats(&mw);
+    assert_eq!(after.proxies_created, before.proxies_created);
+    assert_eq!(after.crossings - before.crossings, 5, "each ping crossed");
+}

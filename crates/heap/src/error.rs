@@ -1,0 +1,115 @@
+//! Error type for heap operations.
+
+use crate::{ClassId, ObjRef};
+use std::fmt;
+
+/// Error produced by heap operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapError {
+    /// Allocation would exceed the device's memory capacity.
+    ///
+    /// The middleware reacts to this by swapping out a victim swap-cluster
+    /// and retrying, which is the paper's core scenario.
+    OutOfMemory {
+        /// Bytes the failed allocation needed.
+        requested: usize,
+        /// Bytes currently in use.
+        used: usize,
+        /// Hard capacity of the heap.
+        capacity: usize,
+    },
+    /// The handle does not refer to a live object (freed, stale generation,
+    /// or out of bounds).
+    InvalidRef {
+        /// The offending handle.
+        obj: ObjRef,
+    },
+    /// Class id not present in the registry.
+    NoSuchClass {
+        /// The offending class id.
+        class: ClassId,
+    },
+    /// Class name not present in the registry.
+    NoSuchClassName {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Field name not defined by the object's class.
+    NoSuchField {
+        /// Class the lookup ran against.
+        class: String,
+        /// Field name that failed to resolve.
+        field: String,
+    },
+    /// Field index out of bounds for the object's class.
+    FieldIndex {
+        /// Class the lookup ran against.
+        class: String,
+        /// Offending index.
+        index: u16,
+    },
+    /// A [`crate::Value`] of the wrong variant was supplied or found.
+    TypeMismatch {
+        /// What the caller expected.
+        expected: &'static str,
+        /// What was actually there.
+        found: &'static str,
+    },
+    /// Global variable name not defined.
+    NoSuchGlobal {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfMemory {
+                requested,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "out of memory: allocation of {requested} B with {used}/{capacity} B in use"
+            ),
+            HeapError::InvalidRef { obj } => write!(f, "invalid object reference {obj}"),
+            HeapError::NoSuchClass { class } => write!(f, "unknown class id {class:?}"),
+            HeapError::NoSuchClassName { name } => write!(f, "unknown class `{name}`"),
+            HeapError::NoSuchField { class, field } => {
+                write!(f, "class `{class}` has no field `{field}`")
+            }
+            HeapError::FieldIndex { class, index } => {
+                write!(f, "field index {index} out of bounds for class `{class}`")
+            }
+            HeapError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            HeapError::NoSuchGlobal { name } => write!(f, "unknown global variable `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_message_has_all_three_numbers() {
+        let e = HeapError::OutOfMemory {
+            requested: 128,
+            used: 900,
+            capacity: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("128") && s.contains("900") && s.contains("1024"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<HeapError>();
+    }
+}

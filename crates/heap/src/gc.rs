@@ -1,0 +1,262 @@
+//! Mark-sweep local garbage collector (the paper's LGC).
+//!
+//! Roots are: all global variables (*swap-cluster-0*), every object whose
+//! header has `pinned` set, and the heap's extra root handles. Marking
+//! traverses `Ref` fields only; weak table entries are deliberately *not*
+//! roots. After the sweep, finalizable casualties are recorded for the
+//! middleware to drain via [`crate::Heap::take_finalized`] — this is how the
+//! SwappingManager learns that a replacement-object died and that the
+//! storing device may be instructed to drop the corresponding XML blob
+//! (paper §3, *Integration with GC Mechanisms*).
+
+use crate::heap::Slot;
+use crate::{ClassId, Heap, ObjRef, ObjectKind, Oid, Value};
+
+/// Statistics of one collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollectStats {
+    /// Objects freed by the sweep.
+    pub freed_objects: usize,
+    /// Bytes released by the sweep.
+    pub freed_bytes: usize,
+    /// Objects that survived.
+    pub live_objects: usize,
+    /// Finalization records produced by this collection.
+    pub finalized: usize,
+}
+
+/// Record of a finalizable object that was collected.
+///
+/// Carries everything the middleware's finalizer logic needs, because the
+/// object itself is already gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finalized {
+    /// The (now dangling) handle the object had.
+    pub obj: ObjRef,
+    /// Runtime role the object had.
+    pub kind: ObjectKind,
+    /// Its class.
+    pub class: ClassId,
+    /// Its global identity tag.
+    pub oid: Oid,
+    /// Its swap-cluster tag.
+    pub swap_cluster: u32,
+}
+
+impl Heap {
+    /// Run a full mark-sweep collection and return its statistics.
+    ///
+    /// Typically invoked by the middleware right after detaching a
+    /// swap-cluster (to realize the memory release) or when an allocation
+    /// fails.
+    pub fn collect(&mut self) -> CollectStats {
+        self.gc_runs += 1;
+        // --- Mark ---------------------------------------------------------
+        let mut marked = vec![false; self.slots.len()];
+        let mut stack: Vec<ObjRef> = Vec::new();
+        for (_, v) in self.globals() {
+            if let Value::Ref(r) = v {
+                stack.push(*r);
+            }
+        }
+        stack.extend(self.extra_roots.iter().copied());
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Slot::Used { generation, obj } = slot {
+                if obj.header.pinned {
+                    stack.push(ObjRef {
+                        index: i as u32,
+                        generation: *generation,
+                    });
+                }
+            }
+        }
+        while let Some(r) = stack.pop() {
+            let Some(Slot::Used { generation, obj }) = self.slots.get(r.index as usize) else {
+                continue;
+            };
+            if *generation != r.generation || marked[r.index as usize] {
+                continue;
+            }
+            marked[r.index as usize] = true;
+            for v in &obj.fields {
+                if let Value::Ref(next) = v {
+                    stack.push(*next);
+                }
+            }
+        }
+        // --- Sweep --------------------------------------------------------
+        let mut stats = CollectStats::default();
+        let bytes_before = self.bytes_used;
+        for index in 0..self.slots.len() as u32 {
+            let dead = matches!(self.slots[index as usize], Slot::Used { .. })
+                && !marked[index as usize];
+            if !dead {
+                continue;
+            }
+            if let Slot::Used { generation, obj } = &self.slots[index as usize] {
+                if obj.header.finalize {
+                    self.finalized.push(Finalized {
+                        obj: ObjRef {
+                            index,
+                            generation: *generation,
+                        },
+                        kind: obj.header.kind,
+                        class: obj.class,
+                        oid: obj.header.oid,
+                        swap_cluster: obj.header.swap_cluster,
+                    });
+                    stats.finalized += 1;
+                }
+            }
+            self.free_slot(index);
+            stats.freed_objects += 1;
+        }
+        stats.freed_bytes = bytes_before - self.bytes_used;
+        stats.live_objects = self.live_objects;
+        // --- Weak table ----------------------------------------------------
+        let slots = &self.slots;
+        self.weak.clear_dead(|target| {
+            !matches!(
+                slots.get(target.index as usize),
+                Some(Slot::Used { generation, .. }) if *generation == target.generation
+            )
+        });
+        stats
+    }
+
+    /// Number of collections run so far.
+    pub fn gc_runs(&self) -> u64 {
+        self.gc_runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ClassBuilder, ClassRegistry, Heap, HeapError, ObjectKind, Value};
+
+    fn setup() -> (Heap, crate::ClassId) {
+        let mut reg = ClassRegistry::new();
+        let node = reg.register(ClassBuilder::new("Node").ref_field("next").int_field("n"));
+        (Heap::new(reg, 1 << 20), node)
+    }
+
+    #[test]
+    fn unreachable_chain_is_collected() {
+        let (mut heap, node) = setup();
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        let b = heap.alloc(node, ObjectKind::App).unwrap();
+        let c = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.set_field_by_name(a, "next", Value::Ref(b)).unwrap();
+        heap.set_field_by_name(b, "next", Value::Ref(c)).unwrap();
+        heap.set_global("head", Value::Ref(a));
+        assert_eq!(heap.collect().freed_objects, 0);
+        // Cut b..c off.
+        heap.set_field_by_name(a, "next", Value::Null).unwrap();
+        let stats = heap.collect();
+        assert_eq!(stats.freed_objects, 2);
+        assert!(heap.is_live(a));
+        assert!(!heap.is_live(b));
+        assert!(!heap.is_live(c));
+    }
+
+    #[test]
+    fn cycles_are_collected_when_unreachable() {
+        let (mut heap, node) = setup();
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        let b = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.set_field_by_name(a, "next", Value::Ref(b)).unwrap();
+        heap.set_field_by_name(b, "next", Value::Ref(a)).unwrap();
+        let stats = heap.collect();
+        assert_eq!(stats.freed_objects, 2);
+    }
+
+    #[test]
+    fn pinned_objects_survive_without_roots() {
+        let (mut heap, node) = setup();
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.get_mut(a).unwrap().header_mut().pinned = true;
+        assert_eq!(heap.collect().freed_objects, 0);
+        heap.get_mut(a).unwrap().header_mut().pinned = false;
+        assert_eq!(heap.collect().freed_objects, 1);
+    }
+
+    #[test]
+    fn extra_roots_keep_objects_alive() {
+        let (mut heap, node) = setup();
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.add_root(a);
+        assert_eq!(heap.collect().freed_objects, 0);
+        heap.remove_root(a);
+        assert_eq!(heap.collect().freed_objects, 1);
+    }
+
+    #[test]
+    fn weak_refs_do_not_keep_objects_alive_and_are_cleared() {
+        let (mut heap, node) = setup();
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        let w = heap.weak_ref(a).unwrap();
+        let stats = heap.collect();
+        assert_eq!(stats.freed_objects, 1);
+        assert_eq!(heap.weak_get(w), None);
+    }
+
+    #[test]
+    fn finalizable_objects_are_reported_once() {
+        let (mut heap, node) = setup();
+        let a = heap.alloc(node, ObjectKind::Replacement).unwrap();
+        {
+            let h = heap.get_mut(a).unwrap().header_mut();
+            h.finalize = true;
+            h.swap_cluster = 7;
+        }
+        let stats = heap.collect();
+        assert_eq!(stats.finalized, 1);
+        let fin = heap.take_finalized();
+        assert_eq!(fin.len(), 1);
+        assert_eq!(fin[0].kind, ObjectKind::Replacement);
+        assert_eq!(fin[0].swap_cluster, 7);
+        assert!(heap.take_finalized().is_empty(), "drained");
+    }
+
+    #[test]
+    fn collection_updates_accounting_and_allows_realloc() {
+        let (mut heap, node) = setup();
+        heap.set_capacity(200);
+        // Node = 24 + 2*16 = 56 bytes → three fit in 200.
+        let _a = heap.alloc(node, ObjectKind::App).unwrap();
+        let _b = heap.alloc(node, ObjectKind::App).unwrap();
+        let _c = heap.alloc(node, ObjectKind::App).unwrap();
+        assert!(matches!(
+            heap.alloc(node, ObjectKind::App),
+            Err(HeapError::OutOfMemory { .. })
+        ));
+        let stats = heap.collect(); // nothing is rooted
+        assert_eq!(stats.freed_objects, 3);
+        assert_eq!(heap.bytes_used(), 0);
+        assert!(heap.alloc(node, ObjectKind::App).is_ok());
+    }
+
+    #[test]
+    fn global_non_ref_values_are_ignored_as_roots() {
+        let (mut heap, node) = setup();
+        heap.set_global("count", Value::Int(3));
+        let _a = heap.alloc(node, ObjectKind::App).unwrap();
+        assert_eq!(heap.collect().freed_objects, 1);
+    }
+
+    #[test]
+    fn stale_root_handles_are_skipped() {
+        let (mut heap, node) = setup();
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.add_root(a);
+        // Free behind the collector's back, then collect with the stale root.
+        let b = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.set_global("live", Value::Ref(b));
+        // Simulate staleness: drop and re-allocate the slot.
+        heap.remove_root(a);
+        heap.collect();
+        heap.add_root(a); // a is now stale
+        let stats = heap.collect();
+        assert_eq!(stats.live_objects, 1);
+    }
+}

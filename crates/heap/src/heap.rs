@@ -1,0 +1,658 @@
+//! The slab of object slots and its accounting.
+
+use crate::gc::Finalized;
+use crate::object::Object;
+use crate::weak::WeakTable;
+use crate::{ClassId, ClassRegistry, FieldId, HeapError, ObjectKind, Result, Value, WeakRef};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Generational handle to a heap object.
+///
+/// A stale handle (its slot was freed, possibly reused) is detected by the
+/// generation counter and reported as [`HeapError::InvalidRef`] instead of
+/// silently aliasing a new object — the property that makes graph surgery
+/// (detach / patch / reload) safe to get wrong loudly during development.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef {
+    pub(crate) index: u32,
+    pub(crate) generation: u32,
+}
+
+impl ObjRef {
+    /// Slot index; stable for the object's lifetime, reused after free.
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Construct a dangling reference for tests.
+    #[doc(hidden)]
+    pub fn test_dummy(index: u32) -> Self {
+        ObjRef {
+            index,
+            generation: u32::MAX,
+        }
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj@{}.{}", self.index, self.generation)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) enum Slot {
+    /// Empty slot; `next_generation` is what the next occupant will get.
+    Free { next_generation: u32 },
+    /// Occupied slot at the given generation.
+    Used { generation: u32, obj: Box<Object> },
+}
+
+/// The managed heap of one device: slots, globals, pins, weak table,
+/// accounting, and the collector (in the `gc` module).
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Heap {
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) free: Vec<u32>,
+    classes: ClassRegistry,
+    /// Named global variables — the paper's *swap-cluster-0* roots.
+    globals: HashMap<String, Value>,
+    /// Extra root handles pinned by the middleware (in addition to the
+    /// per-object `pinned` header bit).
+    pub(crate) extra_roots: Vec<ObjRef>,
+    pub(crate) weak: WeakTable,
+    pub(crate) finalized: Vec<Finalized>,
+    pub(crate) bytes_used: usize,
+    capacity: usize,
+    pub(crate) live_objects: usize,
+    pub(crate) total_allocs: u64,
+    pub(crate) total_frees: u64,
+    pub(crate) gc_runs: u64,
+    pub(crate) peak_bytes: usize,
+}
+
+impl Heap {
+    /// Create a heap with the given shared class registry and a hard byte
+    /// capacity (the device's memory budget).
+    pub fn new(classes: ClassRegistry, capacity: usize) -> Self {
+        Heap {
+            slots: Vec::new(),
+            free: Vec::new(),
+            classes,
+            globals: HashMap::new(),
+            extra_roots: Vec::new(),
+            weak: WeakTable::default(),
+            finalized: Vec::new(),
+            bytes_used: 0,
+            capacity,
+            live_objects: 0,
+            total_allocs: 0,
+            total_frees: 0,
+            gc_runs: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// The shared class registry.
+    pub fn classes(&self) -> &ClassRegistry {
+        &self.classes
+    }
+
+    /// Hard capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Change the capacity (context management may adapt budgets at runtime).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    /// Bytes currently charged to live objects.
+    pub fn bytes_used(&self) -> usize {
+        self.bytes_used
+    }
+
+    /// Number of live objects.
+    pub fn live_objects(&self) -> usize {
+        self.live_objects
+    }
+
+    /// Allocate an object of `class` with the given runtime `kind`, all
+    /// fields `Null`.
+    ///
+    /// # Errors
+    ///
+    /// * [`HeapError::NoSuchClass`] for an unknown class.
+    /// * [`HeapError::OutOfMemory`] when the allocation would exceed
+    ///   capacity. The heap is left unchanged; the middleware is expected to
+    ///   swap out a victim and retry.
+    pub fn alloc(&mut self, class: ClassId, kind: ObjectKind) -> Result<ObjRef> {
+        let field_count = self.classes.class(class)?.field_count();
+        let mut obj = Object::new(class, kind, field_count);
+        let size = obj.size();
+        if self.bytes_used + size > self.capacity {
+            return Err(HeapError::OutOfMemory {
+                requested: size,
+                used: self.bytes_used,
+                capacity: self.capacity,
+            });
+        }
+        obj.charged_size = size;
+        self.bytes_used += size;
+        self.peak_bytes = self.peak_bytes.max(self.bytes_used);
+        self.live_objects += 1;
+        self.total_allocs += 1;
+        let r = match self.free.pop() {
+            Some(index) => {
+                let generation = match &self.slots[index as usize] {
+                    Slot::Free { next_generation } => *next_generation,
+                    Slot::Used { .. } => unreachable!("free list points at used slot"),
+                };
+                self.slots[index as usize] = Slot::Used {
+                    generation,
+                    obj: Box::new(obj),
+                };
+                ObjRef { index, generation }
+            }
+            None => {
+                let index = self.slots.len() as u32;
+                self.slots.push(Slot::Used {
+                    generation: 0,
+                    obj: Box::new(obj),
+                });
+                ObjRef {
+                    index,
+                    generation: 0,
+                }
+            }
+        };
+        Ok(r)
+    }
+
+    /// Immutable access to an object.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidRef`] for dangling or stale handles.
+    pub fn get(&self, obj: ObjRef) -> Result<&Object> {
+        match self.slots.get(obj.index as usize) {
+            Some(Slot::Used { generation, obj: o }) if *generation == obj.generation => Ok(o),
+            _ => Err(HeapError::InvalidRef { obj }),
+        }
+    }
+
+    /// Mutable access to an object.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidRef`] for dangling or stale handles.
+    pub fn get_mut(&mut self, obj: ObjRef) -> Result<&mut Object> {
+        match self.slots.get_mut(obj.index as usize) {
+            Some(Slot::Used { generation, obj: o }) if *generation == obj.generation => Ok(o),
+            _ => Err(HeapError::InvalidRef { obj }),
+        }
+    }
+
+    /// Whether the handle refers to a live object.
+    pub fn is_live(&self, obj: ObjRef) -> bool {
+        self.get(obj).is_ok()
+    }
+
+    /// Read a field by id.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidRef`] or [`HeapError::FieldIndex`].
+    pub fn field(&self, obj: ObjRef, field: FieldId) -> Result<&Value> {
+        let o = self.get(obj)?;
+        o.fields.get(field.index()).ok_or_else(|| {
+            let class = self
+                .classes
+                .class(o.class)
+                .map(|c| c.name().to_string())
+                .unwrap_or_default();
+            HeapError::FieldIndex {
+                class,
+                index: field.0,
+            }
+        })
+    }
+
+    /// Read a field by name.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidRef`] or [`HeapError::NoSuchField`].
+    pub fn field_by_name(&self, obj: ObjRef, name: &str) -> Result<&Value> {
+        let o = self.get(obj)?;
+        let id = self.classes.class(o.class)?.field_id(name)?;
+        self.field(obj, id)
+    }
+
+    /// Write a field by id, with dynamic type checking against the class
+    /// layout and accounting of payload size changes.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidRef`], [`HeapError::FieldIndex`],
+    /// [`HeapError::TypeMismatch`], or [`HeapError::OutOfMemory`] when a
+    /// larger payload would exceed capacity.
+    pub fn set_field(&mut self, obj: ObjRef, field: FieldId, value: Value) -> Result<()> {
+        let capacity = self.capacity;
+        let class_id = self.get(obj)?.class;
+        let descriptor = self.classes.class(class_id)?;
+        let kind = descriptor.field(field)?.kind();
+        if !kind.accepts(&value) {
+            return Err(HeapError::TypeMismatch {
+                expected: kind.wire_name(),
+                found: value.kind_name(),
+            });
+        }
+        // `descriptor.field(...)` above guarantees the index is in range,
+        // so no error (and no eager class-name clone) is needed here.
+        let bytes_used = self.bytes_used;
+        let o = self.get_mut(obj)?;
+        let slot = o
+            .fields
+            .get_mut(field.index())
+            .expect("field id validated against the class layout");
+        let old_payload = slot.payload_size();
+        let new_payload = value.payload_size();
+        if new_payload > old_payload {
+            let growth = new_payload - old_payload;
+            if bytes_used + growth > capacity {
+                return Err(HeapError::OutOfMemory {
+                    requested: growth,
+                    used: bytes_used,
+                    capacity,
+                });
+            }
+        }
+        *slot = value;
+        o.charged_size = o.charged_size + new_payload - old_payload;
+        self.bytes_used = bytes_used + new_payload - old_payload;
+        self.peak_bytes = self.peak_bytes.max(self.bytes_used);
+        Ok(())
+    }
+
+    /// Write a field by name. See [`Heap::set_field`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Heap::set_field`], plus [`HeapError::NoSuchField`].
+    pub fn set_field_by_name(&mut self, obj: ObjRef, name: &str, value: Value) -> Result<()> {
+        let class_id = self.get(obj)?.class;
+        let id = self.classes.class(class_id)?.field_id(name)?;
+        self.set_field(obj, id, value)
+    }
+
+    /// Fast path for graph surgery: overwrite a field with a payload-free
+    /// value (`Null`, `Int`, `Bool`, `Double`, `Ref`) when the current
+    /// value is also payload-free — no accounting can change, so the class
+    /// lookup and byte bookkeeping are skipped. Falls back to
+    /// [`Heap::set_any_field`] when payloads are involved.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidRef`] or [`HeapError::FieldIndex`].
+    pub fn set_slot_fast(&mut self, obj: ObjRef, index: usize, value: Value) -> Result<()> {
+        if value.payload_size() != 0 {
+            return self.set_any_field(obj, index, value);
+        }
+        let o = self.get_mut(obj)?;
+        match o.fields.get_mut(index) {
+            Some(slot) if slot.payload_size() == 0 => {
+                *slot = value;
+                Ok(())
+            }
+            Some(_) => self.set_any_field(obj, index, value),
+            None => Err(HeapError::FieldIndex {
+                class: String::new(),
+                index: index.min(u16::MAX as usize) as u16,
+            }),
+        }
+    }
+
+    /// Write a field by raw index without layout type checking, covering
+    /// both declared fields and the extras of variadic objects. This is the
+    /// middleware's graph-surgery primitive (proxy replacement patches any
+    /// slot that held a reference); accounting is still maintained.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidRef`], [`HeapError::FieldIndex`] when the index
+    /// is beyond the object's current fields, or [`HeapError::OutOfMemory`]
+    /// when a larger payload would exceed capacity.
+    pub fn set_any_field(&mut self, obj: ObjRef, index: usize, value: Value) -> Result<()> {
+        let capacity = self.capacity;
+        let bytes_used = self.bytes_used;
+        let class_id = self.get(obj)?.class;
+        let class_name = self.classes.class(class_id)?.name().to_string();
+        let o = self.get_mut(obj)?;
+        let slot = o.fields.get_mut(index).ok_or(HeapError::FieldIndex {
+            class: class_name,
+            index: index.min(u16::MAX as usize) as u16,
+        })?;
+        let old_payload = slot.payload_size();
+        let new_payload = value.payload_size();
+        if new_payload > old_payload && bytes_used + (new_payload - old_payload) > capacity {
+            return Err(HeapError::OutOfMemory {
+                requested: new_payload - old_payload,
+                used: bytes_used,
+                capacity,
+            });
+        }
+        *slot = value;
+        o.charged_size = o.charged_size + new_payload - old_payload;
+        self.bytes_used = bytes_used + new_payload - old_payload;
+        self.peak_bytes = self.peak_bytes.max(self.bytes_used);
+        Ok(())
+    }
+
+    /// Append an extra (untyped) field to a variadic object. This backs the
+    /// replacement-object, which the paper describes as "simply an array of
+    /// references" holding the victim cluster's outbound proxies alive.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidRef`], [`HeapError::TypeMismatch`] when the class
+    /// is not variadic, or [`HeapError::OutOfMemory`] when the extra slot
+    /// would exceed capacity.
+    pub fn push_extra(&mut self, obj: ObjRef, value: Value) -> Result<()> {
+        let capacity = self.capacity;
+        let class_id = self.get(obj)?.class;
+        if !self.classes.class(class_id)?.is_variadic() {
+            return Err(HeapError::TypeMismatch {
+                expected: "a variadic class",
+                found: "a fixed-layout class",
+            });
+        }
+        let growth = crate::object::FIELD_SLOT_SIZE + value.payload_size();
+        if self.bytes_used + growth > capacity {
+            return Err(HeapError::OutOfMemory {
+                requested: growth,
+                used: self.bytes_used,
+                capacity,
+            });
+        }
+        let o = self.get_mut(obj)?;
+        o.fields.push(value);
+        o.charged_size += growth;
+        self.bytes_used += growth;
+        self.peak_bytes = self.peak_bytes.max(self.bytes_used);
+        Ok(())
+    }
+
+    /// The extra (beyond-layout) fields of a variadic object.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidRef`].
+    pub fn extra_fields(&self, obj: ObjRef) -> Result<&[Value]> {
+        let o = self.get(obj)?;
+        let layout = self.classes.class(o.class)?.field_count();
+        Ok(&o.fields[layout..])
+    }
+
+    /// Read a global variable (swap-cluster-0).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NoSuchGlobal`] when undefined.
+    pub fn global(&self, name: &str) -> Result<&Value> {
+        self.globals
+            .get(name)
+            .ok_or_else(|| HeapError::NoSuchGlobal {
+                name: name.to_string(),
+            })
+    }
+
+    /// Set (or define) a global variable. Globals are GC roots.
+    pub fn set_global(&mut self, name: impl Into<String>, value: Value) {
+        self.globals.insert(name.into(), value);
+    }
+
+    /// Remove a global variable, returning its previous value.
+    pub fn remove_global(&mut self, name: &str) -> Option<Value> {
+        self.globals.remove(name)
+    }
+
+    /// Iterate over global variables.
+    pub fn globals(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.globals.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Pin an extra root handle. The middleware uses this for anchors that
+    /// are not reachable from any global (e.g. tables under construction).
+    pub fn add_root(&mut self, obj: ObjRef) {
+        self.extra_roots.push(obj);
+    }
+
+    /// Remove a previously pinned extra root (all occurrences).
+    pub fn remove_root(&mut self, obj: ObjRef) {
+        self.extra_roots.retain(|r| *r != obj);
+    }
+
+    /// Create a weak reference to `obj`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidRef`] if `obj` is not live.
+    pub fn weak_ref(&mut self, obj: ObjRef) -> Result<WeakRef> {
+        self.get(obj)?;
+        Ok(self.weak.create(obj))
+    }
+
+    /// Resolve a weak reference, `None` once the target has been collected.
+    pub fn weak_get(&self, weak: WeakRef) -> Option<ObjRef> {
+        let target = self.weak.get(weak)?;
+        self.is_live(target).then_some(target)
+    }
+
+    /// Release a weak reference slot.
+    pub fn weak_drop(&mut self, weak: WeakRef) {
+        self.weak.drop_ref(weak);
+    }
+
+    /// Drain the records of finalizable objects freed by collections since
+    /// the last call. This is the C#-finalizer channel of the paper: the
+    /// SwappingManager learns here that a replacement-object died and that
+    /// the storing device may drop the blob.
+    pub fn take_finalized(&mut self) -> Vec<Finalized> {
+        std::mem::take(&mut self.finalized)
+    }
+
+    /// Iterate over the handles of all live objects (diagnostics, tests,
+    /// and the victim-selection heuristics that scan the heap).
+    pub fn iter_live(&self) -> impl Iterator<Item = ObjRef> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Used { generation, .. } => Some(ObjRef {
+                index: i as u32,
+                generation: *generation,
+            }),
+            Slot::Free { .. } => None,
+        })
+    }
+
+    /// Free a slot immediately (collector and middleware-internal).
+    pub(crate) fn free_slot(&mut self, index: u32) {
+        if let Slot::Used { generation, obj } = &self.slots[index as usize] {
+            let next_generation = generation.wrapping_add(1);
+            self.bytes_used -= obj.charged_size;
+            self.live_objects -= 1;
+            self.total_frees += 1;
+            self.slots[index as usize] = Slot::Free { next_generation };
+            self.free.push(index);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClassBuilder;
+    use bytes::Bytes;
+
+    fn node_heap(capacity: usize) -> (Heap, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let node = reg.register(
+            ClassBuilder::new("Node")
+                .ref_field("next")
+                .int_field("n")
+                .bytes_field("payload"),
+        );
+        (Heap::new(reg, capacity), node)
+    }
+
+    #[test]
+    fn alloc_get_set_roundtrip() {
+        let (mut heap, node) = node_heap(4096);
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.set_field_by_name(a, "n", Value::Int(9)).unwrap();
+        assert_eq!(heap.field_by_name(a, "n").unwrap(), &Value::Int(9));
+        assert_eq!(heap.get(a).unwrap().kind(), ObjectKind::App);
+    }
+
+    #[test]
+    fn stale_handle_detected_after_free_and_reuse() {
+        let (mut heap, node) = node_heap(4096);
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.free_slot(a.index);
+        assert!(matches!(heap.get(a), Err(HeapError::InvalidRef { .. })));
+        let b = heap.alloc(node, ObjectKind::App).unwrap();
+        assert_eq!(b.index, a.index, "slot should be reused");
+        assert_ne!(b.generation, a.generation);
+        assert!(heap.get(a).is_err());
+        assert!(heap.get(b).is_ok());
+    }
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let (mut heap, node) = node_heap(100);
+        // One Node is 24 + 3*16 = 72 bytes.
+        assert!(heap.alloc(node, ObjectKind::App).is_ok());
+        let err = heap.alloc(node, ObjectKind::App).unwrap_err();
+        assert!(matches!(err, HeapError::OutOfMemory { .. }));
+        assert_eq!(heap.live_objects(), 1, "failed alloc must not leak");
+    }
+
+    #[test]
+    fn payload_growth_is_charged_and_capped() {
+        let (mut heap, node) = node_heap(200);
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        let before = heap.bytes_used();
+        heap.set_field_by_name(a, "payload", Value::Bytes(Bytes::from(vec![0u8; 64])))
+            .unwrap();
+        assert_eq!(heap.bytes_used(), before + 64);
+        // Shrink gives bytes back.
+        heap.set_field_by_name(a, "payload", Value::Bytes(Bytes::from(vec![0u8; 8])))
+            .unwrap();
+        assert_eq!(heap.bytes_used(), before + 8);
+        // Growing past capacity fails and leaves the old value in place.
+        let err = heap
+            .set_field_by_name(a, "payload", Value::Bytes(Bytes::from(vec![0u8; 4096])))
+            .unwrap_err();
+        assert!(matches!(err, HeapError::OutOfMemory { .. }));
+        assert_eq!(heap.field_by_name(a, "payload").unwrap().payload_size(), 8);
+    }
+
+    #[test]
+    fn field_type_checking_rejects_wrong_variant() {
+        let (mut heap, node) = node_heap(4096);
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        let err = heap
+            .set_field_by_name(a, "next", Value::Int(1))
+            .unwrap_err();
+        assert!(matches!(err, HeapError::TypeMismatch { .. }));
+        // Null is accepted everywhere.
+        heap.set_field_by_name(a, "next", Value::Null).unwrap();
+    }
+
+    #[test]
+    fn globals_define_read_remove() {
+        let (mut heap, node) = node_heap(4096);
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.set_global("head", Value::Ref(a));
+        assert_eq!(heap.global("head").unwrap(), &Value::Ref(a));
+        assert!(matches!(
+            heap.global("tail"),
+            Err(HeapError::NoSuchGlobal { .. })
+        ));
+        assert_eq!(heap.remove_global("head"), Some(Value::Ref(a)));
+        assert!(heap.global("head").is_err());
+    }
+
+    #[test]
+    fn weak_refs_resolve_until_target_freed() {
+        let (mut heap, node) = node_heap(4096);
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        let w = heap.weak_ref(a).unwrap();
+        assert_eq!(heap.weak_get(w), Some(a));
+        heap.free_slot(a.index);
+        assert_eq!(heap.weak_get(w), None);
+    }
+
+    #[test]
+    fn weak_ref_to_dead_object_fails() {
+        let (mut heap, node) = node_heap(4096);
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.free_slot(a.index);
+        assert!(heap.weak_ref(a).is_err());
+    }
+
+    #[test]
+    fn iter_live_reports_exactly_live_handles() {
+        let (mut heap, node) = node_heap(4096);
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        let b = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.free_slot(a.index);
+        let live: Vec<_> = heap.iter_live().collect();
+        assert_eq!(live, vec![b]);
+    }
+
+    #[test]
+    fn variadic_push_extra_and_accounting() {
+        let mut reg = ClassRegistry::new();
+        let node = reg.register(ClassBuilder::new("Node").int_field("x"));
+        let arr = reg.register(ClassBuilder::new("Array").variadic());
+        let mut heap = Heap::new(reg, 4096);
+        let n = heap.alloc(node, ObjectKind::App).unwrap();
+        let a = heap.alloc(arr, ObjectKind::Replacement).unwrap();
+        let before = heap.bytes_used();
+        heap.push_extra(a, Value::Ref(n)).unwrap();
+        heap.push_extra(a, Value::Ref(n)).unwrap();
+        assert_eq!(heap.extra_fields(a).unwrap().len(), 2);
+        assert!(heap.bytes_used() > before);
+        // Non-variadic classes refuse extras.
+        assert!(matches!(
+            heap.push_extra(n, Value::Int(1)),
+            Err(HeapError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn push_extra_respects_capacity() {
+        let mut reg = ClassRegistry::new();
+        let arr = reg.register(ClassBuilder::new("Array").variadic());
+        let mut heap = Heap::new(reg, 40); // room for base (24) + one slot (16)
+        let a = heap.alloc(arr, ObjectKind::Replacement).unwrap();
+        heap.push_extra(a, Value::Int(1)).unwrap();
+        assert!(matches!(
+            heap.push_extra(a, Value::Int(2)),
+            Err(HeapError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let r = ObjRef {
+            index: 3,
+            generation: 1,
+        };
+        assert_eq!(r.to_string(), "obj@3.1");
+    }
+}

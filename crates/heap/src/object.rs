@@ -1,0 +1,185 @@
+//! Heap objects and their headers.
+
+use crate::{ClassId, Value};
+use std::fmt;
+
+/// Global object identity assigned by the replication server.
+///
+/// Replicas of the same master object on different devices share an `Oid`;
+/// it is also the identity the swap codec serializes, and what the paper's
+/// overloaded `==` ultimately compares across swap-cluster-proxies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Oid(pub u64);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oid:{}", self.0)
+    }
+}
+
+/// What role an object plays in the middleware, the moral equivalent of the
+/// `obicomp`-generated class a reference actually points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// A plain application object (replica).
+    App,
+    /// An object-fault proxy: invoking it triggers replication of the target
+    /// cluster, after which it is *replaced* and discarded (paper §2).
+    FaultProxy,
+    /// A swap-cluster-proxy: permanently mediates a reference that crosses a
+    /// swap-cluster boundary (paper §3).
+    SwapProxy,
+    /// A replacement-object standing in for a swapped-out cluster: an array
+    /// of references keeping the victim's outbound proxies alive (paper §3).
+    Replacement,
+}
+
+impl ObjectKind {
+    /// Wire name used by diagnostics and the XML codec.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectKind::App => "app",
+            ObjectKind::FaultProxy => "fault-proxy",
+            ObjectKind::SwapProxy => "swap-proxy",
+            ObjectKind::Replacement => "replacement",
+        }
+    }
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-object header: middleware tag words, mirroring the way a real VM
+/// object header carries GC and runtime bookkeeping bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectHeader {
+    /// Runtime role of the object.
+    pub kind: ObjectKind,
+    /// Global replication identity (0 for purely local middleware objects).
+    pub oid: Oid,
+    /// Replication cluster index this replica arrived in (device-local).
+    pub repl_cluster: u32,
+    /// Swap-cluster this object belongs to; `0` is the paper's
+    /// *swap-cluster-0* (globals and middleware-local objects).
+    pub swap_cluster: u32,
+    /// Pinned objects are GC roots (middleware anchors).
+    pub pinned: bool,
+    /// When true, the object's death is reported via
+    /// [`crate::Heap::take_finalized`] after the sweep that frees it.
+    pub finalize: bool,
+    /// Mark bit (collector-internal).
+    pub(crate) marked: bool,
+}
+
+impl ObjectHeader {
+    pub(crate) fn new(kind: ObjectKind) -> Self {
+        ObjectHeader {
+            kind,
+            oid: Oid(0),
+            repl_cluster: 0,
+            swap_cluster: 0,
+            pinned: false,
+            finalize: false,
+            marked: false,
+        }
+    }
+}
+
+/// An object stored in a heap slot: header + class + field values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    pub(crate) header: ObjectHeader,
+    pub(crate) class: ClassId,
+    pub(crate) fields: Vec<Value>,
+    /// Cached byte size currently charged to the accounting.
+    pub(crate) charged_size: usize,
+}
+
+/// Fixed per-object overhead charged by the accounting (slot + header),
+/// on top of 16 bytes per field and variable payload bytes.
+pub(crate) const OBJECT_BASE_SIZE: usize = 24;
+/// Bytes charged per field slot.
+pub(crate) const FIELD_SLOT_SIZE: usize = 16;
+
+impl Object {
+    pub(crate) fn new(class: ClassId, kind: ObjectKind, field_count: usize) -> Self {
+        Object {
+            header: ObjectHeader::new(kind),
+            class,
+            fields: vec![Value::Null; field_count],
+            charged_size: 0,
+        }
+    }
+
+    /// The object's header (kind, oid, cluster tags, GC bits).
+    pub fn header(&self) -> &ObjectHeader {
+        &self.header
+    }
+
+    /// Mutable access to the header tag words.
+    pub fn header_mut(&mut self) -> &mut ObjectHeader {
+        &mut self.header
+    }
+
+    /// The object's class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The raw field values in layout order.
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+
+    /// Runtime role shorthand.
+    pub fn kind(&self) -> ObjectKind {
+        self.header.kind
+    }
+
+    /// Byte size this object should be charged: base + field slots + payloads.
+    pub fn size(&self) -> usize {
+        OBJECT_BASE_SIZE
+            + FIELD_SLOT_SIZE * self.fields.len()
+            + self.fields.iter().map(Value::payload_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn size_counts_base_fields_and_payload() {
+        let mut o = Object::new(ClassId(0), ObjectKind::App, 3);
+        assert_eq!(o.size(), OBJECT_BASE_SIZE + 3 * FIELD_SLOT_SIZE);
+        o.fields[0] = Value::Bytes(Bytes::from(vec![0u8; 40]));
+        assert_eq!(o.size(), OBJECT_BASE_SIZE + 3 * FIELD_SLOT_SIZE + 40);
+    }
+
+    #[test]
+    fn header_defaults_are_inert() {
+        let h = ObjectHeader::new(ObjectKind::SwapProxy);
+        assert_eq!(h.kind, ObjectKind::SwapProxy);
+        assert_eq!(h.swap_cluster, 0);
+        assert!(!h.pinned && !h.finalize && !h.marked);
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = [
+            ObjectKind::App,
+            ObjectKind::FaultProxy,
+            ObjectKind::SwapProxy,
+            ObjectKind::Replacement,
+        ]
+        .iter()
+        .map(|k| k.name())
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

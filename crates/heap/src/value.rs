@@ -1,0 +1,293 @@
+//! Field values stored in heap objects.
+
+use crate::{HeapError, ObjRef, Result};
+use bytes::Bytes;
+use std::fmt;
+use std::sync::Arc;
+
+/// A value stored in an object field or a global variable.
+///
+/// The variant set mirrors what the OBIWAN wire format can carry: scalars,
+/// strings, opaque byte payloads, and references to other heap objects.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_heap::Value;
+///
+/// let v = Value::from(42i64);
+/// assert_eq!(v.expect_int().unwrap(), 42);
+/// assert!(Value::Null.expect_int().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent reference / uninitialized field.
+    Null,
+    /// 64-bit signed integer (covers the paper's `int` arguments).
+    Int(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Immutable string (cheap to clone).
+    Str(Arc<str>),
+    /// Opaque byte payload (the 64-byte bodies of the Figure 5 objects).
+    Bytes(Bytes),
+    /// Reference to another heap object.
+    Ref(ObjRef),
+}
+
+impl Value {
+    /// Human-readable variant name, used in [`HeapError::TypeMismatch`].
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Double(_) => "double",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+            Value::Ref(_) => "ref",
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The reference inside, if this is a `Ref`.
+    pub fn as_ref_value(&self) -> Option<ObjRef> {
+        match self {
+            Value::Ref(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The reference inside.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::TypeMismatch`] unless this is a `Ref`.
+    pub fn expect_ref(&self) -> Result<ObjRef> {
+        match self {
+            Value::Ref(r) => Ok(*r),
+            other => Err(mismatch("ref", other)),
+        }
+    }
+
+    /// The reference inside, treating `Null` as `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::TypeMismatch`] for any non-`Ref`, non-`Null` value.
+    pub fn expect_ref_or_null(&self) -> Result<Option<ObjRef>> {
+        match self {
+            Value::Ref(r) => Ok(Some(*r)),
+            Value::Null => Ok(None),
+            other => Err(mismatch("ref or null", other)),
+        }
+    }
+
+    /// The integer inside.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::TypeMismatch`] unless this is an `Int`.
+    pub fn expect_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(mismatch("int", other)),
+        }
+    }
+
+    /// The double inside.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::TypeMismatch`] unless this is a `Double`.
+    pub fn expect_double(&self) -> Result<f64> {
+        match self {
+            Value::Double(d) => Ok(*d),
+            other => Err(mismatch("double", other)),
+        }
+    }
+
+    /// The boolean inside.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::TypeMismatch`] unless this is a `Bool`.
+    pub fn expect_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(mismatch("bool", other)),
+        }
+    }
+
+    /// The string inside.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::TypeMismatch`] unless this is a `Str`.
+    pub fn expect_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(mismatch("str", other)),
+        }
+    }
+
+    /// The bytes inside.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::TypeMismatch`] unless this is a `Bytes`.
+    pub fn expect_bytes(&self) -> Result<&Bytes> {
+        match self {
+            Value::Bytes(b) => Ok(b),
+            other => Err(mismatch("bytes", other)),
+        }
+    }
+
+    /// Heap bytes attributed to this value beyond its inline 16-byte slot
+    /// (string and byte payloads).
+    pub fn payload_size(&self) -> usize {
+        match self {
+            Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+            _ => 0,
+        }
+    }
+}
+
+fn mismatch(expected: &'static str, found: &Value) -> HeapError {
+    HeapError::TypeMismatch {
+        expected,
+        found: found.kind_name(),
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            Value::Ref(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<Bytes> for Value {
+    fn from(v: Bytes) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl From<ObjRef> for Value {
+    fn from(v: ObjRef) -> Self {
+        Value::Ref(v)
+    }
+}
+
+impl From<Option<ObjRef>> for Value {
+    fn from(v: Option<ObjRef>) -> Self {
+        match v {
+            Some(r) => Value::Ref(r),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_produce_expected_variants() {
+        assert_eq!(Value::from(3i64).kind_name(), "int");
+        assert_eq!(Value::from(1.5f64).kind_name(), "double");
+        assert_eq!(Value::from(true).kind_name(), "bool");
+        assert_eq!(Value::from("x").kind_name(), "str");
+        assert_eq!(Value::from(Bytes::from_static(b"ab")).kind_name(), "bytes");
+        assert_eq!(Value::from(None).kind_name(), "null");
+    }
+
+    #[test]
+    fn expectations_succeed_on_matching_variant() {
+        assert_eq!(Value::Int(7).expect_int().unwrap(), 7);
+        assert_eq!(Value::Bool(true).expect_bool().unwrap(), true);
+        assert_eq!(Value::from("hi").expect_str().unwrap(), "hi");
+        assert_eq!(Value::Double(0.5).expect_double().unwrap(), 0.5);
+    }
+
+    #[test]
+    fn expectations_report_both_sides_of_mismatch() {
+        let err = Value::Int(7).expect_bool().unwrap_err();
+        assert_eq!(
+            err,
+            HeapError::TypeMismatch {
+                expected: "bool",
+                found: "int"
+            }
+        );
+    }
+
+    #[test]
+    fn ref_or_null_accepts_both() {
+        assert_eq!(Value::Null.expect_ref_or_null().unwrap(), None);
+        assert!(Value::Int(1).expect_ref_or_null().is_err());
+    }
+
+    #[test]
+    fn payload_size_counts_only_heap_payloads() {
+        assert_eq!(Value::Int(1).payload_size(), 0);
+        assert_eq!(Value::from("abcd").payload_size(), 4);
+        assert_eq!(Value::from(Bytes::from(vec![0u8; 64])).payload_size(), 64);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::from(Bytes::from_static(b"xyz")).to_string(), "bytes[3]");
+    }
+}

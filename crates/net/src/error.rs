@@ -1,0 +1,111 @@
+//! Error type for the simulated network.
+
+use crate::DeviceId;
+use std::fmt;
+
+/// Error produced by network and blob-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Device id not present in the net.
+    UnknownDevice {
+        /// The offending id.
+        device: DeviceId,
+    },
+    /// The device is currently departed (out of range).
+    Departed {
+        /// The departed device.
+        device: DeviceId,
+    },
+    /// No link between the two devices.
+    NotConnected {
+        /// Source device.
+        from: DeviceId,
+        /// Destination device.
+        to: DeviceId,
+    },
+    /// The blob key is not stored on the device.
+    UnknownBlob {
+        /// Device that was asked.
+        device: DeviceId,
+        /// The missing key.
+        key: String,
+    },
+    /// Storing the blob would exceed the device's quota.
+    QuotaExceeded {
+        /// Device that refused.
+        device: DeviceId,
+        /// Bytes the blob needed.
+        requested: usize,
+        /// Bytes already stored.
+        used: usize,
+        /// The device's quota.
+        quota: usize,
+    },
+    /// An injected store failure fired (fault-injection testing).
+    InjectedFailure {
+        /// Device whose store failed.
+        device: DeviceId,
+        /// The operation that failed ("store", "fetch", "drop").
+        op: &'static str,
+    },
+    /// A blob key was stored twice without an intervening drop.
+    DuplicateBlob {
+        /// Device that refused.
+        device: DeviceId,
+        /// The duplicated key.
+        key: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownDevice { device } => write!(f, "unknown device {device}"),
+            NetError::Departed { device } => write!(f, "device {device} has departed"),
+            NetError::NotConnected { from, to } => {
+                write!(f, "no link between {from} and {to}")
+            }
+            NetError::UnknownBlob { device, key } => {
+                write!(f, "device {device} holds no blob `{key}`")
+            }
+            NetError::QuotaExceeded {
+                device,
+                requested,
+                used,
+                quota,
+            } => write!(
+                f,
+                "device {device} quota exceeded: {requested} B requested with {used}/{quota} B used"
+            ),
+            NetError::InjectedFailure { device, op } => {
+                write!(f, "injected {op} failure on device {device}")
+            }
+            NetError::DuplicateBlob { device, key } => {
+                write!(f, "device {device} already holds blob `{key}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_identify_devices_and_keys() {
+        let e = NetError::UnknownBlob {
+            device: DeviceId(2),
+            key: "sc-9".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("dev#2") && s.contains("sc-9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<NetError>();
+    }
+}

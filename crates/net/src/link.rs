@@ -1,0 +1,111 @@
+//! Link models: bandwidth + latency → transfer cost.
+
+use crate::SimDuration;
+
+/// Characteristics of a wireless link between two devices.
+///
+/// A transfer of `n` bytes is costed as `latency + n * 8 / bandwidth`,
+/// in whole microseconds (rounded up). Per the paper's setup, the default
+/// preset is [`LinkSpec::bluetooth`]: 700 Kbps, the iPAQ 3360's radio.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_net::LinkSpec;
+///
+/// let bt = LinkSpec::bluetooth();
+/// // 700 Kbps ⇒ 8750 bytes take ~100 ms of airtime (plus latency).
+/// let t = bt.transfer_time(8750);
+/// assert!(t.as_millis() >= 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way setup latency charged per transfer.
+    pub latency: SimDuration,
+}
+
+impl LinkSpec {
+    /// Arbitrary link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is zero.
+    pub fn new(bandwidth_bps: u64, latency: SimDuration) -> Self {
+        assert!(bandwidth_bps > 0, "a link must have nonzero bandwidth");
+        LinkSpec {
+            bandwidth_bps,
+            latency,
+        }
+    }
+
+    /// The paper's link: Bluetooth at 700 Kbps, 30 ms setup latency.
+    pub fn bluetooth() -> Self {
+        LinkSpec::new(700_000, SimDuration::from_millis(30))
+    }
+
+    /// 802.11b-era Wi-Fi: 5 Mbps usable, 5 ms latency.
+    pub fn wifi() -> Self {
+        LinkSpec::new(5_000_000, SimDuration::from_millis(5))
+    }
+
+    /// A slow personal-area link for motes: 100 Kbps, 50 ms latency.
+    pub fn mote_radio() -> Self {
+        LinkSpec::new(100_000, SimDuration::from_millis(50))
+    }
+
+    /// Time to move `bytes` across this link, including setup latency.
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        let bits = bytes as u64 * 8;
+        // Round the airtime up to a whole microsecond.
+        let airtime_us = (bits * 1_000_000).div_ceil(self.bandwidth_bps);
+        self.latency + SimDuration::from_micros(airtime_us)
+    }
+}
+
+impl Default for LinkSpec {
+    /// The paper's Bluetooth link.
+    fn default() -> Self {
+        LinkSpec::bluetooth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly_with_size() {
+        let l = LinkSpec::new(1_000_000, SimDuration::ZERO);
+        let t1 = l.transfer_time(1_000);
+        let t2 = l.transfer_time(2_000);
+        assert_eq!(t1.as_micros(), 8_000);
+        assert_eq!(t2.as_micros(), 16_000);
+    }
+
+    #[test]
+    fn latency_is_charged_once() {
+        let l = LinkSpec::new(1_000_000, SimDuration::from_millis(10));
+        assert_eq!(l.transfer_time(0).as_micros(), 10_000);
+    }
+
+    #[test]
+    fn airtime_rounds_up() {
+        let l = LinkSpec::new(3, SimDuration::ZERO); // 3 bits per second
+        // 1 byte = 8 bits → 2.66…s → 2666667 µs.
+        assert_eq!(l.transfer_time(1).as_micros(), 2_666_667);
+    }
+
+    #[test]
+    fn bluetooth_preset_matches_paper_rate() {
+        assert_eq!(LinkSpec::bluetooth().bandwidth_bps, 700_000);
+        assert_eq!(LinkSpec::default(), LinkSpec::bluetooth());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkSpec::new(0, SimDuration::ZERO);
+    }
+}

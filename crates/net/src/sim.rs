@@ -1,0 +1,481 @@
+//! The simulated world: devices, links, discovery, churn, blob transfers.
+
+use crate::store::BlobStore;
+use crate::{
+    Clock, DeviceId, DeviceKind, DeviceProfile, FailurePlan, LinkSpec, MemStore, NetError, Result,
+    SimDuration, SimTime, TraceEvent, TraceKind,
+};
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct DeviceState {
+    profile: DeviceProfile,
+    store: MemStore,
+    present: bool,
+}
+
+/// The deterministic simulated wireless world.
+///
+/// All transfers advance the virtual [`Clock`] by the link's cost and append
+/// a [`TraceEvent`]; nothing consults the wall clock or an RNG.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Default)]
+pub struct SimNet {
+    clock: Clock,
+    devices: Vec<DeviceState>,
+    links: HashMap<(DeviceId, DeviceId), LinkSpec>,
+    trace: Vec<TraceEvent>,
+    bytes_sent: u64,
+    bytes_fetched: u64,
+}
+
+impl SimNet {
+    /// An empty world at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Advance the clock without any transfer (application compute time in
+    /// virtual-time experiments).
+    pub fn advance(&mut self, d: SimDuration) -> SimTime {
+        self.clock.advance(d)
+    }
+
+    /// Add a device offering `storage_quota` bytes of blob storage.
+    pub fn add_device(
+        &mut self,
+        name: impl Into<String>,
+        kind: DeviceKind,
+        storage_quota: usize,
+    ) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(DeviceState {
+            profile: DeviceProfile::new(name, kind, storage_quota),
+            store: MemStore::new(id, storage_quota),
+            present: true,
+        });
+        self.push_trace(TraceKind::DeviceAdded { device: id });
+        id
+    }
+
+    /// A device's profile.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownDevice`].
+    pub fn profile(&self, device: DeviceId) -> Result<&DeviceProfile> {
+        self.state(device).map(|s| &s.profile)
+    }
+
+    /// Install a fault-injection plan on a device's store.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownDevice`].
+    pub fn set_failure_plan(&mut self, device: DeviceId, plan: FailurePlan) -> Result<()> {
+        self.state_mut(device)?.store.set_failure_plan(plan);
+        Ok(())
+    }
+
+    /// Create a bidirectional link.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownDevice`].
+    pub fn connect(&mut self, a: DeviceId, b: DeviceId, link: LinkSpec) -> Result<()> {
+        self.state(a)?;
+        self.state(b)?;
+        self.links.insert(key(a, b), link);
+        self.push_trace(TraceKind::Linked { a, b });
+        Ok(())
+    }
+
+    /// Remove the link between two devices (if any).
+    pub fn disconnect(&mut self, a: DeviceId, b: DeviceId) {
+        if self.links.remove(&key(a, b)).is_some() {
+            self.push_trace(TraceKind::Unlinked { a, b });
+        }
+    }
+
+    /// The link between two present devices, if both are reachable.
+    pub fn link(&self, a: DeviceId, b: DeviceId) -> Option<LinkSpec> {
+        let present = |id: DeviceId| {
+            self.devices
+                .get(id.0 as usize)
+                .map(|d| d.present)
+                .unwrap_or(false)
+        };
+        if present(a) && present(b) {
+            self.links.get(&key(a, b)).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Devices currently in range of `of` (linked and present), in id order.
+    ///
+    /// This is the middleware's *discovery* primitive: "swap-out a set of
+    /// objects to nearby devices, if there are any".
+    pub fn nearby(&self, of: DeviceId) -> Vec<DeviceId> {
+        let mut out: Vec<DeviceId> = self
+            .links
+            .keys()
+            .filter_map(|(a, b)| {
+                if *a == of {
+                    Some(*b)
+                } else if *b == of {
+                    Some(*a)
+                } else {
+                    None
+                }
+            })
+            .filter(|id| self.link(of, *id).is_some())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Free storage remaining on a device.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownDevice`].
+    pub fn free_storage(&self, device: DeviceId) -> Result<usize> {
+        let s = self.state(device)?;
+        Ok(s.profile.storage_quota.saturating_sub(s.store.used_bytes()))
+    }
+
+    /// Take a device out of radio range. Its blobs stay on it (and come back
+    /// if it returns) but are unreachable meanwhile.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownDevice`].
+    pub fn depart(&mut self, device: DeviceId) -> Result<()> {
+        let blobs = {
+            let s = self.state_mut(device)?;
+            s.present = false;
+            s.store.blob_count()
+        };
+        self.push_trace(TraceKind::DeviceDeparted {
+            device,
+            blobs_lost_reach: blobs,
+        });
+        Ok(())
+    }
+
+    /// Bring a departed device back into range.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownDevice`].
+    pub fn arrive(&mut self, device: DeviceId) -> Result<()> {
+        self.state_mut(device)?.present = true;
+        self.push_trace(TraceKind::DeviceArrived { device });
+        Ok(())
+    }
+
+    /// Whether the device is currently present.
+    pub fn is_present(&self, device: DeviceId) -> bool {
+        self.devices
+            .get(device.0 as usize)
+            .map(|d| d.present)
+            .unwrap_or(false)
+    }
+
+    /// Send `text` from `from` to be stored on `to` under `key`, advancing
+    /// the clock by the link cost. Returns the transfer duration.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NotConnected`] / [`NetError::Departed`] for reachability,
+    /// plus anything the receiving store raises (quota, duplicates, injected
+    /// failures). On error the clock still advances — airtime was spent.
+    pub fn send_blob(
+        &mut self,
+        from: DeviceId,
+        to: DeviceId,
+        key: &str,
+        text: String,
+    ) -> Result<SimDuration> {
+        let link = self.require_link(from, to)?;
+        let bytes = text.len();
+        let cost = link.transfer_time(bytes);
+        self.clock.advance(cost);
+        self.bytes_sent += bytes as u64;
+        self.state_mut(to)?.store.store(key, text)?;
+        self.push_trace(TraceKind::BlobStored {
+            from,
+            to,
+            key: key.to_string(),
+            bytes,
+        });
+        Ok(cost)
+    }
+
+    /// Fetch the blob stored under `key` on `to`, advancing the clock by the
+    /// return-transfer cost.
+    ///
+    /// # Errors
+    ///
+    /// Reachability and store errors as for [`SimNet::send_blob`].
+    pub fn fetch_blob(&mut self, from: DeviceId, to: DeviceId, key: &str) -> Result<String> {
+        let link = self.require_link(from, to)?;
+        let text = self.state_mut(to)?.store.fetch(key)?;
+        let bytes = text.len();
+        let cost = link.transfer_time(bytes);
+        self.clock.advance(cost);
+        self.bytes_fetched += bytes as u64;
+        self.push_trace(TraceKind::BlobFetched {
+            from,
+            to,
+            key: key.to_string(),
+            bytes,
+        });
+        Ok(text)
+    }
+
+    /// Instruct `to` to drop the blob under `key`. Costs one latency (a tiny
+    /// control message), not bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Reachability and store errors as for [`SimNet::send_blob`].
+    pub fn drop_blob(&mut self, from: DeviceId, to: DeviceId, key: &str) -> Result<()> {
+        let link = self.require_link(from, to)?;
+        self.clock.advance(link.latency);
+        self.state_mut(to)?.store.drop_blob(key)?;
+        self.push_trace(TraceKind::BlobDropped {
+            from,
+            to,
+            key: key.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Whether `to` currently holds a blob under `key` (control-plane query,
+    /// free of charge).
+    pub fn holds_blob(&self, to: DeviceId, key: &str) -> bool {
+        self.devices
+            .get(to.0 as usize)
+            .map(|d| d.store.contains(key))
+            .unwrap_or(false)
+    }
+
+    /// Bytes stored on a device right now.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownDevice`].
+    pub fn stored_bytes(&self, device: DeviceId) -> Result<usize> {
+        Ok(self.state(device)?.store.used_bytes())
+    }
+
+    /// Total payload bytes sent / fetched since the world began.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.bytes_sent, self.bytes_fetched)
+    }
+
+    /// The trace so far.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Drain the trace (examples print it incrementally).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    fn require_link(&self, from: DeviceId, to: DeviceId) -> Result<LinkSpec> {
+        self.state(from)?;
+        self.state(to)?;
+        if !self.is_present(from) {
+            return Err(NetError::Departed { device: from });
+        }
+        if !self.is_present(to) {
+            return Err(NetError::Departed { device: to });
+        }
+        self.links
+            .get(&key(from, to))
+            .copied()
+            .ok_or(NetError::NotConnected { from, to })
+    }
+
+    fn state(&self, device: DeviceId) -> Result<&DeviceState> {
+        self.devices
+            .get(device.0 as usize)
+            .ok_or(NetError::UnknownDevice { device })
+    }
+
+    fn state_mut(&mut self, device: DeviceId) -> Result<&mut DeviceState> {
+        self.devices
+            .get_mut(device.0 as usize)
+            .ok_or(NetError::UnknownDevice { device })
+    }
+
+    fn push_trace(&mut self, kind: TraceKind) {
+        self.trace.push(TraceEvent {
+            at: self.clock.now(),
+            kind,
+        });
+    }
+
+    pub(crate) fn push_trace_at(&mut self, at: crate::SimTime, kind: TraceKind) {
+        self.trace.push(TraceEvent { at, kind });
+    }
+}
+
+fn key(a: DeviceId, b: DeviceId) -> (DeviceId, DeviceId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> (SimNet, DeviceId, DeviceId) {
+        let mut net = SimNet::new();
+        let pda = net.add_device("pda", DeviceKind::Pda, 0);
+        let laptop = net.add_device("laptop", DeviceKind::Laptop, 1000);
+        net.connect(pda, laptop, LinkSpec::bluetooth()).unwrap();
+        (net, pda, laptop)
+    }
+
+    #[test]
+    fn send_fetch_drop_advances_clock() {
+        let (mut net, pda, laptop) = world();
+        let t0 = net.now();
+        net.send_blob(pda, laptop, "k", "x".repeat(100)).unwrap();
+        let t1 = net.now();
+        assert!(t1 > t0);
+        assert!(net.holds_blob(laptop, "k"));
+        let text = net.fetch_blob(pda, laptop, "k").unwrap();
+        assert_eq!(text.len(), 100);
+        assert!(net.now() > t1);
+        net.drop_blob(pda, laptop, "k").unwrap();
+        assert!(!net.holds_blob(laptop, "k"));
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let (mut net, pda, laptop) = world();
+        net.send_blob(pda, laptop, "k", "x".repeat(100)).unwrap();
+        net.fetch_blob(pda, laptop, "k").unwrap();
+        assert_eq!(net.traffic(), (100, 100));
+    }
+
+    #[test]
+    fn unlinked_devices_cannot_exchange() {
+        let mut net = SimNet::new();
+        let a = net.add_device("a", DeviceKind::Pda, 0);
+        let b = net.add_device("b", DeviceKind::Laptop, 100);
+        let err = net.send_blob(a, b, "k", "x".into()).unwrap_err();
+        assert!(matches!(err, NetError::NotConnected { .. }));
+    }
+
+    #[test]
+    fn departed_device_is_unreachable_until_arrival() {
+        let (mut net, pda, laptop) = world();
+        net.send_blob(pda, laptop, "k", "data".into()).unwrap();
+        net.depart(laptop).unwrap();
+        assert!(matches!(
+            net.fetch_blob(pda, laptop, "k"),
+            Err(NetError::Departed { .. })
+        ));
+        assert!(net.nearby(pda).is_empty());
+        net.arrive(laptop).unwrap();
+        assert_eq!(net.fetch_blob(pda, laptop, "k").unwrap(), "data");
+    }
+
+    #[test]
+    fn nearby_lists_linked_present_devices_sorted() {
+        let mut net = SimNet::new();
+        let pda = net.add_device("pda", DeviceKind::Pda, 0);
+        let a = net.add_device("a", DeviceKind::Laptop, 10);
+        let b = net.add_device("b", DeviceKind::Desktop, 10);
+        let c = net.add_device("c", DeviceKind::Mote, 10);
+        net.connect(pda, b, LinkSpec::wifi()).unwrap();
+        net.connect(pda, a, LinkSpec::bluetooth()).unwrap();
+        net.connect(a, c, LinkSpec::mote_radio()).unwrap(); // not pda's
+        assert_eq!(net.nearby(pda), vec![a, b]);
+    }
+
+    #[test]
+    fn quota_and_free_storage_are_visible() {
+        let (mut net, pda, laptop) = world();
+        assert_eq!(net.free_storage(laptop).unwrap(), 1000);
+        net.send_blob(pda, laptop, "k", "x".repeat(400)).unwrap();
+        assert_eq!(net.free_storage(laptop).unwrap(), 600);
+        assert_eq!(net.stored_bytes(laptop).unwrap(), 400);
+    }
+
+    #[test]
+    fn failed_send_still_costs_airtime() {
+        let (mut net, pda, laptop) = world();
+        let t0 = net.now();
+        // Blob larger than the laptop quota.
+        let err = net
+            .send_blob(pda, laptop, "big", "x".repeat(2000))
+            .unwrap_err();
+        assert!(matches!(err, NetError::QuotaExceeded { .. }));
+        assert!(net.now() > t0, "airtime was spent even though storing failed");
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let (mut net, pda, laptop) = world();
+        net.send_blob(pda, laptop, "k", "abc".into()).unwrap();
+        net.drop_blob(pda, laptop, "k").unwrap();
+        let kinds: Vec<_> = net
+            .trace()
+            .iter()
+            .map(|e| std::mem::discriminant(&e.kind))
+            .collect();
+        assert_eq!(kinds.len(), 5); // 2 adds, 1 link, 1 store, 1 drop
+        assert!(net
+            .trace()
+            .iter()
+            .any(|e| matches!(&e.kind, TraceKind::BlobStored { key, .. } if key == "k")));
+        let drained = net.take_trace();
+        assert_eq!(drained.len(), 5);
+        assert!(net.trace().is_empty());
+    }
+
+    #[test]
+    fn unknown_device_is_reported() {
+        let net = SimNet::new();
+        assert!(matches!(
+            net.profile(DeviceId(9)),
+            Err(NetError::UnknownDevice { .. })
+        ));
+    }
+
+    #[test]
+    fn link_lookup_is_symmetric() {
+        let (net, pda, laptop) = world();
+        assert!(net.link(pda, laptop).is_some());
+        assert!(net.link(laptop, pda).is_some());
+    }
+
+    #[test]
+    fn disconnect_removes_reachability() {
+        let (mut net, pda, laptop) = world();
+        net.disconnect(laptop, pda);
+        assert!(net.link(pda, laptop).is_none());
+        assert!(matches!(
+            net.send_blob(pda, laptop, "k", "x".into()),
+            Err(NetError::NotConnected { .. })
+        ));
+    }
+}

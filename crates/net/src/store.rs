@@ -1,0 +1,271 @@
+//! The dumb blob store: store / fetch / drop keyed text.
+//!
+//! This is deliberately the *entire* interface the paper requires of a
+//! device that receives swapped objects: "They need only be able to store
+//! and return a textual representation of the serialized objects". No VM,
+//! no middleware, no object model — just keyed text with a quota.
+
+use crate::{DeviceId, NetError, Result};
+use std::collections::HashMap;
+
+/// The three-verb protocol spoken by storage devices.
+///
+/// Implementations must be deterministic; fault injection is expressed
+/// through [`FailurePlan`] rather than randomness at the trait level.
+pub trait BlobStore {
+    /// Store `text` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::QuotaExceeded`] when full, [`NetError::DuplicateBlob`] if
+    /// the key is already present, or [`NetError::InjectedFailure`].
+    fn store(&mut self, key: &str, text: String) -> Result<()>;
+
+    /// Return a copy of the text stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownBlob`] or [`NetError::InjectedFailure`].
+    fn fetch(&mut self, key: &str) -> Result<String>;
+
+    /// Drop the blob stored under `key`. Dropping an absent key is an error
+    /// so that the middleware's bookkeeping bugs surface loudly.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownBlob`] or [`NetError::InjectedFailure`].
+    fn drop_blob(&mut self, key: &str) -> Result<()>;
+
+    /// Whether a blob with this key is stored.
+    fn contains(&self, key: &str) -> bool;
+
+    /// Bytes currently stored.
+    fn used_bytes(&self) -> usize;
+
+    /// Number of blobs currently stored.
+    fn blob_count(&self) -> usize;
+}
+
+/// Deterministic fault-injection plan for a [`MemStore`].
+///
+/// Operations are counted across all three verbs; when the counter reaches
+/// an entry in `fail_at`, that operation fails with
+/// [`NetError::InjectedFailure`] (and still consumes the count).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailurePlan {
+    /// 0-based operation indices that must fail.
+    pub fail_at: Vec<u64>,
+}
+
+impl FailurePlan {
+    /// A plan that never fails.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fail the n-th operation (0-based), once.
+    pub fn fail_once_at(n: u64) -> Self {
+        FailurePlan { fail_at: vec![n] }
+    }
+
+    fn should_fail(&self, op_counter: u64) -> bool {
+        self.fail_at.contains(&op_counter)
+    }
+}
+
+/// In-memory quota-enforcing blob store — what a laptop, desktop, PDA or
+/// mote in the room runs on behalf of its neighbours.
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    device: DeviceId,
+    blobs: HashMap<String, String>,
+    quota: usize,
+    used: usize,
+    ops: u64,
+    failures: FailurePlan,
+}
+
+impl DeviceId {
+    pub(crate) const UNSET: DeviceId = DeviceId(u32::MAX);
+}
+
+impl Default for DeviceId {
+    fn default() -> Self {
+        DeviceId::UNSET
+    }
+}
+
+impl MemStore {
+    /// Create a store with a quota, attributed to `device` in errors.
+    pub fn new(device: DeviceId, quota: usize) -> Self {
+        MemStore {
+            device,
+            blobs: HashMap::new(),
+            quota,
+            used: 0,
+            ops: 0,
+            failures: FailurePlan::none(),
+        }
+    }
+
+    /// Install a fault-injection plan.
+    pub fn set_failure_plan(&mut self, plan: FailurePlan) {
+        self.failures = plan;
+    }
+
+    /// The quota in bytes.
+    pub fn quota(&self) -> usize {
+        self.quota
+    }
+
+    /// Keys currently stored (unordered).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.blobs.keys().map(String::as_str)
+    }
+
+    fn bump_op(&mut self, op: &'static str) -> Result<()> {
+        let n = self.ops;
+        self.ops += 1;
+        if self.failures.should_fail(n) {
+            return Err(NetError::InjectedFailure {
+                device: self.device,
+                op,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl BlobStore for MemStore {
+    fn store(&mut self, key: &str, text: String) -> Result<()> {
+        self.bump_op("store")?;
+        if self.blobs.contains_key(key) {
+            return Err(NetError::DuplicateBlob {
+                device: self.device,
+                key: key.to_string(),
+            });
+        }
+        let size = text.len();
+        if self.used + size > self.quota {
+            return Err(NetError::QuotaExceeded {
+                device: self.device,
+                requested: size,
+                used: self.used,
+                quota: self.quota,
+            });
+        }
+        self.used += size;
+        self.blobs.insert(key.to_string(), text);
+        Ok(())
+    }
+
+    fn fetch(&mut self, key: &str) -> Result<String> {
+        self.bump_op("fetch")?;
+        self.blobs
+            .get(key)
+            .cloned()
+            .ok_or_else(|| NetError::UnknownBlob {
+                device: self.device,
+                key: key.to_string(),
+            })
+    }
+
+    fn drop_blob(&mut self, key: &str) -> Result<()> {
+        self.bump_op("drop")?;
+        match self.blobs.remove(key) {
+            Some(text) => {
+                self.used -= text.len();
+                Ok(())
+            }
+            None => Err(NetError::UnknownBlob {
+                device: self.device,
+                key: key.to_string(),
+            }),
+        }
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.blobs.contains_key(key)
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    fn blob_count(&self) -> usize {
+        self.blobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> MemStore {
+        MemStore::new(DeviceId(1), 100)
+    }
+
+    #[test]
+    fn store_fetch_drop_roundtrip() {
+        let mut s = store();
+        s.store("k", "hello".into()).unwrap();
+        assert!(s.contains("k"));
+        assert_eq!(s.used_bytes(), 5);
+        assert_eq!(s.fetch("k").unwrap(), "hello");
+        s.drop_blob("k").unwrap();
+        assert!(!s.contains("k"));
+        assert_eq!(s.used_bytes(), 0);
+    }
+
+    #[test]
+    fn quota_is_enforced_and_freed_on_drop() {
+        let mut s = store();
+        s.store("a", "x".repeat(60)).unwrap();
+        let err = s.store("b", "y".repeat(60)).unwrap_err();
+        assert!(matches!(err, NetError::QuotaExceeded { .. }));
+        s.drop_blob("a").unwrap();
+        s.store("b", "y".repeat(60)).unwrap();
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut s = store();
+        s.store("k", "1".into()).unwrap();
+        assert!(matches!(
+            s.store("k", "2".into()),
+            Err(NetError::DuplicateBlob { .. })
+        ));
+        // Original value untouched.
+        assert_eq!(s.fetch("k").unwrap(), "1");
+    }
+
+    #[test]
+    fn missing_key_fetch_and_drop_error() {
+        let mut s = store();
+        assert!(matches!(s.fetch("nope"), Err(NetError::UnknownBlob { .. })));
+        assert!(matches!(
+            s.drop_blob("nope"),
+            Err(NetError::UnknownBlob { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_failure_fires_on_exact_operation() {
+        let mut s = store();
+        s.set_failure_plan(FailurePlan::fail_once_at(1));
+        s.store("a", "1".into()).unwrap(); // op 0
+        let err = s.fetch("a").unwrap_err(); // op 1 fails
+        assert!(matches!(err, NetError::InjectedFailure { op: "fetch", .. }));
+        assert_eq!(s.fetch("a").unwrap(), "1"); // op 2 succeeds
+    }
+
+    #[test]
+    fn blob_count_tracks_contents() {
+        let mut s = store();
+        assert_eq!(s.blob_count(), 0);
+        s.store("a", "1".into()).unwrap();
+        s.store("b", "2".into()).unwrap();
+        assert_eq!(s.blob_count(), 2);
+        assert_eq!(s.keys().count(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Event trace of the simulated world.
+
+use crate::{DeviceId, SimTime};
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A device joined the world.
+    DeviceAdded {
+        /// The new device.
+        device: DeviceId,
+    },
+    /// A device left radio range (its blobs became unreachable).
+    DeviceDeparted {
+        /// The departed device.
+        device: DeviceId,
+        /// How many blobs it took along.
+        blobs_lost_reach: usize,
+    },
+    /// A departed device came back.
+    DeviceArrived {
+        /// The returning device.
+        device: DeviceId,
+    },
+    /// A blob was stored on a device.
+    BlobStored {
+        /// Sender.
+        from: DeviceId,
+        /// Storing device.
+        to: DeviceId,
+        /// Blob key.
+        key: String,
+        /// Blob size in bytes.
+        bytes: usize,
+    },
+    /// A blob was fetched back.
+    BlobFetched {
+        /// Requester.
+        from: DeviceId,
+        /// Storing device.
+        to: DeviceId,
+        /// Blob key.
+        key: String,
+        /// Blob size in bytes.
+        bytes: usize,
+    },
+    /// A blob transited a relay hop (multi-hop routing).
+    BlobRelayed {
+        /// Hop source.
+        from: DeviceId,
+        /// Hop destination.
+        to: DeviceId,
+        /// Blob key.
+        key: String,
+        /// Bytes forwarded.
+        bytes: usize,
+    },
+    /// A storing device was instructed to drop a blob.
+    BlobDropped {
+        /// Requester.
+        from: DeviceId,
+        /// Storing device.
+        to: DeviceId,
+        /// Blob key.
+        key: String,
+    },
+    /// Two devices were linked.
+    Linked {
+        /// One endpoint.
+        a: DeviceId,
+        /// Other endpoint.
+        b: DeviceId,
+    },
+    /// A link was removed.
+    Unlinked {
+        /// One endpoint.
+        a: DeviceId,
+        /// Other endpoint.
+        b: DeviceId,
+    },
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened (simulated time).
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.at)?;
+        match &self.kind {
+            TraceKind::DeviceAdded { device } => write!(f, "added {device}"),
+            TraceKind::DeviceDeparted {
+                device,
+                blobs_lost_reach,
+            } => write!(f, "{device} departed with {blobs_lost_reach} blob(s)"),
+            TraceKind::DeviceArrived { device } => write!(f, "{device} arrived"),
+            TraceKind::BlobStored {
+                from,
+                to,
+                key,
+                bytes,
+            } => write!(f, "{from} stored `{key}` ({bytes} B) on {to}"),
+            TraceKind::BlobFetched {
+                from,
+                to,
+                key,
+                bytes,
+            } => write!(f, "{from} fetched `{key}` ({bytes} B) from {to}"),
+            TraceKind::BlobRelayed {
+                from,
+                to,
+                key,
+                bytes,
+            } => write!(f, "{from} relayed `{key}` ({bytes} B) to {to}"),
+            TraceKind::BlobDropped { from, to, key } => {
+                write!(f, "{from} dropped `{key}` on {to}")
+            }
+            TraceKind::Linked { a, b } => write!(f, "linked {a} <-> {b}"),
+            TraceKind::Unlinked { a, b } => write!(f, "unlinked {a} <-> {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceEvent {
+            at: SimTime::from_micros(2_500),
+            kind: TraceKind::BlobStored {
+                from: DeviceId(0),
+                to: DeviceId(1),
+                key: "sc-2".into(),
+                bytes: 640,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("sc-2") && s.contains("640") && s.contains("dev#1"));
+    }
+}

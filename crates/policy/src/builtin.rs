@@ -1,0 +1,75 @@
+//! Built-in policy sets.
+
+use crate::rule::Action;
+use crate::{Condition, PolicyCategory, Rule};
+
+/// The default machine policies reproducing the paper's prototypical
+/// scenario: "From time to time, the memory occupied ... reaches a
+/// threshold value ... At those moments, the OBIWAN middleware, evaluating
+/// the policies loaded, decides to swap-out a set of objects to nearby
+/// devices, if there are any."
+///
+/// * at `high_pct` occupancy: collect garbage, then swap out one victim;
+/// * on outright allocation failure: swap out two victims and collect.
+pub fn default_swap_policies(high_pct: u8) -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "builtin-memory-pressure".into(),
+            category: PolicyCategory::Machine,
+            priority: 10,
+            on: "memory-pressure".into(),
+            when: Condition::AttrGe("occupancy-pct".into(), high_pct as i64),
+            then: vec![Action::RunGc, Action::SwapOutVictims { count: 1 }],
+        },
+        Rule {
+            id: "builtin-allocation-failed".into(),
+            category: PolicyCategory::Machine,
+            priority: 20,
+            on: "allocation-failed".into(),
+            when: Condition::Always,
+            then: vec![Action::SwapOutVictims { count: 2 }, Action::RunGc],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PolicyEngine, PolicyEvent};
+
+    #[test]
+    fn builtin_policies_fire_on_pressure_and_oom() {
+        let mut engine = PolicyEngine::new();
+        for rule in default_swap_policies(85) {
+            engine.add_rule(rule).unwrap();
+        }
+        let pressure = PolicyEvent::MemoryPressure {
+            occupancy_pct: 90,
+            bytes_used: 0,
+            capacity: 0,
+        };
+        assert_eq!(
+            engine.evaluate(&pressure),
+            vec![Action::RunGc, Action::SwapOutVictims { count: 1 }]
+        );
+        let oom = PolicyEvent::AllocationFailed { requested: 64 };
+        assert_eq!(
+            engine.evaluate(&oom),
+            vec![Action::SwapOutVictims { count: 2 }, Action::RunGc]
+        );
+    }
+
+    #[test]
+    fn pressure_below_threshold_is_ignored() {
+        let mut engine = PolicyEngine::new();
+        for rule in default_swap_policies(85) {
+            engine.add_rule(rule).unwrap();
+        }
+        let mild = PolicyEvent::MemoryPressure {
+            occupancy_pct: 60,
+            bytes_used: 0,
+            capacity: 0,
+        };
+        assert!(engine.evaluate(&mild).is_empty());
+    }
+}

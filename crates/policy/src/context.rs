@@ -1,0 +1,193 @@
+//! Context management: resource monitors that turn raw readings into
+//! policy events (paper §2: "responsible for monitoring available memory
+//! and network connectivity").
+
+use crate::PolicyEvent;
+use std::collections::HashSet;
+
+/// Memory watermarks with hysteresis.
+///
+/// Crossing `high_pct` upward emits [`PolicyEvent::MemoryPressure`]; the
+/// pressure state clears only when occupancy falls below `low_pct`,
+/// preventing oscillation right at the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Occupancy percentage that raises pressure.
+    pub high_pct: u8,
+    /// Occupancy percentage that clears pressure.
+    pub low_pct: u8,
+}
+
+impl Watermarks {
+    /// Watermarks with validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `low_pct < high_pct <= 100`.
+    pub fn new(low_pct: u8, high_pct: u8) -> Self {
+        assert!(
+            low_pct < high_pct && high_pct <= 100,
+            "watermarks must satisfy low < high <= 100"
+        );
+        Watermarks { high_pct, low_pct }
+    }
+}
+
+impl Default for Watermarks {
+    /// 70 % low, 85 % high.
+    fn default() -> Self {
+        Watermarks {
+            high_pct: 85,
+            low_pct: 70,
+        }
+    }
+}
+
+/// The context manager: stateful monitors for memory and connectivity.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_policy::{ContextManager, PolicyEvent, Watermarks};
+///
+/// let mut cm = ContextManager::new(Watermarks::new(70, 85));
+/// assert!(cm.observe_memory(860, 1000).is_some()); // crossed 85 %
+/// assert!(cm.observe_memory(900, 1000).is_none()); // still pressed, no re-fire
+/// assert!(matches!(
+///     cm.observe_memory(500, 1000),
+///     Some(PolicyEvent::MemoryRelaxed { .. })       // fell below 70 %
+/// ));
+/// ```
+#[derive(Debug, Default)]
+pub struct ContextManager {
+    watermarks: Watermarks,
+    pressured: bool,
+    known_devices: HashSet<i64>,
+}
+
+impl ContextManager {
+    /// Create with the given watermarks.
+    pub fn new(watermarks: Watermarks) -> Self {
+        ContextManager {
+            watermarks,
+            pressured: false,
+            known_devices: HashSet::new(),
+        }
+    }
+
+    /// The configured watermarks.
+    pub fn watermarks(&self) -> Watermarks {
+        self.watermarks
+    }
+
+    /// Whether the memory monitor is currently in the pressured state.
+    pub fn is_pressured(&self) -> bool {
+        self.pressured
+    }
+
+    /// Feed a memory reading; returns an event on watermark crossings
+    /// (edge-triggered with hysteresis).
+    pub fn observe_memory(&mut self, bytes_used: usize, capacity: usize) -> Option<PolicyEvent> {
+        let pct = if capacity == 0 {
+            0
+        } else {
+            (bytes_used as u128 * 100 / capacity as u128) as i64
+        };
+        if !self.pressured && pct >= self.watermarks.high_pct as i64 {
+            self.pressured = true;
+            return Some(PolicyEvent::MemoryPressure {
+                occupancy_pct: pct,
+                bytes_used: bytes_used as i64,
+                capacity: capacity as i64,
+            });
+        }
+        if self.pressured && pct < self.watermarks.low_pct as i64 {
+            self.pressured = false;
+            return Some(PolicyEvent::MemoryRelaxed { occupancy_pct: pct });
+        }
+        None
+    }
+
+    /// Feed the current set of reachable storage devices (with free bytes);
+    /// returns discovery / loss events for the delta.
+    pub fn observe_devices(&mut self, present: &[(i64, i64)]) -> Vec<PolicyEvent> {
+        let now: HashSet<i64> = present.iter().map(|(d, _)| *d).collect();
+        let mut events = Vec::new();
+        for &(device, free_storage) in present {
+            if !self.known_devices.contains(&device) {
+                events.push(PolicyEvent::DeviceDiscovered {
+                    device,
+                    free_storage,
+                });
+            }
+        }
+        let mut lost: Vec<i64> = self.known_devices.difference(&now).copied().collect();
+        lost.sort_unstable();
+        for device in lost {
+            events.push(PolicyEvent::DeviceLost {
+                device,
+                blobs_held: 0,
+            });
+        }
+        self.known_devices = now;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hysteresis_prevents_refiring() {
+        let mut cm = ContextManager::new(Watermarks::new(50, 80));
+        assert!(cm.observe_memory(10, 100).is_none());
+        let e = cm.observe_memory(80, 100).unwrap();
+        assert!(matches!(e, PolicyEvent::MemoryPressure { occupancy_pct: 80, .. }));
+        // Between low and high while pressured: silence.
+        assert!(cm.observe_memory(79, 100).is_none());
+        assert!(cm.observe_memory(60, 100).is_none());
+        // Below low: relax fires once.
+        assert!(matches!(
+            cm.observe_memory(49, 100),
+            Some(PolicyEvent::MemoryRelaxed { occupancy_pct: 49 })
+        ));
+        assert!(cm.observe_memory(48, 100).is_none());
+        // And pressure can fire again.
+        assert!(cm.observe_memory(90, 100).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_reads_as_zero_occupancy() {
+        let mut cm = ContextManager::new(Watermarks::default());
+        assert!(cm.observe_memory(100, 0).is_none());
+    }
+
+    #[test]
+    fn device_deltas_produce_discovery_and_loss() {
+        let mut cm = ContextManager::new(Watermarks::default());
+        let evs = cm.observe_devices(&[(1, 100), (2, 200)]);
+        assert_eq!(evs.len(), 2);
+        assert!(evs
+            .iter()
+            .all(|e| matches!(e, PolicyEvent::DeviceDiscovered { .. })));
+        // No change → no events.
+        assert!(cm.observe_devices(&[(1, 100), (2, 200)]).is_empty());
+        // 2 leaves, 3 arrives.
+        let evs = cm.observe_devices(&[(1, 100), (3, 50)]);
+        assert_eq!(evs.len(), 2);
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            PolicyEvent::DeviceDiscovered { device: 3, .. }
+        )));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, PolicyEvent::DeviceLost { device: 2, .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "watermarks")]
+    fn inverted_watermarks_panic() {
+        let _ = Watermarks::new(90, 80);
+    }
+}

@@ -1,0 +1,186 @@
+//! The policy engine: rule storage and evaluation.
+
+use crate::{PolicyError, PolicyEvent, Result, Rule};
+use crate::rule::Action;
+
+/// Holds the loaded rules and evaluates events against them.
+///
+/// Rules fire in deterministic order: by [`crate::PolicyCategory`]
+/// precedence (machine first), then descending priority, then rule id.
+/// All matching rules contribute their actions (the middleware deduplicates
+/// semantically where needed).
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Default)]
+pub struct PolicyEngine {
+    rules: Vec<Rule>,
+    evaluations: u64,
+    fired: u64,
+}
+
+impl PolicyEngine {
+    /// An engine with no rules.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one rule.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::DuplicateRule`] when the id is already present.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        if self.rules.iter().any(|r| r.id == rule.id) {
+            return Err(PolicyError::DuplicateRule { id: rule.id });
+        }
+        self.rules.push(rule);
+        self.sort();
+        Ok(())
+    }
+
+    /// Load rules from the XML dialect (see the crate-level documentation
+    /// for the grammar) and add them.
+    ///
+    /// # Errors
+    ///
+    /// XML parse errors, dialect violations, duplicate ids.
+    pub fn load_xml(&mut self, xml: &str) -> Result<()> {
+        for rule in crate::xml_rules::parse_policies(xml)? {
+            self.add_rule(rule)?;
+        }
+        Ok(())
+    }
+
+    /// Remove a rule by id, returning whether it existed.
+    pub fn remove_rule(&mut self, id: &str) -> bool {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.id != id);
+        self.rules.len() != before
+    }
+
+    /// The loaded rules in evaluation order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Evaluate an event: all firing rules' actions, in rule order.
+    pub fn evaluate(&mut self, event: &PolicyEvent) -> Vec<Action> {
+        self.evaluations += 1;
+        let mut actions = Vec::new();
+        for rule in &self.rules {
+            if rule.fires(event) {
+                self.fired += 1;
+                actions.extend(rule.then.iter().cloned());
+            }
+        }
+        actions
+    }
+
+    /// `(events evaluated, rules fired)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.evaluations, self.fired)
+    }
+
+    fn sort(&mut self) {
+        self.rules.sort_by(|a, b| {
+            a.category
+                .cmp(&b.category)
+                .then(b.priority.cmp(&a.priority))
+                .then(a.id.cmp(&b.id))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Condition, PolicyCategory};
+
+    fn rule(id: &str, cat: PolicyCategory, prio: i32, action: Action) -> Rule {
+        Rule {
+            id: id.into(),
+            category: cat,
+            priority: prio,
+            on: "memory-pressure".into(),
+            when: Condition::Always,
+            then: vec![action],
+        }
+    }
+
+    fn pressure() -> PolicyEvent {
+        PolicyEvent::MemoryPressure {
+            occupancy_pct: 90,
+            bytes_used: 900,
+            capacity: 1000,
+        }
+    }
+
+    #[test]
+    fn actions_fire_in_category_then_priority_order() {
+        let mut e = PolicyEngine::new();
+        e.add_rule(rule("app", PolicyCategory::Application, 99, Action::RunGc))
+            .unwrap();
+        e.add_rule(rule(
+            "mach",
+            PolicyCategory::Machine,
+            0,
+            Action::SwapOutVictims { count: 1 },
+        ))
+        .unwrap();
+        e.add_rule(rule(
+            "user-hi",
+            PolicyCategory::User,
+            5,
+            Action::AdjustClusterSize { delta: -10 },
+        ))
+        .unwrap();
+        e.add_rule(rule(
+            "user-lo",
+            PolicyCategory::User,
+            1,
+            Action::AdjustClusterSize { delta: 10 },
+        ))
+        .unwrap();
+        let actions = e.evaluate(&pressure());
+        assert_eq!(
+            actions,
+            vec![
+                Action::SwapOutVictims { count: 1 },
+                Action::AdjustClusterSize { delta: -10 },
+                Action::AdjustClusterSize { delta: 10 },
+                Action::RunGc,
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let mut e = PolicyEngine::new();
+        e.add_rule(rule("x", PolicyCategory::User, 0, Action::RunGc))
+            .unwrap();
+        assert!(matches!(
+            e.add_rule(rule("x", PolicyCategory::Machine, 0, Action::RunGc)),
+            Err(PolicyError::DuplicateRule { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_rule_by_id() {
+        let mut e = PolicyEngine::new();
+        e.add_rule(rule("x", PolicyCategory::User, 0, Action::RunGc))
+            .unwrap();
+        assert!(e.remove_rule("x"));
+        assert!(!e.remove_rule("x"));
+        assert!(e.evaluate(&pressure()).is_empty());
+    }
+
+    #[test]
+    fn counters_track_evaluations_and_firings() {
+        let mut e = PolicyEngine::new();
+        e.add_rule(rule("x", PolicyCategory::User, 0, Action::RunGc))
+            .unwrap();
+        e.evaluate(&pressure());
+        e.evaluate(&PolicyEvent::SwappedIn { swap_cluster: 1 }); // no match
+        assert_eq!(e.counters(), (2, 1));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for policy parsing and evaluation.
+
+use std::fmt;
+
+/// Error produced while loading or evaluating policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The XML document failed to parse.
+    Xml(obiwan_xml::Error),
+    /// The document parsed but does not follow the policy dialect.
+    Dialect {
+        /// Description of the violation.
+        message: String,
+    },
+    /// A rule id appears more than once.
+    DuplicateRule {
+        /// The duplicated id.
+        id: String,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Xml(e) => write!(f, "policy XML: {e}"),
+            PolicyError::Dialect { message } => write!(f, "policy dialect: {message}"),
+            PolicyError::DuplicateRule { id } => write!(f, "duplicate policy id `{id}`"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PolicyError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<obiwan_xml::Error> for PolicyError {
+    fn from(e: obiwan_xml::Error) -> Self {
+        PolicyError::Xml(e)
+    }
+}
+
+impl PolicyError {
+    /// Construct a dialect error from anything displayable.
+    pub fn dialect(message: impl fmt::Display) -> Self {
+        PolicyError::Dialect {
+            message: message.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_errors_chain_as_source() {
+        let e = PolicyError::from(obiwan_xml::Error::structure("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

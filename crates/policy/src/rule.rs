@@ -1,0 +1,211 @@
+//! Rules: conditions over event attributes, actions, categories.
+
+use crate::PolicyEvent;
+use std::fmt;
+
+/// Where a policy comes from — the paper's "policies are stored and
+/// categorized by nature" (user, machine, application, domain). Categories
+/// impose precedence: machine policies (device health) outrank user wishes,
+/// which outrank application and then domain defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PolicyCategory {
+    /// Device-integrity policies (highest precedence).
+    Machine,
+    /// User-stated preferences.
+    User,
+    /// Application-provided policies.
+    Application,
+    /// Organization/domain-wide defaults (lowest precedence).
+    Domain,
+}
+
+impl PolicyCategory {
+    /// Parse from the XML dialect's attribute value.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "machine" => PolicyCategory::Machine,
+            "user" => PolicyCategory::User,
+            "application" => PolicyCategory::Application,
+            "domain" => PolicyCategory::Domain,
+            _ => return None,
+        })
+    }
+
+    /// Dialect name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyCategory::Machine => "machine",
+            PolicyCategory::User => "user",
+            PolicyCategory::Application => "application",
+            PolicyCategory::Domain => "domain",
+        }
+    }
+}
+
+impl fmt::Display for PolicyCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A boolean predicate over an event's named attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// Always true.
+    Always,
+    /// `attr >= value`; false when the attribute is absent.
+    AttrGe(String, i64),
+    /// `attr <= value`; false when the attribute is absent.
+    AttrLe(String, i64),
+    /// `attr == value`; false when the attribute is absent.
+    AttrEq(String, i64),
+    /// Negation.
+    Not(Box<Condition>),
+    /// Conjunction (true when empty).
+    All(Vec<Condition>),
+    /// Disjunction (false when empty).
+    Any(Vec<Condition>),
+}
+
+impl Condition {
+    /// Evaluate against an event.
+    pub fn matches(&self, event: &PolicyEvent) -> bool {
+        match self {
+            Condition::Always => true,
+            Condition::AttrGe(a, v) => event.attr(a).map(|x| x >= *v).unwrap_or(false),
+            Condition::AttrLe(a, v) => event.attr(a).map(|x| x <= *v).unwrap_or(false),
+            Condition::AttrEq(a, v) => event.attr(a).map(|x| x == *v).unwrap_or(false),
+            Condition::Not(c) => !c.matches(event),
+            Condition::All(cs) => cs.iter().all(|c| c.matches(event)),
+            Condition::Any(cs) => cs.iter().any(|c| c.matches(event)),
+        }
+    }
+}
+
+/// An action a fired rule requests from the middleware.
+///
+/// The engine does not execute actions itself — the middleware interprets
+/// them, keeping the policy layer free of dependencies on the swap layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Swap out `count` victim swap-clusters (selection is the swapping
+    /// manager's business).
+    SwapOutVictims {
+        /// How many victims to evict.
+        count: u32,
+    },
+    /// Run a local garbage collection.
+    RunGc,
+    /// Adjust the replication cluster size by `delta` objects (runtime
+    /// adaptability of the paper's "adaptable size").
+    AdjustClusterSize {
+        /// Signed change in objects-per-cluster.
+        delta: i64,
+    },
+    /// Prefer the named device kind when choosing a swap target.
+    PreferDeviceKind {
+        /// Device kind name (e.g. "laptop").
+        kind: String,
+    },
+    /// Emit a log line (examples and tests).
+    Log {
+        /// The message.
+        message: String,
+    },
+}
+
+/// A complete policy rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Unique rule id.
+    pub id: String,
+    /// Category (precedence class).
+    pub category: PolicyCategory,
+    /// Priority within the category (higher fires first).
+    pub priority: i32,
+    /// Event name this rule listens to.
+    pub on: String,
+    /// Guard condition.
+    pub when: Condition,
+    /// Actions fired when the guard passes.
+    pub then: Vec<Action>,
+}
+
+impl Rule {
+    /// Whether this rule fires for the event.
+    pub fn fires(&self, event: &PolicyEvent) -> bool {
+        self.on == event.name() && self.when.matches(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pressure(pct: i64) -> PolicyEvent {
+        PolicyEvent::MemoryPressure {
+            occupancy_pct: pct,
+            bytes_used: pct * 10,
+            capacity: 1000,
+        }
+    }
+
+    #[test]
+    fn conditions_compose() {
+        let c = Condition::All(vec![
+            Condition::AttrGe("occupancy-pct".into(), 80),
+            Condition::Not(Box::new(Condition::AttrGe("occupancy-pct".into(), 95))),
+        ]);
+        assert!(!c.matches(&pressure(70)));
+        assert!(c.matches(&pressure(85)));
+        assert!(!c.matches(&pressure(99)));
+    }
+
+    #[test]
+    fn absent_attribute_fails_comparisons() {
+        let c = Condition::AttrGe("no-such".into(), 0);
+        assert!(!c.matches(&pressure(50)));
+        // ...but Not() of an absent attr is true.
+        assert!(Condition::Not(Box::new(c)).matches(&pressure(50)));
+    }
+
+    #[test]
+    fn empty_all_and_any() {
+        assert!(Condition::All(vec![]).matches(&pressure(1)));
+        assert!(!Condition::Any(vec![]).matches(&pressure(1)));
+    }
+
+    #[test]
+    fn rule_fires_on_matching_event_name_only() {
+        let r = Rule {
+            id: "r".into(),
+            category: PolicyCategory::Machine,
+            priority: 0,
+            on: "memory-pressure".into(),
+            when: Condition::Always,
+            then: vec![Action::RunGc],
+        };
+        assert!(r.fires(&pressure(1)));
+        assert!(!r.fires(&PolicyEvent::SwappedIn { swap_cluster: 1 }));
+    }
+
+    #[test]
+    fn category_precedence_order() {
+        assert!(PolicyCategory::Machine < PolicyCategory::User);
+        assert!(PolicyCategory::User < PolicyCategory::Application);
+        assert!(PolicyCategory::Application < PolicyCategory::Domain);
+    }
+
+    #[test]
+    fn category_names_roundtrip() {
+        for c in [
+            PolicyCategory::Machine,
+            PolicyCategory::User,
+            PolicyCategory::Application,
+            PolicyCategory::Domain,
+        ] {
+            assert_eq!(PolicyCategory::from_name(c.name()), Some(c));
+        }
+        assert_eq!(PolicyCategory::from_name("galaxy"), None);
+    }
+}

@@ -1,0 +1,286 @@
+//! The XML policy dialect (the paper: "Policies that deploy the various
+//! modules are coded in XML").
+//!
+//! Grammar:
+//!
+//! ```xml
+//! <policies>
+//!   <policy id="low-memory" category="machine" priority="10">
+//!     <on event="memory-pressure"/>
+//!     <when attr="occupancy-pct" ge="85"/>        <!-- optional; may repeat (AND) -->
+//!     <then>
+//!       <swap-out victims="2"/>
+//!       <gc/>
+//!       <adjust-cluster-size delta="-10"/>
+//!       <prefer-device kind="laptop"/>
+//!       <log message="pressure handled"/>
+//!     </then>
+//!   </policy>
+//! </policies>
+//! ```
+//!
+//! `<when>` supports exactly one of `ge` / `le` / `eq` per element; multiple
+//! `<when>` elements conjoin. `<any>` wraps alternatives:
+//!
+//! ```xml
+//! <any>
+//!   <when attr="occupancy-pct" ge="95"/>
+//!   <when attr="free-storage" le="1024"/>
+//! </any>
+//! ```
+
+use crate::rule::Action;
+use crate::{Condition, PolicyCategory, PolicyError, Result, Rule};
+use obiwan_xml::Element;
+
+/// Parse a `<policies>` document into rules.
+pub(crate) fn parse_policies(xml: &str) -> Result<Vec<Rule>> {
+    let root = Element::parse(xml)?;
+    if root.name() != "policies" {
+        return Err(PolicyError::dialect(format!(
+            "root element must be <policies>, found <{}>",
+            root.name()
+        )));
+    }
+    root.children_named("policy").map(parse_policy).collect()
+}
+
+fn parse_policy(el: &Element) -> Result<Rule> {
+    let id = el
+        .require_attr("id")
+        .map_err(PolicyError::from)?
+        .to_string();
+    let category = match el.attr("category") {
+        Some(c) => PolicyCategory::from_name(c)
+            .ok_or_else(|| PolicyError::dialect(format!("unknown category `{c}` in `{id}`")))?,
+        None => PolicyCategory::Application,
+    };
+    let priority = match el.attr("priority") {
+        Some(p) => p
+            .parse()
+            .map_err(|e| PolicyError::dialect(format!("priority in `{id}`: {e}")))?,
+        None => 0,
+    };
+    let on = el
+        .require_child("on")
+        .and_then(|on| on.require_attr("event"))
+        .map_err(PolicyError::from)?
+        .to_string();
+    let mut conjuncts = Vec::new();
+    for child in el.children() {
+        match child.name() {
+            "when" => conjuncts.push(parse_when(child, &id)?),
+            "any" => {
+                let alternatives: Vec<Condition> = child
+                    .children_named("when")
+                    .map(|w| parse_when(w, &id))
+                    .collect::<Result<_>>()?;
+                conjuncts.push(Condition::Any(alternatives));
+            }
+            _ => {}
+        }
+    }
+    let when = match conjuncts.len() {
+        0 => Condition::Always,
+        1 => conjuncts.pop().expect("len checked"),
+        _ => Condition::All(conjuncts),
+    };
+    let then_el = el.require_child("then").map_err(PolicyError::from)?;
+    let then: Vec<Action> = then_el
+        .children()
+        .iter()
+        .map(|a| parse_action(a, &id))
+        .collect::<Result<_>>()?;
+    if then.is_empty() {
+        return Err(PolicyError::dialect(format!(
+            "policy `{id}` has an empty <then>"
+        )));
+    }
+    Ok(Rule {
+        id,
+        category,
+        priority,
+        on,
+        when,
+        then,
+    })
+}
+
+fn parse_when(el: &Element, rule_id: &str) -> Result<Condition> {
+    let attr = el
+        .require_attr("attr")
+        .map_err(PolicyError::from)?
+        .to_string();
+    let comparisons: Vec<(&str, &str)> = ["ge", "le", "eq"]
+        .iter()
+        .filter_map(|op| el.attr(op).map(|v| (*op, v)))
+        .collect();
+    let [(op, raw)] = comparisons.as_slice() else {
+        return Err(PolicyError::dialect(format!(
+            "<when> in `{rule_id}` must carry exactly one of ge/le/eq"
+        )));
+    };
+    let value: i64 = raw
+        .parse()
+        .map_err(|e| PolicyError::dialect(format!("<when {op}=\"{raw}\"> in `{rule_id}`: {e}")))?;
+    Ok(match *op {
+        "ge" => Condition::AttrGe(attr, value),
+        "le" => Condition::AttrLe(attr, value),
+        _ => Condition::AttrEq(attr, value),
+    })
+}
+
+fn parse_action(el: &Element, rule_id: &str) -> Result<Action> {
+    Ok(match el.name() {
+        "swap-out" => Action::SwapOutVictims {
+            count: el.parse_attr("victims").map_err(PolicyError::from)?,
+        },
+        "gc" => Action::RunGc,
+        "adjust-cluster-size" => Action::AdjustClusterSize {
+            delta: el.parse_attr("delta").map_err(PolicyError::from)?,
+        },
+        "prefer-device" => Action::PreferDeviceKind {
+            kind: el
+                .require_attr("kind")
+                .map_err(PolicyError::from)?
+                .to_string(),
+        },
+        "log" => Action::Log {
+            message: el
+                .require_attr("message")
+                .map_err(PolicyError::from)?
+                .to_string(),
+        },
+        other => {
+            return Err(PolicyError::dialect(format!(
+                "unknown action <{other}> in `{rule_id}`"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolicyEvent;
+
+    #[test]
+    fn full_dialect_parses() {
+        let rules = parse_policies(
+            r#"<policies>
+                 <policy id="p1" category="machine" priority="7">
+                   <on event="memory-pressure"/>
+                   <when attr="occupancy-pct" ge="85"/>
+                   <when attr="occupancy-pct" le="99"/>
+                   <then>
+                     <swap-out victims="2"/>
+                     <gc/>
+                     <adjust-cluster-size delta="-10"/>
+                     <prefer-device kind="laptop"/>
+                     <log message="hi"/>
+                   </then>
+                 </policy>
+               </policies>"#,
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 1);
+        let r = &rules[0];
+        assert_eq!(r.id, "p1");
+        assert_eq!(r.category, PolicyCategory::Machine);
+        assert_eq!(r.priority, 7);
+        assert_eq!(r.then.len(), 5);
+        assert!(r.fires(&PolicyEvent::MemoryPressure {
+            occupancy_pct: 90,
+            bytes_used: 0,
+            capacity: 0
+        }));
+        assert!(!r.fires(&PolicyEvent::MemoryPressure {
+            occupancy_pct: 100,
+            bytes_used: 0,
+            capacity: 0
+        }));
+    }
+
+    #[test]
+    fn any_block_is_disjunction() {
+        let rules = parse_policies(
+            r#"<policies>
+                 <policy id="p">
+                   <on event="memory-pressure"/>
+                   <any>
+                     <when attr="occupancy-pct" ge="95"/>
+                     <when attr="bytes-used" ge="100000"/>
+                   </any>
+                   <then><gc/></then>
+                 </policy>
+               </policies>"#,
+        )
+        .unwrap();
+        let r = &rules[0];
+        let hit = PolicyEvent::MemoryPressure {
+            occupancy_pct: 10,
+            bytes_used: 200_000,
+            capacity: 0,
+        };
+        let miss = PolicyEvent::MemoryPressure {
+            occupancy_pct: 10,
+            bytes_used: 10,
+            capacity: 0,
+        };
+        assert!(r.fires(&hit));
+        assert!(!r.fires(&miss));
+    }
+
+    #[test]
+    fn defaults_apply_when_attributes_omitted() {
+        let rules = parse_policies(
+            r#"<policies>
+                 <policy id="p"><on event="x"/><then><gc/></then></policy>
+               </policies>"#,
+        )
+        .unwrap();
+        assert_eq!(rules[0].category, PolicyCategory::Application);
+        assert_eq!(rules[0].priority, 0);
+        assert_eq!(rules[0].when, Condition::Always);
+    }
+
+    #[test]
+    fn dialect_violations_are_reported() {
+        // wrong root
+        assert!(matches!(
+            parse_policies("<rules/>"),
+            Err(PolicyError::Dialect { .. })
+        ));
+        // missing <on>
+        assert!(parse_policies(r#"<policies><policy id="p"><then><gc/></then></policy></policies>"#).is_err());
+        // empty <then>
+        assert!(matches!(
+            parse_policies(
+                r#"<policies><policy id="p"><on event="x"/><then></then></policy></policies>"#
+            ),
+            Err(PolicyError::Dialect { .. })
+        ));
+        // two comparison ops on one <when>
+        assert!(matches!(
+            parse_policies(
+                r#"<policies><policy id="p"><on event="x"/>
+                   <when attr="a" ge="1" le="2"/><then><gc/></then></policy></policies>"#
+            ),
+            Err(PolicyError::Dialect { .. })
+        ));
+        // unknown action
+        assert!(matches!(
+            parse_policies(
+                r#"<policies><policy id="p"><on event="x"/><then><fly/></then></policy></policies>"#
+            ),
+            Err(PolicyError::Dialect { .. })
+        ));
+        // unknown category
+        assert!(matches!(
+            parse_policies(
+                r#"<policies><policy id="p" category="galaxy"><on event="x"/><then><gc/></then></policy></policies>"#
+            ),
+            Err(PolicyError::Dialect { .. })
+        ));
+    }
+}

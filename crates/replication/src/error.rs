@@ -1,0 +1,138 @@
+//! Error type for replication and invocation.
+
+use obiwan_heap::{HeapError, ObjRef, ObjectKind, Oid};
+use std::fmt;
+
+/// Error produced by the replication runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplError {
+    /// An underlying heap operation failed.
+    Heap(HeapError),
+    /// The server does not know this object identity.
+    UnknownOid {
+        /// The identity that failed to resolve.
+        oid: Oid,
+    },
+    /// A method name does not exist on the receiver's class.
+    NoSuchMethod {
+        /// Class name.
+        class: String,
+        /// Method name.
+        method: String,
+    },
+    /// An object of this kind was invoked but no [`crate::Interceptor`] is
+    /// installed to resolve it (i.e. swapping machinery is absent).
+    NoInterceptor {
+        /// The kind that needed an interceptor.
+        kind: ObjectKind,
+    },
+    /// The interceptor returned an object that still cannot be invoked.
+    Unresolvable {
+        /// The object that could not be resolved to an application object.
+        obj: ObjRef,
+        /// Its kind after resolution.
+        kind: ObjectKind,
+    },
+    /// A malformed middleware structure was encountered (internal bug or
+    /// corrupted blob reloaded into the graph).
+    Corrupt {
+        /// Description.
+        message: String,
+    },
+    /// Error raised by a swap layer beneath an interceptor callback
+    /// (carried through uninterpreted).
+    Swap {
+        /// Description from the swap layer.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplError::Heap(e) => write!(f, "heap: {e}"),
+            ReplError::UnknownOid { oid } => write!(f, "server knows no object {oid}"),
+            ReplError::NoSuchMethod { class, method } => {
+                write!(f, "class `{class}` has no method `{method}`")
+            }
+            ReplError::NoInterceptor { kind } => {
+                write!(f, "invoked a {kind} object but no interceptor is installed")
+            }
+            ReplError::Unresolvable { obj, kind } => {
+                write!(f, "object {obj} did not resolve to an invocable ({kind})")
+            }
+            ReplError::Corrupt { message } => write!(f, "corrupt structure: {message}"),
+            ReplError::Swap { message } => write!(f, "swap layer: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplError::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HeapError> for ReplError {
+    fn from(e: HeapError) -> Self {
+        ReplError::Heap(e)
+    }
+}
+
+impl ReplError {
+    /// Construct a [`ReplError::Corrupt`] from anything displayable.
+    pub fn corrupt(message: impl fmt::Display) -> Self {
+        ReplError::Corrupt {
+            message: message.to_string(),
+        }
+    }
+
+    /// Construct a [`ReplError::Swap`] from anything displayable.
+    pub fn swap(message: impl fmt::Display) -> Self {
+        ReplError::Swap {
+            message: message.to_string(),
+        }
+    }
+
+    /// Whether this is an out-of-memory heap error — the condition the
+    /// middleware reacts to by swapping out a victim and retrying.
+    pub fn is_out_of_memory(&self) -> bool {
+        matches!(self, ReplError::Heap(HeapError::OutOfMemory { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_errors_convert_and_chain() {
+        let e: ReplError = HeapError::OutOfMemory {
+            requested: 1,
+            used: 2,
+            capacity: 3,
+        }
+        .into();
+        assert!(e.is_out_of_memory());
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn messages_name_the_parties() {
+        let e = ReplError::NoSuchMethod {
+            class: "Node".into(),
+            method: "jump".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("Node") && s.contains("jump"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<ReplError>();
+    }
+}

@@ -1,0 +1,43 @@
+//! Replication events consumed by the policy engine and the swap layer.
+
+use obiwan_heap::Oid;
+
+/// Something the replication runtime did, reported asynchronously (the
+/// paper's SwappingManager "is registered as a listener of all events
+/// regarding replication of clusters of objects").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicationEvent {
+    /// An object fault occurred (a fault proxy was invoked).
+    ObjectFault {
+        /// Identity that faulted.
+        oid: Oid,
+    },
+    /// A cluster of objects was replicated onto the device.
+    ClusterReplicated {
+        /// Device-local cluster index.
+        repl_cluster: u32,
+        /// Identity the fault that caused it targeted.
+        root: Oid,
+        /// Number of objects materialized.
+        objects: usize,
+        /// Bytes those objects occupy on the device.
+        bytes: usize,
+    },
+    /// A replication attempt failed because the device ran out of memory.
+    ReplicationFailed {
+        /// Identity that was being replicated.
+        root: Oid,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable_for_test_assertions() {
+        let a = ReplicationEvent::ObjectFault { oid: Oid(1) };
+        let b = ReplicationEvent::ObjectFault { oid: Oid(1) };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,65 @@
+//! OBIWAN incremental object replication (paper §2).
+//!
+//! This crate reproduces the replication half of the OBIWAN middleware that
+//! Object-Swapping builds upon:
+//!
+//! * a [`Server`] holding the master object graph, handing out **clusters**
+//!   of adaptable size computed by a [`ClusterStrategy`] (BFS from the
+//!   faulted object, the paper's "chained via references" shape);
+//! * a device-side [`Process`] with **object-fault handling**: references to
+//!   not-yet-replicated objects are [`obiwan_heap::ObjectKind::FaultProxy`]
+//!   objects, transparent to application code — invoking one triggers
+//!   replication of another cluster and **proxy replacement** (the proxy is
+//!   unlinked from the graph so the application runs at full speed);
+//! * the **invocation machinery** ([`Process::invoke`]): methods are Rust
+//!   closures registered in a [`MethodTable`], dispatched by object kind —
+//!   the uniform stand-in for the interception code `obicomp` generates;
+//! * an [`Interceptor`] hook through which `obiwan-core` layers the
+//!   swap-cluster behaviour (swap-proxy creation/reuse/dismantling, swap-in
+//!   on replacement-object access) *without* this crate knowing anything
+//!   about swapping — mirroring how Object-Swapping was "incorporated" into
+//!   the existing middleware;
+//! * [`ReplicationEvent`]s consumed by the policy engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use obiwan_replication::{standard_classes, Process, ReplConfig, Server};
+//!
+//! # fn main() -> Result<(), obiwan_replication::ReplError> {
+//! let std = standard_classes();
+//! let mut server = Server::new(std.clone());
+//! let head = server.build_list("Node", 50, 16)?;
+//!
+//! let mut p = Process::new(std, server.into_shared(), 1 << 20, ReplConfig::with_cluster_size(10));
+//! let root = p.replicate_root(head)?;        // first cluster of 10 arrives
+//! assert_eq!(p.replicated_objects(), 10);
+//!
+//! // Traversing past the cluster edge faults the next clusters in.
+//! let len = p.invoke(root, "length", vec![])?.expect_int()?;
+//! assert_eq!(len, 50);
+//! assert_eq!(p.replicated_objects(), 50);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod events;
+mod methods;
+mod process;
+mod server;
+
+pub use error::ReplError;
+pub use events::ReplicationEvent;
+pub use methods::{standard_classes, MethodFn, MethodTable, MiddlewareClasses, Universe, UniverseBuilder};
+pub use process::{
+    ClusterInfo, Frame, Interceptor, Process, ReplConfig, Resolved, FAULT_PROXY_CLASS,
+    REPLACEMENT_CLASS, SWAP_PROXY_CLASS,
+};
+pub use server::{ClusterStrategy, Server, SharedServer, WireObject, WireValue};
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, ReplError>;

@@ -1,0 +1,423 @@
+//! The class universe: layouts + method bodies + middleware classes.
+//!
+//! In OBIWAN, `obicomp` augments application classes with generated
+//! middleware code. Here the equivalent artifact is a [`Universe`]: the
+//! shared [`ClassRegistry`] (layouts), a [`MethodTable`] (method bodies as
+//! Rust closures dispatched by the [`crate::Process`]), and the three
+//! middleware classes (fault proxy, swap-cluster-proxy, replacement object)
+//! with their resolved field ids.
+
+use crate::{Process, ReplError, Result};
+use obiwan_heap::{ClassBuilder, ClassId, ClassRegistry, FieldId, ObjRef, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Name of the object-fault proxy class.
+pub(crate) const FAULT_PROXY_CLASS_NAME: &str = "__fault_proxy";
+/// Name of the swap-cluster-proxy class.
+pub(crate) const SWAP_PROXY_CLASS_NAME: &str = "__swap_proxy";
+/// Name of the replacement-object class.
+pub(crate) const REPLACEMENT_CLASS_NAME: &str = "__replacement";
+
+/// A method body: receives the process, the receiver (`this`, always an
+/// application object) and the already-transferred arguments.
+pub type MethodFn = Arc<dyn Fn(&mut Process, ObjRef, &[Value]) -> Result<Value> + Send + Sync>;
+
+/// Method bodies keyed by class, then method name.
+#[derive(Default, Clone)]
+pub struct MethodTable {
+    map: HashMap<ClassId, HashMap<String, MethodFn>>,
+}
+
+impl std::fmt::Debug for MethodTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MethodTable")
+            .field("methods", &self.len())
+            .finish()
+    }
+}
+
+impl MethodTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a method body.
+    pub fn register<F>(&mut self, class: ClassId, name: impl Into<String>, body: F)
+    where
+        F: Fn(&mut Process, ObjRef, &[Value]) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.map
+            .entry(class)
+            .or_default()
+            .insert(name.into(), Arc::new(body));
+    }
+
+    /// Look up a method body (no allocation; this is the dispatch hot path).
+    pub fn get(&self, class: ClassId, name: &str) -> Option<&MethodFn> {
+        self.map.get(&class)?.get(name)
+    }
+
+    /// Number of registered methods.
+    pub fn len(&self) -> usize {
+        self.map.values().map(HashMap::len).sum()
+    }
+
+    /// True when no methods are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Resolved ids of the middleware classes and their fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiddlewareClasses {
+    /// Class of object-fault proxies.
+    pub fault_proxy: ClassId,
+    /// `oid` field of the fault proxy (Int: the target identity).
+    pub fp_oid: FieldId,
+    /// Class of swap-cluster-proxies.
+    pub swap_proxy: ClassId,
+    /// `target` field (Ref: the replica, or the replacement object after
+    /// swap-out).
+    pub sp_target: FieldId,
+    /// `oid` field (Int: the target's identity, survives swap-out).
+    pub sp_oid: FieldId,
+    /// `source` field (Int: the swap-cluster the reference comes *from*).
+    pub sp_source: FieldId,
+    /// `assign` field (Bool: the iteration-optimization mark, paper §4).
+    pub sp_assign: FieldId,
+    /// Class of replacement objects (variadic: extras are the victim's
+    /// outbound proxies).
+    pub replacement: ClassId,
+}
+
+/// The complete class universe shared by server and devices: registry,
+/// method table, and middleware class ids.
+///
+/// Build one with [`standard_classes`] or [`UniverseBuilder`] and clone it
+/// freely (cloning is cheap).
+#[derive(Debug, Clone)]
+pub struct Universe {
+    /// Field layouts.
+    pub registry: ClassRegistry,
+    /// Method bodies.
+    pub methods: Arc<MethodTable>,
+    /// Middleware class/field ids.
+    pub middleware: MiddlewareClasses,
+}
+
+impl Universe {
+    /// Look up a method body for an object's class.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplError::NoSuchMethod`] naming the class.
+    pub fn method(&self, class: ClassId, name: &str) -> Result<MethodFn> {
+        self.methods
+            .get(class, name)
+            .cloned()
+            .ok_or_else(|| ReplError::NoSuchMethod {
+                class: self
+                    .registry
+                    .class(class)
+                    .map(|c| c.name().to_string())
+                    .unwrap_or_else(|_| format!("{class}")),
+                method: name.to_string(),
+            })
+    }
+}
+
+/// Builder for a custom [`Universe`] (application classes + methods), used
+/// by the examples. The middleware classes are appended automatically.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_heap::{ClassBuilder, Value};
+/// use obiwan_replication::UniverseBuilder;
+///
+/// let mut b = UniverseBuilder::new();
+/// let counter = b.class(ClassBuilder::new("Counter").int_field("n"));
+/// b.method(counter, "bump", |p, this, _args| {
+///     let n = p.field_value(this, "n")?.expect_int()?;
+///     p.set_field_value(this, "n", Value::Int(n + 1))?;
+///     Ok(Value::Int(n + 1))
+/// });
+/// let universe = b.build();
+/// assert!(universe.methods.get(counter, "bump").is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct UniverseBuilder {
+    registry: ClassRegistry,
+    methods: MethodTable,
+}
+
+impl UniverseBuilder {
+    /// Start an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an application class.
+    pub fn class(&mut self, builder: ClassBuilder) -> ClassId {
+        self.registry.register(builder)
+    }
+
+    /// Register a method body on a class.
+    pub fn method<F>(&mut self, class: ClassId, name: impl Into<String>, body: F)
+    where
+        F: Fn(&mut Process, ObjRef, &[Value]) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.methods.register(class, name, body);
+    }
+
+    /// Append the middleware classes and seal the universe.
+    pub fn build(mut self) -> Universe {
+        let fault_proxy = self
+            .registry
+            .register(ClassBuilder::new(FAULT_PROXY_CLASS_NAME).int_field("oid"));
+        let swap_proxy = self.registry.register(
+            ClassBuilder::new(SWAP_PROXY_CLASS_NAME)
+                .ref_field("target")
+                .int_field("oid")
+                .int_field("source")
+                .bool_field("assign"),
+        );
+        let replacement = self
+            .registry
+            .register(ClassBuilder::new(REPLACEMENT_CLASS_NAME).variadic());
+        let resolve = |class: ClassId, name: &str| {
+            self.registry
+                .class(class)
+                .expect("just registered")
+                .field_id(name)
+                .expect("field just declared")
+        };
+        let middleware = MiddlewareClasses {
+            fault_proxy,
+            fp_oid: resolve(fault_proxy, "oid"),
+            swap_proxy,
+            sp_target: resolve(swap_proxy, "target"),
+            sp_oid: resolve(swap_proxy, "oid"),
+            sp_source: resolve(swap_proxy, "source"),
+            sp_assign: resolve(swap_proxy, "assign"),
+            replacement,
+        };
+        Universe {
+            registry: self.registry,
+            methods: Arc::new(self.methods),
+            middleware,
+        }
+    }
+}
+
+/// The standard universe used by the benchmarks and most tests: the
+/// Figure 5 `Node` class (a 64-byte list node) and its traversal methods.
+///
+/// Methods on `Node` (`next` ref + `payload` bytes):
+///
+/// * `ping()` — quasi-empty method (the paper's "simple (quasi-empty)
+///   methods, in order not to mask the overhead being measured").
+/// * `visit(depth)` — **Test A1**: recursive traversal passing an integer,
+///   returns the final recursion depth.
+/// * `probe_step(k)` — **Test A2 inner recursion**: walks up to `k` further
+///   nodes and returns a *reference* to the node reached.
+/// * `deep_visit(depth)` — **Test A2 outer recursion**: per node, runs
+///   `probe_step(10)` then recurses to `next`.
+/// * `next()` — **Test B1/B2 step**: returns the reference stored in `next`.
+/// * `length()` — recursive list length.
+/// * `payload_len()` — length of the payload in bytes.
+///
+/// Plus a `TreeNode` class (`left` / `right` refs, an integer `tag`, a
+/// payload) with `sum_tags`, `depth`, `count`, `find_max_tag` and `tag_of`
+/// — a branching workload that gives the BFS clustering non-trivial
+/// boundaries.
+pub fn standard_classes() -> Universe {
+    let mut b = UniverseBuilder::new();
+    let node = b.class(
+        ClassBuilder::new("Node")
+            .ref_field("next")
+            .bytes_field("payload"),
+    );
+
+    b.method(node, "ping", |_p, _this, _args| Ok(Value::Int(0)));
+
+    b.method(node, "visit", |p, this, args| {
+        let depth = args.first().map(Value::expect_int).transpose()?.unwrap_or(0);
+        match p.field_value(this, "next")?.expect_ref_or_null()? {
+            Some(next) => p.invoke(next, "visit", vec![Value::Int(depth + 1)]),
+            None => Ok(Value::Int(depth)),
+        }
+    });
+
+    b.method(node, "probe_step", |p, this, args| {
+        let remaining = args.first().map(Value::expect_int).transpose()?.unwrap_or(0);
+        if remaining <= 0 {
+            return Ok(Value::Ref(this));
+        }
+        match p.field_value(this, "next")?.expect_ref_or_null()? {
+            Some(next) => p.invoke(next, "probe_step", vec![Value::Int(remaining - 1)]),
+            None => Ok(Value::Ref(this)),
+        }
+    });
+
+    b.method(node, "deep_visit", |p, this, args| {
+        let depth = args.first().map(Value::expect_int).transpose()?.unwrap_or(0);
+        // Inner recursion: reach ~10 nodes ahead, returning a reference that
+        // crosses swap-cluster boundaries (creating transient proxies).
+        let _probe = p.invoke(this, "probe_step", vec![Value::Int(10)])?;
+        match p.field_value(this, "next")?.expect_ref_or_null()? {
+            Some(next) => p.invoke(next, "deep_visit", vec![Value::Int(depth + 1)]),
+            None => Ok(Value::Int(depth)),
+        }
+    });
+
+    b.method(node, "next", |p, this, _args| p.field_value(this, "next"));
+
+    b.method(node, "length", |p, this, _args| {
+        match p.field_value(this, "next")?.expect_ref_or_null()? {
+            Some(next) => {
+                let rest = p.invoke(next, "length", vec![])?.expect_int()?;
+                Ok(Value::Int(rest + 1))
+            }
+            None => Ok(Value::Int(1)),
+        }
+    });
+
+    b.method(node, "is_next", |p, this, args| {
+        // Raw reference comparison against the own `next` field. Works
+        // across swap-cluster boundaries *only because* of dismantling
+        // rule (iii): an argument denoting an object of this cluster
+        // arrives as the direct replica reference, never as a proxy —
+        // "references to object replicas are never compared against
+        // references to swap-cluster-proxies" (paper §4).
+        let arg = args
+            .first()
+            .map(Value::expect_ref_or_null)
+            .transpose()?
+            .flatten();
+        let next = p.field_value(this, "next")?.expect_ref_or_null()?;
+        Ok(Value::Bool(arg.is_some() && arg == next))
+    });
+
+    b.method(node, "payload_len", |p, this, _args| {
+        let len = match p.field_value(this, "payload")? {
+            Value::Bytes(b) => b.len() as i64,
+            _ => 0,
+        };
+        Ok(Value::Int(len))
+    });
+
+    let tree = b.class(
+        ClassBuilder::new("TreeNode")
+            .ref_field("left")
+            .ref_field("right")
+            .int_field("tag")
+            .bytes_field("payload"),
+    );
+
+    b.method(tree, "sum_tags", |p, this, _args| {
+        let mut total = p.field_value(this, "tag")?.expect_int()?;
+        for side in ["left", "right"] {
+            if let Some(child) = p.field_value(this, side)?.expect_ref_or_null()? {
+                total += p.invoke(child, "sum_tags", vec![])?.expect_int()?;
+            }
+        }
+        Ok(Value::Int(total))
+    });
+
+    b.method(tree, "depth", |p, this, _args| {
+        let mut deepest = 0;
+        for side in ["left", "right"] {
+            if let Some(child) = p.field_value(this, side)?.expect_ref_or_null()? {
+                deepest = deepest.max(p.invoke(child, "depth", vec![])?.expect_int()?);
+            }
+        }
+        Ok(Value::Int(deepest + 1))
+    });
+
+    b.method(tree, "count", |p, this, _args| {
+        let mut count = 1;
+        for side in ["left", "right"] {
+            if let Some(child) = p.field_value(this, side)?.expect_ref_or_null()? {
+                count += p.invoke(child, "count", vec![])?.expect_int()?;
+            }
+        }
+        Ok(Value::Int(count))
+    });
+
+    b.method(tree, "find_max_tag", |p, this, _args| {
+        // Returns a *reference* to the node with the largest tag — like
+        // Test A2's inner recursion, references flow back across
+        // swap-cluster boundaries.
+        let mut best = this;
+        let mut best_tag = p.field_value(this, "tag")?.expect_int()?;
+        for side in ["left", "right"] {
+            if let Some(child) = p.field_value(this, side)?.expect_ref_or_null()? {
+                let candidate = p.invoke(child, "find_max_tag", vec![])?.expect_ref()?;
+                let tag = p.invoke(candidate, "tag_of", vec![])?.expect_int()?;
+                if tag > best_tag {
+                    best = candidate;
+                    best_tag = tag;
+                }
+            }
+        }
+        Ok(Value::Ref(best))
+    });
+
+    b.method(tree, "tag_of", |p, this, _args| p.field_value(this, "tag"));
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_universe_has_node_and_middleware_classes() {
+        let u = standard_classes();
+        assert!(u.registry.class_id("Node").is_ok());
+        assert!(u.registry.class_id(FAULT_PROXY_CLASS_NAME).is_ok());
+        assert!(u.registry.class_id(SWAP_PROXY_CLASS_NAME).is_ok());
+        assert!(u.registry.class_id(REPLACEMENT_CLASS_NAME).is_ok());
+        assert!(u
+            .registry
+            .class(u.middleware.replacement)
+            .unwrap()
+            .is_variadic());
+    }
+
+    #[test]
+    fn middleware_field_ids_resolve_to_declared_layout() {
+        let u = standard_classes();
+        let sp = u.registry.class(u.middleware.swap_proxy).unwrap();
+        assert_eq!(sp.field(u.middleware.sp_target).unwrap().name(), "target");
+        assert_eq!(sp.field(u.middleware.sp_oid).unwrap().name(), "oid");
+        assert_eq!(sp.field(u.middleware.sp_source).unwrap().name(), "source");
+        assert_eq!(sp.field(u.middleware.sp_assign).unwrap().name(), "assign");
+    }
+
+    #[test]
+    fn method_lookup_errors_name_class_and_method() {
+        let u = standard_classes();
+        let node = u.registry.class_id("Node").unwrap();
+        assert!(u.method(node, "visit").is_ok());
+        let err = match u.method(node, "teleport") {
+            Err(e) => e,
+            Ok(_) => panic!("lookup of a missing method must fail"),
+        };
+        assert!(matches!(err, ReplError::NoSuchMethod { .. }));
+        assert!(err.to_string().contains("Node"));
+    }
+
+    #[test]
+    fn universe_clone_shares_methods() {
+        let u = standard_classes();
+        let v = u.clone();
+        assert_eq!(u.methods.len(), v.methods.len());
+        assert!(Arc::ptr_eq(&u.methods, &v.methods));
+    }
+}

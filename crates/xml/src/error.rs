@@ -1,0 +1,128 @@
+//! Error type for XML reading and writing.
+
+use std::fmt;
+
+/// Error produced while parsing or emitting XML.
+///
+/// Parse errors carry the byte offset into the input at which the problem was
+/// detected, which is invaluable when debugging a corrupted swap blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The input ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        context: &'static str,
+    },
+    /// A character that is not legal at this position.
+    Unexpected {
+        /// Byte offset into the input.
+        at: usize,
+        /// Description of what was found / expected.
+        message: String,
+    },
+    /// `&name;` entity that this subset does not define.
+    UnknownEntity {
+        /// Byte offset of the `&`.
+        at: usize,
+        /// The entity name, without `&` and `;`.
+        name: String,
+    },
+    /// Close tag did not match the open element.
+    MismatchedTag {
+        /// Byte offset of the close tag.
+        at: usize,
+        /// Name the parser expected to be closed.
+        expected: String,
+        /// Name that was actually closed.
+        found: String,
+    },
+    /// Writer misuse: `end` without a matching `begin`, attributes after
+    /// content, or `finish` with open elements.
+    WriterMisuse {
+        /// Description of the misuse.
+        message: String,
+    },
+    /// A name (element or attribute) is empty or contains illegal characters.
+    BadName {
+        /// The offending name.
+        name: String,
+    },
+    /// Structure error raised by [`crate::Element`] accessors, e.g. a
+    /// required attribute or child is missing.
+    Structure {
+        /// Description of what was missing or malformed.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            Error::Unexpected { at, message } => {
+                write!(f, "unexpected input at byte {at}: {message}")
+            }
+            Error::UnknownEntity { at, name } => {
+                write!(f, "unknown entity `&{name};` at byte {at}")
+            }
+            Error::MismatchedTag {
+                at,
+                expected,
+                found,
+            } => write!(
+                f,
+                "mismatched close tag at byte {at}: expected </{expected}>, found </{found}>"
+            ),
+            Error::WriterMisuse { message } => write!(f, "writer misuse: {message}"),
+            Error::BadName { name } => write!(f, "invalid XML name {name:?}"),
+            Error::Structure { message } => write!(f, "malformed document: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Construct a [`Error::Structure`] from anything displayable.
+    pub fn structure(message: impl fmt::Display) -> Self {
+        Error::Structure {
+            message: message.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = Error::UnknownEntity {
+            at: 7,
+            name: "nbsp".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("nbsp"));
+        assert!(s.contains('7'));
+        assert_eq!(s, s.trim_end_matches('.'));
+    }
+
+    #[test]
+    fn mismatched_tag_names_both_sides() {
+        let e = Error::MismatchedTag {
+            at: 0,
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("</a>") && s.contains("</b>"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

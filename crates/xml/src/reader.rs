@@ -1,0 +1,424 @@
+//! Pull parser for the XML subset.
+
+use crate::{unescape, Error, Result};
+
+/// A parsing event produced by [`Reader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v" ...>` or the `<name .../>` form (see `self_closing`).
+    Start {
+        /// Element name.
+        name: String,
+        /// Attributes in document order, values already unescaped.
+        attrs: Vec<(String, String)>,
+        /// True for `<name/>`; a matching [`Event::End`] is still emitted so
+        /// consumers see a uniform begin/end stream.
+        self_closing: bool,
+    },
+    /// `</name>` (also synthesized after a self-closing start).
+    End {
+        /// Element name.
+        name: String,
+    },
+    /// Character data between tags, unescaped; contiguous text and CDATA are
+    /// merged into one event. Whitespace-only text between elements is
+    /// dropped.
+    Text(String),
+    /// End of the document.
+    Eof,
+}
+
+/// A pull parser over a complete in-memory document.
+///
+/// # Examples
+///
+/// ```
+/// use obiwan_xml::{Reader, Event};
+///
+/// # fn main() -> Result<(), obiwan_xml::Error> {
+/// let mut r = Reader::new("<a x=\"1\"><b/>hi</a>");
+/// assert!(matches!(r.next_event()?, Event::Start { name, .. } if name == "a"));
+/// assert!(matches!(r.next_event()?, Event::Start { self_closing: true, .. }));
+/// assert!(matches!(r.next_event()?, Event::End { .. }));     // </b>
+/// assert!(matches!(r.next_event()?, Event::Text(t) if t == "hi"));
+/// assert!(matches!(r.next_event()?, Event::End { .. }));     // </a>
+/// assert!(matches!(r.next_event()?, Event::Eof));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    input: &'a str,
+    pos: usize,
+    /// Stack of open element names, used to validate close tags.
+    open: Vec<String>,
+    /// A pending synthetic End event (after a self-closing tag).
+    pending_end: Option<String>,
+    seen_eof: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over `input`. Parsing is lazy; errors surface from
+    /// [`next_event`](Reader::next_event).
+    pub fn new(input: &'a str) -> Self {
+        Reader {
+            input,
+            pos: 0,
+            open: Vec::new(),
+            pending_end: None,
+            seen_eof: false,
+        }
+    }
+
+    /// Current byte offset into the input, for error reporting by callers.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Pull the next event.
+    ///
+    /// # Errors
+    ///
+    /// Any well-formedness violation in the subset: mismatched or unclosed
+    /// tags, malformed attributes, unknown entities, trailing garbage.
+    pub fn next_event(&mut self) -> Result<Event> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(Event::End { name });
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if let Some(unclosed) = self.open.last() {
+                    return Err(Error::UnexpectedEof {
+                        context: Box::leak(format!("element <{unclosed}>").into_boxed_str()),
+                    });
+                }
+                if self.seen_eof {
+                    return Ok(Event::Eof);
+                }
+                self.seen_eof = true;
+                return Ok(Event::Eof);
+            }
+            let rest = &self.input[self.pos..];
+            if let Some(stripped) = rest.strip_prefix("<?") {
+                // XML declaration / processing instruction: skip.
+                let end = stripped.find("?>").ok_or(Error::UnexpectedEof {
+                    context: "processing instruction",
+                })?;
+                self.pos += 2 + end + 2;
+                continue;
+            }
+            if let Some(stripped) = rest.strip_prefix("<!--") {
+                let end = stripped.find("-->").ok_or(Error::UnexpectedEof {
+                    context: "comment",
+                })?;
+                self.pos += 4 + end + 3;
+                continue;
+            }
+            if rest.starts_with("<![CDATA[") {
+                return self.read_text();
+            }
+            if rest.starts_with("</") {
+                return self.read_close_tag();
+            }
+            if rest.starts_with('<') {
+                return self.read_open_tag();
+            }
+            return self.read_text();
+        }
+    }
+
+    /// Convenience: pull events until (and including) `Eof`, collecting them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first parse error.
+    pub fn into_events(mut self) -> Result<Vec<Event>> {
+        let mut events = Vec::new();
+        loop {
+            let e = self.next_event()?;
+            let done = e == Event::Eof;
+            events.push(e);
+            if done {
+                return Ok(events);
+            }
+        }
+    }
+
+    fn read_open_tag(&mut self) -> Result<Event> {
+        let start = self.pos;
+        self.pos += 1; // '<'
+        let name = self.read_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            let rest = &self.input[self.pos..];
+            if rest.starts_with("/>") {
+                self.pos += 2;
+                self.pending_end = Some(name.clone());
+                return Ok(Event::Start {
+                    name,
+                    attrs,
+                    self_closing: true,
+                });
+            }
+            if rest.starts_with('>') {
+                self.pos += 1;
+                self.open.push(name.clone());
+                return Ok(Event::Start {
+                    name,
+                    attrs,
+                    self_closing: false,
+                });
+            }
+            if rest.is_empty() {
+                return Err(Error::UnexpectedEof {
+                    context: "start tag",
+                });
+            }
+            let attr_name = self.read_name().map_err(|_| Error::Unexpected {
+                at: self.pos,
+                message: format!("malformed attribute in <{name}> starting at byte {start}"),
+            })?;
+            self.skip_ws();
+            if !self.input[self.pos..].starts_with('=') {
+                return Err(Error::Unexpected {
+                    at: self.pos,
+                    message: format!("attribute `{attr_name}` missing `=`"),
+                });
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let quote = self.input[self.pos..].chars().next().ok_or(Error::UnexpectedEof {
+                context: "attribute value",
+            })?;
+            if quote != '"' && quote != '\'' {
+                return Err(Error::Unexpected {
+                    at: self.pos,
+                    message: format!("attribute `{attr_name}` value must be quoted"),
+                });
+            }
+            self.pos += 1;
+            let val_start = self.pos;
+            let end = self.input[self.pos..].find(quote).ok_or(Error::UnexpectedEof {
+                context: "attribute value",
+            })? + self.pos;
+            let raw = &self.input[val_start..end];
+            self.pos = end + 1;
+            attrs.push((attr_name, unescape(raw)?));
+        }
+    }
+
+    fn read_close_tag(&mut self) -> Result<Event> {
+        let at = self.pos;
+        self.pos += 2; // "</"
+        let name = self.read_name()?;
+        self.skip_ws();
+        if !self.input[self.pos..].starts_with('>') {
+            return Err(Error::Unexpected {
+                at: self.pos,
+                message: format!("malformed close tag </{name}"),
+            });
+        }
+        self.pos += 1;
+        match self.open.pop() {
+            Some(expected) if expected == name => Ok(Event::End { name }),
+            Some(expected) => Err(Error::MismatchedTag {
+                at,
+                expected,
+                found: name,
+            }),
+            None => Err(Error::Unexpected {
+                at,
+                message: format!("close tag </{name}> with no open element"),
+            }),
+        }
+    }
+
+    fn read_text(&mut self) -> Result<Event> {
+        let mut text = String::new();
+        loop {
+            let rest = &self.input[self.pos..];
+            if rest.is_empty() {
+                break;
+            }
+            if let Some(stripped) = rest.strip_prefix("<![CDATA[") {
+                let end = stripped.find("]]>").ok_or(Error::UnexpectedEof {
+                    context: "CDATA section",
+                })?;
+                text.push_str(&stripped[..end]);
+                self.pos += 9 + end + 3;
+                continue;
+            }
+            if rest.starts_with('<') {
+                break;
+            }
+            let chunk_end = rest.find('<').unwrap_or(rest.len());
+            text.push_str(&unescape(&rest[..chunk_end]).map_err(|e| shift_error(e, self.pos))?);
+            self.pos += chunk_end;
+        }
+        if text.trim().is_empty() && !text.is_empty() {
+            // Inter-element whitespace: skip and continue pulling.
+            return self.next_event();
+        }
+        if text.is_empty() {
+            return self.next_event();
+        }
+        Ok(Event::Text(text))
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        let rest = &self.input[self.pos..];
+        let len = rest
+            .char_indices()
+            .take_while(|(i, c)| {
+                if *i == 0 {
+                    c.is_ascii_alphabetic() || *c == '_'
+                } else {
+                    c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':')
+                }
+            })
+            .count();
+        if len == 0 {
+            return Err(Error::Unexpected {
+                at: self.pos,
+                message: "expected a name".into(),
+            });
+        }
+        let name = rest[..len].to_string();
+        self.pos += len;
+        Ok(name)
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = &self.input[self.pos..];
+        let n = rest.len() - rest.trim_start().len();
+        self.pos += n;
+    }
+}
+
+fn shift_error(e: Error, base: usize) -> Error {
+    match e {
+        Error::Unexpected { at, message } => Error::Unexpected {
+            at: at + base,
+            message,
+        },
+        Error::UnknownEntity { at, name } => Error::UnknownEntity {
+            at: at + base,
+            name,
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(doc: &str) -> Vec<Event> {
+        Reader::new(doc).into_events().unwrap()
+    }
+
+    #[test]
+    fn parses_nested_elements() {
+        let evs = events("<a><b><c/></b></a>");
+        let starts = evs
+            .iter()
+            .filter(|e| matches!(e, Event::Start { .. }))
+            .count();
+        let ends = evs.iter().filter(|e| matches!(e, Event::End { .. })).count();
+        assert_eq!(starts, 3);
+        assert_eq!(ends, 3);
+    }
+
+    #[test]
+    fn declaration_and_comments_are_skipped() {
+        let evs = events("<?xml version=\"1.0\"?><!-- hi --><a/><!-- bye -->");
+        assert!(matches!(&evs[0], Event::Start { name, .. } if name == "a"));
+    }
+
+    #[test]
+    fn attributes_parse_with_both_quote_styles() {
+        let evs = events("<a x=\"1\" y='2'/>");
+        match &evs[0] {
+            Event::Start { attrs, .. } => {
+                assert_eq!(attrs[0], ("x".into(), "1".into()));
+                assert_eq!(attrs[1], ("y".into(), "2".into()));
+            }
+            other => panic!("expected start, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_values_are_unescaped() {
+        let evs = events("<a v=\"&lt;x&gt;\"/>");
+        match &evs[0] {
+            Event::Start { attrs, .. } => assert_eq!(attrs[0].1, "<x>"),
+            other => panic!("expected start, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_is_unescaped_and_merged_with_cdata() {
+        let evs = events("<a>one &amp; <![CDATA[<two>]]> three</a>");
+        assert!(matches!(&evs[1], Event::Text(t) if t == "one & <two> three"));
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let evs = events("<a>\n  <b/>\n</a>");
+        assert!(!evs.iter().any(|e| matches!(e, Event::Text(_))));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = Reader::new("<a></b>").into_events().unwrap_err();
+        assert!(matches!(err, Error::MismatchedTag { expected, found, .. }
+            if expected == "a" && found == "b"));
+    }
+
+    #[test]
+    fn unclosed_element_errors_at_eof() {
+        let err = Reader::new("<a><b></b>").into_events().unwrap_err();
+        assert!(matches!(err, Error::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn stray_close_tag_errors() {
+        let err = Reader::new("</a>").into_events().unwrap_err();
+        assert!(matches!(err, Error::Unexpected { .. }));
+    }
+
+    #[test]
+    fn unquoted_attribute_errors() {
+        let err = Reader::new("<a x=1/>").into_events().unwrap_err();
+        assert!(matches!(err, Error::Unexpected { .. }));
+    }
+
+    #[test]
+    fn self_closing_emits_synthetic_end() {
+        let evs = events("<a/>");
+        assert!(matches!(&evs[0], Event::Start { self_closing: true, .. }));
+        assert!(matches!(&evs[1], Event::End { name } if name == "a"));
+    }
+
+    #[test]
+    fn eof_is_idempotent() {
+        let mut r = Reader::new("<a/>");
+        r.next_event().unwrap();
+        r.next_event().unwrap();
+        assert_eq!(r.next_event().unwrap(), Event::Eof);
+        assert_eq!(r.next_event().unwrap(), Event::Eof);
+    }
+
+    #[test]
+    fn unknown_entity_in_text_reports_offset() {
+        let err = Reader::new("<a>xx&bogus;</a>").into_events().unwrap_err();
+        match err {
+            Error::UnknownEntity { at, name } => {
+                assert_eq!(name, "bogus");
+                assert_eq!(at, 5);
+            }
+            other => panic!("expected UnknownEntity, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! A commuter's PDA working offline-ish: it edits records on the train,
+//! swaps cold pages through whatever relay chain currently reaches the
+//! station kiosk, and commits its changes back to the master server when
+//! it gets home — replication's update half plus the §7 relay vision in
+//! one run.
+//!
+//! ```text
+//! cargo run --example commuter_sync
+//! ```
+
+use obiwan::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 120, 16)?;
+    let shared = server.into_shared();
+
+    // The PDA's room: no direct storage; a fellow commuter's phone relays
+    // to the station kiosk.
+    let mut mw = Middleware::builder()
+        .cluster_size(30)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .swap_config(SwapConfig::default().allow_relays(true))
+        .stores(vec![])
+        .build_shared(standard_classes(), shared.clone());
+    let (phone, kiosk) = {
+        let net = mw.net();
+        let mut net = net.lock().expect("net");
+        let phone = net.add_device("fellow-phone", DeviceKind::Pda, 0);
+        let kiosk = net.add_device("station-kiosk", DeviceKind::AccessPoint, 1 << 20);
+        net.connect(mw.home_device(), phone, LinkSpec::bluetooth())?;
+        net.connect(phone, kiosk, LinkSpec::wifi())?;
+        (phone, kiosk)
+    };
+
+    let root = mw.replicate_root(head)?;
+    mw.set_global("records", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![])?;
+    println!("on the train: 120 records replicated, editing the first page…");
+
+    // Edit the first ten records (device-local writes).
+    let mut edited = 0;
+    let mut cur_oid = head;
+    for i in 0..10u64 {
+        let handle = mw
+            .process()
+            .lookup_replica(cur_oid)
+            .expect("first page is loaded");
+        mw.process_mut().set_field_value(
+            handle,
+            "payload",
+            Value::Bytes(bytes::Bytes::from(format!("edited-{i:02}-on-train"))),
+        )?;
+        edited += 1;
+        cur_oid = obiwan_heap::Oid(cur_oid.0 + 1);
+    }
+    println!("edited {edited} records locally");
+
+    // Memory gets tight for the next task: park the *unedited* cold pages
+    // on the kiosk, through the phone.
+    for page in [3u32, 4] {
+        let bytes = mw.swap_out(page)?;
+        println!("parked page {page} on the kiosk via the phone ({bytes} B, 2 hops)");
+    }
+    {
+        let net = mw.net();
+        let net = net.lock().expect("net");
+        assert!(net.stored_bytes(kiosk)? > 0);
+        assert_eq!(net.stored_bytes(phone)?, 0, "the phone only relays");
+    }
+
+    // Home: commit everything that is resident. The swapped pages are
+    // unedited, so nothing is lost by skipping them.
+    let committed = mw.commit_all()?;
+    println!("\nat home: committed {committed} resident records to the server");
+    {
+        let srv = shared.lock().expect("server");
+        assert_eq!(srv.updates_applied(), committed as u64);
+        // The first record's edit is visible on the master.
+        let v = srv.get_field(head, "payload")?;
+        if let obiwan::replication::WireValue::Scalar(Value::Bytes(b)) = v {
+            println!(
+                "server sees record 1 payload: {:?}",
+                std::str::from_utf8(&b).unwrap_or("<binary>")
+            );
+        }
+    }
+
+    // Next morning the kiosk pages reload on first touch; commit the rest.
+    mw.invoke_i64(root, "length", vec![])?;
+    let committed = mw.commit_all()?;
+    println!("next morning: pages reloaded, committed {committed} records");
+    let stats = mw.stats();
+    println!(
+        "totals: swap-outs {}, reloads {}, airtime {}",
+        stats.swap.swap_outs, stats.swap.swap_ins, stats.now
+    );
+    Ok(())
+}

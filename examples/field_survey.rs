@@ -1,0 +1,134 @@
+//! A field-survey data-collection app under *churn*: the storage devices
+//! the PDA swaps to come and go, exactly the environment the paper's
+//! conclusion envisions ("small memory-enabled devices with wireless
+//! connectivity, scattered all-over").
+//!
+//! The surveyor fills record pages; cold pages are swapped to whichever
+//! neighbour is in range. Mid-survey, the laptop walks away — reloads
+//! report `DataLost` until it returns, while *new* swap-outs fall back to
+//! the van's desktop. The GC-cooperation path drops blobs of pages the
+//! app discards.
+//!
+//! ```text
+//! cargo run --example field_survey
+//! ```
+
+use obiwan::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut server = Server::new(standard_classes());
+    // Ten pages of 30 records each, as one long chain (a page = a cluster).
+    let head = server.build_list("Node", 300, 32)?;
+
+    let mut mw = Middleware::builder()
+        .cluster_size(30)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .stores(vec![
+            StoreSpec::new("field-laptop", DeviceKind::Laptop, 64 * 1024),
+            StoreSpec::new("van-desktop", DeviceKind::Desktop, 1 << 20),
+        ])
+        .build(server);
+    let root = mw.replicate_root(head)?;
+    mw.set_global("records", Value::Ref(root));
+
+    // Collect everything (replicates all pages).
+    let n = mw.invoke_i64(root, "length", vec![])?;
+    println!("collected {n} records in {} pages", n / 30);
+
+    let (laptop, desktop) = {
+        let net = mw.net();
+        let net = net.lock().expect("net");
+        let nearby = net.nearby(mw.home_device());
+        let mut laptop = nearby[0];
+        let mut desktop = nearby[0];
+        for d in nearby {
+            match net.profile(d)?.kind {
+                DeviceKind::Laptop => laptop = d,
+                DeviceKind::Desktop => desktop = d,
+                _ => {}
+            }
+        }
+        (laptop, desktop)
+    };
+
+    // Prefer the laptop as the swap target while it is around (the same
+    // knob the policy dialect's <prefer-device kind="laptop"/> drives).
+    mw.manager()
+        .lock()
+        .expect("manager")
+        .set_preferred_kind(Some(DeviceKind::Laptop));
+
+    // Swap the first three pages out; they land on the laptop.
+    for page in [1u32, 2, 3] {
+        mw.swap_out(page)?;
+    }
+    println!(
+        "pages 1-3 swapped out; laptop holds {} B, desktop {} B",
+        stored(&mw, laptop),
+        stored(&mw, desktop)
+    );
+
+    // The laptop's owner walks off with it.
+    mw.net().lock().expect("net").depart(laptop)?;
+    println!("\n*** the field laptop left the site ***");
+    match mw.swap_in(1) {
+        Err(SwapError::DataLost { swap_cluster, cause }) => {
+            println!("reload of page {swap_cluster} failed: {cause}");
+        }
+        other => panic!("expected DataLost, got {other:?}"),
+    }
+
+    // New evictions transparently fall back to the van's desktop.
+    for page in [4u32, 5] {
+        mw.swap_out(page)?;
+    }
+    println!(
+        "pages 4-5 swapped while the laptop is away; desktop now holds {} B",
+        stored(&mw, desktop)
+    );
+
+    // The laptop returns: page 1 reloads fine after all.
+    mw.net().lock().expect("net").arrive(laptop)?;
+    println!("\n*** the laptop returned ***");
+    mw.swap_in(1)?;
+    println!("page 1 reloaded; records intact:");
+    let n = mw.invoke_i64(root, "length", vec![])?;
+    println!("  traversal sees all {n} records again");
+
+    // The surveyor discards the tail of the survey (pages 6-10): cut the
+    // chain after record 150 and let the GC instruct the blob drops.
+    let mut cur = root;
+    for _ in 0..149 {
+        cur = mw.invoke_ref(cur, "next", vec![])?;
+    }
+    mw.set_global("cut_point", Value::Ref(cur));
+    mw.swap_out(6)?; // page 6 is on a neighbour when it becomes garbage
+    let cut = mw.global("cut_point")?.expect_ref()?;
+    let handle = match obiwan::core::identity_key(mw.process(), cut)? {
+        obiwan::core::IdentityKey::Oid(oid) => mw
+            .process()
+            .lookup_replica(oid)
+            .expect("record 150 is loaded"),
+        obiwan::core::IdentityKey::Handle(h) => h,
+    };
+    mw.process_mut().set_field_value(handle, "next", Value::Null)?;
+    mw.run_gc()?;
+    mw.run_gc()?;
+    let stats = mw.swap_stats();
+    println!(
+        "\ndiscarded the tail: {} blob(s) dropped on neighbours by GC cooperation",
+        stats.blobs_dropped
+    );
+    println!(
+        "final: swap-outs {}, reloads {}, drop failures {}",
+        stats.swap_outs, stats.swap_ins, stats.drop_failures
+    );
+    Ok(())
+}
+
+fn stored(mw: &Middleware, device: DeviceId) -> usize {
+    let net = mw.net();
+    let bytes = net.lock().expect("net").stored_bytes(device).unwrap_or(0);
+    bytes
+}

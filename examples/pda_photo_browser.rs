@@ -1,0 +1,176 @@
+//! A photo-album browser on a memory-constrained PDA — the usage scenario
+//! the paper's introduction motivates, with a *custom* application class
+//! universe and the policy engine making the swap decisions.
+//!
+//! An `Album` is a chain of `Photo` objects (each with a multi-KB pixel
+//! payload). The user browses albums in turn and keeps coming back to the
+//! first one; the middleware's memory-pressure policy (loaded from the XML
+//! dialect) swaps cold albums to the laptop and reloads them on access.
+//!
+//! ```text
+//! cargo run --example pda_photo_browser
+//! ```
+
+use obiwan::prelude::*;
+
+const ALBUMS: usize = 6;
+const PHOTOS_PER_ALBUM: usize = 8;
+const PIXELS_PER_PHOTO: usize = 2 * 1024;
+
+/// Build the application universe: Album and Photo classes with browsing
+/// methods (the code `obicomp` would augment).
+fn universe() -> obiwan::replication::Universe {
+    let mut b = UniverseBuilder::new();
+    // Field order matters for the DFS clustering strategy below: with
+    // `next_album` declared first, a depth-first cluster fill exhausts an
+    // album's own photo chain before crossing to the next album — one
+    // album per replication cluster.
+    let album = b.class(
+        ClassBuilder::new("Album")
+            .str_field("title")
+            .ref_field("next_album")
+            .ref_field("first_photo"),
+    );
+    let photo = b.class(
+        ClassBuilder::new("Photo")
+            .str_field("caption")
+            .bytes_field("pixels")
+            .ref_field("next"),
+    );
+    b.method(photo, "view", |p, this, _args| {
+        // "Viewing" decodes the payload: touch every pixel.
+        let sum: i64 = match p.field_value(this, "pixels")? {
+            Value::Bytes(px) => px.iter().map(|&b| b as i64).sum(),
+            _ => 0,
+        };
+        Ok(Value::Int(sum))
+    });
+    b.method(photo, "next", |p, this, _args| p.field_value(this, "next"));
+    b.method(album, "first_photo", |p, this, _args| {
+        p.field_value(this, "first_photo")
+    });
+    b.method(album, "next_album", |p, this, _args| {
+        p.field_value(this, "next_album")
+    });
+    b.method(album, "title", |p, this, _args| p.field_value(this, "title"));
+    b.build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let u = universe();
+    let mut server = Server::new(u);
+    server.set_strategy(ClusterStrategy::Dfs);
+
+    // Master graph: a chain of albums, each a chain of photos.
+    let mut album_oids = Vec::new();
+    for a in 0..ALBUMS {
+        let album = server.create("Album")?;
+        server.set_scalar(album, "title", Value::from(format!("Album {a}")))?;
+        let mut prev_photo: Option<Oid> = None;
+        for ph in 0..PHOTOS_PER_ALBUM {
+            let photo = server.create("Photo")?;
+            server.set_scalar(photo, "caption", Value::from(format!("IMG_{a:02}{ph:02}")))?;
+            server.set_scalar(
+                photo,
+                "pixels",
+                Value::Bytes(bytes::Bytes::from(vec![(a * 16 + ph) as u8; PIXELS_PER_PHOTO])),
+            )?;
+            match prev_photo {
+                Some(prev) => server.set_ref(prev, "next", Some(photo))?,
+                None => server.set_ref(album, "first_photo", Some(photo))?,
+            }
+            prev_photo = Some(photo);
+        }
+        if let Some(&prev_album) = album_oids.last() {
+            server.set_ref(prev_album, "next_album", Some(album))?;
+        }
+        album_oids.push(album);
+    }
+
+    // The PDA: memory for roughly two albums; policies from the XML
+    // dialect (the paper: "Policies … are coded in XML").
+    let album_bytes = PHOTOS_PER_ALBUM * (PIXELS_PER_PHOTO + 100);
+    let mut mw = Middleware::builder()
+        .cluster_size(1 + PHOTOS_PER_ALBUM) // one album (plus photos) per cluster
+        .device_memory(album_bytes * 5 / 2)
+        .victim_policy(VictimPolicy::LeastRecentlyUsed)
+        .no_builtin_policies()
+        .policies_xml(
+            r#"<policies>
+                 <policy id="pda-pressure" category="machine" priority="10">
+                   <on event="memory-pressure"/>
+                   <when attr="occupancy-pct" ge="80"/>
+                   <then><gc/><swap-out victims="1"/><log message="pressure: evicted a cold album"/></then>
+                 </policy>
+                 <policy id="pda-oom" category="machine" priority="20">
+                   <on event="allocation-failed"/>
+                   <then><swap-out victims="2"/><gc/><log message="allocation failed: emergency eviction"/></then>
+                 </policy>
+               </policies>"#,
+        )
+        .stores(vec![StoreSpec::new("living-room-laptop", DeviceKind::Laptop, 4 << 20)])
+        .watermarks(Watermarks::new(60, 80))
+        .build(server);
+
+    let first_album = mw.replicate_root(album_oids[0])?;
+    mw.set_global("album0", Value::Ref(first_album));
+
+    // Browse: every album once, re-viewing album 0 in between.
+    let mut viewed = 0usize;
+    mw.set_global("cursor_album", Value::Ref(first_album));
+    for round in 0..ALBUMS {
+        let album = mw
+            .global("cursor_album")?
+            .expect_ref()
+            .expect("album cursor");
+        let title = mw.invoke_resilient(album, "title", vec![], 100)?;
+        viewed += view_album(&mut mw, album)?;
+        println!(
+            "viewed {title} — heap {:>6} B / {} B, swapped-out albums: {:?}",
+            mw.process().heap().bytes_used(),
+            mw.process().heap().capacity(),
+            mw.manager().lock().expect("manager").swapped_clusters(),
+        );
+        // Revisit the favorite album (keeps it hot).
+        let fav = mw.global("album0")?.expect_ref().expect("album 0");
+        viewed += view_album(&mut mw, fav)?;
+        // Move on.
+        match mw.invoke_resilient(album, "next_album", vec![], 100)? {
+            Value::Ref(next) => mw.set_global("cursor_album", Value::Ref(next)),
+            _ => {
+                println!("(end of album chain after round {round})");
+                break;
+            }
+        }
+    }
+
+    println!("\nviewed {viewed} photos in total");
+    for line in mw.take_log() {
+        println!("policy log: {line}");
+    }
+    let stats = mw.stats();
+    println!(
+        "swap-outs: {}, reloads: {}, bytes over the air: {} out / {} back, airtime {}",
+        stats.swap.swap_outs,
+        stats.swap.swap_ins,
+        stats.swap.bytes_swapped_out,
+        stats.swap.bytes_swapped_in,
+        stats.now
+    );
+    assert_eq!(viewed, ALBUMS * PHOTOS_PER_ALBUM * 2);
+    Ok(())
+}
+
+/// Walk an album's photo chain, viewing each photo.
+fn view_album(mw: &mut Middleware, album: ObjRef) -> Result<usize, Box<dyn std::error::Error>> {
+    let mut viewed = 0;
+    let mut cursor = mw.invoke_resilient(album, "first_photo", vec![], 100)?;
+    mw.set_global("cursor_photo", cursor.clone());
+    while let Value::Ref(photo) = cursor {
+        mw.invoke_resilient(photo, "view", vec![], 100)?;
+        viewed += 1;
+        cursor = mw.invoke_resilient(photo, "next", vec![], 100)?;
+        mw.set_global("cursor_photo", cursor.clone());
+    }
+    Ok(viewed)
+}

@@ -1,0 +1,118 @@
+//! The paper's closing vision: "a myriad of small memory-enabled devices
+//! with wireless connectivity, scattered all-over, available to any user
+//! either to store data or to relay communications".
+//!
+//! A PDA spreads its swapped clusters across a swarm of motes, each with a
+//! quota barely bigger than one blob. The placement logic (most free space
+//! first) stripes the clusters across the room; when motes churn away, only
+//! the clusters they carried are affected — everything else keeps working.
+//!
+//! ```text
+//! cargo run --example swarm_storage
+//! ```
+
+use obiwan::prelude::*;
+
+const MOTES: usize = 12;
+const PAGES: u32 = 8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 25 * PAGES as usize, 16)?;
+
+    let stores: Vec<StoreSpec> = (0..MOTES)
+        .map(|i| {
+            StoreSpec::new(format!("mote-{i:02}"), DeviceKind::Mote, 8 * 1024)
+                .with_link(LinkSpec::mote_radio())
+        })
+        .collect();
+    let mut mw = Middleware::builder()
+        .cluster_size(25)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .stores(stores)
+        .build(server);
+    let root = mw.replicate_root(head)?;
+    mw.set_global("data", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![])?;
+
+    // Swap every page out: the quota forces striping across the swarm.
+    for page in 1..=PAGES {
+        mw.swap_out(page)?;
+    }
+    println!("all {PAGES} pages swapped out across the swarm:");
+    let net = mw.net();
+    {
+        let net = net.lock().expect("net");
+        for d in net.nearby(mw.home_device()) {
+            let p = net.profile(d)?;
+            let used = net.stored_bytes(d)?;
+            if used > 0 {
+                println!("  {:<10} {:>5} B ({} page blobs)", p.name, used, used / 2100);
+            }
+        }
+    }
+    println!(
+        "PDA heap after swap-out: {} B (proxies + replacement objects only)",
+        mw.process().heap().bytes_used()
+    );
+
+    // Churn: a third of the swarm leaves.
+    let (gone, affected) = {
+        let mut net = net.lock().expect("net");
+        let mut gone = Vec::new();
+        let mut affected = 0;
+        for d in net.nearby(mw.home_device()) {
+            if gone.len() < MOTES / 3 {
+                if net.stored_bytes(d)? > 0 {
+                    affected += 1;
+                }
+                net.depart(d)?;
+                gone.push(d);
+            }
+        }
+        (gone, affected)
+    };
+    println!(
+        "\n{} motes departed ({} of them carried our pages)",
+        gone.len(),
+        affected
+    );
+
+    // Walk the data; pages on departed motes are unreachable, the rest
+    // reload fine. Count what survives right now.
+    let mut reachable_pages = 0;
+    let mut lost_pages = 0;
+    for page in 1..=PAGES {
+        match mw.swap_in(page) {
+            Ok(_) => reachable_pages += 1,
+            Err(SwapError::DataLost { .. }) => lost_pages += 1,
+            Err(SwapError::BadState { .. }) => reachable_pages += 1, // already in
+            Err(e) => return Err(e.into()),
+        }
+    }
+    println!("pages reloadable now: {reachable_pages}; temporarily lost: {lost_pages}");
+
+    // The departed motes drift back into range: everything is recoverable.
+    {
+        let mut net = net.lock().expect("net");
+        for d in gone {
+            net.arrive(d)?;
+        }
+    }
+    for page in 1..=PAGES {
+        if let Err(e) = mw.swap_in(page) {
+            if !matches!(e, SwapError::BadState { .. }) {
+                return Err(e.into());
+            }
+        }
+    }
+    let n = mw.invoke_i64(root, "length", vec![])?;
+    println!("\nswarm healed: full traversal sees {n} records again");
+    let (sent, fetched) = {
+        let net = net.lock().expect("net");
+        net.traffic()
+    };
+    println!("total over the air: {sent} B out, {fetched} B back");
+    Ok(())
+}

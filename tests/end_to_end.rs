@@ -1,0 +1,202 @@
+//! Full-stack integration tests through the `obiwan` facade: replication →
+//! swap-cluster formation → policy-driven eviction → reload → GC
+//! cooperation, on one unmodified middleware stack.
+
+use obiwan::prelude::*;
+
+#[test]
+fn complete_lifecycle_under_memory_pressure() {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 500, 8).expect("build list");
+    let mut mw = Middleware::builder()
+        .cluster_size(25)
+        .device_memory(14 * 1024) // roughly 40 % of the data
+        .victim_policy(VictimPolicy::LeastRecentlyUsed)
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate root");
+    // The head stays rooted in a global for the whole session (an ObjRef
+    // held only in Rust is not a GC root and would die once the cursor
+    // moves past it).
+    mw.set_global("head", Value::Ref(root));
+
+    // Two full passes: the first replicates under pressure, the second
+    // reloads what the first evicted.
+    for pass in 0..2 {
+        let root = mw.global("head").expect("head").expect_ref().expect("ref");
+        mw.set_global("cursor", Value::Ref(root));
+        let mut steps = 1;
+        loop {
+            let cur = mw
+                .global("cursor")
+                .expect("cursor")
+                .expect_ref()
+                .expect("ref");
+            match mw
+                .invoke_resilient(cur, "next", vec![], 1_000)
+                .expect("step")
+            {
+                Value::Ref(next) => {
+                    mw.set_global("cursor", Value::Ref(next));
+                    steps += 1;
+                }
+                _ => break,
+            }
+        }
+        assert_eq!(steps, 500, "pass {pass} sees every record");
+        assert!(
+            mw.process().heap().bytes_used() <= mw.process().heap().capacity(),
+            "budget was never exceeded"
+        );
+    }
+    let stats = mw.stats();
+    assert!(stats.swap.swap_outs >= 10, "heavy eviction expected");
+    assert!(stats.swap.swap_ins >= 5, "second pass reloads");
+    assert!(stats.traffic.0 > 0 && stats.traffic.1 > 0);
+    assert!(stats.now.as_micros() > 0, "airtime was spent");
+}
+
+#[test]
+fn payloads_survive_arbitrary_swap_schedules() {
+    let mut server = Server::new(standard_classes());
+    // Distinct payload per node (build_list varies the fill byte).
+    let head = server.build_list("Node", 120, 24).expect("build list");
+    let mut mw = Middleware::builder()
+        .cluster_size(10)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+
+    // Record the baseline payload fingerprint.
+    let fingerprint = |mw: &mut Middleware| -> Vec<i64> {
+        let mut out = Vec::new();
+        mw.set_global("fp", Value::Ref(root));
+        loop {
+            let cur = mw.global("fp").unwrap().expect_ref().unwrap();
+            out.push(mw.invoke_i64(cur, "payload_len", vec![]).unwrap());
+            match mw.invoke(cur, "next", vec![]).unwrap() {
+                Value::Ref(next) => mw.set_global("fp", Value::Ref(next)),
+                _ => break,
+            }
+        }
+        out
+    };
+    let baseline = fingerprint(&mut mw);
+    assert_eq!(baseline.len(), 120);
+
+    // A gnarly schedule: swap evens, reload some, swap odds, reload all.
+    for sc in [2u32, 4, 6, 8, 10, 12] {
+        mw.swap_out(sc).expect("swap out evens");
+    }
+    for sc in [4u32, 8] {
+        mw.swap_in(sc).expect("partial reload");
+    }
+    for sc in [1u32, 3, 5] {
+        mw.swap_out(sc).expect("swap out odds");
+    }
+    assert_eq!(fingerprint(&mut mw), baseline, "contents identical");
+    let stats = mw.swap_stats();
+    assert_eq!(stats.swap_outs, 9);
+    assert!(stats.swap_ins >= 2);
+}
+
+#[test]
+fn same_object_identity_holds_across_proxies_and_swaps() {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 60, 8).expect("build list");
+    let mut mw = Middleware::builder()
+        .cluster_size(20)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+
+    // Two different routes to node 30: direct walk and probe_step.
+    let mut walk = root;
+    for _ in 0..30 {
+        walk = mw.invoke_ref(walk, "next", vec![]).expect("walk");
+    }
+    mw.set_global("a", Value::Ref(walk));
+    let probe = mw
+        .invoke_ref(root, "probe_step", vec![Value::Int(30)])
+        .expect("probe");
+    mw.set_global("b", Value::Ref(probe));
+    let a = mw.global("a").unwrap().expect_ref().unwrap();
+    let b = mw.global("b").unwrap().expect_ref().unwrap();
+    assert!(mw.same_object(a, b).expect("identity"), "same node");
+
+    // Identity survives the node's cluster being swapped out.
+    mw.swap_out(2).expect("swap");
+    let a = mw.global("a").unwrap().expect_ref().unwrap();
+    let b = mw.global("b").unwrap().expect_ref().unwrap();
+    assert!(mw.same_object(a, b).expect("identity while swapped"));
+    // And not equal to a different node.
+    assert!(!mw.same_object(a, root).expect("different nodes"));
+}
+
+#[test]
+fn assign_cursor_iterates_whole_list_without_minting_proxies() {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 200, 8).expect("build list");
+    let mut mw = Middleware::builder()
+        .cluster_size(20)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+    mw.run_gc().expect("settle");
+
+    let cursor = mw.make_cursor(root).expect("cursor");
+    mw.set_global("cursor", Value::Ref(cursor));
+    let before = mw.swap_stats();
+    let mut steps = 0;
+    loop {
+        let cur = mw.global("cursor").unwrap().expect_ref().unwrap();
+        match mw.invoke(cur, "next", vec![]).unwrap() {
+            Value::Ref(next) => {
+                mw.set_global("cursor", Value::Ref(next));
+                steps += 1;
+            }
+            _ => break,
+        }
+    }
+    let after = mw.swap_stats();
+    assert_eq!(steps, 199);
+    assert!(
+        after.proxies_created - before.proxies_created <= 1,
+        "the marked cursor patches itself instead of minting proxies"
+    );
+    assert!(after.assign_patches - before.assign_patches >= 190);
+    // The head global still denotes the list head, not the tail.
+    let head_ref = mw.global("head").unwrap().expect_ref().unwrap();
+    let len = mw.invoke_i64(head_ref, "length", vec![]).expect("len");
+    assert_eq!(len, 200);
+}
+
+#[test]
+fn swapping_disabled_baseline_runs_without_middleware_objects() {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 100, 8).expect("build list");
+    let mut mw = Middleware::builder()
+        .cluster_size(20)
+        .device_memory(1 << 20)
+        .swapping_disabled()
+        .no_builtin_policies()
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    assert_eq!(mw.invoke_i64(root, "length", vec![]).unwrap(), 100);
+    mw.run_gc().expect("gc");
+    let heap = mw.process().heap();
+    let non_app = heap
+        .iter_live()
+        .filter(|&r| heap.get(r).unwrap().kind() != ObjectKind::App)
+        .count();
+    assert_eq!(non_app, 0, "no proxies, no replacements, nothing");
+}

@@ -1,0 +1,137 @@
+//! Policy-engine integration through the facade: XML-coded rules steering
+//! swapping, cluster-size adaptation ("adaptable size", paper §1/§2), and
+//! device-preference actions.
+
+use obiwan::prelude::*;
+
+#[test]
+fn xml_policies_steer_eviction_and_logging() {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 300, 8).expect("build");
+    let mut mw = Middleware::builder()
+        .cluster_size(20)
+        .device_memory(8 * 1024)
+        .no_builtin_policies()
+        .policies_xml(
+            r#"<policies>
+                 <policy id="pressure" category="machine" priority="5">
+                   <on event="memory-pressure"/>
+                   <when attr="occupancy-pct" ge="85"/>
+                   <then><gc/><swap-out victims="2"/><log message="evicted two"/></then>
+                 </policy>
+                 <policy id="oom" category="machine" priority="9">
+                   <on event="allocation-failed"/>
+                   <then><swap-out victims="3"/><gc/><log message="oom handled"/></then>
+                 </policy>
+               </policies>"#,
+        )
+        .watermarks(Watermarks::new(70, 85))
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("cursor", Value::Ref(root));
+    let mut steps = 1;
+    loop {
+        let cur = mw.global("cursor").unwrap().expect_ref().unwrap();
+        match mw
+            .invoke_resilient(cur, "next", vec![], 1_000)
+            .expect("step")
+        {
+            Value::Ref(next) => {
+                mw.set_global("cursor", Value::Ref(next));
+                steps += 1;
+            }
+            _ => break,
+        }
+    }
+    assert_eq!(steps, 300);
+    let log = mw.take_log();
+    assert!(
+        log.iter().any(|l| l == "evicted two" || l == "oom handled"),
+        "policies must have fired: {log:?}"
+    );
+    assert!(mw.swap_stats().swap_outs > 0);
+}
+
+#[test]
+fn adjust_cluster_size_action_adapts_replication_granularity() {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 200, 8).expect("build");
+    let mut mw = Middleware::builder()
+        .cluster_size(50)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .policies_xml(
+            r#"<policies>
+                 <policy id="shrink-clusters" category="application">
+                   <on event="cluster-replicated"/>
+                   <when attr="objects" ge="40"/>
+                   <then><adjust-cluster-size delta="-40"/><log message="shrunk"/></then>
+                 </policy>
+               </policies>"#,
+        )
+        .build(server);
+    assert_eq!(mw.process().config().cluster_size, 50);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    // The first cluster (50 objects) triggers the rule; subsequent faults
+    // use the adapted size (10).
+    assert_eq!(mw.process().config().cluster_size, 10);
+    mw.invoke_i64(root, "length", vec![]).expect("traverse");
+    let manager = mw.manager();
+    let m = manager.lock().expect("manager");
+    let ids = m.loaded_clusters();
+    // 1 × 50 + 15 × 10 = 200 objects.
+    assert_eq!(ids.len(), 16, "one big cluster then small ones: {ids:?}");
+    assert_eq!(m.cluster(1).expect("sc1").member_count(), 50);
+    assert_eq!(m.cluster(2).expect("sc2").member_count(), 10);
+    assert!(mw.take_log().contains(&"shrunk".to_string()));
+}
+
+#[test]
+fn prefer_device_action_steers_placement() {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 60, 8).expect("build");
+    let mut mw = Middleware::builder()
+        .cluster_size(20)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .stores(vec![
+            // The desktop has more free space, so without the preference
+            // it would win the placement.
+            StoreSpec::new("big-desktop", DeviceKind::Desktop, 1 << 20),
+            StoreSpec::new("small-mote", DeviceKind::Mote, 64 * 1024),
+        ])
+        .policies_xml(
+            r#"<policies>
+                 <policy id="prefer-motes" category="user">
+                   <on event="cluster-replicated"/>
+                   <then><prefer-device kind="mote"/></then>
+                 </policy>
+               </policies>"#,
+        )
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+    mw.swap_out(1).expect("swap");
+    let net = mw.net();
+    let net = net.lock().expect("net");
+    let mote = net
+        .nearby(mw.home_device())
+        .into_iter()
+        .find(|d| net.profile(*d).unwrap().kind == DeviceKind::Mote)
+        .expect("mote exists");
+    assert!(
+        net.stored_bytes(mote).unwrap() > 0,
+        "the user's preference for motes must win over free space"
+    );
+}
+
+#[test]
+fn middleware_stack_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Middleware>();
+    assert_send::<Process>();
+    assert_send::<SwappingManager>();
+    assert_send::<Server>();
+}

@@ -1,0 +1,120 @@
+//! The paper's §7 scenario end-to-end: storage reached through *relays* —
+//! "small memory-enabled devices with wireless connectivity, scattered
+//! all-over, that are available to any user (either to store data or to
+//! relay communications)".
+
+use obiwan::prelude::*;
+
+/// A PDA with no direct storage: its only neighbour is a storageless mote
+/// that relays to a desktop two hops away.
+fn relay_world() -> (Middleware, ObjRef, DeviceId, DeviceId) {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 60, 8).expect("build");
+    let mut mw = Middleware::builder()
+        .cluster_size(20)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .swap_config(SwapConfig::default().allow_relays(true))
+        .stores(vec![]) // no direct storage at all
+        .build(server);
+    let (relay, desktop) = {
+        let net = mw.net();
+        let mut net = net.lock().expect("net");
+        let relay = net.add_device("hall-mote", DeviceKind::Mote, 0); // relays only
+        let desktop = net.add_device("office-desktop", DeviceKind::Desktop, 1 << 20);
+        net.connect(mw.home_device(), relay, LinkSpec::mote_radio())
+            .expect("link 1");
+        net.connect(relay, desktop, LinkSpec::wifi()).expect("link 2");
+        (relay, desktop)
+    };
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+    (mw, root, relay, desktop)
+}
+
+#[test]
+fn swap_out_reaches_storage_through_a_relay() {
+    let (mut mw, root, relay, desktop) = relay_world();
+    let shipped = mw.swap_out(2).expect("relayed swap-out");
+    assert!(shipped > 0);
+    let net = mw.net();
+    {
+        let net = net.lock().expect("net");
+        assert_eq!(
+            net.stored_bytes(desktop).expect("desktop"),
+            shipped,
+            "the blob lives on the two-hop desktop"
+        );
+        assert_eq!(
+            net.stored_bytes(relay).expect("relay"),
+            0,
+            "the relay forwards, it does not store"
+        );
+        // The relay hops were traced.
+        assert!(net
+            .trace()
+            .iter()
+            .any(|e| matches!(&e.kind, obiwan::net::TraceKind::BlobRelayed { .. })));
+    }
+    // Reload works through the same route.
+    assert_eq!(mw.invoke_i64(root, "length", vec![]).unwrap(), 60);
+    assert_eq!(mw.swap_stats().swap_ins, 1);
+}
+
+#[test]
+fn relayed_transfer_pays_every_hops_airtime() {
+    let (mut mw, _root, _relay, _desktop) = relay_world();
+    let net = mw.net();
+    let t0 = net.lock().expect("net").now();
+    let shipped = mw.swap_out(1).expect("swap");
+    let elapsed = net.lock().expect("net").now() - t0;
+    let expected = LinkSpec::mote_radio().transfer_time(shipped).as_micros()
+        + LinkSpec::wifi().transfer_time(shipped).as_micros();
+    assert_eq!(elapsed.as_micros(), expected, "both hops were paid for");
+}
+
+#[test]
+fn departed_relay_means_data_lost_until_it_returns() {
+    let (mut mw, root, relay, _desktop) = relay_world();
+    mw.swap_out(2).expect("swap");
+    mw.net().lock().expect("net").depart(relay).expect("depart");
+    let err = mw.swap_in(2).expect_err("no route");
+    assert!(matches!(err, SwapError::DataLost { swap_cluster: 2, .. }));
+    // The relay wanders back: the data is reachable again.
+    mw.net().lock().expect("net").arrive(relay).expect("arrive");
+    mw.swap_in(2).expect("reload through restored route");
+    assert_eq!(mw.invoke_i64(root, "length", vec![]).unwrap(), 60);
+}
+
+#[test]
+fn gc_drop_instructions_travel_the_relay_route() {
+    let (mut mw, root, _relay, desktop) = relay_world();
+    // Reach node 19 (cluster 1's last node) and sever after it, so
+    // cluster 2 becomes garbage after we swap it out.
+    let mut cur = root;
+    for _ in 0..19 {
+        cur = mw.invoke_ref(cur, "next", vec![]).expect("walk");
+    }
+    mw.set_global("cut", Value::Ref(cur));
+    mw.swap_out(2).expect("swap");
+    let cut = mw.global("cut").unwrap().expect_ref().unwrap();
+    let handle = match obiwan::core::identity_key(mw.process(), cut).expect("key") {
+        obiwan::core::IdentityKey::Oid(oid) => {
+            mw.process().lookup_replica(oid).expect("node 19 loaded")
+        }
+        obiwan::core::IdentityKey::Handle(h) => h,
+    };
+    mw.process_mut()
+        .set_field_value(handle, "next", Value::Null)
+        .expect("sever");
+    mw.run_gc().expect("gc 1");
+    mw.run_gc().expect("gc 2");
+    let net = mw.net();
+    assert_eq!(
+        net.lock().expect("net").stored_bytes(desktop).unwrap(),
+        0,
+        "the drop instruction crossed the relay"
+    );
+    assert!(mw.swap_stats().blobs_dropped >= 1);
+}

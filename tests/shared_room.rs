@@ -1,0 +1,119 @@
+//! Several PDAs in one room: one master server, one simulated world, one
+//! laptop whose storage they contend for — "available to any user".
+
+use obiwan::prelude::*;
+use std::sync::{Arc, Mutex};
+
+fn room() -> (
+    Middleware,
+    Middleware,
+    DeviceId, // the shared laptop
+    obiwan_heap::Oid,
+    obiwan_heap::Oid,
+) {
+    let mut server = Server::new(standard_classes());
+    let list_a = server.build_list("Node", 60, 8).expect("list a");
+    let list_b = server.build_list("Node", 60, 8).expect("list b");
+    let shared_server = server.into_shared();
+
+    let mut net = SimNet::new();
+    let pda_a = net.add_device("pda-a", DeviceKind::Pda, 0);
+    let pda_b = net.add_device("pda-b", DeviceKind::Pda, 0);
+    // Quota fits roughly two cluster blobs (~3 KB each).
+    let laptop = net.add_device("shared-laptop", DeviceKind::Laptop, 7 * 1024);
+    net.connect(pda_a, laptop, LinkSpec::bluetooth()).expect("a");
+    net.connect(pda_b, laptop, LinkSpec::bluetooth()).expect("b");
+    let net = Arc::new(Mutex::new(net));
+
+    let build = |home| {
+        Middleware::builder()
+            .cluster_size(20)
+            .device_memory(1 << 20)
+            .no_builtin_policies()
+            .build_in_world(
+                standard_classes(),
+                Arc::clone(&shared_server),
+                Arc::clone(&net),
+                home,
+            )
+    };
+    (build(pda_a), build(pda_b), laptop, list_a, list_b)
+}
+
+#[test]
+fn two_pdas_share_one_laptops_quota() {
+    let (mut a, mut b, laptop, list_a, list_b) = room();
+    let root_a = a.replicate_root(list_a).expect("replicate a");
+    a.set_global("head", Value::Ref(root_a));
+    a.invoke_i64(root_a, "length", vec![]).expect("warm a");
+    let root_b = b.replicate_root(list_b).expect("replicate b");
+    b.set_global("head", Value::Ref(root_b));
+    b.invoke_i64(root_b, "length", vec![]).expect("warm b");
+
+    // Each PDA parks one cluster on the laptop.
+    a.swap_out(1).expect("a swaps");
+    b.swap_out(1).expect("b swaps");
+    {
+        let net = a.net();
+        let net = net.lock().expect("net");
+        assert!(net.stored_bytes(laptop).expect("laptop") > 6_000);
+    }
+    // The quota is now nearly full: the next swap finds no space.
+    let err = a.swap_out(2).expect_err("laptop full");
+    assert!(matches!(err, SwapError::NoStorageDevice { .. }));
+
+    // B reloads its cluster, freeing quota; now A's eviction fits.
+    b.swap_in(1).expect("b reloads");
+    a.swap_out(2).expect("a swaps after space freed");
+
+    // Both worlds remain intact.
+    assert_eq!(a.invoke_i64(root_a, "length", vec![]).unwrap(), 60);
+    assert_eq!(b.invoke_i64(root_b, "length", vec![]).unwrap(), 60);
+}
+
+#[test]
+fn shared_clock_orders_both_pdas_transfers() {
+    let (mut a, mut b, _laptop, list_a, list_b) = room();
+    let root_a = a.replicate_root(list_a).expect("replicate a");
+    a.set_global("head", Value::Ref(root_a));
+    a.invoke_i64(root_a, "length", vec![]).expect("warm a");
+    let root_b = b.replicate_root(list_b).expect("replicate b");
+    b.set_global("head", Value::Ref(root_b));
+    b.invoke_i64(root_b, "length", vec![]).expect("warm b");
+
+    let t0 = a.net().lock().expect("net").now();
+    a.swap_out(1).expect("a swaps");
+    let t1 = a.net().lock().expect("net").now();
+    b.swap_out(1).expect("b swaps");
+    let t2 = b.net().lock().expect("net").now();
+    assert!(t1 > t0 && t2 > t1, "one shared airtime timeline");
+    // Both PDAs observe the same clock.
+    assert_eq!(a.stats().now, b.stats().now);
+}
+
+#[test]
+fn blob_keys_are_namespaced_per_device() {
+    // Both PDAs swap *their own* swap-cluster 1 to the same laptop: the
+    // keys carry the swapping device's id, so they coexist and each PDA
+    // reloads its own data.
+    let (mut a, mut b, laptop, list_a, list_b) = room();
+    let root_a = a.replicate_root(list_a).expect("replicate a");
+    a.set_global("head", Value::Ref(root_a));
+    a.invoke_i64(root_a, "length", vec![]).expect("warm a");
+    let root_b = b.replicate_root(list_b).expect("replicate b");
+    b.set_global("head", Value::Ref(root_b));
+    b.invoke_i64(root_b, "length", vec![]).expect("warm b");
+
+    a.swap_out(1).expect("a swaps");
+    b.swap_out(1).expect("b swaps the same (device-local) cluster id");
+    {
+        let net = a.net();
+        let net = net.lock().expect("net");
+        assert!(net.holds_blob(laptop, "dev0-sc1-e0"));
+        assert!(net.holds_blob(laptop, "dev1-sc1-e0"));
+    }
+    a.swap_in(1).expect("a reloads its own blob");
+    b.swap_in(1).expect("b reloads its own blob");
+    assert_eq!(a.invoke_i64(root_a, "length", vec![]).unwrap(), 60);
+    assert_eq!(b.invoke_i64(root_b, "length", vec![]).unwrap(), 60);
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the swapping machinery: under *arbitrary*
+//! interleavings of swap-outs, reloads, collections and traversals, the
+//! application-visible list contents never change and the memory budget is
+//! never exceeded.
+
+use obiwan::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    SwapOutVictim,
+    SwapOut(u32),
+    SwapIn(u32),
+    Gc,
+    TraverseCheck,
+    WalkPrefix(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::SwapOutVictim),
+        2 => (1u32..=12).prop_map(Op::SwapOut),
+        2 => (1u32..=12).prop_map(Op::SwapIn),
+        1 => Just(Op::Gc),
+        2 => Just(Op::TraverseCheck),
+        2 => (0usize..120).prop_map(Op::WalkPrefix),
+    ]
+}
+
+fn fingerprint(mw: &mut Middleware, root: ObjRef, expected_len: usize) -> Vec<i64> {
+    let mut out = Vec::new();
+    mw.set_global("fp_cursor", Value::Ref(root));
+    loop {
+        let cur = mw
+            .global("fp_cursor")
+            .expect("cursor")
+            .expect_ref()
+            .expect("ref");
+        out.push(
+            mw.invoke_resilient(cur, "payload_len", vec![], 100)
+                .expect("payload")
+                .expect_int()
+                .expect("int"),
+        );
+        match mw
+            .invoke_resilient(cur, "next", vec![], 100)
+            .expect("step")
+        {
+            Value::Ref(next) => mw.set_global("fp_cursor", Value::Ref(next)),
+            _ => break,
+        }
+    }
+    assert_eq!(out.len(), expected_len);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn list_contents_invariant_under_arbitrary_swapping(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        payload in 4usize..40,
+    ) {
+        const N: usize = 120;
+        let mut server = Server::new(standard_classes());
+        let head = server.build_list("Node", N, payload).expect("build");
+        let mut mw = Middleware::builder()
+            .cluster_size(10)
+            .device_memory(1 << 20)
+            .no_builtin_policies()
+            .build(server);
+        let root = mw.replicate_root(head).expect("replicate");
+        mw.set_global("head", Value::Ref(root));
+        mw.invoke_i64(root, "length", vec![]).expect("warm");
+        let baseline = fingerprint(&mut mw, root, N);
+
+        for op in ops {
+            match op {
+                Op::SwapOutVictim => {
+                    let _ = mw.swap_out_victim().expect("victim eviction is infallible here");
+                }
+                Op::SwapOut(sc) => match mw.swap_out(sc) {
+                    Ok(_) => {}
+                    Err(SwapError::BadState { .. })
+                    | Err(SwapError::UnknownSwapCluster { .. }) => {}
+                    Err(e) => panic!("swap_out({sc}): {e}"),
+                },
+                Op::SwapIn(sc) => match mw.swap_in(sc) {
+                    Ok(_) => {}
+                    Err(SwapError::BadState { .. })
+                    | Err(SwapError::UnknownSwapCluster { .. }) => {}
+                    Err(e) => panic!("swap_in({sc}): {e}"),
+                },
+                Op::Gc => {
+                    mw.run_gc().expect("gc");
+                }
+                Op::TraverseCheck => {
+                    prop_assert_eq!(&fingerprint(&mut mw, root, N), &baseline);
+                }
+                Op::WalkPrefix(n) => {
+                    mw.set_global("walk", Value::Ref(root));
+                    for _ in 0..n {
+                        let cur = mw.global("walk").unwrap().expect_ref().unwrap();
+                        match mw.invoke_resilient(cur, "next", vec![], 100).expect("walk") {
+                            Value::Ref(next) => mw.set_global("walk", Value::Ref(next)),
+                            _ => break,
+                        }
+                    }
+                }
+            }
+            prop_assert!(
+                mw.process().heap().bytes_used() <= mw.process().heap().capacity()
+            );
+        }
+        // Final full verification.
+        prop_assert_eq!(&fingerprint(&mut mw, root, N), &baseline);
+    }
+
+    #[test]
+    fn pressured_walks_always_complete(
+        memory_pct in 25usize..80,
+        cluster in proptest::sample::select(vec![5usize, 10, 20, 30]),
+        payload in 4usize..24,
+    ) {
+        const N: usize = 200;
+        let mut server = Server::new(standard_classes());
+        let head = server.build_list("Node", N, payload).expect("build");
+        let node_size = 24 + 2 * 16 + payload;
+        let mut mw = Middleware::builder()
+            .cluster_size(cluster)
+            .device_memory((N * node_size) * memory_pct / 100 + 4096)
+            .build(server);
+        let root = mw.replicate_root(head).expect("replicate");
+        mw.set_global("cursor", Value::Ref(root));
+        let mut steps = 1usize;
+        loop {
+            let cur = mw.global("cursor").unwrap().expect_ref().unwrap();
+            match mw.invoke_resilient(cur, "next", vec![], 2_000).expect("step") {
+                Value::Ref(next) => {
+                    mw.set_global("cursor", Value::Ref(next));
+                    steps += 1;
+                }
+                _ => break,
+            }
+            prop_assert!(
+                mw.process().heap().bytes_used() <= mw.process().heap().capacity()
+            );
+        }
+        prop_assert_eq!(steps, N);
+    }
+}

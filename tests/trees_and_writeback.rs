@@ -1,0 +1,197 @@
+//! Branching-graph workloads and the replica write-back path: trees give
+//! the BFS clustering non-trivial swap-cluster boundaries, and `commit`
+//! exercises OBIWAN's update half ("creation and update of object
+//! replicas", paper §2).
+
+use obiwan::prelude::*;
+use obiwan::replication::WireValue;
+
+fn tree_world(depth: u32, cluster: usize) -> (Middleware, ObjRef, i64) {
+    let mut server = Server::new(standard_classes());
+    let root_oid = server.build_tree(depth, 8).expect("build tree");
+    let n = (1i64 << depth) - 1;
+    let mut mw = Middleware::builder()
+        .cluster_size(cluster)
+        .device_memory(4 << 20)
+        .no_builtin_policies()
+        .build(server);
+    let root = mw.replicate_root(root_oid).expect("replicate");
+    mw.set_global("tree", Value::Ref(root));
+    (mw, root, n)
+}
+
+#[test]
+fn tree_traversals_fault_the_whole_tree_in() {
+    let (mut mw, root, n) = tree_world(7, 10); // 127 nodes
+    assert_eq!(mw.invoke_i64(root, "count", vec![]).unwrap(), n);
+    assert_eq!(mw.invoke_i64(root, "depth", vec![]).unwrap(), 7);
+    // Tags are 1..=n, so the sum is n(n+1)/2.
+    assert_eq!(
+        mw.invoke_i64(root, "sum_tags", vec![]).unwrap(),
+        n * (n + 1) / 2
+    );
+    assert_eq!(mw.process().replicated_objects(), n as usize);
+}
+
+#[test]
+fn tree_sum_is_invariant_under_swapping_subtrees() {
+    let (mut mw, root, n) = tree_world(8, 16); // 255 nodes, 16 clusters
+    let expected = n * (n + 1) / 2;
+    assert_eq!(mw.invoke_i64(root, "sum_tags", vec![]).unwrap(), expected);
+    // Swap out every other cluster — with BFS clustering these are
+    // horizontal slabs of the tree, so boundaries cut through many edges.
+    let clusters = {
+        let manager = mw.manager();
+        let ids = manager.lock().expect("manager").loaded_clusters();
+        ids
+    };
+    for sc in clusters.iter().copied().filter(|sc| sc % 2 == 0) {
+        mw.swap_out(sc).expect("swap out");
+    }
+    assert_eq!(mw.invoke_i64(root, "sum_tags", vec![]).unwrap(), expected);
+    // And again with the odd ones (the evens just reloaded).
+    for sc in clusters.iter().copied().filter(|sc| sc % 2 == 1) {
+        mw.swap_out(sc).expect("swap out odds");
+    }
+    assert_eq!(mw.invoke_i64(root, "sum_tags", vec![]).unwrap(), expected);
+    assert!(mw.swap_stats().swap_ins >= clusters.len() as u64 / 2);
+}
+
+#[test]
+fn find_max_tag_returns_identity_preserving_reference() {
+    let (mut mw, root, n) = tree_world(6, 8);
+    let max = mw.invoke_ref(root, "find_max_tag", vec![]).expect("max");
+    mw.set_global("max", Value::Ref(max));
+    assert_eq!(mw.invoke_i64(max, "tag_of", vec![]).unwrap(), n);
+    // Swap the cluster holding it out; the reference still denotes it.
+    let max_before = mw.global("max").unwrap().expect_ref().unwrap();
+    let victims = {
+        let manager = mw.manager();
+        let ids = manager.lock().expect("manager").loaded_clusters();
+        ids
+    };
+    for sc in victims {
+        mw.swap_out(sc).expect("swap");
+    }
+    let max_after = mw.global("max").unwrap().expect_ref().unwrap();
+    assert!(mw.same_object(max_before, max_after).unwrap());
+    assert_eq!(mw.invoke_i64(max_after, "tag_of", vec![]).unwrap(), n);
+}
+
+#[test]
+fn committed_updates_reach_the_master_graph() {
+    let mut server = Server::new(standard_classes());
+    let root_oid = server.build_tree(4, 8).expect("build tree");
+    let shared = server.into_shared();
+    let universe = standard_classes();
+    let mut mw = Middleware::builder()
+        .cluster_size(5)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .build_shared(universe, shared.clone());
+    let root = mw.replicate_root(root_oid).expect("replicate");
+    mw.set_global("tree", Value::Ref(root));
+    mw.invoke_i64(root, "count", vec![]).expect("warm");
+
+    // Mutate the root's tag locally and commit.
+    let handle = mw
+        .process()
+        .lookup_replica(root_oid)
+        .expect("root replica");
+    mw.process_mut()
+        .set_field_value(handle, "tag", Value::Int(999))
+        .expect("local write");
+    mw.commit(root_oid).expect("commit");
+
+    // The master saw it.
+    {
+        let srv = shared.lock().expect("server");
+        assert_eq!(
+            srv.get_field(root_oid, "tag").expect("tag"),
+            WireValue::Scalar(Value::Int(999))
+        );
+        assert_eq!(srv.updates_applied(), 1);
+    }
+
+    // A second device replicating fresh sees the committed value.
+    let mut mw2 = Middleware::builder()
+        .cluster_size(5)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .build_shared(standard_classes(), shared);
+    let root2 = mw2.replicate_root(root_oid).expect("replicate on PDA 2");
+    mw2.set_global("tree", Value::Ref(root2));
+    let handle2 = mw2.process().lookup_replica(root_oid).expect("replica 2");
+    assert_eq!(
+        mw2.process()
+            .field_value(handle2, "tag")
+            .expect("tag")
+            .expect_int()
+            .expect("int"),
+        999
+    );
+}
+
+#[test]
+fn commit_all_pushes_every_replica_and_skips_swapped_state() {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 40, 8).expect("build list");
+    let shared = server.into_shared();
+    let mut mw = Middleware::builder()
+        .cluster_size(10)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .build_shared(standard_classes(), shared.clone());
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+
+    // Swap cluster 2 out: its objects' state now lives in the blob and is
+    // not committable (the replicas are gone).
+    mw.swap_out(2).expect("swap out");
+    let committed = mw.commit_all().expect("sync");
+    assert_eq!(committed, 30, "40 nodes minus the 10 swapped ones");
+    assert_eq!(shared.lock().expect("server").updates_applied(), 30);
+
+    // Reload and sync again: now everything commits.
+    mw.swap_in(2).expect("reload");
+    let committed = mw.commit_all().expect("sync 2");
+    assert_eq!(committed, 40);
+}
+
+#[test]
+fn two_devices_swap_independently_from_one_master() {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 100, 8).expect("build list");
+    let shared = server.into_shared();
+    let build = || {
+        Middleware::builder()
+            .cluster_size(20)
+            .device_memory(1 << 20)
+            .no_builtin_policies()
+            .build_shared(standard_classes(), shared.clone())
+    };
+    let mut pda_a = build();
+    let mut pda_b = build();
+    let root_a = pda_a.replicate_root(head).expect("replicate A");
+    pda_a.set_global("head", Value::Ref(root_a));
+    let root_b = pda_b.replicate_root(head).expect("replicate B");
+    pda_b.set_global("head", Value::Ref(root_b));
+    assert_eq!(pda_a.invoke_i64(root_a, "length", vec![]).unwrap(), 100);
+    assert_eq!(pda_b.invoke_i64(root_b, "length", vec![]).unwrap(), 100);
+
+    // A swaps clusters 1-2 out; B is unaffected (separate rooms, separate
+    // swap state, one master).
+    pda_a.swap_out(1).expect("A swaps 1");
+    pda_a.swap_out(2).expect("A swaps 2");
+    assert_eq!(pda_b.swap_stats().swap_outs, 0);
+    assert_eq!(pda_b.invoke_i64(root_b, "length", vec![]).unwrap(), 100);
+    assert_eq!(pda_a.invoke_i64(root_a, "length", vec![]).unwrap(), 100);
+    assert_eq!(pda_a.swap_stats().swap_ins, 2);
+    let (clusters_served, objects_served) = {
+        let srv = shared.lock().expect("server");
+        srv.served()
+    };
+    assert_eq!(objects_served, 200, "each device replicated all 100 once");
+    assert_eq!(clusters_served, 10);
+}
