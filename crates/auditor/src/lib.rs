@@ -1,0 +1,22 @@
+//! Standalone packaging of the swap-cluster invariant auditor.
+//!
+//! The analyzer itself lives in [`obiwan_core::audit`] (it needs the
+//! manager's internal tables, and the middleware's debug self-audit hooks
+//! call it after every swap operation). This crate re-exports the audit
+//! API, adds a scripted workload replayer ([`scenario`]) that audits the
+//! whole graph after every step, and ships the `audit-trace` CLI:
+//!
+//! ```text
+//! cargo run -p obiwan-auditor --bin audit-trace -- --nodes 300 --steps 400
+//! ```
+//!
+//! The crate's integration tests deliberately corrupt a live graph through
+//! the public middleware API and assert the auditor pinpoints each rule
+//! class (see `tests/injection.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use obiwan_core::audit::{AuditReport, Rule, Severity, Violation};
+
+pub mod scenario;

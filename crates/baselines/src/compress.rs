@@ -188,7 +188,7 @@ mod tests {
         // …but nearly-random data of the same raw size does not.
         let mut pool2 = CompressedPool::new(256);
         let noisy: String = (0..10_000u32)
-            .map(|i| char::from((33 + ((i.wrapping_mul(2654435761) >> 16) % 90) as u8) as char))
+            .map(|i| (33 + ((i.wrapping_mul(2654435761) >> 16) % 90) as u8) as char)
             .collect();
         assert!(matches!(
             pool2.store("n", noisy),

@@ -207,10 +207,12 @@ impl Offloader {
         // Build the surrogate and patch every holder (object table update).
         let surrogate = p.ensure_fault_proxy(oid).map_err(|e| match e {
             obiwan_replication::ReplError::Heap(h) => OffloadError::Heap(h),
-            other => OffloadError::NotOffloadable { obj: {
-                let _ = other;
-                obj
-            } },
+            other => OffloadError::NotOffloadable {
+                obj: {
+                    let _ = other;
+                    obj
+                },
+            },
         })?;
         let holders: Vec<ObjRef> = p.heap().iter_live().collect();
         for holder in holders {
@@ -342,9 +344,7 @@ impl Offloader {
         let mut live: std::collections::HashSet<Oid> = self
             .remote
             .iter()
-            .filter(|(_, e)| {
-                p.heap().is_live(e.surrogate) && reachable.contains(&e.surrogate)
-            })
+            .filter(|(_, e)| p.heap().is_live(e.surrogate) && reachable.contains(&e.surrogate))
             .map(|(oid, _)| *oid)
             .collect();
         messages += self.remote.len() as u64;
@@ -449,30 +449,31 @@ fn decode_object(p: &mut Process, xml: &str) -> Result<ObjRef> {
     for field in root.children_named("field") {
         let i: usize = field.parse_attr("i")?;
         let kind = field.require_attr("kind")?;
-        let value = match kind {
-            "oid" => {
-                let target = Oid(field.parse_attr("v")?);
-                match p.lookup_replica(target) {
-                    Some(t) => Value::Ref(t),
-                    None => Value::Ref(p.ensure_fault_proxy(target).map_err(|e| match e {
-                        obiwan_replication::ReplError::Heap(h) => OffloadError::Heap(h),
-                        _ => OffloadError::NotRemote { oid: target },
-                    })?),
+        let value =
+            match kind {
+                "oid" => {
+                    let target = Oid(field.parse_attr("v")?);
+                    match p.lookup_replica(target) {
+                        Some(t) => Value::Ref(t),
+                        None => Value::Ref(p.ensure_fault_proxy(target).map_err(|e| match e {
+                            obiwan_replication::ReplError::Heap(h) => OffloadError::Heap(h),
+                            _ => OffloadError::NotRemote { oid: target },
+                        })?),
+                    }
                 }
-            }
-            "int" => Value::Int(field.parse_attr("v")?),
-            "bytes" => {
-                let text = field.text().trim();
-                let mut bytes = Vec::with_capacity(text.len() / 2);
-                for i in (0..text.len()).step_by(2) {
-                    bytes.push(u8::from_str_radix(&text[i..i + 2], 16).map_err(|_| {
-                        OffloadError::Xml(obiwan_xml::Error::structure("bad hex"))
-                    })?);
+                "int" => Value::Int(field.parse_attr("v")?),
+                "bytes" => {
+                    let text = field.text().trim();
+                    let mut bytes = Vec::with_capacity(text.len() / 2);
+                    for i in (0..text.len()).step_by(2) {
+                        bytes.push(u8::from_str_radix(&text[i..i + 2], 16).map_err(|_| {
+                            OffloadError::Xml(obiwan_xml::Error::structure("bad hex"))
+                        })?);
+                    }
+                    Value::Bytes(bytes.into())
                 }
-                Value::Bytes(bytes.into())
-            }
-            _ => Value::from(field.text()),
-        };
+                _ => Value::from(field.text()),
+            };
         p.heap_mut().set_any_field(r, i, value)?;
     }
     Ok(r)

@@ -35,13 +35,17 @@ fn bench_traversal(c: &mut Criterion) {
 
     let (server, head) = server_with_list();
     let (mut naive, naive_root) = warmed(naive_middleware(server, 1 << 22), head);
-    group.bench_with_input(BenchmarkId::new("visit", "naive-1-per-object"), &(), |b, ()| {
-        b.iter(|| {
-            naive
-                .invoke_i64(naive_root, "visit", vec![Value::Int(0)])
-                .expect("traversal")
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("visit", "naive-1-per-object"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                naive
+                    .invoke_i64(naive_root, "visit", vec![Value::Int(0)])
+                    .expect("traversal")
+            })
+        },
+    );
 
     let (server, head) = server_with_list();
     let sc = Middleware::builder()
@@ -50,12 +54,16 @@ fn bench_traversal(c: &mut Criterion) {
         .no_builtin_policies()
         .build(server);
     let (mut sc, sc_root) = warmed(sc, head);
-    group.bench_with_input(BenchmarkId::new("visit", "swap-clusters-50"), &(), |b, ()| {
-        b.iter(|| {
-            sc.invoke_i64(sc_root, "visit", vec![Value::Int(0)])
-                .expect("traversal")
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("visit", "swap-clusters-50"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                sc.invoke_i64(sc_root, "visit", vec![Value::Int(0)])
+                    .expect("traversal")
+            })
+        },
+    );
 
     let (server, head) = server_with_list();
     let floor = Middleware::builder()
@@ -65,13 +73,17 @@ fn bench_traversal(c: &mut Criterion) {
         .no_builtin_policies()
         .build(server);
     let (mut floor, floor_root) = warmed(floor, head);
-    group.bench_with_input(BenchmarkId::new("visit", "no-swap-clusters"), &(), |b, ()| {
-        b.iter(|| {
-            floor
-                .invoke_i64(floor_root, "visit", vec![Value::Int(0)])
-                .expect("traversal")
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("visit", "no-swap-clusters"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                floor
+                    .invoke_i64(floor_root, "visit", vec![Value::Int(0)])
+                    .expect("traversal")
+            })
+        },
+    );
 
     group.finish();
 }

@@ -58,20 +58,13 @@ fn bench_codec(c: &mut Criterion) {
                 .map(|&(_, r)| r)
                 .collect()
         };
-        let xml =
-            obiwan_core::codec::encode(mw.process(), 1, 0, &members).expect("encode");
-        group.bench_with_input(
-            BenchmarkId::new("encode", cluster_size),
-            &(),
-            |b, ()| {
-                b.iter(|| obiwan_core::codec::encode(mw.process(), 1, 0, &members).unwrap())
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("decode", cluster_size),
-            &xml,
-            |b, xml| b.iter(|| obiwan_core::codec::decode(xml).unwrap()),
-        );
+        let xml = obiwan_core::codec::encode(mw.process(), 1, 0, &members).expect("encode");
+        group.bench_with_input(BenchmarkId::new("encode", cluster_size), &(), |b, ()| {
+            b.iter(|| obiwan_core::codec::encode(mw.process(), 1, 0, &members).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("decode", cluster_size), &xml, |b, xml| {
+            b.iter(|| obiwan_core::codec::decode(xml).unwrap())
+        });
     }
     group.finish();
 }

@@ -60,11 +60,9 @@ fn bench_policies(c: &mut Criterion) {
         let (mut mw, root) = pressured_world(policy);
         // Warm: one sweep replicates the tail and starts the swap churn.
         sweep(&mut mw, root);
-        group.bench_with_input(
-            BenchmarkId::new("sweep", policy.name()),
-            &(),
-            |b, ()| b.iter(|| sweep(&mut mw, root)),
-        );
+        group.bench_with_input(BenchmarkId::new("sweep", policy.name()), &(), |b, ()| {
+            b.iter(|| sweep(&mut mw, root))
+        });
     }
     group.finish();
 }

@@ -1,3 +1,5 @@
+//! Steady-state walk demo: drives the Figure 5 workload under memory
+//! pressure and prints per-phase wall-clock timings.
 use obiwan_bench::workloads::*;
 use std::time::Instant;
 
@@ -13,9 +15,16 @@ fn main() {
             }
             let early: f64 = timings[5..15].iter().sum::<f64>() / 10.0;
             let late: f64 = timings[50..60].iter().sum::<f64>() / 10.0;
-            println!("{test}: early {early:.3}ms late {late:.3}ms ratio {:.2}", late / early);
+            println!(
+                "{test}: early {early:.3}ms late {late:.3}ms ratio {:.2}",
+                late / early
+            );
             let heap = world.mw.process().heap();
-            println!("  final heap: {} objects, {} B", heap.live_objects(), heap.bytes_used());
+            println!(
+                "  final heap: {} objects, {} B",
+                heap.live_objects(),
+                heap.bytes_used()
+            );
         }
     });
 }

@@ -74,8 +74,13 @@ fn compression_report(list_len: usize) -> String {
     let (xml, sc_bytes) = {
         let manager = mw.manager();
         let m = manager.lock().expect("manager");
-        let members: Vec<obiwan_heap::ObjRef> =
-            m.cluster(1).expect("sc1").members.iter().map(|&(_, r)| r).collect();
+        let members: Vec<obiwan_heap::ObjRef> = m
+            .cluster(1)
+            .expect("sc1")
+            .members
+            .iter()
+            .map(|&(_, r)| r)
+            .collect();
         let xml = codec::encode(mw.process(), 1, 0, &members).expect("encode");
         let bytes = members.len() * 64;
         (xml, bytes)
@@ -145,7 +150,11 @@ fn gc_cooperation_report() -> String {
     mw.swap_out(2).expect("swap out");
     let stored_before = neighbour_bytes(&mw);
     // Sever the list before the swapped cluster.
-    let ninth = mw.global("ninth").expect("ninth").expect_ref().expect("ref");
+    let ninth = mw
+        .global("ninth")
+        .expect("ninth")
+        .expect_ref()
+        .expect("ref");
     let handle = match obiwan_core::identity_key(mw.process(), ninth).expect("key") {
         obiwan_core::IdentityKey::Oid(oid) => mw.process().lookup_replica(oid).expect("live"),
         obiwan_core::IdentityKey::Handle(h) => h,

@@ -32,10 +32,10 @@ pub struct Fig5Table {
 
 /// The paper's numbers (ms) for reference, same layout.
 pub const PAPER_MS: [[f64; 4]; 4] = [
-    [43.0, 38.0, 36.0, 35.0],   // A1
+    [43.0, 38.0, 36.0, 35.0],     // A1
     [467.0, 398.0, 377.0, 305.0], // A2
-    [339.0, 331.0, 296.0, 36.0], // B1
-    [64.0, 51.0, 49.0, 36.0],    // B2
+    [339.0, 331.0, 296.0, 36.0],  // B1
+    [64.0, 51.0, 49.0, 36.0],     // B2
 ];
 
 /// Run the full sweep. `list_len` 10 000 and ≥3 iterations reproduce the
@@ -75,7 +75,11 @@ pub fn run_sweep(list_len: usize, iters: usize) -> Fig5Table {
             row.iter()
                 .map(|&mean_ms| Cell {
                     mean_ms,
-                    slowdown: if baseline > 0.0 { mean_ms / baseline } else { 0.0 },
+                    slowdown: if baseline > 0.0 {
+                        mean_ms / baseline
+                    } else {
+                        0.0
+                    },
                 })
                 .collect()
         })
@@ -121,9 +125,7 @@ impl Fig5Table {
         }
         out.push('\n');
         out.push_str(&self.render_chart());
-        out.push_str(
-            "\nShape checks (the paper's qualitative findings):\n",
-        );
+        out.push_str("\nShape checks (the paper's qualitative findings):\n");
         for line in self.shape_report() {
             out.push_str(&format!("  {line}\n"));
         }
@@ -172,7 +174,12 @@ impl Fig5Table {
             check(
                 &format!("{row} overhead shrinks with swap-cluster size"),
                 dec,
-                format!("{:.2} ≥ {:.2} ≥ {:.2}", cell(ti, 0), cell(ti, 1), cell(ti, 2)),
+                format!(
+                    "{:.2} ≥ {:.2} ≥ {:.2}",
+                    cell(ti, 0),
+                    cell(ti, 1),
+                    cell(ti, 2)
+                ),
             );
         }
         // A1 overhead is modest (paper: ≤16 %).

@@ -112,8 +112,7 @@ mod tests {
         assert!(bt.windows(2).all(|w| w[0].blob_bytes < w[1].blob_bytes));
         assert!(bt.windows(2).all(|w| w[0].out_time < w[1].out_time));
         // Faster links → shorter transfers for the same cluster size.
-        let size50: Vec<&SwapIoPoint> =
-            points.iter().filter(|p| p.cluster_size == 50).collect();
+        let size50: Vec<&SwapIoPoint> = points.iter().filter(|p| p.cluster_size == 50).collect();
         let t = |label: &str| {
             size50
                 .iter()

@@ -255,7 +255,7 @@ fn hex_encode(bytes: &[u8]) -> String {
 
 fn hex_decode(text: &str) -> Result<Bytes> {
     let text = text.trim();
-    if text.len() % 2 != 0 {
+    if !text.len().is_multiple_of(2) {
         return Err(SwapError::codec("odd-length hex payload"));
     }
     let mut out = Vec::with_capacity(text.len() / 2);
@@ -268,6 +268,7 @@ fn hex_decode(text: &str) -> Result<Bytes> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
     use obiwan_replication::{standard_classes, ReplConfig, Server};
@@ -284,7 +285,12 @@ mod tests {
         let u = standard_classes();
         let mut server = Server::new(u.clone());
         let head = server.build_list("Node", 2, 8).unwrap();
-        let mut p = Process::new(u, server.into_shared(), 1 << 20, ReplConfig::with_cluster_size(2));
+        let mut p = Process::new(
+            u,
+            server.into_shared(),
+            1 << 20,
+            ReplConfig::with_cluster_size(2),
+        );
         let root = p.replicate_root(head).unwrap();
         let second = p.field_value(root, "next").unwrap().expect_ref().unwrap();
         (p, vec![root, second])
@@ -320,7 +326,12 @@ mod tests {
         let u = standard_classes();
         let mut server = Server::new(u.clone());
         let head = server.build_list("Node", 5, 8).unwrap();
-        let mut p = Process::new(u, server.into_shared(), 1 << 20, ReplConfig::with_cluster_size(2));
+        let mut p = Process::new(
+            u,
+            server.into_shared(),
+            1 << 20,
+            ReplConfig::with_cluster_size(2),
+        );
         let root = p.replicate_root(head).unwrap();
         let second = p.field_value(root, "next").unwrap().expect_ref().unwrap();
         // second.next is a fault proxy to oid head+2.
@@ -363,10 +374,7 @@ mod tests {
             ),
             Err(SwapError::Codec { .. })
         ));
-        assert!(matches!(
-            decode("<blob/>"),
-            Err(SwapError::Codec { .. })
-        ));
+        assert!(matches!(decode("<blob/>"), Err(SwapError::Codec { .. })));
     }
 
     #[test]

@@ -85,6 +85,7 @@ impl SwapConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
 

@@ -1,6 +1,7 @@
 //! Swap-out: detach a swap-cluster from the application graph and ship it
 //! to a nearby device (paper §3, *Swap-Cluster Swapping-Out*).
 
+use crate::manager::lock_net;
 use crate::swap_cluster::SwapClusterState;
 use crate::{codec, proxy, Result, SwapError, SwappingManager};
 use obiwan_heap::{ObjRef, ObjectKind, Value};
@@ -26,9 +27,11 @@ impl SwappingManager {
     /// # Errors
     ///
     /// [`SwapError::UnknownSwapCluster`], [`SwapError::BadState`] unless the
-    /// cluster is loaded, [`SwapError::NoStorageDevice`] when no neighbour
-    /// accepts the blob, plus codec/heap errors. The graph is only mutated
-    /// after the blob has been stored successfully.
+    /// cluster is loaded, [`SwapError::NothingToSwap`] when every member has
+    /// already been collected (the entry is retired as a side effect),
+    /// [`SwapError::NoStorageDevice`] when no neighbour accepts the blob,
+    /// plus codec/heap errors. The graph is only mutated after the blob has
+    /// been stored successfully.
     pub fn swap_out(&mut self, p: &mut Process, sc: u32) -> Result<usize> {
         let epoch = {
             let entry = self
@@ -50,9 +53,11 @@ impl SwappingManager {
                     .unwrap_or(false)
             });
             if entry.members.is_empty() {
-                // Nothing left to swap; retire the entry.
+                // Nothing left to swap; retire the entry and report it so
+                // the victim picker can move on instead of counting an
+                // empty "success".
                 self.clusters.remove(&sc);
-                return Ok(0);
+                return Err(SwapError::NothingToSwap { swap_cluster: sc });
             }
             entry.epoch
         };
@@ -74,7 +79,10 @@ impl SwappingManager {
         // The blob is out: consume this epoch now so a failure in the graph
         // surgery below cannot lead a retry into a duplicate key; the
         // already-stored blob becomes an orphan to sweep.
-        self.clusters.get_mut(&sc).expect("entry exists").epoch += 1;
+        self.clusters
+            .get_mut(&sc)
+            .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?
+            .epoch += 1;
         let surgery = self.detach_graph(p, sc, device, &key);
         if let Err(e) = surgery {
             self.orphaned_blobs.push((device, key));
@@ -116,7 +124,9 @@ impl SwappingManager {
 
         // Build the replacement-object ("simply an array of references").
         let mw = p.universe().middleware;
-        let replacement = p.heap_mut().alloc(mw.replacement, ObjectKind::Replacement)?;
+        let replacement = p
+            .heap_mut()
+            .alloc(mw.replacement, ObjectKind::Replacement)?;
         {
             let h = p.heap_mut().get_mut(replacement)?.header_mut();
             h.swap_cluster = sc;
@@ -132,8 +142,12 @@ impl SwappingManager {
         let inbound = self.inbound.get(&sc).cloned().unwrap_or_default();
         let mw_sp_target = mw.sp_target;
         for w in inbound {
-            let Some(pr) = p.heap().weak_get(w) else { continue };
-            let Ok(target) = proxy::target_of(p, pr) else { continue };
+            let Some(pr) = p.heap().weak_get(w) else {
+                continue;
+            };
+            let Ok(target) = proxy::target_of(p, pr) else {
+                continue;
+            };
             let points_into_sc = p
                 .heap()
                 .get(target)
@@ -154,7 +168,10 @@ impl SwappingManager {
             p.note_swapped(*oid, replacement);
         }
 
-        let entry = self.clusters.get_mut(&sc).expect("entry exists");
+        let entry = self
+            .clusters
+            .get_mut(&sc)
+            .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
         entry.state = SwapClusterState::SwappedOut {
             device,
             key: key.to_string(),
@@ -164,26 +181,30 @@ impl SwappingManager {
     }
 
     /// Pick a victim by policy and swap it out. Returns the victim id, or
-    /// `None` when nothing is evictable.
+    /// `None` when nothing is evictable. Victims that turn out to be empty
+    /// ([`SwapError::NothingToSwap`]) are retired and skipped.
     ///
     /// # Errors
     ///
     /// Propagates [`SwappingManager::swap_out`] failures.
     pub fn swap_out_victim(&mut self, p: &mut Process) -> Result<Option<u32>> {
-        match self.pick_victim() {
-            Some(sc) => {
-                self.swap_out(p, sc)?;
-                Ok(Some(sc))
+        // The loop terminates: each `NothingToSwap` removes the picked
+        // cluster from the registry, so the candidate set shrinks.
+        while let Some(sc) = self.pick_victim() {
+            match self.swap_out(p, sc) {
+                Ok(_) => return Ok(Some(sc)),
+                Err(SwapError::NothingToSwap { .. }) => continue,
+                Err(e) => return Err(e),
             }
-            None => Ok(None),
         }
+        Ok(None)
     }
 
     /// Store `xml` under `key` on the best nearby device, trying candidates
     /// in preference order: preferred kind first, then most free storage,
     /// then lowest id.
     fn store_on_neighbour(&mut self, sc: u32, key: &str, xml: String) -> Result<DeviceId> {
-        let mut net = self.net.lock().expect("net mutex poisoned");
+        let mut net = lock_net(&self.net)?;
         let candidates_source: Vec<(DeviceId, usize)> = if self.config.allow_relays {
             net.reachable(self.home)
         } else {

@@ -51,6 +51,19 @@ pub enum SwapError {
         /// Description.
         message: String,
     },
+    /// The swap-cluster has no live members to detach (they were all
+    /// collected, or the cluster was emptied by transfers); the entry is
+    /// retired and the victim picker should move on.
+    NothingToSwap {
+        /// Swap-cluster that turned out to be empty.
+        swap_cluster: u32,
+    },
+    /// A shared-state mutex was poisoned by a panicking thread; the
+    /// operation was abandoned rather than acting on possibly-torn state.
+    LockPoisoned {
+        /// Which lock (`"manager"` or `"net"`).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SwapError {
@@ -83,6 +96,15 @@ impl fmt::Display for SwapError {
                 cause,
             } => write!(f, "swap-cluster {swap_cluster} data lost: {cause}"),
             SwapError::Codec { message } => write!(f, "blob codec: {message}"),
+            SwapError::NothingToSwap { swap_cluster } => {
+                write!(
+                    f,
+                    "swap-cluster {swap_cluster} has no live members to swap out"
+                )
+            }
+            SwapError::LockPoisoned { what } => {
+                write!(f, "{what} mutex poisoned by a panicking thread")
+            }
         }
     }
 }
@@ -152,6 +174,7 @@ impl SwapError {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
 

@@ -11,6 +11,7 @@
 //! swap-cluster-proxies, whose "finalizer invokes code that eliminates
 //! entries referring to it").
 
+use crate::manager::lock_net;
 use crate::swap_cluster::SwapClusterState;
 use crate::{Result, SwappingManager};
 use obiwan_heap::ObjectKind;
@@ -38,11 +39,9 @@ impl SwappingManager {
                     let Some(entry) = self.clusters.get_mut(&sc) else {
                         continue;
                     };
-                    if let SwapClusterState::SwappedOut { device, key, .. } =
-                        entry.state.clone()
-                    {
+                    if let SwapClusterState::SwappedOut { device, key, .. } = entry.state.clone() {
                         let ok = {
-                            let mut net = self.net.lock().expect("net mutex poisoned");
+                            let mut net = lock_net(&self.net)?;
                             if self.config.allow_relays {
                                 net.drop_blob_routed(self.home, device, &key).is_ok()
                             } else {

@@ -56,6 +56,7 @@ pub fn same_object(p: &Process, a: ObjRef, b: ObjRef) -> Result<bool> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
     use crate::proxy::create;
@@ -85,11 +86,7 @@ mod tests {
     #[test]
     fn different_objects_are_not_identical() {
         let (p, root) = process();
-        let second = p
-            .field_value(root, "next")
-            .unwrap()
-            .expect_ref()
-            .unwrap();
+        let second = p.field_value(root, "next").unwrap().expect_ref().unwrap();
         assert!(!same_object(&p, root, second).unwrap());
     }
 

@@ -71,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod codec;
 mod config;
 mod detach;
@@ -84,6 +85,7 @@ mod reload;
 mod swap_cluster;
 mod victim;
 
+pub use audit::{AuditReport, Rule, Severity, Violation};
 pub use config::SwapConfig;
 pub use error::SwapError;
 pub use identity::{identity_key, same_object, IdentityKey};

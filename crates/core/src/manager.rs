@@ -17,7 +17,7 @@ use obiwan_net::{DeviceId, DeviceKind, SimNet};
 use obiwan_policy::PolicyEvent;
 use obiwan_replication::{ClusterInfo, Interceptor, Process, ReplError, Resolved};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A shared simulated world.
 pub type SharedNet = Arc<Mutex<SimNet>>;
@@ -25,6 +25,20 @@ pub type SharedNet = Arc<Mutex<SimNet>>;
 /// A manager shared between the middleware facade and the process's
 /// interceptor shim.
 pub type SharedManager = Arc<Mutex<SwappingManager>>;
+
+/// Lock the shared manager, turning poisoning into a structured error
+/// instead of a cascading panic.
+pub(crate) fn lock_manager(m: &SharedManager) -> Result<MutexGuard<'_, SwappingManager>> {
+    m.lock()
+        .map_err(|_| SwapError::LockPoisoned { what: "manager" })
+}
+
+/// Lock the shared world, turning poisoning into a structured error
+/// instead of a cascading panic.
+pub(crate) fn lock_net(n: &SharedNet) -> Result<MutexGuard<'_, SimNet>> {
+    n.lock()
+        .map_err(|_| SwapError::LockPoisoned { what: "net" })
+}
 
 /// Cumulative swapping statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -116,7 +130,9 @@ impl SwappingManager {
     /// Try to drop blobs orphaned by failed swap-outs (best effort; a
     /// departed device keeps its orphan until it returns).
     pub fn sweep_orphaned_blobs(&mut self) -> usize {
-        let mut net = self.net.lock().expect("net mutex poisoned");
+        // Blob drops are idempotent, so a poisoned world is still safe to
+        // sweep; recover the guard rather than cascade the panic.
+        let mut net = self.net.lock().unwrap_or_else(PoisonError::into_inner);
         let home = self.home;
         let before = self.orphaned_blobs.len();
         self.orphaned_blobs
@@ -542,9 +558,8 @@ impl Interceptor for InterceptorShim {
         p: &mut Process,
         info: &ClusterInfo,
     ) -> obiwan_replication::Result<()> {
-        self.0
-            .lock()
-            .expect("manager mutex poisoned")
+        lock_manager(&self.0)
+            .map_err(SwapError::into_repl)?
             .on_cluster_replicated(p, info)
             .map_err(SwapError::into_repl)
     }
@@ -554,9 +569,8 @@ impl Interceptor for InterceptorShim {
         p: &mut Process,
         obj: ObjRef,
     ) -> obiwan_replication::Result<Resolved> {
-        self.0
-            .lock()
-            .expect("manager mutex poisoned")
+        lock_manager(&self.0)
+            .map_err(SwapError::into_repl)?
             .on_resolve_invocable(p, obj)
             .map_err(SwapError::into_repl)
     }
@@ -568,9 +582,8 @@ impl Interceptor for InterceptorShim {
         to_sc: u32,
         entry_proxy: Option<ObjRef>,
     ) -> obiwan_replication::Result<ObjRef> {
-        self.0
-            .lock()
-            .expect("manager mutex poisoned")
+        lock_manager(&self.0)
+            .map_err(SwapError::into_repl)?
             .transfer(p, r, to_sc, entry_proxy)
             .map_err(SwapError::into_repl)
     }
@@ -580,7 +593,7 @@ impl Interceptor for InterceptorShim {
         p: &mut Process,
         oid: Oid,
     ) -> obiwan_replication::Result<Option<ObjRef>> {
-        let mut manager = self.0.lock().expect("manager mutex poisoned");
+        let mut manager = lock_manager(&self.0).map_err(SwapError::into_repl)?;
         let Some(replacement) = p.swapped_replacement(oid) else {
             return Ok(None);
         };

@@ -1,7 +1,10 @@
 //! The middleware facade: wires heap, replication, policies, the simulated
 //! wireless world and the swapping manager into one object.
 
-use crate::manager::{repl_to_swap, InterceptorShim, SharedManager, SharedNet, SwapStats};
+use crate::audit::AuditReport;
+use crate::manager::{
+    lock_manager, lock_net, repl_to_swap, InterceptorShim, SharedManager, SharedNet, SwapStats,
+};
 use crate::{identity, Result, SwapConfig, SwapError, SwappingManager, VictimPolicy};
 use obiwan_heap::{HeapStats, ObjRef, Oid, Value};
 use obiwan_net::{DeviceId, DeviceKind, LinkSpec, SimNet, SimTime};
@@ -9,7 +12,7 @@ use obiwan_policy::{
     default_swap_policies, Action, ContextManager, PolicyEngine, PolicyEvent, Watermarks,
 };
 use obiwan_replication::{Process, ReplConfig, ReplicationEvent, Server};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Description of a storage device to place in the room.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -195,6 +198,9 @@ impl MiddlewareBuilder {
     /// # Panics
     ///
     /// As [`MiddlewareBuilder::build`].
+    // Construction-time misconfiguration panics are documented above
+    // (`# Panics`) and tested; they never occur on a swap path.
+    #[allow(clippy::disallowed_methods)]
     pub fn build_shared(
         self,
         universe: obiwan_replication::Universe,
@@ -221,6 +227,9 @@ impl MiddlewareBuilder {
     /// # Panics
     ///
     /// As [`MiddlewareBuilder::build`].
+    // Construction-time misconfiguration panics are documented above
+    // (`# Panics`) and tested; they never occur on a swap path.
+    #[allow(clippy::disallowed_methods)]
     pub fn build_in_world(
         self,
         universe: obiwan_replication::Universe,
@@ -345,7 +354,7 @@ impl Middleware {
         // sampling, and per-call pumping would dominate micro-benchmarks
         // the way the paper's event-driven engine does not.
         self.pump_tick = self.pump_tick.wrapping_add(1);
-        if self.process.has_events() || self.pump_tick % 64 == 0 {
+        if self.process.has_events() || self.pump_tick.is_multiple_of(64) {
             // The returned reference is not yet reachable from any root;
             // pin it across the pump (which may collect or evict) so the
             // caller receives a live handle.
@@ -436,8 +445,7 @@ impl Middleware {
                     attempt += 1;
                     self.run_gc()?;
                     let capacity = self.process.heap().capacity();
-                    let floor =
-                        capacity / 100 * self.context.watermarks().low_pct as usize;
+                    let floor = capacity / 100 * self.context.watermarks().low_pct as usize;
                     // Evict at least one victim (guaranteeing forward
                     // progress even when the collection alone dropped below
                     // the watermark), then keep evicting down to the floor.
@@ -452,8 +460,7 @@ impl Middleware {
                         }
                     }
                     self.run_gc()?;
-                    let progress =
-                        evicted_any || self.process.heap().bytes_used() < used_before;
+                    let progress = evicted_any || self.process.heap().bytes_used() < used_before;
                     if !progress {
                         return Err(e);
                     }
@@ -500,8 +507,9 @@ impl Middleware {
     ///
     /// See [`SwappingManager::swap_out`].
     pub fn swap_out(&mut self, sc: u32) -> Result<usize> {
-        let mut manager = self.manager.lock().expect("manager mutex poisoned");
-        manager.swap_out(&mut self.process, sc)
+        let out = lock_manager(&self.manager)?.swap_out(&mut self.process, sc);
+        self.debug_self_audit("swap_out");
+        out
     }
 
     /// Reload a specific swap-cluster.
@@ -510,8 +518,9 @@ impl Middleware {
     ///
     /// See [`SwappingManager::swap_in`].
     pub fn swap_in(&mut self, sc: u32) -> Result<usize> {
-        let mut manager = self.manager.lock().expect("manager mutex poisoned");
-        manager.swap_in(&mut self.process, sc)
+        let out = lock_manager(&self.manager)?.swap_in(&mut self.process, sc);
+        self.debug_self_audit("swap_in");
+        out
     }
 
     /// Pick a victim by policy and swap it out; `None` when nothing is
@@ -521,8 +530,9 @@ impl Middleware {
     ///
     /// See [`SwappingManager::swap_out`].
     pub fn swap_out_victim(&mut self) -> Result<Option<u32>> {
-        let mut manager = self.manager.lock().expect("manager mutex poisoned");
-        manager.swap_out_victim(&mut self.process)
+        let out = lock_manager(&self.manager)?.swap_out_victim(&mut self.process);
+        self.debug_self_audit("swap_out_victim");
+        out
     }
 
     /// Run a collection and process finalizers (blob drops, table pruning).
@@ -532,8 +542,9 @@ impl Middleware {
     /// See [`SwappingManager::process_finalized`].
     pub fn run_gc(&mut self) -> Result<obiwan_heap::CollectStats> {
         let stats = self.process.collect();
-        let mut manager = self.manager.lock().expect("manager mutex poisoned");
-        manager.process_finalized(&mut self.process)?;
+        let out = lock_manager(&self.manager)?.process_finalized(&mut self.process);
+        self.debug_self_audit("run_gc");
+        out?;
         Ok(stats)
     }
 
@@ -544,8 +555,7 @@ impl Middleware {
     ///
     /// See [`SwappingManager::assign`].
     pub fn assign(&mut self, proxy: ObjRef) -> Result<()> {
-        let mut manager = self.manager.lock().expect("manager mutex poisoned");
-        manager.assign(&mut self.process, proxy)
+        lock_manager(&self.manager)?.assign(&mut self.process, proxy)
     }
 
     /// Create a private, assign-marked iterator proxy denoting the same
@@ -555,10 +565,15 @@ impl Middleware {
     ///
     /// # Errors
     ///
-    /// See [`SwappingManager::make_cursor`].
+    /// See [`SwappingManager::make_cursor`]; additionally fault failures
+    /// when `r` is a not-yet-replicated placeholder.
     pub fn make_cursor(&mut self, r: ObjRef) -> Result<ObjRef> {
-        let mut manager = self.manager.lock().expect("manager mutex poisoned");
-        manager.make_cursor(&mut self.process, r)
+        // Fault lazily-unfetched replicas in *before* taking the manager
+        // lock: a zombie fault-proxy (identity swapped out behind it)
+        // resolves through the interceptor shim, which locks the manager —
+        // reentrant locking would deadlock.
+        let r = self.process.ensure_replica(r).map_err(repl_to_swap)?;
+        lock_manager(&self.manager)?.make_cursor(&mut self.process, r)
     }
 
     /// Commit a replica's state back to the server (see
@@ -589,10 +604,38 @@ impl Middleware {
         identity::same_object(&self.process, a, b)
     }
 
+    /// Run the whole-graph invariant auditor (see [`crate::audit`]):
+    /// boundary soundness, detach integrity and blob accounting. Read-only;
+    /// call at any quiescent point. Tests assert `audit().has_errors()` is
+    /// false; debug builds do so automatically after every swap operation.
+    pub fn audit(&self) -> AuditReport {
+        // Read-only pass; recover a poisoned guard rather than panic so the
+        // auditor can still describe the state a panicking thread left.
+        self.manager
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .audit(&self.process)
+    }
+
+    /// In debug builds, audit the graph after a swapping operation and
+    /// assert no error-severity violation exists (warnings — departed
+    /// devices, raw globals — are legal states and tolerated).
+    fn debug_self_audit(&self, op: &str) {
+        if cfg!(debug_assertions) {
+            let report = self.audit();
+            debug_assert!(
+                !report.has_errors(),
+                "graph invariants violated after {op}:\n{report}"
+            );
+        }
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> MiddlewareStats {
-        let net = self.net.lock().expect("net mutex poisoned");
-        let manager = self.manager.lock().expect("manager mutex poisoned");
+        // Counters stay meaningful even if another thread panicked while
+        // holding a guard; recover rather than cascade the panic.
+        let net = self.net.lock().unwrap_or_else(PoisonError::into_inner);
+        let manager = self.manager.lock().unwrap_or_else(PoisonError::into_inner);
         MiddlewareStats {
             heap: self.process.heap().stats(),
             swap: manager.stats(),
@@ -604,7 +647,10 @@ impl Middleware {
 
     /// Swapping counters only.
     pub fn swap_stats(&self) -> SwapStats {
-        self.manager.lock().expect("manager mutex poisoned").stats()
+        self.manager
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats()
     }
 
     /// Log lines produced by `Log` policy actions.
@@ -636,15 +682,18 @@ impl Middleware {
             }
         }
         {
-            let mut manager = self.manager.lock().expect("manager mutex poisoned");
+            let mut manager = lock_manager(&self.manager)?;
             events.extend(manager.take_events());
         }
         {
             let stats = self.process.heap().stats();
-            if let Some(e) = self.context.observe_memory(stats.bytes_used, stats.capacity) {
+            if let Some(e) = self
+                .context
+                .observe_memory(stats.bytes_used, stats.capacity)
+            {
                 events.push(e);
             }
-            let net = self.net.lock().expect("net mutex poisoned");
+            let net = lock_net(&self.net)?;
             let present: Vec<(i64, i64)> = net
                 .nearby(self.home)
                 .into_iter()
@@ -699,7 +748,7 @@ impl Middleware {
                     "access-point" => Some(DeviceKind::AccessPoint),
                     _ => None,
                 };
-                let mut manager = self.manager.lock().expect("manager mutex poisoned");
+                let mut manager = lock_manager(&self.manager)?;
                 manager.set_preferred_kind(parsed);
             }
             Action::Log { message } => self.log.push(message),
@@ -709,6 +758,7 @@ impl Middleware {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
     use obiwan_replication::{standard_classes, Server};

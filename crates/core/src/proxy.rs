@@ -102,12 +102,7 @@ pub fn retarget(p: &mut Process, proxy: ObjRef, target: ObjRef, oid: Oid) -> Res
 /// # Errors
 ///
 /// Heap errors (notably out-of-memory).
-pub fn create(
-    p: &mut Process,
-    source_sc: u32,
-    target: ObjRef,
-    oid: Oid,
-) -> Result<ObjRef> {
+pub fn create(p: &mut Process, source_sc: u32, target: ObjRef, oid: Oid) -> Result<ObjRef> {
     let mw = p.universe().middleware;
     let proxy = p.heap_mut().alloc(mw.swap_proxy, ObjectKind::SwapProxy)?;
     p.heap_mut()
@@ -128,6 +123,7 @@ pub fn create(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
     use obiwan_replication::{standard_classes, ReplConfig, Server};
@@ -177,5 +173,4 @@ mod tests {
         set_assign_mark(&mut p, proxy, false).unwrap();
         assert!(!assign_mark_of(&p, proxy).unwrap());
     }
-
 }

@@ -2,6 +2,7 @@
 //! (paper §3, *Swap-Cluster Reload*).
 
 use crate::codec::{self, BlobField};
+use crate::manager::lock_net;
 use crate::swap_cluster::SwapClusterState;
 use crate::{proxy, Result, SwapError, SwappingManager};
 use obiwan_heap::{ObjRef, ObjectKind, Oid, Value};
@@ -25,9 +26,11 @@ impl SwappingManager {
     ///
     /// # Errors
     ///
-    /// [`SwapError::UnknownSwapCluster`], [`SwapError::BadState`] unless
-    /// swapped out, [`SwapError::DataLost`] when the storing device is gone
-    /// or no longer holds the blob (the cluster stays swapped out so the
+    /// [`SwapError::UnknownSwapCluster`], [`SwapError::BadState`] when the
+    /// cluster is loaded, [`SwapError::DataLost`] when the cluster was
+    /// dropped by the GC cooperation (its replacement-object died and the
+    /// blob was released) or the storing device is gone or no longer holds
+    /// the blob (in the device case the cluster stays swapped out so the
     /// operation can be retried if the device returns), plus codec / heap
     /// errors (out-of-memory leaves the cluster swapped out and the graph
     /// untouched).
@@ -43,6 +46,17 @@ impl SwappingManager {
                     key,
                     replacement,
                 } => (*device, key.clone(), *replacement),
+                SwapClusterState::Dropped => {
+                    // The replacement-object died unreferenced and the GC
+                    // cooperation released the blob; there is nothing left
+                    // to fetch, ever — not a retriable state error.
+                    return Err(SwapError::DataLost {
+                        swap_cluster: sc,
+                        cause: "cluster was dropped by GC cooperation \
+                                (replacement-object collected, blob released)"
+                            .into(),
+                    });
+                }
                 other => {
                     return Err(SwapError::BadState {
                         swap_cluster: sc,
@@ -53,7 +67,7 @@ impl SwappingManager {
             }
         };
         let xml = {
-            let mut net = self.net.lock().expect("net mutex poisoned");
+            let mut net = lock_net(&self.net)?;
             let fetched = if self.config.allow_relays {
                 net.fetch_blob_routed(self.home, device, &key)
                     .map(|(_, text)| text)
@@ -128,16 +142,13 @@ impl SwappingManager {
             for (idx, field) in &bo.fields {
                 let value = match field {
                     BlobField::Scalar(v) => v.clone(),
-                    BlobField::MemberRef(oid) => Value::Ref(
-                        member_map
-                            .get(oid)
-                            .copied()
-                            .ok_or_else(|| {
-                                SwapError::codec(format!(
-                                    "blob references member {oid} which it does not contain"
-                                ))
-                            })?,
-                    ),
+                    BlobField::MemberRef(oid) => {
+                        Value::Ref(member_map.get(oid).copied().ok_or_else(|| {
+                            SwapError::codec(format!(
+                                "blob references member {oid} which it does not contain"
+                            ))
+                        })?)
+                    }
                     BlobField::ProxyRef(oid) => {
                         Value::Ref(self.reconnect_proxy_ref(p, sc, *oid, &outbound_by_oid)?)
                     }
@@ -152,7 +163,9 @@ impl SwappingManager {
         // Pass 3: patch inbound proxies back to the fresh replicas.
         let inbound = self.inbound.get(&sc).cloned().unwrap_or_default();
         for w in inbound {
-            let Some(pr) = p.heap().weak_get(w) else { continue };
+            let Some(pr) = p.heap().weak_get(w) else {
+                continue;
+            };
             let oid = proxy::oid_of(p, pr)?;
             if let Some(&m) = member_map.get(&oid) {
                 let mw = p.universe().middleware;
@@ -168,7 +181,10 @@ impl SwappingManager {
             bytes += p.heap().get(m)?.size();
         }
         {
-            let entry = self.clusters.get_mut(&sc).expect("entry exists");
+            let entry = self
+                .clusters
+                .get_mut(&sc)
+                .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
             entry.members = members;
             entry.bytes = bytes;
             entry.state = SwapClusterState::Loaded;
@@ -181,7 +197,7 @@ impl SwappingManager {
             p.heap_mut().get_mut(replacement)?.header_mut().finalize = false;
         }
         if self.config.drop_blob_on_reload {
-            let mut net = self.net.lock().expect("net mutex poisoned");
+            let mut net = lock_net(&self.net)?;
             let dropped = if self.config.allow_relays {
                 net.drop_blob_routed(self.home, device, &key)
             } else {

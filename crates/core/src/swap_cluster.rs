@@ -91,6 +91,7 @@ impl Default for SwapClusterEntry {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
 

@@ -78,6 +78,7 @@ impl std::fmt::Display for VictimPolicy {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
 
@@ -141,7 +142,7 @@ mod tests {
 
     #[test]
     fn ties_break_deterministically() {
-        let c = vec![(4, entry(10, 1, 1)), (2, entry(10, 1, 1))];
+        let c = [(4, entry(10, 1, 1)), (2, entry(10, 1, 1))];
         let pick = VictimPolicy::LeastRecentlyUsed.choose(c.iter().map(|(i, e)| (*i, e)), 0);
         assert_eq!(pick, Some(2), "lowest id wins ties");
     }

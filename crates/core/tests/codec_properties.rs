@@ -2,6 +2,8 @@
 //! round-trip through the XML text exactly, and the full
 //! swap-out → reload cycle is lossless for arbitrary cluster shapes.
 
+#![allow(clippy::disallowed_methods)] // tests may panic on impossible states
+
 use obiwan_core::codec::{decode, Blob, BlobField, BlobObject};
 use obiwan_heap::{Oid, Value};
 use obiwan_xml::{Element, Writer};
@@ -36,10 +38,7 @@ fn arb_blob() -> impl Strategy<Value = Blob> {
         1u32..1000,
         0u32..10,
         proptest::collection::vec(
-            (
-                1u64..10_000,
-                proptest::collection::vec(arb_field(), 0..5),
-            ),
+            (1u64..10_000, proptest::collection::vec(arb_field(), 0..5)),
             1..12,
         ),
     )
@@ -58,11 +57,7 @@ fn arb_blob() -> impl Strategy<Value = Blob> {
                     oid: Oid(oid),
                     class: "Node".to_string(),
                     repl_cluster: i as u32,
-                    fields: fields
-                        .into_iter()
-                        .enumerate()
-                        .map(|(idx, f)| (idx, f))
-                        .collect(),
+                    fields: fields.into_iter().enumerate().collect(),
                 });
             }
             // Add member-to-member references (valid targets only).
@@ -70,7 +65,9 @@ fn arb_blob() -> impl Strategy<Value = Blob> {
             if member_oids.len() > 1 {
                 let target = member_oids[member_oids.len() - 1];
                 let next_idx = objects[0].fields.len();
-                objects[0].fields.push((next_idx, BlobField::MemberRef(target)));
+                objects[0]
+                    .fields
+                    .push((next_idx, BlobField::MemberRef(target)));
             }
             Blob {
                 swap_cluster,
@@ -140,7 +137,10 @@ fn render(blob: &Blob) -> String {
                     w.begin("field").unwrap().attr("i", i.to_string()).unwrap();
                     match v {
                         Value::Int(x) => {
-                            w.attr("kind", "int").unwrap().attr("v", x.to_string()).unwrap();
+                            w.attr("kind", "int")
+                                .unwrap()
+                                .attr("v", x.to_string())
+                                .unwrap();
                         }
                         Value::Double(x) => {
                             w.attr("kind", "double")
@@ -149,7 +149,10 @@ fn render(blob: &Blob) -> String {
                                 .unwrap();
                         }
                         Value::Bool(x) => {
-                            w.attr("kind", "bool").unwrap().attr("v", x.to_string()).unwrap();
+                            w.attr("kind", "bool")
+                                .unwrap()
+                                .attr("v", x.to_string())
+                                .unwrap();
                         }
                         Value::Str(s) => {
                             w.attr("kind", "str").unwrap();
@@ -232,11 +235,15 @@ fn live_swap_cycle_is_lossless_for_every_scalar_kind() {
     let mut oids = Vec::new();
     for i in 0..8i64 {
         let oid = server.create("Record").unwrap();
-        server.set_scalar(oid, "count", Value::Int(i * 7 - 3)).unwrap();
+        server
+            .set_scalar(oid, "count", Value::Int(i * 7 - 3))
+            .unwrap();
         server
             .set_scalar(oid, "ratio", Value::Double(0.5 + i as f64 / 3.0))
             .unwrap();
-        server.set_scalar(oid, "flag", Value::Bool(i % 2 == 0)).unwrap();
+        server
+            .set_scalar(oid, "flag", Value::Bool(i % 2 == 0))
+            .unwrap();
         server
             .set_scalar(oid, "label", Value::from(format!("récord <{i}> & co")))
             .unwrap();

@@ -1,9 +1,11 @@
 //! End-to-end tests of the Object-Swapping mechanism: swap-out / reload
 //! roundtrips, proxy rules, GC cooperation, failure scenarios.
 
+#![allow(clippy::disallowed_methods)] // tests may panic on impossible states
+
 use obiwan_core::{Middleware, StoreSpec, SwapClusterState, SwapError, VictimPolicy};
 use obiwan_heap::{ObjectKind, Value};
-use obiwan_net::{DeviceKind, FailurePlan, LinkSpec};
+use obiwan_net::{DeviceKind, FailurePlan};
 use obiwan_replication::{standard_classes, Server};
 
 fn list_middleware(n: usize, cluster: usize, memory: usize) -> (Middleware, obiwan_heap::ObjRef) {
@@ -98,7 +100,9 @@ fn swap_out_and_reload_preserve_identity_semantics() {
     let before_swap = mw.global("mark").unwrap().expect_ref().unwrap();
     assert!(mw.process().heap().is_live(before_swap));
     // Invoking it reloads and still denotes the same object.
-    let after = mw.invoke_ref(before_swap, "probe_step", vec![Value::Int(0)]).unwrap();
+    let after = mw
+        .invoke_ref(before_swap, "probe_step", vec![Value::Int(0)])
+        .unwrap();
     assert!(mw.same_object(before_swap, after).unwrap());
 }
 
@@ -126,10 +130,7 @@ fn double_swap_out_is_a_bad_state() {
     let (mut mw, root) = list_middleware(20, 10, 1 << 20);
     warm(&mut mw, root, 20);
     mw.swap_out(1).unwrap();
-    assert!(matches!(
-        mw.swap_out(1),
-        Err(SwapError::BadState { .. })
-    ));
+    assert!(matches!(mw.swap_out(1), Err(SwapError::BadState { .. })));
     // Reloading twice likewise.
     mw.swap_in(1).unwrap();
     assert!(matches!(mw.swap_in(1), Err(SwapError::BadState { .. })));
@@ -203,7 +204,13 @@ fn reload_after_device_departure_reports_data_lost_and_recovers_on_return() {
     };
     mw.net().lock().unwrap().depart(laptop).unwrap();
     let err = mw.swap_in(2).unwrap_err();
-    assert!(matches!(err, SwapError::DataLost { swap_cluster: 2, .. }));
+    assert!(matches!(
+        err,
+        SwapError::DataLost {
+            swap_cluster: 2,
+            ..
+        }
+    ));
     // Still swapped out; when the device returns the reload succeeds.
     mw.net().lock().unwrap().arrive(laptop).unwrap();
     mw.swap_in(2).unwrap();
@@ -265,7 +272,9 @@ fn gc_cooperation_drops_blob_when_replacement_dies() {
     let ninth = mw.global("ninth").unwrap().expect_ref().unwrap();
     // Sever: node 9 (cluster 1) no longer points to cluster 2's proxy.
     // We reach node 9 through the swap proxy; mutate its `next` directly.
-    let ninth_obj = mw.invoke_ref(ninth, "probe_step", vec![Value::Int(0)]).unwrap();
+    let ninth_obj = mw
+        .invoke_ref(ninth, "probe_step", vec![Value::Int(0)])
+        .unwrap();
     // ninth_obj is a swap-proxy from SC0; resolve to the replica handle by
     // asking the process (identity lets us find it).
     let heap_ref = {
@@ -420,10 +429,7 @@ fn memory_pressure_policy_swaps_automatically() {
     let mut len = 1i64;
     loop {
         let cur = mw.global("cursor").unwrap().expect_ref().unwrap();
-        match mw
-            .invoke_resilient(cur, "next", vec![], 100)
-            .unwrap()
-        {
+        match mw.invoke_resilient(cur, "next", vec![], 100).unwrap() {
             Value::Ref(next) => {
                 mw.set_global("cursor", Value::Ref(next));
                 len += 1;
@@ -512,7 +518,8 @@ fn swapped_blob_is_valid_xml_on_the_wire() {
         let net = mw.net();
         let mut n = net.lock().unwrap();
         let laptop = n.nearby(mw.home_device())[0];
-        n.fetch_blob(mw.home_device(), laptop, "dev0-sc1-e0").unwrap()
+        n.fetch_blob(mw.home_device(), laptop, "dev0-sc1-e0")
+            .unwrap()
     };
     let blob = obiwan_core::codec::decode(&xml).unwrap();
     assert_eq!(blob.swap_cluster, 1);

@@ -7,6 +7,8 @@
 //! * **(iii)** a proxy handed back into its target's own cluster is
 //!   dismantled.
 
+#![allow(clippy::disallowed_methods)] // tests may panic on impossible states
+
 use obiwan_core::{Middleware, SwapStats};
 use obiwan_heap::{ObjectKind, Value};
 use obiwan_replication::{standard_classes, Server};
@@ -43,7 +45,11 @@ fn rule_i_cross_cluster_references_are_mediated() {
             mw.process().lookup_replica(obiwan_heap::Oid(1)).unwrap()
         },
         |cur, _| {
-            let next = heap.field_by_name(cur, "next").unwrap().expect_ref().unwrap();
+            let next = heap
+                .field_by_name(cur, "next")
+                .unwrap()
+                .expect_ref()
+                .unwrap();
             match heap.get(next).unwrap().kind() {
                 ObjectKind::App => next,
                 // stop walking at the boundary proxy
@@ -105,11 +111,7 @@ fn rule_ii_graph_edges_share_one_proxy_per_pair() {
         for v in o.fields() {
             if let Value::Ref(t) = v {
                 if heap.get(*t).unwrap().kind() == ObjectKind::SwapProxy {
-                    let src = heap
-                        .field(*t, mwc.sp_source)
-                        .unwrap()
-                        .expect_int()
-                        .unwrap();
+                    let src = heap.field(*t, mwc.sp_source).unwrap().expect_int().unwrap();
                     let oid = heap.field(*t, mwc.sp_oid).unwrap().expect_int().unwrap();
                     edge_targets
                         .entry((src, oid))

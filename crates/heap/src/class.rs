@@ -170,10 +170,13 @@ impl ClassDescriptor {
     ///
     /// [`HeapError::NoSuchField`] naming class and field.
     pub fn field_id(&self, name: &str) -> Result<FieldId> {
-        self.by_name.get(name).copied().ok_or_else(|| HeapError::NoSuchField {
-            class: self.name.clone(),
-            field: name.to_string(),
-        })
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| HeapError::NoSuchField {
+                class: self.name.clone(),
+                field: name.to_string(),
+            })
     }
 
     /// Descriptor of the field with the given id.

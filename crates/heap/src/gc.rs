@@ -88,8 +88,8 @@ impl Heap {
         let mut stats = CollectStats::default();
         let bytes_before = self.bytes_used;
         for index in 0..self.slots.len() as u32 {
-            let dead = matches!(self.slots[index as usize], Slot::Used { .. })
-                && !marked[index as usize];
+            let dead =
+                matches!(self.slots[index as usize], Slot::Used { .. }) && !marked[index as usize];
             if !dead {
                 continue;
             }

@@ -19,9 +19,10 @@ use std::sync::Arc;
 /// assert_eq!(v.expect_int().unwrap(), 42);
 /// assert!(Value::Null.expect_int().is_err());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum Value {
     /// Absent reference / uninitialized field.
+    #[default]
     Null,
     /// 64-bit signed integer (covers the paper's `int` arguments).
     Int(i64),
@@ -167,12 +168,6 @@ fn mismatch(expected: &'static str, found: &Value) -> HeapError {
     }
 }
 
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
-    }
-}
-
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -255,7 +250,7 @@ mod tests {
     #[test]
     fn expectations_succeed_on_matching_variant() {
         assert_eq!(Value::Int(7).expect_int().unwrap(), 7);
-        assert_eq!(Value::Bool(true).expect_bool().unwrap(), true);
+        assert!(Value::Bool(true).expect_bool().unwrap());
         assert_eq!(Value::from("hi").expect_str().unwrap(), "hi");
         assert_eq!(Value::Double(0.5).expect_double().unwrap(), 0.5);
     }
@@ -288,6 +283,9 @@ mod tests {
     #[test]
     fn display_is_compact() {
         assert_eq!(Value::Null.to_string(), "null");
-        assert_eq!(Value::from(Bytes::from_static(b"xyz")).to_string(), "bytes[3]");
+        assert_eq!(
+            Value::from(Bytes::from_static(b"xyz")).to_string(),
+            "bytes[3]"
+        );
     }
 }

@@ -55,9 +55,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
 
 /// Recompute bytes_used from scratch by walking live objects.
 fn recomputed_bytes(heap: &Heap) -> usize {
-    heap.iter_live()
-        .map(|r| heap.get(r).unwrap().size())
-        .sum()
+    heap.iter_live().map(|r| heap.get(r).unwrap().size()).sum()
 }
 
 /// Independently compute the set of slot indices reachable from globals.

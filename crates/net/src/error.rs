@@ -90,6 +90,7 @@ impl fmt::Display for NetError {
 impl std::error::Error for NetError {}
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
 

@@ -72,6 +72,7 @@ impl Default for LinkSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
 
@@ -93,7 +94,7 @@ mod tests {
     #[test]
     fn airtime_rounds_up() {
         let l = LinkSpec::new(3, SimDuration::ZERO); // 3 bits per second
-        // 1 byte = 8 bits → 2.66…s → 2666667 µs.
+                                                     // 1 byte = 8 bits → 2.66…s → 2666667 µs.
         assert_eq!(l.transfer_time(1).as_micros(), 2_666_667);
     }
 

@@ -122,9 +122,10 @@ impl SimNet {
         let mut total = SimDuration::ZERO;
         let mut cur = from;
         for &relay in &route.relays {
-            let link = self
-                .link(cur, relay)
-                .ok_or(NetError::NotConnected { from: cur, to: relay })?;
+            let link = self.link(cur, relay).ok_or(NetError::NotConnected {
+                from: cur,
+                to: relay,
+            })?;
             let cost = link.transfer_time(text.len());
             self.advance(cost);
             total += cost;
@@ -154,22 +155,28 @@ impl SimNet {
             let text = self.fetch_blob(from, to, key)?;
             return Ok((route, text));
         }
-        // The last relay talks to the storing device.
-        let last_relay = *route.relays.last().expect("non-direct route");
+        // The last relay talks to the storing device (non-empty: the
+        // direct case returned above).
+        let last_relay = match route.relays.last() {
+            Some(&relay) => relay,
+            None => return Err(NetError::NotConnected { from, to }),
+        };
         let text = self.fetch_blob(last_relay, to, key)?;
         // Then the text travels back across the relays to `from`.
         let mut cur = last_relay;
         for &relay in route.relays.iter().rev().skip(1) {
-            let link = self
-                .link(cur, relay)
-                .ok_or(NetError::NotConnected { from: cur, to: relay })?;
+            let link = self.link(cur, relay).ok_or(NetError::NotConnected {
+                from: cur,
+                to: relay,
+            })?;
             self.advance(link.transfer_time(text.len()));
             self.push_route_trace(cur, relay, key, text.len());
             cur = relay;
         }
-        let link = self
-            .link(cur, from)
-            .ok_or(NetError::NotConnected { from: cur, to: from })?;
+        let link = self.link(cur, from).ok_or(NetError::NotConnected {
+            from: cur,
+            to: from,
+        })?;
         self.advance(link.transfer_time(text.len()));
         self.push_route_trace(cur, from, key, text.len());
         Ok((route, text))
@@ -190,9 +197,10 @@ impl SimNet {
         }
         let mut cur = from;
         for &relay in &route.relays {
-            let link = self
-                .link(cur, relay)
-                .ok_or(NetError::NotConnected { from: cur, to: relay })?;
+            let link = self.link(cur, relay).ok_or(NetError::NotConnected {
+                from: cur,
+                to: relay,
+            })?;
             self.advance(link.latency);
             cur = relay;
         }
@@ -214,6 +222,7 @@ impl SimNet {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use crate::{DeviceKind, LinkSpec, SimNet};
 
@@ -290,7 +299,8 @@ mod tests {
     #[test]
     fn routed_drop_reaches_distant_store() {
         let (mut net, d) = chain_world();
-        net.send_blob_routed(d[0], d[3], "k", "data".into()).unwrap();
+        net.send_blob_routed(d[0], d[3], "k", "data".into())
+            .unwrap();
         net.drop_blob_routed(d[0], d[3], "k").unwrap();
         assert!(!net.holds_blob(d[3], "k"));
     }

@@ -269,6 +269,22 @@ impl SimNet {
             .unwrap_or(false)
     }
 
+    /// Ids of every device ever added to the world, departed ones included
+    /// (control-plane query, free of charge; auditors enumerate stores with
+    /// it).
+    pub fn device_ids(&self) -> Vec<DeviceId> {
+        (0..self.devices.len() as u32).map(DeviceId).collect()
+    }
+
+    /// Keys of every blob currently stored on a device (control-plane
+    /// query, free of charge). Empty for unknown devices.
+    pub fn blob_keys(&self, device: DeviceId) -> Vec<String> {
+        self.devices
+            .get(device.0 as usize)
+            .map(|d| d.store.keys().map(str::to_string).collect())
+            .unwrap_or_default()
+    }
+
     /// Bytes stored on a device right now.
     ///
     /// # Errors
@@ -341,6 +357,7 @@ fn key(a: DeviceId, b: DeviceId) -> (DeviceId, DeviceId) {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
 
@@ -429,7 +446,10 @@ mod tests {
             .send_blob(pda, laptop, "big", "x".repeat(2000))
             .unwrap_err();
         assert!(matches!(err, NetError::QuotaExceeded { .. }));
-        assert!(net.now() > t0, "airtime was spent even though storing failed");
+        assert!(
+            net.now() > t0,
+            "airtime was spent even though storing failed"
+        );
     }
 
     #[test]

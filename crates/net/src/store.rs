@@ -198,6 +198,7 @@ impl BlobStore for MemStore {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
 

@@ -128,6 +128,7 @@ impl fmt::Display for TraceEvent {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
 

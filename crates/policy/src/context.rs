@@ -143,7 +143,13 @@ mod tests {
         let mut cm = ContextManager::new(Watermarks::new(50, 80));
         assert!(cm.observe_memory(10, 100).is_none());
         let e = cm.observe_memory(80, 100).unwrap();
-        assert!(matches!(e, PolicyEvent::MemoryPressure { occupancy_pct: 80, .. }));
+        assert!(matches!(
+            e,
+            PolicyEvent::MemoryPressure {
+                occupancy_pct: 80,
+                ..
+            }
+        ));
         // Between low and high while pressured: silence.
         assert!(cm.observe_memory(79, 100).is_none());
         assert!(cm.observe_memory(60, 100).is_none());
@@ -176,10 +182,9 @@ mod tests {
         // 2 leaves, 3 arrives.
         let evs = cm.observe_devices(&[(1, 100), (3, 50)]);
         assert_eq!(evs.len(), 2);
-        assert!(evs.iter().any(|e| matches!(
-            e,
-            PolicyEvent::DeviceDiscovered { device: 3, .. }
-        )));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, PolicyEvent::DeviceDiscovered { device: 3, .. })));
         assert!(evs
             .iter()
             .any(|e| matches!(e, PolicyEvent::DeviceLost { device: 2, .. })));

@@ -1,7 +1,7 @@
 //! The policy engine: rule storage and evaluation.
 
-use crate::{PolicyError, PolicyEvent, Result, Rule};
 use crate::rule::Action;
+use crate::{PolicyError, PolicyEvent, Result, Rule};
 
 /// Holds the loaded rules and evaluates events against them.
 ///

@@ -252,7 +252,10 @@ mod tests {
             Err(PolicyError::Dialect { .. })
         ));
         // missing <on>
-        assert!(parse_policies(r#"<policies><policy id="p"><then><gc/></then></policy></policies>"#).is_err());
+        assert!(parse_policies(
+            r#"<policies><policy id="p"><then><gc/></then></policy></policies>"#
+        )
+        .is_err());
         // empty <then>
         assert!(matches!(
             parse_policies(

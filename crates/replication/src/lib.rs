@@ -54,7 +54,9 @@ mod server;
 
 pub use error::ReplError;
 pub use events::ReplicationEvent;
-pub use methods::{standard_classes, MethodFn, MethodTable, MiddlewareClasses, Universe, UniverseBuilder};
+pub use methods::{
+    standard_classes, MethodFn, MethodTable, MiddlewareClasses, Universe, UniverseBuilder,
+};
 pub use process::{
     ClusterInfo, Frame, Interceptor, Process, ReplConfig, Resolved, FAULT_PROXY_CLASS,
     REPLACEMENT_CLASS, SWAP_PROXY_CLASS,

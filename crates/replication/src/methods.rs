@@ -245,7 +245,11 @@ pub fn standard_classes() -> Universe {
     b.method(node, "ping", |_p, _this, _args| Ok(Value::Int(0)));
 
     b.method(node, "visit", |p, this, args| {
-        let depth = args.first().map(Value::expect_int).transpose()?.unwrap_or(0);
+        let depth = args
+            .first()
+            .map(Value::expect_int)
+            .transpose()?
+            .unwrap_or(0);
         match p.field_value(this, "next")?.expect_ref_or_null()? {
             Some(next) => p.invoke(next, "visit", vec![Value::Int(depth + 1)]),
             None => Ok(Value::Int(depth)),
@@ -253,7 +257,11 @@ pub fn standard_classes() -> Universe {
     });
 
     b.method(node, "probe_step", |p, this, args| {
-        let remaining = args.first().map(Value::expect_int).transpose()?.unwrap_or(0);
+        let remaining = args
+            .first()
+            .map(Value::expect_int)
+            .transpose()?
+            .unwrap_or(0);
         if remaining <= 0 {
             return Ok(Value::Ref(this));
         }
@@ -264,7 +272,11 @@ pub fn standard_classes() -> Universe {
     });
 
     b.method(node, "deep_visit", |p, this, args| {
-        let depth = args.first().map(Value::expect_int).transpose()?.unwrap_or(0);
+        let depth = args
+            .first()
+            .map(Value::expect_int)
+            .transpose()?
+            .unwrap_or(0);
         // Inner recursion: reach ~10 nodes ahead, returning a reference that
         // crosses swap-cluster boundaries (creating transient proxies).
         let _probe = p.invoke(this, "probe_step", vec![Value::Int(10)])?;

@@ -569,6 +569,23 @@ impl Process {
         self.transfer(r, 0, None)
     }
 
+    /// Resolve `r` to an application object, faulting in the replica when
+    /// `r` is a fault-proxy placeholder (the handle of a faulted-in object
+    /// differs from the proxy's). Non-fault-proxy handles come back
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Fault failures: unknown identity, server unreachable, or a zombie
+    /// proxy whose swapped-out cluster cannot be reloaded.
+    pub fn ensure_replica(&mut self, r: ObjRef) -> Result<ObjRef> {
+        if self.heap.get(r)?.kind() == ObjectKind::FaultProxy {
+            self.fault(r)
+        } else {
+            Ok(r)
+        }
+    }
+
     /// Handle an object fault: replicate the cluster containing the proxy's
     /// target and return the replica.
     fn fault(&mut self, proxy: ObjRef) -> Result<ObjRef> {
@@ -756,8 +773,7 @@ impl Process {
         replaced: &HashMap<ObjRef, ObjRef>,
     ) -> Result<()> {
         // Invert proxy → replica into replica → proxy.
-        let back: HashMap<ObjRef, ObjRef> =
-            replaced.iter().map(|(p, r)| (*r, *p)).collect();
+        let back: HashMap<ObjRef, ObjRef> = replaced.iter().map(|(p, r)| (*r, *p)).collect();
         for &(holder, idx) in &info.patched_fields {
             if !self.heap.is_live(holder) {
                 continue;
@@ -815,7 +831,8 @@ impl Process {
         }
         let mw = self.universe.middleware;
         let p = self.heap.alloc(mw.fault_proxy, ObjectKind::FaultProxy)?;
-        self.heap.set_field(p, mw.fp_oid, Value::Int(oid.0 as i64))?;
+        self.heap
+            .set_field(p, mw.fp_oid, Value::Int(oid.0 as i64))?;
         self.heap.get_mut(p)?.header_mut().oid = oid;
         self.fault_proxies.insert(oid, p);
         Ok(p)
@@ -881,7 +898,9 @@ mod tests {
     fn probe_step_returns_reference_ahead() {
         let (mut p, head) = list_process(30, 30, 1 << 20);
         let root = p.replicate_root(head).unwrap();
-        let r = p.invoke_ref(root, "probe_step", vec![Value::Int(5)]).unwrap();
+        let r = p
+            .invoke_ref(root, "probe_step", vec![Value::Int(5)])
+            .unwrap();
         let oid = p.heap().get(r).unwrap().header().oid;
         assert_eq!(oid.0, head.0 + 5);
     }

@@ -65,13 +65,10 @@ pub fn unescape(input: &str) -> Result<String> {
             i += ch_len;
             continue;
         }
-        let semi = input[i..]
-            .find(';')
-            .ok_or(Error::Unexpected {
-                at: i,
-                message: "entity beginning with `&` never terminated by `;`".into(),
-            })?
-            + i;
+        let semi = input[i..].find(';').ok_or(Error::Unexpected {
+            at: i,
+            message: "entity beginning with `&` never terminated by `;`".into(),
+        })? + i;
         let name = &input[i + 1..semi];
         match name {
             "amp" => out.push('&'),
@@ -97,7 +94,10 @@ pub fn unescape(input: &str) -> Result<String> {
 
 fn parse_char_ref(name: &str, at: usize) -> Result<char> {
     let digits = &name[1..];
-    let value = if let Some(hex) = digits.strip_prefix('x').or_else(|| digits.strip_prefix('X')) {
+    let value = if let Some(hex) = digits
+        .strip_prefix('x')
+        .or_else(|| digits.strip_prefix('X'))
+    {
         u32::from_str_radix(hex, 16)
     } else {
         digits.parse::<u32>()

@@ -108,9 +108,9 @@ impl<'a> Reader<'a> {
                 continue;
             }
             if let Some(stripped) = rest.strip_prefix("<!--") {
-                let end = stripped.find("-->").ok_or(Error::UnexpectedEof {
-                    context: "comment",
-                })?;
+                let end = stripped
+                    .find("-->")
+                    .ok_or(Error::UnexpectedEof { context: "comment" })?;
                 self.pos += 4 + end + 3;
                 continue;
             }
@@ -188,9 +188,12 @@ impl<'a> Reader<'a> {
             }
             self.pos += 1;
             self.skip_ws();
-            let quote = self.input[self.pos..].chars().next().ok_or(Error::UnexpectedEof {
-                context: "attribute value",
-            })?;
+            let quote = self.input[self.pos..]
+                .chars()
+                .next()
+                .ok_or(Error::UnexpectedEof {
+                    context: "attribute value",
+                })?;
             if quote != '"' && quote != '\'' {
                 return Err(Error::Unexpected {
                     at: self.pos,
@@ -199,9 +202,12 @@ impl<'a> Reader<'a> {
             }
             self.pos += 1;
             let val_start = self.pos;
-            let end = self.input[self.pos..].find(quote).ok_or(Error::UnexpectedEof {
-                context: "attribute value",
-            })? + self.pos;
+            let end = self.input[self.pos..]
+                .find(quote)
+                .ok_or(Error::UnexpectedEof {
+                    context: "attribute value",
+                })?
+                + self.pos;
             let raw = &self.input[val_start..end];
             self.pos = end + 1;
             attrs.push((attr_name, unescape(raw)?));
@@ -325,7 +331,10 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, Event::Start { .. }))
             .count();
-        let ends = evs.iter().filter(|e| matches!(e, Event::End { .. })).count();
+        let ends = evs
+            .iter()
+            .filter(|e| matches!(e, Event::End { .. }))
+            .count();
         assert_eq!(starts, 3);
         assert_eq!(ends, 3);
     }
@@ -397,7 +406,13 @@ mod tests {
     #[test]
     fn self_closing_emits_synthetic_end() {
         let evs = events("<a/>");
-        assert!(matches!(&evs[0], Event::Start { self_closing: true, .. }));
+        assert!(matches!(
+            &evs[0],
+            Event::Start {
+                self_closing: true,
+                ..
+            }
+        ));
         assert!(matches!(&evs[1], Event::End { name } if name == "a"));
     }
 

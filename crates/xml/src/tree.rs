@@ -54,9 +54,7 @@ impl Element {
                 attrs,
                 self_closing,
             } => build(&mut reader, name, attrs, self_closing)?,
-            Event::Eof => {
-                return Err(Error::structure("document contains no root element"))
-            }
+            Event::Eof => return Err(Error::structure("document contains no root element")),
             other => {
                 return Err(Error::structure(format!(
                     "expected root element, found {other:?}"
@@ -129,10 +127,7 @@ impl Element {
     }
 
     /// Iterator over child elements with a given name.
-    pub fn children_named<'a>(
-        &'a self,
-        name: &'a str,
-    ) -> impl Iterator<Item = &'a Element> + 'a {
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
         self.children.iter().filter(move |c| c.name == name)
     }
 
@@ -199,7 +194,8 @@ impl Element {
     /// The output always parses back to an equal tree; see the property test.
     pub fn to_xml(&self) -> String {
         let mut w = Writer::new();
-        self.write_into(&mut w).expect("tree is well-formed by construction");
+        self.write_into(&mut w)
+            .expect("tree is well-formed by construction");
         w.finish().expect("balanced by construction")
     }
 
@@ -317,7 +313,11 @@ mod tests {
     fn builder_roundtrip() {
         let el = Element::new("swap-cluster")
             .with_attr("id", "sc-9")
-            .with_child(Element::new("object").with_attr("oid", "1").with_text("x&y"));
+            .with_child(
+                Element::new("object")
+                    .with_attr("oid", "1")
+                    .with_text("x&y"),
+            );
         let doc = el.to_xml();
         let back = Element::parse(&doc).unwrap();
         assert_eq!(back, el);
@@ -345,17 +345,15 @@ mod tests {
             },
         );
         leaf.prop_recursive(depth, 24, 3, |inner| {
-            (
-                "[a-z][a-z0-9]{0,6}",
-                proptest::collection::vec(inner, 0..3),
-            )
-                .prop_map(|(n, children)| {
+            ("[a-z][a-z0-9]{0,6}", proptest::collection::vec(inner, 0..3)).prop_map(
+                |(n, children)| {
                     let mut el = Element::new(n);
                     for c in children {
                         el.push_child(c);
                     }
                     el
-                })
+                },
+            )
         })
     }
 

@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mw.net().lock().expect("net").depart(laptop)?;
     println!("\n*** the field laptop left the site ***");
     match mw.swap_in(1) {
-        Err(SwapError::DataLost { swap_cluster, cause }) => {
+        Err(SwapError::DataLost {
+            swap_cluster,
+            cause,
+        }) => {
             println!("reload of page {swap_cluster} failed: {cause}");
         }
         other => panic!("expected DataLost, got {other:?}"),
@@ -112,7 +115,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("record 150 is loaded"),
         obiwan::core::IdentityKey::Handle(h) => h,
     };
-    mw.process_mut().set_field_value(handle, "next", Value::Null)?;
+    mw.process_mut()
+        .set_field_value(handle, "next", Value::Null)?;
     mw.run_gc()?;
     mw.run_gc()?;
     let stats = mw.swap_stats();

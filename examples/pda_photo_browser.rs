@@ -52,7 +52,9 @@ fn universe() -> obiwan::replication::Universe {
     b.method(album, "next_album", |p, this, _args| {
         p.field_value(this, "next_album")
     });
-    b.method(album, "title", |p, this, _args| p.field_value(this, "title"));
+    b.method(album, "title", |p, this, _args| {
+        p.field_value(this, "title")
+    });
     b.build()
 }
 
@@ -73,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             server.set_scalar(
                 photo,
                 "pixels",
-                Value::Bytes(bytes::Bytes::from(vec![(a * 16 + ph) as u8; PIXELS_PER_PHOTO])),
+                Value::Bytes(bytes::Bytes::from(vec![
+                    (a * 16 + ph) as u8;
+                    PIXELS_PER_PHOTO
+                ])),
             )?;
             match prev_photo {
                 Some(prev) => server.set_ref(prev, "next", Some(photo))?,

@@ -48,7 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let p = net.profile(d)?;
             let used = net.stored_bytes(d)?;
             if used > 0 {
-                println!("  {:<10} {:>5} B ({} page blobs)", p.name, used, used / 2100);
+                println!(
+                    "  {:<10} {:>5} B ({} page blobs)",
+                    p.name,
+                    used,
+                    used / 2100
+                );
             }
         }
     }

@@ -50,5 +50,7 @@ pub mod prelude {
     pub use obiwan_heap::{ClassBuilder, ClassRegistry, Heap, ObjRef, ObjectKind, Oid, Value};
     pub use obiwan_net::{DeviceId, DeviceKind, LinkSpec, SimNet};
     pub use obiwan_policy::{ContextManager, PolicyEngine, Watermarks};
-    pub use obiwan_replication::{standard_classes, ClusterStrategy, Process, Server, UniverseBuilder};
+    pub use obiwan_replication::{
+        standard_classes, ClusterStrategy, Process, Server, UniverseBuilder,
+    };
 }

@@ -24,7 +24,8 @@ fn relay_world() -> (Middleware, ObjRef, DeviceId, DeviceId) {
         let desktop = net.add_device("office-desktop", DeviceKind::Desktop, 1 << 20);
         net.connect(mw.home_device(), relay, LinkSpec::mote_radio())
             .expect("link 1");
-        net.connect(relay, desktop, LinkSpec::wifi()).expect("link 2");
+        net.connect(relay, desktop, LinkSpec::wifi())
+            .expect("link 2");
         (relay, desktop)
     };
     let root = mw.replicate_root(head).expect("replicate");
@@ -80,7 +81,13 @@ fn departed_relay_means_data_lost_until_it_returns() {
     mw.swap_out(2).expect("swap");
     mw.net().lock().expect("net").depart(relay).expect("depart");
     let err = mw.swap_in(2).expect_err("no route");
-    assert!(matches!(err, SwapError::DataLost { swap_cluster: 2, .. }));
+    assert!(matches!(
+        err,
+        SwapError::DataLost {
+            swap_cluster: 2,
+            ..
+        }
+    ));
     // The relay wanders back: the data is reachable again.
     mw.net().lock().expect("net").arrive(relay).expect("arrive");
     mw.swap_in(2).expect("reload through restored route");

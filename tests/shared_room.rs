@@ -21,8 +21,10 @@ fn room() -> (
     let pda_b = net.add_device("pda-b", DeviceKind::Pda, 0);
     // Quota fits roughly two cluster blobs (~3 KB each).
     let laptop = net.add_device("shared-laptop", DeviceKind::Laptop, 7 * 1024);
-    net.connect(pda_a, laptop, LinkSpec::bluetooth()).expect("a");
-    net.connect(pda_b, laptop, LinkSpec::bluetooth()).expect("b");
+    net.connect(pda_a, laptop, LinkSpec::bluetooth())
+        .expect("a");
+    net.connect(pda_b, laptop, LinkSpec::bluetooth())
+        .expect("b");
     let net = Arc::new(Mutex::new(net));
 
     let build = |home| {
@@ -105,7 +107,8 @@ fn blob_keys_are_namespaced_per_device() {
     b.invoke_i64(root_b, "length", vec![]).expect("warm b");
 
     a.swap_out(1).expect("a swaps");
-    b.swap_out(1).expect("b swaps the same (device-local) cluster id");
+    b.swap_out(1)
+        .expect("b swaps the same (device-local) cluster id");
     {
         let net = a.net();
         let net = net.lock().expect("net");

@@ -42,10 +42,7 @@ fn fingerprint(mw: &mut Middleware, root: ObjRef, expected_len: usize) -> Vec<i6
                 .expect_int()
                 .expect("int"),
         );
-        match mw
-            .invoke_resilient(cur, "next", vec![], 100)
-            .expect("step")
-        {
+        match mw.invoke_resilient(cur, "next", vec![], 100).expect("step") {
             Value::Ref(next) => mw.set_global("fp_cursor", Value::Ref(next)),
             _ => break,
         }
@@ -83,13 +80,17 @@ proptest! {
                 Op::SwapOut(sc) => match mw.swap_out(sc) {
                     Ok(_) => {}
                     Err(SwapError::BadState { .. })
-                    | Err(SwapError::UnknownSwapCluster { .. }) => {}
+                    | Err(SwapError::UnknownSwapCluster { .. })
+                    | Err(SwapError::NothingToSwap { .. }) => {}
                     Err(e) => panic!("swap_out({sc}): {e}"),
                 },
                 Op::SwapIn(sc) => match mw.swap_in(sc) {
                     Ok(_) => {}
                     Err(SwapError::BadState { .. })
-                    | Err(SwapError::UnknownSwapCluster { .. }) => {}
+                    | Err(SwapError::UnknownSwapCluster { .. })
+                    // A dropped cluster (replacement collected because the
+                    // application no longer reaches it) reports data loss.
+                    | Err(SwapError::DataLost { .. }) => {}
                     Err(e) => panic!("swap_in({sc}): {e}"),
                 },
                 Op::Gc => {

@@ -94,10 +94,7 @@ fn committed_updates_reach_the_master_graph() {
     mw.invoke_i64(root, "count", vec![]).expect("warm");
 
     // Mutate the root's tag locally and commit.
-    let handle = mw
-        .process()
-        .lookup_replica(root_oid)
-        .expect("root replica");
+    let handle = mw.process().lookup_replica(root_oid).expect("root replica");
     mw.process_mut()
         .set_field_value(handle, "tag", Value::Int(999))
         .expect("local write");

@@ -1,0 +1,251 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! registry cache, so the workspace patches `criterion` to this vendored
+//! implementation. It keeps the benchmark sources compiling and runnable:
+//! each benchmark is timed with `std::time::Instant` over `sample_size`
+//! iterations and a mean per-iteration time is printed — no statistics,
+//! no plots, no comparison to saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark (printed, not analyzed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: parameter.to_string(),
+        }
+    }
+
+    /// Identify a benchmark by parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            param: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.param)
+        } else {
+            write!(f, "{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// Timing helper handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call outside the timed window.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        let per_iter = if b.iterations == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iterations as u32
+        };
+        let mut line = format!(
+            "{}/{}: {:?}/iter over {} iters",
+            self.name, id, per_iter, b.iterations
+        );
+        if let Some(tp) = self.throughput {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                match tp {
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!(
+                            " ({:.1} MiB/s)",
+                            n as f64 / secs / (1 << 20) as f64
+                        ));
+                    }
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!(" ({:.0} elem/s)", n as f64 / secs));
+                    }
+                }
+            }
+        }
+        self.criterion.lines.push(line);
+    }
+
+    /// Finish the group (prints the collected lines).
+    pub fn finish(self) {
+        for line in self.criterion.lines.drain(..) {
+            println!("{line}");
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    lines: Vec<String>,
+}
+
+impl Criterion {
+    /// Accept (and ignore) command-line arguments that the real criterion
+    /// would parse — cargo bench passes `--bench` by default.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Print the final summary (a no-op here; groups print on `finish`).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Compatibility macro: collects benchmark functions into a runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Compatibility macro: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_times_and_prints() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(100));
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        // warm-up + 3 timed iterations
+        assert_eq!(calls, 4);
+        c.final_summary();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("visit", 50).to_string(), "visit/50");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

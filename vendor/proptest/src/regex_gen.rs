@@ -1,0 +1,280 @@
+//! Generation of strings from a small regex subset.
+//!
+//! `&str` strategies in proptest interpret the string as a regular
+//! expression and generate matching strings. This stand-in supports the
+//! subset the workspace's tests use: literals, `\PC` (any printable,
+//! i.e. non-control, character), character classes `[a-z0-9_-]`, groups
+//! `( ... )`, and the quantifiers `*`, `+`, `?`, `{n}` and `{n,m}`.
+//! Unbounded quantifiers repeat up to 8 times.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_MAX: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// `\PC`: any char outside Unicode category C (control and friends).
+    AnyPrintable,
+    /// Inclusive ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut rest: &[char] = &chars;
+    let nodes = parse_sequence(&mut rest, pattern);
+    let mut out = String::new();
+    for node in &nodes {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::AnyPrintable => out.push(printable(rng)),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Group(nodes) => {
+            for n in nodes {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = *min + rng.below(u64::from(*max - *min + 1)) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn printable(rng: &mut TestRng) -> char {
+    // Mostly ASCII printable; occasionally multibyte, to exercise UTF-8
+    // handling the way the real `\PC` class does.
+    const EXOTIC: [char; 6] = ['é', 'ω', '—', '中', '✓', 'ß'];
+    if rng.below(8) == 0 {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or(' ')
+    }
+}
+
+/// Parse a sequence of terms until end of input or a closing parenthesis
+/// (which is left unconsumed for the caller).
+fn parse_sequence(chars: &mut &[char], pattern: &str) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.first() {
+        if c == ')' {
+            break;
+        }
+        *chars = &chars[1..];
+        let atom = match c {
+            '\\' => parse_escape(chars, pattern),
+            '[' => parse_class(chars, pattern),
+            '(' => {
+                let inner = parse_sequence(chars, pattern);
+                match chars.first() {
+                    Some(')') => *chars = &chars[1..],
+                    _ => panic!("unclosed group in regex strategy {pattern:?}"),
+                }
+                Node::Group(inner)
+            }
+            other => Node::Lit(other),
+        };
+        nodes.push(parse_quantifier(atom, chars, pattern));
+    }
+    nodes
+}
+
+fn parse_escape(chars: &mut &[char], pattern: &str) -> Node {
+    match chars.first() {
+        Some('P') if chars.get(1) == Some(&'C') => {
+            *chars = &chars[2..];
+            Node::AnyPrintable
+        }
+        Some(&c) => {
+            *chars = &chars[1..];
+            match c {
+                'n' => Node::Lit('\n'),
+                't' => Node::Lit('\t'),
+                'r' => Node::Lit('\r'),
+                other => Node::Lit(other),
+            }
+        }
+        None => panic!("dangling backslash in regex strategy {pattern:?}"),
+    }
+}
+
+fn parse_class(chars: &mut &[char], pattern: &str) -> Node {
+    let mut ranges = Vec::new();
+    loop {
+        match chars.first() {
+            None => panic!("unclosed character class in regex strategy {pattern:?}"),
+            Some(']') => {
+                *chars = &chars[1..];
+                break;
+            }
+            Some(&lo) => {
+                *chars = &chars[1..];
+                let lo = if lo == '\\' {
+                    match chars.first() {
+                        Some(&esc) => {
+                            *chars = &chars[1..];
+                            esc
+                        }
+                        None => panic!("dangling backslash in regex strategy {pattern:?}"),
+                    }
+                } else {
+                    lo
+                };
+                // `a-z` range (a `-` before `]` is a literal dash).
+                if chars.first() == Some(&'-') && chars.get(1).is_some_and(|&c| c != ']') {
+                    let hi = chars[1];
+                    *chars = &chars[2..];
+                    assert!(
+                        lo <= hi,
+                        "inverted class range in regex strategy {pattern:?}"
+                    );
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+    }
+    assert!(
+        !ranges.is_empty(),
+        "empty character class in regex strategy {pattern:?}"
+    );
+    Node::Class(ranges)
+}
+
+fn parse_quantifier(atom: Node, chars: &mut &[char], pattern: &str) -> Node {
+    match chars.first() {
+        Some('*') => {
+            *chars = &chars[1..];
+            Node::Repeat(Box::new(atom), 0, UNBOUNDED_MAX)
+        }
+        Some('+') => {
+            *chars = &chars[1..];
+            Node::Repeat(Box::new(atom), 1, UNBOUNDED_MAX)
+        }
+        Some('?') => {
+            *chars = &chars[1..];
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        Some('{') => {
+            *chars = &chars[1..];
+            let mut digits = String::new();
+            while let Some(&c) = chars.first() {
+                *chars = &chars[1..];
+                if c == ',' || c == '}' {
+                    let min: u32 = digits
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repetition in regex strategy {pattern:?}"));
+                    if c == '}' {
+                        return Node::Repeat(Box::new(atom), min, min);
+                    }
+                    let mut max_digits = String::new();
+                    while let Some(&m) = chars.first() {
+                        *chars = &chars[1..];
+                        if m == '}' {
+                            let max: u32 = max_digits.parse().unwrap_or_else(|_| {
+                                panic!("bad repetition in regex strategy {pattern:?}")
+                            });
+                            assert!(min <= max, "inverted repetition in {pattern:?}");
+                            return Node::Repeat(Box::new(atom), min, max);
+                        }
+                        max_digits.push(m);
+                    }
+                    panic!("unclosed repetition in regex strategy {pattern:?}");
+                }
+                digits.push(c);
+            }
+            panic!("unclosed repetition in regex strategy {pattern:?}")
+        }
+        _ => atom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("regex_gen", 0)
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        assert_eq!(generate("abc", &mut rng()), "abc");
+    }
+
+    #[test]
+    fn classes_and_bounded_repeats() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9]{0,6}", &mut r);
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(s.chars().count() <= 7);
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn printable_class_has_no_controls() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("\\PC{0,16}", &mut r);
+            assert!(s.chars().count() <= 16);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn star_is_bounded() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(generate("\\PC*", &mut r).chars().count() <= UNBOUNDED_MAX as usize);
+        }
+    }
+
+    #[test]
+    fn groups_with_repetition() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("(<[a-c]{1,3} oid=\"[0-9]{1,4}\"/>){0,3}", &mut r);
+            if !s.is_empty() {
+                assert!(s.starts_with('<') && s.ends_with("/>"), "{s:?}");
+                assert!(s.contains(" oid=\""), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn escaped_metacharacters_are_literal() {
+        assert_eq!(generate("a\\{b\\}", &mut rng()), "a{b}");
+        assert_eq!(generate("x\\\\y", &mut rng()), "x\\y");
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline stand-in for the crates.io `rand` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! registry cache, so the workspace patches `rand` to this vendored
+//! implementation: a small xorshift-based generator with the `Rng` /
+//! `SeedableRng` surface benchmarks and workload generators need.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Random number generation methods (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value in `[range.start, range.end)`.
+    fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        assert!(span > 0, "gen_range called with an empty range");
+        range.start + self.next_u64() % span
+    }
+
+    /// A uniformly random `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A random `bool` that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+/// Construction from a seed (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Commonly used generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    /// The standard generator is the same small generator here.
+    pub type StdRng = SmallRng;
+}
+
+/// A generator seeded from ambient process entropy (address-space layout
+/// and a monotonic counter) — *not* cryptographically random.
+pub fn thread_rng() -> rngs::SmallRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x243f_6a88_85a3_08d3);
+    let tick = COUNTER.fetch_add(0x9e37_79b9, Ordering::Relaxed);
+    SeedableRng::seed_from_u64(tick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}
