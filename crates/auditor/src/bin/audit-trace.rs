@@ -25,6 +25,8 @@ OPTIONS:
     --memory <BYTES>    device heap capacity                 [default: 24576]
     --steps <N>         operations to replay                 [default: 300]
     --seed <N>          schedule seed                        [default: 7]
+    --wire-format <F>   blob wire format: xml | binary | lz-binary
+                                                             [default: xml]
     --verbose           print every step, not just violating ones
     --help              show this message
 ";
@@ -52,6 +54,12 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--memory" => cfg.device_memory = numeric("--memory")? as usize,
             "--steps" => cfg.steps = numeric("--steps")? as usize,
             "--seed" => cfg.seed = numeric("--seed")?,
+            "--wire-format" => {
+                cfg.wire_format = args
+                    .next()
+                    .ok_or_else(|| "--wire-format needs a value".to_string())?
+                    .parse()?
+            }
             "--verbose" => verbose = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown option `{other}`")),
@@ -74,13 +82,14 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "replaying {} steps over a {}-node list ({} B payload, {} objects/cluster, {} B heap, seed {})",
+        "replaying {} steps over a {}-node list ({} B payload, {} objects/cluster, {} B heap, seed {}, {} blobs)",
         opts.cfg.steps,
         opts.cfg.nodes,
         opts.cfg.payload,
         opts.cfg.cluster_size,
         opts.cfg.device_memory,
         opts.cfg.seed,
+        opts.cfg.wire_format,
     );
 
     let outcome = match replay(&opts.cfg) {

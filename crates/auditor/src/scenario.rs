@@ -28,6 +28,8 @@ pub struct TraceConfig {
     pub steps: usize,
     /// Seed of the deterministic schedule.
     pub seed: u64,
+    /// Wire format for swapped-out blobs.
+    pub wire_format: obiwan_core::WireFormatKind,
 }
 
 impl Default for TraceConfig {
@@ -39,6 +41,7 @@ impl Default for TraceConfig {
             device_memory: 24 * 1024,
             steps: 300,
             seed: 7,
+            wire_format: obiwan_core::WireFormatKind::default(),
         }
     }
 }
@@ -102,6 +105,7 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
     let mut mw = Middleware::builder()
         .cluster_size(cfg.cluster_size)
         .device_memory(cfg.device_memory)
+        .wire_format(cfg.wire_format)
         .build(server);
     let root = mw.replicate_root(head)?;
     mw.set_global("cursor", Value::Ref(root));

@@ -17,7 +17,7 @@
 //! the network path one-for-one.
 
 use crate::lz;
-use obiwan_net::{BlobStore, DeviceId, NetError};
+use obiwan_net::{BlobStore, Bytes, DeviceId, NetError};
 use std::collections::HashMap;
 
 /// Statistics of a [`CompressedPool`].
@@ -44,9 +44,9 @@ pub struct PoolStats {
 /// # fn main() -> Result<(), obiwan_net::NetError> {
 /// let mut pool = CompressedPool::new(4096);
 /// let text = "<object oid=\"1\"/>".repeat(40);
-/// pool.store("sc-1", text.clone())?;
+/// pool.store("sc-1", text.clone().into())?;
 /// assert!(pool.used_bytes() < text.len(), "compression shrank it");
-/// assert_eq!(pool.fetch("sc-1")?, text);
+/// assert_eq!(&pool.fetch("sc-1")?[..], text.as_bytes());
 /// # Ok(())
 /// # }
 /// ```
@@ -90,14 +90,14 @@ impl CompressedPool {
 }
 
 impl BlobStore for CompressedPool {
-    fn store(&mut self, key: &str, text: String) -> obiwan_net::Result<()> {
+    fn store(&mut self, key: &str, data: Bytes) -> obiwan_net::Result<()> {
         if self.blobs.contains_key(key) {
             return Err(NetError::DuplicateBlob {
                 device: DeviceId::default(),
                 key: key.to_string(),
             });
         }
-        let compressed = lz::compress(text.as_bytes());
+        let compressed = lz::compress(&data);
         if self.used + compressed.len() > self.budget {
             return Err(NetError::QuotaExceeded {
                 device: DeviceId::default(),
@@ -108,13 +108,13 @@ impl BlobStore for CompressedPool {
         }
         self.used += compressed.len();
         self.stats.compressions += 1;
-        self.stats.bytes_in += text.len() as u64;
+        self.stats.bytes_in += data.len() as u64;
         self.stats.bytes_resident += compressed.len() as u64;
         self.blobs.insert(key.to_string(), compressed);
         Ok(())
     }
 
-    fn fetch(&mut self, key: &str) -> obiwan_net::Result<String> {
+    fn fetch(&mut self, key: &str) -> obiwan_net::Result<Bytes> {
         let compressed = self.blobs.get(key).ok_or_else(|| NetError::UnknownBlob {
             device: DeviceId::default(),
             key: key.to_string(),
@@ -124,10 +124,7 @@ impl BlobStore for CompressedPool {
             device: DeviceId::default(),
             key: key.to_string(),
         })?;
-        String::from_utf8(raw).map_err(|_| NetError::UnknownBlob {
-            device: DeviceId::default(),
-            key: key.to_string(),
-        })
+        Ok(Bytes::from(raw))
     }
 
     fn drop_blob(&mut self, key: &str) -> obiwan_net::Result<()> {
@@ -171,8 +168,8 @@ mod tests {
     fn store_fetch_drop_roundtrip() {
         let mut pool = CompressedPool::new(1 << 16);
         let text = xmlish(50);
-        pool.store("k", text.clone()).unwrap();
-        assert_eq!(pool.fetch("k").unwrap(), text);
+        pool.store("k", text.clone().into()).unwrap();
+        assert_eq!(&pool.fetch("k").unwrap()[..], text.as_bytes());
         assert_eq!(pool.blob_count(), 1);
         pool.drop_blob("k").unwrap();
         assert_eq!(pool.used_bytes(), 0);
@@ -184,14 +181,14 @@ mod tests {
         let mut pool = CompressedPool::new(256);
         // Highly compressible 10 KB fits in 256 compressed bytes…
         let compressible = "a".repeat(10_000);
-        pool.store("a", compressible).unwrap();
+        pool.store("a", compressible.into()).unwrap();
         // …but nearly-random data of the same raw size does not.
         let mut pool2 = CompressedPool::new(256);
         let noisy: String = (0..10_000u32)
             .map(|i| (33 + ((i.wrapping_mul(2654435761) >> 16) % 90) as u8) as char)
             .collect();
         assert!(matches!(
-            pool2.store("n", noisy),
+            pool2.store("n", noisy.into()),
             Err(NetError::QuotaExceeded { .. })
         ));
     }
@@ -209,7 +206,7 @@ mod tests {
     #[test]
     fn ratio_reflects_compressibility() {
         let mut pool = CompressedPool::new(1 << 20);
-        pool.store("k", xmlish(200)).unwrap();
+        pool.store("k", xmlish(200).into()).unwrap();
         assert!(pool.ratio() < 0.5, "ratio {}", pool.ratio());
     }
 

@@ -1,174 +1,8 @@
-//! A small LZ77-style compressor for the heap-compression baseline.
+//! Re-export shim for the LZ codec, which moved to the shared
+//! [`obiwan_lz`] crate so `obiwan-core`'s compressed wire format can use
+//! it without depending on the baselines (baselines depend on core).
 //!
-//! Deliberately simple (greedy hash-chain matching, byte-oriented token
-//! stream) — the baseline needs *representative* compression cost and
-//! ratio on XML-ish object data, not a production codec. No external
-//! dependencies, fully deterministic.
-//!
-//! Token stream format:
-//!
-//! * `0x00 len  bytes…` — literal run of `len` (1–255) bytes;
-//! * `0x01 len d_hi d_lo` — match of `len` (4–255) bytes at distance
-//!   `d` (1–65535) back from the current output position.
+//! Kept as a module so existing `baselines::lz::{compress, decompress}`
+//! call sites and doc references stay valid.
 
-/// Compress `input`. The output always decompresses to `input` exactly
-/// (see [`decompress`] and the property test).
-pub fn compress(input: &[u8]) -> Vec<u8> {
-    const MIN_MATCH: usize = 4;
-    const MAX_MATCH: usize = 255;
-    const WINDOW: usize = 65_535;
-    let mut out = Vec::with_capacity(input.len() / 2 + 16);
-    // Head of the hash chain: position of the latest occurrence of each
-    // 4-byte prefix hash.
-    let mut table = vec![usize::MAX; 1 << 14];
-    let hash = |window: &[u8]| -> usize {
-        let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
-        (v.wrapping_mul(2654435761) >> 18) as usize
-    };
-    let mut literals_start = 0;
-    let mut i = 0;
-    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, input: &[u8]| {
-        let mut s = from;
-        while s < to {
-            let run = (to - s).min(255);
-            out.push(0x00);
-            out.push(run as u8);
-            out.extend_from_slice(&input[s..s + run]);
-            s += run;
-        }
-    };
-    while i + MIN_MATCH <= input.len() {
-        let h = hash(&input[i..]);
-        let candidate = table[h];
-        table[h] = i;
-        let mut match_len = 0;
-        if candidate != usize::MAX && i - candidate <= WINDOW {
-            let max = (input.len() - i).min(MAX_MATCH);
-            while match_len < max && input[candidate + match_len] == input[i + match_len] {
-                match_len += 1;
-            }
-        }
-        if match_len >= MIN_MATCH {
-            flush_literals(&mut out, literals_start, i, input);
-            let distance = i - candidate;
-            out.push(0x01);
-            out.push(match_len as u8);
-            out.push((distance >> 8) as u8);
-            out.push((distance & 0xff) as u8);
-            i += match_len;
-            literals_start = i;
-        } else {
-            i += 1;
-        }
-    }
-    flush_literals(&mut out, literals_start, input.len(), input);
-    out
-}
-
-/// Decompress a [`compress`] token stream.
-///
-/// # Errors
-///
-/// Returns a description of the corruption for truncated or malformed
-/// streams.
-pub fn decompress(input: &[u8]) -> Result<Vec<u8>, String> {
-    let mut out = Vec::with_capacity(input.len() * 2);
-    let mut i = 0;
-    while i < input.len() {
-        match input[i] {
-            0x00 => {
-                let len = *input.get(i + 1).ok_or("truncated literal header")? as usize;
-                if len == 0 {
-                    return Err("zero-length literal run".into());
-                }
-                let start = i + 2;
-                let end = start + len;
-                if end > input.len() {
-                    return Err("truncated literal run".into());
-                }
-                out.extend_from_slice(&input[start..end]);
-                i = end;
-            }
-            0x01 => {
-                if i + 4 > input.len() {
-                    return Err("truncated match token".into());
-                }
-                let len = input[i + 1] as usize;
-                let distance = ((input[i + 2] as usize) << 8) | input[i + 3] as usize;
-                if distance == 0 || distance > out.len() {
-                    return Err(format!(
-                        "match distance {distance} out of range (output {})",
-                        out.len()
-                    ));
-                }
-                let from = out.len() - distance;
-                // Overlapping copies are legal (distance < len).
-                for k in 0..len {
-                    let b = out[from + k];
-                    out.push(b);
-                }
-                i += 4;
-            }
-            other => return Err(format!("unknown token 0x{other:02x}")),
-        }
-    }
-    Ok(out)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use proptest::prelude::*;
-
-    #[test]
-    fn empty_roundtrip() {
-        assert_eq!(decompress(&compress(b"")).unwrap(), b"");
-    }
-
-    #[test]
-    fn repetitive_data_shrinks() {
-        let data = b"<object oid=\"1\"/><object oid=\"2\"/>".repeat(50);
-        let c = compress(&data);
-        assert!(c.len() < data.len() / 3, "{} vs {}", c.len(), data.len());
-        assert_eq!(decompress(&c).unwrap(), data);
-    }
-
-    #[test]
-    fn incompressible_data_grows_bounded() {
-        let data: Vec<u8> = (0..1000u32)
-            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
-            .collect();
-        let c = compress(&data);
-        // Worst case overhead: 2 bytes per 255-byte literal run.
-        assert!(c.len() <= data.len() + 2 * (data.len() / 255 + 1));
-        assert_eq!(decompress(&c).unwrap(), data);
-    }
-
-    #[test]
-    fn overlapping_match_roundtrip() {
-        let data = b"abcabcabcabcabcabcabcabcabc".to_vec();
-        assert_eq!(decompress(&compress(&data)).unwrap(), data);
-    }
-
-    #[test]
-    fn corrupt_streams_are_rejected() {
-        assert!(decompress(&[0x00]).is_err()); // truncated header
-        assert!(decompress(&[0x00, 5, 1, 2]).is_err()); // truncated run
-        assert!(decompress(&[0x01, 4, 0, 1]).is_err()); // distance > output
-        assert!(decompress(&[0x07]).is_err()); // unknown token
-        assert!(decompress(&[0x00, 0]).is_err()); // zero-length run
-    }
-
-    proptest! {
-        #[test]
-        fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
-            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
-        }
-
-        #[test]
-        fn roundtrip_xmlish(s in "(<[a-c]{1,3} oid=\"[0-9]{1,4}\"/>){0,60}") {
-            let data = s.as_bytes();
-            prop_assert_eq!(decompress(&compress(data)).unwrap(), data);
-        }
-    }
-}
+pub use obiwan_lz::{compress, decompress};

@@ -202,7 +202,12 @@ impl Offloader {
         let bytes = xml.len();
         {
             let mut net = self.net.lock().expect("net mutex poisoned");
-            net.send_blob(self.home, self.target, &format!("obj-{}", oid.0), xml)?;
+            net.send_blob(
+                self.home,
+                self.target,
+                &format!("obj-{}", oid.0),
+                xml.into(),
+            )?;
         }
         // Build the surrogate and patch every holder (object table update).
         let surrogate = p.ensure_fault_proxy(oid).map_err(|e| match e {
@@ -272,7 +277,9 @@ impl Offloader {
             xml
         };
         let bytes = xml.len();
-        let replica = decode_object(p, &xml)?;
+        let xml = std::str::from_utf8(&xml)
+            .map_err(|_| OffloadError::Xml(obiwan_xml::Error::structure("blob is not utf-8")))?;
+        let replica = decode_object(p, xml)?;
         // Patch holders of the surrogate back to the replica.
         let holders: Vec<ObjRef> = p.heap().iter_live().collect();
         for holder in holders {

@@ -57,7 +57,7 @@ fn bench_compression(c: &mut Criterion) {
             |b, blob| {
                 let mut pool = CompressedPool::new(1 << 24);
                 b.iter(|| {
-                    pool.store("k", blob.clone()).expect("store");
+                    pool.store("k", blob.clone().into()).expect("store");
                     let back = pool.fetch("k").expect("fetch");
                     pool.drop_blob("k").expect("drop");
                     back.len()

@@ -45,6 +45,7 @@ fn bench_swap_cycle(c: &mut Criterion) {
 }
 
 fn bench_codec(c: &mut Criterion) {
+    use obiwan_core::wire::{self, WireFormatKind};
     let mut group = c.benchmark_group("codec");
     for cluster_size in [20usize, 100] {
         let mw = world(cluster_size, 400);
@@ -58,13 +59,23 @@ fn bench_codec(c: &mut Criterion) {
                 .map(|&(_, r)| r)
                 .collect()
         };
-        let xml = obiwan_core::codec::encode(mw.process(), 1, 0, &members).expect("encode");
-        group.bench_with_input(BenchmarkId::new("encode", cluster_size), &(), |b, ()| {
-            b.iter(|| obiwan_core::codec::encode(mw.process(), 1, 0, &members).unwrap())
+        group.bench_with_input(BenchmarkId::new("capture", cluster_size), &(), |b, ()| {
+            b.iter(|| obiwan_core::codec::capture(mw.process(), 1, 0, &members).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("decode", cluster_size), &xml, |b, xml| {
-            b.iter(|| obiwan_core::codec::decode(xml).unwrap())
-        });
+        let blob = obiwan_core::codec::capture(mw.process(), 1, 0, &members).expect("capture");
+        for kind in WireFormatKind::ALL {
+            let data = wire::encode_blob(kind, &blob).expect("encode");
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode/{kind}"), cluster_size),
+                &(),
+                |b, ()| b.iter(|| wire::encode_blob(kind, &blob).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("decode/{kind}"), cluster_size),
+                &data,
+                |b, data| b.iter(|| wire::decode_blob(data).unwrap()),
+            );
+        }
     }
     group.finish();
 }

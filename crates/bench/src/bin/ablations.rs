@@ -31,6 +31,8 @@ fn main() {
     // Ablation 2: swap I/O over cluster size and bandwidth.
     let points = swapio::run_sweep(n.min(2_000));
     println!("{}", swapio::render(&points));
+    let format_points = swapio::run_format_sweep(n.min(2_000));
+    println!("{}", swapio::render_formats(&format_points));
 
     // Ablation 3: victim policies (smaller list: the trace reloads a lot).
     let vn = (n / 10).max(300);
@@ -88,12 +90,12 @@ fn compression_report(list_len: usize) -> String {
 
     let mut pool = CompressedPool::new(1 << 20);
     let t0 = Instant::now();
-    pool.store("sc-1", xml.clone()).expect("pool store");
+    pool.store("sc-1", xml.clone().into()).expect("pool store");
     let compress_time = t0.elapsed();
     let t1 = Instant::now();
     let back = pool.fetch("sc-1").expect("pool fetch");
     let decompress_time = t1.elapsed();
-    assert_eq!(back, xml);
+    assert_eq!(&back[..], xml.as_bytes());
 
     let bt = obiwan_net::LinkSpec::bluetooth();
     let ship = bt.transfer_time(xml.len());

@@ -1,0 +1,13 @@
+//! Emit the wire-format swap-I/O measurements as JSON on stdout.
+//!
+//! ```text
+//! cargo run --release -p obiwan-bench --bin swapio_json > BENCH_swapio.json
+//! ```
+
+use obiwan_bench::swapio;
+
+fn main() {
+    let list_len = 400;
+    let points = swapio::run_format_sweep(list_len);
+    print!("{}", swapio::formats_json(list_len, &points));
+}

@@ -7,11 +7,13 @@
 //! byte). All times come from the deterministic link model, not the wall
 //! clock.
 
+use obiwan_core::wire::{self, WireFormatKind};
 use obiwan_core::Middleware;
-use obiwan_core::StoreSpec;
+use obiwan_core::{codec, StoreSpec};
 use obiwan_heap::Value;
 use obiwan_net::{DeviceKind, LinkSpec, SimDuration};
 use obiwan_replication::{standard_classes, Server};
+use std::time::{Duration, Instant};
 
 /// One measured point of the sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +76,123 @@ pub fn run_sweep(list_len: usize) -> Vec<SwapIoPoint> {
     points
 }
 
+/// One wire-format measurement: bytes-on-wire and serialization CPU for a
+/// fixed captured cluster, per format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFormatPoint {
+    /// Wire format label ("xml", "binary", "lz-binary").
+    pub format: String,
+    /// Objects per swap-cluster.
+    pub cluster_size: usize,
+    /// Encoded blob size — what actually crosses the radio.
+    pub bytes_on_wire: usize,
+    /// Mean wall-clock time of one encode.
+    pub encode: Duration,
+    /// Mean wall-clock time of one decode.
+    pub decode: Duration,
+}
+
+/// Measure every wire format against the same captured clusters: encode a
+/// cluster of each size once per format, timing encode and decode and
+/// recording the bytes that would cross the radio.
+pub fn run_format_sweep(list_len: usize) -> Vec<WireFormatPoint> {
+    const ITERS: u32 = 40;
+    let mut points = Vec::new();
+    for cluster_size in [20usize, 100] {
+        let mut server = Server::new(standard_classes());
+        let head = server
+            .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
+            .expect("Node class");
+        let mut mw = Middleware::builder()
+            .cluster_size(cluster_size)
+            .device_memory(list_len * 64 * 8 + (1 << 20))
+            .no_builtin_policies()
+            .build(server);
+        let root = mw.replicate_root(head).expect("replicate");
+        mw.set_global("head", Value::Ref(root));
+        mw.invoke_i64(root, "length", vec![]).expect("warm");
+        let members: Vec<obiwan_heap::ObjRef> = {
+            let manager = mw.manager();
+            let m = manager.lock().expect("manager");
+            m.cluster(1)
+                .expect("sc1")
+                .members
+                .iter()
+                .map(|&(_, r)| r)
+                .collect()
+        };
+        let blob = codec::capture(mw.process(), 1, 0, &members).expect("capture");
+        for kind in WireFormatKind::ALL {
+            let data = wire::encode_blob(kind, &blob).expect("encode");
+            let t0 = Instant::now();
+            for _ in 0..ITERS {
+                std::hint::black_box(wire::encode_blob(kind, &blob).expect("encode"));
+            }
+            let encode = t0.elapsed() / ITERS;
+            let t1 = Instant::now();
+            for _ in 0..ITERS {
+                std::hint::black_box(wire::decode_blob(&data).expect("decode"));
+            }
+            let decode = t1.elapsed() / ITERS;
+            points.push(WireFormatPoint {
+                format: kind.name().to_string(),
+                cluster_size,
+                bytes_on_wire: data.len(),
+                encode,
+                decode,
+            });
+        }
+    }
+    points
+}
+
+/// Render the format sweep as a table.
+pub fn render_formats(points: &[WireFormatPoint]) -> String {
+    let mut out = String::from(
+        "Wire formats — bytes-on-wire and serialization CPU per format\n\
+         (same captured cluster; XML is the paper-faithful default)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<10}{:<14}{:>16}{:>14}{:>14}\n",
+        "objects", "format", "bytes on wire", "encode", "decode"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<10}{:<14}{:>16}{:>11.1}µs{:>11.1}µs\n",
+            p.cluster_size,
+            p.format,
+            p.bytes_on_wire,
+            p.encode.as_secs_f64() * 1e6,
+            p.decode.as_secs_f64() * 1e6,
+        ));
+    }
+    out
+}
+
+/// Serialize the format sweep as JSON (for the committed
+/// `BENCH_swapio.json` snapshot; hand-rolled — the workspace carries no
+/// serde).
+pub fn formats_json(list_len: usize, points: &[WireFormatPoint]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"swap_io.wire_formats\",\n");
+    out.push_str(&format!("  \"list_len\": {list_len},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"format\": \"{}\", \"cluster_size\": {}, \"bytes_on_wire\": {}, \
+             \"encode_us\": {:.2}, \"decode_us\": {:.2}}}{}\n",
+            p.format,
+            p.cluster_size,
+            p.bytes_on_wire,
+            p.encode.as_secs_f64() * 1e6,
+            p.decode.as_secs_f64() * 1e6,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Render the sweep as a table.
 pub fn render(points: &[SwapIoPoint]) -> String {
     let mut out = String::from(
@@ -122,6 +241,43 @@ mod tests {
         };
         assert!(t("wifi-5M") < t("bluetooth-700k"));
         assert!(t("bluetooth-700k") < t("mote-100k"));
+    }
+
+    #[test]
+    fn binary_beats_xml_on_the_wire_at_every_size() {
+        let points = run_format_sweep(300);
+        for cluster_size in [20usize, 100] {
+            let bytes = |format: &str| {
+                points
+                    .iter()
+                    .find(|p| p.cluster_size == cluster_size && p.format == format)
+                    .map(|p| p.bytes_on_wire)
+                    .expect("point exists")
+            };
+            assert!(
+                bytes("binary") < bytes("xml"),
+                "binary {} B >= xml {} B at {cluster_size} objects",
+                bytes("binary"),
+                bytes("xml")
+            );
+            assert!(
+                bytes("lz-binary") < bytes("xml"),
+                "lz-binary {} B >= xml {} B at {cluster_size} objects",
+                bytes("lz-binary"),
+                bytes("xml")
+            );
+        }
+    }
+
+    #[test]
+    fn format_json_snapshot_is_well_formed() {
+        let points = run_format_sweep(100);
+        let json = formats_json(100, &points);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"format\"").count(), points.len());
+        for kind in ["xml", "binary", "lz-binary"] {
+            assert!(json.contains(kind), "missing {kind}");
+        }
     }
 
     #[test]

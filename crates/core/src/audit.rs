@@ -13,7 +13,8 @@
 //! * **Detach integrity** (paper §3, swapping-out): for every swapped-out
 //!   cluster, inbound proxies target its replacement-object, the
 //!   replacement holds exactly the victim's live outbound proxies, and a
-//!   matching XML blob exists on a reachable device.
+//!   blob whose self-describing header names the cluster exists on a
+//!   reachable device (any wire format — XML, binary or LZ).
 //! * **GC / blob consistency** (paper §3, GC integration): blobs on
 //!   neighbours are either backing a swapped-out cluster or tracked as
 //!   orphans awaiting a sweep; dropped clusters have released their
@@ -101,6 +102,10 @@ pub enum Rule {
     /// present in the world (reload would fail with `DataLost` until it
     /// returns).
     StoreUnreachable,
+    /// `D6` — the stored blob backing a swapped-out cluster has a header
+    /// that fails to decode, or names a different swap-cluster than the
+    /// entry it backs (the wrong bytes would be materialized on reload).
+    BlobHeaderMismatch,
     /// `L1` — a loaded cluster's member record resolves to a live object
     /// whose identity, cluster tag or kind disagrees with the registry.
     MemberRecordMismatch,
@@ -131,6 +136,7 @@ impl Rule {
             Rule::ReplacementOutboundMismatch => "D3",
             Rule::MissingBlob => "D4",
             Rule::StoreUnreachable => "D5",
+            Rule::BlobHeaderMismatch => "D6",
             Rule::MemberRecordMismatch => "L1",
             Rule::OrphanBlob => "G1",
             Rule::DroppedNotCleared => "G2",
@@ -817,7 +823,7 @@ impl SwappingManager {
         }
     }
 
-    /// Blob accounting against the simulated world (rules D4, D5, G1).
+    /// Blob accounting against the simulated world (rules D4, D5, D6, G1).
     fn audit_blobs(&self, report: &mut AuditReport) {
         let net = self.net.lock().unwrap_or_else(PoisonError::into_inner);
         // Expected blobs: one per swapped-out cluster, plus tracked orphans.
@@ -852,6 +858,35 @@ impl SwappingManager {
                              `{key}` backing sc{sc}"
                         ),
                     });
+                } else if let Some(data) = net.blob_data(device, key) {
+                    // D6: the blob is there — its self-describing header
+                    // must decode and name this cluster (any wire format).
+                    match crate::wire::peek_header(&data) {
+                        Ok(header) if header.swap_cluster == sc => {}
+                        Ok(header) => report.violations.push(Violation {
+                            rule: Rule::BlobHeaderMismatch,
+                            swap_cluster: Some(sc),
+                            subject: None,
+                            oid: None,
+                            path: vec![sc],
+                            detail: format!(
+                                "blob `{key}` backing sc{sc} names sc{} in its \
+                                 header (reload would refuse it)",
+                                header.swap_cluster
+                            ),
+                        }),
+                        Err(e) => report.violations.push(Violation {
+                            rule: Rule::BlobHeaderMismatch,
+                            swap_cluster: Some(sc),
+                            subject: None,
+                            oid: None,
+                            path: vec![sc],
+                            detail: format!(
+                                "blob `{key}` backing sc{sc} has an undecodable \
+                                 header: {e}"
+                            ),
+                        }),
+                    }
                 }
             }
         }
@@ -1000,6 +1035,8 @@ mod tests {
     fn severities_and_ids_are_stable() {
         assert_eq!(Rule::DirectCrossClusterRef.id(), "B1");
         assert_eq!(Rule::DroppedNotCleared.id(), "G2");
+        assert_eq!(Rule::BlobHeaderMismatch.id(), "D6");
+        assert_eq!(Rule::BlobHeaderMismatch.severity(), Severity::Error);
         assert_eq!(Rule::StoreUnreachable.severity(), Severity::Warning);
         assert_eq!(Rule::OrphanBlob.severity(), Severity::Warning);
         assert_eq!(Rule::UnmediatedGlobal.severity(), Severity::Warning);

@@ -1,9 +1,22 @@
-//! The swap-blob codec: object clusters ⇆ XML text.
+//! The capture/materialize layer: object clusters ⇆ the [`Blob`] IR, plus
+//! the paper-faithful XML rendering of that IR.
 //!
-//! The entire portability argument of the paper rests on this artifact: a
+//! The pipeline is split in two:
+//!
+//! * [`capture`] walks the heap graph and produces a pure [`Blob`] IR.
+//!   Every invariant check lives here — in particular the rule that any
+//!   cross-swap-cluster reference must be mediated by a proxy. The reload
+//!   path materializes the IR back into the heap (see `reload.rs`).
+//! * A [`WireFormat`](crate::wire::WireFormat) turns a [`Blob`] into bytes
+//!   and back. This module keeps the XML dialect ([`render_xml`] /
+//!   [`decode`]); compact binary and compressed formats live in
+//!   [`wire`](crate::wire).
+//!
+//! The portability argument of the paper rests on the XML artifact: a
 //! swapped-out cluster travels as self-describing XML text, so the storing
 //! device needs no VM, no middleware, no class files — only the ability to
-//! store, return, or drop keyed text.
+//! store, return, or drop keyed text. XML therefore stays the default wire
+//! format, byte-for-byte as before the split.
 //!
 //! Wire format (pretty-printed):
 //!
@@ -70,7 +83,11 @@ pub struct Blob {
     pub objects: Vec<BlobObject>,
 }
 
-/// Serialize the members of swap-cluster `sc` to XML text.
+/// Capture the members of swap-cluster `sc` as a pure [`Blob`] IR.
+///
+/// This is the graph→IR half of the old fused encoder: all invariant
+/// checks happen here, so every wire format serializes an
+/// already-validated blob.
 ///
 /// # Errors
 ///
@@ -78,25 +95,94 @@ pub struct Blob {
 /// outside the cluster that is neither a proxy nor a fault proxy — that
 /// would violate the invariant that every cross-swap-cluster reference is
 /// mediated.
-pub fn encode(p: &Process, sc: u32, epoch: u32, members: &[ObjRef]) -> Result<String> {
+pub fn capture(p: &Process, sc: u32, epoch: u32, members: &[ObjRef]) -> Result<Blob> {
     let member_oids: HashMap<ObjRef, Oid> = members
         .iter()
         .map(|&m| Ok((m, p.heap().get(m)?.header().oid)))
         .collect::<Result<_>>()?;
-    let mut w = Writer::new();
-    w.begin("swap-cluster")?
-        .attr("id", sc.to_string())?
-        .attr("epoch", epoch.to_string())?
-        .attr("count", members.len().to_string())?;
+    let mut objects = Vec::with_capacity(members.len());
     for &m in members {
         let obj = p.heap().get(m)?;
-        let class_name = p.universe().registry.class(obj.class())?.name().to_string();
-        w.begin("object")?
-            .attr("oid", obj.header().oid.0.to_string())?
-            .attr("class", &class_name)?
-            .attr("repl", obj.header().repl_cluster.to_string())?;
+        let class = p.universe().registry.class(obj.class())?.name().to_string();
+        let mut fields = Vec::new();
         for (i, v) in obj.fields().iter().enumerate() {
-            encode_field(p, &member_oids, &mut w, i, v)?;
+            if let Some(f) = capture_field(p, &member_oids, i, v)? {
+                fields.push((i, f));
+            }
+        }
+        objects.push(BlobObject {
+            oid: obj.header().oid,
+            class,
+            repl_cluster: obj.header().repl_cluster,
+            fields,
+        });
+    }
+    Ok(Blob {
+        swap_cluster: sc,
+        epoch,
+        objects,
+    })
+}
+
+fn capture_field(
+    p: &Process,
+    member_oids: &HashMap<ObjRef, Oid>,
+    i: usize,
+    v: &Value,
+) -> Result<Option<BlobField>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Ref(r) => {
+            if let Some(&oid) = member_oids.get(r) {
+                return Ok(Some(BlobField::MemberRef(oid)));
+            }
+            let target = p.heap().get(*r)?;
+            match target.kind() {
+                ObjectKind::SwapProxy => {
+                    Ok(Some(BlobField::ProxyRef(crate::proxy::oid_of(p, *r)?)))
+                }
+                ObjectKind::FaultProxy => Ok(Some(BlobField::FaultRef(target.header().oid))),
+                other => Err(SwapError::codec(format!(
+                    "member field {i} holds an unmediated cross-cluster \
+                     reference to a {other} object"
+                ))),
+            }
+        }
+        scalar => Ok(Some(BlobField::Scalar(scalar.clone()))),
+    }
+}
+
+/// Serialize the members of swap-cluster `sc` to XML text — the historical
+/// fused entry point, now [`capture`] followed by [`render_xml`]. The
+/// output is byte-for-byte identical to the pre-split encoder.
+///
+/// # Errors
+///
+/// As [`capture`].
+pub fn encode(p: &Process, sc: u32, epoch: u32, members: &[ObjRef]) -> Result<String> {
+    render_xml(&capture(p, sc, epoch, members)?)
+}
+
+/// Render a captured [`Blob`] as the paper's pretty-printed XML dialect.
+///
+/// # Errors
+///
+/// XML writer errors, or [`SwapError::Codec`] if the blob contains a null
+/// scalar (null fields are represented by omission; a captured blob never
+/// holds one).
+pub fn render_xml(blob: &Blob) -> Result<String> {
+    let mut w = Writer::new();
+    w.begin("swap-cluster")?
+        .attr("id", blob.swap_cluster.to_string())?
+        .attr("epoch", blob.epoch.to_string())?
+        .attr("count", blob.objects.len().to_string())?;
+    for obj in &blob.objects {
+        w.begin("object")?
+            .attr("oid", obj.oid.0.to_string())?
+            .attr("class", &obj.class)?
+            .attr("repl", obj.repl_cluster.to_string())?;
+        for (i, f) in &obj.fields {
+            render_field(&mut w, *i, f)?;
         }
         w.end()?;
     }
@@ -104,75 +190,59 @@ pub fn encode(p: &Process, sc: u32, epoch: u32, members: &[ObjRef]) -> Result<St
     Ok(w.finish()?)
 }
 
-fn encode_field(
-    p: &Process,
-    member_oids: &HashMap<ObjRef, Oid>,
-    w: &mut Writer,
-    i: usize,
-    v: &Value,
-) -> Result<()> {
-    match v {
-        Value::Null => return Ok(()),
-        Value::Ref(r) => {
-            if let Some(oid) = member_oids.get(r) {
-                w.begin("field")?
-                    .attr("i", i.to_string())?
-                    .attr("kind", "ref")?
-                    .attr("oid", oid.0.to_string())?;
-                w.end()?;
-                return Ok(());
-            }
-            let target = p.heap().get(*r)?;
-            let (kind, oid) = match target.kind() {
-                ObjectKind::SwapProxy => ("proxyref", crate::proxy::oid_of(p, *r)?),
-                ObjectKind::FaultProxy => ("faultref", target.header().oid),
-                other => {
-                    return Err(SwapError::codec(format!(
-                        "member field {i} holds an unmediated cross-cluster \
-                         reference to a {other} object"
-                    )))
-                }
-            };
-            w.begin("field")?
-                .attr("i", i.to_string())?
-                .attr("kind", kind)?
-                .attr("oid", oid.0.to_string())?;
-            w.end()?;
-        }
-        Value::Int(x) => {
+fn render_field(w: &mut Writer, i: usize, f: &BlobField) -> Result<()> {
+    let render_ref = |w: &mut Writer, kind: &str, oid: Oid| -> Result<()> {
+        w.begin("field")?
+            .attr("i", i.to_string())?
+            .attr("kind", kind)?
+            .attr("oid", oid.0.to_string())?;
+        w.end()?;
+        Ok(())
+    };
+    match f {
+        BlobField::MemberRef(oid) => render_ref(w, "ref", *oid)?,
+        BlobField::ProxyRef(oid) => render_ref(w, "proxyref", *oid)?,
+        BlobField::FaultRef(oid) => render_ref(w, "faultref", *oid)?,
+        BlobField::Scalar(Value::Int(x)) => {
             w.begin("field")?
                 .attr("i", i.to_string())?
                 .attr("kind", "int")?
                 .attr("v", x.to_string())?;
             w.end()?;
         }
-        Value::Double(x) => {
+        BlobField::Scalar(Value::Double(x)) => {
             w.begin("field")?
                 .attr("i", i.to_string())?
                 .attr("kind", "double")?
                 .attr("v", format!("{x:?}"))?;
             w.end()?;
         }
-        Value::Bool(x) => {
+        BlobField::Scalar(Value::Bool(x)) => {
             w.begin("field")?
                 .attr("i", i.to_string())?
                 .attr("kind", "bool")?
                 .attr("v", x.to_string())?;
             w.end()?;
         }
-        Value::Str(s) => {
+        BlobField::Scalar(Value::Str(s)) => {
             w.begin("field")?
                 .attr("i", i.to_string())?
                 .attr("kind", "str")?;
             w.text(s)?;
             w.end()?;
         }
-        Value::Bytes(b) => {
+        BlobField::Scalar(Value::Bytes(b)) => {
             w.begin("field")?
                 .attr("i", i.to_string())?
                 .attr("kind", "bytes")?;
             w.text(&hex_encode(b))?;
             w.end()?;
+        }
+        BlobField::Scalar(Value::Null | Value::Ref(_)) => {
+            return Err(SwapError::codec(format!(
+                "field {i}: blob IR holds a raw null/ref scalar — capture \
+                 never produces one"
+            )));
         }
     }
     Ok(())

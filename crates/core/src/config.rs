@@ -1,5 +1,6 @@
 //! Configuration of the swapping layer.
 
+use crate::wire::WireFormatKind;
 use crate::VictimPolicy;
 
 /// Tunables of the Object-Swapping mechanism.
@@ -33,6 +34,10 @@ pub struct SwapConfig {
     /// paper's closing vision of devices "available to any user either to
     /// store data or to relay communications". Every hop pays its airtime.
     pub allow_relays: bool,
+    /// Wire format new swap-out blobs are written in. Reloads auto-detect
+    /// from the blob's self-describing header, so rooms may mix formats;
+    /// the default stays the paper's portable XML text.
+    pub wire_format: WireFormatKind,
 }
 
 impl Default for SwapConfig {
@@ -43,6 +48,7 @@ impl Default for SwapConfig {
             collect_after_swap_out: true,
             drop_blob_on_reload: true,
             allow_relays: false,
+            wire_format: WireFormatKind::default(),
         }
     }
 }
@@ -82,6 +88,12 @@ impl SwapConfig {
         self.allow_relays = yes;
         self
     }
+
+    /// Select the wire format for new swap-out blobs.
+    pub fn wire_format(mut self, kind: WireFormatKind) -> Self {
+        self.wire_format = kind;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +107,8 @@ mod tests {
         assert_eq!(c.clusters_per_swap_cluster, 1);
         assert!(c.collect_after_swap_out);
         assert!(c.drop_blob_on_reload);
+        // The paper-faithful portable text stays the default wire format.
+        assert_eq!(c.wire_format, WireFormatKind::Xml);
     }
 
     #[test]

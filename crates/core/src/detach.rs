@@ -3,17 +3,19 @@
 
 use crate::manager::lock_net;
 use crate::swap_cluster::SwapClusterState;
-use crate::{codec, proxy, Result, SwapError, SwappingManager};
+use crate::{codec, proxy, wire, Result, SwapError, SwappingManager};
 use obiwan_heap::{ObjRef, ObjectKind, Value};
-use obiwan_net::{DeviceId, NetError};
+use obiwan_net::{Bytes, DeviceId, NetError};
 use obiwan_policy::PolicyEvent;
 use obiwan_replication::Process;
 
 impl SwappingManager {
     /// Swap out swap-cluster `sc`:
     ///
-    /// 1. serialize its members to XML and store the text on a nearby
-    ///    device (trying candidates in preference order);
+    /// 1. capture its members as a blob, serialize it with the configured
+    ///    wire format ([`crate::SwapConfig::wire_format`]; the paper's XML
+    ///    text by default) and store the bytes on a nearby device (trying
+    ///    candidates in preference order);
     /// 2. create a **replacement-object** filled with references to the
     ///    cluster's outbound swap-cluster-proxies (keeping downstream
     ///    clusters reachable);
@@ -68,14 +70,15 @@ impl SwappingManager {
             self.sweep_orphaned_blobs();
         }
 
-        // Serialize before any graph mutation.
-        let xml = codec::encode(p, sc, epoch, &members)?;
-        let blob_bytes = xml.len();
+        // Capture + serialize before any graph mutation.
+        let blob = codec::capture(p, sc, epoch, &members)?;
+        let data = wire::encode_blob(self.config.wire_format, &blob)?;
+        let blob_bytes = data.len();
         // Keys carry the swapping device's id: several PDAs may share one
         // storing neighbour ("available to any user"), and their cluster
         // ids are device-local.
         let key = format!("dev{}-sc{sc}-e{epoch}", self.home.index());
-        let device = self.store_on_neighbour(sc, &key, xml)?;
+        let device = self.store_on_neighbour(sc, &key, data)?;
         // The blob is out: consume this epoch now so a failure in the graph
         // surgery below cannot lead a retry into a duplicate key; the
         // already-stored blob becomes an orphan to sweep.
@@ -200,10 +203,10 @@ impl SwappingManager {
         Ok(None)
     }
 
-    /// Store `xml` under `key` on the best nearby device, trying candidates
+    /// Store `data` under `key` on the best nearby device, trying candidates
     /// in preference order: preferred kind first, then most free storage,
     /// then lowest id.
-    fn store_on_neighbour(&mut self, sc: u32, key: &str, xml: String) -> Result<DeviceId> {
+    fn store_on_neighbour(&mut self, sc: u32, key: &str, data: Bytes) -> Result<DeviceId> {
         let mut net = lock_net(&self.net)?;
         let candidates_source: Vec<(DeviceId, usize)> = if self.config.allow_relays {
             net.reachable(self.home)
@@ -216,7 +219,8 @@ impl SwappingManager {
                 let profile = net.profile(d).ok()?;
                 let preferred = Some(profile.kind) == self.preferred_kind;
                 let free = net.free_storage(d).ok()?;
-                (free >= xml.len()).then_some((preferred, hops, free, d))
+                // The store charges key bytes too.
+                (free >= key.len() + data.len()).then_some((preferred, hops, free, d))
             })
             .collect();
         // Highest preference first: preferred kind, then fewest hops, then
@@ -229,11 +233,13 @@ impl SwappingManager {
         });
         let tried = candidates.len();
         for (_, _, _, d) in candidates {
+            // `data` is refcounted — cloning per attempt is a pointer bump,
+            // not a deep copy of the blob.
             let sent = if self.config.allow_relays {
-                net.send_blob_routed(self.home, d, key, xml.clone())
+                net.send_blob_routed(self.home, d, key, data.clone())
                     .map(|_| ())
             } else {
-                net.send_blob(self.home, d, key, xml.clone()).map(|_| ())
+                net.send_blob(self.home, d, key, data.clone()).map(|_| ())
             };
             match sent {
                 Ok(()) => return Ok(d),

@@ -16,8 +16,9 @@
 //!   lives in the receiving cluster.
 //! * Under memory pressure the manager **swaps out** a victim: it builds a
 //!   **replacement-object** holding the victim's outbound proxies, patches
-//!   every inbound proxy to target it, serializes the members to XML
-//!   ([`codec`]) and ships the text to a nearby dumb device via
+//!   every inbound proxy to target it, captures the members as a [`codec`]
+//!   blob, serializes it with the configured [`wire`] format (the paper's
+//!   XML text by default) and ships the bytes to a nearby dumb device via
 //!   `obiwan-net`. The detached replicas are reclaimed by the local GC.
 //! * Invoking through a proxy whose target is a replacement-object
 //!   **reloads** the whole swap-cluster and re-patches the inbound proxies.
@@ -84,6 +85,7 @@ mod proxy;
 mod reload;
 mod swap_cluster;
 mod victim;
+pub mod wire;
 
 pub use audit::{AuditReport, Rule, Severity, Violation};
 pub use config::SwapConfig;
@@ -93,6 +95,7 @@ pub use manager::{SharedManager, SwapStats, SwappingManager};
 pub use middleware::{Middleware, MiddlewareBuilder, MiddlewareStats, StoreSpec};
 pub use swap_cluster::{SwapClusterEntry, SwapClusterState};
 pub use victim::VictimPolicy;
+pub use wire::{BinaryFormat, Lz, WireFormat, WireFormatKind, XmlFormat};
 
 /// Convenience result alias used across this crate.
 pub type Result<T> = std::result::Result<T, SwapError>;

@@ -136,6 +136,13 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// Wire format for new swap-out blobs (default: the paper's XML text;
+    /// reloads auto-detect, so mixed-format rooms are fine).
+    pub fn wire_format(mut self, kind: crate::wire::WireFormatKind) -> Self {
+        self.swap_config = self.swap_config.wire_format(kind);
+        self
+    }
+
     /// Full swap configuration.
     pub fn swap_config(mut self, config: SwapConfig) -> Self {
         self.swap_config = config;

@@ -1,10 +1,10 @@
 //! Swap-in: reload a swapped-out cluster from its storing device
 //! (paper §3, *Swap-Cluster Reload*).
 
-use crate::codec::{self, BlobField};
+use crate::codec::BlobField;
 use crate::manager::lock_net;
 use crate::swap_cluster::SwapClusterState;
-use crate::{proxy, Result, SwapError, SwappingManager};
+use crate::{proxy, wire, Result, SwapError, SwappingManager};
 use obiwan_heap::{ObjRef, ObjectKind, Oid, Value};
 use obiwan_net::NetError;
 use obiwan_policy::PolicyEvent;
@@ -14,7 +14,9 @@ use std::collections::HashMap;
 impl SwappingManager {
     /// Reload swap-cluster `sc` from the device it was swapped to:
     ///
-    /// 1. fetch and decode the XML blob;
+    /// 1. fetch the blob and decode it via its self-describing header
+    ///    ([`wire::decode_blob`] auto-detects XML / binary / LZ, so a room
+    ///    holding mixed-format blobs reloads fine);
     /// 2. rematerialize the member replicas (identity, class, payloads);
     /// 3. reconnect references: in-cluster refs directly, outbound refs to
     ///    the surviving swap-cluster-proxies held by the replacement-object,
@@ -66,16 +68,16 @@ impl SwappingManager {
                 }
             }
         };
-        let xml = {
+        let data = {
             let mut net = lock_net(&self.net)?;
             let fetched = if self.config.allow_relays {
                 net.fetch_blob_routed(self.home, device, &key)
-                    .map(|(_, text)| text)
+                    .map(|(_, data)| data)
             } else {
                 net.fetch_blob(self.home, device, &key)
             };
             match fetched {
-                Ok(xml) => xml,
+                Ok(data) => data,
                 Err(
                     e @ (NetError::Departed { .. }
                     | NetError::UnknownBlob { .. }
@@ -89,8 +91,8 @@ impl SwappingManager {
                 Err(e) => return Err(e.into()),
             }
         };
-        let blob_bytes = xml.len();
-        let blob = codec::decode(&xml)?;
+        let blob_bytes = data.len();
+        let blob = wire::decode_blob(&data)?;
         if blob.swap_cluster != sc {
             return Err(SwapError::codec(format!(
                 "blob `{key}` labels itself swap-cluster {}, expected {sc}",

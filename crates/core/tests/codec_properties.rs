@@ -186,6 +186,17 @@ proptest! {
     }
 
     #[test]
+    fn wire_xml_format_is_byte_identical_to_the_reference_renderer(blob in arb_blob()) {
+        // The WireFormat refactor must not change a single byte of the XML
+        // text: blobs already stored on devices stay decodable, and the
+        // paper's portability argument keeps holding verbatim.
+        use obiwan_core::{WireFormat, XmlFormat};
+        let ours = XmlFormat.encode(&blob).expect("encode");
+        let reference = render(&blob);
+        prop_assert_eq!(&ours[..], reference.as_bytes());
+    }
+
+    #[test]
     fn blob_text_survives_foreign_reformatting(blob in arb_blob()) {
         let xml = render(&blob);
         // A storage device may re-serialize the text with its own XML

@@ -521,7 +521,8 @@ fn swapped_blob_is_valid_xml_on_the_wire() {
         n.fetch_blob(mw.home_device(), laptop, "dev0-sc1-e0")
             .unwrap()
     };
-    let blob = obiwan_core::codec::decode(&xml).unwrap();
+    let text = std::str::from_utf8(&xml).unwrap();
+    let blob = obiwan_core::codec::decode(text).unwrap();
     assert_eq!(blob.swap_cluster, 1);
     assert_eq!(blob.objects.len(), 10);
     assert!(blob.objects.iter().all(|o| o.class == "Node"));

@@ -1,8 +1,9 @@
 //! Deterministic simulated wireless world for the OBIWAN reproduction.
 //!
 //! The paper swaps object clusters over Bluetooth (700 Kbps on an iPAQ 3360)
-//! to *dumb* nearby devices that only store, return or drop XML text keyed by
-//! a cluster id. This crate simulates that world:
+//! to *dumb* nearby devices that only store, return or drop opaque bytes
+//! keyed by a cluster id (the paper's wire format is XML text; the store
+//! does not care). This crate simulates that world:
 //!
 //! * a virtual [`Clock`] in microseconds — no wall time, fully deterministic;
 //! * [`DeviceId`]s with profiles ([`DeviceKind`], storage quota);
@@ -29,8 +30,8 @@
 //!
 //! let cost = net.send_blob(pda, laptop, "sc-2", "<swap-cluster/>".into())?;
 //! assert!(cost.as_micros() > 0);
-//! let text = net.fetch_blob(pda, laptop, "sc-2")?;
-//! assert_eq!(text, "<swap-cluster/>");
+//! let data = net.fetch_blob(pda, laptop, "sc-2")?; // refcounted bytes, no deep copy
+//! assert_eq!(&data[..], b"<swap-cluster/>");
 //! net.drop_blob(pda, laptop, "sc-2")?;
 //! # Ok(())
 //! # }
@@ -48,6 +49,7 @@ mod sim;
 mod store;
 mod trace;
 
+pub use bytes::Bytes;
 pub use clock::{Clock, SimDuration, SimTime};
 pub use device::{DeviceId, DeviceKind, DeviceProfile};
 pub use error::NetError;

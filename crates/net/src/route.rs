@@ -5,6 +5,7 @@
 //! the cost of every hop's airtime.
 
 use crate::{DeviceId, NetError, Result, SimDuration, SimNet, TraceKind};
+use bytes::Bytes;
 
 /// A relay path: the intermediate devices between source and destination
 /// (exclusive of both), plus the total transfer cost model.
@@ -97,7 +98,7 @@ impl SimNet {
     }
 
     /// Send a blob along a relay route: every hop pays its link's transfer
-    /// time, and only the destination stores the text (relays forward,
+    /// time, and only the destination stores the bytes (relays forward,
     /// they do not keep copies — they "relay communications").
     ///
     /// # Errors
@@ -110,13 +111,13 @@ impl SimNet {
         from: DeviceId,
         to: DeviceId,
         key: &str,
-        text: String,
+        data: Bytes,
     ) -> Result<(Route, SimDuration)> {
         let route = self
             .route(from, to)
             .ok_or(NetError::NotConnected { from, to })?;
         if route.relays.is_empty() {
-            let cost = self.send_blob(from, to, key, text)?;
+            let cost = self.send_blob(from, to, key, data)?;
             return Ok((route, cost));
         }
         let mut total = SimDuration::ZERO;
@@ -126,13 +127,13 @@ impl SimNet {
                 from: cur,
                 to: relay,
             })?;
-            let cost = link.transfer_time(text.len());
+            let cost = link.transfer_time(data.len());
             self.advance(cost);
             total += cost;
-            self.push_route_trace(cur, relay, key, text.len());
+            self.push_route_trace(cur, relay, key, data.len());
             cur = relay;
         }
-        let cost = self.send_blob(cur, to, key, text)?;
+        let cost = self.send_blob(cur, to, key, data)?;
         total += cost;
         Ok((route, total))
     }
@@ -147,13 +148,13 @@ impl SimNet {
         from: DeviceId,
         to: DeviceId,
         key: &str,
-    ) -> Result<(Route, String)> {
+    ) -> Result<(Route, Bytes)> {
         let route = self
             .route(from, to)
             .ok_or(NetError::NotConnected { from, to })?;
         if route.relays.is_empty() {
-            let text = self.fetch_blob(from, to, key)?;
-            return Ok((route, text));
+            let data = self.fetch_blob(from, to, key)?;
+            return Ok((route, data));
         }
         // The last relay talks to the storing device (non-empty: the
         // direct case returned above).
@@ -161,25 +162,25 @@ impl SimNet {
             Some(&relay) => relay,
             None => return Err(NetError::NotConnected { from, to }),
         };
-        let text = self.fetch_blob(last_relay, to, key)?;
-        // Then the text travels back across the relays to `from`.
+        let data = self.fetch_blob(last_relay, to, key)?;
+        // Then the bytes travel back across the relays to `from`.
         let mut cur = last_relay;
         for &relay in route.relays.iter().rev().skip(1) {
             let link = self.link(cur, relay).ok_or(NetError::NotConnected {
                 from: cur,
                 to: relay,
             })?;
-            self.advance(link.transfer_time(text.len()));
-            self.push_route_trace(cur, relay, key, text.len());
+            self.advance(link.transfer_time(data.len()));
+            self.push_route_trace(cur, relay, key, data.len());
             cur = relay;
         }
         let link = self.link(cur, from).ok_or(NetError::NotConnected {
             from: cur,
             to: from,
         })?;
-        self.advance(link.transfer_time(text.len()));
-        self.push_route_trace(cur, from, key, text.len());
-        Ok((route, text))
+        self.advance(link.transfer_time(data.len()));
+        self.push_route_trace(cur, from, key, data.len());
+        Ok((route, data))
     }
 
     /// Instruct a (possibly multi-hop) storing device to drop a blob. The
@@ -265,7 +266,7 @@ mod tests {
         let (mut net, d) = chain_world();
         let t0 = net.now();
         let (route, cost) = net
-            .send_blob_routed(d[0], d[3], "k", "x".repeat(500))
+            .send_blob_routed(d[0], d[3], "k", bytes::Bytes::from("x".repeat(500)))
             .unwrap();
         assert_eq!(route.hops(), 3);
         // Three hops: two mote-radio transfers + one wifi transfer.
@@ -278,9 +279,9 @@ mod tests {
         assert!(!net.holds_blob(d[1], "k"));
         assert!(!net.holds_blob(d[2], "k"));
         assert!(net.holds_blob(d[3], "k"));
-        let (route_back, text) = net.fetch_blob_routed(d[0], d[3], "k").unwrap();
+        let (route_back, data) = net.fetch_blob_routed(d[0], d[3], "k").unwrap();
         assert_eq!(route_back.hops(), 3);
-        assert_eq!(text.len(), 500);
+        assert_eq!(data.len(), 500);
     }
 
     #[test]

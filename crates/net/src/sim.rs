@@ -5,6 +5,7 @@ use crate::{
     Clock, DeviceId, DeviceKind, DeviceProfile, FailurePlan, LinkSpec, MemStore, NetError, Result,
     SimDuration, SimTime, TraceEvent, TraceKind,
 };
+use bytes::Bytes;
 use std::collections::HashMap;
 
 #[derive(Debug)]
@@ -190,7 +191,7 @@ impl SimNet {
             .unwrap_or(false)
     }
 
-    /// Send `text` from `from` to be stored on `to` under `key`, advancing
+    /// Send `data` from `from` to be stored on `to` under `key`, advancing
     /// the clock by the link cost. Returns the transfer duration.
     ///
     /// # Errors
@@ -203,14 +204,14 @@ impl SimNet {
         from: DeviceId,
         to: DeviceId,
         key: &str,
-        text: String,
+        data: Bytes,
     ) -> Result<SimDuration> {
         let link = self.require_link(from, to)?;
-        let bytes = text.len();
+        let bytes = data.len();
         let cost = link.transfer_time(bytes);
         self.clock.advance(cost);
         self.bytes_sent += bytes as u64;
-        self.state_mut(to)?.store.store(key, text)?;
+        self.state_mut(to)?.store.store(key, data)?;
         self.push_trace(TraceKind::BlobStored {
             from,
             to,
@@ -226,10 +227,10 @@ impl SimNet {
     /// # Errors
     ///
     /// Reachability and store errors as for [`SimNet::send_blob`].
-    pub fn fetch_blob(&mut self, from: DeviceId, to: DeviceId, key: &str) -> Result<String> {
+    pub fn fetch_blob(&mut self, from: DeviceId, to: DeviceId, key: &str) -> Result<Bytes> {
         let link = self.require_link(from, to)?;
-        let text = self.state_mut(to)?.store.fetch(key)?;
-        let bytes = text.len();
+        let data = self.state_mut(to)?.store.fetch(key)?;
+        let bytes = data.len();
         let cost = link.transfer_time(bytes);
         self.clock.advance(cost);
         self.bytes_fetched += bytes as u64;
@@ -239,7 +240,7 @@ impl SimNet {
             key: key.to_string(),
             bytes,
         });
-        Ok(text)
+        Ok(data)
     }
 
     /// Instruct `to` to drop the blob under `key`. Costs one latency (a tiny
@@ -283,6 +284,15 @@ impl SimNet {
             .get(device.0 as usize)
             .map(|d| d.store.keys().map(str::to_string).collect())
             .unwrap_or_default()
+    }
+
+    /// The bytes stored under `key` on a device, if any (control-plane
+    /// query, free of charge; the auditor inspects blob headers with it —
+    /// no airtime, no store op counted).
+    pub fn blob_data(&self, device: DeviceId, key: &str) -> Option<Bytes> {
+        self.devices
+            .get(device.0 as usize)
+            .and_then(|d| d.store.peek(key))
     }
 
     /// Bytes stored on a device right now.
@@ -373,12 +383,13 @@ mod tests {
     fn send_fetch_drop_advances_clock() {
         let (mut net, pda, laptop) = world();
         let t0 = net.now();
-        net.send_blob(pda, laptop, "k", "x".repeat(100)).unwrap();
+        net.send_blob(pda, laptop, "k", Bytes::from("x".repeat(100)))
+            .unwrap();
         let t1 = net.now();
         assert!(t1 > t0);
         assert!(net.holds_blob(laptop, "k"));
-        let text = net.fetch_blob(pda, laptop, "k").unwrap();
-        assert_eq!(text.len(), 100);
+        let data = net.fetch_blob(pda, laptop, "k").unwrap();
+        assert_eq!(data.len(), 100);
         assert!(net.now() > t1);
         net.drop_blob(pda, laptop, "k").unwrap();
         assert!(!net.holds_blob(laptop, "k"));
@@ -387,7 +398,8 @@ mod tests {
     #[test]
     fn traffic_counters_accumulate() {
         let (mut net, pda, laptop) = world();
-        net.send_blob(pda, laptop, "k", "x".repeat(100)).unwrap();
+        net.send_blob(pda, laptop, "k", Bytes::from("x".repeat(100)))
+            .unwrap();
         net.fetch_blob(pda, laptop, "k").unwrap();
         assert_eq!(net.traffic(), (100, 100));
     }
@@ -412,7 +424,7 @@ mod tests {
         ));
         assert!(net.nearby(pda).is_empty());
         net.arrive(laptop).unwrap();
-        assert_eq!(net.fetch_blob(pda, laptop, "k").unwrap(), "data");
+        assert_eq!(&net.fetch_blob(pda, laptop, "k").unwrap()[..], b"data");
     }
 
     #[test]
@@ -432,9 +444,12 @@ mod tests {
     fn quota_and_free_storage_are_visible() {
         let (mut net, pda, laptop) = world();
         assert_eq!(net.free_storage(laptop).unwrap(), 1000);
-        net.send_blob(pda, laptop, "k", "x".repeat(400)).unwrap();
-        assert_eq!(net.free_storage(laptop).unwrap(), 600);
-        assert_eq!(net.stored_bytes(laptop).unwrap(), 400);
+        net.send_blob(pda, laptop, "k", Bytes::from("x".repeat(400)))
+            .unwrap();
+        // 1 key byte + 400 payload bytes occupied.
+        assert_eq!(net.free_storage(laptop).unwrap(), 599);
+        assert_eq!(net.stored_bytes(laptop).unwrap(), 401);
+        assert_eq!(net.blob_data(laptop, "k").map(|d| d.len()), Some(400));
     }
 
     #[test]
@@ -443,7 +458,7 @@ mod tests {
         let t0 = net.now();
         // Blob larger than the laptop quota.
         let err = net
-            .send_blob(pda, laptop, "big", "x".repeat(2000))
+            .send_blob(pda, laptop, "big", Bytes::from("x".repeat(2000)))
             .unwrap_err();
         assert!(matches!(err, NetError::QuotaExceeded { .. }));
         assert!(

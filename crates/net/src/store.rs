@@ -1,11 +1,15 @@
-//! The dumb blob store: store / fetch / drop keyed text.
+//! The dumb blob store: store / fetch / drop keyed bytes.
 //!
 //! This is deliberately the *entire* interface the paper requires of a
 //! device that receives swapped objects: "They need only be able to store
 //! and return a textual representation of the serialized objects". No VM,
-//! no middleware, no object model — just keyed text with a quota.
+//! no middleware, no object model — just keyed bytes with a quota. The
+//! store is format-agnostic: the default wire format is still the paper's
+//! self-describing XML text, but a dumb device never inspects what it
+//! holds, so compact binary or compressed blobs ride the same three verbs.
 
 use crate::{DeviceId, NetError, Result};
+use bytes::Bytes;
 use std::collections::HashMap;
 
 /// The three-verb protocol spoken by storage devices.
@@ -13,20 +17,21 @@ use std::collections::HashMap;
 /// Implementations must be deterministic; fault injection is expressed
 /// through [`FailurePlan`] rather than randomness at the trait level.
 pub trait BlobStore {
-    /// Store `text` under `key`.
+    /// Store `data` under `key`.
     ///
     /// # Errors
     ///
     /// [`NetError::QuotaExceeded`] when full, [`NetError::DuplicateBlob`] if
     /// the key is already present, or [`NetError::InjectedFailure`].
-    fn store(&mut self, key: &str, text: String) -> Result<()>;
+    fn store(&mut self, key: &str, data: Bytes) -> Result<()>;
 
-    /// Return a copy of the text stored under `key`.
+    /// Return the bytes stored under `key` (a cheap refcounted handle, not
+    /// a deep copy).
     ///
     /// # Errors
     ///
     /// [`NetError::UnknownBlob`] or [`NetError::InjectedFailure`].
-    fn fetch(&mut self, key: &str) -> Result<String>;
+    fn fetch(&mut self, key: &str) -> Result<Bytes>;
 
     /// Drop the blob stored under `key`. Dropping an absent key is an error
     /// so that the middleware's bookkeeping bugs surface loudly.
@@ -39,7 +44,7 @@ pub trait BlobStore {
     /// Whether a blob with this key is stored.
     fn contains(&self, key: &str) -> bool;
 
-    /// Bytes currently stored.
+    /// Bytes currently stored (keys + payloads).
     fn used_bytes(&self) -> usize;
 
     /// Number of blobs currently stored.
@@ -75,10 +80,14 @@ impl FailurePlan {
 
 /// In-memory quota-enforcing blob store — what a laptop, desktop, PDA or
 /// mote in the room runs on behalf of its neighbours.
+///
+/// Quota accounting charges key bytes as well as payload bytes: a real
+/// device has to remember the key too, so many tiny blobs cannot sneak
+/// past the quota for free. `drop_blob` frees the same amount it charged.
 #[derive(Debug, Clone, Default)]
 pub struct MemStore {
     device: DeviceId,
-    blobs: HashMap<String, String>,
+    blobs: HashMap<String, Bytes>,
     quota: usize,
     used: usize,
     ops: u64,
@@ -123,6 +132,12 @@ impl MemStore {
         self.blobs.keys().map(String::as_str)
     }
 
+    /// Peek at the stored bytes without counting an operation (control
+    /// plane — the auditor uses this; it is not part of the wire protocol).
+    pub fn peek(&self, key: &str) -> Option<Bytes> {
+        self.blobs.get(key).cloned()
+    }
+
     fn bump_op(&mut self, op: &'static str) -> Result<()> {
         let n = self.ops;
         self.ops += 1;
@@ -137,7 +152,7 @@ impl MemStore {
 }
 
 impl BlobStore for MemStore {
-    fn store(&mut self, key: &str, text: String) -> Result<()> {
+    fn store(&mut self, key: &str, data: Bytes) -> Result<()> {
         self.bump_op("store")?;
         if self.blobs.contains_key(key) {
             return Err(NetError::DuplicateBlob {
@@ -145,7 +160,7 @@ impl BlobStore for MemStore {
                 key: key.to_string(),
             });
         }
-        let size = text.len();
+        let size = key.len() + data.len();
         if self.used + size > self.quota {
             return Err(NetError::QuotaExceeded {
                 device: self.device,
@@ -155,11 +170,11 @@ impl BlobStore for MemStore {
             });
         }
         self.used += size;
-        self.blobs.insert(key.to_string(), text);
+        self.blobs.insert(key.to_string(), data);
         Ok(())
     }
 
-    fn fetch(&mut self, key: &str) -> Result<String> {
+    fn fetch(&mut self, key: &str) -> Result<Bytes> {
         self.bump_op("fetch")?;
         self.blobs
             .get(key)
@@ -172,9 +187,9 @@ impl BlobStore for MemStore {
 
     fn drop_blob(&mut self, key: &str) -> Result<()> {
         self.bump_op("drop")?;
-        match self.blobs.remove(key) {
-            Some(text) => {
-                self.used -= text.len();
+        match self.blobs.remove_entry(key) {
+            Some((key, data)) => {
+                self.used -= key.len() + data.len();
                 Ok(())
             }
             None => Err(NetError::UnknownBlob {
@@ -211,8 +226,9 @@ mod tests {
         let mut s = store();
         s.store("k", "hello".into()).unwrap();
         assert!(s.contains("k"));
-        assert_eq!(s.used_bytes(), 5);
-        assert_eq!(s.fetch("k").unwrap(), "hello");
+        // 1 key byte + 5 payload bytes.
+        assert_eq!(s.used_bytes(), 6);
+        assert_eq!(&s.fetch("k").unwrap()[..], b"hello");
         s.drop_blob("k").unwrap();
         assert!(!s.contains("k"));
         assert_eq!(s.used_bytes(), 0);
@@ -221,11 +237,23 @@ mod tests {
     #[test]
     fn quota_is_enforced_and_freed_on_drop() {
         let mut s = store();
-        s.store("a", "x".repeat(60)).unwrap();
-        let err = s.store("b", "y".repeat(60)).unwrap_err();
+        s.store("a", Bytes::from("x".repeat(60))).unwrap();
+        let err = s.store("b", Bytes::from("y".repeat(60))).unwrap_err();
         assert!(matches!(err, NetError::QuotaExceeded { .. }));
         s.drop_blob("a").unwrap();
-        s.store("b", "y".repeat(60)).unwrap();
+        s.store("b", Bytes::from("y".repeat(60))).unwrap();
+    }
+
+    #[test]
+    fn keys_are_charged_against_the_quota() {
+        let mut s = MemStore::new(DeviceId(1), 10);
+        // Payload alone (4 B) fits; key (7 B) + payload does not.
+        let err = s.store("big-key", "1234".into()).unwrap_err();
+        assert!(matches!(err, NetError::QuotaExceeded { requested: 11, .. }));
+        s.store("k", "1234".into()).unwrap();
+        assert_eq!(s.used_bytes(), 5);
+        s.drop_blob("k").unwrap();
+        assert_eq!(s.used_bytes(), 0);
     }
 
     #[test]
@@ -237,7 +265,7 @@ mod tests {
             Err(NetError::DuplicateBlob { .. })
         ));
         // Original value untouched.
-        assert_eq!(s.fetch("k").unwrap(), "1");
+        assert_eq!(&s.fetch("k").unwrap()[..], b"1");
     }
 
     #[test]
@@ -257,7 +285,7 @@ mod tests {
         s.store("a", "1".into()).unwrap(); // op 0
         let err = s.fetch("a").unwrap_err(); // op 1 fails
         assert!(matches!(err, NetError::InjectedFailure { op: "fetch", .. }));
-        assert_eq!(s.fetch("a").unwrap(), "1"); // op 2 succeeds
+        assert_eq!(&s.fetch("a").unwrap()[..], b"1"); // op 2 succeeds
     }
 
     #[test]

@@ -41,7 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut net = net.lock().expect("net");
         let laptop = net.nearby(mw.home_device())[0];
         let xml = net.fetch_blob(mw.home_device(), laptop, "dev0-sc2-e0")?;
-        let preview: String = xml.lines().take(4).collect::<Vec<_>>().join("\n");
+        let text = std::str::from_utf8(&xml)?;
+        let preview: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
         println!("--- on the laptop ---\n{preview}\n…");
     }
 

@@ -21,8 +21,10 @@ fn swapped_world() -> (Middleware, String) {
         let net = mw.net();
         let mut net = net.lock().expect("net");
         let laptop = net.nearby(mw.home_device())[0];
-        net.fetch_blob(mw.home_device(), laptop, "dev0-sc1-e0")
-            .expect("the blob is on the laptop")
+        let data = net
+            .fetch_blob(mw.home_device(), laptop, "dev0-sc1-e0")
+            .expect("the blob is on the laptop");
+        String::from_utf8(data.to_vec()).expect("the default wire format is XML text")
     };
     (mw, xml)
 }
@@ -65,8 +67,8 @@ fn storing_device_speaks_only_store_return_drop() {
     use obiwan::net::{BlobStore, MemStore};
     let (_mw, xml) = swapped_world();
     let mut dumb = MemStore::new(DeviceId::default(), 1 << 20);
-    dumb.store("anything", xml.clone()).expect("store");
-    assert_eq!(dumb.fetch("anything").expect("return"), xml);
+    dumb.store("anything", xml.clone().into()).expect("store");
+    assert_eq!(&dumb.fetch("anything").expect("return")[..], xml.as_bytes());
     dumb.drop_blob("anything").expect("drop");
     assert_eq!(dumb.blob_count(), 0);
 }

@@ -42,9 +42,10 @@ fn swap_out_reaches_storage_through_a_relay() {
     let net = mw.net();
     {
         let net = net.lock().expect("net");
+        // The store charges key bytes on top of the payload.
         assert_eq!(
             net.stored_bytes(desktop).expect("desktop"),
-            shipped,
+            shipped + "dev0-sc2-e0".len(),
             "the blob lives on the two-hop desktop"
         );
         assert_eq!(
