@@ -27,6 +27,11 @@ OPTIONS:
     --seed <N>          schedule seed                        [default: 7]
     --wire-format <F>   blob wire format: xml | binary | lz-binary
                                                              [default: xml]
+    --replication-factor <K>
+                        holder devices per swap-out blob     [default: 1]
+    --churn             scripted churn: every 25 steps a storage device
+                        departs and the previous absentee returns,
+                        exercising holder-loss repair under audit
     --verbose           print every step, not just violating ones
     --help              show this message
 ";
@@ -60,6 +65,10 @@ fn parse_args() -> Result<Option<Options>, String> {
                     .ok_or_else(|| "--wire-format needs a value".to_string())?
                     .parse()?
             }
+            "--replication-factor" => {
+                cfg.replication_factor = numeric("--replication-factor")?.max(1) as usize
+            }
+            "--churn" => cfg.churn = true,
             "--verbose" => verbose = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown option `{other}`")),
@@ -82,7 +91,7 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "replaying {} steps over a {}-node list ({} B payload, {} objects/cluster, {} B heap, seed {}, {} blobs)",
+        "replaying {} steps over a {}-node list ({} B payload, {} objects/cluster, {} B heap, seed {}, {} blobs, k = {}{})",
         opts.cfg.steps,
         opts.cfg.nodes,
         opts.cfg.payload,
@@ -90,6 +99,8 @@ fn main() -> ExitCode {
         opts.cfg.device_memory,
         opts.cfg.seed,
         opts.cfg.wire_format,
+        opts.cfg.replication_factor,
+        if opts.cfg.churn { ", churn on" } else { "" },
     );
 
     let outcome = match replay(&opts.cfg) {

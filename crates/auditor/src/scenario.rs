@@ -30,7 +30,21 @@ pub struct TraceConfig {
     pub seed: u64,
     /// Wire format for swapped-out blobs.
     pub wire_format: obiwan_core::WireFormatKind,
+    /// Holder devices per swap-out blob (1 = the paper's single copy).
+    pub replication_factor: usize,
+    /// Scripted churn: every [`CHURN_PERIOD`] steps one storage device
+    /// departs (round-robin) and the previously departed one returns, so
+    /// the policy pump's `HolderLost` → repair path runs under audit.
+    pub churn: bool,
 }
+
+/// Steps between scripted depart/arrive pairs when [`TraceConfig::churn`]
+/// is on.
+pub const CHURN_PERIOD: usize = 25;
+
+/// Storage devices in the room under churn: one may be away at any time,
+/// leaving two candidates so `replication_factor = 2` stays repairable.
+const CHURN_STORES: usize = 3;
 
 impl Default for TraceConfig {
     fn default() -> Self {
@@ -42,6 +56,8 @@ impl Default for TraceConfig {
             steps: 300,
             seed: 7,
             wire_format: obiwan_core::WireFormatKind::default(),
+            replication_factor: 1,
+            churn: false,
         }
     }
 }
@@ -102,18 +118,64 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
     let head = server
         .build_list("Node", cfg.nodes, cfg.payload)
         .map_err(SwapError::Repl)?;
-    let mut mw = Middleware::builder()
+    let mut builder = Middleware::builder()
         .cluster_size(cfg.cluster_size)
         .device_memory(cfg.device_memory)
         .wire_format(cfg.wire_format)
-        .build(server);
+        .replication_factor(cfg.replication_factor);
+    if cfg.churn || cfg.replication_factor > 1 {
+        // Enough storage devices that one can be away while k = 2 copies
+        // still have somewhere to live (and be repaired to).
+        builder = builder.stores(
+            (0..CHURN_STORES)
+                .map(|i| {
+                    obiwan_core::StoreSpec::new(
+                        format!("store-{i}"),
+                        obiwan_net::DeviceKind::Laptop,
+                        16 << 20,
+                    )
+                })
+                .collect(),
+        );
+    }
+    let mut mw = builder.build(server);
+    let storage: Vec<obiwan_net::DeviceId> = {
+        let net = mw.net();
+        let nearby = net
+            .lock()
+            .map_err(|_| SwapError::LockPoisoned { what: "net" })?
+            .nearby(mw.home_device());
+        nearby
+    };
     let root = mw.replicate_root(head)?;
     mw.set_global("cursor", Value::Ref(root));
     mw.set_global("root", Value::Ref(root));
 
     let mut rng = cfg.seed;
     let mut steps = Vec::with_capacity(cfg.steps);
+    let mut away: Option<obiwan_net::DeviceId> = None;
+    let mut churn_cursor = 0usize;
     for step in 0..cfg.steps {
+        // Scripted churn: one device is out of the room at a time; every
+        // period the absentee returns and the next one (round-robin)
+        // leaves. The pump right after lets `HolderLost` fire and the
+        // builtin repair rule re-replicate while the audit watches.
+        if cfg.churn && step > 0 && step % CHURN_PERIOD == 0 {
+            {
+                let net = mw.net();
+                let mut net = net
+                    .lock()
+                    .map_err(|_| SwapError::LockPoisoned { what: "net" })?;
+                if let Some(back) = away.take() {
+                    net.arrive(back)?;
+                }
+                let leaver = storage[churn_cursor % storage.len()];
+                churn_cursor += 1;
+                net.depart(leaver)?;
+                away = Some(leaver);
+            }
+            mw.pump()?;
+        }
         let op = match next_rand(&mut rng) % 10 {
             0..=5 => match traverse_step(&mut mw) {
                 Ok(s) => s,
@@ -125,6 +187,14 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
                     let root = mw.global("root")?.expect_ref()?;
                     mw.set_global("cursor", Value::Ref(root));
                     format!("invoke next (tolerated heap exhaustion: {e})")
+                }
+                // Under churn every holder of the next cluster may be out
+                // of the room at once; the cluster stays swapped out and
+                // becomes reachable again when a holder returns.
+                Err(e @ SwapError::BlobUnavailable { .. }) => {
+                    let root = mw.global("root")?.expect_ref()?;
+                    mw.set_global("cursor", Value::Ref(root));
+                    format!("invoke next (tolerated unavailability: {e})")
                 }
                 Err(e) => return Err(e),
             },
@@ -221,7 +291,8 @@ fn swap_one(mw: &mut Middleware, rng: &mut u64, reload: bool) -> Result<String, 
             | SwapError::UnknownSwapCluster { .. }
             | SwapError::NothingToSwap { .. }
             | SwapError::NoStorageDevice { .. }
-            | SwapError::DataLost { .. },
+            | SwapError::DataLost { .. }
+            | SwapError::BlobUnavailable { .. },
         ) => Ok(format!(
             "{} sc{sc} (tolerated state race)",
             if reload { "swap_in" } else { "swap_out" }

@@ -6,8 +6,9 @@
 //! for error-severity rules the report flips `has_errors()`.
 
 use obiwan_auditor::{Rule, Severity};
-use obiwan_core::{Middleware, SwapClusterState, SwapConfig};
+use obiwan_core::{Middleware, StoreSpec, SwapClusterState, SwapConfig};
 use obiwan_heap::{ObjRef, ObjectKind, Value};
+use obiwan_net::DeviceKind;
 use obiwan_replication::{standard_classes, Server};
 
 /// A middleware over an `n`-node list with `per_cluster` objects per
@@ -31,6 +32,45 @@ fn warm_middleware(n: usize, per_cluster: usize) -> (Middleware, ObjRef) {
         mw.audit()
     );
     (mw, root)
+}
+
+/// Like [`warm_middleware`], but with `stores` explicit storage devices
+/// in the room and `k`-way blob placement.
+fn warm_k_middleware(stores: usize, k: usize) -> (Middleware, ObjRef) {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 40, 16).expect("build list");
+    let mut mw = Middleware::builder()
+        .cluster_size(10)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .stores(
+            (0..stores)
+                .map(|i| StoreSpec::new(format!("store-{i}"), DeviceKind::Laptop, 1 << 20))
+                .collect(),
+        )
+        .swap_config(
+            SwapConfig::default()
+                .collect_after_swap_out(false)
+                .replication_factor(k),
+        )
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate root");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm-up");
+    assert!(
+        !mw.audit().has_errors(),
+        "baseline must be clean:\n{}",
+        mw.audit()
+    );
+    (mw, root)
+}
+
+/// The active `(key, holders)` of a swapped-out cluster.
+fn holders_of(mw: &Middleware, sc: u32) -> (String, Vec<obiwan_net::DeviceId>) {
+    let manager = mw.manager();
+    let manager = manager.lock().expect("manager");
+    let (_, key, holders) = manager.holders_of(sc).expect("cluster is swapped out");
+    (key, holders)
 }
 
 /// The live member handles of swap-cluster `sc`.
@@ -293,6 +333,51 @@ fn d5_departed_store_is_a_warning_not_an_error() {
 }
 
 #[test]
+fn d7_lost_holder_is_a_warning_not_an_error() {
+    let (mut mw, _root) = warm_k_middleware(2, 2);
+    mw.swap_out(2).expect("swap out sc2");
+    let (_, held) = holders_of(&mw, 2);
+    assert_eq!(held.len(), 2, "two copies placed");
+    mw.net()
+        .lock()
+        .expect("net")
+        .depart(held[0])
+        .expect("depart");
+    let report = mw.audit();
+    assert!(
+        !report.has_errors(),
+        "one copy still reachable — degraded, not lost:\n{report}"
+    );
+    let d7 = report
+        .warnings()
+        .find(|v| v.rule == Rule::UnderReplicated)
+        .expect("D7 warning present");
+    assert_eq!(d7.severity(), Severity::Warning);
+    assert_eq!(d7.swap_cluster, Some(2));
+}
+
+#[test]
+fn d8_all_holders_blobless_is_an_error() {
+    let (mut mw, _root) = warm_k_middleware(3, 2);
+    mw.swap_out(2).expect("swap out sc2");
+    let (key, held) = holders_of(&mw, 2);
+    let home = mw.home_device();
+    // Every holder is still in the room, but each lost its copy behind
+    // the manager's back: no reload can ever succeed.
+    {
+        let net = mw.net();
+        let mut net = net.lock().expect("net");
+        for &device in &held {
+            net.drop_blob(home, device, &key)
+                .expect("drop blob behind the manager's back");
+        }
+    }
+    let report = mw.audit();
+    assert!(report.has_errors());
+    assert!(fired(&mw).contains(&"D8"), "got {:?}", fired(&mw));
+}
+
+#[test]
 fn g1_orphan_blob_is_a_warning() {
     let (mw, _root) = warm_middleware(20, 10);
     let home = mw.home_device();
@@ -371,6 +456,28 @@ fn audit_trace_replay_stays_clean() {
     assert!(
         !outcome.has_errors(),
         "replay must be violation-free:\n{}",
+        outcome.final_report
+    );
+    assert!(outcome.swap_outs > 0, "the trace must exercise swapping");
+    assert!(outcome.swap_ins > 0, "the trace must exercise reloads");
+}
+
+#[test]
+fn audit_trace_churn_replay_stays_clean() {
+    use obiwan_auditor::scenario::{replay, TraceConfig, CHURN_PERIOD};
+    let steps = 6 * CHURN_PERIOD;
+    let outcome = replay(&TraceConfig {
+        nodes: 120,
+        steps,
+        device_memory: 20 * 1024,
+        replication_factor: 2,
+        churn: true,
+        ..TraceConfig::default()
+    })
+    .expect("churn replay");
+    assert!(
+        !outcome.has_errors(),
+        "scripted churn under k = 2 must never corrupt the graph:\n{}",
         outcome.final_report
     );
     assert!(outcome.swap_outs > 0, "the trace must exercise swapping");

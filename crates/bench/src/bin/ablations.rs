@@ -54,6 +54,10 @@ fn main() {
     let dn = (n / 20).clamp(100, 500);
     let drows = obiwan_bench::dgc_traffic::run_comparison(dn, 25, 4);
     println!("{}", obiwan_bench::dgc_traffic::render(&drows, dn, 4));
+
+    // Ablation 8: reload availability and repair traffic under churn.
+    let dpoints = obiwan_bench::durability::run_sweep(40);
+    println!("{}", obiwan_bench::durability::render(&dpoints));
 }
 
 /// Compress real swap blobs and compare against the Bluetooth transfer the

@@ -1,0 +1,13 @@
+//! Emit the availability-under-churn measurements as JSON on stdout.
+//!
+//! ```text
+//! cargo run --release -p obiwan-bench --bin durability_json > BENCH_durability.json
+//! ```
+
+use obiwan_bench::durability;
+
+fn main() {
+    let rounds = 80;
+    let points = durability::run_sweep(rounds);
+    print!("{}", durability::to_json(rounds, &points));
+}

@@ -1,0 +1,243 @@
+//! Ablation 8: reload availability and repair traffic under churn.
+//!
+//! The paper ships exactly one copy of each swapped-out cluster, so a
+//! single departed neighbour makes the data unreachable. This sweep
+//! measures what `replication_factor = k` buys: for each churn rate, every
+//! round swaps a cluster out, departs each storage device with the given
+//! seeded probability, runs the policy pump (the `HolderLost` → repair
+//! path), and then attempts the reload. Availability is the fraction of
+//! reloads that found a reachable copy; repair traffic is the bytes the
+//! sweep re-replicated to stay at k copies. Everything is virtual-time and
+//! seeded — the sweep is deterministic.
+
+use obiwan_core::{Middleware, StoreSpec, SwapConfig, SwapError};
+use obiwan_heap::Value;
+use obiwan_net::DeviceKind;
+use obiwan_replication::{standard_classes, Server};
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityPoint {
+    /// Holder devices per swapped-out blob.
+    pub replication_factor: usize,
+    /// Per-round probability that each storage device departs.
+    pub churn_rate: f64,
+    /// Reload attempts made (one per round).
+    pub rounds: usize,
+    /// Reloads that found a reachable copy.
+    pub available: usize,
+    /// Repair actions the policy pump performed.
+    pub repairs: u64,
+    /// Bytes re-replicated by the repair sweep (the durability overhead).
+    pub repair_bytes: u64,
+}
+
+impl DurabilityPoint {
+    /// Reload availability in percent.
+    pub fn availability_pct(&self) -> f64 {
+        if self.rounds == 0 {
+            return 100.0;
+        }
+        self.available as f64 * 100.0 / self.rounds as f64
+    }
+}
+
+/// Splitmix-style step for the deterministic churn schedule.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)`.
+fn next_unit(state: &mut u64) -> f64 {
+    (next_rand(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Run `rounds` swap-out / churn / repair / reload rounds for one
+/// `(k, churn_rate)` configuration and return the point.
+pub fn run_point(k: usize, churn_rate: f64, rounds: usize, seed: u64) -> DurabilityPoint {
+    const STORES: usize = 4;
+    let mut server = Server::new(standard_classes());
+    let head = server
+        .build_list("Node", 40, crate::workloads::PAYLOAD_FOR_64B)
+        .expect("Node class");
+    // Builtin policies stay ON: the repair sweep rides the policy pump.
+    let mut mw = Middleware::builder()
+        .cluster_size(10)
+        .device_memory(1 << 20)
+        .stores(
+            (0..STORES)
+                .map(|i| StoreSpec::new(format!("store-{i}"), DeviceKind::Laptop, 1 << 20))
+                .collect(),
+        )
+        .swap_config(SwapConfig::default().replication_factor(k))
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+    let stores = {
+        let net = mw.net();
+        let net = net.lock().expect("net");
+        net.nearby(mw.home_device())
+    };
+
+    let mut rng = seed;
+    let mut away: Vec<obiwan_net::DeviceId> = Vec::new();
+    let mut available = 0usize;
+    for _ in 0..rounds {
+        // Everyone who left last round wanders back in, and a recovery
+        // reload (uncounted) clears any unavailability left behind.
+        {
+            let net = mw.net();
+            let mut net = net.lock().expect("net");
+            for d in away.drain(..) {
+                net.arrive(d).expect("arrive");
+            }
+        }
+        mw.pump().expect("pump after arrivals");
+        let swapped_out = {
+            let manager = mw.manager();
+            let m = manager.lock().expect("manager");
+            m.swapped_clusters().contains(&2)
+        };
+        if swapped_out {
+            mw.swap_in(2)
+                .expect("recovery reload with everyone present");
+        }
+
+        mw.swap_out(2).expect("swap out");
+        // Churn: each storage device departs with the configured
+        // probability, all in the same round.
+        {
+            let net = mw.net();
+            let mut net = net.lock().expect("net");
+            for &d in &stores {
+                if next_unit(&mut rng) < churn_rate {
+                    net.depart(d).expect("depart");
+                    away.push(d);
+                }
+            }
+        }
+        // The pump notices the departures and repairs what it can.
+        mw.pump().expect("pump after churn");
+        match mw.swap_in(2) {
+            Ok(_) => available += 1,
+            Err(SwapError::BlobUnavailable { .. }) => {}
+            Err(e) => panic!("unexpected reload failure: {e}"),
+        }
+    }
+    let stats = mw.swap_stats();
+    DurabilityPoint {
+        replication_factor: k,
+        churn_rate,
+        rounds,
+        available,
+        repairs: stats.repairs,
+        repair_bytes: stats.repair_bytes,
+    }
+}
+
+/// Sweep churn rates × replication factors.
+pub fn run_sweep(rounds: usize) -> Vec<DurabilityPoint> {
+    let mut points = Vec::new();
+    for k in [1usize, 2, 3] {
+        for rate in [0.0, 0.15, 0.30, 0.50] {
+            let seed = 0xD00D ^ ((k as u64) << 32) ^ (rate * 100.0) as u64;
+            points.push(run_point(k, rate, rounds, seed));
+        }
+    }
+    points
+}
+
+/// Render the sweep as a table.
+pub fn render(points: &[DurabilityPoint]) -> String {
+    let mut out = String::from(
+        "Ablation 8 — Reload availability and repair traffic under churn\n\
+         (seeded depart/arrive; k = 1 is the paper's single copy)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<6}{:<12}{:>8}{:>15}{:>10}{:>15}\n",
+        "k", "churn rate", "rounds", "availability", "repairs", "repair bytes"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<6}{:<12.2}{:>8}{:>14.1}%{:>10}{:>15}\n",
+            p.replication_factor,
+            p.churn_rate,
+            p.rounds,
+            p.availability_pct(),
+            p.repairs,
+            p.repair_bytes,
+        ));
+    }
+    out
+}
+
+/// Serialize the sweep as JSON (for the committed `BENCH_durability.json`
+/// snapshot; hand-rolled — the workspace carries no serde).
+pub fn to_json(rounds: usize, points: &[DurabilityPoint]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"durability.availability_under_churn\",\n");
+    out.push_str(&format!("  \"rounds\": {rounds},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"replication_factor\": {}, \"churn_rate\": {:.2}, \
+             \"availability_pct\": {:.1}, \"repairs\": {}, \"repair_bytes\": {}}}{}\n",
+            p.replication_factor,
+            p.churn_rate,
+            p.availability_pct(),
+            p.repairs,
+            p.repair_bytes,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_rooms_never_lose_a_reload() {
+        for k in [1usize, 2] {
+            let p = run_point(k, 0.0, 12, 7);
+            assert_eq!(p.available, p.rounds, "k={k} must be 100% with no churn");
+            assert_eq!(p.repair_bytes, 0, "nothing to repair without churn");
+        }
+    }
+
+    #[test]
+    fn replication_buys_availability_under_heavy_churn() {
+        let single = run_point(1, 0.5, 40, 11);
+        let triple = run_point(3, 0.5, 40, 11);
+        assert!(
+            single.available < single.rounds,
+            "heavy churn must cost the single-copy setup some reloads"
+        );
+        assert!(
+            triple.availability_pct() > single.availability_pct(),
+            "k=3 ({:.1}%) must beat k=1 ({:.1}%)",
+            triple.availability_pct(),
+            single.availability_pct()
+        );
+        assert!(
+            triple.repair_bytes > 0,
+            "staying at k=3 under churn costs repair traffic"
+        );
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        let points = run_sweep(6);
+        let json = to_json(6, &points);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"replication_factor\"").count(), points.len());
+        assert_eq!(points.len(), 12, "3 k values x 4 churn rates");
+    }
+}

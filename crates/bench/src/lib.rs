@@ -14,6 +14,8 @@
 //! * [`grouping`] sweeps the clusters-per-swap-cluster knob (Ablation 6).
 //! * [`dgc_traffic`] counts housekeeping messages against the per-object
 //!   offload DGC baseline (Ablation 7).
+//! * [`durability`] measures reload availability and repair traffic under
+//!   seeded churn for k-way placement (Ablation 8).
 //!
 //! Binaries: `fig5` prints the headline table, `ablations` prints the rest.
 //! The Criterion benches under `benches/` reuse these workloads for
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod dgc_traffic;
+pub mod durability;
 pub mod fig5;
 pub mod grouping;
 pub mod memory;

@@ -98,14 +98,24 @@ pub enum Rule {
     /// `D4` — the storing device is present but no longer holds the blob
     /// backing a swapped-out cluster.
     MissingBlob,
-    /// `D5` — the storing device of a swapped-out cluster is not currently
-    /// present in the world (reload would fail with `DataLost` until it
-    /// returns).
+    /// `D5` — a holder of a swapped-out cluster's blob is not currently
+    /// present in the world (reload fails over to the remaining holders,
+    /// or reports `BlobUnavailable` when none is left).
     StoreUnreachable,
     /// `D6` — the stored blob backing a swapped-out cluster has a header
     /// that fails to decode, or names a different swap-cluster than the
     /// entry it backs (the wrong bytes would be materialized on reload).
     BlobHeaderMismatch,
+    /// `D7` — fewer holders of a swapped-out cluster's blob are currently
+    /// reachable (present *and* holding the bytes) than
+    /// [`crate::SwapConfig::replication_factor`] asks for; the repair sweep
+    /// should top the placement back up.
+    UnderReplicated,
+    /// `D8` — not a single holder of a swapped-out cluster's blob could
+    /// possibly serve it: none is reachable and none is merely departed
+    /// (which could return with its copy). Reload will fail with
+    /// `BlobUnavailable` forever.
+    AllHoldersLost,
     /// `L1` — a loaded cluster's member record resolves to a live object
     /// whose identity, cluster tag or kind disagrees with the registry.
     MemberRecordMismatch,
@@ -137,6 +147,8 @@ impl Rule {
             Rule::MissingBlob => "D4",
             Rule::StoreUnreachable => "D5",
             Rule::BlobHeaderMismatch => "D6",
+            Rule::UnderReplicated => "D7",
+            Rule::AllHoldersLost => "D8",
             Rule::MemberRecordMismatch => "L1",
             Rule::OrphanBlob => "G1",
             Rule::DroppedNotCleared => "G2",
@@ -147,7 +159,10 @@ impl Rule {
     /// The severity class of this rule.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::StoreUnreachable | Rule::OrphanBlob | Rule::UnmediatedGlobal => Severity::Warning,
+            Rule::StoreUnreachable
+            | Rule::UnderReplicated
+            | Rule::OrphanBlob
+            | Rule::UnmediatedGlobal => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -823,18 +838,30 @@ impl SwappingManager {
         }
     }
 
-    /// Blob accounting against the simulated world (rules D4, D5, D6, G1).
+    /// Blob accounting against the simulated world (rules D4, D5, D6, D7,
+    /// D8, G1). Every holder in a swapped-out cluster's placement is
+    /// checked individually, then the copy counts are judged against the
+    /// configured replication factor.
     fn audit_blobs(&self, report: &mut AuditReport) {
         let net = self.net.lock().unwrap_or_else(PoisonError::into_inner);
-        // Expected blobs: one per swapped-out cluster, plus tracked orphans.
-        let mut expected: HashMap<(DeviceId, &str), u32> = HashMap::new();
+        // Expected blobs: every (holder, key) pair of a swapped-out
+        // cluster's placement, plus tracked orphans.
+        let mut expected: HashSet<(DeviceId, String)> = HashSet::new();
         for (&sc, entry) in &self.clusters {
-            if let SwapClusterState::SwappedOut {
-                device, ref key, ..
-            } = entry.state
-            {
-                expected.insert((device, key.as_str()), sc);
+            if !matches!(entry.state, SwapClusterState::SwappedOut { .. }) {
+                continue;
+            }
+            let Some((_, key, holders)) = self.holders_of(sc) else {
+                continue;
+            };
+            // Reachable = present and holding the bytes; possible adds
+            // departed holders, which may return with their copy intact.
+            let mut reachable = 0usize;
+            let mut possible = 0usize;
+            for &device in &holders {
+                expected.insert((device, key.clone()));
                 if !net.is_present(device) {
+                    possible += 1;
                     report.violations.push(Violation {
                         rule: Rule::StoreUnreachable,
                         swap_cluster: Some(sc),
@@ -842,11 +869,11 @@ impl SwappingManager {
                         oid: None,
                         path: vec![sc],
                         detail: format!(
-                            "storing device {device:?} of sc{sc} is not present \
-                             (reload would report DataLost until it returns)"
+                            "holder {device:?} of sc{sc} is not present \
+                             (reload fails over to the remaining holders)"
                         ),
                     });
-                } else if !net.holds_blob(device, key) {
+                } else if !net.holds_blob(device, &key) {
                     report.violations.push(Violation {
                         rule: Rule::MissingBlob,
                         swap_cluster: Some(sc),
@@ -858,36 +885,69 @@ impl SwappingManager {
                              `{key}` backing sc{sc}"
                         ),
                     });
-                } else if let Some(data) = net.blob_data(device, key) {
-                    // D6: the blob is there — its self-describing header
-                    // must decode and name this cluster (any wire format).
-                    match crate::wire::peek_header(&data) {
-                        Ok(header) if header.swap_cluster == sc => {}
-                        Ok(header) => report.violations.push(Violation {
-                            rule: Rule::BlobHeaderMismatch,
-                            swap_cluster: Some(sc),
-                            subject: None,
-                            oid: None,
-                            path: vec![sc],
-                            detail: format!(
-                                "blob `{key}` backing sc{sc} names sc{} in its \
-                                 header (reload would refuse it)",
-                                header.swap_cluster
-                            ),
-                        }),
-                        Err(e) => report.violations.push(Violation {
-                            rule: Rule::BlobHeaderMismatch,
-                            swap_cluster: Some(sc),
-                            subject: None,
-                            oid: None,
-                            path: vec![sc],
-                            detail: format!(
-                                "blob `{key}` backing sc{sc} has an undecodable \
-                                 header: {e}"
-                            ),
-                        }),
+                } else {
+                    reachable += 1;
+                    possible += 1;
+                    if let Some(data) = net.blob_data(device, &key) {
+                        // D6: the copy is there — its self-describing
+                        // header must decode and name this cluster (any
+                        // wire format).
+                        match crate::wire::peek_header(&data) {
+                            Ok(header) if header.swap_cluster == sc => {}
+                            Ok(header) => report.violations.push(Violation {
+                                rule: Rule::BlobHeaderMismatch,
+                                swap_cluster: Some(sc),
+                                subject: None,
+                                oid: None,
+                                path: vec![sc],
+                                detail: format!(
+                                    "blob `{key}` backing sc{sc} on {device:?} names \
+                                     sc{} in its header (reload would refuse it)",
+                                    header.swap_cluster
+                                ),
+                            }),
+                            Err(e) => report.violations.push(Violation {
+                                rule: Rule::BlobHeaderMismatch,
+                                swap_cluster: Some(sc),
+                                subject: None,
+                                oid: None,
+                                path: vec![sc],
+                                detail: format!(
+                                    "blob `{key}` backing sc{sc} on {device:?} has \
+                                     an undecodable header: {e}"
+                                ),
+                            }),
+                        }
                     }
                 }
+            }
+            if possible == 0 {
+                report.violations.push(Violation {
+                    rule: Rule::AllHoldersLost,
+                    swap_cluster: Some(sc),
+                    subject: None,
+                    oid: None,
+                    path: vec![sc],
+                    detail: format!(
+                        "all {} holder(s) of blob `{key}` backing sc{sc} are \
+                         present yet blobless — no copy can ever be served",
+                        holders.len()
+                    ),
+                });
+            } else if reachable < self.config.replication_factor {
+                report.violations.push(Violation {
+                    rule: Rule::UnderReplicated,
+                    swap_cluster: Some(sc),
+                    subject: None,
+                    oid: None,
+                    path: vec![sc],
+                    detail: format!(
+                        "sc{sc} has {reachable} reachable cop(y/ies) of blob \
+                         `{key}`, below the configured replication factor {} \
+                         (repair sweep pending)",
+                        self.config.replication_factor
+                    ),
+                });
             }
         }
         let tracked_orphans: HashSet<(DeviceId, &str)> = self
@@ -903,7 +963,7 @@ impl SwappingManager {
                     continue; // another PDA's blob in a shared room
                 }
                 let id = (device, key.as_str());
-                if !expected.contains_key(&id) && !tracked_orphans.contains(&id) {
+                if !expected.contains(&(device, key.clone())) && !tracked_orphans.contains(&id) {
                     report.violations.push(Violation {
                         rule: Rule::OrphanBlob,
                         swap_cluster: None,
@@ -1038,6 +1098,10 @@ mod tests {
         assert_eq!(Rule::BlobHeaderMismatch.id(), "D6");
         assert_eq!(Rule::BlobHeaderMismatch.severity(), Severity::Error);
         assert_eq!(Rule::StoreUnreachable.severity(), Severity::Warning);
+        assert_eq!(Rule::UnderReplicated.id(), "D7");
+        assert_eq!(Rule::UnderReplicated.severity(), Severity::Warning);
+        assert_eq!(Rule::AllHoldersLost.id(), "D8");
+        assert_eq!(Rule::AllHoldersLost.severity(), Severity::Error);
         assert_eq!(Rule::OrphanBlob.severity(), Severity::Warning);
         assert_eq!(Rule::UnmediatedGlobal.severity(), Severity::Warning);
         assert_eq!(Rule::MissingBlob.severity(), Severity::Error);

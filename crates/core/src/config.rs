@@ -2,6 +2,7 @@
 
 use crate::wire::WireFormatKind;
 use crate::VictimPolicy;
+use obiwan_placement::PlacementKind;
 
 /// Tunables of the Object-Swapping mechanism.
 ///
@@ -38,6 +39,16 @@ pub struct SwapConfig {
     /// from the blob's self-describing header, so rooms may mix formats;
     /// the default stays the paper's portable XML text.
     pub wire_format: WireFormatKind,
+    /// How many holder devices each swap-out blob is stored on. The
+    /// default of 1 reproduces the paper's single-copy semantics exactly;
+    /// higher values buy availability under churn at the cost of fan-out
+    /// traffic, with the repair sweep topping holders back up to `k` when
+    /// one departs.
+    pub replication_factor: usize,
+    /// Which built-in [`PlacementKind`] ranks candidate holders. The
+    /// default first-fit order is identical to the pre-placement neighbour
+    /// choice, so single-copy worlds pick the same device as before.
+    pub placement: PlacementKind,
 }
 
 impl Default for SwapConfig {
@@ -49,6 +60,8 @@ impl Default for SwapConfig {
             drop_blob_on_reload: true,
             allow_relays: false,
             wire_format: WireFormatKind::default(),
+            replication_factor: 1,
+            placement: PlacementKind::default(),
         }
     }
 }
@@ -94,6 +107,23 @@ impl SwapConfig {
         self.wire_format = kind;
         self
     }
+
+    /// Set how many holder devices store each swap-out blob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn replication_factor(mut self, k: usize) -> Self {
+        assert!(k > 0, "a blob needs at least one holder");
+        self.replication_factor = k;
+        self
+    }
+
+    /// Select the placement strategy that ranks candidate holders.
+    pub fn placement(mut self, kind: PlacementKind) -> Self {
+        self.placement = kind;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +139,15 @@ mod tests {
         assert!(c.drop_blob_on_reload);
         // The paper-faithful portable text stays the default wire format.
         assert_eq!(c.wire_format, WireFormatKind::Xml);
+        // Single-copy placement is the paper's semantics.
+        assert_eq!(c.replication_factor, 1);
+        assert_eq!(c.placement, PlacementKind::FirstFit);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one holder")]
+    fn zero_replication_rejected() {
+        let _ = SwapConfig::default().replication_factor(0);
     }
 
     #[test]

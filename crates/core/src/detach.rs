@@ -78,22 +78,32 @@ impl SwappingManager {
         // storing neighbour ("available to any user"), and their cluster
         // ids are device-local.
         let key = format!("dev{}-sc{sc}-e{epoch}", self.home.index());
-        let device = self.store_on_neighbour(sc, &key, data)?;
+        let holders = self.place_blob(sc, &key, data)?;
+        let device = *holders.first().ok_or(SwapError::NoStorageDevice {
+            swap_cluster: sc,
+            tried: 0,
+        })?;
+        let copies = holders.len();
+        self.placements.record(sc, epoch, key.clone(), holders);
         // The blob is out: consume this epoch now so a failure in the graph
         // surgery below cannot lead a retry into a duplicate key; the
-        // already-stored blob becomes an orphan to sweep.
+        // already-stored blobs become orphans to sweep.
         self.clusters
             .get_mut(&sc)
             .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?
             .epoch += 1;
         let surgery = self.detach_graph(p, sc, device, &key);
         if let Err(e) = surgery {
-            self.orphaned_blobs.push((device, key));
+            if let Some((_, placement)) = self.placements.remove(sc) {
+                for holder in placement.holders {
+                    self.orphaned_blobs.push((holder, key.clone()));
+                }
+            }
             return Err(e);
         }
 
         self.stats.swap_outs += 1;
-        self.stats.bytes_swapped_out += blob_bytes as u64;
+        self.stats.bytes_swapped_out += (blob_bytes * copies) as u64;
         self.events.push(PolicyEvent::SwappedOut {
             swap_cluster: sc as i64,
             bytes: blob_bytes as i64,
@@ -203,56 +213,57 @@ impl SwappingManager {
         Ok(None)
     }
 
-    /// Store `data` under `key` on the best nearby device, trying candidates
-    /// in preference order: preferred kind first, then most free storage,
-    /// then lowest id.
-    fn store_on_neighbour(&mut self, sc: u32, key: &str, data: Bytes) -> Result<DeviceId> {
+    /// Store `data` under `key` on up to [`crate::SwapConfig::replication_factor`]
+    /// nearby devices, trying candidates in the order the configured
+    /// placement policy ranks them (first-fit reproduces the paper's
+    /// preferred-kind / fewest-hops / most-free order). Returns the holders
+    /// that accepted a copy, primary first.
+    ///
+    /// One stored copy is enough to proceed — an under-replicated placement
+    /// is flagged by the auditor (rule D7) and topped up by the repair
+    /// sweep once more devices appear. Zero copies is
+    /// [`SwapError::NoStorageDevice`]. A hard error after partial stores
+    /// turns the stored copies into tracked orphans before propagating.
+    fn place_blob(&mut self, sc: u32, key: &str, data: Bytes) -> Result<Vec<DeviceId>> {
+        let want = self.config.replication_factor;
         let mut net = lock_net(&self.net)?;
-        let candidates_source: Vec<(DeviceId, usize)> = if self.config.allow_relays {
-            net.reachable(self.home)
-        } else {
-            net.nearby(self.home).into_iter().map(|d| (d, 1)).collect()
-        };
-        let mut candidates: Vec<(bool, usize, usize, DeviceId)> = candidates_source
-            .into_iter()
-            .filter_map(|(d, hops)| {
-                let profile = net.profile(d).ok()?;
-                let preferred = Some(profile.kind) == self.preferred_kind;
-                let free = net.free_storage(d).ok()?;
-                // The store charges key bytes too.
-                (free >= key.len() + data.len()).then_some((preferred, hops, free, d))
-            })
-            .collect();
-        // Highest preference first: preferred kind, then fewest hops, then
-        // most free space, then lowest id.
-        candidates.sort_by(|a, b| {
-            b.0.cmp(&a.0)
-                .then(a.1.cmp(&b.1))
-                .then(b.2.cmp(&a.2))
-                .then(a.3.cmp(&b.3))
-        });
+        let candidates = self.holder_candidates(&net, key, data.len(), &[]);
         let tried = candidates.len();
-        for (_, _, _, d) in candidates {
+        let mut holders: Vec<DeviceId> = Vec::new();
+        for c in candidates {
+            if holders.len() >= want {
+                break;
+            }
             // `data` is refcounted — cloning per attempt is a pointer bump,
             // not a deep copy of the blob.
             let sent = if self.config.allow_relays {
-                net.send_blob_routed(self.home, d, key, data.clone())
+                net.send_blob_routed(self.home, c.device, key, data.clone())
                     .map(|_| ())
             } else {
-                net.send_blob(self.home, d, key, data.clone()).map(|_| ())
+                net.send_blob(self.home, c.device, key, data.clone())
+                    .map(|_| ())
             };
             match sent {
-                Ok(()) => return Ok(d),
+                Ok(()) => holders.push(c.device),
                 Err(NetError::QuotaExceeded { .. })
                 | Err(NetError::InjectedFailure { .. })
                 | Err(NetError::NotConnected { .. })
                 | Err(NetError::Departed { .. }) => continue,
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    drop(net);
+                    for holder in holders {
+                        self.orphaned_blobs.push((holder, key.to_string()));
+                    }
+                    return Err(e.into());
+                }
             }
         }
-        Err(SwapError::NoStorageDevice {
-            swap_cluster: sc,
-            tried,
-        })
+        if holders.is_empty() {
+            return Err(SwapError::NoStorageDevice {
+                swap_cluster: sc,
+                tried,
+            });
+        }
+        Ok(holders)
     }
 }

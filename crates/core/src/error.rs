@@ -1,7 +1,7 @@
 //! Error type for the swapping layer.
 
 use obiwan_heap::HeapError;
-use obiwan_net::NetError;
+use obiwan_net::{DeviceId, NetError};
 use obiwan_replication::ReplError;
 use std::fmt;
 
@@ -45,6 +45,19 @@ pub enum SwapError {
         swap_cluster: u32,
         /// Description of the underlying failure.
         cause: String,
+    },
+    /// A reload tried every recorded holder of the blob and none could
+    /// serve it. Unlike [`SwapError::DataLost`] (the blob is gone for
+    /// good — dropped by GC cooperation) this is *potentially* transient:
+    /// the cluster stays swapped out, and the reload succeeds if a holder
+    /// in `tried` returns to the room.
+    BlobUnavailable {
+        /// Swap-cluster whose blob no holder could serve.
+        swap_cluster: u32,
+        /// The swap-out epoch the blob was written under.
+        epoch: u32,
+        /// Every holder that was tried, in preference order.
+        tried: Vec<DeviceId>,
     },
     /// Malformed blob content.
     Codec {
@@ -95,6 +108,21 @@ impl fmt::Display for SwapError {
                 swap_cluster,
                 cause,
             } => write!(f, "swap-cluster {swap_cluster} data lost: {cause}"),
+            SwapError::BlobUnavailable {
+                swap_cluster,
+                epoch,
+                tried,
+            } => {
+                write!(
+                    f,
+                    "swap-cluster {swap_cluster} (epoch {epoch}) unavailable: \
+                     no holder could serve the blob (tried"
+                )?;
+                for d in tried {
+                    write!(f, " {d}")?;
+                }
+                write!(f, ")")
+            }
             SwapError::Codec { message } => write!(f, "blob codec: {message}"),
             SwapError::NothingToSwap { swap_cluster } => {
                 write!(
@@ -212,6 +240,17 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains('7') && s.contains("departed"));
+    }
+
+    #[test]
+    fn blob_unavailable_lists_the_holders_tried() {
+        let e = SwapError::BlobUnavailable {
+            swap_cluster: 3,
+            epoch: 2,
+            tried: Vec::new(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("swap-cluster 3") && s.contains("epoch 2"), "{s}");
     }
 
     #[test]

@@ -36,26 +36,43 @@ impl SwappingManager {
             match fin.kind {
                 ObjectKind::Replacement => {
                     let sc = fin.swap_cluster;
-                    let Some(entry) = self.clusters.get_mut(&sc) else {
+                    if !matches!(
+                        self.clusters.get(&sc).map(|e| &e.state),
+                        Some(SwapClusterState::SwappedOut { .. })
+                    ) {
+                        continue;
+                    }
+                    // Fan the drop out to every holder of the blob, not
+                    // just the primary.
+                    let Some((_, key, holders)) = self.holders_of(sc) else {
                         continue;
                     };
-                    if let SwapClusterState::SwappedOut { device, key, .. } = entry.state.clone() {
-                        let ok = {
-                            let mut net = lock_net(&self.net)?;
-                            if self.config.allow_relays {
-                                net.drop_blob_routed(self.home, device, &key).is_ok()
+                    let mut any_dropped = false;
+                    {
+                        let mut net = lock_net(&self.net)?;
+                        for &holder in &holders {
+                            let ok = if self.config.allow_relays {
+                                net.drop_blob_routed(self.home, holder, &key).is_ok()
                             } else {
-                                net.drop_blob(self.home, device, &key).is_ok()
+                                net.drop_blob(self.home, holder, &key).is_ok()
+                            };
+                            if ok {
+                                self.stats.blobs_dropped += 1;
+                                any_dropped = true;
+                            } else {
+                                // Holder departed or already lost the blob:
+                                // account for it and track the possible
+                                // stale copy for the orphan sweep.
+                                self.stats.drop_failures += 1;
+                                self.orphaned_blobs.push((holder, key.clone()));
                             }
-                        };
-                        if ok {
-                            self.stats.blobs_dropped += 1;
-                            dropped += 1;
-                        } else {
-                            // Device departed or already lost the blob: we
-                            // can only account for it.
-                            self.stats.drop_failures += 1;
                         }
+                    }
+                    if any_dropped {
+                        dropped += 1;
+                    }
+                    self.placements.remove(sc);
+                    if let Some(entry) = self.clusters.get_mut(&sc) {
                         entry.state = SwapClusterState::Dropped;
                         for (oid, _) in entry.members.drain(..) {
                             p.clear_swapped(oid);

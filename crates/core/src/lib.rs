@@ -24,6 +24,12 @@
 //!   **reloads** the whole swap-cluster and re-patches the inbound proxies.
 //! * **GC cooperation**: when a replacement-object is collected, the manager
 //!   instructs the storing device to drop the blob ([`Middleware::run_gc`]).
+//! * **Durability** (beyond the paper): [`SwapConfig::replication_factor`]
+//!   stores each blob on *k* neighbours ranked by a pluggable
+//!   [`PlacementPolicy`]; reload fails over between holders, and a repair
+//!   sweep (policy action `repair-placements`) re-replicates from a
+//!   surviving copy when a holder departs. The default `k = 1` reproduces
+//!   the paper's single-copy semantics exactly.
 //! * The **iteration optimization** ([`SwappingManager::assign`], paper §4)
 //!   marks a swap-cluster-0 proxy so it patches itself instead of minting a
 //!   proxy per loop step — Figure 5's Test B2.
@@ -93,6 +99,10 @@ pub use error::SwapError;
 pub use identity::{identity_key, same_object, IdentityKey};
 pub use manager::{SharedManager, SwapStats, SwappingManager};
 pub use middleware::{Middleware, MiddlewareBuilder, MiddlewareStats, StoreSpec};
+pub use obiwan_placement::{
+    FirstFit, HolderCandidate, LinkCostAware, Placement, PlacementKind, PlacementPolicy,
+    PlacementTable, SpreadByFreeStorage,
+};
 pub use swap_cluster::{SwapClusterEntry, SwapClusterState};
 pub use victim::VictimPolicy;
 pub use wire::{BinaryFormat, Lz, WireFormat, WireFormatKind, XmlFormat};

@@ -13,10 +13,11 @@ use crate::proxy;
 use crate::swap_cluster::{SwapClusterEntry, SwapClusterState};
 use crate::{Result, SwapConfig, SwapError, VictimPolicy};
 use obiwan_heap::{ObjRef, ObjectKind, Oid, WeakRef};
-use obiwan_net::{DeviceId, DeviceKind, SimNet};
+use obiwan_net::{DeviceId, DeviceKind, NetError, SimNet};
+use obiwan_placement::{HolderCandidate, PlacementPolicy, PlacementTable};
 use obiwan_policy::PolicyEvent;
 use obiwan_replication::{ClusterInfo, Interceptor, Process, ReplError, Resolved};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A shared simulated world.
@@ -68,6 +69,14 @@ pub struct SwapStats {
     pub bytes_swapped_out: u64,
     /// Payload bytes fetched back on reloads.
     pub bytes_swapped_in: u64,
+    /// Reloads that succeeded only after failing over past an unreachable
+    /// holder.
+    pub reload_failovers: u64,
+    /// Repair-sweep passes that re-replicated at least one blob.
+    pub repairs: u64,
+    /// Bytes the repair sweep moved (fetches from surviving holders plus
+    /// stores onto new ones).
+    pub repair_bytes: u64,
 }
 
 /// The swapping manager. One per device process; installed as the
@@ -103,6 +112,18 @@ pub struct SwappingManager {
     /// (a swap-out failed after its blob was stored); dropped
     /// opportunistically.
     pub(crate) orphaned_blobs: Vec<(DeviceId, String)>,
+    /// Where every swapped-out cluster's blob copies live.
+    pub(crate) placements: PlacementTable,
+    /// Ranks candidate holders on swap-out and repair
+    /// ([`SwapConfig::placement`]).
+    pub(crate) placement_policy: Box<dyn PlacementPolicy>,
+    /// (swap-cluster, holder) losses already reported as
+    /// [`PolicyEvent::HolderLost`], so churn does not re-fire every pump.
+    lost_reported: HashSet<(u32, DeviceId)>,
+    /// [`SimNet::churn_seq`] at the last holder-loss scan; an unchanged
+    /// sequence lets [`SwappingManager::note_departures`] skip the
+    /// placement-table sweep entirely on quiet pumps.
+    seen_churn_seq: Option<u64>,
 }
 
 impl SwappingManager {
@@ -124,6 +145,10 @@ impl SwappingManager {
             stats: SwapStats::default(),
             events: Vec::new(),
             orphaned_blobs: Vec::new(),
+            placements: PlacementTable::new(),
+            placement_policy: config.placement.policy(),
+            lost_reported: HashSet::new(),
+            seen_churn_seq: None,
         }
     }
 
@@ -216,6 +241,268 @@ impl SwappingManager {
             self.victim_cursor = id;
         }
         pick
+    }
+
+    // --- Durability: placement table, holder loss, repair sweep --------------
+
+    /// Read-only view of the placement table (auditor, tests, benches).
+    pub fn placements(&self) -> &PlacementTable {
+        &self.placements
+    }
+
+    /// The holder set backing swap-cluster `sc` while it is swapped out:
+    /// `(epoch, key, holders)` from the placement table, falling back to
+    /// the single device recorded in the entry state (worlds whose state
+    /// was crafted directly, e.g. by injection tests).
+    pub fn holders_of(&self, sc: u32) -> Option<(u32, String, Vec<DeviceId>)> {
+        if let Some((epoch, p)) = self.placements.active(sc) {
+            return Some((epoch, p.key.clone(), p.holders.clone()));
+        }
+        let entry = self.clusters.get(&sc)?;
+        if let SwapClusterState::SwappedOut {
+            device, ref key, ..
+        } = entry.state
+        {
+            // The entry's epoch was bumped right after the store, so the
+            // blob on the wire carries the previous one.
+            Some((entry.epoch.wrapping_sub(1), key.clone(), vec![device]))
+        } else {
+            None
+        }
+    }
+
+    /// Candidate holders for a blob of `need` bytes under `key`, ranked by
+    /// the configured placement policy. Devices in `exclude` (current
+    /// holders) are skipped.
+    pub(crate) fn holder_candidates(
+        &self,
+        net: &SimNet,
+        key: &str,
+        need: usize,
+        exclude: &[DeviceId],
+    ) -> Vec<HolderCandidate> {
+        let source: Vec<(DeviceId, usize)> = if self.config.allow_relays {
+            net.reachable(self.home)
+        } else {
+            net.nearby(self.home).into_iter().map(|d| (d, 1)).collect()
+        };
+        let mut candidates: Vec<HolderCandidate> = source
+            .into_iter()
+            .filter(|(d, _)| !exclude.contains(d))
+            .filter_map(|(d, hops)| {
+                let profile = net.profile(d).ok()?;
+                let kind_preferred = Some(profile.kind) == self.preferred_kind;
+                let free = net.free_storage(d).ok()?;
+                // The store charges key bytes too.
+                (free >= key.len() + need).then_some(HolderCandidate {
+                    device: d,
+                    kind_preferred,
+                    hops,
+                    free_storage: free,
+                })
+            })
+            .collect();
+        self.placement_policy.rank(&mut candidates);
+        candidates
+    }
+
+    /// Detect blob holders that departed since the last pump and emit one
+    /// [`PolicyEvent::HolderLost`] per fresh loss. A holder that returns
+    /// is eligible to be reported again if it departs later.
+    pub fn note_departures(&mut self) -> Result<()> {
+        let present: HashSet<DeviceId> = {
+            let net = lock_net(&self.net)?;
+            // Departure notification: an unchanged churn sequence means no
+            // device moved and no link changed since the last scan, so the
+            // placement sweep below would find exactly what it found then.
+            let seq = net.churn_seq();
+            if self.seen_churn_seq == Some(seq) {
+                return Ok(());
+            }
+            self.seen_churn_seq = Some(seq);
+            if self.config.allow_relays {
+                net.reachable(self.home)
+                    .into_iter()
+                    .map(|(d, _)| d)
+                    .collect()
+            } else {
+                net.nearby(self.home).into_iter().collect()
+            }
+        };
+        let mut fresh: Vec<(u32, DeviceId, i64)> = Vec::new();
+        for (sc, _epoch, placement) in self.placements.iter() {
+            let left = placement
+                .holders
+                .iter()
+                .filter(|d| present.contains(d))
+                .count() as i64;
+            for &holder in &placement.holders {
+                if present.contains(&holder) {
+                    self.lost_reported.remove(&(sc, holder));
+                } else if !self.lost_reported.contains(&(sc, holder)) {
+                    fresh.push((sc, holder, left));
+                }
+            }
+        }
+        for (sc, holder, left) in fresh {
+            self.lost_reported.insert((sc, holder));
+            self.events.push(PolicyEvent::HolderLost {
+                swap_cluster: sc as i64,
+                device: holder.index() as i64,
+                holders_left: left,
+            });
+        }
+        Ok(())
+    }
+
+    /// The repair sweep: for every swapped-out cluster whose blob has
+    /// fewer reachable copies than [`SwapConfig::replication_factor`],
+    /// re-replicate from a surviving holder onto fresh devices — while the
+    /// cluster stays swapped out, exactly as a decentralized content-repair
+    /// pass would. Departed holders are pruned from the placement (their
+    /// stale copies become tracked orphans, swept if they return); a
+    /// cluster whose every holder is gone keeps its record so a returning
+    /// holder makes the blob reachable again.
+    ///
+    /// Returns `(clusters_repaired, bytes_moved)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::LockPoisoned`], or hard network errors; per-device
+    /// refusals (quota, departure, injected faults) are skipped.
+    pub fn repair_placements(&mut self) -> Result<(u64, u64)> {
+        let k = self.config.replication_factor;
+        let allow_relays = self.config.allow_relays;
+        let home = self.home;
+        let entries: Vec<(u32, u32, String, Vec<DeviceId>)> = self
+            .placements
+            .iter()
+            .map(|(sc, epoch, p)| (sc, epoch, p.key.clone(), p.holders.clone()))
+            .collect();
+        let mut repaired = 0u64;
+        let mut moved = 0u64;
+        for (sc, epoch, key, holders) in entries {
+            let mut net = lock_net(&self.net)?;
+            let present: HashSet<DeviceId> = if allow_relays {
+                net.reachable(home).into_iter().map(|(d, _)| d).collect()
+            } else {
+                net.nearby(home).into_iter().collect()
+            };
+            // Live = still reachable and still holding the bytes.
+            let mut live: Vec<DeviceId> = holders
+                .iter()
+                .copied()
+                .filter(|&d| present.contains(&d) && net.holds_blob(d, &key))
+                .collect();
+            // Re-adopt copies already sitting on reachable devices outside
+            // the holder list — a pruned holder that walked back in with
+            // its copy intact. The key embeds home device, cluster and
+            // epoch, so an exact key match *is* the current bytes; adopting
+            // it costs no airtime where a re-replication would.
+            for d in net.holders_of_key(&key) {
+                if d != home && present.contains(&d) && !live.contains(&d) {
+                    live.push(d);
+                    self.orphaned_blobs
+                        .retain(|(od, ok)| !(*od == d && *ok == key));
+                }
+            }
+            let dead: Vec<DeviceId> = holders
+                .iter()
+                .copied()
+                .filter(|d| !present.contains(d))
+                .collect();
+            if live.is_empty() {
+                // No copy to repair from; keep the record — a departed
+                // holder returning makes the blob reachable again.
+                continue;
+            }
+            let deficit = k.saturating_sub(live.len());
+            let mut added: Vec<DeviceId> = Vec::new();
+            if deficit > 0 {
+                let mut data = None;
+                for &src in &live {
+                    let fetched = if allow_relays {
+                        net.fetch_blob_routed(home, src, &key).map(|(_, b)| b)
+                    } else {
+                        net.fetch_blob(home, src, &key)
+                    };
+                    match fetched {
+                        Ok(b) => {
+                            data = Some(b);
+                            break;
+                        }
+                        Err(NetError::Departed { .. })
+                        | Err(NetError::UnknownBlob { .. })
+                        | Err(NetError::NotConnected { .. })
+                        | Err(NetError::InjectedFailure { .. }) => continue,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                let Some(data) = data else { continue };
+                moved += data.len() as u64;
+                let candidates = self.holder_candidates(&net, &key, data.len(), &holders);
+                for c in candidates {
+                    if added.len() >= deficit {
+                        break;
+                    }
+                    let sent = if allow_relays {
+                        net.send_blob_routed(home, c.device, &key, data.clone())
+                            .map(|_| ())
+                    } else {
+                        net.send_blob(home, c.device, &key, data.clone())
+                            .map(|_| ())
+                    };
+                    match sent {
+                        Ok(()) => {
+                            added.push(c.device);
+                            moved += data.len() as u64;
+                        }
+                        Err(NetError::DuplicateBlob { .. }) => {
+                            // The device already holds this exact key —
+                            // a pruned holder that returned with its copy
+                            // intact. Re-adopt the copy instead of
+                            // sweeping it as an orphan.
+                            added.push(c.device);
+                            self.orphaned_blobs
+                                .retain(|(d, k2)| !(*d == c.device && *k2 == key));
+                        }
+                        Err(NetError::QuotaExceeded { .. })
+                        | Err(NetError::InjectedFailure { .. })
+                        | Err(NetError::NotConnected { .. })
+                        | Err(NetError::Departed { .. }) => continue,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            drop(net);
+            let new_holders: Vec<DeviceId> =
+                live.iter().copied().chain(added.iter().copied()).collect();
+            if new_holders != holders {
+                // Stale copies on pruned (departed) holders get swept if
+                // the device ever returns.
+                for &d in &dead {
+                    self.orphaned_blobs.push((d, key.clone()));
+                    self.lost_reported.remove(&(sc, d));
+                }
+                self.placements
+                    .record(sc, epoch, key.clone(), new_holders.clone());
+                if let Some(entry) = self.clusters.get_mut(&sc) {
+                    if let SwapClusterState::SwappedOut { device, .. } = &mut entry.state {
+                        if let Some(&primary) = new_holders.first() {
+                            *device = primary;
+                        }
+                    }
+                }
+                if !added.is_empty() {
+                    repaired += 1;
+                }
+            }
+        }
+        if repaired > 0 {
+            self.stats.repairs += repaired;
+        }
+        self.stats.repair_bytes += moved;
+        Ok((repaired, moved))
     }
 
     // --- Swap-cluster assignment (replication listener) ---------------------

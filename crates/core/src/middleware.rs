@@ -143,6 +143,24 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// How many nearby devices hold a copy of each swap-out blob
+    /// (default 1 — the paper's single-copy semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn replication_factor(mut self, k: usize) -> Self {
+        self.swap_config = self.swap_config.replication_factor(k);
+        self
+    }
+
+    /// Placement strategy used to rank candidate holders at swap-out and
+    /// during repair (default: first-fit, the paper's order).
+    pub fn placement(mut self, kind: obiwan_placement::PlacementKind) -> Self {
+        self.swap_config = self.swap_config.placement(kind);
+        self
+    }
+
     /// Full swap configuration.
     pub fn swap_config(mut self, config: SwapConfig) -> Self {
         self.swap_config = config;
@@ -690,6 +708,10 @@ impl Middleware {
         }
         {
             let mut manager = lock_manager(&self.manager)?;
+            // Compare the placement table against the room before draining:
+            // a holder that walked away surfaces as `HolderLost` in this
+            // same pump, so the repair policy reacts without a second tick.
+            manager.note_departures()?;
             events.extend(manager.take_events());
         }
         {
@@ -757,6 +779,10 @@ impl Middleware {
                 };
                 let mut manager = lock_manager(&self.manager)?;
                 manager.set_preferred_kind(parsed);
+            }
+            Action::RepairPlacements => {
+                let mut manager = lock_manager(&self.manager)?;
+                manager.repair_placements()?;
             }
             Action::Log { message } => self.log.push(message),
         }

@@ -31,23 +31,19 @@ impl SwappingManager {
     /// [`SwapError::UnknownSwapCluster`], [`SwapError::BadState`] when the
     /// cluster is loaded, [`SwapError::DataLost`] when the cluster was
     /// dropped by the GC cooperation (its replacement-object died and the
-    /// blob was released) or the storing device is gone or no longer holds
-    /// the blob (in the device case the cluster stays swapped out so the
-    /// operation can be retried if the device returns), plus codec / heap
-    /// errors (out-of-memory leaves the cluster swapped out and the graph
-    /// untouched).
+    /// blob was released), [`SwapError::BlobUnavailable`] when every
+    /// recorded holder was tried and none could serve the blob (the
+    /// cluster stays swapped out so the operation can be retried if a
+    /// holder returns), plus codec / heap errors (out-of-memory leaves the
+    /// cluster swapped out and the graph untouched).
     pub fn swap_in(&mut self, p: &mut Process, sc: u32) -> Result<usize> {
-        let (device, key, replacement) = {
+        let replacement = {
             let entry = self
                 .clusters
                 .get(&sc)
                 .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
             match &entry.state {
-                SwapClusterState::SwappedOut {
-                    device,
-                    key,
-                    replacement,
-                } => (*device, key.clone(), *replacement),
+                SwapClusterState::SwappedOut { replacement, .. } => *replacement,
                 SwapClusterState::Dropped => {
                     // The replacement-object died unreferenced and the GC
                     // cooperation released the blob; there is nothing left
@@ -68,29 +64,49 @@ impl SwappingManager {
                 }
             }
         };
-        let data = {
+        let (epoch, key, holders) = self
+            .holders_of(sc)
+            .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
+        // Failover fetch: try holders in preference order; a holder that
+        // departed, lost the blob or became unroutable just moves us to
+        // the next copy.
+        let mut data = None;
+        let mut tried: Vec<obiwan_net::DeviceId> = Vec::new();
+        {
             let mut net = lock_net(&self.net)?;
-            let fetched = if self.config.allow_relays {
-                net.fetch_blob_routed(self.home, device, &key)
-                    .map(|(_, data)| data)
-            } else {
-                net.fetch_blob(self.home, device, &key)
-            };
-            match fetched {
-                Ok(data) => data,
-                Err(
-                    e @ (NetError::Departed { .. }
-                    | NetError::UnknownBlob { .. }
-                    | NetError::NotConnected { .. }),
-                ) => {
-                    return Err(SwapError::DataLost {
-                        swap_cluster: sc,
-                        cause: e.to_string(),
-                    })
+            for &holder in &holders {
+                let fetched = if self.config.allow_relays {
+                    net.fetch_blob_routed(self.home, holder, &key)
+                        .map(|(_, data)| data)
+                } else {
+                    net.fetch_blob(self.home, holder, &key)
+                };
+                match fetched {
+                    Ok(bytes) => {
+                        data = Some(bytes);
+                        break;
+                    }
+                    Err(NetError::Departed { .. })
+                    | Err(NetError::UnknownBlob { .. })
+                    | Err(NetError::NotConnected { .. })
+                    | Err(NetError::InjectedFailure { .. }) => {
+                        tried.push(holder);
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
                 }
-                Err(e) => return Err(e.into()),
             }
+        }
+        let Some(data) = data else {
+            return Err(SwapError::BlobUnavailable {
+                swap_cluster: sc,
+                epoch,
+                tried,
+            });
         };
+        if !tried.is_empty() {
+            self.stats.reload_failovers += 1;
+        }
         let blob_bytes = data.len();
         let blob = wire::decode_blob(&data)?;
         if blob.swap_cluster != sc {
@@ -200,14 +216,32 @@ impl SwappingManager {
         }
         if self.config.drop_blob_on_reload {
             let mut net = lock_net(&self.net)?;
-            let dropped = if self.config.allow_relays {
-                net.drop_blob_routed(self.home, device, &key)
-            } else {
-                net.drop_blob(self.home, device, &key)
-            };
-            match dropped {
-                Ok(()) => self.stats.blobs_dropped += 1,
-                Err(_) => self.stats.drop_failures += 1,
+            for &holder in &holders {
+                let dropped = if self.config.allow_relays {
+                    net.drop_blob_routed(self.home, holder, &key)
+                } else {
+                    net.drop_blob(self.home, holder, &key)
+                };
+                match dropped {
+                    Ok(()) => self.stats.blobs_dropped += 1,
+                    Err(_) => {
+                        // Unreachable holder: its copy survives the reload.
+                        // Track it as an orphan so a future sweep (or the
+                        // repair pass re-adopting it) keeps the room clean.
+                        self.stats.drop_failures += 1;
+                        self.orphaned_blobs.push((holder, key.clone()));
+                    }
+                }
+            }
+        }
+        // Loaded again: the placement record is retired either way (without
+        // eager drops, the remaining copies become tracked orphans swept at
+        // the next swap-out).
+        if let Some((_, placement)) = self.placements.remove(sc) {
+            if !self.config.drop_blob_on_reload {
+                for holder in placement.holders {
+                    self.orphaned_blobs.push((holder, key.clone()));
+                }
             }
         }
         self.stats.swap_ins += 1;

@@ -193,7 +193,7 @@ fn swap_out_falls_back_to_second_device_when_first_is_full() {
 }
 
 #[test]
-fn reload_after_device_departure_reports_data_lost_and_recovers_on_return() {
+fn reload_after_device_departure_reports_blob_unavailable_and_recovers_on_return() {
     let (mut mw, root) = list_middleware(20, 10, 1 << 20);
     warm(&mut mw, root, 20);
     mw.swap_out(2).unwrap();
@@ -204,13 +204,14 @@ fn reload_after_device_departure_reports_data_lost_and_recovers_on_return() {
     };
     mw.net().lock().unwrap().depart(laptop).unwrap();
     let err = mw.swap_in(2).unwrap_err();
-    assert!(matches!(
-        err,
-        SwapError::DataLost {
+    match err {
+        SwapError::BlobUnavailable {
             swap_cluster: 2,
+            ref tried,
             ..
-        }
-    ));
+        } => assert_eq!(tried.as_slice(), &[laptop]),
+        other => panic!("expected BlobUnavailable for sc2, got {other:?}"),
+    }
     // Still swapped out; when the device returns the reload succeeds.
     mw.net().lock().unwrap().arrive(laptop).unwrap();
     mw.swap_in(2).unwrap();

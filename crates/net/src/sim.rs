@@ -29,6 +29,7 @@ pub struct SimNet {
     trace: Vec<TraceEvent>,
     bytes_sent: u64,
     bytes_fetched: u64,
+    churn_seq: u64,
 }
 
 impl SimNet {
@@ -93,6 +94,7 @@ impl SimNet {
         self.state(a)?;
         self.state(b)?;
         self.links.insert(key(a, b), link);
+        self.churn_seq += 1;
         self.push_trace(TraceKind::Linked { a, b });
         Ok(())
     }
@@ -100,6 +102,7 @@ impl SimNet {
     /// Remove the link between two devices (if any).
     pub fn disconnect(&mut self, a: DeviceId, b: DeviceId) {
         if self.links.remove(&key(a, b)).is_some() {
+            self.churn_seq += 1;
             self.push_trace(TraceKind::Unlinked { a, b });
         }
     }
@@ -165,6 +168,7 @@ impl SimNet {
             s.present = false;
             s.store.blob_count()
         };
+        self.churn_seq += 1;
         self.push_trace(TraceKind::DeviceDeparted {
             device,
             blobs_lost_reach: blobs,
@@ -179,8 +183,17 @@ impl SimNet {
     /// [`NetError::UnknownDevice`].
     pub fn arrive(&mut self, device: DeviceId) -> Result<()> {
         self.state_mut(device)?.present = true;
+        self.churn_seq += 1;
         self.push_trace(TraceKind::DeviceArrived { device });
         Ok(())
+    }
+
+    /// Monotonic counter bumped by every topology change — departures,
+    /// arrivals, links made and broken. Churn observers (the swapping
+    /// manager's holder-loss detector) poll it to skip full presence scans
+    /// on quiet pumps: an unchanged sequence means nobody moved.
+    pub fn churn_seq(&self) -> u64 {
+        self.churn_seq
     }
 
     /// Whether the device is currently present.
@@ -275,6 +288,19 @@ impl SimNet {
     /// it).
     pub fn device_ids(&self) -> Vec<DeviceId> {
         (0..self.devices.len() as u32).map(DeviceId).collect()
+    }
+
+    /// Every *present* device currently storing a blob under `key`, in id
+    /// order (control-plane query, free of charge). The repair sweep uses
+    /// it to re-adopt a copy that walked back into the room instead of
+    /// shipping a redundant one.
+    pub fn holders_of_key(&self, key: &str) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.present && d.store.contains(key))
+            .map(|(i, _)| DeviceId(i as u32))
+            .collect()
     }
 
     /// Keys of every blob currently stored on a device (control-plane
@@ -485,6 +511,44 @@ mod tests {
         let drained = net.take_trace();
         assert_eq!(drained.len(), 5);
         assert!(net.trace().is_empty());
+    }
+
+    #[test]
+    fn churn_seq_counts_topology_changes_only() {
+        let (mut net, pda, laptop) = world();
+        let s0 = net.churn_seq();
+        // Transfers are not churn.
+        net.send_blob(pda, laptop, "k", "abc".into()).unwrap();
+        net.fetch_blob(pda, laptop, "k").unwrap();
+        assert_eq!(net.churn_seq(), s0);
+        net.depart(laptop).unwrap();
+        assert_eq!(net.churn_seq(), s0 + 1);
+        net.arrive(laptop).unwrap();
+        assert_eq!(net.churn_seq(), s0 + 2);
+        net.disconnect(pda, laptop);
+        assert_eq!(net.churn_seq(), s0 + 3);
+        net.disconnect(pda, laptop); // already gone: no change
+        assert_eq!(net.churn_seq(), s0 + 3);
+        net.connect(pda, laptop, LinkSpec::bluetooth()).unwrap();
+        assert_eq!(net.churn_seq(), s0 + 4);
+    }
+
+    #[test]
+    fn holders_of_key_lists_present_holders_in_id_order() {
+        let mut net = SimNet::new();
+        let pda = net.add_device("pda", DeviceKind::Pda, 0);
+        let a = net.add_device("a", DeviceKind::Laptop, 100);
+        let b = net.add_device("b", DeviceKind::Desktop, 100);
+        net.connect(pda, a, LinkSpec::bluetooth()).unwrap();
+        net.connect(pda, b, LinkSpec::wifi()).unwrap();
+        net.send_blob(pda, a, "k", "x".into()).unwrap();
+        net.send_blob(pda, b, "k", "x".into()).unwrap();
+        net.send_blob(pda, b, "other", "y".into()).unwrap();
+        assert_eq!(net.holders_of_key("k"), vec![a, b]);
+        // Departed holders are not offered.
+        net.depart(a).unwrap();
+        assert_eq!(net.holders_of_key("k"), vec![b]);
+        assert!(net.holders_of_key("nope").is_empty());
     }
 
     #[test]

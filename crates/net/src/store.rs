@@ -56,10 +56,20 @@ pub trait BlobStore {
 /// Operations are counted across all three verbs; when the counter reaches
 /// an entry in `fail_at`, that operation fails with
 /// [`NetError::InjectedFailure`] (and still consumes the count).
+///
+/// A plan may additionally carry a *seeded probabilistic* mode
+/// ([`FailurePlan::fail_with_rate`]): each operation index is hashed with
+/// the seed and fails when the hash lands under the rate threshold. The
+/// outcome is a pure function of `(seed, op index)` — replaying the same
+/// operation sequence reproduces the same failures, so churn/repair tests
+/// and benches stay deterministic without hand-placed indices.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FailurePlan {
     /// 0-based operation indices that must fail.
     pub fail_at: Vec<u64>,
+    /// Probabilistic mode: `(seed, threshold)` — operation `n` fails when
+    /// `mix(seed, n) < threshold`. `None` disables the mode.
+    rate: Option<(u64, u64)>,
 }
 
 impl FailurePlan {
@@ -70,12 +80,43 @@ impl FailurePlan {
 
     /// Fail the n-th operation (0-based), once.
     pub fn fail_once_at(n: u64) -> Self {
-        FailurePlan { fail_at: vec![n] }
+        FailurePlan {
+            fail_at: vec![n],
+            rate: None,
+        }
+    }
+
+    /// Fail each operation independently with probability `rate` (clamped
+    /// to `0.0..=1.0`), derived deterministically from `seed` and the
+    /// operation index — same seed, same sequence, same failures.
+    pub fn fail_with_rate(seed: u64, rate: f64) -> Self {
+        let threshold = (rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+        FailurePlan {
+            fail_at: Vec::new(),
+            rate: Some((seed, threshold)),
+        }
     }
 
     fn should_fail(&self, op_counter: u64) -> bool {
-        self.fail_at.contains(&op_counter)
+        if self.fail_at.contains(&op_counter) {
+            return true;
+        }
+        match self.rate {
+            Some((seed, threshold)) => {
+                mix(seed ^ op_counter.wrapping_mul(0x9e37_79b9_7f4a_7c15)) < threshold
+            }
+            None => false,
+        }
     }
+}
+
+/// Splitmix64 finalizer — the deterministic hash behind
+/// [`FailurePlan::fail_with_rate`].
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// In-memory quota-enforcing blob store — what a laptop, desktop, PDA or
@@ -286,6 +327,41 @@ mod tests {
         let err = s.fetch("a").unwrap_err(); // op 1 fails
         assert!(matches!(err, NetError::InjectedFailure { op: "fetch", .. }));
         assert_eq!(&s.fetch("a").unwrap()[..], b"1"); // op 2 succeeds
+    }
+
+    #[test]
+    fn rate_plan_is_deterministic_for_a_seed() {
+        // The same (seed, rate) fails the same operation indices on every
+        // run; a different seed picks a different set.
+        let failures = |seed: u64, rate: f64| -> Vec<u64> {
+            let plan = FailurePlan::fail_with_rate(seed, rate);
+            (0..200).filter(|&n| plan.should_fail(n)).collect()
+        };
+        let a = failures(7, 0.25);
+        assert_eq!(a, failures(7, 0.25), "same seed must replay identically");
+        assert_ne!(a, failures(8, 0.25), "different seed, different plan");
+        // Roughly a quarter of 200 ops fail — wide deterministic bounds.
+        assert!((20..=80).contains(&a.len()), "got {} failures", a.len());
+    }
+
+    #[test]
+    fn rate_plan_extremes_never_and_always_fail() {
+        let never = FailurePlan::fail_with_rate(3, 0.0);
+        let always = FailurePlan::fail_with_rate(3, 1.0);
+        assert!((0..100).all(|n| !never.should_fail(n)));
+        // A threshold of u64::MAX leaves at most a rounding sliver; every
+        // index we probe must fail.
+        assert!((0..100).all(|n| always.should_fail(n)));
+    }
+
+    #[test]
+    fn rate_plan_injects_through_the_store() {
+        let mut s = store();
+        s.set_failure_plan(FailurePlan::fail_with_rate(11, 1.0));
+        assert!(matches!(
+            s.store("k", "1".into()),
+            Err(NetError::InjectedFailure { op: "store", .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! Blob durability for the Object-Swapping middleware: **where** swap
+//! blobs live, and keeping them alive under churn.
+//!
+//! The paper ships every swapped-out cluster to exactly one "nearby dumb
+//! device" — one departure and the cluster is unrecoverable. This crate
+//! generalizes that to **k-way placement** in the spirit of lightweight
+//! decentralized replica placement for mobile networks:
+//!
+//! * [`PlacementPolicy`] ranks candidate holder devices; the built-in
+//!   strategies are [`PlacementKind::FirstFit`] (the paper's behaviour —
+//!   preferred kind, then fewest hops, then most free storage),
+//!   [`PlacementKind::SpreadByFreeStorage`] (spread load onto the
+//!   emptiest stores first) and [`PlacementKind::LinkCostAware`]
+//!   (minimize radio airtime by hop count above all).
+//! * [`PlacementTable`] records `(swap_cluster, epoch) → holders` so the
+//!   swapping manager can fan stores out on detach, fail over between
+//!   holders on reload, fan drops out from the GC bridge, and re-replicate
+//!   from a surviving holder when one walks away (the repair sweep).
+//!
+//! With `replication_factor = 1` the table holds a single device per
+//! cluster and first-fit ranking reproduces the paper's single-copy
+//! semantics byte-for-byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use obiwan_net::DeviceId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One device volunteering (or considered) to hold a blob copy, with the
+/// attributes the built-in policies rank by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HolderCandidate {
+    /// The candidate device.
+    pub device: DeviceId,
+    /// Whether the device matches the configured preferred kind.
+    pub kind_preferred: bool,
+    /// Network distance in hops (1 = direct link).
+    pub hops: usize,
+    /// Free storage bytes remaining on the device.
+    pub free_storage: usize,
+}
+
+/// A strategy that orders candidate holders from most to least preferred.
+///
+/// The swapping manager stores onto candidates in rank order until `k`
+/// copies exist, so position 0 is the primary holder. Policies must be
+/// deterministic: equal-rank candidates are tie-broken by [`DeviceId`] so
+/// two runs of the same world pick the same holders.
+pub trait PlacementPolicy: fmt::Debug + Send {
+    /// A short stable name for traces and bench output.
+    fn name(&self) -> &'static str;
+
+    /// Reorder `candidates` in place, most preferred first.
+    fn rank(&self, candidates: &mut [HolderCandidate]);
+}
+
+/// Selector for the built-in [`PlacementPolicy`] strategies — the form the
+/// knob takes inside `SwapConfig` (policies themselves are not `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementKind {
+    /// The paper's behaviour: preferred device kind first, then fewest
+    /// hops, then most free storage. The default.
+    #[default]
+    FirstFit,
+    /// Emptiest store first: spread blobs across the neighbourhood so no
+    /// single device fills up and starts refusing repairs.
+    SpreadByFreeStorage,
+    /// Fewest hops above all: minimize the airtime every swap-out, reload
+    /// and repair pays, even if it concentrates blobs on close devices.
+    LinkCostAware,
+}
+
+impl PlacementKind {
+    /// Instantiate the built-in policy this kind selects.
+    pub fn policy(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PlacementKind::FirstFit => Box::new(FirstFit),
+            PlacementKind::SpreadByFreeStorage => Box::new(SpreadByFreeStorage),
+            PlacementKind::LinkCostAware => Box::new(LinkCostAware),
+        }
+    }
+
+    /// The policy name without instantiating it.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementKind::FirstFit => "first-fit",
+            PlacementKind::SpreadByFreeStorage => "spread-by-free-storage",
+            PlacementKind::LinkCostAware => "link-cost-aware",
+        }
+    }
+}
+
+impl fmt::Display for PlacementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PlacementKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "first-fit" => Ok(PlacementKind::FirstFit),
+            "spread-by-free-storage" => Ok(PlacementKind::SpreadByFreeStorage),
+            "link-cost-aware" => Ok(PlacementKind::LinkCostAware),
+            other => Err(format!(
+                "unknown placement policy `{other}` (expected first-fit, \
+                 spread-by-free-storage or link-cost-aware)"
+            )),
+        }
+    }
+}
+
+/// The paper's original neighbour choice, generalized to a rank: preferred
+/// kind desc, hops asc, free storage desc, id asc.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn rank(&self, candidates: &mut [HolderCandidate]) {
+        candidates.sort_by(|a, b| {
+            b.kind_preferred
+                .cmp(&a.kind_preferred)
+                .then(a.hops.cmp(&b.hops))
+                .then(b.free_storage.cmp(&a.free_storage))
+                .then(a.device.cmp(&b.device))
+        });
+    }
+}
+
+/// Emptiest-store-first ranking: free storage desc, preferred kind desc,
+/// hops asc, id asc.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpreadByFreeStorage;
+
+impl PlacementPolicy for SpreadByFreeStorage {
+    fn name(&self) -> &'static str {
+        "spread-by-free-storage"
+    }
+
+    fn rank(&self, candidates: &mut [HolderCandidate]) {
+        candidates.sort_by(|a, b| {
+            b.free_storage
+                .cmp(&a.free_storage)
+                .then(b.kind_preferred.cmp(&a.kind_preferred))
+                .then(a.hops.cmp(&b.hops))
+                .then(a.device.cmp(&b.device))
+        });
+    }
+}
+
+/// Cheapest-radio-first ranking: hops asc, preferred kind desc, free
+/// storage desc, id asc.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkCostAware;
+
+impl PlacementPolicy for LinkCostAware {
+    fn name(&self) -> &'static str {
+        "link-cost-aware"
+    }
+
+    fn rank(&self, candidates: &mut [HolderCandidate]) {
+        candidates.sort_by(|a, b| {
+            a.hops
+                .cmp(&b.hops)
+                .then(b.kind_preferred.cmp(&a.kind_preferred))
+                .then(b.free_storage.cmp(&a.free_storage))
+                .then(a.device.cmp(&b.device))
+        });
+    }
+}
+
+/// Where one swapped-out cluster's blob copies live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// The blob key every holder stores the bytes under.
+    pub key: String,
+    /// Holder devices in preference order; position 0 is the primary.
+    pub holders: Vec<DeviceId>,
+}
+
+/// Tracks `(swap_cluster, epoch) → holders` for every swapped-out cluster.
+///
+/// Invariant: at most one *active* entry per swap-cluster — recording a new
+/// epoch supersedes (removes) the previous one, mirroring the manager's
+/// epoch bump per swap-out. The table is pure bookkeeping; moving actual
+/// bytes is the swapping manager's job.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementTable {
+    entries: HashMap<(u32, u32), Placement>,
+}
+
+impl PlacementTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record where `swap_cluster`'s blob for `epoch` lives, superseding
+    /// any previous epoch of the same cluster.
+    pub fn record(&mut self, swap_cluster: u32, epoch: u32, key: String, holders: Vec<DeviceId>) {
+        self.entries.retain(|&(sc, _), _| sc != swap_cluster);
+        self.entries
+            .insert((swap_cluster, epoch), Placement { key, holders });
+    }
+
+    /// The placement recorded for exactly `(swap_cluster, epoch)`.
+    pub fn get(&self, swap_cluster: u32, epoch: u32) -> Option<&Placement> {
+        self.entries.get(&(swap_cluster, epoch))
+    }
+
+    /// The active `(epoch, placement)` for `swap_cluster`, if any.
+    pub fn active(&self, swap_cluster: u32) -> Option<(u32, &Placement)> {
+        self.entries
+            .iter()
+            .find(|&(&(sc, _), _)| sc == swap_cluster)
+            .map(|(&(_, epoch), p)| (epoch, p))
+    }
+
+    /// Remove and return the active placement for `swap_cluster`.
+    pub fn remove(&mut self, swap_cluster: u32) -> Option<(u32, Placement)> {
+        let key = self
+            .entries
+            .keys()
+            .find(|&&(sc, _)| sc == swap_cluster)
+            .copied()?;
+        self.entries.remove(&key).map(|p| (key.1, p))
+    }
+
+    /// Append `device` to the active holder list for `swap_cluster` (used
+    /// by the repair sweep after a successful re-replication). No-op if the
+    /// cluster has no active placement or the device is already a holder.
+    pub fn add_holder(&mut self, swap_cluster: u32, device: DeviceId) {
+        if let Some(p) = self.active_mut(swap_cluster) {
+            if !p.holders.contains(&device) {
+                p.holders.push(device);
+            }
+        }
+    }
+
+    /// Remove `device` from the active holder list for `swap_cluster`
+    /// (used when a holder departs for good). Returns how many holders
+    /// remain, or `None` if the cluster has no active placement.
+    pub fn remove_holder(&mut self, swap_cluster: u32, device: DeviceId) -> Option<usize> {
+        let p = self.active_mut(swap_cluster)?;
+        p.holders.retain(|&d| d != device);
+        Some(p.holders.len())
+    }
+
+    /// Every `(swap_cluster, epoch, key)` naming `device` as a holder —
+    /// what is at stake when that device departs.
+    pub fn entries_on(&self, device: DeviceId) -> Vec<(u32, u32, String)> {
+        let mut hit: Vec<(u32, u32, String)> = self
+            .entries
+            .iter()
+            .filter(|&(_, p)| p.holders.contains(&device))
+            .map(|(&(sc, epoch), p)| (sc, epoch, p.key.clone()))
+            .collect();
+        hit.sort();
+        hit
+    }
+
+    /// Iterate all `(swap_cluster, epoch, placement)` entries in
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &Placement)> {
+        self.entries.iter().map(|(&(sc, epoch), p)| (sc, epoch, p))
+    }
+
+    /// Number of tracked placements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no placements are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn active_mut(&mut self, swap_cluster: u32) -> Option<&mut Placement> {
+        self.entries
+            .iter_mut()
+            .find(|&(&(sc, _), _)| sc == swap_cluster)
+            .map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
+mod tests {
+    use super::*;
+    use obiwan_net::{DeviceKind, SimNet};
+
+    /// Mint `n` real [`DeviceId`]s (index = position) via a throwaway net.
+    fn devices(n: u32) -> Vec<DeviceId> {
+        let mut net = SimNet::new();
+        (0..n)
+            .map(|i| net.add_device(format!("d{i}"), DeviceKind::Laptop, 0))
+            .collect()
+    }
+
+    fn cand(
+        ids: &[DeviceId],
+        id: usize,
+        preferred: bool,
+        hops: usize,
+        free: usize,
+    ) -> HolderCandidate {
+        HolderCandidate {
+            device: ids[id],
+            kind_preferred: preferred,
+            hops,
+            free_storage: free,
+        }
+    }
+
+    fn ids(cands: &[HolderCandidate]) -> Vec<u32> {
+        cands.iter().map(|c| c.device.index()).collect()
+    }
+
+    #[test]
+    fn first_fit_matches_the_paper_order() {
+        // Preferred kind dominates hops, hops dominate free storage.
+        let d = devices(5);
+        let mut c = vec![
+            cand(&d, 1, false, 1, 900),
+            cand(&d, 2, true, 2, 100),
+            cand(&d, 3, true, 1, 50),
+            cand(&d, 4, true, 1, 500),
+        ];
+        FirstFit.rank(&mut c);
+        assert_eq!(ids(&c), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn spread_prefers_the_emptiest_store() {
+        let d = devices(4);
+        let mut c = vec![
+            cand(&d, 1, true, 1, 100),
+            cand(&d, 2, false, 3, 900),
+            cand(&d, 3, false, 1, 900),
+        ];
+        SpreadByFreeStorage.rank(&mut c);
+        assert_eq!(ids(&c), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn link_cost_aware_prefers_the_shortest_route() {
+        let d = devices(4);
+        let mut c = vec![
+            cand(&d, 1, true, 3, 900),
+            cand(&d, 2, false, 1, 100),
+            cand(&d, 3, true, 1, 100),
+        ];
+        LinkCostAware.rank(&mut c);
+        assert_eq!(ids(&c), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn equal_candidates_tie_break_by_device_id() {
+        for kind in [
+            PlacementKind::FirstFit,
+            PlacementKind::SpreadByFreeStorage,
+            PlacementKind::LinkCostAware,
+        ] {
+            let d = devices(10);
+            let mut c = vec![cand(&d, 9, true, 1, 100), cand(&d, 2, true, 1, 100)];
+            kind.policy().rank(&mut c);
+            assert_eq!(ids(&c), vec![2, 9], "{kind}");
+        }
+    }
+
+    #[test]
+    fn kind_round_trips_through_parse_and_display() {
+        for kind in [
+            PlacementKind::FirstFit,
+            PlacementKind::SpreadByFreeStorage,
+            PlacementKind::LinkCostAware,
+        ] {
+            assert_eq!(kind.to_string().parse::<PlacementKind>(), Ok(kind));
+            assert_eq!(kind.policy().name(), kind.name());
+        }
+        assert!("bogus".parse::<PlacementKind>().is_err());
+    }
+
+    #[test]
+    fn record_supersedes_the_previous_epoch() {
+        let d = devices(4);
+        let mut t = PlacementTable::new();
+        t.record(2, 0, "k-e0".into(), vec![d[1]]);
+        t.record(2, 1, "k-e1".into(), vec![d[2], d[3]]);
+        assert_eq!(t.len(), 1);
+        let (epoch, p) = t.active(2).expect("active");
+        assert_eq!(epoch, 1);
+        assert_eq!(p.key, "k-e1");
+        assert_eq!(p.holders, vec![d[2], d[3]]);
+        assert!(t.get(2, 0).is_none());
+    }
+
+    #[test]
+    fn holder_edits_and_device_lookup() {
+        let d = devices(8);
+        let mut t = PlacementTable::new();
+        t.record(2, 0, "a".into(), vec![d[1], d[2]]);
+        t.record(5, 3, "b".into(), vec![d[2]]);
+        assert_eq!(
+            t.entries_on(d[2]),
+            vec![(2, 0, "a".to_string()), (5, 3, "b".to_string())]
+        );
+        assert_eq!(t.remove_holder(2, d[1]), Some(1));
+        t.add_holder(2, d[7]);
+        t.add_holder(2, d[7]); // idempotent
+        assert_eq!(t.active(2).expect("active").1.holders, vec![d[2], d[7]]);
+        assert_eq!(t.remove_holder(9, d[1]), None);
+        let (epoch, p) = t.remove(5).expect("removed");
+        assert_eq!((epoch, p.key.as_str()), (3, "b"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -10,7 +10,10 @@ use crate::{Condition, PolicyCategory, Rule};
 /// devices, if there are any."
 ///
 /// * at `high_pct` occupancy: collect garbage, then swap out one victim;
-/// * on outright allocation failure: swap out two victims and collect.
+/// * on outright allocation failure: swap out two victims and collect;
+/// * when a blob holder departs, or a device (re)appears while blobs may
+///   be under-held: run the placement repair sweep (a no-op whenever every
+///   swapped-out blob already has its full complement of holders).
 pub fn default_swap_policies(high_pct: u8) -> Vec<Rule> {
     vec![
         Rule {
@@ -28,6 +31,22 @@ pub fn default_swap_policies(high_pct: u8) -> Vec<Rule> {
             on: "allocation-failed".into(),
             when: Condition::Always,
             then: vec![Action::SwapOutVictims { count: 2 }, Action::RunGc],
+        },
+        Rule {
+            id: "builtin-holder-lost".into(),
+            category: PolicyCategory::Machine,
+            priority: 15,
+            on: "holder-lost".into(),
+            when: Condition::Always,
+            then: vec![Action::RepairPlacements],
+        },
+        Rule {
+            id: "builtin-holder-returned".into(),
+            category: PolicyCategory::Machine,
+            priority: 5,
+            on: "device-discovered".into(),
+            when: Condition::Always,
+            then: vec![Action::RepairPlacements],
         },
     ]
 }
@@ -71,5 +90,24 @@ mod tests {
             capacity: 0,
         };
         assert!(engine.evaluate(&mild).is_empty());
+    }
+
+    #[test]
+    fn holder_churn_triggers_the_repair_sweep() {
+        let mut engine = PolicyEngine::new();
+        for rule in default_swap_policies(85) {
+            engine.add_rule(rule).unwrap();
+        }
+        let lost = PolicyEvent::HolderLost {
+            swap_cluster: 2,
+            device: 3,
+            holders_left: 1,
+        };
+        assert_eq!(engine.evaluate(&lost), vec![Action::RepairPlacements]);
+        let back = PolicyEvent::DeviceDiscovered {
+            device: 3,
+            free_storage: 1024,
+        };
+        assert_eq!(engine.evaluate(&back), vec![Action::RepairPlacements]);
     }
 }

@@ -107,6 +107,10 @@ pub enum Action {
         /// Device kind name (e.g. "laptop").
         kind: String,
     },
+    /// Run the placement repair sweep: re-replicate every under-held
+    /// swapped-out blob from a surviving holder back up to the configured
+    /// replication factor.
+    RepairPlacements,
     /// Emit a log line (examples and tests).
     Log {
         /// The message.

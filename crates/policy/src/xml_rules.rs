@@ -145,6 +145,7 @@ fn parse_action(el: &Element, rule_id: &str) -> Result<Action> {
                 .map_err(PolicyError::from)?
                 .to_string(),
         },
+        "repair-placements" => Action::RepairPlacements,
         "log" => Action::Log {
             message: el
                 .require_attr("message")
@@ -177,6 +178,7 @@ mod tests {
                      <gc/>
                      <adjust-cluster-size delta="-10"/>
                      <prefer-device kind="laptop"/>
+                     <repair-placements/>
                      <log message="hi"/>
                    </then>
                  </policy>
@@ -188,7 +190,7 @@ mod tests {
         assert_eq!(r.id, "p1");
         assert_eq!(r.category, PolicyCategory::Machine);
         assert_eq!(r.priority, 7);
-        assert_eq!(r.then.len(), 5);
+        assert_eq!(r.then.len(), 6);
         assert!(r.fires(&PolicyEvent::MemoryPressure {
             occupancy_pct: 90,
             bytes_used: 0,

@@ -77,22 +77,91 @@ fn relayed_transfer_pays_every_hops_airtime() {
 }
 
 #[test]
-fn departed_relay_means_data_lost_until_it_returns() {
-    let (mut mw, root, relay, _desktop) = relay_world();
+fn departed_relay_means_blob_unavailable_until_it_returns() {
+    let (mut mw, root, relay, desktop) = relay_world();
     mw.swap_out(2).expect("swap");
     mw.net().lock().expect("net").depart(relay).expect("depart");
+    // The blob still exists on the desktop, but no route reaches it: that
+    // is *transient* unavailability, not data loss — the error names the
+    // holder that was tried so the caller can wait for it.
     let err = mw.swap_in(2).expect_err("no route");
-    assert!(matches!(
-        err,
-        SwapError::DataLost {
+    match err {
+        SwapError::BlobUnavailable {
             swap_cluster: 2,
+            ref tried,
             ..
-        }
-    ));
+        } => assert_eq!(tried.as_slice(), &[desktop]),
+        other => panic!("expected BlobUnavailable for sc2, got {other:?}"),
+    }
     // The relay wanders back: the data is reachable again.
     mw.net().lock().expect("net").arrive(relay).expect("arrive");
     mw.swap_in(2).expect("reload through restored route");
     assert_eq!(mw.invoke_i64(root, "length", vec![]).unwrap(), 60);
+}
+
+/// Two storage desktops, each behind its own relay, with
+/// `replication_factor = 2`: losing one relay between swap-out and reload
+/// must fail over to the holder on the surviving route — no panic, no
+/// opaque `NetError`.
+#[test]
+fn reload_fails_over_to_the_holder_on_the_surviving_route() {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 60, 8).expect("build");
+    let mut mw = Middleware::builder()
+        .cluster_size(20)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .swap_config(
+            SwapConfig::default()
+                .allow_relays(true)
+                .replication_factor(2),
+        )
+        .stores(vec![]) // storage only through the relays
+        .build(server);
+    let (relay_a, relay_b, desk_a, desk_b) = {
+        let net = mw.net();
+        let mut net = net.lock().expect("net");
+        let relay_a = net.add_device("mote-a", DeviceKind::Mote, 0);
+        let relay_b = net.add_device("mote-b", DeviceKind::Mote, 0);
+        let desk_a = net.add_device("desk-a", DeviceKind::Desktop, 1 << 20);
+        let desk_b = net.add_device("desk-b", DeviceKind::Desktop, 1 << 20);
+        net.connect(mw.home_device(), relay_a, LinkSpec::mote_radio())
+            .expect("link");
+        net.connect(mw.home_device(), relay_b, LinkSpec::mote_radio())
+            .expect("link");
+        net.connect(relay_a, desk_a, LinkSpec::wifi())
+            .expect("link");
+        net.connect(relay_b, desk_b, LinkSpec::wifi())
+            .expect("link");
+        (relay_a, relay_b, desk_a, desk_b)
+    };
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+    mw.swap_out(2).expect("swap");
+    {
+        let net = mw.net();
+        let net = net.lock().expect("net");
+        assert!(
+            net.stored_bytes(desk_a).expect("a") > 0 && net.stored_bytes(desk_b).expect("b") > 0,
+            "both desktops hold a copy"
+        );
+    }
+    // The relay in front of the primary holder walks away.
+    mw.net()
+        .lock()
+        .expect("net")
+        .depart(relay_a)
+        .expect("depart");
+    mw.swap_in(2).expect("failover reload via the other relay");
+    assert_eq!(mw.invoke_i64(root, "length", vec![]).unwrap(), 60);
+    let stats = mw.swap_stats();
+    assert_eq!(stats.swap_ins, 1);
+    assert_eq!(
+        stats.reload_failovers, 1,
+        "the reload had to skip the unreachable primary"
+    );
+    let _ = (relay_b, desk_b);
 }
 
 #[test]
