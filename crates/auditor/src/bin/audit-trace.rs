@@ -32,6 +32,8 @@ OPTIONS:
     --churn             scripted churn: every 25 steps a storage device
                         departs and the previous absentee returns,
                         exercising holder-loss repair under audit
+    --trace-out <PATH>  write the run's lifecycle trace as deterministic
+                        JSON (feed it to `trace-verify`)
     --verbose           print every step, not just violating ones
     --help              show this message
 ";
@@ -39,11 +41,13 @@ OPTIONS:
 struct Options {
     cfg: TraceConfig,
     verbose: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Option<Options>, String> {
     let mut cfg = TraceConfig::default();
     let mut verbose = false;
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut numeric = |name: &str| -> Result<u64, String> {
@@ -69,12 +73,22 @@ fn parse_args() -> Result<Option<Options>, String> {
                 cfg.replication_factor = numeric("--replication-factor")?.max(1) as usize
             }
             "--churn" => cfg.churn = true,
+            "--trace-out" => {
+                trace_out = Some(
+                    args.next()
+                        .ok_or_else(|| "--trace-out needs a path".to_string())?,
+                )
+            }
             "--verbose" => verbose = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    Ok(Some(Options { cfg, verbose }))
+    Ok(Some(Options {
+        cfg,
+        verbose,
+        trace_out,
+    }))
 }
 
 fn main() -> ExitCode {
@@ -125,6 +139,18 @@ fn main() -> ExitCode {
         outcome.swap_outs, outcome.swap_ins
     );
     print!("{}", outcome.final_report);
+
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = std::fs::write(path, outcome.trace.to_json()) {
+            eprintln!("audit-trace: writing trace to `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "trace: {} event(s) written to {path} ({} dropped by the ring)",
+            outcome.trace.events.len(),
+            outcome.trace.meta.dropped
+        );
+    }
 
     if outcome.has_errors() {
         println!("RESULT: graph invariants VIOLATED");

@@ -1,0 +1,90 @@
+//! Check an exported swap-lifecycle trace against the conformance state
+//! machine.
+//!
+//! ```text
+//! cargo run -p obiwan-auditor --bin audit-trace -- --trace-out run.json
+//! cargo run -p obiwan-auditor --bin trace-verify -- run.json
+//! ```
+//!
+//! Exits 0 when the trace parses and every event is a legal lifecycle
+//! transition, 1 when the checker found violations, 2 on usage errors or
+//! a trace that does not parse (truncated file, corrupted JSON, schema
+//! drift).
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+trace-verify: replay an exported swap-lifecycle trace through the conformance checker
+
+USAGE:
+    trace-verify [--quiet] <TRACE.json> [<TRACE.json> ...]
+
+Each trace must be the deterministic JSON written by `audit-trace --trace-out`
+(or any `obiwan_trace::json` exporter). Exit code: 0 all traces conform,
+1 violations found, 2 usage/parse failure.
+";
+
+fn main() -> ExitCode {
+    let mut quiet = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("trace-verify: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("trace-verify: no trace file given\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut violations = 0usize;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("trace-verify: reading `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let trace = match obiwan_trace::Trace::from_json(&text) {
+            Ok(trace) => trace,
+            Err(e) => {
+                eprintln!("trace-verify: `{path}` does not parse: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = obiwan_trace::conformance::check(&trace);
+        violations += report.violations.len();
+        if !quiet {
+            println!(
+                "{path}: {} event(s), {} cluster(s), wire format {}, k = {}",
+                trace.events.len(),
+                trace.meta.clusters.len(),
+                trace.meta.wire_format,
+                trace.meta.replication_factor
+            );
+            if report.is_clean() {
+                println!("{report}");
+            } else {
+                print!("{report}");
+            }
+        }
+    }
+
+    if violations > 0 {
+        println!("RESULT: trace conformance VIOLATED ({violations} violation(s))");
+        ExitCode::FAILURE
+    } else {
+        println!("RESULT: all traces conform to the swap lifecycle");
+        ExitCode::SUCCESS
+    }
+}

@@ -86,6 +86,8 @@ pub struct TraceOutcome {
     pub swap_outs: u64,
     /// Reloads the workload triggered (explicit + transparent faults).
     pub swap_ins: u64,
+    /// The lifecycle trace the run recorded, already exported.
+    pub trace: obiwan_trace::Trace,
 }
 
 impl TraceOutcome {
@@ -190,8 +192,13 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
                 }
                 // Under churn every holder of the next cluster may be out
                 // of the room at once; the cluster stays swapped out and
-                // becomes reachable again when a holder returns.
-                Err(e @ SwapError::BlobUnavailable { .. }) => {
+                // becomes reachable again when a holder returns. The
+                // transparent-fault path reports the same condition
+                // wrapped in `Repl`, hence the string fallback.
+                Err(e)
+                    if matches!(e, SwapError::BlobUnavailable { .. })
+                        || e.to_string().contains("unavailable") =>
+                {
                     let root = mw.global("root")?.expect_ref()?;
                     mw.set_global("cursor", Value::Ref(root));
                     format!("invoke next (tolerated unavailability: {e})")
@@ -230,6 +237,7 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
         final_report: mw.audit(),
         swap_outs: stats.swap_outs,
         swap_ins: stats.swap_ins,
+        trace: mw.export_trace(),
     })
 }
 

@@ -1,0 +1,168 @@
+//! Golden-trace test: the replay's exported lifecycle trace is
+//! byte-identical run over run, and the committed fixture pins it down so
+//! an accidental change to event emission, stamp derivation or the JSON
+//! exporter shows up as a diff, not as silent drift.
+//!
+//! Regenerate the fixture after an *intentional* change with
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p obiwan-auditor --test golden_trace
+//! ```
+//!
+//! The file also exercises the two CLI ends of the pipeline: the fixture
+//! passes `trace-verify`, and deliberately corrupted variants make it exit
+//! nonzero (violation → 1, parse failure → 2).
+
+#![allow(clippy::disallowed_methods)] // tests may panic on impossible states
+
+use obiwan_auditor::scenario::{replay, TraceConfig};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The pinned workload: small enough to replay in milliseconds, rich
+/// enough to exercise detach, reload, failover (k = 2 under churn),
+/// repair sweeps, GC cooperation and the proxy rules.
+fn golden_config() -> TraceConfig {
+    TraceConfig {
+        nodes: 120,
+        payload: 64,
+        cluster_size: 12,
+        device_memory: 16 * 1024,
+        steps: 150,
+        seed: 11,
+        wire_format: obiwan_core::WireFormatKind::Xml,
+        replication_factor: 2,
+        churn: true,
+    }
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("golden_trace.json")
+}
+
+/// Export the golden workload's trace as deterministic JSON.
+fn export_golden() -> String {
+    let outcome = replay(&golden_config()).expect("golden replay must succeed");
+    assert!(
+        !outcome.has_errors(),
+        "golden workload must pass the graph audit"
+    );
+    outcome.trace.to_json()
+}
+
+#[test]
+fn golden_trace_matches_committed_fixture() {
+    let json = export_golden();
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, &json).expect("bless fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with GOLDEN_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json, want,
+        "exported trace diverged from the committed fixture; if the change \
+         is intentional, regenerate with GOLDEN_BLESS=1"
+    );
+}
+
+#[test]
+fn golden_trace_is_deterministic_across_runs() {
+    assert_eq!(export_golden(), export_golden());
+}
+
+#[test]
+fn golden_trace_round_trips_and_conforms() {
+    let json = export_golden();
+    let trace = obiwan_trace::Trace::from_json(&json).expect("exported trace must re-import");
+    assert_eq!(trace.to_json(), json, "re-export must be byte-identical");
+    let report = obiwan_trace::conformance::check(&trace);
+    assert!(
+        report.is_clean(),
+        "golden trace must conform: {}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[test]
+fn every_format_and_replication_factor_exports_a_conforming_trace() {
+    for wire_format in obiwan_core::WireFormatKind::ALL {
+        for k in [1usize, 2] {
+            let cfg = TraceConfig {
+                wire_format,
+                replication_factor: k,
+                ..golden_config()
+            };
+            let outcome = replay(&cfg).expect("replay");
+            assert_eq!(outcome.trace.meta.wire_format, wire_format.name());
+            assert_eq!(outcome.trace.meta.replication_factor, k as u32);
+            let report = obiwan_trace::conformance::check(&outcome.trace);
+            assert!(report.is_clean(), "{wire_format} k={k}: {report}");
+            // And the exporter/importer agree for every variant.
+            let round =
+                obiwan_trace::Trace::from_json(&outcome.trace.to_json()).expect("trace re-imports");
+            assert_eq!(round, outcome.trace);
+        }
+    }
+}
+
+/// Run the `trace-verify` binary on a trace document; returns its exit
+/// code.
+fn verify_exit(json: &str, name: &str) -> i32 {
+    let dir = std::env::temp_dir().join("obiwan-golden-trace");
+    std::fs::create_dir_all(&dir).expect("mkdir temp");
+    let path = dir.join(name);
+    std::fs::write(&path, json).expect("write temp trace");
+    let status = Command::new(env!("CARGO_BIN_EXE_trace-verify"))
+        .arg("--quiet")
+        .arg(&path)
+        .status()
+        .expect("spawn trace-verify");
+    status.code().expect("trace-verify exit code")
+}
+
+#[test]
+fn trace_verify_accepts_clean_trace() {
+    assert_eq!(verify_exit(&export_golden(), "clean.json"), 0);
+}
+
+#[test]
+fn trace_verify_rejects_semantic_corruption() {
+    // Claim a cluster is still swapped out that the events say reloaded:
+    // valid JSON, conformance violation (exit 1).
+    let json = export_golden();
+    let corrupted = if json.contains("\"swapped\":[]") {
+        json.replacen("\"swapped\":[]", "\"swapped\":[4294967295]", 1)
+    } else {
+        json.replacen("\"swapped\":[", "\"swapped\":[4294967295,", 1)
+    };
+    assert_ne!(corrupted, json, "corruption must hit the meta line");
+    assert_eq!(verify_exit(&corrupted, "semantic.json"), 1);
+}
+
+#[test]
+fn trace_verify_rejects_unparseable_trace() {
+    // Rename an event: strict importer refuses unknown names (exit 2).
+    let json = export_golden();
+    let corrupted = json.replacen("\"detach-start\"", "\"detach-begin\"", 1);
+    assert_ne!(corrupted, json, "golden workload must contain a detach");
+    assert_eq!(verify_exit(&corrupted, "unparseable.json"), 2);
+
+    // A truncated file must not verify either.
+    let cut = &json[..json.len() / 2];
+    assert_eq!(verify_exit(cut, "truncated.json"), 2);
+}

@@ -9,5 +9,6 @@ use obiwan_bench::swapio;
 fn main() {
     let list_len = 400;
     let points = swapio::run_format_sweep(list_len);
-    print!("{}", swapio::formats_json(list_len, &points));
+    let histograms = swapio::run_trace_histograms(list_len, 8);
+    print!("{}", swapio::formats_json(list_len, &points, &histograms));
 }

@@ -171,8 +171,13 @@ pub fn render_formats(points: &[WireFormatPoint]) -> String {
 
 /// Serialize the format sweep as JSON (for the committed
 /// `BENCH_swapio.json` snapshot; hand-rolled — the workspace carries no
-/// serde).
-pub fn formats_json(list_len: usize, points: &[WireFormatPoint]) -> String {
+/// serde). `histograms` is the per-link trace-summary section from
+/// [`run_trace_histograms`]; pass an empty slice to omit it.
+pub fn formats_json(
+    list_len: usize,
+    points: &[WireFormatPoint],
+    histograms: &[(String, obiwan_trace::TraceSummary)],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"swap_io.wire_formats\",\n");
     out.push_str(&format!("  \"list_len\": {list_len},\n"));
@@ -189,8 +194,75 @@ pub fn formats_json(list_len: usize, points: &[WireFormatPoint]) -> String {
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    if histograms.is_empty() {
+        out.push_str("  ]\n}\n");
+    } else {
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"trace_histograms\": {}\n}}\n",
+            trace_histograms_json(histograms)
+        ));
+    }
     out
+}
+
+/// Phase-latency and size histograms of one swap workload, per link.
+///
+/// Unlike the point sweep above (one swap-out and one reload per cell),
+/// this runs `cycles` full swap-out/reload rounds over the same link and
+/// folds the run's lifecycle trace into `obiwan_trace` histograms — the
+/// distribution view the committed JSON snapshot carries alongside the
+/// means. Everything is virtual time, so the histograms are deterministic
+/// and snapshot-stable.
+pub fn run_trace_histograms(
+    list_len: usize,
+    cycles: usize,
+) -> Vec<(String, obiwan_trace::TraceSummary)> {
+    let links: [(&str, LinkSpec); 3] = [
+        ("mote-100k", LinkSpec::mote_radio()),
+        ("bluetooth-700k", LinkSpec::bluetooth()),
+        ("wifi-5M", LinkSpec::wifi()),
+    ];
+    let mut out = Vec::new();
+    for (label, link) in links {
+        let mut server = Server::new(standard_classes());
+        let head = server
+            .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
+            .expect("Node class");
+        let mut mw = Middleware::builder()
+            .cluster_size(50)
+            .device_memory(list_len * 64 * 8 + (1 << 20))
+            .no_builtin_policies()
+            .stores(vec![StoreSpec::new(
+                "neighbour",
+                DeviceKind::Laptop,
+                16 << 20,
+            )
+            .with_link(link)])
+            .build(server);
+        let root = mw.replicate_root(head).expect("replicate");
+        mw.set_global("head", Value::Ref(root));
+        mw.invoke_i64(root, "length", vec![]).expect("warm");
+        for _ in 0..cycles {
+            mw.swap_out(1).expect("swap out");
+            mw.swap_in(1).expect("swap in");
+        }
+        let trace = mw.export_trace();
+        out.push((
+            label.to_string(),
+            obiwan_trace::derive::summarize(&trace.events),
+        ));
+    }
+    out
+}
+
+/// Serialize the per-link trace histograms as one JSON object.
+pub fn trace_histograms_json(summaries: &[(String, obiwan_trace::TraceSummary)]) -> String {
+    let body: Vec<String> = summaries
+        .iter()
+        .map(|(link, s)| format!("    \"{link}\": {}", s.to_json()))
+        .collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
 }
 
 /// Render the sweep as a table.
@@ -272,12 +344,39 @@ mod tests {
     #[test]
     fn format_json_snapshot_is_well_formed() {
         let points = run_format_sweep(100);
-        let json = formats_json(100, &points);
+        let histograms = run_trace_histograms(100, 2);
+        let json = formats_json(100, &points, &histograms);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"format\"").count(), points.len());
         for kind in ["xml", "binary", "lz-binary"] {
             assert!(json.contains(kind), "missing {kind}");
         }
+        for key in ["trace_histograms", "detach_us", "ship_airtime_us"] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn trace_histograms_are_deterministic_and_ordered() {
+        let a = run_trace_histograms(150, 3);
+        let b = run_trace_histograms(150, 3);
+        assert_eq!(a, b, "virtual-time histograms must be run-stable");
+        // Three cycles → three detaches and three reloads per link.
+        for (link, s) in &a {
+            assert_eq!(s.detach_us.count(), 3, "{link}");
+            assert_eq!(s.reload_us.count(), 3, "{link}");
+            assert_eq!(s.blob_bytes.count(), 3, "{link}");
+            assert_eq!(s.ship_airtime_us.count(), 3, "{link}");
+        }
+        // Slower radios cost more airtime per shipped copy.
+        let max = |label: &str| {
+            a.iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, s)| s.ship_airtime_us.max())
+                .expect("link present")
+        };
+        assert!(max("mote-100k") > max("bluetooth-700k"));
+        assert!(max("bluetooth-700k") > max("wifi-5M"));
     }
 
     #[test]

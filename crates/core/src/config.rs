@@ -49,6 +49,11 @@ pub struct SwapConfig {
     /// default first-fit order is identical to the pre-placement neighbour
     /// choice, so single-copy worlds pick the same device as before.
     pub placement: PlacementKind,
+    /// Ring capacity of the lifecycle trace sink. Events past the capacity
+    /// evict the oldest record, which marks the exported trace as
+    /// truncated — size this to the workload when the trace must pass the
+    /// conformance checker end-to-end.
+    pub trace_capacity: usize,
 }
 
 impl Default for SwapConfig {
@@ -62,6 +67,7 @@ impl Default for SwapConfig {
             wire_format: WireFormatKind::default(),
             replication_factor: 1,
             placement: PlacementKind::default(),
+            trace_capacity: obiwan_trace::DEFAULT_CAPACITY,
         }
     }
 }
@@ -124,6 +130,12 @@ impl SwapConfig {
         self.placement = kind;
         self
     }
+
+    /// Size the lifecycle trace ring (events kept before eviction).
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = events;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +154,7 @@ mod tests {
         // Single-copy placement is the paper's semantics.
         assert_eq!(c.replication_factor, 1);
         assert_eq!(c.placement, PlacementKind::FirstFit);
+        assert_eq!(c.trace_capacity, obiwan_trace::DEFAULT_CAPACITY);
     }
 
     #[test]

@@ -63,6 +63,23 @@ impl SwappingManager {
             }
             entry.epoch
         };
+        // Validation passed: the detach is in flight from here on, and any
+        // failure below reverts the cluster to loaded — mirror exactly that
+        // in the trace so the conformance replay sees start/abort/end pair
+        // up.
+        self.recorder.detach_start(sc);
+        match self.swap_out_body(p, sc, epoch) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) => {
+                self.recorder.detach_abort(sc);
+                Err(e)
+            }
+        }
+    }
+
+    /// Everything past swap-out validation; an error here aborts the
+    /// in-flight detach (the cluster stays loaded).
+    fn swap_out_body(&mut self, p: &mut Process, sc: u32, epoch: u32) -> Result<usize> {
         let members: Vec<ObjRef> = self.clusters[&sc].members.iter().map(|&(_, r)| r).collect();
 
         // Opportunistically clean up blobs orphaned by earlier failures.
@@ -78,7 +95,7 @@ impl SwappingManager {
         // storing neighbour ("available to any user"), and their cluster
         // ids are device-local.
         let key = format!("dev{}-sc{sc}-e{epoch}", self.home.index());
-        let holders = self.place_blob(sc, &key, data)?;
+        let holders = self.place_blob(sc, epoch, &key, data)?;
         let device = *holders.first().ok_or(SwapError::NoStorageDevice {
             swap_cluster: sc,
             tried: 0,
@@ -102,8 +119,8 @@ impl SwappingManager {
             return Err(e);
         }
 
-        self.stats.swap_outs += 1;
-        self.stats.bytes_swapped_out += (blob_bytes * copies) as u64;
+        self.recorder
+            .detach_end(sc, epoch, blob_bytes as u64, copies as u32);
         self.events.push(PolicyEvent::SwappedOut {
             swap_cluster: sc as i64,
             bytes: blob_bytes as i64,
@@ -224,9 +241,10 @@ impl SwappingManager {
     /// sweep once more devices appear. Zero copies is
     /// [`SwapError::NoStorageDevice`]. A hard error after partial stores
     /// turns the stored copies into tracked orphans before propagating.
-    fn place_blob(&mut self, sc: u32, key: &str, data: Bytes) -> Result<Vec<DeviceId>> {
+    fn place_blob(&mut self, sc: u32, epoch: u32, key: &str, data: Bytes) -> Result<Vec<DeviceId>> {
         let want = self.config.replication_factor;
         let mut net = lock_net(&self.net)?;
+        self.recorder.sync_clock(&net);
         let candidates = self.holder_candidates(&net, key, data.len(), &[]);
         let tried = candidates.len();
         let mut holders: Vec<DeviceId> = Vec::new();
@@ -238,13 +256,22 @@ impl SwappingManager {
             // not a deep copy of the blob.
             let sent = if self.config.allow_relays {
                 net.send_blob_routed(self.home, c.device, key, data.clone())
-                    .map(|_| ())
+                    .map(|(_, cost)| cost)
             } else {
                 net.send_blob(self.home, c.device, key, data.clone())
-                    .map(|_| ())
             };
             match sent {
-                Ok(()) => holders.push(c.device),
+                Ok(cost) => {
+                    self.recorder.sync_clock(&net);
+                    self.recorder.blob_shipped(
+                        sc,
+                        epoch,
+                        c.device.index(),
+                        data.len() as u64,
+                        cost.as_micros(),
+                    );
+                    holders.push(c.device);
+                }
                 Err(NetError::QuotaExceeded { .. })
                 | Err(NetError::InjectedFailure { .. })
                 | Err(NetError::NotConnected { .. })

@@ -50,20 +50,22 @@ impl SwappingManager {
                     let mut any_dropped = false;
                     {
                         let mut net = lock_net(&self.net)?;
+                        self.recorder.sync_clock(&net);
                         for &holder in &holders {
                             let ok = if self.config.allow_relays {
                                 net.drop_blob_routed(self.home, holder, &key).is_ok()
                             } else {
                                 net.drop_blob(self.home, holder, &key).is_ok()
                             };
+                            self.recorder.sync_clock(&net);
                             if ok {
-                                self.stats.blobs_dropped += 1;
+                                self.recorder.blob_dropped(sc, holder.index(), true);
                                 any_dropped = true;
                             } else {
                                 // Holder departed or already lost the blob:
                                 // account for it and track the possible
                                 // stale copy for the orphan sweep.
-                                self.stats.drop_failures += 1;
+                                self.recorder.blob_dropped(sc, holder.index(), false);
                                 self.orphaned_blobs.push((holder, key.clone()));
                             }
                         }
@@ -71,6 +73,7 @@ impl SwappingManager {
                     if any_dropped {
                         dropped += 1;
                     }
+                    self.recorder.cluster_dropped(sc);
                     self.placements.remove(sc);
                     if let Some(entry) = self.clusters.get_mut(&sc) {
                         entry.state = SwapClusterState::Dropped;

@@ -88,6 +88,7 @@ mod identity;
 mod manager;
 mod middleware;
 mod proxy;
+mod recorder;
 mod reload;
 mod swap_cluster;
 mod victim;
@@ -103,6 +104,7 @@ pub use obiwan_placement::{
     FirstFit, HolderCandidate, LinkCostAware, Placement, PlacementKind, PlacementPolicy,
     PlacementTable, SpreadByFreeStorage,
 };
+pub use obiwan_trace::{ConformanceReport, EventKind, Trace, TraceMeta, TraceRecord, TraceSink};
 pub use swap_cluster::{SwapClusterEntry, SwapClusterState};
 pub use victim::VictimPolicy;
 pub use wire::{BinaryFormat, Lz, WireFormat, WireFormatKind, XmlFormat};

@@ -10,6 +10,7 @@
 //! (using weak-references)."
 
 use crate::proxy;
+use crate::recorder::Recorder;
 use crate::swap_cluster::{SwapClusterEntry, SwapClusterState};
 use crate::{Result, SwapConfig, SwapError, VictimPolicy};
 use obiwan_heap::{ObjRef, ObjectKind, Oid, WeakRef};
@@ -42,6 +43,13 @@ pub(crate) fn lock_net(n: &SharedNet) -> Result<MutexGuard<'_, SimNet>> {
 }
 
 /// Cumulative swapping statistics.
+///
+/// Marked `#[non_exhaustive]`: counters are added as the lifecycle grows
+/// richer, and every one of them must keep folding exactly out of the
+/// event trace (see `obiwan_trace::derive::fold_counts`). Construct via
+/// `Default` and read fields; functional-update syntax from a literal is
+/// intentionally unavailable outside this crate.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SwapStats {
     /// Swap-out operations completed.
@@ -105,7 +113,8 @@ pub struct SwappingManager {
     pub(crate) victim_cursor: u32,
     /// Device kind preferred as swap target (set by policies).
     pub(crate) preferred_kind: Option<DeviceKind>,
-    pub(crate) stats: SwapStats,
+    /// The single choke point for counters *and* lifecycle events.
+    pub(crate) recorder: Recorder,
     /// Events for the policy engine, drained by the middleware.
     pub(crate) events: Vec<PolicyEvent>,
     /// Blobs stored on neighbours that no longer back any swap-cluster
@@ -142,7 +151,7 @@ impl SwappingManager {
             crossing_clock: 0,
             victim_cursor: 0,
             preferred_kind: None,
-            stats: SwapStats::default(),
+            recorder: Recorder::new(config.trace_capacity),
             events: Vec::new(),
             orphaned_blobs: Vec::new(),
             placements: PlacementTable::new(),
@@ -182,7 +191,29 @@ impl SwappingManager {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> SwapStats {
-        self.stats
+        self.recorder.stats
+    }
+
+    /// Export the lifecycle event stream with run metadata, ready for
+    /// [`obiwan_trace::Trace::to_json`] or the conformance checker.
+    pub fn export_trace(&self) -> obiwan_trace::Trace {
+        let mut clusters: std::collections::BTreeSet<u32> =
+            self.recorder.known_clusters().collect();
+        clusters.extend(self.clusters.keys().copied());
+        let sink = self.recorder.sink();
+        obiwan_trace::Trace {
+            meta: obiwan_trace::TraceMeta {
+                home: self.home.index(),
+                replication_factor: self.config.replication_factor as u32,
+                wire_format: self.config.wire_format.name().to_owned(),
+                capacity: sink.capacity() as u64,
+                recorded: sink.recorded(),
+                dropped: sink.dropped(),
+                clusters: clusters.into_iter().collect(),
+                swapped: self.swapped_clusters(),
+            },
+            events: self.recorder.snapshot(),
+        }
     }
 
     /// Drain policy events.
@@ -312,6 +343,7 @@ impl SwappingManager {
     pub fn note_departures(&mut self) -> Result<()> {
         let present: HashSet<DeviceId> = {
             let net = lock_net(&self.net)?;
+            self.recorder.sync_clock(&net);
             // Departure notification: an unchanged churn sequence means no
             // device moved and no link changed since the last scan, so the
             // placement sweep below would find exactly what it found then.
@@ -346,6 +378,7 @@ impl SwappingManager {
         }
         for (sc, holder, left) in fresh {
             self.lost_reported.insert((sc, holder));
+            self.recorder.holder_lost(sc, holder.index(), left as u32);
             self.events.push(PolicyEvent::HolderLost {
                 swap_cluster: sc as i64,
                 device: holder.index() as i64,
@@ -379,10 +412,16 @@ impl SwappingManager {
             .iter()
             .map(|(sc, epoch, p)| (sc, epoch, p.key.clone(), p.holders.clone()))
             .collect();
+        {
+            let net = lock_net(&self.net)?;
+            self.recorder.sync_clock(&net);
+        }
+        self.recorder.repair_start();
         let mut repaired = 0u64;
         let mut moved = 0u64;
         for (sc, epoch, key, holders) in entries {
             let mut net = lock_net(&self.net)?;
+            self.recorder.sync_clock(&net);
             let present: HashSet<DeviceId> = if allow_relays {
                 net.reachable(home).into_iter().map(|(d, _)| d).collect()
             } else {
@@ -416,6 +455,15 @@ impl SwappingManager {
                 // holder returning makes the blob reachable again.
                 continue;
             }
+            // Re-adoption can push the live set past the placement width;
+            // prune back down to `k` so the table never over-replicates
+            // (the excess copies become tracked orphans).
+            if live.len() > k {
+                for &extra in &live[k..] {
+                    self.orphaned_blobs.push((extra, key.clone()));
+                }
+                live.truncate(k);
+            }
             let deficit = k.saturating_sub(live.len());
             let mut added: Vec<DeviceId> = Vec::new();
             if deficit > 0 {
@@ -447,13 +495,20 @@ impl SwappingManager {
                     }
                     let sent = if allow_relays {
                         net.send_blob_routed(home, c.device, &key, data.clone())
-                            .map(|_| ())
+                            .map(|(_, cost)| cost)
                     } else {
                         net.send_blob(home, c.device, &key, data.clone())
-                            .map(|_| ())
                     };
                     match sent {
-                        Ok(()) => {
+                        Ok(cost) => {
+                            self.recorder.sync_clock(&net);
+                            self.recorder.blob_shipped(
+                                sc,
+                                epoch,
+                                c.device.index(),
+                                data.len() as u64,
+                                cost.as_micros(),
+                            );
                             added.push(c.device);
                             moved += data.len() as u64;
                         }
@@ -498,10 +553,7 @@ impl SwappingManager {
                 }
             }
         }
-        if repaired > 0 {
-            self.stats.repairs += repaired;
-        }
-        self.stats.repair_bytes += moved;
+        self.recorder.repair_end(repaired, moved);
         Ok((repaired, moved))
     }
 
@@ -519,12 +571,13 @@ impl SwappingManager {
         self.next_sc = self.next_sc.max(sc + 1);
         self.repl_to_sc.insert(repl_cluster, sc);
         self.clusters.entry(sc).or_default();
+        self.recorder.register_cluster(sc);
         sc
     }
 
     fn note_crossing(&mut self, sc: u32) {
         self.crossing_clock += 1;
-        self.stats.crossings += 1;
+        self.recorder.note_crossing();
         if let Some(e) = self.clusters.get_mut(&sc) {
             e.crossings += 1;
             e.last_crossing = self.crossing_clock;
@@ -548,7 +601,7 @@ impl SwappingManager {
     ) -> Result<ObjRef> {
         if let Some(&weak) = self.proxy_index.get(&(source_sc, oid)) {
             if let Some(existing) = p.heap().weak_get(weak) {
-                self.stats.proxies_reused += 1;
+                self.recorder.proxy_reused(source_sc);
                 return Ok(existing);
             }
             self.proxy_index.remove(&(source_sc, oid));
@@ -575,7 +628,7 @@ impl SwappingManager {
         let target_sc = p.heap().get(target)?.header().swap_cluster;
         self.inbound.entry(target_sc).or_default().push(weak);
         self.outbound.entry(source_sc).or_default().push(weak);
-        self.stats.proxies_created += 1;
+        self.recorder.proxy_created(source_sc);
         Ok(proxy)
     }
 
@@ -614,7 +667,7 @@ impl SwappingManager {
                     let weak = p.heap_mut().weak_ref(ep)?;
                     self.inbound.entry(target_sc).or_default().push(weak);
                 }
-                self.stats.assign_patches += 1;
+                self.recorder.assign_patch(target_sc);
                 return Ok(ep);
             }
         }
@@ -648,7 +701,7 @@ impl SwappingManager {
                 let target_sc = p.heap().get(target)?.header().swap_cluster;
                 if target_sc == to_sc {
                     // Rule (iii): the reference re-enters its own cluster.
-                    self.stats.proxies_dismantled += 1;
+                    self.recorder.proxy_dismantled(to_sc);
                     Ok(target)
                 } else if proxy::source_of(p, r)? == to_sc {
                     // Already the right mediator for this context.
@@ -686,7 +739,7 @@ impl SwappingManager {
         let target_sc = p.heap().get(target)?.header().swap_cluster;
         let weak = p.heap_mut().weak_ref(cursor)?;
         self.inbound.entry(target_sc).or_default().push(weak);
-        self.stats.proxies_created += 1;
+        self.recorder.proxy_created(0);
         Ok(cursor)
     }
 

@@ -154,6 +154,14 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// Capacity of the lifecycle-trace ring buffer in events (default
+    /// [`obiwan_trace::DEFAULT_CAPACITY`]; the oldest events are evicted
+    /// beyond it and the exported trace is marked truncated).
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.swap_config = self.swap_config.trace_capacity(events);
+        self
+    }
+
     /// Placement strategy used to rank candidate holders at swap-out and
     /// during repair (default: first-fit, the paper's order).
     pub fn placement(mut self, kind: obiwan_placement::PlacementKind) -> Self {
@@ -567,7 +575,16 @@ impl Middleware {
     /// See [`SwappingManager::process_finalized`].
     pub fn run_gc(&mut self) -> Result<obiwan_heap::CollectStats> {
         let stats = self.process.collect();
-        let out = lock_manager(&self.manager)?.process_finalized(&mut self.process);
+        let out = {
+            let mut manager = lock_manager(&self.manager)?;
+            let dropped = manager.process_finalized(&mut self.process);
+            if let Ok(d) = &dropped {
+                manager
+                    .recorder
+                    .gc_run(stats.freed_objects as u64, *d as u64);
+            }
+            dropped
+        };
         self.debug_self_audit("run_gc");
         out?;
         Ok(stats)
@@ -678,6 +695,21 @@ impl Middleware {
             .stats()
     }
 
+    /// Export the swap-lifecycle event trace with run metadata — the input
+    /// to `obiwan_trace::conformance::check` and the JSON exporter.
+    pub fn export_trace(&self) -> obiwan_trace::Trace {
+        self.manager
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .export_trace()
+    }
+
+    /// The trace serialized as deterministic JSON (byte-identical for
+    /// identical runs; see `obiwan_trace::json`).
+    pub fn trace_json(&self) -> String {
+        self.export_trace().to_json()
+    }
+
     /// Log lines produced by `Log` policy actions.
     pub fn take_log(&mut self) -> Vec<String> {
         std::mem::take(&mut self.log)
@@ -747,6 +779,13 @@ impl Middleware {
     }
 
     fn apply(&mut self, action: Action) -> Result<()> {
+        {
+            // Record the decision before executing it, so the pump-action
+            // event precedes the lifecycle events it causes. Scoped: the
+            // handlers below re-take the manager lock themselves.
+            let mut manager = lock_manager(&self.manager)?;
+            manager.recorder.pump_action(action.name());
+        }
         match action {
             Action::RunGc => {
                 self.run_gc()?;

@@ -1,0 +1,199 @@
+//! The single choke point for lifecycle accounting.
+//!
+//! Every [`SwapStats`] counter bump and every [`EventKind`] emission goes
+//! through the [`Recorder`] — the same method does both, so the counters
+//! and the event stream cannot drift apart (the trace-consistency tests
+//! fold the stream back into counters and assert exact equality).
+//!
+//! Stamps are deterministic: the recorder caches the simulated world's
+//! churn sequence and virtual clock and re-reads them only at
+//! [`Recorder::sync_clock`] call sites — places that already hold the net
+//! guard — so recording an event never takes a lock of its own.
+
+use crate::manager::SwapStats;
+use obiwan_net::SimNet;
+use obiwan_trace::{EventKind, TraceRecord, TraceSink};
+use std::collections::BTreeSet;
+
+/// Owns the counters and the event sink; lives inside the
+/// `SwappingManager` behind the manager lock.
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    pub(crate) stats: SwapStats,
+    sink: TraceSink,
+    /// Cached [`SimNet::churn_seq`] from the last clock sync.
+    churn: u64,
+    /// Cached virtual clock (µs) from the last sync.
+    at_us: u64,
+    /// Every swap-cluster id ever registered — exported as trace
+    /// metadata so the conformance checker can flag unknown clusters
+    /// even after empty entries are retired from the live registry.
+    known_clusters: BTreeSet<u32>,
+}
+
+impl Recorder {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Recorder {
+            stats: SwapStats::default(),
+            sink: TraceSink::with_capacity(capacity),
+            churn: 0,
+            at_us: 0,
+            known_clusters: BTreeSet::from([0]),
+        }
+    }
+
+    /// Refresh the cached logical clock from the world. Call while the
+    /// net guard is held; events recorded until the next sync carry this
+    /// stamp.
+    pub(crate) fn sync_clock(&mut self, net: &SimNet) {
+        self.churn = net.churn_seq();
+        self.at_us = net.now().as_micros();
+    }
+
+    pub(crate) fn register_cluster(&mut self, sc: u32) {
+        self.known_clusters.insert(sc);
+    }
+
+    pub(crate) fn known_clusters(&self) -> impl Iterator<Item = u32> + '_ {
+        self.known_clusters.iter().copied()
+    }
+
+    pub(crate) fn sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<TraceRecord> {
+        self.sink.snapshot()
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        self.sink.push(self.churn, self.at_us, kind);
+    }
+
+    // --- Paired bumps: one method per lifecycle fact ----------------------
+
+    pub(crate) fn detach_start(&mut self, sc: u32) {
+        self.emit(EventKind::DetachStart { sc });
+    }
+
+    pub(crate) fn detach_end(&mut self, sc: u32, epoch: u32, bytes: u64, copies: u32) {
+        self.stats.swap_outs += 1;
+        self.stats.bytes_swapped_out += bytes * u64::from(copies);
+        self.emit(EventKind::DetachEnd {
+            sc,
+            epoch,
+            bytes,
+            copies,
+        });
+    }
+
+    pub(crate) fn detach_abort(&mut self, sc: u32) {
+        self.emit(EventKind::DetachAbort { sc });
+    }
+
+    pub(crate) fn reload_start(&mut self, sc: u32) {
+        self.emit(EventKind::ReloadStart { sc });
+    }
+
+    pub(crate) fn reload_end(&mut self, sc: u32, epoch: u32, bytes: u64, failovers: u32) {
+        self.stats.swap_ins += 1;
+        self.stats.bytes_swapped_in += bytes;
+        if failovers > 0 {
+            self.stats.reload_failovers += 1;
+        }
+        self.emit(EventKind::ReloadEnd {
+            sc,
+            epoch,
+            bytes,
+            failovers,
+        });
+    }
+
+    pub(crate) fn reload_abort(&mut self, sc: u32) {
+        self.emit(EventKind::ReloadAbort { sc });
+    }
+
+    pub(crate) fn blob_shipped(
+        &mut self,
+        sc: u32,
+        epoch: u32,
+        device: u32,
+        bytes: u64,
+        airtime_us: u64,
+    ) {
+        self.emit(EventKind::BlobShipped {
+            sc,
+            epoch,
+            device,
+            bytes,
+            airtime_us,
+        });
+    }
+
+    pub(crate) fn blob_dropped(&mut self, sc: u32, device: u32, ok: bool) {
+        if ok {
+            self.stats.blobs_dropped += 1;
+        } else {
+            self.stats.drop_failures += 1;
+        }
+        self.emit(EventKind::BlobDropped { sc, device, ok });
+    }
+
+    pub(crate) fn cluster_dropped(&mut self, sc: u32) {
+        self.emit(EventKind::ClusterDropped { sc });
+    }
+
+    pub(crate) fn failover(&mut self, sc: u32, epoch: u32, device: u32) {
+        self.emit(EventKind::Failover { sc, epoch, device });
+    }
+
+    pub(crate) fn repair_start(&mut self) {
+        self.emit(EventKind::RepairStart);
+    }
+
+    pub(crate) fn repair_end(&mut self, repaired: u64, bytes: u64) {
+        self.stats.repairs += repaired;
+        self.stats.repair_bytes += bytes;
+        self.emit(EventKind::RepairEnd { repaired, bytes });
+    }
+
+    pub(crate) fn proxy_created(&mut self, sc: u32) {
+        self.stats.proxies_created += 1;
+        self.emit(EventKind::ProxyCreated { sc });
+    }
+
+    pub(crate) fn proxy_reused(&mut self, sc: u32) {
+        self.stats.proxies_reused += 1;
+        self.emit(EventKind::ProxyReused { sc });
+    }
+
+    pub(crate) fn proxy_dismantled(&mut self, sc: u32) {
+        self.stats.proxies_dismantled += 1;
+        self.emit(EventKind::ProxyDismantled { sc });
+    }
+
+    pub(crate) fn assign_patch(&mut self, sc: u32) {
+        self.stats.assign_patches += 1;
+        self.emit(EventKind::AssignPatch { sc });
+    }
+
+    pub(crate) fn gc_run(&mut self, freed: u64, dropped: u64) {
+        self.emit(EventKind::GcRun { freed, dropped });
+    }
+
+    pub(crate) fn holder_lost(&mut self, sc: u32, device: u32, left: u32) {
+        self.emit(EventKind::HolderLost { sc, device, left });
+    }
+
+    pub(crate) fn pump_action(&mut self, action: &str) {
+        self.emit(EventKind::PumpAction {
+            action: action.to_owned(),
+        });
+    }
+
+    /// Boundary crossings are counted but not traced: they fire per
+    /// invocation and would drown the lifecycle stream.
+    pub(crate) fn note_crossing(&mut self) {
+        self.stats.crossings += 1;
+    }
+}

@@ -64,6 +64,22 @@ impl SwappingManager {
                 }
             }
         };
+        // Validation passed: the reload is in flight, and any failure below
+        // leaves the cluster swapped out — emit the matching abort so the
+        // conformance replay tracks the revert.
+        self.recorder.reload_start(sc);
+        match self.swap_in_body(p, sc, replacement) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) => {
+                self.recorder.reload_abort(sc);
+                Err(e)
+            }
+        }
+    }
+
+    /// Everything past swap-in validation; an error here aborts the
+    /// in-flight reload (the cluster stays swapped out).
+    fn swap_in_body(&mut self, p: &mut Process, sc: u32, replacement: ObjRef) -> Result<usize> {
         let (epoch, key, holders) = self
             .holders_of(sc)
             .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
@@ -74,7 +90,8 @@ impl SwappingManager {
         let mut tried: Vec<obiwan_net::DeviceId> = Vec::new();
         {
             let mut net = lock_net(&self.net)?;
-            for &holder in &holders {
+            self.recorder.sync_clock(&net);
+            for (i, &holder) in holders.iter().enumerate() {
                 let fetched = if self.config.allow_relays {
                     net.fetch_blob_routed(self.home, holder, &key)
                         .map(|(_, data)| data)
@@ -83,6 +100,7 @@ impl SwappingManager {
                 };
                 match fetched {
                     Ok(bytes) => {
+                        self.recorder.sync_clock(&net);
                         data = Some(bytes);
                         break;
                     }
@@ -91,6 +109,13 @@ impl SwappingManager {
                     | Err(NetError::NotConnected { .. })
                     | Err(NetError::InjectedFailure { .. }) => {
                         tried.push(holder);
+                        // A failover is trying *another* copy; the last
+                        // holder failing dead-ends the reload instead, so
+                        // at most `k - 1` of these can ever be traced.
+                        if i + 1 < holders.len() {
+                            self.recorder.sync_clock(&net);
+                            self.recorder.failover(sc, epoch, holder.index());
+                        }
                         continue;
                     }
                     Err(e) => return Err(e.into()),
@@ -104,9 +129,6 @@ impl SwappingManager {
                 tried,
             });
         };
-        if !tried.is_empty() {
-            self.stats.reload_failovers += 1;
-        }
         let blob_bytes = data.len();
         let blob = wire::decode_blob(&data)?;
         if blob.swap_cluster != sc {
@@ -222,13 +244,14 @@ impl SwappingManager {
                 } else {
                     net.drop_blob(self.home, holder, &key)
                 };
+                self.recorder.sync_clock(&net);
                 match dropped {
-                    Ok(()) => self.stats.blobs_dropped += 1,
+                    Ok(()) => self.recorder.blob_dropped(sc, holder.index(), true),
                     Err(_) => {
                         // Unreachable holder: its copy survives the reload.
                         // Track it as an orphan so a future sweep (or the
                         // repair pass re-adopting it) keeps the room clean.
-                        self.stats.drop_failures += 1;
+                        self.recorder.blob_dropped(sc, holder.index(), false);
                         self.orphaned_blobs.push((holder, key.clone()));
                     }
                 }
@@ -244,8 +267,8 @@ impl SwappingManager {
                 }
             }
         }
-        self.stats.swap_ins += 1;
-        self.stats.bytes_swapped_in += blob_bytes as u64;
+        self.recorder
+            .reload_end(sc, epoch, blob_bytes as u64, tried.len() as u32);
         self.events.push(PolicyEvent::SwappedIn {
             swap_cluster: sc as i64,
         });

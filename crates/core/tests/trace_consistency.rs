@@ -1,0 +1,223 @@
+//! Stats-vs-trace consistency: every counter in [`SwapStats`] must equal
+//! the corresponding fold of the exported event stream, exactly. The
+//! middleware routes all counter bumps and event emissions through one
+//! recorder choke point, so any drift between the two is a wiring bug —
+//! an event emitted without its counter, a counter bumped without its
+//! event, or fold semantics diverging from the stat semantics.
+//!
+//! Runs the full wire-format × replication-factor matrix; the workload
+//! exercises detach, reload, failover (via scripted churn), GC
+//! cooperation, repair sweeps and the proxy rules.
+
+#![allow(clippy::disallowed_methods)] // tests may panic on impossible states
+
+use obiwan_core::{Middleware, SwapError, SwapStats, WireFormatKind};
+use obiwan_heap::Value;
+use obiwan_net::DeviceKind;
+use obiwan_replication::{standard_classes, Server};
+use obiwan_trace::derive::{fold_counts, FoldedCounts};
+
+/// Assert every shared counter matches between the live stats and the
+/// fold of the exported events.
+fn assert_stats_match_fold(stats: &SwapStats, fold: &FoldedCounts, label: &str) {
+    assert_eq!(stats.swap_outs, fold.swap_outs, "{label}: swap_outs");
+    assert_eq!(stats.swap_ins, fold.swap_ins, "{label}: swap_ins");
+    assert_eq!(
+        stats.bytes_swapped_out, fold.bytes_swapped_out,
+        "{label}: bytes_swapped_out"
+    );
+    assert_eq!(
+        stats.bytes_swapped_in, fold.bytes_swapped_in,
+        "{label}: bytes_swapped_in"
+    );
+    assert_eq!(
+        stats.blobs_dropped, fold.blobs_dropped,
+        "{label}: blobs_dropped"
+    );
+    assert_eq!(
+        stats.drop_failures, fold.drop_failures,
+        "{label}: drop_failures"
+    );
+    assert_eq!(
+        stats.proxies_created, fold.proxies_created,
+        "{label}: proxies_created"
+    );
+    assert_eq!(
+        stats.proxies_reused, fold.proxies_reused,
+        "{label}: proxies_reused"
+    );
+    assert_eq!(
+        stats.proxies_dismantled, fold.proxies_dismantled,
+        "{label}: proxies_dismantled"
+    );
+    assert_eq!(
+        stats.assign_patches, fold.assign_patches,
+        "{label}: assign_patches"
+    );
+    assert_eq!(
+        stats.reload_failovers, fold.reload_failovers,
+        "{label}: reload_failovers"
+    );
+    assert_eq!(stats.repairs, fold.repairs, "{label}: repairs");
+    assert_eq!(
+        stats.repair_bytes, fold.repair_bytes,
+        "{label}: repair_bytes"
+    );
+}
+
+/// Deterministic splitmix step for the workload schedule.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Run a mixed workload and return the middleware for inspection.
+fn run_workload(wire_format: WireFormatKind, replication_factor: usize) -> Middleware {
+    const N: usize = 100;
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", N, 32).expect("build");
+    let mut mw = Middleware::builder()
+        .cluster_size(10)
+        .device_memory(1 << 20)
+        .wire_format(wire_format)
+        .replication_factor(replication_factor)
+        .stores(
+            (0..3)
+                .map(|i| {
+                    obiwan_core::StoreSpec::new(format!("store-{i}"), DeviceKind::Laptop, 16 << 20)
+                })
+                .collect(),
+        )
+        .build(server);
+    let storage: Vec<obiwan_net::DeviceId> = mw
+        .net()
+        .lock()
+        .expect("net")
+        .nearby(mw.home_device())
+        .into_iter()
+        .collect();
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+
+    let mut rng = 42u64;
+    let mut away: Option<obiwan_net::DeviceId> = None;
+    let mut churn_cursor = 0usize;
+    for step in 0..120usize {
+        // Periodic churn so holder-loss, failover and repair all fire.
+        if step % 20 == 10 {
+            {
+                let net = mw.net();
+                let mut net = net.lock().expect("net");
+                if let Some(back) = away.take() {
+                    net.arrive(back).expect("arrive");
+                }
+                let leaver = storage[churn_cursor % storage.len()];
+                churn_cursor += 1;
+                net.depart(leaver).expect("depart");
+                away = Some(leaver);
+            }
+            mw.pump().expect("pump after churn");
+        }
+        match next_rand(&mut rng) % 8 {
+            0..=2 => {
+                let sc = 1 + (next_rand(&mut rng) % 10) as u32;
+                match mw.swap_out(sc) {
+                    Ok(_)
+                    | Err(SwapError::BadState { .. })
+                    | Err(SwapError::UnknownSwapCluster { .. })
+                    | Err(SwapError::NothingToSwap { .. })
+                    | Err(SwapError::NoStorageDevice { .. }) => {}
+                    Err(e) => panic!("swap_out: {e}"),
+                }
+            }
+            3..=5 => {
+                let sc = 1 + (next_rand(&mut rng) % 10) as u32;
+                match mw.swap_in(sc) {
+                    Ok(_)
+                    | Err(SwapError::BadState { .. })
+                    | Err(SwapError::UnknownSwapCluster { .. })
+                    | Err(SwapError::DataLost { .. })
+                    | Err(SwapError::BlobUnavailable { .. }) => {}
+                    Err(e) => panic!("swap_in: {e}"),
+                }
+            }
+            6 => {
+                mw.run_gc().expect("gc");
+            }
+            _ => {
+                mw.pump().expect("pump");
+            }
+        }
+    }
+    mw
+}
+
+#[test]
+fn stats_equal_event_fold_across_formats_and_replication() {
+    for wire_format in WireFormatKind::ALL {
+        for k in [1usize, 2] {
+            let mw = run_workload(wire_format, k);
+            let stats = mw.swap_stats();
+            let trace = mw.export_trace();
+            assert_eq!(
+                trace.meta.dropped, 0,
+                "{wire_format} k={k}: ring must not truncate this workload"
+            );
+            let fold = fold_counts(&trace.events);
+            let label = format!("{wire_format} k={k}");
+            assert_stats_match_fold(&stats, &fold, &label);
+            // The workload must actually exercise the lifecycle for the
+            // equality to mean anything.
+            assert!(stats.swap_outs > 0, "{label}: no swap-outs happened");
+            assert!(stats.swap_ins > 0, "{label}: no reloads happened");
+        }
+    }
+}
+
+#[test]
+fn fold_survives_the_json_round_trip() {
+    let mw = run_workload(WireFormatKind::Xml, 2);
+    let trace = mw.export_trace();
+    let round =
+        obiwan_trace::Trace::from_json(&trace.to_json()).expect("exported trace re-imports");
+    assert_eq!(fold_counts(&round.events), fold_counts(&trace.events));
+}
+
+#[test]
+fn truncated_ring_still_tracks_drop_count() {
+    // A tiny ring drops early events; the fold then legitimately
+    // disagrees with the stats, and meta.dropped says by how much the
+    // stream is short. The conformance checker refuses such traces.
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", 60, 32).expect("build");
+    let mut mw = Middleware::builder()
+        .cluster_size(6)
+        .device_memory(1 << 20)
+        .trace_capacity(4)
+        .build(server);
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+    for sc in 1..=5u32 {
+        mw.swap_out(sc).expect("swap out");
+    }
+    let trace = mw.export_trace();
+    assert!(trace.meta.dropped > 0, "tiny ring must have evicted events");
+    assert_eq!(trace.events.len(), 4);
+    assert_eq!(
+        trace.meta.recorded,
+        trace.meta.dropped + trace.events.len() as u64
+    );
+    let report = obiwan_trace::conformance::check(&trace);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == obiwan_trace::TraceRule::Truncated),
+        "truncated trace must be refused"
+    );
+}

@@ -130,7 +130,7 @@ impl SimNet {
             let cost = link.transfer_time(data.len());
             self.advance(cost);
             total += cost;
-            self.push_route_trace(cur, relay, key, data.len());
+            self.push_route_trace(cur, relay, key, data.len(), cost);
             cur = relay;
         }
         let cost = self.send_blob(cur, to, key, data)?;
@@ -170,16 +170,18 @@ impl SimNet {
                 from: cur,
                 to: relay,
             })?;
-            self.advance(link.transfer_time(data.len()));
-            self.push_route_trace(cur, relay, key, data.len());
+            let cost = link.transfer_time(data.len());
+            self.advance(cost);
+            self.push_route_trace(cur, relay, key, data.len(), cost);
             cur = relay;
         }
         let link = self.link(cur, from).ok_or(NetError::NotConnected {
             from: cur,
             to: from,
         })?;
-        self.advance(link.transfer_time(data.len()));
-        self.push_route_trace(cur, from, key, data.len());
+        let cost = link.transfer_time(data.len());
+        self.advance(cost);
+        self.push_route_trace(cur, from, key, data.len(), cost);
         Ok((route, data))
     }
 
@@ -208,7 +210,14 @@ impl SimNet {
         self.drop_blob(cur, to, key)
     }
 
-    fn push_route_trace(&mut self, from: DeviceId, to: DeviceId, key: &str, bytes: usize) {
+    fn push_route_trace(
+        &mut self,
+        from: DeviceId,
+        to: DeviceId,
+        key: &str,
+        bytes: usize,
+        airtime: SimDuration,
+    ) {
         let at = self.now();
         self.push_trace_at(
             at,
@@ -217,6 +226,7 @@ impl SimNet {
                 to,
                 key: key.to_string(),
                 bytes,
+                airtime,
             },
         );
     }

@@ -230,6 +230,7 @@ impl SimNet {
             to,
             key: key.to_string(),
             bytes,
+            airtime: cost,
         });
         Ok(cost)
     }
@@ -252,6 +253,7 @@ impl SimNet {
             to,
             key: key.to_string(),
             bytes,
+            airtime: cost,
         });
         Ok(data)
     }
@@ -270,6 +272,7 @@ impl SimNet {
             from,
             to,
             key: key.to_string(),
+            airtime: link.latency,
         });
         Ok(())
     }

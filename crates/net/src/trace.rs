@@ -1,6 +1,6 @@
 //! Event trace of the simulated world.
 
-use crate::{DeviceId, SimTime};
+use crate::{DeviceId, SimDuration, SimTime};
 use std::fmt;
 
 /// What happened.
@@ -33,6 +33,8 @@ pub enum TraceKind {
         key: String,
         /// Blob size in bytes.
         bytes: usize,
+        /// Airtime the transfer cost.
+        airtime: SimDuration,
     },
     /// A blob was fetched back.
     BlobFetched {
@@ -44,6 +46,8 @@ pub enum TraceKind {
         key: String,
         /// Blob size in bytes.
         bytes: usize,
+        /// Airtime the transfer cost.
+        airtime: SimDuration,
     },
     /// A blob transited a relay hop (multi-hop routing).
     BlobRelayed {
@@ -55,6 +59,8 @@ pub enum TraceKind {
         key: String,
         /// Bytes forwarded.
         bytes: usize,
+        /// Airtime this hop cost.
+        airtime: SimDuration,
     },
     /// A storing device was instructed to drop a blob.
     BlobDropped {
@@ -64,6 +70,8 @@ pub enum TraceKind {
         to: DeviceId,
         /// Blob key.
         key: String,
+        /// Airtime the control message cost (one link latency).
+        airtime: SimDuration,
     },
     /// Two devices were linked.
     Linked {
@@ -105,21 +113,29 @@ impl fmt::Display for TraceEvent {
                 to,
                 key,
                 bytes,
-            } => write!(f, "{from} stored `{key}` ({bytes} B) on {to}"),
+                airtime,
+            } => write!(f, "{from} stored `{key}` ({bytes} B, {airtime}) on {to}"),
             TraceKind::BlobFetched {
                 from,
                 to,
                 key,
                 bytes,
-            } => write!(f, "{from} fetched `{key}` ({bytes} B) from {to}"),
+                airtime,
+            } => write!(f, "{from} fetched `{key}` ({bytes} B, {airtime}) from {to}"),
             TraceKind::BlobRelayed {
                 from,
                 to,
                 key,
                 bytes,
-            } => write!(f, "{from} relayed `{key}` ({bytes} B) to {to}"),
-            TraceKind::BlobDropped { from, to, key } => {
-                write!(f, "{from} dropped `{key}` on {to}")
+                airtime,
+            } => write!(f, "{from} relayed `{key}` ({bytes} B, {airtime}) to {to}"),
+            TraceKind::BlobDropped {
+                from,
+                to,
+                key,
+                airtime,
+            } => {
+                write!(f, "{from} dropped `{key}` on {to} ({airtime})")
             }
             TraceKind::Linked { a, b } => write!(f, "linked {a} <-> {b}"),
             TraceKind::Unlinked { a, b } => write!(f, "unlinked {a} <-> {b}"),
@@ -141,6 +157,7 @@ mod tests {
                 to: DeviceId(1),
                 key: "sc-2".into(),
                 bytes: 640,
+                airtime: SimDuration::from_micros(1_200),
             },
         };
         let s = e.to_string();

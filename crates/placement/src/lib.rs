@@ -25,7 +25,7 @@
 #![warn(missing_docs)]
 
 use obiwan_net::DeviceId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One device volunteering (or considered) to hold a blob copy, with the
@@ -194,7 +194,7 @@ pub struct Placement {
 /// bytes is the swapping manager's job.
 #[derive(Debug, Clone, Default)]
 pub struct PlacementTable {
-    entries: HashMap<(u32, u32), Placement>,
+    entries: BTreeMap<(u32, u32), Placement>,
 }
 
 impl PlacementTable {
@@ -268,7 +268,8 @@ impl PlacementTable {
     }
 
     /// Iterate all `(swap_cluster, epoch, placement)` entries in
-    /// unspecified order.
+    /// `(swap_cluster, epoch)` order — deterministic, so event streams
+    /// derived from placement sweeps replay byte-identically.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &Placement)> {
         self.entries.iter().map(|(&(sc, epoch), p)| (sc, epoch, p))
     }

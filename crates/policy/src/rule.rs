@@ -118,6 +118,21 @@ pub enum Action {
     },
 }
 
+impl Action {
+    /// The stable kebab-case name of the action kind — the vocabulary the
+    /// swap-lifecycle trace records pump decisions under.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Action::SwapOutVictims { .. } => "swap-out-victims",
+            Action::RunGc => "run-gc",
+            Action::AdjustClusterSize { .. } => "adjust-cluster-size",
+            Action::PreferDeviceKind { .. } => "prefer-device-kind",
+            Action::RepairPlacements => "repair-placements",
+            Action::Log { .. } => "log",
+        }
+    }
+}
+
 /// A complete policy rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {

@@ -1,0 +1,708 @@
+//! Replay an exported trace against the swap-lifecycle state machine.
+//!
+//! The checker is the telemetry subsystem's teeth: counters can be summed
+//! wrong and nobody notices, but a trace that claims a cluster reloaded
+//! twice without detaching in between, regressed its epoch, or failed
+//! over more times than it has replicas is caught here mechanically. The
+//! auditor's `trace-verify` binary and the property tests both funnel
+//! through [`check`].
+
+use crate::json::Trace;
+use crate::EventKind;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The conformance rules a trace can violate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceRule {
+    /// The ring evicted events; pairing rules cannot be replayed.
+    Truncated,
+    /// Stamps must be ordered: `seq` strictly increasing, `churn` and
+    /// `at_us` non-decreasing.
+    StampRegression,
+    /// Every cluster-bearing event must name a cluster the run registered.
+    UnknownCluster,
+    /// The event is not legal in the cluster's current lifecycle state.
+    IllegalTransition,
+    /// Swap-out epochs must strictly increase per cluster.
+    EpochRegression,
+    /// An epoch-bearing event disagrees with the epoch the cluster is
+    /// actually out under.
+    EpochMismatch,
+    /// A single reload failed over more than `replication_factor - 1`
+    /// times.
+    ExcessFailovers,
+    /// `ReloadEnd.failovers` disagrees with the `Failover` events seen.
+    FailoverMiscount,
+    /// A swap-out stored more copies than the configured placement width.
+    ExcessCopies,
+    /// The trace ends with a cluster mid-detach or mid-reload.
+    UnterminatedPhase,
+    /// The final states disagree with the exported `meta.swapped` list.
+    SwappedMismatch,
+}
+
+impl fmt::Display for TraceRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TraceRule::Truncated => "truncated",
+            TraceRule::StampRegression => "stamp-regression",
+            TraceRule::UnknownCluster => "unknown-cluster",
+            TraceRule::IllegalTransition => "illegal-transition",
+            TraceRule::EpochRegression => "epoch-regression",
+            TraceRule::EpochMismatch => "epoch-mismatch",
+            TraceRule::ExcessFailovers => "excess-failovers",
+            TraceRule::FailoverMiscount => "failover-miscount",
+            TraceRule::ExcessCopies => "excess-copies",
+            TraceRule::UnterminatedPhase => "unterminated-phase",
+            TraceRule::SwappedMismatch => "swapped-mismatch",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One rule violation found while replaying a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformanceViolation {
+    /// The rule that was broken.
+    pub rule: TraceRule,
+    /// Sequence number of the offending event; `None` for end-of-trace
+    /// and metadata violations.
+    pub seq: Option<u64>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConformanceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.seq {
+            Some(seq) => write!(f, "[{}] event #{seq}: {}", self.rule, self.message),
+            None => write!(f, "[{}] {}", self.rule, self.message),
+        }
+    }
+}
+
+/// The outcome of replaying a trace through the lifecycle state machine.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConformanceReport {
+    /// Events replayed.
+    pub events_checked: u64,
+    /// Every violation found, in replay order.
+    pub violations: Vec<ConformanceViolation>,
+}
+
+impl ConformanceReport {
+    /// Whether the trace passed every rule.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ConformanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "trace conforms ({} events checked)", self.events_checked)
+        } else {
+            writeln!(
+                f,
+                "trace violates {} rule(s) across {} events:",
+                self.violations.len(),
+                self.events_checked
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Per-cluster lifecycle state the replay walks through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Loaded,
+    Detaching,
+    Out,
+    Reloading,
+    Gone,
+}
+
+impl State {
+    fn name(self) -> &'static str {
+        match self {
+            State::Loaded => "loaded",
+            State::Detaching => "detaching",
+            State::Out => "out",
+            State::Reloading => "reloading",
+            State::Gone => "gone",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ClusterReplay {
+    state: State,
+    /// Epoch of the last completed swap-out.
+    last_epoch: Option<u32>,
+    /// Epoch the cluster is currently out under.
+    out_epoch: Option<u32>,
+    /// Epochs shipped during the in-flight detach.
+    shipping: Vec<u32>,
+    /// `Failover` events seen during the in-flight reload.
+    failovers: u32,
+}
+
+impl ClusterReplay {
+    fn new() -> Self {
+        ClusterReplay {
+            state: State::Loaded,
+            last_epoch: None,
+            out_epoch: None,
+            shipping: Vec::new(),
+            failovers: 0,
+        }
+    }
+}
+
+/// Replay `trace` through the lifecycle state machine and report every
+/// violation. A truncated trace (ring evictions) reports only
+/// [`TraceRule::Truncated`]: pairing rules cannot be trusted on a stream
+/// with holes.
+pub fn check(trace: &Trace) -> ConformanceReport {
+    let mut report = ConformanceReport {
+        events_checked: trace.events.len() as u64,
+        violations: Vec::new(),
+    };
+    if trace.meta.dropped > 0 {
+        report.violations.push(ConformanceViolation {
+            rule: TraceRule::Truncated,
+            seq: None,
+            message: format!(
+                "{} event(s) were evicted from the ring; the trace cannot be replayed",
+                trace.meta.dropped
+            ),
+        });
+        return report;
+    }
+
+    let known: BTreeSet<u32> = trace.meta.clusters.iter().copied().collect();
+    let k = u64::from(trace.meta.replication_factor.max(1));
+    let mut clusters: BTreeMap<u32, ClusterReplay> = BTreeMap::new();
+    let mut last_stamp: Option<crate::Stamp> = None;
+
+    for record in &trace.events {
+        let seq = record.stamp.seq;
+        let mut flag = |rule: TraceRule, message: String| {
+            report.violations.push(ConformanceViolation {
+                rule,
+                seq: Some(seq),
+                message,
+            });
+        };
+
+        if let Some(prev) = last_stamp {
+            if record.stamp.seq <= prev.seq {
+                flag(
+                    TraceRule::StampRegression,
+                    format!(
+                        "seq {} does not increase past {}",
+                        record.stamp.seq, prev.seq
+                    ),
+                );
+            }
+            if record.stamp.churn < prev.churn {
+                flag(
+                    TraceRule::StampRegression,
+                    format!(
+                        "churn {} regressed below {}",
+                        record.stamp.churn, prev.churn
+                    ),
+                );
+            }
+            if record.stamp.at_us < prev.at_us {
+                flag(
+                    TraceRule::StampRegression,
+                    format!(
+                        "virtual clock {}us regressed below {}us",
+                        record.stamp.at_us, prev.at_us
+                    ),
+                );
+            }
+        }
+        last_stamp = Some(record.stamp);
+
+        let sc = match record.kind.swap_cluster() {
+            Some(sc) => {
+                if !known.contains(&sc) {
+                    flag(
+                        TraceRule::UnknownCluster,
+                        format!(
+                            "event {} names unregistered cluster {sc}",
+                            record.kind.name()
+                        ),
+                    );
+                    continue;
+                }
+                sc
+            }
+            // Whole-manager events (repair, gc, pump) have no per-cluster
+            // state machine to advance.
+            None => continue,
+        };
+        let cl = clusters.entry(sc).or_insert_with(ClusterReplay::new);
+
+        match &record.kind {
+            EventKind::DetachStart { .. } => {
+                if cl.state != State::Loaded {
+                    flag(
+                        TraceRule::IllegalTransition,
+                        format!("detach-start while cluster {sc} is {}", cl.state.name()),
+                    );
+                }
+                cl.state = State::Detaching;
+                cl.shipping.clear();
+            }
+            EventKind::DetachEnd { epoch, copies, .. } => {
+                if cl.state != State::Detaching {
+                    flag(
+                        TraceRule::IllegalTransition,
+                        format!("detach-end while cluster {sc} is {}", cl.state.name()),
+                    );
+                }
+                if let Some(last) = cl.last_epoch {
+                    if *epoch <= last {
+                        flag(
+                            TraceRule::EpochRegression,
+                            format!("cluster {sc} swapped out under epoch {epoch} after {last}"),
+                        );
+                    }
+                }
+                for shipped in &cl.shipping {
+                    if shipped != epoch {
+                        flag(
+                            TraceRule::EpochMismatch,
+                            format!(
+                                "cluster {sc} shipped epoch {shipped} but detached under {epoch}"
+                            ),
+                        );
+                    }
+                }
+                if u64::from(*copies) > k {
+                    flag(
+                        TraceRule::ExcessCopies,
+                        format!("cluster {sc} stored {copies} copies with k={k}"),
+                    );
+                }
+                cl.state = State::Out;
+                cl.last_epoch = Some(*epoch);
+                cl.out_epoch = Some(*epoch);
+                cl.shipping.clear();
+            }
+            EventKind::DetachAbort { .. } => {
+                if cl.state != State::Detaching {
+                    flag(
+                        TraceRule::IllegalTransition,
+                        format!("detach-abort while cluster {sc} is {}", cl.state.name()),
+                    );
+                }
+                cl.state = State::Loaded;
+                cl.shipping.clear();
+            }
+            EventKind::ReloadStart { .. } => {
+                if cl.state != State::Out {
+                    flag(
+                        TraceRule::IllegalTransition,
+                        format!("reload-start while cluster {sc} is {}", cl.state.name()),
+                    );
+                }
+                cl.state = State::Reloading;
+                cl.failovers = 0;
+            }
+            EventKind::ReloadEnd {
+                epoch, failovers, ..
+            } => {
+                if cl.state != State::Reloading {
+                    flag(
+                        TraceRule::IllegalTransition,
+                        format!("reload-end while cluster {sc} is {}", cl.state.name()),
+                    );
+                }
+                if let Some(out) = cl.out_epoch {
+                    if *epoch != out {
+                        flag(
+                            TraceRule::EpochMismatch,
+                            format!("cluster {sc} reloaded epoch {epoch} while out under {out}"),
+                        );
+                    }
+                }
+                if *failovers != cl.failovers {
+                    flag(
+                        TraceRule::FailoverMiscount,
+                        format!(
+                            "reload-end claims {failovers} failover(s) but {} were traced",
+                            cl.failovers
+                        ),
+                    );
+                }
+                cl.state = State::Loaded;
+                cl.out_epoch = None;
+                cl.failovers = 0;
+            }
+            EventKind::ReloadAbort { .. } => {
+                if cl.state != State::Reloading {
+                    flag(
+                        TraceRule::IllegalTransition,
+                        format!("reload-abort while cluster {sc} is {}", cl.state.name()),
+                    );
+                }
+                cl.state = State::Out;
+                cl.failovers = 0;
+            }
+            EventKind::BlobShipped { epoch, .. } => match cl.state {
+                State::Detaching => cl.shipping.push(*epoch),
+                // Repair sweeps re-replicate blobs of swapped-out clusters.
+                State::Out => {
+                    if let Some(out) = cl.out_epoch {
+                        if *epoch != out {
+                            flag(
+                                TraceRule::EpochMismatch,
+                                format!(
+                                    "repair shipped epoch {epoch} for cluster {sc} out under {out}"
+                                ),
+                            );
+                        }
+                    }
+                }
+                other => flag(
+                    TraceRule::IllegalTransition,
+                    format!("blob-shipped while cluster {sc} is {}", other.name()),
+                ),
+            },
+            EventKind::BlobDropped { .. } => {
+                if !matches!(cl.state, State::Out | State::Reloading) {
+                    flag(
+                        TraceRule::IllegalTransition,
+                        format!("blob-dropped while cluster {sc} is {}", cl.state.name()),
+                    );
+                }
+            }
+            EventKind::ClusterDropped { .. } => {
+                if cl.state != State::Out {
+                    flag(
+                        TraceRule::IllegalTransition,
+                        format!("cluster-dropped while cluster {sc} is {}", cl.state.name()),
+                    );
+                }
+                cl.state = State::Gone;
+                cl.out_epoch = None;
+            }
+            EventKind::Failover { epoch, .. } => {
+                if cl.state != State::Reloading {
+                    flag(
+                        TraceRule::IllegalTransition,
+                        format!("failover while cluster {sc} is {}", cl.state.name()),
+                    );
+                }
+                if let Some(out) = cl.out_epoch {
+                    if *epoch != out {
+                        flag(
+                            TraceRule::EpochMismatch,
+                            format!(
+                                "failover names epoch {epoch} for cluster {sc} out under {out}"
+                            ),
+                        );
+                    }
+                }
+                cl.failovers += 1;
+                if u64::from(cl.failovers) > k.saturating_sub(1) {
+                    flag(
+                        TraceRule::ExcessFailovers,
+                        format!(
+                            "cluster {sc} failed over {} time(s) with k={k}",
+                            cl.failovers
+                        ),
+                    );
+                }
+            }
+            EventKind::HolderLost { .. } => {
+                if cl.state != State::Out {
+                    flag(
+                        TraceRule::IllegalTransition,
+                        format!("holder-lost while cluster {sc} is {}", cl.state.name()),
+                    );
+                }
+            }
+            // Proxy traffic is legal in every state: crossings happen
+            // while loaded, surgery while detaching, patching on reload.
+            EventKind::ProxyCreated { .. }
+            | EventKind::ProxyReused { .. }
+            | EventKind::ProxyDismantled { .. }
+            | EventKind::AssignPatch { .. } => {}
+            EventKind::RepairStart
+            | EventKind::RepairEnd { .. }
+            | EventKind::GcRun { .. }
+            | EventKind::PumpAction { .. } => {}
+        }
+    }
+
+    // End-of-trace rules: nothing mid-phase, and the exporter's idea of
+    // what is swapped out must match the replayed states.
+    let swapped_meta: BTreeSet<u32> = trace.meta.swapped.iter().copied().collect();
+    let mut swapped_replay: BTreeSet<u32> = BTreeSet::new();
+    for (sc, cl) in &clusters {
+        match cl.state {
+            State::Detaching | State::Reloading => {
+                report.violations.push(ConformanceViolation {
+                    rule: TraceRule::UnterminatedPhase,
+                    seq: None,
+                    message: format!("trace ends with cluster {sc} still {}", cl.state.name()),
+                });
+            }
+            State::Out => {
+                swapped_replay.insert(*sc);
+            }
+            State::Loaded | State::Gone => {}
+        }
+    }
+    for sc in swapped_replay.difference(&swapped_meta) {
+        report.violations.push(ConformanceViolation {
+            rule: TraceRule::SwappedMismatch,
+            seq: None,
+            message: format!("replay leaves cluster {sc} out but meta.swapped omits it"),
+        });
+    }
+    for sc in swapped_meta.difference(&swapped_replay) {
+        report.violations.push(ConformanceViolation {
+            rule: TraceRule::SwappedMismatch,
+            seq: None,
+            message: format!("meta.swapped lists cluster {sc} but the replay leaves it loaded"),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
+mod tests {
+    use super::*;
+    use crate::{Stamp, TraceMeta, TraceRecord};
+
+    fn rec(seq: u64, at_us: u64, kind: EventKind) -> TraceRecord {
+        TraceRecord {
+            stamp: Stamp {
+                seq,
+                churn: 0,
+                at_us,
+            },
+            kind,
+        }
+    }
+
+    fn meta(k: u32, clusters: &[u32], swapped: &[u32]) -> TraceMeta {
+        TraceMeta {
+            home: 0,
+            replication_factor: k,
+            wire_format: "xml".to_owned(),
+            capacity: 1024,
+            recorded: 0,
+            dropped: 0,
+            clusters: clusters.to_vec(),
+            swapped: swapped.to_vec(),
+        }
+    }
+
+    fn clean_round_trip() -> Trace {
+        Trace {
+            meta: meta(2, &[0, 1], &[]),
+            events: vec![
+                rec(0, 0, EventKind::DetachStart { sc: 1 }),
+                rec(
+                    1,
+                    10,
+                    EventKind::BlobShipped {
+                        sc: 1,
+                        epoch: 0,
+                        device: 2,
+                        bytes: 64,
+                        airtime_us: 10,
+                    },
+                ),
+                rec(
+                    2,
+                    20,
+                    EventKind::DetachEnd {
+                        sc: 1,
+                        epoch: 0,
+                        bytes: 64,
+                        copies: 2,
+                    },
+                ),
+                rec(3, 30, EventKind::ReloadStart { sc: 1 }),
+                rec(
+                    4,
+                    40,
+                    EventKind::Failover {
+                        sc: 1,
+                        epoch: 0,
+                        device: 2,
+                    },
+                ),
+                rec(
+                    5,
+                    50,
+                    EventKind::ReloadEnd {
+                        sc: 1,
+                        epoch: 0,
+                        bytes: 64,
+                        failovers: 1,
+                    },
+                ),
+            ],
+        }
+    }
+
+    fn rules(report: &ConformanceReport) -> Vec<TraceRule> {
+        report.violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn clean_trace_conforms() {
+        let report = check(&clean_round_trip());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.events_checked, 6);
+    }
+
+    #[test]
+    fn truncated_trace_short_circuits() {
+        let mut t = clean_round_trip();
+        t.meta.dropped = 5;
+        // Even violations downstream are not reported: the replay is off.
+        t.events.remove(0);
+        assert_eq!(rules(&check(&t)), vec![TraceRule::Truncated]);
+    }
+
+    #[test]
+    fn unknown_cluster_is_flagged() {
+        let mut t = clean_round_trip();
+        t.meta.clusters = vec![0];
+        let report = check(&t);
+        assert!(rules(&report).contains(&TraceRule::UnknownCluster));
+    }
+
+    #[test]
+    fn reload_without_detach_is_illegal() {
+        let t = Trace {
+            meta: meta(1, &[0, 1], &[]),
+            events: vec![rec(0, 0, EventKind::ReloadStart { sc: 1 })],
+        };
+        let report = check(&t);
+        assert!(rules(&report).contains(&TraceRule::IllegalTransition));
+        // ...and the trace then ends mid-reload.
+        assert!(rules(&report).contains(&TraceRule::UnterminatedPhase));
+    }
+
+    #[test]
+    fn epoch_must_increase_per_cluster() {
+        let mut t = clean_round_trip();
+        t.events.extend([
+            rec(6, 60, EventKind::DetachStart { sc: 1 }),
+            rec(
+                7,
+                70,
+                EventKind::DetachEnd {
+                    sc: 1,
+                    epoch: 0,
+                    bytes: 64,
+                    copies: 1,
+                },
+            ),
+        ]);
+        t.meta.swapped = vec![1];
+        assert_eq!(rules(&check(&t)), vec![TraceRule::EpochRegression]);
+    }
+
+    #[test]
+    fn failovers_bounded_by_replication() {
+        let mut t = clean_round_trip();
+        t.meta.replication_factor = 1;
+        let report = check(&t);
+        assert!(rules(&report).contains(&TraceRule::ExcessFailovers));
+    }
+
+    #[test]
+    fn miscounted_failovers_are_flagged() {
+        let mut t = clean_round_trip();
+        t.events.remove(4); // drop the Failover event, keep failovers:1
+        let report = check(&t);
+        assert!(rules(&report).contains(&TraceRule::FailoverMiscount));
+    }
+
+    #[test]
+    fn stamp_regressions_are_flagged() {
+        let mut t = clean_round_trip();
+        t.events[3].stamp.at_us = 5; // reload-start before detach-end time
+        let report = check(&t);
+        assert!(rules(&report).contains(&TraceRule::StampRegression));
+    }
+
+    #[test]
+    fn swapped_meta_must_match_replay() {
+        let mut t = clean_round_trip();
+        t.meta.swapped = vec![1]; // replay reloads cluster 1 back in
+        assert_eq!(rules(&check(&t)), vec![TraceRule::SwappedMismatch]);
+    }
+
+    #[test]
+    fn gone_clusters_admit_nothing_further() {
+        let t = Trace {
+            meta: meta(1, &[0, 1], &[]),
+            events: vec![
+                rec(0, 0, EventKind::DetachStart { sc: 1 }),
+                rec(
+                    1,
+                    10,
+                    EventKind::DetachEnd {
+                        sc: 1,
+                        epoch: 0,
+                        bytes: 8,
+                        copies: 1,
+                    },
+                ),
+                rec(
+                    2,
+                    20,
+                    EventKind::BlobDropped {
+                        sc: 1,
+                        device: 2,
+                        ok: true,
+                    },
+                ),
+                rec(3, 30, EventKind::ClusterDropped { sc: 1 }),
+                rec(4, 40, EventKind::ReloadStart { sc: 1 }),
+            ],
+        };
+        let report = check(&t);
+        assert!(rules(&report).contains(&TraceRule::IllegalTransition));
+    }
+
+    #[test]
+    fn excess_copies_are_flagged() {
+        let t = Trace {
+            meta: meta(1, &[0, 1], &[1]),
+            events: vec![
+                rec(0, 0, EventKind::DetachStart { sc: 1 }),
+                rec(
+                    1,
+                    10,
+                    EventKind::DetachEnd {
+                        sc: 1,
+                        epoch: 0,
+                        bytes: 8,
+                        copies: 3,
+                    },
+                ),
+            ],
+        };
+        assert_eq!(rules(&check(&t)), vec![TraceRule::ExcessCopies]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Folds over the event stream: counters, histograms, timelines.
+//!
+//! Everything here is a pure function of `&[TraceRecord]` — derived views
+//! never consult the live middleware, so they work identically on a live
+//! sink snapshot and on a re-imported JSON trace.
+
+use crate::{EventKind, Histogram, TraceRecord};
+use std::collections::BTreeMap;
+
+/// Lifecycle counters derived by folding the event stream. Field names
+/// mirror the middleware's `SwapStats`; the consistency tests assert the
+/// two never drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct FoldedCounts {
+    /// Completed swap-outs (`DetachEnd` events).
+    pub swap_outs: u64,
+    /// Completed reloads (`ReloadEnd` events).
+    pub swap_ins: u64,
+    /// Blob drops that reached the holder (`BlobDropped { ok: true }`).
+    pub blobs_dropped: u64,
+    /// Blob drops that could not reach the holder.
+    pub drop_failures: u64,
+    /// Proxies created (`ProxyCreated`).
+    pub proxies_created: u64,
+    /// Proxies reused (`ProxyReused`).
+    pub proxies_reused: u64,
+    /// Proxies dismantled (`ProxyDismantled`).
+    pub proxies_dismantled: u64,
+    /// Assign-marked self-patches (`AssignPatch`).
+    pub assign_patches: u64,
+    /// Payload bytes shipped out (`DetachEnd.bytes × copies`).
+    pub bytes_swapped_out: u64,
+    /// Payload bytes fetched back (`ReloadEnd.bytes`).
+    pub bytes_swapped_in: u64,
+    /// Reloads that succeeded only after at least one failover.
+    pub reload_failovers: u64,
+    /// Clusters re-replicated by repair sweeps (`RepairEnd.repaired`).
+    pub repairs: u64,
+    /// Bytes repair sweeps moved (`RepairEnd.bytes`).
+    pub repair_bytes: u64,
+}
+
+/// Fold the event stream into lifecycle counters.
+pub fn fold_counts(records: &[TraceRecord]) -> FoldedCounts {
+    let mut c = FoldedCounts::default();
+    for r in records {
+        match &r.kind {
+            EventKind::DetachEnd { bytes, copies, .. } => {
+                c.swap_outs += 1;
+                c.bytes_swapped_out += bytes * u64::from(*copies);
+            }
+            EventKind::ReloadEnd {
+                bytes, failovers, ..
+            } => {
+                c.swap_ins += 1;
+                c.bytes_swapped_in += bytes;
+                if *failovers > 0 {
+                    c.reload_failovers += 1;
+                }
+            }
+            EventKind::BlobDropped { ok: true, .. } => c.blobs_dropped += 1,
+            EventKind::BlobDropped { ok: false, .. } => c.drop_failures += 1,
+            EventKind::ProxyCreated { .. } => c.proxies_created += 1,
+            EventKind::ProxyReused { .. } => c.proxies_reused += 1,
+            EventKind::ProxyDismantled { .. } => c.proxies_dismantled += 1,
+            EventKind::AssignPatch { .. } => c.assign_patches += 1,
+            EventKind::RepairEnd { repaired, bytes } => {
+                c.repairs += repaired;
+                c.repair_bytes += bytes;
+            }
+            _ => {}
+        }
+    }
+    c
+}
+
+/// Histogram summary of a trace: how long the lifecycle phases took and
+/// how big the blobs were.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct TraceSummary {
+    /// Virtual time from `DetachStart` to `DetachEnd`, per swap-out.
+    pub detach_us: Histogram,
+    /// Virtual time from `ReloadStart` to `ReloadEnd`, per reload.
+    pub reload_us: Histogram,
+    /// Payload bytes per stored copy, per swap-out.
+    pub blob_bytes: Histogram,
+    /// Airtime per shipped copy (`BlobShipped.airtime_us`).
+    pub ship_airtime_us: Histogram,
+}
+
+impl TraceSummary {
+    /// Deterministic JSON rendering of the four histograms as one object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"detach_us\":{},\"reload_us\":{},\"blob_bytes\":{},\"ship_airtime_us\":{}}}",
+            self.detach_us.to_json(),
+            self.reload_us.to_json(),
+            self.blob_bytes.to_json(),
+            self.ship_airtime_us.to_json()
+        )
+    }
+}
+
+/// Derive the phase-latency and size histograms from the stream.
+///
+/// Start events without a matching end (aborted or trace-truncated
+/// phases) contribute nothing; sizes come from the completed `DetachEnd`
+/// events only.
+pub fn summarize(records: &[TraceRecord]) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    let mut detach_started: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut reload_started: BTreeMap<u32, u64> = BTreeMap::new();
+    for r in records {
+        match &r.kind {
+            EventKind::DetachStart { sc } => {
+                detach_started.insert(*sc, r.stamp.at_us);
+            }
+            EventKind::DetachEnd { sc, bytes, .. } => {
+                if let Some(t0) = detach_started.remove(sc) {
+                    s.detach_us.record(r.stamp.at_us.saturating_sub(t0));
+                }
+                s.blob_bytes.record(*bytes);
+            }
+            EventKind::DetachAbort { sc } => {
+                detach_started.remove(sc);
+            }
+            EventKind::ReloadStart { sc } => {
+                reload_started.insert(*sc, r.stamp.at_us);
+            }
+            EventKind::ReloadEnd { sc, .. } => {
+                if let Some(t0) = reload_started.remove(sc) {
+                    s.reload_us.record(r.stamp.at_us.saturating_sub(t0));
+                }
+            }
+            EventKind::ReloadAbort { sc } => {
+                reload_started.remove(sc);
+            }
+            EventKind::BlobShipped { airtime_us, .. } => {
+                s.ship_airtime_us.record(*airtime_us);
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+/// One phase of a cluster's lifecycle timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase name: `"detaching"`, `"out"`, `"reloading"`, `"loaded"`,
+    /// `"dropped"`.
+    pub name: &'static str,
+    /// Virtual time the phase began.
+    pub from_us: u64,
+    /// Virtual time the phase ended; `None` when the trace ends inside it.
+    pub to_us: Option<u64>,
+}
+
+/// Per-cluster lifecycle timelines: for every swap-cluster named by a
+/// lifecycle event, the ordered phases it went through. Clusters start
+/// implicitly `loaded`; only phase *changes* are materialized, so a
+/// cluster that never swapped has an empty timeline.
+pub fn timelines(records: &[TraceRecord]) -> BTreeMap<u32, Vec<Phase>> {
+    let mut out: BTreeMap<u32, Vec<Phase>> = BTreeMap::new();
+    let mut open = |sc: u32, name: &'static str, at: u64| {
+        let spans = out.entry(sc).or_default();
+        if let Some(last) = spans.last_mut() {
+            if last.to_us.is_none() {
+                last.to_us = Some(at);
+            }
+        }
+        spans.push(Phase {
+            name,
+            from_us: at,
+            to_us: None,
+        });
+    };
+    for r in records {
+        let at = r.stamp.at_us;
+        match &r.kind {
+            EventKind::DetachStart { sc } => open(*sc, "detaching", at),
+            EventKind::DetachEnd { sc, .. } => open(*sc, "out", at),
+            EventKind::DetachAbort { sc } | EventKind::ReloadEnd { sc, .. } => {
+                open(*sc, "loaded", at)
+            }
+            EventKind::ReloadStart { sc } => open(*sc, "reloading", at),
+            EventKind::ReloadAbort { sc } => open(*sc, "out", at),
+            EventKind::ClusterDropped { sc } => open(*sc, "dropped", at),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
+mod tests {
+    use super::*;
+    use crate::Stamp;
+
+    fn rec(seq: u64, at_us: u64, kind: EventKind) -> TraceRecord {
+        TraceRecord {
+            stamp: Stamp {
+                seq,
+                churn: 0,
+                at_us,
+            },
+            kind,
+        }
+    }
+
+    fn round_trip() -> Vec<TraceRecord> {
+        vec![
+            rec(0, 0, EventKind::DetachStart { sc: 1 }),
+            rec(
+                1,
+                40,
+                EventKind::BlobShipped {
+                    sc: 1,
+                    epoch: 0,
+                    device: 1,
+                    bytes: 100,
+                    airtime_us: 40,
+                },
+            ),
+            rec(
+                2,
+                50,
+                EventKind::DetachEnd {
+                    sc: 1,
+                    epoch: 0,
+                    bytes: 100,
+                    copies: 1,
+                },
+            ),
+            rec(3, 60, EventKind::ReloadStart { sc: 1 }),
+            rec(
+                4,
+                70,
+                EventKind::Failover {
+                    sc: 1,
+                    epoch: 0,
+                    device: 1,
+                },
+            ),
+            rec(
+                5,
+                120,
+                EventKind::ReloadEnd {
+                    sc: 1,
+                    epoch: 0,
+                    bytes: 100,
+                    failovers: 1,
+                },
+            ),
+            rec(
+                6,
+                120,
+                EventKind::BlobDropped {
+                    sc: 1,
+                    device: 1,
+                    ok: true,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn fold_counts_mirrors_swap_stats_semantics() {
+        let c = fold_counts(&round_trip());
+        assert_eq!(c.swap_outs, 1);
+        assert_eq!(c.swap_ins, 1);
+        assert_eq!(c.bytes_swapped_out, 100);
+        assert_eq!(c.bytes_swapped_in, 100);
+        assert_eq!(c.reload_failovers, 1);
+        assert_eq!(c.blobs_dropped, 1);
+        assert_eq!(c.drop_failures, 0);
+    }
+
+    #[test]
+    fn summarize_pairs_phases() {
+        let s = summarize(&round_trip());
+        assert_eq!(s.detach_us.count(), 1);
+        assert_eq!(s.detach_us.max(), 50);
+        assert_eq!(s.reload_us.count(), 1);
+        assert_eq!(s.reload_us.max(), 60);
+        assert_eq!(s.blob_bytes.max(), 100);
+        assert_eq!(s.ship_airtime_us.count(), 1);
+    }
+
+    #[test]
+    fn aborted_phases_do_not_contribute_latency() {
+        let records = vec![
+            rec(0, 0, EventKind::DetachStart { sc: 2 }),
+            rec(1, 99, EventKind::DetachAbort { sc: 2 }),
+        ];
+        let s = summarize(&records);
+        assert_eq!(s.detach_us.count(), 0);
+        let c = fold_counts(&records);
+        assert_eq!(c.swap_outs, 0);
+    }
+
+    #[test]
+    fn timelines_walk_the_lifecycle() {
+        let tl = timelines(&round_trip());
+        let phases: Vec<&str> = tl[&1].iter().map(|p| p.name).collect();
+        assert_eq!(phases, vec!["detaching", "out", "reloading", "loaded"]);
+        assert_eq!(tl[&1][0].to_us, Some(50));
+        assert_eq!(tl[&1][3].to_us, None);
+    }
+}

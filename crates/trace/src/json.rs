@@ -1,0 +1,736 @@
+//! Deterministic JSON export and strict import of traces.
+//!
+//! The exporter writes one event object per line in stamp order with keys
+//! in a fixed order, so identical traces serialize to identical bytes —
+//! the golden-trace test commits an exported fixture and compares raw
+//! strings. The importer is a small, strict JSON parser (the workspace is
+//! dependency-free by design): unknown event names, missing fields and
+//! malformed documents are errors, never silently skipped, because the
+//! conformance checker's verdict is only as good as the parse.
+
+use crate::{EventKind, Stamp, TraceRecord};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The trace schema version this crate reads and writes.
+pub const TRACE_VERSION: u64 = 1;
+
+/// Run-level metadata exported alongside the event stream.
+///
+/// `clusters` and `swapped` come from the middleware's registry at export
+/// time; the conformance checker uses them to flag events naming unknown
+/// clusters and lifecycles the trace leaves in the wrong state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceMeta {
+    /// Raw id of the home (resource-constrained) device.
+    pub home: u32,
+    /// Placement width `k` the run was configured with.
+    pub replication_factor: u32,
+    /// Wire format name the run used (`"xml"`, `"binary"`, `"lz-binary"`).
+    pub wire_format: String,
+    /// Ring capacity of the sink that produced the stream.
+    pub capacity: u64,
+    /// Total events recorded (buffered + evicted).
+    pub recorded: u64,
+    /// Events lost to ring eviction. Non-zero marks the trace truncated.
+    pub dropped: u64,
+    /// Every swap-cluster id the manager ever registered.
+    pub clusters: Vec<u32>,
+    /// Clusters still swapped out when the trace was exported.
+    pub swapped: Vec<u32>,
+}
+
+/// An exported (or re-imported) trace: metadata plus the event stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Run-level metadata.
+    pub meta: TraceMeta,
+    /// The stamped events, oldest first.
+    pub events: Vec<TraceRecord>,
+}
+
+/// Why a trace document failed to import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The document is not well-formed JSON.
+    Parse {
+        /// Byte offset where parsing failed.
+        offset: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
+    /// The document is valid JSON but not a valid trace.
+    Schema(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { offset, message } => {
+                write!(f, "JSON parse error at byte {offset}: {message}")
+            }
+            TraceError::Schema(message) => write!(f, "trace schema error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn ids_json(ids: &[u32]) -> String {
+    let body: Vec<String> = ids.iter().map(u32::to_string).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// The event payload fields, in fixed export order.
+fn event_fields(kind: &EventKind) -> String {
+    match kind {
+        EventKind::DetachStart { sc }
+        | EventKind::DetachAbort { sc }
+        | EventKind::ReloadStart { sc }
+        | EventKind::ReloadAbort { sc }
+        | EventKind::ClusterDropped { sc }
+        | EventKind::ProxyCreated { sc }
+        | EventKind::ProxyReused { sc }
+        | EventKind::ProxyDismantled { sc }
+        | EventKind::AssignPatch { sc } => format!(",\"sc\":{sc}"),
+        EventKind::DetachEnd {
+            sc,
+            epoch,
+            bytes,
+            copies,
+        } => format!(",\"sc\":{sc},\"epoch\":{epoch},\"bytes\":{bytes},\"copies\":{copies}"),
+        EventKind::ReloadEnd {
+            sc,
+            epoch,
+            bytes,
+            failovers,
+        } => format!(",\"sc\":{sc},\"epoch\":{epoch},\"bytes\":{bytes},\"failovers\":{failovers}"),
+        EventKind::BlobShipped {
+            sc,
+            epoch,
+            device,
+            bytes,
+            airtime_us,
+        } => format!(
+            ",\"sc\":{sc},\"epoch\":{epoch},\"device\":{device},\"bytes\":{bytes},\"airtime\":{airtime_us}"
+        ),
+        EventKind::BlobDropped { sc, device, ok } => {
+            format!(",\"sc\":{sc},\"device\":{device},\"ok\":{ok}")
+        }
+        EventKind::Failover { sc, epoch, device } => {
+            format!(",\"sc\":{sc},\"epoch\":{epoch},\"device\":{device}")
+        }
+        EventKind::RepairStart => String::new(),
+        EventKind::RepairEnd { repaired, bytes } => {
+            format!(",\"repaired\":{repaired},\"bytes\":{bytes}")
+        }
+        EventKind::GcRun { freed, dropped } => {
+            format!(",\"freed\":{freed},\"dropped\":{dropped}")
+        }
+        EventKind::HolderLost { sc, device, left } => {
+            format!(",\"sc\":{sc},\"device\":{device},\"left\":{left}")
+        }
+        EventKind::PumpAction { action } => format!(",\"action\":{}", json_string(action)),
+    }
+}
+
+impl Trace {
+    /// Serialize deterministically: fixed key order, one event per line.
+    pub fn to_json(&self) -> String {
+        let m = &self.meta;
+        let mut out = String::new();
+        out.push_str(&format!("{{\"version\":{TRACE_VERSION},\n"));
+        out.push_str(&format!(
+            "\"meta\":{{\"home\":{},\"replication_factor\":{},\"wire_format\":{},\"capacity\":{},\"recorded\":{},\"dropped\":{},\"clusters\":{},\"swapped\":{}}},\n",
+            m.home,
+            m.replication_factor,
+            json_string(&m.wire_format),
+            m.capacity,
+            m.recorded,
+            m.dropped,
+            ids_json(&m.clusters),
+            ids_json(&m.swapped)
+        ));
+        out.push_str("\"events\":[");
+        for (i, r) in self.events.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "{{\"seq\":{},\"churn\":{},\"at\":{},\"ev\":{}{}}}",
+                r.stamp.seq,
+                r.stamp.churn,
+                r.stamp.at_us,
+                json_string(r.kind.name()),
+                event_fields(&r.kind)
+            ));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Parse a trace document produced by [`Trace::to_json`].
+    pub fn from_json(text: &str) -> Result<Trace, TraceError> {
+        let value = Parser::new(text).parse_document()?;
+        let doc = value.as_object("document")?;
+        let version = get(doc, "version")?.as_u64("version")?;
+        if version != TRACE_VERSION {
+            return Err(TraceError::Schema(format!(
+                "unsupported trace version {version} (expected {TRACE_VERSION})"
+            )));
+        }
+        let meta_obj = get(doc, "meta")?.as_object("meta")?;
+        let meta = TraceMeta {
+            home: get(meta_obj, "home")?.as_u32("home")?,
+            replication_factor: get(meta_obj, "replication_factor")?
+                .as_u32("replication_factor")?,
+            wire_format: get(meta_obj, "wire_format")?
+                .as_str("wire_format")?
+                .to_owned(),
+            capacity: get(meta_obj, "capacity")?.as_u64("capacity")?,
+            recorded: get(meta_obj, "recorded")?.as_u64("recorded")?,
+            dropped: get(meta_obj, "dropped")?.as_u64("dropped")?,
+            clusters: id_list(get(meta_obj, "clusters")?, "clusters")?,
+            swapped: id_list(get(meta_obj, "swapped")?, "swapped")?,
+        };
+        let mut events = Vec::new();
+        for (i, ev) in get(doc, "events")?.as_array("events")?.iter().enumerate() {
+            events.push(parse_event(ev).map_err(|e| match e {
+                TraceError::Schema(m) => TraceError::Schema(format!("event {i}: {m}")),
+                other => other,
+            })?);
+        }
+        Ok(Trace { meta, events })
+    }
+}
+
+fn parse_event(value: &Value) -> Result<TraceRecord, TraceError> {
+    let obj = value.as_object("event")?;
+    let stamp = Stamp {
+        seq: get(obj, "seq")?.as_u64("seq")?,
+        churn: get(obj, "churn")?.as_u64("churn")?,
+        at_us: get(obj, "at")?.as_u64("at")?,
+    };
+    let name = get(obj, "ev")?.as_str("ev")?;
+    let sc = |field: &str| -> Result<u32, TraceError> { get(obj, field)?.as_u32(field) };
+    let n = |field: &str| -> Result<u64, TraceError> { get(obj, field)?.as_u64(field) };
+    let kind = match name {
+        "detach-start" => EventKind::DetachStart { sc: sc("sc")? },
+        "detach-end" => EventKind::DetachEnd {
+            sc: sc("sc")?,
+            epoch: sc("epoch")?,
+            bytes: n("bytes")?,
+            copies: sc("copies")?,
+        },
+        "detach-abort" => EventKind::DetachAbort { sc: sc("sc")? },
+        "reload-start" => EventKind::ReloadStart { sc: sc("sc")? },
+        "reload-end" => EventKind::ReloadEnd {
+            sc: sc("sc")?,
+            epoch: sc("epoch")?,
+            bytes: n("bytes")?,
+            failovers: sc("failovers")?,
+        },
+        "reload-abort" => EventKind::ReloadAbort { sc: sc("sc")? },
+        "blob-shipped" => EventKind::BlobShipped {
+            sc: sc("sc")?,
+            epoch: sc("epoch")?,
+            device: sc("device")?,
+            bytes: n("bytes")?,
+            airtime_us: n("airtime")?,
+        },
+        "blob-dropped" => EventKind::BlobDropped {
+            sc: sc("sc")?,
+            device: sc("device")?,
+            ok: get(obj, "ok")?.as_bool("ok")?,
+        },
+        "cluster-dropped" => EventKind::ClusterDropped { sc: sc("sc")? },
+        "failover" => EventKind::Failover {
+            sc: sc("sc")?,
+            epoch: sc("epoch")?,
+            device: sc("device")?,
+        },
+        "repair-start" => EventKind::RepairStart,
+        "repair-end" => EventKind::RepairEnd {
+            repaired: n("repaired")?,
+            bytes: n("bytes")?,
+        },
+        "proxy-created" => EventKind::ProxyCreated { sc: sc("sc")? },
+        "proxy-reused" => EventKind::ProxyReused { sc: sc("sc")? },
+        "proxy-dismantled" => EventKind::ProxyDismantled { sc: sc("sc")? },
+        "assign-patch" => EventKind::AssignPatch { sc: sc("sc")? },
+        "gc-run" => EventKind::GcRun {
+            freed: n("freed")?,
+            dropped: n("dropped")?,
+        },
+        "holder-lost" => EventKind::HolderLost {
+            sc: sc("sc")?,
+            device: sc("device")?,
+            left: sc("left")?,
+        },
+        "pump-action" => EventKind::PumpAction {
+            action: get(obj, "action")?.as_str("action")?.to_owned(),
+        },
+        other => {
+            return Err(TraceError::Schema(format!("unknown event name {other:?}")));
+        }
+    };
+    Ok(TraceRecord { stamp, kind })
+}
+
+// ---------------------------------------------------------------------------
+// A minimal strict JSON reader. Supports exactly what traces need: objects,
+// arrays, strings (with the standard escapes), unsigned integers, booleans.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Object(BTreeMap<String, Value>),
+    Array(Vec<Value>),
+    String(String),
+    Number(u64),
+    Bool(bool),
+}
+
+impl Value {
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>, TraceError> {
+        match self {
+            Value::Object(m) => Ok(m),
+            _ => Err(TraceError::Schema(format!("{what} is not an object"))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Value], TraceError> {
+        match self {
+            Value::Array(v) => Ok(v),
+            _ => Err(TraceError::Schema(format!("{what} is not an array"))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, TraceError> {
+        match self {
+            Value::String(s) => Ok(s),
+            _ => Err(TraceError::Schema(format!("{what} is not a string"))),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, TraceError> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            _ => Err(TraceError::Schema(format!("{what} is not a number"))),
+        }
+    }
+
+    fn as_u32(&self, what: &str) -> Result<u32, TraceError> {
+        u32::try_from(self.as_u64(what)?)
+            .map_err(|_| TraceError::Schema(format!("{what} exceeds u32 range")))
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, TraceError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(TraceError::Schema(format!("{what} is not a boolean"))),
+        }
+    }
+}
+
+fn get<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v Value, TraceError> {
+    obj.get(key)
+        .ok_or_else(|| TraceError::Schema(format!("missing field {key:?}")))
+}
+
+fn id_list(value: &Value, what: &str) -> Result<Vec<u32>, TraceError> {
+    value
+        .as_array(what)?
+        .iter()
+        .map(|v| v.as_u32(what))
+        .collect()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> TraceError {
+        TraceError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TraceError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Value, TraceError> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, TraceError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'0'..=b'9') => self.parse_number(),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(other) => Err(self.err(format!("unexpected character {:?}", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, TraceError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, TraceError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(self.err(format!("duplicate key {key:?}")));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, TraceError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, TraceError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
+            return Err(self.err("only unsigned integers are valid in traces"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<u64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("number out of u64 range"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, TraceError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar (input is a &str, so
+                    // boundaries are trustworthy).
+                    let rest = &self.bytes[self.pos..];
+                    let len = match rest[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = std::str::from_utf8(&rest[..len])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                home: 0,
+                replication_factor: 2,
+                wire_format: "xml".to_owned(),
+                capacity: 1024,
+                recorded: 3,
+                dropped: 0,
+                clusters: vec![0, 1, 2],
+                swapped: vec![2],
+            },
+            events: vec![
+                TraceRecord {
+                    stamp: Stamp {
+                        seq: 0,
+                        churn: 0,
+                        at_us: 10,
+                    },
+                    kind: EventKind::DetachStart { sc: 1 },
+                },
+                TraceRecord {
+                    stamp: Stamp {
+                        seq: 1,
+                        churn: 0,
+                        at_us: 55,
+                    },
+                    kind: EventKind::BlobShipped {
+                        sc: 1,
+                        epoch: 0,
+                        device: 3,
+                        bytes: 320,
+                        airtime_us: 45,
+                    },
+                },
+                TraceRecord {
+                    stamp: Stamp {
+                        seq: 2,
+                        churn: 1,
+                        at_us: 60,
+                    },
+                    kind: EventKind::PumpAction {
+                        action: "run-gc".to_owned(),
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let trace = sample();
+        let json = trace.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let kinds = vec![
+            EventKind::DetachStart { sc: 1 },
+            EventKind::DetachEnd {
+                sc: 1,
+                epoch: 2,
+                bytes: 3,
+                copies: 4,
+            },
+            EventKind::DetachAbort { sc: 1 },
+            EventKind::ReloadStart { sc: 1 },
+            EventKind::ReloadEnd {
+                sc: 1,
+                epoch: 2,
+                bytes: 3,
+                failovers: 1,
+            },
+            EventKind::ReloadAbort { sc: 1 },
+            EventKind::BlobShipped {
+                sc: 1,
+                epoch: 2,
+                device: 3,
+                bytes: 4,
+                airtime_us: 5,
+            },
+            EventKind::BlobDropped {
+                sc: 1,
+                device: 2,
+                ok: false,
+            },
+            EventKind::ClusterDropped { sc: 1 },
+            EventKind::Failover {
+                sc: 1,
+                epoch: 2,
+                device: 3,
+            },
+            EventKind::RepairStart,
+            EventKind::RepairEnd {
+                repaired: 1,
+                bytes: 2,
+            },
+            EventKind::ProxyCreated { sc: 1 },
+            EventKind::ProxyReused { sc: 1 },
+            EventKind::ProxyDismantled { sc: 1 },
+            EventKind::AssignPatch { sc: 1 },
+            EventKind::GcRun {
+                freed: 7,
+                dropped: 1,
+            },
+            EventKind::HolderLost {
+                sc: 1,
+                device: 2,
+                left: 0,
+            },
+            EventKind::PumpAction {
+                action: "log \"quoted\"\n".to_owned(),
+            },
+        ];
+        let trace = Trace {
+            meta: TraceMeta::default(),
+            events: kinds
+                .into_iter()
+                .enumerate()
+                .map(|(i, kind)| TraceRecord {
+                    stamp: Stamp {
+                        seq: i as u64,
+                        churn: 0,
+                        at_us: i as u64,
+                    },
+                    kind,
+                })
+                .collect(),
+        };
+        let back = Trace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,2]",
+            "{\"version\":1}",
+            "{\"version\":2,\"meta\":{},\"events\":[]}",
+            "{\"version\":1,\"meta\":{},\"events\":[]} x",
+        ] {
+            assert!(Trace::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_event_names_and_missing_fields() {
+        let mut trace = sample();
+        trace.events.truncate(1);
+        let json = trace.to_json();
+        let renamed = json.replace("detach-start", "detach-begin");
+        assert!(matches!(
+            Trace::from_json(&renamed),
+            Err(TraceError::Schema(_))
+        ));
+        let gutted = json.replace(",\"sc\":1", "");
+        assert!(matches!(
+            Trace::from_json(&gutted),
+            Err(TraceError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_keys_and_floats() {
+        assert!(Trace::from_json("{\"a\":1,\"a\":2}").is_err());
+        assert!(Trace::from_json("{\"version\":1.5}").is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! The bounded ring-buffer event sink.
+
+use crate::{EventKind, Stamp, TraceRecord};
+use std::collections::VecDeque;
+
+/// Default event capacity of a [`TraceSink`]: generous enough that the
+/// auditor's replay scenarios and the test suites never wrap, small enough
+/// that an always-on sink costs a few megabytes at worst.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A bounded ring buffer of stamped lifecycle events.
+///
+/// Pushing beyond capacity evicts the oldest record and counts it in
+/// [`TraceSink::dropped`]; the conformance checker treats a truncated
+/// trace as unverifiable, so size the sink for the workload when the
+/// trace must be checked end-to-end.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceSink {
+    /// A sink holding at most `capacity` events (at least one).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceSink {
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Stamp and append an event, evicting the oldest if full. Returns the
+    /// sequence number assigned.
+    pub fn push(&mut self, churn: u64, at_us: u64, kind: EventKind) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            stamp: Stamp { seq, churn, at_us },
+            kind,
+        });
+        seq
+    }
+
+    /// Events currently buffered (oldest first).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (buffered + evicted).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Iterate the buffered records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Clone the buffered records out, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.records.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may panic on impossible states
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_stamps_monotonic_sequences() {
+        let mut sink = TraceSink::with_capacity(8);
+        for i in 0..5u64 {
+            let seq = sink.push(1, i * 10, EventKind::RepairStart);
+            assert_eq!(seq, i);
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap[3].stamp.seq, 3);
+        assert_eq!(snap[3].stamp.at_us, 30);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts() {
+        let mut sink = TraceSink::with_capacity(3);
+        for i in 0..5u32 {
+            sink.push(0, 0, EventKind::DetachStart { sc: i });
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.recorded(), 5);
+        let first = sink.iter().next().map(|r| r.stamp.seq);
+        assert_eq!(first, Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut sink = TraceSink::with_capacity(0);
+        sink.push(0, 0, EventKind::RepairStart);
+        sink.push(0, 0, EventKind::RepairStart);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.dropped(), 1);
+    }
+}

@@ -37,6 +37,7 @@ pub use obiwan_heap as heap;
 pub use obiwan_net as net;
 pub use obiwan_policy as policy;
 pub use obiwan_replication as replication;
+pub use obiwan_trace as trace;
 pub use obiwan_xml as xml;
 
 pub use obiwan_core::{Middleware, MiddlewareBuilder, SwapConfig};
@@ -53,4 +54,5 @@ pub mod prelude {
     pub use obiwan_replication::{
         standard_classes, ClusterStrategy, Process, Server, UniverseBuilder,
     };
+    pub use obiwan_trace::{EventKind, Trace, TraceRecord, TraceSink};
 }

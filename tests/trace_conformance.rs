@@ -1,0 +1,152 @@
+//! Property-based conformance: whatever interleaving of swap-outs,
+//! reloads, collections, traversals and churn a workload performs, the
+//! exported lifecycle trace must replay cleanly through
+//! `obiwan::trace::conformance::check` — every detach/reload pairs up,
+//! epochs only grow, failovers stay under `k`, and the exporter's
+//! metadata matches the replayed end state. Runs the full wire-format ×
+//! replication-factor matrix the middleware supports.
+
+use obiwan::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    SwapOutVictim,
+    SwapOut(u32),
+    SwapIn(u32),
+    Gc,
+    Pump,
+    WalkPrefix(usize),
+    Churn,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::SwapOutVictim),
+        2 => (1u32..=12).prop_map(Op::SwapOut),
+        2 => (1u32..=12).prop_map(Op::SwapIn),
+        1 => Just(Op::Gc),
+        1 => Just(Op::Pump),
+        2 => (0usize..100).prop_map(Op::WalkPrefix),
+        1 => Just(Op::Churn),
+    ]
+}
+
+/// Run one random workload and return the exported trace.
+fn run_workload(
+    ops: &[Op],
+    wire_format: obiwan::core::WireFormatKind,
+    replication_factor: usize,
+) -> obiwan::trace::Trace {
+    const N: usize = 100;
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", N, 16).expect("build");
+    let mut mw = Middleware::builder()
+        .cluster_size(10)
+        .device_memory(1 << 20)
+        .wire_format(wire_format)
+        .replication_factor(replication_factor)
+        .stores(
+            (0..3)
+                .map(|i| StoreSpec::new(format!("store-{i}"), DeviceKind::Laptop, 16 << 20))
+                .collect(),
+        )
+        .build(server);
+    let storage: Vec<DeviceId> = mw
+        .net()
+        .lock()
+        .expect("net")
+        .nearby(mw.home_device())
+        .into_iter()
+        .collect();
+    let root = mw.replicate_root(head).expect("replicate");
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![]).expect("warm");
+
+    let mut away: Option<DeviceId> = None;
+    let mut churn_cursor = 0usize;
+    for op in ops {
+        match op {
+            Op::SwapOutVictim => {
+                mw.swap_out_victim().expect("victim eviction");
+            }
+            Op::SwapOut(sc) => match mw.swap_out(*sc) {
+                Ok(_) => {}
+                Err(SwapError::BadState { .. })
+                | Err(SwapError::UnknownSwapCluster { .. })
+                | Err(SwapError::NothingToSwap { .. })
+                | Err(SwapError::NoStorageDevice { .. }) => {}
+                Err(e) => panic!("swap_out({sc}): {e}"),
+            },
+            Op::SwapIn(sc) => match mw.swap_in(*sc) {
+                Ok(_) => {}
+                Err(SwapError::BadState { .. })
+                | Err(SwapError::UnknownSwapCluster { .. })
+                | Err(SwapError::DataLost { .. })
+                | Err(SwapError::BlobUnavailable { .. }) => {}
+                Err(e) => panic!("swap_in({sc}): {e}"),
+            },
+            Op::Gc => {
+                mw.run_gc().expect("gc");
+            }
+            Op::Pump => {
+                mw.pump().expect("pump");
+            }
+            Op::WalkPrefix(n) => {
+                mw.set_global("walk", Value::Ref(root));
+                for _ in 0..*n {
+                    let cur = mw.global("walk").expect("walk").expect_ref().expect("ref");
+                    match mw.invoke_resilient(cur, "next", vec![], 100) {
+                        Ok(Value::Ref(next)) => mw.set_global("walk", Value::Ref(next)),
+                        Ok(_) => break,
+                        // Every holder of the next cluster may be away
+                        // (the fault path wraps the error in `Repl`).
+                        Err(SwapError::BlobUnavailable { .. }) => break,
+                        Err(e) if e.to_string().contains("unavailable") => break,
+                        Err(e) => panic!("walk: {e}"),
+                    }
+                }
+            }
+            Op::Churn => {
+                {
+                    let net = mw.net();
+                    let mut net = net.lock().expect("net");
+                    if let Some(back) = away.take() {
+                        net.arrive(back).expect("arrive");
+                    }
+                    let leaver = storage[churn_cursor % storage.len()];
+                    churn_cursor += 1;
+                    net.depart(leaver).expect("depart");
+                    away = Some(leaver);
+                }
+                mw.pump().expect("pump after churn");
+            }
+        }
+    }
+    mw.export_trace()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_workload_trace_conforms(
+        ops in proptest::collection::vec(arb_op(), 1..48),
+    ) {
+        use obiwan::core::WireFormatKind;
+        for wire_format in WireFormatKind::ALL {
+            for k in [1usize, 2] {
+                let trace = run_workload(&ops, wire_format, k);
+                let report = obiwan::trace::conformance::check(&trace);
+                prop_assert!(
+                    report.is_clean(),
+                    "{wire_format} k={k}: {report}"
+                );
+                // The JSON pipeline must preserve the verdict bit-for-bit.
+                let round = obiwan::trace::Trace::from_json(&trace.to_json())
+                    .expect("exported trace re-imports");
+                prop_assert_eq!(&round, &trace);
+            }
+        }
+    }
+}
