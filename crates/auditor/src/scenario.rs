@@ -171,10 +171,13 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
                 if let Some(back) = away.take() {
                     net.arrive(back)?;
                 }
-                let leaver = storage[churn_cursor % storage.len()];
-                churn_cursor += 1;
-                net.depart(leaver)?;
-                away = Some(leaver);
+                // `storage` is empty only when the builder added no
+                // stores; then there is nobody to churn.
+                if let Some(&leaver) = storage.get(churn_cursor % storage.len().max(1)) {
+                    churn_cursor += 1;
+                    net.depart(leaver)?;
+                    away = Some(leaver);
+                }
             }
             mw.pump()?;
         }
@@ -286,7 +289,10 @@ fn swap_one(mw: &mut Middleware, rng: &mut u64, reload: bool) -> Result<String, 
             "swap_out (nothing loaded)".into()
         });
     }
-    let sc = candidates[(next_rand(rng) % candidates.len() as u64) as usize];
+    let pick = (next_rand(rng) % candidates.len() as u64) as usize;
+    let Some(&sc) = candidates.get(pick) else {
+        return Ok("skip (no candidates)".into());
+    };
     let outcome = if reload {
         mw.swap_in(sc).map(|b| format!("swap_in sc{sc} ({b} B)"))
     } else {

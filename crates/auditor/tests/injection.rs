@@ -5,6 +5,9 @@
 //! class of corruption, and asserts (a) the expected rule fires and (b)
 //! for error-severity rules the report flips `has_errors()`.
 
+// Tests assert on known-good setups; panicking on failure is the point.
+#![allow(clippy::disallowed_methods)]
+
 use obiwan_auditor::{Rule, Severity};
 use obiwan_core::{Middleware, StoreSpec, SwapClusterState, SwapConfig};
 use obiwan_heap::{ObjRef, ObjectKind, Value};

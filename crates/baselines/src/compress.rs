@@ -156,6 +156,8 @@ impl BlobStore for CompressedPool {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn xmlish(n: usize) -> String {

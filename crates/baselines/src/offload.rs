@@ -38,6 +38,8 @@ pub enum OffloadError {
         /// The identity.
         oid: Oid,
     },
+    /// The shared network mutex was poisoned by a panicking holder.
+    NetLockPoisoned,
 }
 
 impl fmt::Display for OffloadError {
@@ -50,6 +52,7 @@ impl fmt::Display for OffloadError {
                 write!(f, "object {obj} cannot be offloaded")
             }
             OffloadError::NotRemote { oid } => write!(f, "{oid} is not offloaded"),
+            OffloadError::NetLockPoisoned => write!(f, "net mutex poisoned"),
         }
     }
 }
@@ -140,6 +143,11 @@ impl Offloader {
         }
     }
 
+    /// Lock the shared network, mapping poisoning to a structured error.
+    fn net_guard(&self) -> Result<std::sync::MutexGuard<'_, SimNet>> {
+        self.net.lock().map_err(|_| OffloadError::NetLockPoisoned)
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> OffloadStats {
         self.stats
@@ -201,7 +209,7 @@ impl Offloader {
         let xml = encode_object(p, obj, &class_name)?;
         let bytes = xml.len();
         {
-            let mut net = self.net.lock().expect("net mutex poisoned");
+            let mut net = self.net_guard()?;
             net.send_blob(
                 self.home,
                 self.target,
@@ -226,7 +234,7 @@ impl Offloader {
             }
             let n = p.heap().get(holder)?.fields().len();
             for idx in 0..n {
-                if p.heap().get(holder)?.fields()[idx] == Value::Ref(obj) {
+                if p.heap().get(holder)?.fields().get(idx) == Some(&Value::Ref(obj)) {
                     p.heap_mut()
                         .set_any_field(holder, idx, Value::Ref(surrogate))?;
                 }
@@ -271,7 +279,7 @@ impl Offloader {
         let surrogate = entry.surrogate;
         let key = format!("obj-{}", oid.0);
         let xml = {
-            let mut net = self.net.lock().expect("net mutex poisoned");
+            let mut net = self.net_guard()?;
             let xml = net.fetch_blob(self.home, self.target, &key)?;
             net.drop_blob(self.home, self.target, &key)?;
             xml
@@ -288,7 +296,7 @@ impl Offloader {
             }
             let n = p.heap().get(holder)?.fields().len();
             for idx in 0..n {
-                if p.heap().get(holder)?.fields()[idx] == Value::Ref(surrogate) {
+                if p.heap().get(holder)?.fields().get(idx) == Some(&Value::Ref(surrogate)) {
                     p.heap_mut()
                         .set_any_field(holder, idx, Value::Ref(replica))?;
                 }
@@ -378,7 +386,7 @@ impl Offloader {
         for oid in &dead {
             // One reclamation instruction per dead remote object.
             messages += 1;
-            let mut net = self.net.lock().expect("net mutex poisoned");
+            let mut net = self.net_guard()?;
             let _ = net.drop_blob(self.home, self.target, &format!("obj-{}", oid.0));
         }
         for oid in &dead {
@@ -473,7 +481,10 @@ fn decode_object(p: &mut Process, xml: &str) -> Result<ObjRef> {
                     let text = field.text().trim();
                     let mut bytes = Vec::with_capacity(text.len() / 2);
                     for i in (0..text.len()).step_by(2) {
-                        bytes.push(u8::from_str_radix(&text[i..i + 2], 16).map_err(|_| {
+                        let pair = text.get(i..i + 2).ok_or_else(|| {
+                            OffloadError::Xml(obiwan_xml::Error::structure("odd hex length"))
+                        })?;
+                        bytes.push(u8::from_str_radix(pair, 16).map_err(|_| {
                             OffloadError::Xml(obiwan_xml::Error::structure("bad hex"))
                         })?);
                     }
@@ -488,6 +499,8 @@ fn decode_object(p: &mut Process, xml: &str) -> Result<ObjRef> {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use obiwan_net::{DeviceKind, LinkSpec};
     use obiwan_replication::{standard_classes, ReplConfig, Server};

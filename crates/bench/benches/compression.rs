@@ -3,6 +3,10 @@
 //! measured on real swap-blob text, against the codec work Object-Swapping
 //! itself performs.
 
+// Benches are measurement scaffolding: aborting on a setup failure is the
+// desired behaviour, so the panic-free discipline is waived here.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{BenchmarkId, Criterion, Throughput};
 use obiwan_baselines::compress::CompressedPool;
 use obiwan_baselines::lz;

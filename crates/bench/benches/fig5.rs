@@ -4,6 +4,10 @@
 //! Uses a 2000-object list so `cargo bench` stays quick; the full-scale
 //! (10 000-object) table comes from `cargo run --release --bin fig5`.
 
+// Benches are measurement scaffolding: aborting on a setup failure is the
+// desired behaviour, so the panic-free discipline is waived here.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{BenchmarkId, Criterion};
 use obiwan_bench::workloads::{build_fig5, run_test, Fig5Config, TESTS};
 
@@ -18,12 +22,12 @@ fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);
     for config in configs {
-        let mut world = build_fig5(config);
+        let mut world = build_fig5(config).expect("build world");
         for test in TESTS {
             // Stabilize proxy populations before sampling.
-            run_test(&mut world, test);
+            run_test(&mut world, test).expect("warm-up traversal");
             group.bench_with_input(BenchmarkId::new(test, config.label()), &(), |b, ()| {
-                b.iter(|| run_test(&mut world, test))
+                b.iter(|| run_test(&mut world, test).expect("traversal"))
             });
         }
     }
@@ -35,5 +39,6 @@ fn main() {
         let mut criterion = Criterion::default().configure_from_args();
         bench_fig5(&mut criterion);
         criterion.final_summary();
-    });
+    })
+    .expect("bench thread");
 }

@@ -3,6 +3,10 @@
 //! floor — quantifying §5's "this approach would also inevitably impose a
 //! higher performance penalty, due to indirections".
 
+// Benches are measurement scaffolding: aborting on a setup failure is the
+// desired behaviour, so the panic-free discipline is waived here.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{BenchmarkId, Criterion};
 use obiwan_baselines::naive::naive_middleware;
 use obiwan_core::Middleware;
@@ -93,5 +97,6 @@ fn main() {
         let mut criterion = Criterion::default().configure_from_args();
         bench_traversal(&mut criterion);
         criterion.final_summary();
-    });
+    })
+    .expect("bench thread");
 }

@@ -4,6 +4,10 @@
 //! binary; this bench isolates the device-side compute the paper's iPAQ
 //! had to spend.
 
+// Benches are measurement scaffolding: aborting on a setup failure is the
+// desired behaviour, so the panic-free discipline is waived here.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{BenchmarkId, Criterion};
 use obiwan_core::Middleware;
 use obiwan_heap::Value;

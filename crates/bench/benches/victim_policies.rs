@@ -3,6 +3,10 @@
 //! from the `ablations` binary; this bench shows what policy choice costs
 //! in compute.
 
+// Benches are measurement scaffolding: aborting on a setup failure is the
+// desired behaviour, so the panic-free discipline is waived here.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{BenchmarkId, Criterion};
 use obiwan_core::{Middleware, VictimPolicy};
 use obiwan_heap::Value;

@@ -1,16 +1,20 @@
 //! Steady-state walk demo: drives the Figure 5 workload under memory
 //! pressure and prints per-phase wall-clock timings.
+
+// Example scaffolding: aborting on a setup failure is fine here.
+#![allow(clippy::disallowed_methods)]
+
 use obiwan_bench::workloads::*;
 use std::time::Instant;
 
 fn main() {
     obiwan_bench::with_big_stack(|| {
         for test in ["B1", "B2", "A2"] {
-            let mut world = build_fig5(Fig5Config::with_clusters(20, 2000));
+            let mut world = build_fig5(Fig5Config::with_clusters(20, 2000)).expect("build world");
             let mut timings = Vec::new();
             for _ in 0..60 {
                 let t = Instant::now();
-                run_test(&mut world, test);
+                run_test(&mut world, test).expect("traversal");
                 timings.push(t.elapsed().as_secs_f64() * 1e3);
             }
             let early: f64 = timings[5..15].iter().sum::<f64>() / 10.0;
@@ -26,5 +30,6 @@ fn main() {
                 heap.bytes_used()
             );
         }
-    });
+    })
+    .expect("bench thread");
 }

@@ -6,8 +6,16 @@
 
 use obiwan_bench::durability;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let rounds = 80;
-    let points = durability::run_sweep(rounds);
-    print!("{}", durability::to_json(rounds, &points));
+    match durability::run_sweep(rounds) {
+        Ok(points) => {
+            print!("{}", durability::to_json(rounds, &points));
+            std::process::ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
 }

@@ -12,39 +12,46 @@
 use obiwan_bench::fig5::run_sweep;
 use obiwan_bench::with_big_stack;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut n = 10_000usize;
     let mut iters = 5usize;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
-        match args[i].as_str() {
-            "--n" => {
-                n = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+        match args.get(i).map(String::as_str) {
+            Some("--n") => {
+                n = match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage(),
+                };
                 i += 2;
             }
-            "--iters" => {
-                iters = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+            Some("--iters") => {
+                iters = match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage(),
+                };
                 i += 2;
             }
-            _ => usage(),
+            _ => return usage(),
         }
     }
-    let table = with_big_stack(move || run_sweep(n, iters));
+    let table = match with_big_stack(move || run_sweep(n, iters)).and_then(|t| t) {
+        Ok(table) => table,
+        Err(e) => {
+            eprintln!("{e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
     print!("{}", table.render());
     if !table.shape_holds() {
         eprintln!("warning: not every qualitative shape check passed");
-        std::process::exit(1);
+        return std::process::ExitCode::FAILURE;
     }
+    std::process::ExitCode::SUCCESS
 }
 
-fn usage() -> ! {
+fn usage() -> std::process::ExitCode {
     eprintln!("usage: fig5 [--n LIST_LEN] [--iters N]");
-    std::process::exit(2);
+    std::process::ExitCode::from(2)
 }

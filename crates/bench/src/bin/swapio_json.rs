@@ -6,9 +6,22 @@
 
 use obiwan_bench::swapio;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let list_len = 400;
-    let points = swapio::run_format_sweep(list_len);
-    let histograms = swapio::run_trace_histograms(list_len, 8);
-    print!("{}", swapio::formats_json(list_len, &points, &histograms));
+    match run(list_len) {
+        Ok(json) => {
+            print!("{json}");
+            std::process::ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(list_len: usize) -> obiwan_bench::Result<String> {
+    let points = swapio::run_format_sweep(list_len)?;
+    let histograms = swapio::run_trace_histograms(list_len, 8)?;
+    Ok(swapio::formats_json(list_len, &points, &histograms))
 }

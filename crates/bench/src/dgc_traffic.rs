@@ -7,6 +7,7 @@
 //! discards half of it, and the system runs `epochs` of housekeeping.
 //! We count every control message that crosses the air.
 
+use crate::{BenchError, Result};
 use obiwan_baselines::offload::Offloader;
 use obiwan_core::Middleware;
 use obiwan_heap::Value;
@@ -27,28 +28,29 @@ pub struct DgcRow {
 
 /// Run the scenario with Object-Swapping (cluster-grained, local GC
 /// decisions, one drop message per dead cluster).
-fn swapping_row(n: usize, cluster: usize, epochs: usize) -> DgcRow {
+fn swapping_row(n: usize, cluster: usize, epochs: usize) -> Result<DgcRow> {
     let mut server = Server::new(standard_classes());
-    let head = server
-        .build_list("Node", n, crate::workloads::PAYLOAD_FOR_64B)
-        .expect("Node class");
+    let head = server.build_list("Node", n, crate::workloads::PAYLOAD_FOR_64B)?;
     let mut mw = Middleware::builder()
         .cluster_size(cluster)
         .device_memory(n * 64 * 8 + (1 << 20))
         .no_builtin_policies()
         .build(server);
-    let root = mw.replicate_root(head).expect("replicate");
+    let root = mw.replicate_root(head)?;
     mw.set_global("head", Value::Ref(root));
-    mw.invoke_i64(root, "length", vec![]).expect("warm");
+    mw.invoke_i64(root, "length", vec![])?;
     // Evict everything.
     let clusters = {
         let manager = mw.manager();
-        let ids = manager.lock().expect("manager").loaded_clusters();
+        let ids = manager
+            .lock()
+            .map_err(|_| BenchError::msg("manager lock poisoned"))?
+            .loaded_clusters();
         ids
     };
     let data_messages = clusters.len() as u64;
     for sc in &clusters {
-        mw.swap_out(*sc).expect("swap out");
+        mw.swap_out(*sc)?;
     }
     // Discard the second half: drop the global route beyond node n/2 by
     // cutting inside the still-proxied graph — reload the boundary
@@ -56,65 +58,73 @@ fn swapping_row(n: usize, cluster: usize, epochs: usize) -> DgcRow {
     let half = n / 2;
     mw.set_global("cursor", Value::Ref(root));
     for _ in 0..half - 1 {
-        let cur = mw.global("cursor").unwrap().expect_ref().unwrap();
-        let next = mw.invoke_ref(cur, "next", vec![]).expect("walk");
+        let cur = mw
+            .global("cursor")?
+            .expect_ref()
+            .map_err(|e| BenchError::ctx("global `cursor`", e))?;
+        let next = mw.invoke_ref(cur, "next", vec![])?;
         mw.set_global("cursor", Value::Ref(next));
     }
-    let cut = mw.global("cursor").unwrap().expect_ref().unwrap();
-    let handle = match obiwan_core::identity_key(mw.process(), cut).expect("key") {
-        obiwan_core::IdentityKey::Oid(oid) => mw.process().lookup_replica(oid).expect("live"),
+    let cut = mw
+        .global("cursor")?
+        .expect_ref()
+        .map_err(|e| BenchError::ctx("global `cursor`", e))?;
+    let handle = match obiwan_core::identity_key(mw.process(), cut)? {
+        obiwan_core::IdentityKey::Oid(oid) => mw
+            .process()
+            .lookup_replica(oid)
+            .ok_or_else(|| BenchError::msg("cut node has no live replica"))?,
         obiwan_core::IdentityKey::Handle(h) => h,
     };
     mw.process_mut()
-        .set_field_value(handle, "next", Value::Null)
-        .expect("cut");
+        .set_field_value(handle, "next", Value::Null)?;
     // Housekeeping epochs: plain local collections.
     for _ in 0..epochs {
-        mw.run_gc().expect("gc");
+        mw.run_gc()?;
     }
     let stats = mw.swap_stats();
     // Control messages: the drop instructions (plus nothing per epoch —
     // all decisions are local).
     let control_messages = stats.blobs_dropped + stats.drop_failures;
-    DgcRow {
+    Ok(DgcRow {
         approach: format!("object-swapping ({cluster}/cluster)"),
         data_messages: data_messages + stats.swap_ins,
         control_messages,
-    }
+    })
 }
 
 /// Run the scenario with per-object offload + per-object DGC.
-fn offload_row(n: usize, epochs: usize) -> DgcRow {
+fn offload_row(n: usize, epochs: usize) -> Result<DgcRow> {
     let u = standard_classes();
     let mut server = Server::new(u.clone());
-    let head = server
-        .build_list("Node", n, crate::workloads::PAYLOAD_FOR_64B)
-        .expect("Node class");
+    let head = server.build_list("Node", n, crate::workloads::PAYLOAD_FOR_64B)?;
     let mut p = Process::new(
         u,
         server.into_shared(),
         n * 64 * 8 + (1 << 20),
         ReplConfig::with_cluster_size(n),
     );
-    let root = p.replicate_root(head).expect("replicate");
+    let root = p.replicate_root(head)?;
     p.set_global("head", Value::Ref(root));
     let mut net = SimNet::new();
     let pda = net.add_device("pda", DeviceKind::Pda, 0);
     let srv = net.add_device("offload-server", DeviceKind::Desktop, 16 << 20);
-    net.connect(pda, srv, LinkSpec::bluetooth()).expect("link");
+    net.connect(pda, srv, LinkSpec::bluetooth())?;
     let mut off = Offloader::new(Arc::new(Mutex::new(net)), pda, srv);
     // Offload every object (walk the chain first for handles).
     let mut handles = vec![root];
     loop {
-        let last = *handles.last().expect("nonempty");
-        match p.field_value(last, "next").expect("next") {
+        let last = *handles
+            .last()
+            .ok_or_else(|| BenchError::msg("handle chain empty"))?;
+        match p.field_value(last, "next")? {
             Value::Ref(r) => handles.push(r),
             _ => break,
         }
     }
     // Offload from the tail so surrogate patching stays local.
     for &h in handles.iter().rev() {
-        off.offload(&mut p, h).expect("offload");
+        off.offload(&mut p, h)?;
     }
     // Discard the second half: the head global keeps only the chain of
     // surrogates… per-object offload replaced each object by a surrogate
@@ -127,29 +137,37 @@ fn offload_row(n: usize, epochs: usize) -> DgcRow {
     // The chain is entirely remote; local surrogates for it are owned by
     // scion pins. Cut: fetch node half-1 back, null its next, re-offload.
     let cut_oid = obiwan_heap::Oid(head.0 + half as u64 - 1);
-    off.fetch_back(&mut p, cut_oid).expect("fetch cut node");
-    let cut_handle = p.lookup_replica(cut_oid).expect("cut replica");
-    p.set_field_value(cut_handle, "next", Value::Null)
-        .expect("cut");
-    off.offload(&mut p, cut_handle).expect("re-offload");
+    off.fetch_back(&mut p, cut_oid)?;
+    let cut_handle = p
+        .lookup_replica(cut_oid)
+        .ok_or_else(|| BenchError::msg("cut node missing after fetch-back"))?;
+    p.set_field_value(cut_handle, "next", Value::Null)?;
+    off.offload(&mut p, cut_handle)?;
     p.collect();
     // DGC epochs: one liveness message per remote object, plus
     // reclamations.
     for _ in 0..epochs {
-        off.run_dgc_epoch(&mut p).expect("dgc epoch");
+        off.run_dgc_epoch(&mut p)?;
         p.collect();
     }
     let stats = off.stats();
-    DgcRow {
+    Ok(DgcRow {
         approach: "per-object offload ([6,1])".to_string(),
         data_messages: stats.offloads + stats.fetches,
         control_messages: stats.dgc_messages,
-    }
+    })
 }
 
 /// Run both approaches.
-pub fn run_comparison(n: usize, cluster: usize, epochs: usize) -> Vec<DgcRow> {
-    vec![swapping_row(n, cluster, epochs), offload_row(n, epochs)]
+///
+/// # Errors
+///
+/// Setup or housekeeping failure in either approach.
+pub fn run_comparison(n: usize, cluster: usize, epochs: usize) -> Result<Vec<DgcRow>> {
+    Ok(vec![
+        swapping_row(n, cluster, epochs)?,
+        offload_row(n, epochs)?,
+    ])
 }
 
 /// Render the comparison.
@@ -176,11 +194,13 @@ pub fn render(rows: &[DgcRow], n: usize, epochs: usize) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
 
     #[test]
     fn swapping_sends_orders_of_magnitude_fewer_control_messages() {
-        let rows = run_comparison(200, 25, 4);
+        let rows = run_comparison(200, 25, 4).unwrap();
         let swap = &rows[0];
         let offload = &rows[1];
         assert!(

@@ -10,6 +10,7 @@
 //! sweep re-replicated to stay at k copies. Everything is virtual-time and
 //! seeded — the sweep is deterministic.
 
+use crate::{BenchError, Result};
 use obiwan_core::{Middleware, StoreSpec, SwapConfig, SwapError};
 use obiwan_heap::Value;
 use obiwan_net::DeviceKind;
@@ -58,12 +59,15 @@ fn next_unit(state: &mut u64) -> f64 {
 
 /// Run `rounds` swap-out / churn / repair / reload rounds for one
 /// `(k, churn_rate)` configuration and return the point.
-pub fn run_point(k: usize, churn_rate: f64, rounds: usize, seed: u64) -> DurabilityPoint {
+///
+/// # Errors
+///
+/// Setup, churn scheduling, or an unexpected (non-availability) reload
+/// failure.
+pub fn run_point(k: usize, churn_rate: f64, rounds: usize, seed: u64) -> Result<DurabilityPoint> {
     const STORES: usize = 4;
     let mut server = Server::new(standard_classes());
-    let head = server
-        .build_list("Node", 40, crate::workloads::PAYLOAD_FOR_64B)
-        .expect("Node class");
+    let head = server.build_list("Node", 40, crate::workloads::PAYLOAD_FOR_64B)?;
     // Builtin policies stay ON: the repair sweep rides the policy pump.
     let mut mw = Middleware::builder()
         .cluster_size(10)
@@ -75,12 +79,14 @@ pub fn run_point(k: usize, churn_rate: f64, rounds: usize, seed: u64) -> Durabil
         )
         .swap_config(SwapConfig::default().replication_factor(k))
         .build(server);
-    let root = mw.replicate_root(head).expect("replicate");
+    let root = mw.replicate_root(head)?;
     mw.set_global("head", Value::Ref(root));
-    mw.invoke_i64(root, "length", vec![]).expect("warm");
+    mw.invoke_i64(root, "length", vec![])?;
     let stores = {
         let net = mw.net();
-        let net = net.lock().expect("net");
+        let net = net
+            .lock()
+            .map_err(|_| BenchError::msg("net lock poisoned"))?;
         net.nearby(mw.home_device())
     };
 
@@ -92,64 +98,74 @@ pub fn run_point(k: usize, churn_rate: f64, rounds: usize, seed: u64) -> Durabil
         // reload (uncounted) clears any unavailability left behind.
         {
             let net = mw.net();
-            let mut net = net.lock().expect("net");
+            let mut net = net
+                .lock()
+                .map_err(|_| BenchError::msg("net lock poisoned"))?;
             for d in away.drain(..) {
-                net.arrive(d).expect("arrive");
+                net.arrive(d)?;
             }
         }
-        mw.pump().expect("pump after arrivals");
+        mw.pump()?;
         let swapped_out = {
             let manager = mw.manager();
-            let m = manager.lock().expect("manager");
+            let m = manager
+                .lock()
+                .map_err(|_| BenchError::msg("manager lock poisoned"))?;
             m.swapped_clusters().contains(&2)
         };
         if swapped_out {
             mw.swap_in(2)
-                .expect("recovery reload with everyone present");
+                .map_err(|e| BenchError::ctx("recovery reload with everyone present", e))?;
         }
 
-        mw.swap_out(2).expect("swap out");
+        mw.swap_out(2)?;
         // Churn: each storage device departs with the configured
         // probability, all in the same round.
         {
             let net = mw.net();
-            let mut net = net.lock().expect("net");
+            let mut net = net
+                .lock()
+                .map_err(|_| BenchError::msg("net lock poisoned"))?;
             for &d in &stores {
                 if next_unit(&mut rng) < churn_rate {
-                    net.depart(d).expect("depart");
+                    net.depart(d)?;
                     away.push(d);
                 }
             }
         }
         // The pump notices the departures and repairs what it can.
-        mw.pump().expect("pump after churn");
+        mw.pump()?;
         match mw.swap_in(2) {
             Ok(_) => available += 1,
             Err(SwapError::BlobUnavailable { .. }) => {}
-            Err(e) => panic!("unexpected reload failure: {e}"),
+            Err(e) => return Err(BenchError::ctx("unexpected reload failure", e)),
         }
     }
     let stats = mw.swap_stats();
-    DurabilityPoint {
+    Ok(DurabilityPoint {
         replication_factor: k,
         churn_rate,
         rounds,
         available,
         repairs: stats.repairs,
         repair_bytes: stats.repair_bytes,
-    }
+    })
 }
 
 /// Sweep churn rates × replication factors.
-pub fn run_sweep(rounds: usize) -> Vec<DurabilityPoint> {
+///
+/// # Errors
+///
+/// Any point failing as in [`run_point`].
+pub fn run_sweep(rounds: usize) -> Result<Vec<DurabilityPoint>> {
     let mut points = Vec::new();
     for k in [1usize, 2, 3] {
         for rate in [0.0, 0.15, 0.30, 0.50] {
             let seed = 0xD00D ^ ((k as u64) << 32) ^ (rate * 100.0) as u64;
-            points.push(run_point(k, rate, rounds, seed));
+            points.push(run_point(k, rate, rounds, seed)?);
         }
     }
-    points
+    Ok(points)
 }
 
 /// Render the sweep as a table.
@@ -201,12 +217,14 @@ pub fn to_json(rounds: usize, points: &[DurabilityPoint]) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
 
     #[test]
     fn clean_rooms_never_lose_a_reload() {
         for k in [1usize, 2] {
-            let p = run_point(k, 0.0, 12, 7);
+            let p = run_point(k, 0.0, 12, 7).unwrap();
             assert_eq!(p.available, p.rounds, "k={k} must be 100% with no churn");
             assert_eq!(p.repair_bytes, 0, "nothing to repair without churn");
         }
@@ -214,8 +232,8 @@ mod tests {
 
     #[test]
     fn replication_buys_availability_under_heavy_churn() {
-        let single = run_point(1, 0.5, 40, 11);
-        let triple = run_point(3, 0.5, 40, 11);
+        let single = run_point(1, 0.5, 40, 11).unwrap();
+        let triple = run_point(3, 0.5, 40, 11).unwrap();
         assert!(
             single.available < single.rounds,
             "heavy churn must cost the single-copy setup some reloads"
@@ -234,7 +252,7 @@ mod tests {
 
     #[test]
     fn json_snapshot_is_well_formed() {
-        let points = run_sweep(6);
+        let points = run_sweep(6).unwrap();
         let json = to_json(6, &points);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"replication_factor\"").count(), points.len());

@@ -2,6 +2,7 @@
 //! clock, printed in the paper's row layout.
 
 use crate::workloads::{build_fig5, run_test, Fig5Config, TESTS};
+use crate::{BenchError, Result};
 use std::time::Instant;
 
 /// One measured cell of the table.
@@ -40,7 +41,12 @@ pub const PAPER_MS: [[f64; 4]; 4] = [
 
 /// Run the full sweep. `list_len` 10 000 and ≥3 iterations reproduce the
 /// paper's setup; smaller values are useful for smoke tests.
-pub fn run_sweep(list_len: usize, iters: usize) -> Fig5Table {
+///
+/// # Errors
+///
+/// World construction or traversal failure, or a traversal returning the
+/// wrong depth.
+pub fn run_sweep(list_len: usize, iters: usize) -> Result<Fig5Table> {
     let configs = [
         Fig5Config::with_clusters(20, list_len),
         Fig5Config::with_clusters(50, list_len),
@@ -50,32 +56,41 @@ pub fn run_sweep(list_len: usize, iters: usize) -> Fig5Table {
     // Build all four worlds up front, then interleave the measurements
     // round-robin across configurations so slow drift (thermal, other
     // load) biases every column equally.
-    let mut worlds: Vec<_> = configs.iter().map(|c| build_fig5(*c)).collect();
+    let mut worlds = Vec::with_capacity(configs.len());
+    for c in &configs {
+        worlds.push(build_fig5(*c)?);
+    }
     // means[test][config]
     let mut means = vec![vec![f64::INFINITY; configs.len()]; TESTS.len()];
-    for (ti, test) in TESTS.iter().enumerate() {
+    for (test, row) in TESTS.iter().zip(means.iter_mut()) {
         // One untimed run per world to stabilize proxy populations.
         for world in &mut worlds {
-            run_test(world, test);
+            run_test(world, test)?;
         }
         for _ in 0..iters {
-            for (ci, world) in worlds.iter_mut().enumerate() {
+            for (world, slot) in worlds.iter_mut().zip(row.iter_mut()) {
+                // lint:allow(S7, figure 5 reports host wall time by design)
                 let start = Instant::now();
-                let out = run_test(world, test);
+                let out = run_test(world, test)?;
                 let elapsed = start.elapsed().as_secs_f64() * 1e3;
-                assert_eq!(out as usize, list_len - 1, "{test} result");
-                means[ti][ci] = means[ti][ci].min(elapsed);
+                if out as usize != list_len - 1 {
+                    return Err(BenchError::msg(format!(
+                        "{test} returned {out}, expected {}",
+                        list_len - 1
+                    )));
+                }
+                *slot = slot.min(elapsed);
             }
         }
     }
     let cells = means
         .iter()
         .map(|row| {
-            let baseline = row[configs.len() - 1];
+            let baseline = row.last().copied().unwrap_or(f64::INFINITY);
             row.iter()
                 .map(|&mean_ms| Cell {
                     mean_ms,
-                    slowdown: if baseline > 0.0 {
+                    slowdown: if baseline > 0.0 && baseline.is_finite() {
                         mean_ms / baseline
                     } else {
                         0.0
@@ -84,16 +99,29 @@ pub fn run_sweep(list_len: usize, iters: usize) -> Fig5Table {
                 .collect()
         })
         .collect();
-    Fig5Table {
+    Ok(Fig5Table {
         columns: configs.iter().map(Fig5Config::label).collect(),
         rows: TESTS.iter().map(|s| s.to_string()).collect(),
         cells,
         list_len,
         iters,
-    }
+    })
 }
 
 impl Fig5Table {
+    /// The cell at (test row, config column); `NaN`s on a malformed table
+    /// so shape checks fail visibly instead of panicking.
+    fn at(&self, t: usize, c: usize) -> Cell {
+        self.cells
+            .get(t)
+            .and_then(|row| row.get(c))
+            .copied()
+            .unwrap_or(Cell {
+                mean_ms: f64::NAN,
+                slowdown: f64::NAN,
+            })
+    }
+
     /// Render the table in the paper's layout, with slowdown factors and
     /// the paper's own numbers for shape comparison.
     pub fn render(&self) -> String {
@@ -108,11 +136,11 @@ impl Fig5Table {
             out.push_str(&format!("{c:>24}"));
         }
         out.push('\n');
-        for (ti, row) in self.rows.iter().enumerate() {
+        for ((row, cells), paper_row) in self.rows.iter().zip(&self.cells).zip(PAPER_MS.iter()) {
             out.push_str(&format!("{row:<6}"));
-            for (ci, cell) in self.cells[ti].iter().enumerate() {
+            for (cell, paper_ms) in cells.iter().zip(paper_row.iter()) {
                 let paper = if self.list_len == 10_000 {
-                    format!(" ({:>3.0})", PAPER_MS[ti][ci])
+                    format!(" ({paper_ms:>3.0})")
                 } else {
                     String::new()
                 };
@@ -144,14 +172,14 @@ impl Fig5Table {
             .fold(0.0f64, f64::max)
             .max(f64::MIN_POSITIVE);
         let mut out = String::new();
-        for (ti, row) in self.rows.iter().enumerate() {
+        for (row, cells) in self.rows.iter().zip(&self.cells) {
             out.push_str(&format!("{row}\n"));
-            for (ci, cell) in self.cells[ti].iter().enumerate() {
+            for (column, cell) in self.columns.iter().zip(cells.iter()) {
                 let bar_len = ((cell.mean_ms / max) * WIDTH as f64).round() as usize;
                 let bar: String = "█".repeat(bar_len.max(1));
                 out.push_str(&format!(
-                    "  {:>16} |{bar:<WIDTH$}| {:>8.3} ms\n",
-                    self.columns[ci], cell.mean_ms
+                    "  {column:>16} |{bar:<WIDTH$}| {:>8.3} ms\n",
+                    cell.mean_ms
                 ));
             }
         }
@@ -161,7 +189,7 @@ impl Fig5Table {
     /// Verify the qualitative shape of Figure 5 and report each check.
     pub fn shape_report(&self) -> Vec<String> {
         let mut report = Vec::new();
-        let cell = |t: usize, c: usize| self.cells[t][c].mean_ms;
+        let cell = |t: usize, c: usize| self.at(t, c).mean_ms;
         let mut check = |name: &str, ok: bool, detail: String| {
             report.push(format!(
                 "[{}] {name}: {detail}",
@@ -183,21 +211,21 @@ impl Fig5Table {
             );
         }
         // A1 overhead is modest (paper: ≤16 %).
-        let a1 = self.cells[0][0].slowdown;
+        let a1 = self.at(0, 0).slowdown;
         check(
             "A1 slowdown small",
             a1 < 1.6,
             format!("×{a1:.2} at size 20 (paper ×1.23)"),
         );
         // A2 overhead is larger than A1 (extra proxies on returned refs).
-        let a2 = self.cells[1][0].slowdown;
+        let a2 = self.at(1, 0).slowdown;
         check(
             "A2 slowdown exceeds A1",
             a2 > a1,
             format!("×{a2:.2} vs ×{a1:.2} (paper ×1.53 vs ×1.23)"),
         );
         // B1 overhead is the biggest (proxy per iteration step).
-        let b1 = self.cells[2][0].slowdown;
+        let b1 = self.at(2, 0).slowdown;
         check(
             "B1 slowdown is the largest",
             b1 > a2,
@@ -208,12 +236,15 @@ impl Fig5Table {
         // costs far less on this Rust heap than on .NET CF's allocator and
         // finalization queue — see EXPERIMENTS.md).
         let speedups: Vec<f64> = (0..3).map(|c| cell(2, c) / cell(3, c)).collect();
+        let sp = |i: usize| speedups.get(i).copied().unwrap_or(f64::NAN);
         check(
             "assign optimization speeds B1 up substantially",
             speedups.iter().all(|&s| s > 1.3),
             format!(
                 "B1/B2 = {:.1} / {:.1} / {:.1} (paper ~5.3 / 6.5 / 6.0)",
-                speedups[0], speedups[1], speedups[2]
+                sp(0),
+                sp(1),
+                sp(2)
             ),
         );
         // B1 == B2 == floor without swap-clusters.
@@ -234,11 +265,15 @@ impl Fig5Table {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
 
     #[test]
     fn small_sweep_produces_full_table() {
-        let table = crate::with_big_stack(|| run_sweep(400, 1));
+        let table = crate::with_big_stack(|| run_sweep(400, 1))
+            .unwrap()
+            .unwrap();
         assert_eq!(table.cells.len(), 4);
         assert!(table.cells.iter().all(|r| r.len() == 4));
         assert!(table

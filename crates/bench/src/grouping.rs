@@ -7,6 +7,7 @@
 //! swap granularity (bigger blobs, coarser eviction). This sweep measures
 //! both ends deterministically.
 
+use crate::{BenchError, Result};
 use obiwan_core::Middleware;
 use obiwan_heap::{ObjectKind, Value};
 use obiwan_replication::{standard_classes, Server};
@@ -27,44 +28,54 @@ pub struct GroupingRow {
 }
 
 /// Sweep grouping factors at a fixed replication cluster size.
-pub fn run_sweep(list_len: usize, repl_cluster: usize, groups: &[usize]) -> Vec<GroupingRow> {
-    groups
-        .iter()
-        .map(|&group| {
-            let mut server = Server::new(standard_classes());
-            let head = server
-                .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
-                .expect("Node class");
-            let mut mw = Middleware::builder()
-                .cluster_size(repl_cluster)
-                .clusters_per_swap_cluster(group)
-                .device_memory(list_len * 64 * 8 + (1 << 20))
-                .no_builtin_policies()
-                .build(server);
-            let root = mw.replicate_root(head).expect("replicate");
-            mw.set_global("head", Value::Ref(root));
-            mw.invoke_i64(root, "length", vec![]).expect("warm");
-            mw.run_gc().expect("settle");
-            let heap = mw.process().heap();
-            let (proxies, proxy_bytes) = heap
-                .iter_live()
-                .filter(|&r| heap.get(r).unwrap().kind() == ObjectKind::SwapProxy)
-                .fold((0, 0), |(n, b), r| (n + 1, b + heap.get(r).unwrap().size()));
-            let swap_clusters = {
-                let manager = mw.manager();
-                let n = manager.lock().expect("manager").loaded_clusters().len();
-                n
-            };
-            let blob_bytes = mw.swap_out(1).expect("swap out first");
-            GroupingRow {
-                group,
-                swap_clusters,
-                proxies,
-                proxy_bytes,
-                blob_bytes,
-            }
-        })
-        .collect()
+///
+/// # Errors
+///
+/// Setup, traversal, or swap-out failure for any grouping factor.
+pub fn run_sweep(
+    list_len: usize,
+    repl_cluster: usize,
+    groups: &[usize],
+) -> Result<Vec<GroupingRow>> {
+    let mut rows = Vec::with_capacity(groups.len());
+    for &group in groups {
+        let mut server = Server::new(standard_classes());
+        let head = server.build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)?;
+        let mut mw = Middleware::builder()
+            .cluster_size(repl_cluster)
+            .clusters_per_swap_cluster(group)
+            .device_memory(list_len * 64 * 8 + (1 << 20))
+            .no_builtin_policies()
+            .build(server);
+        let root = mw.replicate_root(head)?;
+        mw.set_global("head", Value::Ref(root));
+        mw.invoke_i64(root, "length", vec![])?;
+        mw.run_gc()?;
+        let heap = mw.process().heap();
+        let (proxies, proxy_bytes) = heap
+            .iter_live()
+            .filter_map(|r| heap.get(r).ok())
+            .filter(|o| o.kind() == ObjectKind::SwapProxy)
+            .fold((0, 0), |(n, b), o| (n + 1, b + o.size()));
+        let swap_clusters = {
+            let manager = mw.manager();
+            let n = manager
+                .lock()
+                .map_err(|_| BenchError::msg("manager lock poisoned"))?
+                .loaded_clusters()
+                .len();
+            n
+        };
+        let blob_bytes = mw.swap_out(1)?;
+        rows.push(GroupingRow {
+            group,
+            swap_clusters,
+            proxies,
+            proxy_bytes,
+            blob_bytes,
+        });
+    }
+    Ok(rows)
 }
 
 /// Render the sweep.
@@ -91,11 +102,13 @@ pub fn render(rows: &[GroupingRow], list_len: usize, repl_cluster: usize) -> Str
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
 
     #[test]
     fn grouping_trades_proxies_for_blob_size() {
-        let rows = run_sweep(400, 10, &[1, 2, 5]);
+        let rows = run_sweep(400, 10, &[1, 2, 5]).unwrap();
         assert_eq!(rows.len(), 3);
         // Fewer swap-clusters and proxies as grouping grows…
         assert!(rows[0].swap_clusters > rows[1].swap_clusters);

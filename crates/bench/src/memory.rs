@@ -5,6 +5,7 @@
 //! the naive one-proxy-per-object design versus swap-clusters of 20 / 50 /
 //! 100 objects, measured fully loaded and fully swapped out.
 
+use crate::{BenchError, Result};
 use obiwan_baselines::naive::{heap_breakdown, HeapBreakdown};
 use obiwan_core::Middleware;
 use obiwan_heap::Value;
@@ -26,58 +27,65 @@ pub struct MemoryRow {
 }
 
 /// Build, warm, measure, swap everything, measure again.
-fn measure(label: &str, cluster_size: usize, list_len: usize) -> MemoryRow {
+fn measure(label: &str, cluster_size: usize, list_len: usize) -> Result<MemoryRow> {
     let mut server = Server::new(standard_classes());
-    let head = server
-        .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
-        .expect("Node class");
+    let head = server.build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)?;
     let mut mw = Middleware::builder()
         .cluster_size(cluster_size)
         .device_memory(list_len * 64 * 8 + (1 << 20))
         .no_builtin_policies()
         .build(server);
-    let root = mw.replicate_root(head).expect("replicate");
+    let root = mw.replicate_root(head)?;
     mw.set_global("head", Value::Ref(root));
-    let n = mw
-        .invoke_i64(root, "length", vec![])
-        .expect("full traversal");
-    assert_eq!(n as usize, list_len);
-    mw.run_gc().expect("gc");
+    let n = mw.invoke_i64(root, "length", vec![])?;
+    if n as usize != list_len {
+        return Err(BenchError::msg(format!(
+            "full traversal saw {n} nodes, expected {list_len}"
+        )));
+    }
+    mw.run_gc()?;
     let loaded = heap_breakdown(&mw);
     let total_loaded = mw.process().heap().bytes_used();
 
     let clusters = {
         let manager = mw.manager();
-        let ids = manager.lock().expect("manager").loaded_clusters();
+        let ids = manager
+            .lock()
+            .map_err(|_| BenchError::msg("manager lock poisoned"))?
+            .loaded_clusters();
         ids
     };
     for sc in clusters {
-        mw.swap_out(sc).expect("swap out");
+        mw.swap_out(sc)?;
     }
-    mw.run_gc().expect("gc");
+    mw.run_gc()?;
     let swapped = heap_breakdown(&mw);
     let total_swapped = mw.process().heap().bytes_used();
-    MemoryRow {
+    Ok(MemoryRow {
         label: label.to_string(),
         loaded,
         swapped,
         total_loaded,
         total_swapped,
-    }
+    })
 }
 
 /// Run the comparison for the naive baseline and the paper's sizes.
-pub fn run_comparison(list_len: usize) -> Vec<MemoryRow> {
-    let mut rows = vec![measure("naive (1/obj)", 1, list_len)];
+///
+/// # Errors
+///
+/// Setup, traversal, or swap-out failure for any configuration.
+pub fn run_comparison(list_len: usize) -> Result<Vec<MemoryRow>> {
+    let mut rows = vec![measure("naive (1/obj)", 1, list_len)?];
     for size in [20, 50, 100] {
-        rows.push(measure(&size.to_string(), size, list_len));
+        rows.push(measure(&size.to_string(), size, list_len)?);
     }
-    rows
+    Ok(rows)
 }
 
 /// Render the rows as a table.
 pub fn render(rows: &[MemoryRow], list_len: usize) -> String {
-    let app_bytes = rows[0].loaded.app_bytes.max(1);
+    let app_bytes = rows.first().map(|r| r.loaded.app_bytes).unwrap_or(0).max(1);
     let mut out = format!(
         "Ablation 1 — Memory occupation vs the naive per-object design\n\
          (list of {list_len} 64-byte objects = {app_bytes} B of application data)\n\n\
@@ -106,11 +114,13 @@ pub fn render(rows: &[MemoryRow], list_len: usize) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
 
     #[test]
     fn naive_overhead_dwarfs_swap_cluster_overhead() {
-        let rows = run_comparison(300);
+        let rows = run_comparison(300).unwrap();
         let naive = &rows[0];
         let sc100 = rows.iter().find(|r| r.label == "100").unwrap();
         // Naive: ~one proxy per object; paper's "could potentially double".
@@ -123,7 +133,7 @@ mod tests {
 
     #[test]
     fn render_mentions_every_config() {
-        let rows = run_comparison(100);
+        let rows = run_comparison(100).unwrap();
         let text = render(&rows, 100);
         for label in ["naive", "20", "50", "100"] {
             assert!(text.contains(label), "{label} missing");

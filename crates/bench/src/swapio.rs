@@ -7,6 +7,7 @@
 //! byte). All times come from the deterministic link model, not the wall
 //! clock.
 
+use crate::{BenchError, Result};
 use obiwan_core::wire::{self, WireFormatKind};
 use obiwan_core::Middleware;
 use obiwan_core::{codec, StoreSpec};
@@ -14,6 +15,16 @@ use obiwan_heap::Value;
 use obiwan_net::{DeviceKind, LinkSpec, SimDuration};
 use obiwan_replication::{standard_classes, Server};
 use std::time::{Duration, Instant};
+
+/// Read the virtual clock, turning a poisoned net lock into a
+/// [`BenchError`] instead of a panic.
+fn virtual_now(mw: &Middleware) -> Result<obiwan_net::SimTime> {
+    Ok(mw
+        .net()
+        .lock()
+        .map_err(|_| BenchError::msg("net lock poisoned"))?
+        .now())
+}
 
 /// One measured point of the sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,7 +42,11 @@ pub struct SwapIoPoint {
 }
 
 /// Sweep cluster sizes × links for a fixed list.
-pub fn run_sweep(list_len: usize) -> Vec<SwapIoPoint> {
+///
+/// # Errors
+///
+/// Any middleware failure during setup, swap-out, or reload.
+pub fn run_sweep(list_len: usize) -> Result<Vec<SwapIoPoint>> {
     let links: [(&str, LinkSpec); 3] = [
         ("mote-100k", LinkSpec::mote_radio()),
         ("bluetooth-700k", LinkSpec::bluetooth()),
@@ -41,9 +56,7 @@ pub fn run_sweep(list_len: usize) -> Vec<SwapIoPoint> {
     for cluster_size in [20, 50, 100, 200] {
         for (label, link) in links {
             let mut server = Server::new(standard_classes());
-            let head = server
-                .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
-                .expect("Node class");
+            let head = server.build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)?;
             let mut mw = Middleware::builder()
                 .cluster_size(cluster_size)
                 .device_memory(list_len * 64 * 8 + (1 << 20))
@@ -55,15 +68,15 @@ pub fn run_sweep(list_len: usize) -> Vec<SwapIoPoint> {
                 )
                 .with_link(link)])
                 .build(server);
-            let root = mw.replicate_root(head).expect("replicate");
+            let root = mw.replicate_root(head)?;
             mw.set_global("head", Value::Ref(root));
-            mw.invoke_i64(root, "length", vec![]).expect("warm");
+            mw.invoke_i64(root, "length", vec![])?;
 
-            let t0 = mw.net().lock().expect("net").now();
-            let blob_bytes = mw.swap_out(1).expect("swap out");
-            let t1 = mw.net().lock().expect("net").now();
-            mw.swap_in(1).expect("swap in");
-            let t2 = mw.net().lock().expect("net").now();
+            let t0 = virtual_now(&mw)?;
+            let blob_bytes = mw.swap_out(1)?;
+            let t1 = virtual_now(&mw)?;
+            mw.swap_in(1)?;
+            let t2 = virtual_now(&mw)?;
             points.push(SwapIoPoint {
                 cluster_size,
                 link: label.to_string(),
@@ -73,7 +86,7 @@ pub fn run_sweep(list_len: usize) -> Vec<SwapIoPoint> {
             });
         }
     }
-    points
+    Ok(points)
 }
 
 /// One wire-format measurement: bytes-on-wire and serialization CPU for a
@@ -95,43 +108,44 @@ pub struct WireFormatPoint {
 /// Measure every wire format against the same captured clusters: encode a
 /// cluster of each size once per format, timing encode and decode and
 /// recording the bytes that would cross the radio.
-pub fn run_format_sweep(list_len: usize) -> Vec<WireFormatPoint> {
+///
+/// # Errors
+///
+/// Setup, capture, or codec failure.
+pub fn run_format_sweep(list_len: usize) -> Result<Vec<WireFormatPoint>> {
     const ITERS: u32 = 40;
     let mut points = Vec::new();
     for cluster_size in [20usize, 100] {
         let mut server = Server::new(standard_classes());
-        let head = server
-            .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
-            .expect("Node class");
+        let head = server.build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)?;
         let mut mw = Middleware::builder()
             .cluster_size(cluster_size)
             .device_memory(list_len * 64 * 8 + (1 << 20))
             .no_builtin_policies()
             .build(server);
-        let root = mw.replicate_root(head).expect("replicate");
+        let root = mw.replicate_root(head)?;
         mw.set_global("head", Value::Ref(root));
-        mw.invoke_i64(root, "length", vec![]).expect("warm");
+        mw.invoke_i64(root, "length", vec![])?;
         let members: Vec<obiwan_heap::ObjRef> = {
             let manager = mw.manager();
-            let m = manager.lock().expect("manager");
-            m.cluster(1)
-                .expect("sc1")
-                .members
-                .iter()
-                .map(|&(_, r)| r)
-                .collect()
+            let m = manager
+                .lock()
+                .map_err(|_| BenchError::msg("manager lock poisoned"))?;
+            m.cluster(1)?.members.iter().map(|&(_, r)| r).collect()
         };
-        let blob = codec::capture(mw.process(), 1, 0, &members).expect("capture");
+        let blob = codec::capture(mw.process(), 1, 0, &members)?;
         for kind in WireFormatKind::ALL {
-            let data = wire::encode_blob(kind, &blob).expect("encode");
+            let data = wire::encode_blob(kind, &blob)?;
+            // lint:allow(S7, host-side codec timing; never enters a trace)
             let t0 = Instant::now();
             for _ in 0..ITERS {
-                std::hint::black_box(wire::encode_blob(kind, &blob).expect("encode"));
+                std::hint::black_box(wire::encode_blob(kind, &blob)?);
             }
             let encode = t0.elapsed() / ITERS;
+            // lint:allow(S7, host-side codec timing; never enters a trace)
             let t1 = Instant::now();
             for _ in 0..ITERS {
-                std::hint::black_box(wire::decode_blob(&data).expect("decode"));
+                std::hint::black_box(wire::decode_blob(&data)?);
             }
             let decode = t1.elapsed() / ITERS;
             points.push(WireFormatPoint {
@@ -143,7 +157,7 @@ pub fn run_format_sweep(list_len: usize) -> Vec<WireFormatPoint> {
             });
         }
     }
-    points
+    Ok(points)
 }
 
 /// Render the format sweep as a table.
@@ -214,10 +228,14 @@ pub fn formats_json(
 /// distribution view the committed JSON snapshot carries alongside the
 /// means. Everything is virtual time, so the histograms are deterministic
 /// and snapshot-stable.
+///
+/// # Errors
+///
+/// Setup or swap-cycle failure.
 pub fn run_trace_histograms(
     list_len: usize,
     cycles: usize,
-) -> Vec<(String, obiwan_trace::TraceSummary)> {
+) -> Result<Vec<(String, obiwan_trace::TraceSummary)>> {
     let links: [(&str, LinkSpec); 3] = [
         ("mote-100k", LinkSpec::mote_radio()),
         ("bluetooth-700k", LinkSpec::bluetooth()),
@@ -226,9 +244,7 @@ pub fn run_trace_histograms(
     let mut out = Vec::new();
     for (label, link) in links {
         let mut server = Server::new(standard_classes());
-        let head = server
-            .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
-            .expect("Node class");
+        let head = server.build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)?;
         let mut mw = Middleware::builder()
             .cluster_size(50)
             .device_memory(list_len * 64 * 8 + (1 << 20))
@@ -240,12 +256,12 @@ pub fn run_trace_histograms(
             )
             .with_link(link)])
             .build(server);
-        let root = mw.replicate_root(head).expect("replicate");
+        let root = mw.replicate_root(head)?;
         mw.set_global("head", Value::Ref(root));
-        mw.invoke_i64(root, "length", vec![]).expect("warm");
+        mw.invoke_i64(root, "length", vec![])?;
         for _ in 0..cycles {
-            mw.swap_out(1).expect("swap out");
-            mw.swap_in(1).expect("swap in");
+            mw.swap_out(1)?;
+            mw.swap_in(1)?;
         }
         let trace = mw.export_trace();
         out.push((
@@ -253,7 +269,7 @@ pub fn run_trace_histograms(
             obiwan_trace::derive::summarize(&trace.events),
         ));
     }
-    out
+    Ok(out)
 }
 
 /// Serialize the per-link trace histograms as one JSON object.
@@ -290,11 +306,13 @@ pub fn render(points: &[SwapIoPoint]) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
 
     #[test]
     fn sweep_shapes_hold() {
-        let points = run_sweep(400);
+        let points = run_sweep(400).unwrap();
         // Bigger clusters → bigger blobs → longer transfers on each link.
         let bt: Vec<&SwapIoPoint> = points
             .iter()
@@ -317,7 +335,7 @@ mod tests {
 
     #[test]
     fn binary_beats_xml_on_the_wire_at_every_size() {
-        let points = run_format_sweep(300);
+        let points = run_format_sweep(300).unwrap();
         for cluster_size in [20usize, 100] {
             let bytes = |format: &str| {
                 points
@@ -343,8 +361,8 @@ mod tests {
 
     #[test]
     fn format_json_snapshot_is_well_formed() {
-        let points = run_format_sweep(100);
-        let histograms = run_trace_histograms(100, 2);
+        let points = run_format_sweep(100).unwrap();
+        let histograms = run_trace_histograms(100, 2).unwrap();
         let json = formats_json(100, &points, &histograms);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"format\"").count(), points.len());
@@ -358,8 +376,8 @@ mod tests {
 
     #[test]
     fn trace_histograms_are_deterministic_and_ordered() {
-        let a = run_trace_histograms(150, 3);
-        let b = run_trace_histograms(150, 3);
+        let a = run_trace_histograms(150, 3).unwrap();
+        let b = run_trace_histograms(150, 3).unwrap();
         assert_eq!(a, b, "virtual-time histograms must be run-stable");
         // Three cycles → three detaches and three reloads per link.
         for (link, s) in &a {
@@ -381,7 +399,7 @@ mod tests {
 
     #[test]
     fn reload_time_tracks_swap_out_time() {
-        let points = run_sweep(200);
+        let points = run_sweep(200).unwrap();
         for p in &points {
             let ratio = p.in_time.as_micros() as f64 / p.out_time.as_micros().max(1) as f64;
             assert!(

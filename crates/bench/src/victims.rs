@@ -6,6 +6,7 @@
 //! victims determines how often clusters bounce: swap-outs and reloads per
 //! completed pass are the figures of merit.
 
+use crate::{BenchError, Result};
 use obiwan_core::{Middleware, VictimPolicy};
 use obiwan_heap::Value;
 use obiwan_replication::{standard_classes, Server};
@@ -34,21 +35,19 @@ fn run_trace(
     passes: usize,
     hot_prefix: usize,
     hot_revisits: usize,
-) -> usize {
+) -> Result<usize> {
+    let cursor = |mw: &Middleware| -> Result<obiwan_heap::ObjRef> {
+        mw.global("cursor")?
+            .expect_ref()
+            .map_err(|e| BenchError::ctx("global `cursor`", e))
+    };
     let mut steps = 0;
     for _ in 0..passes {
         // Sequential sweep.
         mw.set_global("cursor", Value::Ref(root));
         loop {
-            let cur = mw
-                .global("cursor")
-                .expect("cursor")
-                .expect_ref()
-                .expect("ref");
-            match mw
-                .invoke_resilient(cur, "next", vec![], 1_000)
-                .expect("step")
-            {
+            let cur = cursor(mw)?;
+            match mw.invoke_resilient(cur, "next", vec![], 1_000)? {
                 Value::Ref(next) => {
                     mw.set_global("cursor", Value::Ref(next));
                     steps += 1;
@@ -60,15 +59,8 @@ fn run_trace(
         for _ in 0..hot_revisits {
             mw.set_global("cursor", Value::Ref(root));
             for _ in 0..hot_prefix {
-                let cur = mw
-                    .global("cursor")
-                    .expect("cursor")
-                    .expect_ref()
-                    .expect("ref");
-                match mw
-                    .invoke_resilient(cur, "next", vec![], 1_000)
-                    .expect("hot step")
-                {
+                let cur = cursor(mw)?;
+                match mw.invoke_resilient(cur, "next", vec![], 1_000)? {
                     Value::Ref(next) => {
                         mw.set_global("cursor", Value::Ref(next));
                         steps += 1;
@@ -78,23 +70,25 @@ fn run_trace(
             }
         }
     }
-    steps
+    Ok(steps)
 }
 
 /// Evaluate every policy on the same trace and budget.
-pub fn run_comparison(list_len: usize, memory_fraction_pct: usize) -> Vec<VictimRow> {
-    [
+///
+/// # Errors
+///
+/// Setup or trace failure under any policy.
+pub fn run_comparison(list_len: usize, memory_fraction_pct: usize) -> Result<Vec<VictimRow>> {
+    let policies = [
         VictimPolicy::LeastRecentlyUsed,
         VictimPolicy::LeastFrequentlyUsed,
         VictimPolicy::LargestFirst,
         VictimPolicy::RoundRobin,
-    ]
-    .into_iter()
-    .map(|policy| {
+    ];
+    let mut rows = Vec::with_capacity(policies.len());
+    for policy in policies {
         let mut server = Server::new(standard_classes());
-        let head = server
-            .build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)
-            .expect("Node class");
+        let head = server.build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)?;
         let data_bytes = list_len * 64;
         let memory = data_bytes * memory_fraction_pct / 100 + 4096;
         let mut mw = Middleware::builder()
@@ -102,19 +96,19 @@ pub fn run_comparison(list_len: usize, memory_fraction_pct: usize) -> Vec<Victim
             .device_memory(memory)
             .victim_policy(policy)
             .build(server);
-        let root = mw.replicate_root(head).expect("replicate");
+        let root = mw.replicate_root(head)?;
         mw.set_global("head", Value::Ref(root));
-        run_trace(&mut mw, root, 3, list_len / 10, 2);
+        run_trace(&mut mw, root, 3, list_len / 10, 2)?;
         let stats = mw.stats();
-        VictimRow {
+        rows.push(VictimRow {
             policy,
             swap_outs: stats.swap.swap_outs,
             swap_ins: stats.swap.swap_ins,
             bytes_moved: stats.swap.bytes_swapped_out + stats.swap.bytes_swapped_in,
             airtime_ms: stats.now.as_millis(),
-        }
-    })
-    .collect()
+        });
+    }
+    Ok(rows)
 }
 
 /// Render the comparison.
@@ -141,11 +135,13 @@ pub fn render(rows: &[VictimRow], list_len: usize, memory_fraction_pct: usize) -
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
 
     #[test]
     fn all_policies_complete_the_trace() {
-        let rows = run_comparison(300, 40);
+        let rows = run_comparison(300, 40).unwrap();
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.swap_outs > 0, "{}: pressure must evict", r.policy);
@@ -157,14 +153,14 @@ mod tests {
     fn comparison_is_deterministic() {
         // The sweep is pure simulation: identical runs must agree exactly,
         // so the ablation table in EXPERIMENTS.md is reproducible.
-        let a = run_comparison(300, 40);
-        let b = run_comparison(300, 40);
+        let a = run_comparison(300, 40).unwrap();
+        let b = run_comparison(300, 40).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn policies_actually_differ_in_behavior() {
-        let rows = run_comparison(400, 40);
+        let rows = run_comparison(400, 40).unwrap();
         let reload_counts: std::collections::HashSet<u64> =
             rows.iter().map(|r| r.swap_ins).collect();
         // The knob is real: at least two policies produce different

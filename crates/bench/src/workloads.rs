@@ -2,6 +2,7 @@
 //! "recursive and iterative invocations … of simple (quasi-empty) methods,
 //! in order not to mask the overhead being measured".
 
+use crate::{BenchError, Result};
 use obiwan_core::Middleware;
 use obiwan_heap::Value;
 use obiwan_replication::{standard_classes, Server};
@@ -61,15 +62,12 @@ pub struct Fig5World {
 
 /// Build and warm a Figure 5 world.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on any middleware error — the workload is fixed and memory is
-/// sized generously; failures are setup bugs.
-pub fn build_fig5(config: Fig5Config) -> Fig5World {
+/// Any middleware failure during setup or the warm traversals.
+pub fn build_fig5(config: Fig5Config) -> Result<Fig5World> {
     let mut server = Server::new(standard_classes());
-    let head = server
-        .build_list("Node", config.list_len, PAYLOAD_FOR_64B)
-        .expect("standard classes define Node");
+    let head = server.build_list("Node", config.list_len, PAYLOAD_FOR_64B)?;
     let memory = (config.list_len * 64) * 8 + (1 << 20);
     let mut builder = Middleware::builder()
         .device_memory(memory)
@@ -79,72 +77,79 @@ pub fn build_fig5(config: Fig5Config) -> Fig5World {
         None => builder.cluster_size(50).swapping_disabled(),
     };
     let mut mw = builder.build(server);
-    let root = mw.replicate_root(head).expect("replication of the head");
+    let root = mw.replicate_root(head)?;
     mw.set_global("head", Value::Ref(root));
     // Warm 1: replicate everything (object faults all fire here).
-    let len = mw
-        .invoke_i64(root, "length", vec![])
-        .expect("full traversal");
-    assert_eq!(len as usize, config.list_len);
+    let len = mw.invoke_i64(root, "length", vec![])?;
+    if len as usize != config.list_len {
+        return Err(BenchError::msg(format!(
+            "warm traversal saw {len} nodes, expected {}",
+            config.list_len
+        )));
+    }
     // Warm 2: touch every boundary so proxy structures exist and the
     // measured runs exercise the steady state.
-    let depth = mw
-        .invoke_i64(root, "visit", vec![Value::Int(0)])
-        .expect("warm traversal");
-    assert_eq!(depth as usize, config.list_len - 1);
-    Fig5World { mw, root, config }
+    let depth = mw.invoke_i64(root, "visit", vec![Value::Int(0)])?;
+    if depth as usize != config.list_len - 1 {
+        return Err(BenchError::msg(format!(
+            "warm visit reached depth {depth}, expected {}",
+            config.list_len - 1
+        )));
+    }
+    Ok(Fig5World { mw, root, config })
 }
 
 /// **Test A1**: recursive traversal passing an integer depth. Returns the
 /// final recursion depth (= list length − 1).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on invocation failure (setup bug).
-pub fn run_a1(world: &mut Fig5World) -> i64 {
-    world
+/// Invocation failure (setup bug).
+pub fn run_a1(world: &mut Fig5World) -> Result<i64> {
+    Ok(world
         .mw
-        .invoke_i64(world.root, "visit", vec![Value::Int(0)])
-        .expect("A1 traversal")
+        .invoke_i64(world.root, "visit", vec![Value::Int(0)])?)
 }
 
 /// **Test A2**: A1 extended with an inner recursion of depth 10 per step
 /// that returns an object reference (≈10× more invocations, plus transient
 /// proxies for cross-boundary returned references).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on invocation failure (setup bug).
-pub fn run_a2(world: &mut Fig5World) -> i64 {
+/// Invocation or collection failure (setup bug).
+pub fn run_a2(world: &mut Fig5World) -> Result<i64> {
     let out = world
         .mw
-        .invoke_i64(world.root, "deep_visit", vec![Value::Int(0)])
-        .expect("A2 traversal");
+        .invoke_i64(world.root, "deep_visit", vec![Value::Int(0)])?;
     // The transient proxies created for returned references are "later
     // reclaimed by the LGC" (paper §5); the collection is part of the
     // test's cost, as inline GC activity was on the .NET CF runtime.
-    world.mw.run_gc().expect("post-run collection");
-    out
+    world.mw.run_gc()?;
+    Ok(out)
+}
+
+/// Read the `cursor` global as a reference.
+fn cursor_ref(mw: &Middleware) -> Result<obiwan_heap::ObjRef> {
+    mw.global("cursor")?
+        .expect_ref()
+        .map_err(|e| BenchError::ctx("global `cursor`", e))
 }
 
 /// **Test B1**: full iteration with a `for` loop and a global variable
 /// (swap-cluster-0); every returned reference is mediated afresh. Returns
 /// the number of steps.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on invocation failure (setup bug).
-pub fn run_b1(world: &mut Fig5World) -> i64 {
+/// Invocation or collection failure (setup bug).
+pub fn run_b1(world: &mut Fig5World) -> Result<i64> {
     let mw = &mut world.mw;
     mw.set_global("cursor", Value::Ref(world.root));
     let mut steps = 0;
     loop {
-        let cur = mw
-            .global("cursor")
-            .expect("cursor defined")
-            .expect_ref()
-            .expect("cursor is a reference");
-        match mw.invoke(cur, "next", vec![]).expect("B1 step") {
+        let cur = cursor_ref(mw)?;
+        match mw.invoke(cur, "next", vec![])? {
             Value::Ref(next) => {
                 mw.set_global("cursor", Value::Ref(next));
                 steps += 1;
@@ -152,8 +157,8 @@ pub fn run_b1(world: &mut Fig5World) -> i64 {
             _ => break,
         }
     }
-    mw.run_gc().expect("post-run collection");
-    steps
+    mw.run_gc()?;
+    Ok(steps)
 }
 
 /// **Test B2**: B1 with the iteration optimization — the cursor proxy is
@@ -162,28 +167,24 @@ pub fn run_b1(world: &mut Fig5World) -> i64 {
 /// With swapping disabled there is no proxy to mark; B2 degenerates to B1,
 /// matching the paper's identical 36 ms floor for both tests.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on invocation failure (setup bug).
-pub fn run_b2(world: &mut Fig5World) -> i64 {
+/// Invocation or collection failure (setup bug).
+pub fn run_b2(world: &mut Fig5World) -> Result<i64> {
     let swapping = world.config.swap_cluster_size.is_some();
     let mw = &mut world.mw;
     let cursor = if swapping {
         // The paper's `assign` marks the iterating *variable*'s own proxy;
         // it patches itself per step, leaving `head` untouched.
-        mw.make_cursor(world.root).expect("cursor over the head")
+        mw.make_cursor(world.root)?
     } else {
         world.root
     };
     mw.set_global("cursor", Value::Ref(cursor));
     let mut steps = 0;
     loop {
-        let cur = mw
-            .global("cursor")
-            .expect("cursor defined")
-            .expect_ref()
-            .expect("cursor is a reference");
-        match mw.invoke(cur, "next", vec![]).expect("B2 step") {
+        let cur = cursor_ref(mw)?;
+        match mw.invoke(cur, "next", vec![])? {
             Value::Ref(next) => {
                 mw.set_global("cursor", Value::Ref(next));
                 steps += 1;
@@ -191,8 +192,8 @@ pub fn run_b2(world: &mut Fig5World) -> i64 {
             _ => break,
         }
     }
-    mw.run_gc().expect("post-run collection");
-    steps
+    mw.run_gc()?;
+    Ok(steps)
 }
 
 /// The four tests by name, for sweep drivers.
@@ -200,21 +201,23 @@ pub const TESTS: [&str; 4] = ["A1", "A2", "B1", "B2"];
 
 /// Run one named test.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics for unknown test names.
-pub fn run_test(world: &mut Fig5World, test: &str) -> i64 {
+/// Unknown test names or invocation failure.
+pub fn run_test(world: &mut Fig5World, test: &str) -> Result<i64> {
     match test {
         "A1" => run_a1(world),
         "A2" => run_a2(world),
         "B1" => run_b1(world),
         "B2" => run_b2(world),
-        other => panic!("unknown Figure 5 test {other:?}"),
+        other => Err(BenchError::msg(format!("unknown Figure 5 test {other:?}"))),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
 
     #[test]
@@ -223,17 +226,17 @@ mod tests {
             Fig5Config::with_clusters(20, 200),
             Fig5Config::without_clusters(200),
         ] {
-            let mut world = build_fig5(config);
-            assert_eq!(run_a1(&mut world), 199);
-            assert_eq!(run_a2(&mut world), 199);
-            assert_eq!(run_b1(&mut world), 199);
-            assert_eq!(run_b2(&mut world), 199);
+            let mut world = build_fig5(config).unwrap();
+            assert_eq!(run_a1(&mut world).unwrap(), 199);
+            assert_eq!(run_a2(&mut world).unwrap(), 199);
+            assert_eq!(run_b1(&mut world).unwrap(), 199);
+            assert_eq!(run_b2(&mut world).unwrap(), 199);
         }
     }
 
     #[test]
     fn node_replicas_are_exactly_64_bytes() {
-        let world = build_fig5(Fig5Config::with_clusters(20, 40));
+        let world = build_fig5(Fig5Config::with_clusters(20, 40)).unwrap();
         let p = world.mw.process();
         let node = p
             .lookup_replica(obiwan_heap::Oid(1))
@@ -243,11 +246,11 @@ mod tests {
 
     #[test]
     fn b2_creates_fewer_proxies_than_b1() {
-        let mut world = build_fig5(Fig5Config::with_clusters(20, 300));
+        let mut world = build_fig5(Fig5Config::with_clusters(20, 300)).unwrap();
         let s0 = world.mw.swap_stats();
-        run_b1(&mut world);
+        run_b1(&mut world).unwrap();
         let s1 = world.mw.swap_stats();
-        run_b2(&mut world);
+        run_b2(&mut world).unwrap();
         let s2 = world.mw.swap_stats();
         let b1_created = s1.proxies_created - s0.proxies_created;
         let b2_created = s2.proxies_created - s1.proxies_created;
@@ -259,8 +262,8 @@ mod tests {
 
     #[test]
     fn no_swap_world_counts_zero_crossings() {
-        let mut world = build_fig5(Fig5Config::without_clusters(100));
-        run_a1(&mut world);
+        let mut world = build_fig5(Fig5Config::without_clusters(100)).unwrap();
+        run_a1(&mut world).unwrap();
         assert_eq!(world.mw.swap_stats().crossings, 0);
     }
 }

@@ -33,7 +33,7 @@ use crate::SwappingManager;
 use obiwan_heap::{ObjRef, ObjectKind, Oid, Value};
 use obiwan_net::DeviceId;
 use obiwan_replication::Process;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::PoisonError;
 
@@ -565,7 +565,7 @@ impl SwappingManager {
 
     /// Proxy-reuse table consistency (rules B4, B5).
     fn audit_proxy_index(&self, p: &Process, report: &mut AuditReport) {
-        let mut by_pair: HashMap<(u32, Oid), Vec<(u32, Oid)>> = HashMap::new();
+        let mut by_pair: BTreeMap<(u32, Oid), Vec<(u32, Oid)>> = BTreeMap::new();
         for (&(src, oid), &weak) in &self.proxy_index {
             let Some(pr) = p.heap().weak_get(weak) else {
                 // Dead entries are pruned lazily by the GC bridge.
@@ -775,23 +775,23 @@ impl SwappingManager {
         }
 
         // D3: extras of the replacement == live outbound proxies of sc.
-        let held: HashSet<ObjRef> = p
+        let held: BTreeSet<ObjRef> = p
             .heap()
             .extra_fields(replacement)
             .map(|extras| {
                 extras
                     .iter()
                     .filter_map(Value::as_ref_value)
-                    .collect::<HashSet<_>>()
+                    .collect::<BTreeSet<_>>()
             })
             .unwrap_or_default();
-        let live_outbound: HashSet<ObjRef> = self
+        let live_outbound: BTreeSet<ObjRef> = self
             .outbound
             .get(&sc)
             .map(|list| {
                 list.iter()
                     .filter_map(|&w| p.heap().weak_get(w))
-                    .collect::<HashSet<_>>()
+                    .collect::<BTreeSet<_>>()
             })
             .unwrap_or_default();
         for &extra in &held {

@@ -44,7 +44,7 @@ use bytes::Bytes;
 use obiwan_heap::{ObjRef, ObjectKind, Oid, Value};
 use obiwan_replication::Process;
 use obiwan_xml::{Element, Writer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A decoded field of a blob object.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,7 +96,7 @@ pub struct Blob {
 /// would violate the invariant that every cross-swap-cluster reference is
 /// mediated.
 pub fn capture(p: &Process, sc: u32, epoch: u32, members: &[ObjRef]) -> Result<Blob> {
-    let member_oids: HashMap<ObjRef, Oid> = members
+    let member_oids: BTreeMap<ObjRef, Oid> = members
         .iter()
         .map(|&m| Ok((m, p.heap().get(m)?.header().oid)))
         .collect::<Result<_>>()?;
@@ -126,7 +126,7 @@ pub fn capture(p: &Process, sc: u32, epoch: u32, members: &[ObjRef]) -> Result<B
 
 fn capture_field(
     p: &Process,
-    member_oids: &HashMap<ObjRef, Oid>,
+    member_oids: &BTreeMap<ObjRef, Oid>,
     i: usize,
     v: &Value,
 ) -> Result<Option<BlobField>> {

@@ -18,7 +18,7 @@ use obiwan_net::{DeviceId, DeviceKind, NetError, SimNet};
 use obiwan_placement::{HolderCandidate, PlacementPolicy, PlacementTable};
 use obiwan_policy::PolicyEvent;
 use obiwan_replication::{ClusterInfo, Interceptor, Process, ReplError, Resolved};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A shared simulated world.
@@ -97,15 +97,15 @@ pub struct SwappingManager {
     /// The device this manager runs on (the memory-constrained one).
     pub(crate) home: DeviceId,
     /// Swap-cluster registry.
-    pub(crate) clusters: HashMap<u32, SwapClusterEntry>,
+    pub(crate) clusters: BTreeMap<u32, SwapClusterEntry>,
     /// Proxy reuse table: (source swap-cluster, target identity) → proxy.
-    pub(crate) proxy_index: HashMap<(u32, Oid), WeakRef>,
+    pub(crate) proxy_index: BTreeMap<(u32, Oid), WeakRef>,
     /// Proxies whose *target* lives in the keyed swap-cluster (inbound).
-    pub(crate) inbound: HashMap<u32, Vec<WeakRef>>,
+    pub(crate) inbound: BTreeMap<u32, Vec<WeakRef>>,
     /// Proxies whose *source* is the keyed swap-cluster (outbound).
-    pub(crate) outbound: HashMap<u32, Vec<WeakRef>>,
+    pub(crate) outbound: BTreeMap<u32, Vec<WeakRef>>,
     /// Mapping replication cluster → swap-cluster (grouping).
-    repl_to_sc: HashMap<u32, u32>,
+    repl_to_sc: BTreeMap<u32, u32>,
     next_sc: u32,
     /// Logical clock for recency statistics.
     crossing_clock: u64,
@@ -128,7 +128,7 @@ pub struct SwappingManager {
     pub(crate) placement_policy: Box<dyn PlacementPolicy>,
     /// (swap-cluster, holder) losses already reported as
     /// [`PolicyEvent::HolderLost`], so churn does not re-fire every pump.
-    lost_reported: HashSet<(u32, DeviceId)>,
+    lost_reported: BTreeSet<(u32, DeviceId)>,
     /// [`SimNet::churn_seq`] at the last holder-loss scan; an unchanged
     /// sequence lets [`SwappingManager::note_departures`] skip the
     /// placement-table sweep entirely on quiet pumps.
@@ -142,11 +142,11 @@ impl SwappingManager {
             config,
             net,
             home,
-            clusters: HashMap::new(),
-            proxy_index: HashMap::new(),
-            inbound: HashMap::new(),
-            outbound: HashMap::new(),
-            repl_to_sc: HashMap::new(),
+            clusters: BTreeMap::new(),
+            proxy_index: BTreeMap::new(),
+            inbound: BTreeMap::new(),
+            outbound: BTreeMap::new(),
+            repl_to_sc: BTreeMap::new(),
             next_sc: 1,
             crossing_clock: 0,
             victim_cursor: 0,
@@ -156,7 +156,7 @@ impl SwappingManager {
             orphaned_blobs: Vec::new(),
             placements: PlacementTable::new(),
             placement_policy: config.placement.policy(),
-            lost_reported: HashSet::new(),
+            lost_reported: BTreeSet::new(),
             seen_churn_seq: None,
         }
     }

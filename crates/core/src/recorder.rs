@@ -193,6 +193,7 @@ impl Recorder {
 
     /// Boundary crossings are counted but not traced: they fire per
     /// invocation and would drown the lifecycle stream.
+    // lint:allow(S6, crossings is the documented counted-but-not-traced exception)
     pub(crate) fn note_crossing(&mut self) {
         self.stats.crossings += 1;
     }

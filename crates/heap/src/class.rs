@@ -318,6 +318,9 @@ impl ClassRegistry {
     /// all be registered during setup, mirroring class files being fixed
     /// before an application runs — or if the class name is already taken.
     pub fn register(&mut self, builder: ClassBuilder) -> ClassId {
+        // The `# Panics` contract above is deliberate: registration after
+        // sharing is a programming error, not a runtime condition.
+        #[allow(clippy::disallowed_methods)]
         let inner = Arc::get_mut(&mut self.inner)
             .expect("ClassRegistry must not be modified after it has been shared");
         let desc = builder.build();
@@ -381,6 +384,8 @@ impl ClassRegistry {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn sample() -> (ClassRegistry, ClassId) {

@@ -132,6 +132,8 @@ impl Heap {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use crate::{ClassBuilder, ClassRegistry, Heap, HeapError, ObjectKind, Value};
 
     fn setup() -> (Heap, crate::ClassId) {

@@ -50,6 +50,8 @@ impl Heap {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::{ClassBuilder, ClassRegistry, ObjectKind};
 

@@ -235,6 +235,8 @@ impl From<Option<ObjRef>> for Value {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

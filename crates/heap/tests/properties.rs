@@ -2,6 +2,9 @@
 //! generational handles never alias, GC is precise with respect to the
 //! reachable set computed independently.
 
+// Tests assert on known-good setups; panicking on failure is the point.
+#![allow(clippy::disallowed_methods)]
+
 use bytes::Bytes;
 use obiwan_heap::{ClassBuilder, ClassRegistry, Heap, ObjRef, ObjectKind, Value};
 use proptest::prelude::*;

@@ -1,0 +1,399 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! Same philosophy as `obiwan_trace::json`'s recursive-descent parser:
+//! no external crates, byte-oriented, and total — every input produces a
+//! token stream, never a panic. The stream is *lossless*: concatenating
+//! the spans of all tokens reproduces the input byte-for-byte (the
+//! property tests rely on this), so rule code can always recover exact
+//! excerpts and line numbers.
+//!
+//! The lexer understands exactly as much Rust as the S1–S8 rules need:
+//! string/char/lifetime literals (so `"lock_manager("` inside a string is
+//! not an acquisition site), nested block comments, doc comments, raw
+//! strings and raw identifiers, and compound operators such as `::` and
+//! `+=` that the source model keys on.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal and vertical whitespace.
+    Whitespace,
+    /// `// …` (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */`, nesting-aware; unterminated comments extend to EOF.
+    BlockComment,
+    /// Identifiers and keywords, including raw identifiers (`r#fn`).
+    Ident,
+    /// Integer and float literals (approximate: digits plus suffix glue).
+    Number,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A character literal `'x'` (escapes included).
+    Char,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Punctuation, possibly compound (`::`, `->`, `+=`, `..=`, …).
+    Punct,
+    /// A byte the lexer has no rule for (stray `\u{…}` fragments and the
+    /// like); one byte long, preserved for losslessness.
+    Unknown,
+}
+
+/// One lexed token: kind plus byte span plus 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What this token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of the first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    ///
+    /// Spans are always produced on byte boundaries of `src`; slicing can
+    /// still panic for a span from a *different* source, which is a caller
+    /// bug. Rule code always pairs tokens with the source they came from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Compound operators recognized as single `Punct` tokens, longest first.
+const COMPOUND: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "&&", "||", "..", "<<", ">>",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a lossless token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            if self.pos == start {
+                // Defensive: never loop forever, even if a case forgets to
+                // advance.
+                self.bump();
+            }
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(b) = self.src.get(self.pos) {
+            if *b == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let Some(b) = self.peek(0) else {
+            return TokenKind::Unknown;
+        };
+        match b {
+            b if b.is_ascii_whitespace() => {
+                while self.peek(0).is_some_and(|c| c.is_ascii_whitespace()) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|c| c != b'\n') {
+                    self.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 && self.peek(0).is_some() {
+                    if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                        depth += 1;
+                        self.bump_n(2);
+                    } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                        depth -= 1;
+                        self.bump_n(2);
+                    } else {
+                        self.bump();
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => self.string_body(),
+            b'\'' => self.char_or_lifetime(),
+            b if b.is_ascii_digit() => {
+                // Digits plus ident-glue (covers 0xff, 1_000u64, 1e9); a
+                // `.` is consumed only when followed by a digit so range
+                // expressions like `0..n` stay three tokens.
+                self.bump();
+                loop {
+                    match self.peek(0) {
+                        Some(c) if is_ident_continue(c) => self.bump(),
+                        Some(b'.') if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                TokenKind::Number
+            }
+            b if is_ident_start(b) => {
+                // Raw strings / byte strings / raw idents first: r" r#" b" br" c" r#ident
+                if let Some(k) = self.try_prefixed_literal() {
+                    return k;
+                }
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokenKind::Ident
+            }
+            _ => {
+                for op in COMPOUND {
+                    let bytes = op.as_bytes();
+                    if self.src[self.pos..].starts_with(bytes) {
+                        self.bump_n(bytes.len());
+                        return TokenKind::Punct;
+                    }
+                }
+                self.bump();
+                if b.is_ascii_punctuation() {
+                    TokenKind::Punct
+                } else {
+                    TokenKind::Unknown
+                }
+            }
+        }
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `c"…"`, `r#ident`.
+    /// Returns `None` when the ident at `pos` is just an ident.
+    fn try_prefixed_literal(&mut self) -> Option<TokenKind> {
+        let rest = &self.src[self.pos..];
+        let prefix_len = match rest {
+            [b'r', b'#', c, ..] if is_ident_start(*c) => {
+                // Raw identifier r#fn.
+                self.bump_n(2);
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                return Some(TokenKind::Ident);
+            }
+            [b'b', b'r', b'"' | b'#', ..] => 2,
+            [b'b' | b'c', b'"', ..] => 1,
+            [b'r', b'"' | b'#', ..] => 1,
+            _ => return None,
+        };
+        // Count hashes after the prefix.
+        let mut hashes = 0usize;
+        while rest.get(prefix_len + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        if rest.get(prefix_len + hashes) != Some(&b'"') {
+            return None; // `b#foo` or similar — not a literal.
+        }
+        let raw = rest.first() == Some(&b'r') || rest.get(1) == Some(&b'r');
+        self.bump_n(prefix_len + hashes + 1);
+        if raw {
+            // Scan for `"` followed by `hashes` hashes; no escapes.
+            'scan: while let Some(c) = self.peek(0) {
+                if c == b'"' {
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some(b'#') {
+                            self.bump();
+                            continue 'scan;
+                        }
+                    }
+                    self.bump_n(1 + hashes);
+                    return Some(TokenKind::Str);
+                }
+                self.bump();
+            }
+            Some(TokenKind::Str) // unterminated: runs to EOF
+        } else {
+            Some(self.cooked_string_tail())
+        }
+    }
+
+    /// Body of a cooked (escape-aware) string, starting at the opening `"`.
+    fn string_body(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        self.cooked_string_tail()
+    }
+
+    /// Consume until an unescaped `"` (or EOF).
+    fn cooked_string_tail(&mut self) -> TokenKind {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return TokenKind::Str;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // 'a  | 'static        → lifetime (ident after quote, no closing ')
+        // 'x' | '\n' | '\u{…}' → char literal
+        match (self.peek(1), self.peek(2)) {
+            (Some(c), close) if is_ident_start(c) && close != Some(b'\'') => {
+                // Lifetime: quote + ident run ('a in <'a, T> even when
+                // followed by more ident chars).
+                self.bump_n(2);
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokenKind::Lifetime
+            }
+            _ => {
+                self.bump(); // opening quote
+                while let Some(c) = self.peek(0) {
+                    match c {
+                        b'\\' => self.bump_n(2),
+                        b'\'' => {
+                            self.bump();
+                            return TokenKind::Char;
+                        }
+                        // A char literal never spans a line; bail so a
+                        // stray quote cannot swallow the rest of the file.
+                        b'\n' => return TokenKind::Char,
+                        _ => self.bump(),
+                    }
+                }
+                TokenKind::Char
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let src = "fn f(x: &mut T) -> u8 { x.y[0] += 1; \"s\\\"tr\" }\n// c\n/* /*n*/ */";
+        let toks = lex(src);
+        let mut rebuilt = String::new();
+        for t in &toks {
+            rebuilt.push_str(t.text(src));
+        }
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn strings_and_comments_hide_contents() {
+        let src = r##"let a = "lock_manager("; // lock_net(
+let b = r#"drop_blob("#; /* unwrap() */"##;
+        let found: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(found, vec!["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "<'a, 'static> 'x' '\\n'";
+        let ks = kinds(src);
+        let lifetimes: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = ks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn compound_punct() {
+        let ks = kinds("a::b += c..=d -> e");
+        let puncts: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(puncts, vec!["::", "+=", "..=", "->"]);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let src = "a\nb\n  c";
+        let idents: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(idents, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* nope", "'x", "b\"", "1_000_", "#"] {
+            let toks = lex(src);
+            let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+            assert_eq!(rebuilt, src);
+        }
+    }
+}

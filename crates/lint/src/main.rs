@@ -1,0 +1,140 @@
+//! `obiwan-lint` CLI.
+//!
+//! ```text
+//! obiwan-lint [--deny] [--json] [--allow <rule>]... [PATH]
+//! ```
+//!
+//! With no `PATH`, lints the enclosing workspace (found by walking up from
+//! the current directory to the first `Cargo.toml` containing
+//! `[workspace]`). Exit codes: `0` clean (or violations without `--deny`),
+//! `1` violations under `--deny`, `2` usage or I/O error.
+
+use obiwan_lint::{lint_root, Rule, ALL_RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    deny: bool,
+    json: bool,
+    allow: Vec<Rule>,
+    path: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    let rules: Vec<String> = ALL_RULES
+        .into_iter()
+        .map(|r| format!("  {:<3} {}", r.id(), r.name()))
+        .collect();
+    format!(
+        "usage: obiwan-lint [--deny] [--json] [--allow <rule>]... [PATH]\n\
+         \n\
+         --deny          exit 1 if any violation is found\n\
+         --json          emit violations as a JSON array\n\
+         --allow <rule>  disable a rule by id or name (repeatable)\n\
+         PATH            tree to lint (default: enclosing workspace root)\n\
+         \n\
+         rules:\n{}",
+        rules.join("\n")
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        deny: false,
+        json: false,
+        allow: Vec::new(),
+        path: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--allow" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--allow needs a rule id or name".to_owned())?;
+                let rule = Rule::parse(v)
+                    .ok_or_else(|| format!("unknown rule `{v}` (try S1..S8 or a rule name)"))?;
+                opts.allow.push(rule);
+            }
+            "--help" | "-h" => return Err(usage()),
+            _ if a.starts_with('-') => {
+                return Err(format!("unknown flag `{a}`\n\n{}", usage()));
+            }
+            _ => {
+                if opts.path.is_some() {
+                    return Err(format!("more than one PATH given\n\n{}", usage()));
+                }
+                opts.path = Some(PathBuf::from(a));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.path.clone().or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("obiwan-lint: no PATH given and no enclosing workspace found");
+            return ExitCode::from(2);
+        }
+    };
+    let violations = match lint_root(&root, &opts.allow) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obiwan-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        let items: Vec<String> = violations
+            .iter()
+            .map(|v| format!("  {}", v.to_json()))
+            .collect();
+        println!("[\n{}\n]", items.join(",\n"));
+    } else {
+        for v in &violations {
+            println!("{v}\n");
+        }
+        let files: std::collections::BTreeSet<&str> =
+            violations.iter().map(|v| v.file.as_str()).collect();
+        println!(
+            "obiwan-lint: {} violation(s) in {} file(s) under {}",
+            violations.len(),
+            files.len(),
+            root.display()
+        );
+    }
+    if opts.deny && !violations.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

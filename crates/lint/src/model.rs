@@ -1,0 +1,1057 @@
+//! A light structural model of a Rust source file.
+//!
+//! Built on the lossless token stream from [`crate::lexer`], this module
+//! recovers exactly the structure the S1–S8 rules key on — no full parse:
+//!
+//! * items: `impl`/`trait` blocks (self-type head), functions with their
+//!   parameter names and type heads, struct field types;
+//! * `#[cfg(test)]` modules and functions, which are excluded entirely
+//!   (the rules govern library code; tests opt out the same way they opt
+//!   out of the clippy wall);
+//! * per-function call sites with a best-effort receiver type (`self`,
+//!   typed parameters, `Type::method` paths, lock-guard chains);
+//! * lock acquisition sites with guard scopes (`let`-bound guards live to
+//!   end of block or `drop(guard)`; un-bound guards to end of statement).
+//!
+//! Everything here is an approximation, deliberately biased so the rules
+//! err on the side of *fewer* false positives: an unresolvable call is
+//! dropped rather than unioned across every same-named function.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A significant token: comments and whitespace stripped, text owned.
+#[derive(Debug, Clone)]
+pub struct STok {
+    /// Token class (never `Whitespace`/comments).
+    pub kind: TokenKind,
+    /// The token text.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl STok {
+    fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+
+    /// Whether this is an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// How a call site names its receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// A free function call `f(...)` (or a `path::f(...)` with an
+    /// unrecognized qualifier).
+    Free,
+    /// A method or associated call whose self type head is known:
+    /// `self.m(...)`, `typed_param.m(...)`, `Type::m(...)`, or a call
+    /// chained onto a lock-helper guard.
+    Typed(String),
+    /// A method call on an unknown receiver.
+    Unknown,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called function or method name.
+    pub name: String,
+    /// Receiver classification.
+    pub recv: Receiver,
+    /// Index into the body's significant-token slice (the name token).
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One lock acquisition inside a function body.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Lock identity (for helpers `lock_manager` → `manager`; for
+    /// `x.lock()` the receiver's final identifier, e.g. `server`).
+    pub lock: String,
+    /// Guard type head when the acquisition goes through a helper whose
+    /// signature names a `MutexGuard<'_, T>`.
+    pub guard_type: Option<String>,
+    /// Index of the acquiring token in the body slice.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// Locks already held at this point (by lock identity).
+    pub held: Vec<String>,
+}
+
+/// A call site annotated with the locks held when it runs.
+#[derive(Debug, Clone)]
+pub struct HeldCall {
+    /// The call.
+    pub call: CallSite,
+    /// Locks held across the call.
+    pub held: Vec<String>,
+}
+
+/// A function (or method) in library code.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Self type head of the enclosing `impl`/`trait` block, if any.
+    pub impl_type: Option<String>,
+    /// Parameter name → type head (`self` maps to the impl type).
+    pub params: Vec<(String, String)>,
+    /// Body as a significant-token index range into [`FileModel::sig`]
+    /// (excluding the outer braces); empty for body-less declarations.
+    pub body: std::ops::Range<usize>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// A struct definition's named fields (name → type head).
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Field name → type head.
+    pub fields: Vec<(String, String)>,
+}
+
+/// A free function recognized as a lock helper: it returns
+/// `Result<MutexGuard<'_, T>>` and its name starts with `lock_`.
+#[derive(Debug, Clone)]
+pub struct LockHelper {
+    /// Helper function name (`lock_manager`).
+    pub name: String,
+    /// Lock identity (`manager`).
+    pub lock: String,
+    /// Guard self-type head (`SwappingManager`).
+    pub guard_type: Option<String>,
+}
+
+/// The per-file model.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Owning crate short name (`core`, `bench`, …; `obiwan` for the
+    /// facade crate's `src/`).
+    pub crate_name: String,
+    /// Source text (for excerpts).
+    pub src: String,
+    /// Significant tokens (whitespace, comments and attributes stripped;
+    /// `#[cfg(test)]` items removed).
+    pub sig: Vec<STok>,
+    /// Functions found.
+    pub functions: Vec<Function>,
+    /// Struct definitions found.
+    pub structs: Vec<StructDef>,
+    /// Lock helpers defined in this file.
+    pub lock_helpers: Vec<LockHelper>,
+    /// Lines carrying a `lint:allow(...)` directive → rule ids allowed.
+    pub allow_lines: Vec<(u32, Vec<String>)>,
+    /// Rule ids allowed for the whole file via `lint:allow-file(...)`.
+    pub allow_file: Vec<String>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "fn",
+    "mut", "ref", "move", "in", "as", "where", "impl", "trait", "struct", "enum", "union", "mod",
+    "use", "pub", "const", "static", "type", "dyn", "unsafe", "async", "await", "box", "self",
+    "Self", "super", "crate", "true", "false",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Methods that adapt a lock-guard result without consuming the guard —
+/// a chained call *after* these still runs against the guarded value.
+const GUARD_ADAPTERS: &[&str] = &["map_err", "expect", "unwrap", "ok", "and_then", "map"];
+
+impl FileModel {
+    /// Build the model for one source file.
+    pub fn parse(rel_path: String, crate_name: String, src: String) -> FileModel {
+        let tokens = lex(&src);
+        let (sig, allow_lines, allow_file) = strip_insignificant(&src, &tokens);
+        let mut m = FileModel {
+            rel_path,
+            crate_name,
+            src,
+            sig,
+            functions: Vec::new(),
+            structs: Vec::new(),
+            lock_helpers: Vec::new(),
+            allow_lines,
+            allow_file,
+        };
+        let end = m.sig.len();
+        m.scan_items(0, end, None);
+        m
+    }
+
+    /// The source line (1-based) as trimmed text, for excerpts.
+    pub fn line_text(&self, line: u32) -> String {
+        self.src
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+            .to_owned()
+    }
+
+    /// Whether `rule_id` is suppressed at `line` (same line or the line
+    /// directly below a directive comment, mirroring `#[allow]` placement).
+    pub fn allowed(&self, rule_id: &str, line: u32) -> bool {
+        if self.allow_file.iter().any(|r| r == rule_id || r == "*") {
+            return true;
+        }
+        self.allow_lines.iter().any(|(l, rules)| {
+            (*l == line || l + 1 == line) && rules.iter().any(|r| r == rule_id || r == "*")
+        })
+    }
+
+    // --- item scanning ----------------------------------------------------
+
+    /// Scan `[from, to)` for items, recording functions/structs/helpers.
+    /// `impl_type` is the enclosing impl/trait self-type head, if any.
+    fn scan_items(&mut self, from: usize, to: usize, impl_type: Option<String>) {
+        let mut i = from;
+        while i < to {
+            let t = &self.sig[i];
+            match t.text.as_str() {
+                "impl" | "trait" => {
+                    let (head, body) = self.parse_impl_head(i, to);
+                    if let Some((b0, b1)) = body {
+                        self.scan_items(b0, b1, head);
+                        i = b1 + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "mod" => {
+                    // `mod name { … }` — recurse; `mod name;` — skip.
+                    let mut j = i + 1;
+                    while j < to && !self.sig[j].is("{") && !self.sig[j].is(";") {
+                        j += 1;
+                    }
+                    if j < to && self.sig[j].is("{") {
+                        let end = self.match_brace(j, to);
+                        self.scan_items(j + 1, end, None);
+                        i = end + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                }
+                "fn" => {
+                    i = self.parse_fn(i, to, impl_type.clone());
+                }
+                "struct" => {
+                    i = self.parse_struct(i, to);
+                }
+                "enum" | "union" => {
+                    // Skip the body; variant fields are not modeled.
+                    let mut j = i + 1;
+                    while j < to && !self.sig[j].is("{") && !self.sig[j].is(";") {
+                        j += 1;
+                    }
+                    i = if j < to && self.sig[j].is("{") {
+                        self.match_brace(j, to) + 1
+                    } else {
+                        j + 1
+                    };
+                }
+                "macro_rules" => {
+                    // macro_rules! name { … }
+                    let mut j = i + 1;
+                    while j < to && !self.sig[j].is("{") {
+                        j += 1;
+                    }
+                    i = if j < to {
+                        self.match_brace(j, to) + 1
+                    } else {
+                        to
+                    };
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// At `impl`/`trait` token `i`: return (self-type head, body range).
+    fn parse_impl_head(&self, i: usize, to: usize) -> (Option<String>, Option<(usize, usize)>) {
+        let mut j = i + 1;
+        // Skip generic parameters directly after the keyword.
+        if j < to && self.sig[j].is("<") {
+            j = self.skip_angles(j, to);
+        }
+        // Collect until `{`; if a `for` appears, restart collection.
+        let mut head: Option<String> = None;
+        let mut k = j;
+        while k < to && !self.sig[k].is("{") && !self.sig[k].is(";") {
+            let t = &self.sig[k];
+            if t.is("for") {
+                head = None;
+            } else if t.is("where") {
+                break;
+            } else if t.is("<") {
+                k = self.skip_angles(k, to);
+                continue;
+            } else if t.kind == TokenKind::Ident && !is_keyword(&t.text) {
+                // Follow path segments: the head is the last segment.
+                head = Some(t.text.clone());
+            }
+            k += 1;
+        }
+        while k < to && !self.sig[k].is("{") && !self.sig[k].is(";") {
+            k += 1;
+        }
+        if k < to && self.sig[k].is("{") {
+            let end = self.match_brace(k, to);
+            (head, Some((k + 1, end)))
+        } else {
+            (head, None)
+        }
+    }
+
+    /// At `fn` token `i`: record the function, return the index after it.
+    fn parse_fn(&mut self, i: usize, to: usize, impl_type: Option<String>) -> usize {
+        let line = self.sig[i].line;
+        let Some(name_tok) = self.sig.get(i + 1) else {
+            return i + 1;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            return i + 1;
+        }
+        let name = name_tok.text.clone();
+        let mut j = i + 2;
+        if j < to && self.sig[j].is("<") {
+            j = self.skip_angles(j, to);
+        }
+        if j >= to || !self.sig[j].is("(") {
+            return i + 1;
+        }
+        let params_end = self.match_paren(j, to);
+        let params = self.parse_params(j + 1, params_end, impl_type.as_deref());
+        // Return type (for lock-helper detection).
+        let mut k = params_end + 1;
+        let ret_start = k;
+        while k < to && !self.sig[k].is("{") && !self.sig[k].is(";") {
+            if self.sig[k].is("where") {
+                break;
+            }
+            k += 1;
+        }
+        let ret_end = k;
+        while k < to && !self.sig[k].is("{") && !self.sig[k].is(";") {
+            k += 1;
+        }
+        let body = if k < to && self.sig[k].is("{") {
+            let end = self.match_brace(k, to);
+            (k + 1)..end
+        } else {
+            k..k
+        };
+        let after = if body.is_empty() { k + 1 } else { body.end + 1 };
+
+        if impl_type.is_none() && name.starts_with("lock_") {
+            // `fn lock_x(…) -> Result<MutexGuard<'_, T>>` → helper.
+            let mut guard_type = None;
+            let mut r = ret_start;
+            while r + 1 < ret_end {
+                if self.sig[r].is("MutexGuard") && self.sig[r + 1].is("<") {
+                    let close = self.skip_angles(r + 1, ret_end);
+                    let inner: Vec<&STok> = self.sig[r + 2..close.saturating_sub(1).max(r + 2)]
+                        .iter()
+                        .filter(|t| t.kind == TokenKind::Ident)
+                        .collect();
+                    guard_type = inner.last().map(|t| t.text.clone());
+                    break;
+                }
+                r += 1;
+            }
+            if guard_type.is_some() || name.len() > 5 {
+                self.lock_helpers.push(LockHelper {
+                    name: name.clone(),
+                    lock: name.trim_start_matches("lock_").to_owned(),
+                    guard_type,
+                });
+            }
+        }
+
+        self.functions.push(Function {
+            name,
+            impl_type,
+            params,
+            body,
+            line,
+        });
+        after
+    }
+
+    /// Parse a parameter list in `[from, to)` into (name, type head) pairs.
+    fn parse_params(
+        &self,
+        from: usize,
+        to: usize,
+        impl_type: Option<&str>,
+    ) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let mut depth = 0i32;
+        let mut start = from;
+        let mut i = from;
+        while i <= to {
+            let at_end = i == to;
+            let t = if at_end { None } else { Some(&self.sig[i]) };
+            let is_sep = at_end || (depth == 0 && t.is_some_and(|t| t.is(",")));
+            if let Some(t) = t {
+                match t.text.as_str() {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => depth -= 1,
+                    _ => {}
+                }
+            }
+            if is_sep {
+                if start < i {
+                    if let Some(p) = self.parse_one_param(start, i, impl_type) {
+                        out.push(p);
+                    }
+                }
+                start = i + 1;
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn parse_one_param(
+        &self,
+        from: usize,
+        to: usize,
+        impl_type: Option<&str>,
+    ) -> Option<(String, String)> {
+        let toks = &self.sig[from..to];
+        // Receiver forms: `self`, `&self`, `&mut self`, `self: …`.
+        if toks.iter().take(3).any(|t| t.is("self")) {
+            return impl_type.map(|t| ("self".to_owned(), t.to_owned()));
+        }
+        // `pattern: TYPE` — name is the last ident of the pattern.
+        let colon = toks.iter().position(|t| t.is(":"))?;
+        let name = toks[..colon]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokenKind::Ident && !is_keyword(&t.text))?
+            .text
+            .clone();
+        let ty = type_head(&toks[colon + 1..])?;
+        Some((name, ty))
+    }
+
+    /// At `struct` token `i`: record named fields, return index after.
+    fn parse_struct(&mut self, i: usize, to: usize) -> usize {
+        let Some(name_tok) = self.sig.get(i + 1) else {
+            return i + 1;
+        };
+        let name = name_tok.text.clone();
+        let mut j = i + 2;
+        while j < to && !self.sig[j].is("{") && !self.sig[j].is(";") && !self.sig[j].is("(") {
+            j += 1;
+        }
+        if j >= to || !self.sig[j].is("{") {
+            // Tuple or unit struct: skip to `;` (or the paren group).
+            if j < to && self.sig[j].is("(") {
+                return self.match_paren(j, to) + 1;
+            }
+            return j + 1;
+        }
+        let end = self.match_brace(j, to);
+        let mut fields = Vec::new();
+        let mut k = j + 1;
+        while k < end {
+            // field: `name : TYPE ,` at depth 0 inside the braces.
+            if self.sig[k].kind == TokenKind::Ident
+                && k + 1 < end
+                && self.sig[k + 1].is(":")
+                && !is_keyword(&self.sig[k].text)
+            {
+                let fname = self.sig[k].text.clone();
+                // Type runs to the matching `,` at depth 0.
+                let mut depth = 0i32;
+                let mut e = k + 2;
+                while e < end {
+                    match self.sig[e].text.as_str() {
+                        "(" | "[" | "{" | "<" => depth += 1,
+                        ")" | "]" | "}" | ">" => depth -= 1,
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                if let Some(ty) = type_head(&self.sig[k + 2..e]) {
+                    fields.push((fname, ty));
+                }
+                k = e + 1;
+            } else {
+                k += 1;
+            }
+        }
+        self.structs.push(StructDef { name, fields });
+        end + 1
+    }
+
+    // --- token-walk utilities --------------------------------------------
+
+    /// Index of the `}` matching the `{` at `open` (or `to - 1`).
+    pub fn match_brace(&self, open: usize, to: usize) -> usize {
+        self.match_pair(open, to, "{", "}")
+    }
+
+    /// Index of the `)` matching the `(` at `open` (or `to - 1`).
+    pub fn match_paren(&self, open: usize, to: usize) -> usize {
+        self.match_pair(open, to, "(", ")")
+    }
+
+    fn match_pair(&self, open: usize, to: usize, o: &str, c: &str) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < to {
+            if self.sig[i].is(o) {
+                depth += 1;
+            } else if self.sig[i].is(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        to.saturating_sub(1)
+    }
+
+    /// Skip a `<…>` group starting at `open`; returns index after `>`.
+    /// Bails at `;`/`{` so expression `<` comparisons cannot swallow the
+    /// file.
+    fn skip_angles(&self, open: usize, to: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < to {
+            let t = &self.sig[i];
+            if t.is("<") {
+                depth += 1;
+            } else if t.is(">") {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            } else if t.is(">>") {
+                depth -= 2;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            } else if t.is(";") || t.is("{") {
+                return i;
+            }
+            i += 1;
+        }
+        to
+    }
+}
+
+/// Head identifier of a type token run: strips `&`, `mut`, `dyn`, `impl`,
+/// lifetimes and leading path qualifiers; `Vec<Foo>` → `Vec`,
+/// `&mut std::collections::HashMap<K, V>` → `HashMap`.
+fn type_head(toks: &[STok]) -> Option<String> {
+    let mut head: Option<&str> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "&" | "mut" | "dyn" | "impl" | "Box" => {}
+            "<" => {
+                if head.is_some_and(|h| h != "Box") {
+                    break;
+                }
+            }
+            "::" => {}
+            _ if t.kind == TokenKind::Lifetime => {}
+            _ if t.kind == TokenKind::Ident && !is_keyword(&t.text) => {
+                head = Some(&t.text);
+            }
+            _ => {
+                if head.is_some() {
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+    head.map(str::to_owned)
+}
+
+/// Strip whitespace/comments/attributes and `#[cfg(test)]` items from the
+/// raw token stream; collect `lint:allow` directives from comments.
+#[allow(clippy::type_complexity)]
+fn strip_insignificant(
+    src: &str,
+    tokens: &[Token],
+) -> (Vec<STok>, Vec<(u32, Vec<String>)>, Vec<String>) {
+    let mut sig: Vec<STok> = Vec::new();
+    let mut allow_lines = Vec::new();
+    let mut allow_file = Vec::new();
+    let mut i = 0usize;
+    // Pending `#[cfg(test)]` flag: set by an attribute, consumed by the
+    // next non-attribute significant token run (item head).
+    let mut pending_test = false;
+    // When inside a cfg(test)-gated item, skip to this brace depth.
+    let mut skip_depth: Option<i32> = None;
+    let mut depth = 0i32;
+
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Whitespace => {}
+            TokenKind::LineComment | TokenKind::BlockComment => {
+                let text = t.text(src);
+                for (marker, file_wide) in [("lint:allow-file(", true), ("lint:allow(", false)] {
+                    if let Some(p) = text.find(marker) {
+                        let rest = &text[p + marker.len()..];
+                        let inner = rest.split(')').next().unwrap_or("");
+                        let rules: Vec<String> = inner
+                            .split(',')
+                            .map(|s| s.trim().to_owned())
+                            .filter(|s| !s.is_empty())
+                            .collect();
+                        if file_wide {
+                            allow_file.extend(rules);
+                        } else if !rules.is_empty() {
+                            allow_lines.push((t.line, rules));
+                        }
+                        break;
+                    }
+                }
+            }
+            _ => {
+                let text = t.text(src);
+                if let Some(target) = skip_depth {
+                    // Inside a cfg(test) item: track braces until closed.
+                    if text == "{" {
+                        depth += 1;
+                    } else if text == "}" {
+                        depth -= 1;
+                        if depth <= target {
+                            skip_depth = None;
+                        }
+                    } else if depth == target && text == ";" {
+                        // `#[cfg(test)] use …;` style item without a body.
+                        skip_depth = None;
+                    }
+                    i += 1;
+                    continue;
+                }
+                if text == "#" {
+                    // Attribute: `#[…]` or `#![…]` — strip, noting cfg(test).
+                    let mut j = i + 1;
+                    while j < tokens.len()
+                        && matches!(
+                            tokens[j].kind,
+                            TokenKind::Whitespace
+                                | TokenKind::LineComment
+                                | TokenKind::BlockComment
+                        )
+                    {
+                        j += 1;
+                    }
+                    let bang = j < tokens.len() && tokens[j].text(src) == "!";
+                    if bang {
+                        j += 1;
+                    }
+                    if j < tokens.len() && tokens[j].text(src) == "[" {
+                        let mut bdepth = 0i32;
+                        let mut attr_text = String::new();
+                        while j < tokens.len() {
+                            let tt = tokens[j].text(src);
+                            if tokens[j].kind != TokenKind::Whitespace {
+                                attr_text.push_str(tt);
+                            }
+                            if tt == "[" {
+                                bdepth += 1;
+                            } else if tt == "]" {
+                                bdepth -= 1;
+                                if bdepth == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                        if !bang && attr_text.contains("cfg") && attr_text.contains("test") {
+                            pending_test = true;
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    // A stray `#` (not an attribute): keep it.
+                }
+                if text == "{" {
+                    depth += 1;
+                } else if text == "}" {
+                    depth -= 1;
+                }
+                if pending_test {
+                    match text {
+                        // Visibility and qualifiers between the attribute
+                        // and the item keyword.
+                        "pub" | "(" | ")" | "crate" | "super" | "in" | "async" | "unsafe"
+                        | "const" | "extern" => {}
+                        "{" => {
+                            // Item with a body (mod/fn/impl): skip to close.
+                            skip_depth = Some(depth - 1);
+                            pending_test = false;
+                            i += 1;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    if text == ";" {
+                        pending_test = false;
+                        i += 1;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                sig.push(STok {
+                    kind: t.kind,
+                    text: text.to_owned(),
+                    line: t.line,
+                });
+            }
+        }
+        i += 1;
+    }
+    (sig, allow_lines, allow_file)
+}
+
+// --- body analyses --------------------------------------------------------
+
+/// Extract call sites and lock sites (with held-lock context) from a
+/// function body, resolving receivers where possible.
+///
+/// Single forward pass: guard chains are classified at acquisition time
+/// (the chained tokens come later in the stream), so when the walk reaches
+/// a chained call its receiver type is already known.
+pub fn analyze_body(
+    file: &FileModel,
+    f: &Function,
+    helpers: &[LockHelper],
+) -> (Vec<CallSite>, Vec<LockSite>, Vec<HeldCall>) {
+    #[derive(Debug)]
+    struct Guard {
+        lock: String,
+        bind: Option<String>,
+        depth: i32,
+        temp: bool,
+    }
+
+    let sig = &file.sig;
+    let body = f.body.clone();
+    let mut calls: Vec<CallSite> = Vec::new();
+    let mut locks: Vec<LockSite> = Vec::new();
+    let mut held_calls: Vec<HeldCall> = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    // Call-name token positions chained onto a guard → receiver type.
+    let mut chained: Vec<(usize, Option<String>)> = Vec::new();
+    let mut lets: Vec<(String, String)> = Vec::new(); // typed let bindings
+
+    let mut depth = 0i32;
+    let mut pdepth = 0i32;
+    let mut stmt_start = body.start;
+    let helper_of = |name: &str| helpers.iter().find(|h| h.name == name);
+
+    let mut i = body.start;
+    while i < body.end {
+        let t = &sig[i];
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                stmt_start = i + 1;
+            }
+            "}" => {
+                guards.retain(|g| g.depth < depth && !g.temp);
+                depth -= 1;
+                stmt_start = i + 1;
+            }
+            ";" if pdepth == 0 => {
+                guards.retain(|g| !g.temp);
+                stmt_start = i + 1;
+            }
+            "," if pdepth == 0 => {
+                // A match-arm or struct-literal boundary at this depth:
+                // statement temporaries die here too.
+                guards.retain(|g| !(g.temp && g.depth == depth));
+            }
+            "(" | "[" => pdepth += 1,
+            ")" | "]" => pdepth -= 1,
+            _ => {}
+        }
+
+        // `drop(name)` releases a named guard.
+        if t.is("drop") && i + 3 < body.end && sig[i + 1].is("(") && sig[i + 3].is(")") {
+            let victim = sig[i + 2].text.clone();
+            guards.retain(|g| g.bind.as_deref() != Some(victim.as_str()));
+        }
+
+        // `let x: HashMap<…>` / `let x = HashMap::new()` typing.
+        if t.is("let") {
+            if let Some((n, ty)) = let_typed(sig, i, body.end) {
+                lets.push((n, ty));
+            }
+        }
+
+        // Acquisition: helper call `lock_x(` or method call `x.lock()`.
+        let acq = if t.kind == TokenKind::Ident
+            && i + 1 < body.end
+            && sig[i + 1].is("(")
+            && (i == body.start || !sig[i - 1].is("."))
+        {
+            helper_of(&t.text).map(|h| (h.lock.clone(), h.guard_type.clone()))
+        } else if t.is("lock")
+            && i >= 1
+            && sig[i - 1].is(".")
+            && i + 2 < body.end
+            && sig[i + 1].is("(")
+            && sig[i + 2].is(")")
+        {
+            // `x.lock()` / `self.x.lock()` — lock id = nearest ident.
+            let id = (1..=3)
+                .filter_map(|back| i.checked_sub(1 + back))
+                .map(|j| &sig[j])
+                .find(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_else(|| "anonymous".to_owned());
+            Some((id, None))
+        } else {
+            None
+        };
+
+        let was_acq = acq.is_some();
+        if let Some((lock, guard_type)) = acq {
+            let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+            locks.push(LockSite {
+                lock: lock.clone(),
+                guard_type: guard_type.clone(),
+                tok: i,
+                line: t.line,
+                held,
+            });
+            // The guard is `let`-bound only when the whole statement is
+            // `let [mut] NAME = <acq>(…)?*;` — anything chained after the
+            // call means the statement binds the chain's result and the
+            // guard itself is a statement temporary.
+            let mut bind = None;
+            let st = &sig[stmt_start..i.min(body.end)];
+            if st.first().is_some_and(|t| t.is("let")) {
+                let name_tok = st
+                    .iter()
+                    .rev()
+                    .find(|t| t.kind == TokenKind::Ident && !is_keyword(&t.text));
+                // Skip `?`s and result adapters (`.map_err(…)`): they
+                // pass the guard through, so the `let` still binds it.
+                let close = file.match_paren(i + 1, body.end);
+                let mut k = close + 1;
+                loop {
+                    while k < body.end && sig[k].is("?") {
+                        k += 1;
+                    }
+                    if k + 2 < body.end
+                        && sig[k].is(".")
+                        && GUARD_ADAPTERS.contains(&sig[k + 1].text.as_str())
+                        && sig[k + 2].is("(")
+                    {
+                        k = file.match_paren(k + 2, body.end) + 1;
+                        continue;
+                    }
+                    break;
+                }
+                if k < body.end && sig[k].is(";") {
+                    bind = name_tok.map(|t| t.text.clone());
+                }
+            }
+            let temp = bind.is_none();
+            guards.push(Guard {
+                lock,
+                bind,
+                depth,
+                temp,
+            });
+            // Classify calls chained directly onto the guard: skip result
+            // adapters (`.map_err(…)?`), type the first real method call.
+            let close = file.match_paren(i + 1, body.end);
+            let mut k = close + 1;
+            let mut gty = guard_type;
+            loop {
+                while k < body.end && sig[k].is("?") {
+                    k += 1;
+                }
+                if k + 2 < body.end
+                    && sig[k].is(".")
+                    && sig[k + 1].kind == TokenKind::Ident
+                    && sig[k + 2].is("(")
+                {
+                    let name = sig[k + 1].text.clone();
+                    if GUARD_ADAPTERS.contains(&name.as_str()) {
+                        chained.push((k + 1, None));
+                        k = file.match_paren(k + 2, body.end) + 1;
+                        continue;
+                    }
+                    chained.push((k + 1, gty.take()));
+                }
+                break;
+            }
+        }
+
+        // Call site? (An acquisition token is not *also* a call site:
+        // `lock_manager(…)` / `x.lock()` would otherwise record an edge
+        // onto their own lock.)
+        let is_call = t.kind == TokenKind::Ident
+            && !is_keyword(&t.text)
+            && i + 1 < body.end
+            && sig[i + 1].is("(")
+            && !was_acq;
+        if is_call {
+            let prev = i.checked_sub(1).map(|j| &sig[j]);
+            let prev_is_dot = prev.is_some_and(|p| p.is("."));
+            let prev_is_path = prev.is_some_and(|p| p.is("::"));
+            let prev_is_fn = prev.is_some_and(|p| p.is("fn"));
+            let prev_is_bang = prev.is_some_and(|p| p.is("!"));
+            if !prev_is_fn && !prev_is_bang {
+                let recv = if let Some((_, gty)) = chained.iter().find(|(pos, _)| *pos == i) {
+                    match gty {
+                        Some(t) => Receiver::Typed(t.clone()),
+                        None => Receiver::Unknown,
+                    }
+                } else if prev_is_dot {
+                    receiver_of(file, f, sig, i, &lets)
+                } else if prev_is_path {
+                    // `Type::m(` — qualified call.
+                    match i.checked_sub(2).map(|j| &sig[j]) {
+                        Some(q)
+                            if q.kind == TokenKind::Ident
+                                && q.text.chars().next().is_some_and(char::is_uppercase) =>
+                        {
+                            Receiver::Typed(q.text.clone())
+                        }
+                        _ => Receiver::Free,
+                    }
+                } else {
+                    Receiver::Free
+                };
+                let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+                let call = CallSite {
+                    name: t.text.clone(),
+                    recv,
+                    tok: i,
+                    line: t.line,
+                };
+                if !held.is_empty() {
+                    held_calls.push(HeldCall {
+                        call: call.clone(),
+                        held,
+                    });
+                }
+                calls.push(call);
+            }
+        }
+        i += 1;
+    }
+
+    (calls, locks, held_calls)
+}
+
+/// Typed `let` binding at token `i` (`let`): `let [mut] x: Ty …` or
+/// `let [mut] x = Ty::new(…)`.
+fn let_typed(sig: &[STok], i: usize, end: usize) -> Option<(String, String)> {
+    let mut j = i + 1;
+    if j < end && sig[j].is("mut") {
+        j += 1;
+    }
+    if j >= end || sig[j].kind != TokenKind::Ident {
+        return None;
+    }
+    let name = sig[j].text.clone();
+    match sig.get(j + 1).map(|t| t.text.as_str()) {
+        Some(":") => {
+            // Type annotation: take the head.
+            let mut k = j + 2;
+            let mut run = Vec::new();
+            while k < end && !sig[k].is("=") && !sig[k].is(";") {
+                run.push(sig[k].clone());
+                k += 1;
+            }
+            type_head(&run).map(|ty| (name, ty))
+        }
+        Some("=") => {
+            // `= Ty::new(` / `= Ty::with_capacity(` / `= Ty::from(`.
+            let k = j + 2;
+            if k + 1 < end
+                && sig[k].kind == TokenKind::Ident
+                && sig[k + 1].is("::")
+                && sig[k].text.chars().next().is_some_and(char::is_uppercase)
+            {
+                Some((name, sig[k].text.clone()))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Receiver type of the method call whose name token is at `i`
+/// (`… . name (`): `self.m` → impl type; `x.m` with `x` a typed param or
+/// `let`; `self.field.m` via the impl struct's field types.
+fn receiver_of(
+    file: &FileModel,
+    f: &Function,
+    sig: &[STok],
+    i: usize,
+    lets: &[(String, String)],
+) -> Receiver {
+    // Token layout: … recv . name ( — the `.` is at i-1.
+    let Some(r) = i.checked_sub(2).map(|j| &sig[j]) else {
+        return Receiver::Unknown;
+    };
+    if r.kind != TokenKind::Ident {
+        return Receiver::Unknown;
+    }
+    let lookup = |name: &str| -> Option<String> {
+        if name == "self" {
+            return f.impl_type.clone();
+        }
+        f.params
+            .iter()
+            .chain(lets.iter())
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.clone())
+    };
+    // `self.field.m(` — resolve through the impl struct's fields.
+    if i >= 4 && sig[i - 3].is(".") && sig[i - 4].is("self") {
+        if let Some(impl_ty) = &f.impl_type {
+            if let Some(st) = file.structs.iter().find(|s| &s.name == impl_ty) {
+                if let Some((_, fty)) = st.fields.iter().find(|(n, _)| n == &r.text) {
+                    return Receiver::Typed(fty.clone());
+                }
+            }
+        }
+        return Receiver::Unknown;
+    }
+    // Plain `x.m(` — but only if `x` starts the chain (not `a.x.m(`).
+    if i >= 3 && sig[i - 3].is(".") {
+        return Receiver::Unknown;
+    }
+    match lookup(&r.text) {
+        Some(t) => Receiver::Typed(t),
+        None => Receiver::Unknown,
+    }
+}

@@ -1,0 +1,71 @@
+//! S5 `blob-access`: raw blob store/drop/fetch traffic outside the
+//! placement fan-out.
+//!
+//! PR 3's durability guarantees (k-way placement, failover reload, churn
+//! repair) hold only if every blob write and drop goes through the
+//! manager-side fan-out that keeps `PlacementTable` in sync with the
+//! network. A stray `send_blob`/`drop_blob` elsewhere silently desyncs
+//! the placement view from reality.
+
+use super::{violation, Workspace};
+use crate::lexer::TokenKind;
+use crate::{LintViolation, Rule};
+
+/// The raw blob verbs on the network/store API.
+const BLOB_VERBS: &[&str] = &[
+    "send_blob",
+    "fetch_blob",
+    "drop_blob",
+    "send_blob_routed",
+    "fetch_blob_routed",
+    "drop_blob_routed",
+];
+
+/// Core files that *are* the placement fan-out (plus its load/drop
+/// mirrors): the sanctioned call sites.
+const CORE_ALLOWED: &[&str] = &["detach.rs", "reload.rs", "gc_bridge.rs", "manager.rs"];
+
+fn allowed(crate_name: &str, rel_path: &str) -> bool {
+    match crate_name {
+        // The network crate owns the verbs (definitions + internal use).
+        "net" => true,
+        // Pre-OBIWAN baselines bypass placement by design: they exist to
+        // measure what the paper's machinery buys.
+        "baselines" => true,
+        "core" => CORE_ALLOWED
+            .iter()
+            .any(|f| rel_path.ends_with(&format!("src/{f}"))),
+        _ => false,
+    }
+}
+
+pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if allowed(&file.crate_name, &file.rel_path) {
+            continue;
+        }
+        let sig = &file.sig;
+        for (i, t) in sig.iter().enumerate() {
+            if t.kind == TokenKind::Ident
+                && BLOB_VERBS.contains(&t.text.as_str())
+                && sig.get(i + 1).is_some_and(|n| n.text == "(")
+                // A `fn send_blob(…)` definition is not traffic.
+                && !(i >= 1 && sig[i - 1].text == "fn")
+            {
+                out.push(violation(
+                    file,
+                    Rule::BlobAccess,
+                    t.line,
+                    format!(
+                        "`{}` bypasses the k-way placement fan-out; blob traffic goes \
+                         through the manager's detach/reload/repair paths so \
+                         PlacementTable stays in sync with the network (PR 3)",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,172 @@
+//! S8 `nondeterministic-iteration`: `HashMap`/`HashSet` iteration on any
+//! path feeding the Recorder.
+//!
+//! PR 4 fixed exactly this bug in `PlacementTable` (repair events were
+//! emitted in hash order, breaking golden traces) by moving to `BTreeMap`.
+//! This rule generalizes the fix: inside the deterministic-trace domain
+//! (`core` and `placement`), any function on a recording path must not
+//! observe hash iteration order. Lookups (`get`/`contains_key`/`insert`/
+//! `remove`) stay fine — only order-revealing operations are flagged.
+
+use super::{violation, Workspace};
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+use crate::{LintViolation, Rule};
+use std::collections::BTreeSet;
+
+/// Crates inside the deterministic-trace domain.
+const SCOPE: &[&str] = &["core", "placement"];
+
+/// Order-revealing operations.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Names bound to hash-typed values anywhere in the scoped crates:
+/// struct fields (the field name is what `self.x.iter()` shows) plus this
+/// file's typed params/lets — collected per workspace so impl blocks split
+/// across files still see the struct's fields.
+fn hash_named(ws: &Workspace) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for file in &ws.files {
+        if !SCOPE.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for st in &file.structs {
+            for (n, ty) in &st.fields {
+                if HASH_TYPES.contains(&ty.as_str()) {
+                    names.insert(n.clone());
+                }
+            }
+        }
+        for f in &file.functions {
+            for (n, ty) in &f.params {
+                if HASH_TYPES.contains(&ty.as_str()) {
+                    names.insert(n.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Typed `let` bindings of hash types in one body: `let x: HashMap<…>` or
+/// `let x = HashMap::new()` / `HashSet::from(…)`.
+fn hash_lets(file: &FileModel, body: std::ops::Range<usize>, names: &mut BTreeSet<String>) {
+    let sig = &file.sig;
+    for i in body {
+        if sig[i].text != "let" {
+            continue;
+        }
+        let mut j = i + 1;
+        if sig.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        let Some(name) = sig.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+            continue;
+        };
+        let hashy = match sig.get(j + 1).map(|t| t.text.as_str()) {
+            Some(":") => sig
+                .get(j + 2)
+                .is_some_and(|t| HASH_TYPES.contains(&t.text.as_str())),
+            Some("=") => {
+                sig.get(j + 2)
+                    .is_some_and(|t| HASH_TYPES.contains(&t.text.as_str()))
+                    && sig.get(j + 3).is_some_and(|t| t.text == "::")
+            }
+            _ => false,
+        };
+        if hashy {
+            names.insert(name.text.clone());
+        }
+    }
+}
+
+pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
+    let feeds = ws.feeding_recorder();
+    let field_names = hash_named(ws);
+    let mut out = Vec::new();
+    for (id, info) in ws.fns.iter().enumerate() {
+        if !feeds[id] {
+            continue;
+        }
+        let file = &ws.files[info.file];
+        if !SCOPE.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let f = &file.functions[info.func];
+        let mut names = field_names.clone();
+        hash_lets(file, f.body.clone(), &mut names);
+        let sig = &file.sig;
+        let mut i = f.body.start;
+        while i < f.body.end {
+            let t = &sig[i];
+            // `name.iter()` / `self.name.iter()` / `name.retain(…)`.
+            if t.kind == TokenKind::Ident
+                && names.contains(&t.text)
+                && sig.get(i + 1).is_some_and(|n| n.text == ".")
+                && sig.get(i + 2).is_some_and(|m| {
+                    m.kind == TokenKind::Ident && ITER_METHODS.contains(&m.text.as_str())
+                })
+                && sig.get(i + 3).is_some_and(|p| p.text == "(")
+            {
+                out.push(violation(
+                    file,
+                    Rule::NondeterministicIteration,
+                    t.line,
+                    format!(
+                        "`{}` is hash-keyed and `{}` runs on a path that feeds the \
+                         Recorder, so event order depends on hasher state; switch the \
+                         container to BTreeMap/BTreeSet (the PR 4 PlacementTable fix) or \
+                         sort before iterating",
+                        t.text, f.name
+                    ),
+                ));
+                i += 3;
+                continue;
+            }
+            // `for x in &map { … }` — scan the iterated expression.
+            if t.text == "for" {
+                let mut j = i + 1;
+                while j < f.body.end && sig[j].text != "in" {
+                    j += 1;
+                }
+                let expr_start = j + 1;
+                while j < f.body.end && sig[j].text != "{" {
+                    j += 1;
+                }
+                if let Some(name) = sig[expr_start..j.min(f.body.end)]
+                    .iter()
+                    .find(|t| t.kind == TokenKind::Ident && names.contains(&t.text))
+                {
+                    out.push(violation(
+                        file,
+                        Rule::NondeterministicIteration,
+                        name.line,
+                        format!(
+                            "`for` loop iterates hash-keyed `{}` inside `{}`, which feeds \
+                             the Recorder; hash order leaks into the trace — use \
+                             BTreeMap/BTreeSet or collect-and-sort first",
+                            name.text, f.name
+                        ),
+                    ));
+                }
+                i = j;
+                continue;
+            }
+            i += 1;
+        }
+    }
+    out
+}

@@ -1,0 +1,138 @@
+//! S3 `layering`: the dependency-direction wall.
+//!
+//! Three sub-checks, all source-level so they hold even where Cargo's
+//! dependency graph cannot see (string-typed coupling, re-exported
+//! internals):
+//!
+//! * leaf crates (`trace`, `xml`, `lz`) name no other workspace crate;
+//! * `core` never reaches into `obiwan_net`'s `sim`/`route` modules —
+//!   only the crate-root façade;
+//! * `Placement`/`PlacementTable` internals (struct literals, patterns,
+//!   `.holders`/`.key` mutation) stay inside `crates/placement`.
+
+use super::{violation, Workspace};
+use crate::lexer::TokenKind;
+use crate::{LintViolation, Rule};
+
+/// Crates that must stay leaves (no `obiwan_*` imports at all).
+const LEAF_CRATES: &[&str] = &["trace", "xml", "lz"];
+
+/// Vec-mutating method names for the `.holders` check.
+const VEC_MUTATORS: &[&str] = &[
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "retain",
+    "clear",
+    "truncate",
+    "drain",
+    "extend",
+    "sort",
+    "sort_unstable",
+    "dedup",
+    "swap_remove",
+    "splice",
+    "append",
+];
+
+pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let sig = &file.sig;
+        let own = format!("obiwan_{}", file.crate_name);
+        for (i, t) in sig.iter().enumerate() {
+            // S3a: leaf crates import nothing from the workspace.
+            if LEAF_CRATES.contains(&file.crate_name.as_str())
+                && t.kind == TokenKind::Ident
+                && t.text.starts_with("obiwan_")
+                && t.text != own
+            {
+                out.push(violation(
+                    file,
+                    Rule::Layering,
+                    t.line,
+                    format!(
+                        "crate `{}` is a leaf of the workspace graph and must not depend \
+                         on `{}`; move shared types down or pass plain data in",
+                        file.crate_name, t.text
+                    ),
+                ));
+            }
+            // S3b: core uses only obiwan_net's façade.
+            if file.crate_name == "core"
+                && t.is_ident("obiwan_net")
+                && sig.get(i + 1).is_some_and(|n| n.text == "::")
+                && sig
+                    .get(i + 2)
+                    .is_some_and(|n| n.is_ident("sim") || n.is_ident("route"))
+            {
+                out.push(violation(
+                    file,
+                    Rule::Layering,
+                    t.line,
+                    "core talks to the network through obiwan_net's crate-root façade \
+                     only; naming sim/route internals couples core to the simulator's \
+                     module layout"
+                        .to_owned(),
+                ));
+            }
+            // S3c: placement internals stay in crates/placement.
+            if file.crate_name != "placement" {
+                // Type positions (`-> &PlacementTable {`, `impl Trait for
+                // PlacementTable {`) are not literals/patterns.
+                let type_pos = i >= 1
+                    && matches!(
+                        sig[i - 1].text.as_str(),
+                        "->" | "&" | "mut" | "dyn" | "impl" | "for" | ":" | "<" | "as"
+                    );
+                if (t.is_ident("Placement") || t.is_ident("PlacementTable"))
+                    && sig.get(i + 1).is_some_and(|n| n.text == "{")
+                    && !type_pos
+                {
+                    out.push(violation(
+                        file,
+                        Rule::Layering,
+                        t.line,
+                        format!(
+                            "`{}` is constructed/destructured only inside crates/placement \
+                             (the k-way invariants live there); use its constructor and \
+                             accessor API",
+                            t.text
+                        ),
+                    ));
+                }
+                if t.text == "."
+                    && sig
+                        .get(i + 1)
+                        .is_some_and(|n| n.is_ident("holders") || n.is_ident("key"))
+                {
+                    let mutated = match sig.get(i + 2).map(|n| n.text.as_str()) {
+                        Some(".") => {
+                            sig.get(i + 3)
+                                .is_some_and(|m| VEC_MUTATORS.contains(&m.text.as_str()))
+                                && sig.get(i + 4).is_some_and(|p| p.text == "(")
+                        }
+                        Some(op) => matches!(
+                            op,
+                            "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^="
+                        ),
+                        None => false,
+                    };
+                    if mutated {
+                        out.push(violation(
+                            file,
+                            Rule::Layering,
+                            sig[i + 1].line,
+                            "Placement holder/key state is mutated only through \
+                             PlacementTable's API so the k-way placement invariants \
+                             (PR 3) cannot be bypassed"
+                                .to_owned(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}

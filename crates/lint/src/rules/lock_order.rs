@@ -1,0 +1,107 @@
+//! S1 `lock-order`: cycles in the static lock-acquisition graph.
+//!
+//! Every acquisition site contributes edges `held → acquired`, both for
+//! direct acquisitions and — through the resolved call approximation — for
+//! calls made while a guard is live. A cycle (including the 1-cycle of
+//! re-acquiring a non-reentrant `std::sync::Mutex`) is the shape of the
+//! historical `make_cursor` deadlock: the middleware held the manager lock
+//! and called into replication, which re-entered the interceptor shim and
+//! took `lock_manager` again.
+
+use super::{violation, Workspace};
+use crate::{LintViolation, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lock-ordering edge with the site that introduced it.
+struct Edge {
+    file: usize,
+    line: u32,
+    note: String,
+}
+
+pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
+    let trans = ws.transitive_locks();
+    // (held, acquired) → first site introducing that edge.
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for (id, info) in ws.fns.iter().enumerate() {
+        for ls in &info.locks {
+            for h in &ls.held {
+                edges
+                    .entry((h.clone(), ls.lock.clone()))
+                    .or_insert_with(|| Edge {
+                        file: info.file,
+                        line: ls.line,
+                        note: format!("`{}` is acquired while `{}` is held", ls.lock, h),
+                    });
+            }
+        }
+        for hc in &info.held_calls {
+            for callee in ws.resolve(id, &hc.call) {
+                for l in &trans[callee] {
+                    for h in &hc.held {
+                        edges.entry((h.clone(), l.clone())).or_insert_with(|| Edge {
+                            file: info.file,
+                            line: hc.call.line,
+                            note: format!(
+                                "the call to `{}` (transitively) acquires `{}` while `{}` is held",
+                                hc.call.name, l, h
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Adjacency over lock identities.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (held, acquired) in edges.keys() {
+        adj.entry(held.as_str())
+            .or_default()
+            .insert(acquired.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = adj.get(n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    };
+
+    let mut out = Vec::new();
+    for ((held, acquired), edge) in &edges {
+        let file = &ws.files[edge.file];
+        if held == acquired {
+            out.push(violation(
+                file,
+                Rule::LockOrder,
+                edge.line,
+                format!(
+                    "{}; a non-reentrant std Mutex self-deadlocks here (the historical \
+                     make_cursor bug) — drop the `{}` guard before re-entering",
+                    edge.note, held
+                ),
+            ));
+        } else if reaches(acquired, held) {
+            out.push(violation(
+                file,
+                Rule::LockOrder,
+                edge.line,
+                format!(
+                    "lock-order cycle: {}, but elsewhere `{}` is (transitively) acquired \
+                     while `{}` is held — pick one global acquisition order",
+                    edge.note, held, acquired
+                ),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,241 @@
+//! The S1–S8 rule catalog, plus the cross-file [`Workspace`] index the
+//! rules run against.
+//!
+//! Resolution discipline (shared by S1 and S8): a call site resolves to a
+//! project function only when the evidence is unambiguous — a typed
+//! receiver matching an `impl` block, a `Type::method` path, or a name
+//! defined exactly once in the workspace. Anything else is dropped, so the
+//! call approximation under-approximates and the rules stay quiet rather
+//! than noisy.
+
+mod blobs;
+mod hash_iter;
+mod layering;
+mod lock_order;
+mod panics;
+mod recorder;
+mod wallclock;
+
+use crate::model::{CallSite, FileModel, HeldCall, LockHelper, LockSite, Receiver};
+use crate::{LintViolation, Rule};
+use std::collections::BTreeMap;
+
+/// Analysis results for one function.
+pub struct FnInfo {
+    /// Index of the owning file in [`Workspace::files`].
+    pub file: usize,
+    /// Index of the function in that file's `functions`.
+    pub func: usize,
+    /// Call sites in the body.
+    pub calls: Vec<CallSite>,
+    /// Lock acquisitions in the body.
+    pub locks: Vec<LockSite>,
+    /// Call sites that run with at least one lock held.
+    pub held_calls: Vec<HeldCall>,
+}
+
+/// The whole scanned tree: file models plus global indexes.
+pub struct Workspace {
+    /// Every scanned file.
+    pub files: Vec<FileModel>,
+    /// Every function, across all files.
+    pub fns: Vec<FnInfo>,
+    /// Lock helpers seen anywhere (deduped by name).
+    pub helpers: Vec<LockHelper>,
+    by_key: BTreeMap<(String, String), Vec<usize>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Workspace {
+    /// Analyze every function and build the global call indexes.
+    pub fn build(files: Vec<FileModel>) -> Workspace {
+        let mut helpers: Vec<LockHelper> = Vec::new();
+        for f in &files {
+            for h in &f.lock_helpers {
+                if !helpers.iter().any(|e| e.name == h.name) {
+                    helpers.push(h.clone());
+                }
+            }
+        }
+        let mut fns = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.functions.iter().enumerate() {
+                // A lock helper's own body *defines* its lock; analyzing it
+                // would read the interior `.lock()` as an acquisition site.
+                let is_helper = f.impl_type.is_none() && helpers.iter().any(|h| h.name == f.name);
+                let (calls, locks, held_calls) = if is_helper {
+                    (Vec::new(), Vec::new(), Vec::new())
+                } else {
+                    crate::model::analyze_body(file, f, &helpers)
+                };
+                fns.push(FnInfo {
+                    file: fi,
+                    func: gi,
+                    calls,
+                    locks,
+                    held_calls,
+                });
+            }
+        }
+        let mut by_key: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, info) in fns.iter().enumerate() {
+            let f = &files[info.file].functions[info.func];
+            let key = (f.impl_type.clone().unwrap_or_default(), f.name.clone());
+            by_key.entry(key).or_default().push(id);
+            by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        Workspace {
+            files,
+            fns,
+            helpers,
+            by_key,
+            by_name,
+        }
+    }
+
+    /// The file model for a workspace-relative path.
+    pub fn file_by_path(&self, rel: &str) -> Option<&FileModel> {
+        self.files.iter().find(|f| f.rel_path == rel)
+    }
+
+    /// The `Function` record behind a [`FnInfo`].
+    pub fn func(&self, id: usize) -> &crate::model::Function {
+        &self.files[self.fns[id].file].functions[self.fns[id].func]
+    }
+
+    /// Whether function `id`'s body mentions `needle` as an identifier.
+    pub fn body_mentions(&self, id: usize, needle: &str) -> bool {
+        let info = &self.fns[id];
+        let file = &self.files[info.file];
+        let f = &file.functions[info.func];
+        file.sig[f.body.clone()]
+            .iter()
+            .any(|t| t.kind == crate::lexer::TokenKind::Ident && t.text == needle)
+    }
+
+    /// Resolve a call site to project function ids (possibly empty; the
+    /// caller itself is never a candidate).
+    pub fn resolve(&self, caller: usize, call: &CallSite) -> Vec<usize> {
+        let unique_by_name = |ws: &Workspace| -> Vec<usize> {
+            let cands: Vec<usize> = ws
+                .by_name
+                .get(&call.name)
+                .map(|v| v.iter().copied().filter(|&id| id != caller).collect())
+                .unwrap_or_default();
+            if cands.len() == 1 {
+                cands
+            } else {
+                Vec::new()
+            }
+        };
+        let mut out = match &call.recv {
+            Receiver::Typed(t) => self
+                .by_key
+                .get(&(t.clone(), call.name.clone()))
+                .cloned()
+                .unwrap_or_default(),
+            Receiver::Free => {
+                let free = self
+                    .by_key
+                    .get(&(String::new(), call.name.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+                if free.is_empty() {
+                    unique_by_name(self)
+                } else {
+                    free
+                }
+            }
+            Receiver::Unknown => unique_by_name(self),
+        };
+        out.retain(|&id| id != caller);
+        out
+    }
+
+    /// Per-function transitive lock-acquisition sets (fixpoint over the
+    /// resolved call approximation).
+    pub fn transitive_locks(&self) -> Vec<std::collections::BTreeSet<String>> {
+        let mut acq: Vec<std::collections::BTreeSet<String>> = self
+            .fns
+            .iter()
+            .map(|f| f.locks.iter().map(|l| l.lock.clone()).collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for id in 0..self.fns.len() {
+                let mut add = Vec::new();
+                for call in &self.fns[id].calls {
+                    for callee in self.resolve(id, call) {
+                        for l in &acq[callee] {
+                            if !acq[id].contains(l) {
+                                add.push(l.clone());
+                            }
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    changed = true;
+                    acq[id].extend(add);
+                }
+            }
+            if !changed {
+                return acq;
+            }
+        }
+    }
+
+    /// Which functions sit on a path feeding the Recorder: any function
+    /// whose body mentions `recorder`/`Recorder`, plus (transitively)
+    /// everything such a function calls — a callee's behavior decides what
+    /// the caller records.
+    pub fn feeding_recorder(&self) -> Vec<bool> {
+        let mut feeds: Vec<bool> = (0..self.fns.len())
+            .map(|id| self.body_mentions(id, "recorder") || self.body_mentions(id, "Recorder"))
+            .collect();
+        loop {
+            let mut changed = false;
+            for id in 0..self.fns.len() {
+                if !feeds[id] {
+                    continue;
+                }
+                for call in &self.fns[id].calls {
+                    for callee in self.resolve(id, call) {
+                        if !feeds[callee] {
+                            feeds[callee] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return feeds;
+            }
+        }
+    }
+}
+
+/// Build a violation with the excerpt filled from the source line.
+pub(crate) fn violation(file: &FileModel, rule: Rule, line: u32, advice: String) -> LintViolation {
+    LintViolation {
+        rule,
+        file: file.rel_path.clone(),
+        line,
+        excerpt: file.line_text(line),
+        advice,
+    }
+}
+
+/// Run one rule over the workspace.
+pub fn run(rule: Rule, ws: &Workspace) -> Vec<LintViolation> {
+    match rule {
+        Rule::LockOrder => lock_order::run(ws),
+        Rule::RecorderBypass => recorder::run_bypass(ws),
+        Rule::Layering => layering::run(ws),
+        Rule::PanicPaths => panics::run(ws),
+        Rule::BlobAccess => blobs::run(ws),
+        Rule::EventCoverage => recorder::run_coverage(ws),
+        Rule::WallClock => wallclock::run(ws),
+        Rule::NondeterministicIteration => hash_iter::run(ws),
+    }
+}

@@ -1,0 +1,104 @@
+//! S4 `panic-paths`: `unwrap`-family calls and indexing/slicing in the
+//! library code of crates the original clippy `disallowed-methods` wall
+//! did not cover (`bench`, `auditor`, `baselines`, `policy`).
+//!
+//! PR 1 converted core+net to structured `SwapError`s after panics were
+//! observed stranding half-patched proxy graphs; this rule extends the
+//! same discipline to the measurement crates, whose panics abort whole
+//! figure runs. Tests, benches and bins are outside the scanned set, so
+//! they keep their idiomatic `unwrap`s.
+
+use super::{violation, Workspace};
+use crate::lexer::TokenKind;
+use crate::{LintViolation, Rule};
+
+/// Crates governed by this rule.
+const SCOPE: &[&str] = &["bench", "auditor", "baselines", "policy"];
+
+const UNWRAP_FAMILY: &[&str] = &[
+    "unwrap",
+    "expect",
+    "unwrap_err",
+    "expect_err",
+    "unwrap_unchecked",
+];
+
+fn is_keywordish(t: &str) -> bool {
+    matches!(
+        t,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "in"
+            | "as"
+            | "mut"
+            | "ref"
+            | "move"
+            | "where"
+            | "true"
+            | "false"
+    )
+}
+
+pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !SCOPE.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let sig = &file.sig;
+        for (i, t) in sig.iter().enumerate() {
+            // `.unwrap()` family — but not `self.expect(…)`-style custom
+            // methods (a parser's own `expect` is not Option::expect).
+            if t.kind == TokenKind::Ident
+                && UNWRAP_FAMILY.contains(&t.text.as_str())
+                && i >= 1
+                && sig[i - 1].text == "."
+                && sig.get(i + 1).is_some_and(|n| n.text == "(")
+                && !(i >= 2 && sig[i - 2].text == "self")
+            {
+                out.push(violation(
+                    file,
+                    Rule::PanicPaths,
+                    t.line,
+                    format!(
+                        "`.{}()` panics on the error path and aborts the whole run; \
+                         propagate a structured error instead (see the PR 1 SwapError \
+                         treatment of core+net)",
+                        t.text
+                    ),
+                ));
+            }
+            // Indexing/slicing: `expr[…]` where the previous token closes
+            // an expression. `[..]` (full-range) is infallible and allowed.
+            if t.text == "[" && i >= 1 {
+                let prev = &sig[i - 1];
+                let prev_is_expr = prev.text == ")"
+                    || prev.text == "]"
+                    || (prev.kind == TokenKind::Ident
+                        && !is_keywordish(&prev.text)
+                        && !prev.text.chars().next().is_some_and(char::is_uppercase));
+                let full_range = sig.get(i + 1).is_some_and(|a| a.text == "..")
+                    && sig.get(i + 2).is_some_and(|b| b.text == "]");
+                if prev_is_expr && !full_range {
+                    out.push(violation(
+                        file,
+                        Rule::PanicPaths,
+                        t.line,
+                        "indexing/slicing panics when out of bounds; use `.get(…)`/ \
+                         `.get_mut(…)` and handle the miss, or document the bound with \
+                         lint:allow"
+                            .to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,149 @@
+//! S2 `recorder-bypass` and S6 `event-coverage`: both sides of the PR 4
+//! Recorder choke point.
+//!
+//! S2 keeps stats mutation and event emission *inside*
+//! `crates/core/src/recorder.rs`; S6 keeps each Recorder method's counter
+//! bumps and its event emission *paired* (exactly one `EventKind` per
+//! recording method), so `verify-trace`'s fold-identity check cannot
+//! silently rot.
+
+use super::{violation, Workspace};
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+use crate::{LintViolation, Rule};
+
+/// Compound assignment and plain-assignment operators (the lexer emits
+/// `==` as its own token, so matching `=` here is unambiguous).
+const MUT_OPS: &[&str] = &[
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+];
+
+fn is_recorder_file(f: &FileModel) -> bool {
+    f.rel_path.ends_with("src/recorder.rs")
+}
+
+/// `… . stats . field <mut-op>` or `… . stats <mut-op>` starting at the
+/// `stats` token — the leading `.` requirement keeps local snapshot
+/// variables (`let stats = …; stats.total` reads) out of scope.
+fn stats_mutation_at(file: &FileModel, i: usize) -> bool {
+    let sig = &file.sig;
+    if !sig[i].is_ident("stats") || i == 0 || !sig[i - 1].text.eq(".") {
+        return false;
+    }
+    match sig.get(i + 1).map(|t| t.text.as_str()) {
+        Some(".") => {
+            sig.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+                && sig
+                    .get(i + 3)
+                    .is_some_and(|t| MUT_OPS.contains(&t.text.as_str()))
+        }
+        Some(op) => MUT_OPS.contains(&op),
+        None => false,
+    }
+}
+
+/// S2: `EventKind` mention or stats-field mutation outside the choke
+/// point, anywhere in `core`.
+pub(super) fn run_bypass(ws: &Workspace) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.crate_name != "core" || is_recorder_file(file) {
+            continue;
+        }
+        // `use`/`pub use` statements re-export names without touching
+        // them; only expression/type positions count.
+        let mut in_use = false;
+        for (i, t) in file.sig.iter().enumerate() {
+            if t.text == "use" {
+                in_use = true;
+            } else if t.text == ";" {
+                in_use = false;
+            }
+            if !in_use && t.kind == TokenKind::Ident && t.text == "EventKind" {
+                out.push(violation(
+                    file,
+                    Rule::RecorderBypass,
+                    t.line,
+                    "events are emitted only by Recorder methods in \
+                     crates/core/src/recorder.rs; add a method there so the stats bump \
+                     and the event stay paired"
+                        .to_owned(),
+                ));
+            } else if stats_mutation_at(file, i) {
+                out.push(violation(
+                    file,
+                    Rule::RecorderBypass,
+                    t.line,
+                    "SwapStats counters are mutated only inside the Recorder choke point \
+                     (crates/core/src/recorder.rs); route this bump through a Recorder \
+                     method"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// S6: inside the choke point, each Recorder method that touches counters
+/// must emit exactly one event.
+pub(super) fn run_coverage(ws: &Workspace) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.crate_name != "core" || !is_recorder_file(file) {
+            continue;
+        }
+        for f in &file.functions {
+            if f.impl_type.as_deref() != Some("Recorder") {
+                continue;
+            }
+            let sig = &file.sig;
+            let mut muts = 0usize;
+            let mut emits = 0usize;
+            for i in f.body.clone() {
+                if stats_mutation_at(file, i) {
+                    muts += 1;
+                }
+                // `self.emit(…)` or `self.sink.push(…)`.
+                let is_call = sig[i].kind == TokenKind::Ident
+                    && i > 0
+                    && sig[i - 1].text == "."
+                    && sig.get(i + 1).is_some_and(|t| t.text == "(");
+                let is_emit = is_call && sig[i].text == "emit";
+                let is_sink_push = is_call
+                    && sig[i].text == "push"
+                    && i >= 3
+                    && sig[i - 2].is_ident("sink")
+                    && sig[i - 3].text == ".";
+                if is_emit || is_sink_push {
+                    emits += 1;
+                }
+            }
+            if emits > 1 {
+                out.push(violation(
+                    file,
+                    Rule::EventCoverage,
+                    f.line,
+                    format!(
+                        "Recorder::{} emits {} events; one method records one event so \
+                         counters and the trace fold stay in lockstep — split the method",
+                        f.name, emits
+                    ),
+                ));
+            } else if muts > 0 && emits == 0 {
+                out.push(violation(
+                    file,
+                    Rule::EventCoverage,
+                    f.line,
+                    format!(
+                        "Recorder::{} mutates SwapStats but emits no event, so \
+                         verify-trace's fold can no longer reproduce the counters; emit a \
+                         matching EventKind (or document the exception with lint:allow)",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,41 @@
+//! S7 `wall-clock`: `Instant::now`/`SystemTime::now` outside the virtual
+//! clock.
+//!
+//! Trace determinism (the `verify-trace` identity gate, PR 4) requires
+//! every timestamp to come from the simulated clock in
+//! `crates/net/src/clock.rs`. A wall-clock read anywhere else makes
+//! run-over-run traces diverge, which turns golden-trace comparisons into
+//! flakes.
+
+use super::{violation, Workspace};
+use crate::{LintViolation, Rule};
+
+pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.rel_path.ends_with("net/src/clock.rs") {
+            continue;
+        }
+        let sig = &file.sig;
+        for (i, t) in sig.iter().enumerate() {
+            if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+                && sig.get(i + 1).is_some_and(|n| n.text == "::")
+                && sig.get(i + 2).is_some_and(|n| n.is_ident("now"))
+            {
+                out.push(violation(
+                    file,
+                    Rule::WallClock,
+                    t.line,
+                    format!(
+                        "`{}::now()` reads the wall clock; simulated time comes from \
+                         obiwan_net's virtual clock so traces stay bit-identical across \
+                         runs — thread a SimTime in (or lint:allow a genuine \
+                         host-side measurement)",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,163 @@
+//! Fixture conformance: every rule S1–S8 fires on its seeded bad tree at
+//! the expected file and line, stays quiet on the matching clean tree,
+//! and the whole `lint-fixtures/` forest covers the full catalog.
+
+// Tests assert on known-good setups; panicking on failure is the point.
+#![allow(clippy::disallowed_methods)]
+
+use obiwan_lint::{lint_root, LintViolation, Rule, ALL_RULES};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../lint-fixtures")
+        .canonicalize()
+        .expect("lint-fixtures/ exists at the workspace root")
+}
+
+fn lint(tree: &str) -> Vec<LintViolation> {
+    lint_root(&fixtures().join(tree), &[]).expect("fixture tree is readable")
+}
+
+/// The bad tree fires exactly the expected rule at the expected site.
+fn assert_fires(tree: &str, rule: Rule, file: &str, lines: &[u32]) {
+    let found = lint(tree);
+    assert_eq!(
+        found.len(),
+        lines.len(),
+        "{tree}: expected {} violation(s), got {found:#?}",
+        lines.len()
+    );
+    for (v, &line) in found.iter().zip(lines) {
+        assert_eq!(v.rule, rule, "{tree}: wrong rule in {v:?}");
+        assert_eq!(v.file, file, "{tree}: wrong file in {v:?}");
+        assert_eq!(v.line, line, "{tree}: wrong line in {v:?}");
+        assert!(!v.excerpt.is_empty(), "{tree}: empty excerpt in {v:?}");
+        assert!(!v.advice.is_empty(), "{tree}: empty advice in {v:?}");
+    }
+}
+
+/// The clean counterpart of a tree produces nothing.
+fn assert_clean(tree: &str) {
+    let found = lint(&format!("clean/{tree}"));
+    assert!(found.is_empty(), "clean/{tree}: unexpected {found:#?}");
+}
+
+#[test]
+fn s1_lock_order_catches_the_make_cursor_deadlock_shape() {
+    assert_fires(
+        "s1",
+        Rule::LockOrder,
+        "crates/core/src/middleware.rs",
+        &[31],
+    );
+    // The regression fixture reproduces the historical deadlock: the
+    // advice must name it so the report reads as the known bug class.
+    let v = lint("s1").pop().expect("one violation");
+    assert!(
+        v.advice.contains("make_cursor"),
+        "S1 advice should name the historical bug: {}",
+        v.advice
+    );
+    assert!(
+        v.excerpt.contains("intercept_build"),
+        "excerpt: {}",
+        v.excerpt
+    );
+    assert_clean("s1");
+}
+
+#[test]
+fn s2_recorder_bypass() {
+    assert_fires(
+        "s2",
+        Rule::RecorderBypass,
+        "crates/core/src/manager.rs",
+        &[21],
+    );
+    let v = lint("s2").pop().expect("one violation");
+    assert_eq!(v.excerpt, "self.stats.swap_outs += 1;");
+    assert_clean("s2");
+}
+
+#[test]
+fn s3_layering() {
+    assert_fires("s3", Rule::Layering, "crates/trace/src/export.rs", &[4]);
+    assert_clean("s3");
+}
+
+#[test]
+fn s4_panic_paths_flags_unwrap_and_indexing() {
+    assert_fires(
+        "s4",
+        Rule::PanicPaths,
+        "crates/bench/src/report.rs",
+        &[12, 13],
+    );
+    assert_clean("s4");
+}
+
+#[test]
+fn s5_blob_access() {
+    assert_fires("s5", Rule::BlobAccess, "crates/core/src/cursor.rs", &[21]);
+    assert_clean("s5");
+}
+
+#[test]
+fn s6_event_coverage() {
+    assert_fires(
+        "s6",
+        Rule::EventCoverage,
+        "crates/core/src/recorder.rs",
+        &[30],
+    );
+    assert_clean("s6");
+}
+
+#[test]
+fn s7_wall_clock() {
+    assert_fires("s7", Rule::WallClock, "crates/bench/src/timing.rs", &[8]);
+    // The clean tree documents its wall-clock read with lint:allow — this
+    // exercises the suppression machinery, not just absence of the call.
+    assert_clean("s7");
+}
+
+#[test]
+fn s8_nondeterministic_iteration() {
+    assert_fires(
+        "s8",
+        Rule::NondeterministicIteration,
+        "crates/placement/src/table.rs",
+        &[23],
+    );
+    assert_clean("s8");
+}
+
+#[test]
+fn whole_forest_covers_every_rule() {
+    let found = lint_root(&fixtures(), &[]).expect("forest is readable");
+    let fired: BTreeSet<Rule> = found.iter().map(|v| v.rule).collect();
+    for rule in ALL_RULES {
+        assert!(fired.contains(&rule), "no fixture fires {rule}");
+    }
+}
+
+#[test]
+fn allow_disables_a_rule() {
+    let found =
+        lint_root(&fixtures().join("s4"), &[Rule::PanicPaths]).expect("fixture tree is readable");
+    assert!(
+        found.is_empty(),
+        "--allow S4 should silence the tree: {found:#?}"
+    );
+}
+
+#[test]
+fn json_encoding_is_wellformed() {
+    let v = lint("s1").pop().expect("one violation");
+    let json = v.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"rule\":\"S1\""), "{json}");
+    assert!(json.contains("\"line\":31"), "{json}");
+}

@@ -1,0 +1,113 @@
+//! Property tests for the hand-rolled lexer: total (never panics) and
+//! lossless (token spans tile the input exactly, so excerpts and line
+//! numbers are always recoverable).
+
+// Tests assert on known-good setups; panicking on failure is the point.
+#![allow(clippy::disallowed_methods)]
+
+use obiwan_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Spans must tile `src` byte-for-byte: contiguous, in order, and
+/// concatenating their text reproduces the input.
+fn assert_lossless(src: &str) {
+    let tokens = lex(src);
+    let mut at = 0usize;
+    for t in &tokens {
+        assert_eq!(t.start, at, "gap or overlap before token {t:?} in {src:?}");
+        assert!(t.end >= t.start, "negative span {t:?}");
+        at = t.end;
+    }
+    assert_eq!(at, src.len(), "tokens do not cover the tail of {src:?}");
+    let rebuilt: String = tokens.iter().map(|t| t.text(src)).collect();
+    assert_eq!(rebuilt, src, "round-trip mismatch");
+    // Line numbers are 1-based and monotone.
+    let mut prev = 1u32;
+    for t in &tokens {
+        assert!(t.line >= prev, "line numbers went backwards at {t:?}");
+        prev = t.line;
+    }
+}
+
+/// Rust-ish fragments covering every token class the rules key on,
+/// including the tricky ones (raw strings, nested comments, lifetimes).
+fn fragments() -> Vec<&'static str> {
+    vec![
+        "fn ",
+        "let mut ",
+        "self.stats.swap_outs += 1;",
+        "lock_manager()",
+        "m.lock().unwrap()",
+        "\"a \\\"quoted\\\" str\"",
+        "r#\"raw \" str\"#",
+        "b\"bytes\"",
+        "'x'",
+        "'\\n'",
+        "'static",
+        "&'a str",
+        "// line comment\n",
+        "/* block /* nested */ comment */",
+        "/// doc\n",
+        "0x1f_u32",
+        "1.5e-3",
+        "::",
+        "->",
+        "..=",
+        "<<=",
+        "r#fn",
+        "\u{3b1}\u{3b2}",
+        "\n",
+        "\t ",
+        "[0]",
+        "HashMap::<u64, u32>::new()",
+        "#[allow(dead_code)]",
+        "}{)(",
+        "\\",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary printable soup (plus newlines): the lexer is total and
+    /// lossless on inputs that are not Rust at all.
+    #[test]
+    fn arbitrary_text_never_panics_and_round_trips(src in "(\\PC|\n|\t)*") {
+        assert_lossless(&src);
+    }
+
+    /// Concatenations of Rust-ish fragments: every token class, chopped
+    /// together in random orders, still lexes losslessly.
+    #[test]
+    fn fragment_soup_round_trips(picks in prop::collection::vec(0usize..29, 0..40)) {
+        let frags = fragments();
+        let src: String = picks
+            .iter()
+            .map(|&i| frags[i % frags.len()])
+            .collect();
+        assert_lossless(&src);
+    }
+}
+
+#[test]
+fn token_kinds_survive_adversarial_edges() {
+    // Unterminated constructs extend to EOF without panicking.
+    for src in [
+        "\"unterminated",
+        "r#\"unterminated",
+        "/* unterminated",
+        "'",
+        "b\"",
+        "r###\"deep\"##",
+        "ident\u{0}after",
+        "0x",
+        "'a",
+    ] {
+        assert_lossless(src);
+    }
+    // A string containing an acquisition spelling is one Str token, so
+    // rule code never sees a phantom lock site.
+    let tokens = lex("\"lock_manager(\"");
+    assert_eq!(tokens.len(), 1);
+    assert_eq!(tokens[0].kind, TokenKind::Str);
+}

@@ -53,6 +53,8 @@ pub fn default_swap_policies(high_pct: u8) -> Vec<Rule> {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::{PolicyEngine, PolicyEvent};
 

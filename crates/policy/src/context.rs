@@ -136,6 +136,8 @@ impl ContextManager {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

@@ -93,6 +93,8 @@ impl PolicyEngine {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::{Condition, PolicyCategory};
 

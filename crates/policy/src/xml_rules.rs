@@ -80,10 +80,13 @@ fn parse_policy(el: &Element) -> Result<Rule> {
             _ => {}
         }
     }
-    let when = match conjuncts.len() {
-        0 => Condition::Always,
-        1 => conjuncts.pop().expect("len checked"),
-        _ => Condition::All(conjuncts),
+    let when = match (conjuncts.pop(), conjuncts.is_empty()) {
+        (None, _) => Condition::Always,
+        (Some(only), true) => only,
+        (Some(last), false) => {
+            conjuncts.push(last);
+            Condition::All(conjuncts)
+        }
     };
     let then_el = el.require_child("then").map_err(PolicyError::from)?;
     let then: Vec<Action> = then_el
@@ -162,6 +165,8 @@ fn parse_action(el: &Element, rule_id: &str) -> Result<Action> {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::PolicyEvent;
 

@@ -188,6 +188,9 @@ impl UniverseBuilder {
         let replacement = self
             .registry
             .register(ClassBuilder::new(REPLACEMENT_CLASS_NAME).variadic());
+        // Both lookups resolve ids minted a few lines up in this same
+        // function, so a miss is unreachable.
+        #[allow(clippy::disallowed_methods)]
         let resolve = |class: ClassId, name: &str| {
             self.registry
                 .class(class)
@@ -386,6 +389,8 @@ pub fn standard_classes() -> Universe {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

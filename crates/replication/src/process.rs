@@ -524,6 +524,9 @@ impl Process {
             class,
             fields: wire_fields,
         };
+        // Single-threaded use in this repo: the server mutex cannot be
+        // poisoned because no other thread can panic while holding it.
+        #[allow(clippy::disallowed_methods)]
         let mut server = self.server.lock().expect("server mutex poisoned");
         server.apply_update(&update)
     }
@@ -627,6 +630,8 @@ impl Process {
             let swapped = &self.swapped;
             let heap = &self.heap;
             let alive = |r: &ObjRef| heap.is_live(*r);
+            // See `push_update`: the mutex cannot be poisoned here.
+            #[allow(clippy::disallowed_methods)]
             let mut server = self.server.lock().expect("server mutex poisoned");
             server.fetch_cluster(root, self.config.cluster_size, &|oid| {
                 oid_map.get(&oid).filter(|r| alive(r)).is_some()
@@ -841,6 +846,8 @@ impl Process {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::methods::standard_classes;
     use crate::Server;

@@ -364,6 +364,8 @@ impl Server {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::methods::standard_classes;
 

@@ -123,6 +123,8 @@ fn utf8_len(first: u8) -> usize {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use proptest::prelude::*;
 

@@ -318,6 +318,8 @@ fn shift_error(e: Error, base: usize) -> Error {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn events(doc: &str) -> Vec<Event> {

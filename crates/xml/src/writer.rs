@@ -138,7 +138,11 @@ impl Writer {
             });
         }
         self.close_pending_tag(true);
-        self.content.last_mut().expect("stack nonempty").text = true;
+        // The emptiness check above makes `last_mut` infallible.
+        #[allow(clippy::disallowed_methods)]
+        {
+            self.content.last_mut().expect("stack nonempty").text = true;
+        }
         self.out.push_str(&escape(text));
         Ok(self)
     }
@@ -154,8 +158,13 @@ impl Writer {
         self.begin(name)?;
         // Keep leaf text on one line even in pretty mode.
         self.close_pending_tag(true);
-        self.content.last_mut().expect("just pushed").text = true;
+        // `begin` above pushed onto both stacks, so neither pop can miss.
+        #[allow(clippy::disallowed_methods)]
+        {
+            self.content.last_mut().expect("just pushed").text = true;
+        }
         self.out.push_str(&escape(value.as_ref()));
+        #[allow(clippy::disallowed_methods)]
         let name = self.stack.pop().expect("just pushed");
         self.content.pop();
         self.out.push_str("</");
@@ -200,6 +209,9 @@ impl Writer {
         let name = self.stack.pop().ok_or(Error::WriterMisuse {
             message: "end() without matching begin()".into(),
         })?;
+        // `stack` and `content` grow and shrink together; the successful
+        // pop above guarantees this one succeeds too.
+        #[allow(clippy::disallowed_methods)]
         let flags = self.content.pop().expect("stacks in sync");
         if self.tag_open {
             self.out.push_str("/>");
@@ -266,6 +278,8 @@ fn validate_name(name: &str) -> Result<()> {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert on known-good setups; panicking on failure is the point.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::Element;
 

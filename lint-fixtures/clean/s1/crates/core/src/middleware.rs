@@ -1,0 +1,36 @@
+//! Clean S1 counterpart: the post-fix `make_cursor` shape — resolve under
+//! the guard, drop it, then call into the interceptor shim lock-free.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Swap-cluster bookkeeping (stand-in).
+pub struct Manager {
+    /// Currently loaded swap-clusters.
+    pub loaded: Vec<u32>,
+}
+
+fn manager_cell() -> &'static Mutex<Manager> {
+    static CELL: OnceLock<Mutex<Manager>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Manager { loaded: Vec::new() }))
+}
+
+/// The middleware's manager-lock helper.
+pub fn lock_manager() -> MutexGuard<'static, Manager> {
+    manager_cell().lock().expect("manager lock poisoned")
+}
+
+/// Re-mediate a member handle through a fresh cursor proxy, releasing the
+/// manager guard before re-entering the interceptor.
+pub fn make_cursor_safe(target: u32) -> u32 {
+    let resolved = {
+        let manager = lock_manager();
+        manager.loaded.first().copied().unwrap_or(target)
+    };
+    intercept_build_safe(resolved)
+}
+
+/// Interceptor shim: acquires the manager only after the caller let go.
+fn intercept_build_safe(target: u32) -> u32 {
+    let manager = lock_manager();
+    manager.loaded.iter().filter(|&&sc| sc != target).count() as u32
+}

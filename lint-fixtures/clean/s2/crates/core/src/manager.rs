@@ -1,0 +1,24 @@
+//! Clean S2 counterpart: reading `SwapStats` outside the Recorder is
+//! fine — only mutation (and event emission) is confined to the choke
+//! point.
+
+/// Swap-cluster manager (stand-in).
+pub struct Manager {
+    stats: SwapStats,
+}
+
+/// Lifecycle counters (stand-in).
+#[derive(Default)]
+pub struct SwapStats {
+    /// Completed swap-outs.
+    pub swap_outs: u64,
+    /// Completed reloads.
+    pub swap_ins: u64,
+}
+
+impl Manager {
+    /// Total lifecycle transitions — a read-only fold over the counters.
+    pub fn transitions(&self) -> u64 {
+        self.stats.swap_outs + self.stats.swap_ins
+    }
+}

@@ -1,0 +1,7 @@
+//! Clean S3 counterpart: the leaf crate consumes plain data handed in by
+//! its callers instead of importing their types.
+
+/// Render counters passed down as plain integers.
+pub fn render(swap_outs: u64, swap_ins: u64) -> String {
+    format!("swap_outs={swap_outs} swap_ins={swap_ins}")
+}

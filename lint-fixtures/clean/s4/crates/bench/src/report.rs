@@ -1,0 +1,16 @@
+//! Clean S4 counterpart: the same computation with the misses handled —
+//! no unwraps, no panicking indexing.
+
+/// One measured row.
+pub struct Row {
+    /// Milliseconds per iteration.
+    pub ms: f64,
+}
+
+/// Speedup of the first row over a baseline; `None` when there are no
+/// rows to report.
+pub fn speedup(rows: &[Row], baseline: f64) -> Option<f64> {
+    let first = rows.first()?;
+    let last = rows.last().map(|r| r.ms).unwrap_or(0.0);
+    Some(baseline / (first.ms + last))
+}

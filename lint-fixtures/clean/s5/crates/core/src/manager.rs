@@ -1,0 +1,25 @@
+//! Clean S5 counterpart: the same raw blob verb, but in `manager.rs` —
+//! one of the sanctioned fan-out files, where the placement table is
+//! updated in the same motion.
+
+/// Manager-side placement fan-out (stand-in types).
+pub struct Manager {
+    net: Net,
+    placed: Vec<(u32, u64)>,
+}
+
+/// Network façade (stand-in).
+pub struct Net;
+
+impl Net {
+    /// Raw store verb (stand-in).
+    pub fn send_blob(&mut self, _device: u32, _blob: Vec<u8>) {}
+}
+
+impl Manager {
+    /// Fan a blob out to a holder and record the placement atomically.
+    pub fn place(&mut self, device: u32, oid: u64, blob: Vec<u8>) {
+        self.net.send_blob(device, blob);
+        self.placed.push((device, oid));
+    }
+}

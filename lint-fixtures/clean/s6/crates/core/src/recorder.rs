@@ -1,0 +1,37 @@
+//! Clean S6 counterpart: every counting method emits exactly one paired
+//! event, so the trace fold reproduces the counters.
+
+/// Lifecycle counters (stand-in).
+#[derive(Default)]
+pub struct SwapStats {
+    /// Completed swap-outs.
+    pub swap_outs: u64,
+}
+
+/// One trace event (stand-in).
+pub enum EventKind {
+    /// A cluster left the device.
+    SwapOut {
+        /// The swap-cluster id.
+        sc: u32,
+    },
+}
+
+/// The stats-and-events choke point (stand-in).
+#[derive(Default)]
+pub struct Recorder {
+    stats: SwapStats,
+    sink: Vec<EventKind>,
+}
+
+impl Recorder {
+    /// Count a swap-out and emit its paired event in the same motion.
+    pub fn note_swap_out(&mut self, sc: u32) {
+        self.stats.swap_outs += 1;
+        self.emit(EventKind::SwapOut { sc });
+    }
+
+    fn emit(&mut self, event: EventKind) {
+        self.sink.push(event);
+    }
+}

@@ -1,0 +1,26 @@
+//! Clean S8 counterpart: the PR 4 fix — ordered `BTreeMap` iteration, so
+//! the emitted repair sequence is a pure function of the table contents.
+
+use std::collections::BTreeMap;
+
+/// Recording sink (stand-in).
+pub struct Recorder;
+
+impl Recorder {
+    /// Record one repair (stand-in).
+    pub fn note_repair(&mut self, _oid: u64, _holder: u32) {}
+}
+
+/// Blob → holder assignments, ordered (stand-in).
+pub struct PlacementTable {
+    assignments: BTreeMap<u64, u32>,
+}
+
+impl PlacementTable {
+    /// Emit a repair event per placement — in key order.
+    pub fn emit_repairs(&self, recorder: &mut Recorder) {
+        for (oid, holder) in self.assignments.iter() {
+            recorder.note_repair(*oid, *holder);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! S1 regression fixture: the PR 1 `make_cursor` deadlock shape.
+//!
+//! `make_cursor` binds the manager guard and then calls into the
+//! interceptor shim, which re-enters `lock_manager` — the exact
+//! re-acquisition of a non-reentrant `std::sync::Mutex` that hung the
+//! original cursor path.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Swap-cluster bookkeeping (stand-in).
+pub struct Manager {
+    /// Currently loaded swap-clusters.
+    pub loaded: Vec<u32>,
+}
+
+fn manager_cell() -> &'static Mutex<Manager> {
+    static CELL: OnceLock<Mutex<Manager>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Manager { loaded: Vec::new() }))
+}
+
+/// The middleware's manager-lock helper.
+pub fn lock_manager() -> MutexGuard<'static, Manager> {
+    manager_cell().lock().expect("manager lock poisoned")
+}
+
+/// Re-mediate a member handle through a fresh cursor proxy.
+pub fn make_cursor(target: u32) -> u32 {
+    let manager = lock_manager();
+    // BUG: the interceptor shim re-enters `lock_manager` while the guard
+    // above is still live — a self-deadlock on a non-reentrant Mutex.
+    let proxy = intercept_build(target);
+    manager.loaded.first().copied().unwrap_or(proxy)
+}
+
+/// Interceptor shim: builds the proxy, consulting the manager.
+fn intercept_build(target: u32) -> u32 {
+    let manager = lock_manager();
+    manager.loaded.iter().filter(|&&sc| sc != target).count() as u32
+}

@@ -1,0 +1,23 @@
+//! S2 fixture: a `SwapStats` counter bumped outside the Recorder choke
+//! point. The bump and the matching trace event drift apart — exactly the
+//! rot the PR 4 Recorder was introduced to stop.
+
+/// Swap-cluster manager (stand-in).
+pub struct Manager {
+    stats: SwapStats,
+}
+
+/// Lifecycle counters (stand-in).
+#[derive(Default)]
+pub struct SwapStats {
+    /// Completed swap-outs.
+    pub swap_outs: u64,
+}
+
+impl Manager {
+    /// Detach a swap-cluster, counting it by hand instead of going
+    /// through a Recorder method.
+    pub fn detach(&mut self, _sc: u32) {
+        self.stats.swap_outs += 1;
+    }
+}

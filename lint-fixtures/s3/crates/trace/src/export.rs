@@ -1,0 +1,9 @@
+//! S3 fixture: a leaf crate reaching up the workspace graph. `trace` must
+//! stay importable by everything, so it can depend on nothing.
+
+use obiwan_core::SwapStats;
+
+/// Render counters (pulled from a crate `trace` must not know about).
+pub fn render(stats: &SwapStats) -> String {
+    format!("swap_outs={}", stats.swap_outs)
+}

@@ -1,0 +1,15 @@
+//! S4 fixture: panic paths in measurement library code. A figure run
+//! should degrade to a structured error, not abort mid-sweep.
+
+/// One measured row.
+pub struct Row {
+    /// Milliseconds per iteration.
+    pub ms: f64,
+}
+
+/// Speedup of the first row over a baseline — on the panic path twice.
+pub fn speedup(rows: &[Row], baseline: f64) -> f64 {
+    let first = rows.first().unwrap();
+    let last = rows[rows.len() - 1].ms;
+    baseline / (first.ms + last)
+}

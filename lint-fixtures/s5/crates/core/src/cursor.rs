@@ -1,0 +1,23 @@
+//! S5 fixture: raw blob traffic from a file that is not part of the
+//! placement fan-out. The write never lands in `PlacementTable`, so the
+//! k-way durability view silently desyncs from the network.
+
+/// Cursor-side spill (stand-in types).
+pub struct Cursor {
+    net: Net,
+}
+
+/// Network façade (stand-in).
+pub struct Net;
+
+impl Net {
+    /// Raw store verb (stand-in).
+    pub fn send_blob(&mut self, _device: u32, _blob: Vec<u8>) {}
+}
+
+impl Cursor {
+    /// Spill the cursor's cluster directly, bypassing the manager.
+    pub fn spill(&mut self, device: u32, blob: Vec<u8>) {
+        self.net.send_blob(device, blob);
+    }
+}

@@ -1,0 +1,37 @@
+//! S6 fixture: a Recorder method whose counter bump has no paired event.
+//! `verify-trace`'s fold can no longer reproduce the counters from the
+//! event stream.
+
+/// Lifecycle counters (stand-in).
+#[derive(Default)]
+pub struct SwapStats {
+    /// Completed swap-outs.
+    pub swap_outs: u64,
+}
+
+/// One trace event (stand-in).
+pub enum EventKind {
+    /// A cluster left the device.
+    SwapOut {
+        /// The swap-cluster id.
+        sc: u32,
+    },
+}
+
+/// The stats-and-events choke point (stand-in).
+#[derive(Default)]
+pub struct Recorder {
+    stats: SwapStats,
+    sink: Vec<EventKind>,
+}
+
+impl Recorder {
+    /// Count a swap-out — but emit nothing, so the trace fold drifts.
+    pub fn note_swap_out(&mut self, _sc: u32) {
+        self.stats.swap_outs += 1;
+    }
+
+    fn emit(&mut self, event: EventKind) {
+        self.sink.push(event);
+    }
+}

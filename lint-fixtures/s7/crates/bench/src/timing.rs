@@ -1,0 +1,11 @@
+//! S7 fixture: a wall-clock read on a measurement path. The timestamp
+//! diverges run-over-run, turning golden-trace comparisons into flakes.
+
+use std::time::Instant;
+
+/// Time one closure in host milliseconds.
+pub fn time_ms(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}

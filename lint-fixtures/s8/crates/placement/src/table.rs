@@ -1,0 +1,27 @@
+//! S8 fixture: the PR 4 `PlacementTable` bug shape — repair events
+//! emitted in `HashMap` iteration order, so hasher state leaks into the
+//! trace.
+
+use std::collections::HashMap;
+
+/// Recording sink (stand-in).
+pub struct Recorder;
+
+impl Recorder {
+    /// Record one repair (stand-in).
+    pub fn note_repair(&mut self, _oid: u64, _holder: u32) {}
+}
+
+/// Blob → holder assignments (stand-in).
+pub struct PlacementTable {
+    placements: HashMap<u64, u32>,
+}
+
+impl PlacementTable {
+    /// Emit a repair event per placement — in hash order.
+    pub fn emit_repairs(&self, recorder: &mut Recorder) {
+        for (oid, holder) in self.placements.iter() {
+            recorder.note_repair(*oid, *holder);
+        }
+    }
+}
