@@ -91,6 +91,9 @@ pub struct OffloadStats {
     pub dgc_messages: u64,
     /// Remote objects reclaimed by the DGC.
     pub dgc_reclaimed: u64,
+    /// Reclamation instructions the server could not honour (the remote
+    /// copy lingers until a later epoch retries).
+    pub dgc_drop_failures: u64,
     /// Payload bytes shipped out.
     pub bytes_out: u64,
     /// Payload bytes fetched back.
@@ -384,10 +387,19 @@ impl Offloader {
             .collect();
         dead.sort_unstable();
         for oid in &dead {
-            // One reclamation instruction per dead remote object.
+            // One reclamation instruction per dead remote object. A failed
+            // drop is counted, not fatal: the per-object protocol has no
+            // retry channel, so the copy lingers server-side until a later
+            // epoch re-issues the instruction.
             messages += 1;
-            let mut net = self.net_guard()?;
-            let _ = net.drop_blob(self.home, self.target, &format!("obj-{}", oid.0));
+            let failed = {
+                let mut net = self.net_guard()?;
+                net.drop_blob(self.home, self.target, &format!("obj-{}", oid.0))
+                    .is_err()
+            };
+            if failed {
+                self.stats.dgc_drop_failures += 1;
+            }
         }
         for oid in &dead {
             if let Some(entry) = self.remote.remove(oid) {

@@ -1,13 +1,127 @@
 //! Swap-out: detach a swap-cluster from the application graph and ship it
 //! to a nearby device (paper §3, *Swap-Cluster Swapping-Out*).
+//!
+//! The operation is split into three phases so callers that hold the
+//! manager behind a mutex (the middleware facade) can move bytes without
+//! the guard:
+//!
+//! 1. [`SwappingManager::detach_prepare`] — manager-locked bookkeeping:
+//!    validation, the `detach_start` trace event, blob capture/encoding
+//!    and holder-candidate ranking;
+//! 2. [`ship_copies`] — a free function that takes only the net lock and
+//!    transmits the blob, carrying per-send clock stamps out in its
+//!    [`ShipOutcome`];
+//! 3. [`SwappingManager::detach_commit`] — manager-locked again: replays
+//!    the shipped events into the recorder (byte-identical stamps),
+//!    records the placement, performs the graph surgery and closes the
+//!    trace pair with `detach_end`/`detach_abort`.
+//!
+//! [`SwappingManager::swap_out`] composes the three for callers that
+//! already own the manager exclusively.
 
-use crate::manager::lock_net;
+use crate::manager::{lock_net, SharedNet};
 use crate::swap_cluster::SwapClusterState;
 use crate::{codec, proxy, wire, Result, SwapError, SwappingManager};
 use obiwan_heap::{ObjRef, ObjectKind, Value};
 use obiwan_net::{Bytes, DeviceId, NetError};
 use obiwan_policy::PolicyEvent;
 use obiwan_replication::Process;
+
+/// A detach prepared under the manager guard: everything the shipping
+/// phase needs to move the blob without touching manager state. Once one
+/// of these exists the detach is in flight (`detach_start` is in the
+/// trace) and it must be handed to [`SwappingManager::detach_commit`],
+/// which closes the pair either way.
+pub(crate) struct DetachPrep {
+    /// The swap-cluster being detached.
+    pub(crate) sc: u32,
+    /// The epoch the blob on the wire carries.
+    epoch: u32,
+    /// Storage key (`dev{home}-sc{sc}-e{epoch}`).
+    key: String,
+    /// The encoded blob (refcounted — clones are pointer bumps).
+    data: Bytes,
+    /// Copies wanted ([`crate::SwapConfig::replication_factor`]).
+    want: usize,
+    /// Whether multi-hop routes may carry the blob.
+    allow_relays: bool,
+    /// The swapping device.
+    home: DeviceId,
+    /// Candidate holders in placement-policy rank order.
+    candidates: Vec<DeviceId>,
+}
+
+/// One successful transmission, with the logical clock captured while the
+/// net guard was held so the commit phase can replay the `blob_shipped`
+/// event with the stamp it would have had inline.
+struct ShipRecord {
+    /// The device that accepted the copy.
+    device: DeviceId,
+    /// Airtime the send cost, in µs.
+    cost_us: u64,
+    /// [`obiwan_net::SimNet::churn_seq`] right after the send.
+    churn: u64,
+    /// Virtual clock (µs) right after the send.
+    at_us: u64,
+}
+
+/// What the shipping phase produced. Infallible by construction: lock
+/// poisoning and hard network errors are carried in `hard_error` so the
+/// commit phase always runs and the `detach_start` pair is always closed.
+pub(crate) struct ShipOutcome {
+    /// Successful sends, in transmission order.
+    records: Vec<ShipRecord>,
+    /// A non-retriable failure that stopped the send loop, if any.
+    hard_error: Option<SwapError>,
+}
+
+/// Phase 2 of swap-out: transmit the prepared blob to up to `want`
+/// candidate holders, holding only the net lock. Per-device refusals
+/// (quota, departure, injected faults) skip to the next candidate; a hard
+/// error stops the loop and rides out in the outcome.
+pub(crate) fn ship_copies(net: &SharedNet, prep: &DetachPrep) -> ShipOutcome {
+    let mut out = ShipOutcome {
+        records: Vec::new(),
+        hard_error: None,
+    };
+    let mut net = match lock_net(net) {
+        Ok(guard) => guard,
+        Err(e) => {
+            out.hard_error = Some(e);
+            return out;
+        }
+    };
+    for &device in &prep.candidates {
+        if out.records.len() >= prep.want {
+            break;
+        }
+        // `data` is refcounted — cloning per attempt is a pointer bump,
+        // not a deep copy of the blob.
+        let sent = if prep.allow_relays {
+            net.send_blob_routed(prep.home, device, &prep.key, prep.data.clone())
+                .map(|(_, cost)| cost)
+        } else {
+            net.send_blob(prep.home, device, &prep.key, prep.data.clone())
+        };
+        match sent {
+            Ok(cost) => out.records.push(ShipRecord {
+                device,
+                cost_us: cost.as_micros(),
+                churn: net.churn_seq(),
+                at_us: net.now().as_micros(),
+            }),
+            Err(NetError::QuotaExceeded { .. })
+            | Err(NetError::InjectedFailure { .. })
+            | Err(NetError::NotConnected { .. })
+            | Err(NetError::Departed { .. }) => continue,
+            Err(e) => {
+                out.hard_error = Some(e.into());
+                break;
+            }
+        }
+    }
+    out
+}
 
 impl SwappingManager {
     /// Swap out swap-cluster `sc`:
@@ -35,6 +149,18 @@ impl SwappingManager {
     /// plus codec/heap errors. The graph is only mutated after the blob has
     /// been stored successfully.
     pub fn swap_out(&mut self, p: &mut Process, sc: u32) -> Result<usize> {
+        let prep = self.detach_prepare(p, sc)?;
+        let shipped = ship_copies(&self.net, &prep);
+        self.detach_commit(p, prep, shipped)
+    }
+
+    /// Phase 1 of swap-out: validate, open the trace pair with
+    /// `detach_start`, capture and encode the blob and rank the candidate
+    /// holders. On success the detach is in flight and the returned prep
+    /// **must** reach [`SwappingManager::detach_commit`]; on error the
+    /// pair is already closed (`detach_abort`, unless validation failed
+    /// before the detach started).
+    pub(crate) fn detach_prepare(&mut self, p: &mut Process, sc: u32) -> Result<DetachPrep> {
         let epoch = {
             let entry = self
                 .clusters
@@ -68,8 +194,8 @@ impl SwappingManager {
         // in the trace so the conformance replay sees start/abort/end pair
         // up.
         self.recorder.detach_start(sc);
-        match self.swap_out_body(p, sc, epoch) {
-            Ok(bytes) => Ok(bytes),
+        match self.prepare_body(p, sc, epoch) {
+            Ok(prep) => Ok(prep),
             Err(e) => {
                 self.recorder.detach_abort(sc);
                 Err(e)
@@ -77,9 +203,10 @@ impl SwappingManager {
         }
     }
 
-    /// Everything past swap-out validation; an error here aborts the
-    /// in-flight detach (the cluster stays loaded).
-    fn swap_out_body(&mut self, p: &mut Process, sc: u32, epoch: u32) -> Result<usize> {
+    /// Everything past swap-out validation that still needs the manager;
+    /// an error here aborts the in-flight detach (the cluster stays
+    /// loaded).
+    fn prepare_body(&mut self, p: &mut Process, sc: u32, epoch: u32) -> Result<DetachPrep> {
         let members: Vec<ObjRef> = self.clusters[&sc].members.iter().map(|&(_, r)| r).collect();
 
         // Opportunistically clean up blobs orphaned by earlier failures.
@@ -90,18 +217,92 @@ impl SwappingManager {
         // Capture + serialize before any graph mutation.
         let blob = codec::capture(p, sc, epoch, &members)?;
         let data = wire::encode_blob(self.config.wire_format, &blob)?;
-        let blob_bytes = data.len();
         // Keys carry the swapping device's id: several PDAs may share one
         // storing neighbour ("available to any user"), and their cluster
         // ids are device-local.
         let key = format!("dev{}-sc{sc}-e{epoch}", self.home.index());
-        let holders = self.place_blob(sc, epoch, &key, data)?;
-        let device = *holders.first().ok_or(SwapError::NoStorageDevice {
-            swap_cluster: sc,
-            tried: 0,
-        })?;
+        let candidates: Vec<DeviceId> = {
+            let net = lock_net(&self.net)?;
+            self.recorder.sync_clock(&net);
+            self.holder_candidates(&net, &key, data.len(), &[])
+                .into_iter()
+                .map(|c| c.device)
+                .collect()
+        };
+        Ok(DetachPrep {
+            sc,
+            epoch,
+            key,
+            data,
+            want: self.config.replication_factor,
+            allow_relays: self.config.allow_relays,
+            home: self.home,
+            candidates,
+        })
+    }
+
+    /// Phase 3 of swap-out: replay the shipped events into the recorder,
+    /// record the placement, bump the epoch and perform the graph
+    /// surgery. Always closes the trace pair opened by
+    /// [`SwappingManager::detach_prepare`] — `detach_end` on success,
+    /// `detach_abort` on any error.
+    pub(crate) fn detach_commit(
+        &mut self,
+        p: &mut Process,
+        prep: DetachPrep,
+        shipped: ShipOutcome,
+    ) -> Result<usize> {
+        let sc = prep.sc;
+        match self.commit_body(p, &prep, shipped) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) => {
+                self.recorder.detach_abort(sc);
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible interior of [`SwappingManager::detach_commit`].
+    fn commit_body(
+        &mut self,
+        p: &mut Process,
+        prep: &DetachPrep,
+        shipped: ShipOutcome,
+    ) -> Result<usize> {
+        let sc = prep.sc;
+        let blob_bytes = prep.data.len();
+        // Replay the sends: each `blob_shipped` carries the clock stamp
+        // captured while the net guard was held, so the trace is
+        // byte-identical to the single-phase form.
+        let mut holders: Vec<DeviceId> = Vec::new();
+        for rec in &shipped.records {
+            self.recorder.set_clock(rec.churn, rec.at_us);
+            self.recorder.blob_shipped(
+                sc,
+                prep.epoch,
+                rec.device.index(),
+                blob_bytes as u64,
+                rec.cost_us,
+            );
+            holders.push(rec.device);
+        }
+        if let Some(e) = shipped.hard_error {
+            // A hard error after partial stores turns the stored copies
+            // into tracked orphans before propagating.
+            for holder in holders {
+                self.orphaned_blobs.push((holder, prep.key.clone()));
+            }
+            return Err(e);
+        }
+        let Some(&device) = holders.first() else {
+            return Err(SwapError::NoStorageDevice {
+                swap_cluster: sc,
+                tried: prep.candidates.len(),
+            });
+        };
         let copies = holders.len();
-        self.placements.record(sc, epoch, key.clone(), holders);
+        self.placements
+            .record(sc, prep.epoch, prep.key.clone(), holders);
         // The blob is out: consume this epoch now so a failure in the graph
         // surgery below cannot lead a retry into a duplicate key; the
         // already-stored blobs become orphans to sweep.
@@ -109,18 +310,18 @@ impl SwappingManager {
             .get_mut(&sc)
             .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?
             .epoch += 1;
-        let surgery = self.detach_graph(p, sc, device, &key);
+        let surgery = self.detach_graph(p, sc, device, &prep.key);
         if let Err(e) = surgery {
             if let Some((_, placement)) = self.placements.remove(sc) {
                 for holder in placement.holders {
-                    self.orphaned_blobs.push((holder, key.clone()));
+                    self.orphaned_blobs.push((holder, prep.key.clone()));
                 }
             }
             return Err(e);
         }
 
         self.recorder
-            .detach_end(sc, epoch, blob_bytes as u64, copies as u32);
+            .detach_end(sc, prep.epoch, blob_bytes as u64, copies as u32);
         self.events.push(PolicyEvent::SwappedOut {
             swap_cluster: sc as i64,
             bytes: blob_bytes as i64,
@@ -228,69 +429,5 @@ impl SwappingManager {
             }
         }
         Ok(None)
-    }
-
-    /// Store `data` under `key` on up to [`crate::SwapConfig::replication_factor`]
-    /// nearby devices, trying candidates in the order the configured
-    /// placement policy ranks them (first-fit reproduces the paper's
-    /// preferred-kind / fewest-hops / most-free order). Returns the holders
-    /// that accepted a copy, primary first.
-    ///
-    /// One stored copy is enough to proceed — an under-replicated placement
-    /// is flagged by the auditor (rule D7) and topped up by the repair
-    /// sweep once more devices appear. Zero copies is
-    /// [`SwapError::NoStorageDevice`]. A hard error after partial stores
-    /// turns the stored copies into tracked orphans before propagating.
-    fn place_blob(&mut self, sc: u32, epoch: u32, key: &str, data: Bytes) -> Result<Vec<DeviceId>> {
-        let want = self.config.replication_factor;
-        let mut net = lock_net(&self.net)?;
-        self.recorder.sync_clock(&net);
-        let candidates = self.holder_candidates(&net, key, data.len(), &[]);
-        let tried = candidates.len();
-        let mut holders: Vec<DeviceId> = Vec::new();
-        for c in candidates {
-            if holders.len() >= want {
-                break;
-            }
-            // `data` is refcounted — cloning per attempt is a pointer bump,
-            // not a deep copy of the blob.
-            let sent = if self.config.allow_relays {
-                net.send_blob_routed(self.home, c.device, key, data.clone())
-                    .map(|(_, cost)| cost)
-            } else {
-                net.send_blob(self.home, c.device, key, data.clone())
-            };
-            match sent {
-                Ok(cost) => {
-                    self.recorder.sync_clock(&net);
-                    self.recorder.blob_shipped(
-                        sc,
-                        epoch,
-                        c.device.index(),
-                        data.len() as u64,
-                        cost.as_micros(),
-                    );
-                    holders.push(c.device);
-                }
-                Err(NetError::QuotaExceeded { .. })
-                | Err(NetError::InjectedFailure { .. })
-                | Err(NetError::NotConnected { .. })
-                | Err(NetError::Departed { .. }) => continue,
-                Err(e) => {
-                    drop(net);
-                    for holder in holders {
-                        self.orphaned_blobs.push((holder, key.to_string()));
-                    }
-                    return Err(e.into());
-                }
-            }
-        }
-        if holders.is_empty() {
-            return Err(SwapError::NoStorageDevice {
-                swap_cluster: sc,
-                tried,
-            });
-        }
-        Ok(holders)
     }
 }

@@ -909,8 +909,13 @@ impl Interceptor for InterceptorShim {
         p: &mut Process,
         obj: ObjRef,
     ) -> obiwan_replication::Result<Resolved> {
+        // Resolving a zombie proxy reloads its cluster mid-invocation; the
+        // reload must see the same manager state the invocation saw, so
+        // the guard genuinely spans the fetch until the sharding refactor
+        // (ROADMAP item 1) gives faults their own shard.
         lock_manager(&self.0)
             .map_err(SwapError::into_repl)?
+            // lint:allow(S9, reload-mid-invocation is re-entrant on the manager by design)
             .on_resolve_invocable(p, obj)
             .map_err(SwapError::into_repl)
     }
@@ -943,6 +948,10 @@ impl Interceptor for InterceptorShim {
             .map_err(|e| SwapError::from(e).into_repl())?
             .header()
             .swap_cluster;
+        // Same shape as resolve_invocable: the swapped identity must be
+        // reloaded under the guard that observed it swapped, or a racing
+        // detach could re-swap it between lookup and fetch.
+        // lint:allow(S9, reload-mid-resolution is re-entrant on the manager by design)
         manager.swap_in(p, sc).map_err(SwapError::into_repl)?;
         Ok(p.lookup_replica(oid))
     }

@@ -2,9 +2,11 @@
 //! wireless world and the swapping manager into one object.
 
 use crate::audit::AuditReport;
+use crate::detach::ship_copies;
 use crate::manager::{
     lock_manager, lock_net, repl_to_swap, InterceptorShim, SharedManager, SharedNet, SwapStats,
 };
+use crate::reload::fetch_copy;
 use crate::{identity, Result, SwapConfig, SwapError, SwappingManager, VictimPolicy};
 use obiwan_heap::{HeapStats, ObjRef, Oid, Value};
 use obiwan_net::{DeviceId, DeviceKind, LinkSpec, SimNet, SimTime};
@@ -540,9 +542,20 @@ impl Middleware {
     ///
     /// See [`SwappingManager::swap_out`].
     pub fn swap_out(&mut self, sc: u32) -> Result<usize> {
-        let out = lock_manager(&self.manager)?.swap_out(&mut self.process, sc);
+        let out = self.swap_out_phases(sc);
         self.debug_self_audit("swap_out");
         out
+    }
+
+    /// The phased swap-out: prepare under the manager guard, ship the
+    /// blob with only the net lock held, commit under the manager guard
+    /// again. Bytes never move while the manager is locked, so a reload
+    /// triggered concurrently (interceptor shim) cannot convoy behind a
+    /// slow radio.
+    fn swap_out_phases(&mut self, sc: u32) -> Result<usize> {
+        let prep = lock_manager(&self.manager)?.detach_prepare(&mut self.process, sc)?;
+        let shipped = ship_copies(&self.net, &prep);
+        lock_manager(&self.manager)?.detach_commit(&mut self.process, prep, shipped)
     }
 
     /// Reload a specific swap-cluster.
@@ -551,9 +564,18 @@ impl Middleware {
     ///
     /// See [`SwappingManager::swap_in`].
     pub fn swap_in(&mut self, sc: u32) -> Result<usize> {
-        let out = lock_manager(&self.manager)?.swap_in(&mut self.process, sc);
+        let out = self.swap_in_phases(sc);
         self.debug_self_audit("swap_in");
         out
+    }
+
+    /// The phased swap-in: placement lookup under the manager guard, the
+    /// failover fetch with only the net lock held, rematerialization
+    /// under the manager guard again.
+    fn swap_in_phases(&mut self, sc: u32) -> Result<usize> {
+        let prep = lock_manager(&self.manager)?.reload_prepare(sc)?;
+        let fetched = fetch_copy(&self.net, &prep);
+        lock_manager(&self.manager)?.reload_commit(&mut self.process, prep, fetched)
     }
 
     /// Pick a victim by policy and swap it out; `None` when nothing is
@@ -563,9 +585,34 @@ impl Middleware {
     ///
     /// See [`SwappingManager::swap_out`].
     pub fn swap_out_victim(&mut self) -> Result<Option<u32>> {
-        let out = lock_manager(&self.manager)?.swap_out_victim(&mut self.process);
+        let out = self.swap_out_victim_phases();
         self.debug_self_audit("swap_out_victim");
         out
+    }
+
+    /// Victim eviction with the same phase discipline as
+    /// [`Middleware::swap_out`]. The loop terminates: each
+    /// `NothingToSwap` retires the picked cluster, so the candidate set
+    /// shrinks.
+    fn swap_out_victim_phases(&mut self) -> Result<Option<u32>> {
+        loop {
+            let prep = {
+                let mut manager = lock_manager(&self.manager)?;
+                let Some(sc) = manager.pick_victim() else {
+                    return Ok(None);
+                };
+                match manager.detach_prepare(&mut self.process, sc) {
+                    Ok(prep) => prep,
+                    Err(SwapError::NothingToSwap { .. }) => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            let sc = prep.sc;
+            let shipped = ship_copies(&self.net, &prep);
+            return lock_manager(&self.manager)?
+                .detach_commit(&mut self.process, prep, shipped)
+                .map(|_| Some(sc));
+        }
     }
 
     /// Run a collection and process finalizers (blob drops, table pruning).
@@ -821,6 +868,11 @@ impl Middleware {
             }
             Action::RepairPlacements => {
                 let mut manager = lock_manager(&self.manager)?;
+                // The repair sweep walks the placement table while it
+                // re-replicates, so it genuinely needs the manager for its
+                // whole duration; it runs from the pump, never from an
+                // invocation path, so nothing can convoy behind it.
+                // lint:allow(S9, repair re-replicates under the manager by design)
                 manager.repair_placements()?;
             }
             Action::Log { message } => self.log.push(message),

@@ -50,6 +50,14 @@ impl Recorder {
         self.at_us = net.now().as_micros();
     }
 
+    /// Restore the cached logical clock from a stamp carried out of a
+    /// guard-free shipping or fetch phase, so events replayed under the
+    /// manager guard keep the stamps they had when the bytes moved.
+    pub(crate) fn set_clock(&mut self, churn: u64, at_us: u64) {
+        self.churn = churn;
+        self.at_us = at_us;
+    }
+
     pub(crate) fn register_cluster(&mut self, sc: u32) {
         self.known_clusters.insert(sc);
     }

@@ -1,15 +1,128 @@
 //! Swap-in: reload a swapped-out cluster from its storing device
 //! (paper §3, *Swap-Cluster Reload*).
+//!
+//! Like swap-out, the reload is split into three phases so the middleware
+//! can fetch bytes without holding the manager guard:
+//!
+//! 1. [`SwappingManager::reload_prepare`] — manager-locked: validation,
+//!    the `reload_start` trace event, and the placement lookup (epoch,
+//!    key, holders);
+//! 2. [`fetch_copy`] — a free function that takes only the net lock and
+//!    runs the failover fetch over the recorded holders, carrying clock
+//!    stamps out in its [`FetchOutcome`];
+//! 3. [`SwappingManager::reload_commit`] — manager-locked again: replays
+//!    the failover events (byte-identical stamps), rematerializes the
+//!    members and closes the trace pair with `reload_end`/`reload_abort`.
+//!
+//! [`SwappingManager::swap_in`] composes the three for callers that
+//! already own the manager exclusively.
 
 use crate::codec::BlobField;
-use crate::manager::lock_net;
+use crate::manager::{lock_net, SharedNet};
 use crate::swap_cluster::SwapClusterState;
 use crate::{proxy, wire, Result, SwapError, SwappingManager};
 use obiwan_heap::{ObjRef, ObjectKind, Oid, Value};
-use obiwan_net::NetError;
+use obiwan_net::{Bytes, DeviceId, NetError};
 use obiwan_policy::PolicyEvent;
 use obiwan_replication::Process;
 use std::collections::HashMap;
+
+/// A reload prepared under the manager guard: the placement facts the
+/// fetch phase needs. Once one of these exists the reload is in flight
+/// (`reload_start` is in the trace) and it must be handed to
+/// [`SwappingManager::reload_commit`], which closes the pair either way.
+pub(crate) struct ReloadPrep {
+    /// The swap-cluster being reloaded.
+    pub(crate) sc: u32,
+    /// The epoch the blob on the wire carries.
+    epoch: u32,
+    /// Storage key the holders serve the blob under.
+    key: String,
+    /// Recorded holders, primary first.
+    holders: Vec<DeviceId>,
+    /// Whether multi-hop routes may carry the blob.
+    allow_relays: bool,
+    /// The reloading device.
+    home: DeviceId,
+    /// The replacement-object standing in for the cluster.
+    replacement: ObjRef,
+}
+
+/// What the fetch phase produced. Infallible by construction: lock
+/// poisoning and hard network errors ride in `hard_error` so the commit
+/// phase always runs and the `reload_start` pair is always closed.
+pub(crate) struct FetchOutcome {
+    /// The blob, when some holder served it.
+    data: Option<Bytes>,
+    /// Holders that failed before the blob was found.
+    tried: Vec<DeviceId>,
+    /// Failovers to trace: `(holder, churn, at_us)` stamped while the net
+    /// guard was held (at most `holders - 1`; the last holder failing
+    /// dead-ends the reload instead).
+    failovers: Vec<(DeviceId, u64, u64)>,
+    /// Clock stamp right after the net guard was taken.
+    clock0: Option<(u64, u64)>,
+    /// Clock stamp right after the successful fetch.
+    success_clock: Option<(u64, u64)>,
+    /// A non-retriable failure that stopped the fetch loop, if any.
+    hard_error: Option<SwapError>,
+}
+
+/// Phase 2 of swap-in: the failover fetch, holding only the net lock.
+/// Holders are tried in preference order; one that departed, lost the
+/// blob or became unroutable just moves the loop to the next copy.
+pub(crate) fn fetch_copy(net: &SharedNet, prep: &ReloadPrep) -> FetchOutcome {
+    let mut out = FetchOutcome {
+        data: None,
+        tried: Vec::new(),
+        failovers: Vec::new(),
+        clock0: None,
+        success_clock: None,
+        hard_error: None,
+    };
+    let mut net = match lock_net(net) {
+        Ok(guard) => guard,
+        Err(e) => {
+            out.hard_error = Some(e);
+            return out;
+        }
+    };
+    out.clock0 = Some((net.churn_seq(), net.now().as_micros()));
+    for (i, &holder) in prep.holders.iter().enumerate() {
+        let fetched = if prep.allow_relays {
+            net.fetch_blob_routed(prep.home, holder, &prep.key)
+                .map(|(_, data)| data)
+        } else {
+            net.fetch_blob(prep.home, holder, &prep.key)
+        };
+        match fetched {
+            Ok(bytes) => {
+                out.success_clock = Some((net.churn_seq(), net.now().as_micros()));
+                out.data = Some(bytes);
+                break;
+            }
+            Err(NetError::Departed { .. })
+            | Err(NetError::UnknownBlob { .. })
+            | Err(NetError::NotConnected { .. })
+            | Err(NetError::InjectedFailure { .. }) => {
+                out.tried.push(holder);
+                // A failover is trying *another* copy; the last holder
+                // failing dead-ends the reload instead, so at most
+                // `k - 1` of these can ever be traced.
+                if i + 1 < prep.holders.len() {
+                    out.failovers
+                        .push((holder, net.churn_seq(), net.now().as_micros()));
+                }
+                continue;
+            }
+            Err(e) => {
+                out.hard_error = Some(e.into());
+                break;
+            }
+        }
+    }
+    out
+}
 
 impl SwappingManager {
     /// Reload swap-cluster `sc` from the device it was swapped to:
@@ -37,6 +150,18 @@ impl SwappingManager {
     /// holder returns), plus codec / heap errors (out-of-memory leaves the
     /// cluster swapped out and the graph untouched).
     pub fn swap_in(&mut self, p: &mut Process, sc: u32) -> Result<usize> {
+        let prep = self.reload_prepare(sc)?;
+        let fetched = fetch_copy(&self.net, &prep);
+        self.reload_commit(p, prep, fetched)
+    }
+
+    /// Phase 1 of swap-in: validate, open the trace pair with
+    /// `reload_start` and look up the placement. On success the reload is
+    /// in flight and the returned prep **must** reach
+    /// [`SwappingManager::reload_commit`]; on error the pair is already
+    /// closed (`reload_abort`, unless validation failed before the reload
+    /// started).
+    pub(crate) fn reload_prepare(&mut self, sc: u32) -> Result<ReloadPrep> {
         let replacement = {
             let entry = self
                 .clusters
@@ -68,7 +193,36 @@ impl SwappingManager {
         // leaves the cluster swapped out — emit the matching abort so the
         // conformance replay tracks the revert.
         self.recorder.reload_start(sc);
-        match self.swap_in_body(p, sc, replacement) {
+        match self.holders_of(sc) {
+            Some((epoch, key, holders)) => Ok(ReloadPrep {
+                sc,
+                epoch,
+                key,
+                holders,
+                allow_relays: self.config.allow_relays,
+                home: self.home,
+                replacement,
+            }),
+            None => {
+                self.recorder.reload_abort(sc);
+                Err(SwapError::UnknownSwapCluster { swap_cluster: sc })
+            }
+        }
+    }
+
+    /// Phase 3 of swap-in: replay the fetch-phase events into the
+    /// recorder, then rematerialize the cluster from the blob. Always
+    /// closes the trace pair opened by
+    /// [`SwappingManager::reload_prepare`] — `reload_end` on success,
+    /// `reload_abort` on any error.
+    pub(crate) fn reload_commit(
+        &mut self,
+        p: &mut Process,
+        prep: ReloadPrep,
+        fetched: FetchOutcome,
+    ) -> Result<usize> {
+        let sc = prep.sc;
+        match self.commit_reload(p, &prep, fetched) {
             Ok(bytes) => Ok(bytes),
             Err(e) => {
                 self.recorder.reload_abort(sc);
@@ -77,58 +231,41 @@ impl SwappingManager {
         }
     }
 
-    /// Everything past swap-in validation; an error here aborts the
-    /// in-flight reload (the cluster stays swapped out).
-    fn swap_in_body(&mut self, p: &mut Process, sc: u32, replacement: ObjRef) -> Result<usize> {
-        let (epoch, key, holders) = self
-            .holders_of(sc)
-            .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
-        // Failover fetch: try holders in preference order; a holder that
-        // departed, lost the blob or became unroutable just moves us to
-        // the next copy.
-        let mut data = None;
-        let mut tried: Vec<obiwan_net::DeviceId> = Vec::new();
-        {
-            let mut net = lock_net(&self.net)?;
-            self.recorder.sync_clock(&net);
-            for (i, &holder) in holders.iter().enumerate() {
-                let fetched = if self.config.allow_relays {
-                    net.fetch_blob_routed(self.home, holder, &key)
-                        .map(|(_, data)| data)
-                } else {
-                    net.fetch_blob(self.home, holder, &key)
-                };
-                match fetched {
-                    Ok(bytes) => {
-                        self.recorder.sync_clock(&net);
-                        data = Some(bytes);
-                        break;
-                    }
-                    Err(NetError::Departed { .. })
-                    | Err(NetError::UnknownBlob { .. })
-                    | Err(NetError::NotConnected { .. })
-                    | Err(NetError::InjectedFailure { .. }) => {
-                        tried.push(holder);
-                        // A failover is trying *another* copy; the last
-                        // holder failing dead-ends the reload instead, so
-                        // at most `k - 1` of these can ever be traced.
-                        if i + 1 < holders.len() {
-                            self.recorder.sync_clock(&net);
-                            self.recorder.failover(sc, epoch, holder.index());
-                        }
-                        continue;
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            }
+    /// The fallible interior of [`SwappingManager::reload_commit`].
+    fn commit_reload(
+        &mut self,
+        p: &mut Process,
+        prep: &ReloadPrep,
+        fetched: FetchOutcome,
+    ) -> Result<usize> {
+        let sc = prep.sc;
+        let epoch = prep.epoch;
+        let key = &prep.key;
+        let replacement = prep.replacement;
+        // Replay the fetch: every stamp was captured while the net guard
+        // was held, so the trace is byte-identical to the single-phase
+        // form.
+        if let Some((churn, at_us)) = fetched.clock0 {
+            self.recorder.set_clock(churn, at_us);
         }
-        let Some(data) = data else {
+        for &(holder, churn, at_us) in &fetched.failovers {
+            self.recorder.set_clock(churn, at_us);
+            self.recorder.failover(sc, epoch, holder.index());
+        }
+        if let Some(e) = fetched.hard_error {
+            return Err(e);
+        }
+        let tried = fetched.tried;
+        let Some(data) = fetched.data else {
             return Err(SwapError::BlobUnavailable {
                 swap_cluster: sc,
                 epoch,
                 tried,
             });
         };
+        if let Some((churn, at_us)) = fetched.success_clock {
+            self.recorder.set_clock(churn, at_us);
+        }
         let blob_bytes = data.len();
         let blob = wire::decode_blob(&data)?;
         if blob.swap_cluster != sc {
@@ -238,11 +375,11 @@ impl SwappingManager {
         }
         if self.config.drop_blob_on_reload {
             let mut net = lock_net(&self.net)?;
-            for &holder in &holders {
+            for &holder in &prep.holders {
                 let dropped = if self.config.allow_relays {
-                    net.drop_blob_routed(self.home, holder, &key)
+                    net.drop_blob_routed(self.home, holder, key)
                 } else {
-                    net.drop_blob(self.home, holder, &key)
+                    net.drop_blob(self.home, holder, key)
                 };
                 self.recorder.sync_clock(&net);
                 match dropped {

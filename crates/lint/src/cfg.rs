@@ -1,0 +1,488 @@
+//! Per-function control-flow graphs over the significant token stream.
+//!
+//! [`Cfg::build`] turns a token range (a function body) into basic blocks
+//! connected by tagged edges. The builder recognizes the control shapes
+//! the flow rules care about — `if`/`else` chains, `match` arms, the three
+//! loop forms, `return`/`break`/`continue`, and the `?` operator (which
+//! splits its block with an extra edge to the exit) — and treats
+//! everything else as straight-line code. Construction is total: on
+//! malformed or adversarial token soup it degrades to bigger straight-line
+//! blocks instead of panicking, the same fallback discipline as
+//! [`crate::model::FileModel::match_brace`].
+
+use crate::model::STok;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Why a CFG edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Straight-line continuation (or a branch join).
+    Seq,
+    /// One side of an `if`/`match`/`while` decision.
+    Branch,
+    /// A loop back edge.
+    Back,
+    /// The early-exit half of a `?` operator.
+    Question,
+    /// A `return` (explicit exit).
+    Return,
+}
+
+/// One basic block: the token spans it covers, in execution order.
+///
+/// Spans index into the owning file's significant-token slice. A block's
+/// spans are disjoint and monotonically increasing — control constructs
+/// carve holes out of the middle (their bodies live in other blocks).
+#[derive(Debug, Default, Clone)]
+pub struct Block {
+    /// Token index ranges, in the order the block executes them.
+    pub spans: Vec<Range<usize>>,
+}
+
+/// A control-flow graph for one token range.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Basic blocks; `blocks[entry]` is where execution starts.
+    pub blocks: Vec<Block>,
+    /// Successor lists, parallel to `blocks`.
+    pub succs: Vec<Vec<(usize, EdgeKind)>>,
+    /// Entry block id.
+    pub entry: usize,
+    /// Exit block id (no tokens; every function-leaving edge targets it).
+    pub exit: usize,
+    owner: BTreeMap<usize, usize>,
+}
+
+/// Nesting depth past which constructs degrade to straight-line tokens
+/// (keeps recursion bounded on adversarial input).
+const MAX_NEST: u32 = 64;
+/// Block-count ceiling with the same purpose.
+const MAX_BLOCKS: usize = 1 << 14;
+
+impl Cfg {
+    /// Build the CFG for `sig[range]`. Total on arbitrary token streams.
+    pub fn build(sig: &[STok], range: Range<usize>) -> Cfg {
+        let from = range.start.min(sig.len());
+        let to = range.end.min(sig.len()).max(from);
+        let mut b = Builder {
+            sig,
+            blocks: vec![Block::default(), Block::default()],
+            succs: vec![Vec::new(), Vec::new()],
+            loops: Vec::new(),
+            nest: 0,
+        };
+        let last = b.walk(from, to, 1);
+        b.edge(last, 0, EdgeKind::Seq);
+        let mut owner = BTreeMap::new();
+        for (id, blk) in b.blocks.iter().enumerate() {
+            for span in &blk.spans {
+                for tok in span.clone() {
+                    owner.insert(tok, id);
+                }
+            }
+        }
+        Cfg {
+            blocks: b.blocks,
+            succs: b.succs,
+            entry: 1,
+            exit: 0,
+            owner,
+        }
+    }
+
+    /// A synthetic CFG from an explicit edge list (for dataflow tests);
+    /// edge endpoints are clamped into range.
+    pub fn synthetic(nblocks: usize, edges: &[(usize, usize)]) -> Cfg {
+        let n = nblocks.max(2);
+        let mut succs = vec![Vec::new(); n];
+        for &(a, bb) in edges {
+            let (a, bb) = (a % n, bb % n);
+            let list: &mut Vec<(usize, EdgeKind)> = &mut succs[a];
+            if !list.iter().any(|&(s, _)| s == bb) {
+                list.push((bb, EdgeKind::Seq));
+            }
+        }
+        Cfg {
+            blocks: vec![Block::default(); n],
+            succs,
+            entry: 1 % n,
+            exit: 0,
+            owner: BTreeMap::new(),
+        }
+    }
+
+    /// The block owning token index `tok`, if any.
+    pub fn block_of(&self, tok: usize) -> Option<usize> {
+        self.owner.get(&tok).copied()
+    }
+
+    /// Token indices of block `b`, in execution order.
+    pub fn tokens_of(&self, b: usize) -> impl Iterator<Item = usize> + '_ {
+        self.blocks[b].spans.iter().flat_map(|s| s.clone())
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the graph has no blocks (never true for built graphs).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+struct Builder<'a> {
+    sig: &'a [STok],
+    blocks: Vec<Block>,
+    succs: Vec<Vec<(usize, EdgeKind)>>,
+    /// Innermost-last stack of `(continue target, break join)`.
+    loops: Vec<(usize, usize)>,
+    nest: u32,
+}
+
+impl Builder<'_> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.succs.push(Vec::new());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, a: usize, b: usize, kind: EdgeKind) {
+        if !self.succs[a].iter().any(|&(s, k)| s == b && k == kind) {
+            self.succs[a].push((b, kind));
+        }
+    }
+
+    fn push(&mut self, b: usize, tok: usize) {
+        let spans = &mut self.blocks[b].spans;
+        match spans.last_mut() {
+            Some(last) if last.end == tok => last.end = tok + 1,
+            _ => spans.push(tok..tok + 1),
+        }
+    }
+
+    /// Whether structured handling is still allowed (nesting/size fuses).
+    fn structured(&self) -> bool {
+        self.nest < MAX_NEST && self.blocks.len() < MAX_BLOCKS
+    }
+
+    /// Walk `[from, to)` starting in block `cur`; returns the block that
+    /// falls off the end.
+    fn walk(&mut self, from: usize, to: usize, mut cur: usize) -> usize {
+        self.nest += 1;
+        let mut i = from;
+        while i < to {
+            let t = &self.sig[i];
+            if self.structured() {
+                match t.text.as_str() {
+                    "if" => {
+                        let (c, ni) = self.branch_if(i, to, cur);
+                        cur = c;
+                        i = ni;
+                        continue;
+                    }
+                    "match" => {
+                        let (c, ni) = self.match_arms(i, to, cur);
+                        cur = c;
+                        i = ni;
+                        continue;
+                    }
+                    "loop" => {
+                        let (c, ni) = self.loop_body(i, to, cur, false);
+                        cur = c;
+                        i = ni;
+                        continue;
+                    }
+                    "while" | "for" => {
+                        let (c, ni) = self.loop_body(i, to, cur, true);
+                        cur = c;
+                        i = ni;
+                        continue;
+                    }
+                    "return" => {
+                        i = self.consume_jump_expr(i, to, cur);
+                        self.edge(cur, 0, EdgeKind::Return);
+                        cur = self.new_block();
+                        continue;
+                    }
+                    "break" | "continue" => {
+                        let is_break = t.text == "break";
+                        i = self.consume_jump_expr(i, to, cur);
+                        let (cont, brk) = self.loops.last().copied().unwrap_or((0, 0));
+                        if is_break {
+                            self.edge(cur, brk, EdgeKind::Branch);
+                        } else {
+                            self.edge(cur, cont, EdgeKind::Back);
+                        }
+                        cur = self.new_block();
+                        continue;
+                    }
+                    "?" => {
+                        self.push(cur, i);
+                        self.edge(cur, 0, EdgeKind::Question);
+                        let next = self.new_block();
+                        self.edge(cur, next, EdgeKind::Seq);
+                        cur = next;
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            self.push(cur, i);
+            i += 1;
+        }
+        self.nest -= 1;
+        cur
+    }
+
+    /// Push `return`/`break`/`continue` plus its trailing expression (up
+    /// to `;`/`,` at depth 0, or an enclosing closer) into `cur`; returns
+    /// the index after the consumed run. Always advances past `i`.
+    fn consume_jump_expr(&mut self, i: usize, to: usize, cur: usize) -> usize {
+        self.push(cur, i);
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < to {
+            let t = &self.sig[j];
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return j;
+                    }
+                    depth -= 1;
+                }
+                ";" | "," if depth == 0 => {
+                    self.push(cur, j);
+                    return j + 1;
+                }
+                _ => {}
+            }
+            self.push(cur, j);
+            j += 1;
+        }
+        j
+    }
+
+    /// Find the body-opening `{` for a construct head starting after
+    /// token `i`, pushing the head tokens into `cur`. Returns `None` (and
+    /// the scan position) when no brace exists — the caller degrades.
+    fn head_to_brace(&mut self, i: usize, to: usize, cur: usize) -> (Option<usize>, usize) {
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < to {
+            let t = &self.sig[j];
+            match t.text.as_str() {
+                "{" if depth == 0 => return (Some(j), j),
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return (None, j);
+                    }
+                }
+                ";" if depth == 0 => return (None, j),
+                _ => {}
+            }
+            self.push(cur, j);
+            j += 1;
+        }
+        (None, j)
+    }
+
+    /// Matching `}` for the `{` at `open` (or `to - 1` as fallback).
+    fn close_of(&self, open: usize, to: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < to {
+            if self.sig[i].text == "{" {
+                depth += 1;
+            } else if self.sig[i].text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        to.saturating_sub(1).max(open)
+    }
+
+    /// `if COND { … } [else if …]* [else { … }]` — returns (join, next).
+    fn branch_if(&mut self, i: usize, to: usize, cur: usize) -> (usize, usize) {
+        self.push(cur, i);
+        let (brace, scanned) = self.head_to_brace(i, to, cur);
+        let Some(brace) = brace else {
+            return (cur, scanned.max(i + 1));
+        };
+        let close = self.close_of(brace, to);
+        let then_entry = self.new_block();
+        self.edge(cur, then_entry, EdgeKind::Branch);
+        self.push(then_entry, brace);
+        let then_end = self.walk(brace + 1, close, then_entry);
+        // `close == brace` means the brace never closed (end-of-range
+        // fallback); pushing it again would give the token two owners.
+        if close > brace && close < to {
+            self.push(then_end, close);
+        }
+        let mut after = close + 1;
+
+        if after < to && self.sig[after].text == "else" && self.structured() {
+            let else_entry = self.new_block();
+            self.edge(cur, else_entry, EdgeKind::Branch);
+            self.push(else_entry, after);
+            let (else_end, na) = if after + 1 < to && self.sig[after + 1].text == "if" {
+                self.branch_if(after + 1, to, else_entry)
+            } else if after + 1 < to && self.sig[after + 1].text == "{" {
+                let c2 = self.close_of(after + 1, to);
+                self.push(else_entry, after + 1);
+                let e = self.walk(after + 2, c2, else_entry);
+                if c2 > after + 1 && c2 < to {
+                    self.push(e, c2);
+                }
+                (e, c2 + 1)
+            } else {
+                (else_entry, after + 1)
+            };
+            after = na;
+            let join = self.new_block();
+            self.edge(then_end, join, EdgeKind::Seq);
+            self.edge(else_end, join, EdgeKind::Seq);
+            (join, after)
+        } else {
+            let join = self.new_block();
+            self.edge(then_end, join, EdgeKind::Seq);
+            self.edge(cur, join, EdgeKind::Branch);
+            (join, after)
+        }
+    }
+
+    /// `match HEAD { PAT => BODY, … }` — one block per arm, all joining.
+    fn match_arms(&mut self, i: usize, to: usize, cur: usize) -> (usize, usize) {
+        self.push(cur, i);
+        let (brace, scanned) = self.head_to_brace(i, to, cur);
+        let Some(brace) = brace else {
+            return (cur, scanned.max(i + 1));
+        };
+        let close = self.close_of(brace, to);
+        self.push(cur, brace);
+        let join = self.new_block();
+        let mut k = brace + 1;
+        let mut any_arm = false;
+        while k < close && self.structured() {
+            // Pattern runs to `=>` at depth 0.
+            let mut depth = 0i32;
+            let mut arrow = None;
+            let mut j = k;
+            while j < close {
+                match self.sig[j].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth == 0 => {
+                        arrow = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let arm = self.new_block();
+            self.edge(cur, arm, EdgeKind::Branch);
+            any_arm = true;
+            let Some(arrow) = arrow else {
+                // No `=>` before the close: dump the tail as one arm.
+                for tok in k..close {
+                    self.push(arm, tok);
+                }
+                self.edge(arm, join, EdgeKind::Seq);
+                break;
+            };
+            for tok in k..=arrow {
+                self.push(arm, tok);
+            }
+            let bs = arrow + 1;
+            let arm_end = if bs < close && self.sig[bs].text == "{" {
+                let bclose = self.close_of(bs, close + 1).min(close);
+                self.push(arm, bs);
+                let e = self.walk(bs + 1, bclose, arm);
+                if bclose < close {
+                    self.push(e, bclose);
+                }
+                k = bclose + 1;
+                e
+            } else {
+                // Expression body to `,` at depth 0 (or the match close).
+                let mut depth = 0i32;
+                let mut e = bs;
+                while e < close {
+                    match self.sig[e].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                let end = self.walk(bs, e, arm);
+                k = e;
+                end
+            };
+            if k < close && self.sig[k].text == "," {
+                self.push(arm_end, k);
+                k += 1;
+            }
+            self.edge(arm_end, join, EdgeKind::Seq);
+        }
+        if !any_arm {
+            self.edge(cur, join, EdgeKind::Branch);
+        }
+        if close > brace && close < to {
+            self.push(join, close);
+        }
+        (join, close + 1)
+    }
+
+    /// `loop`/`while`/`for` — `conditional` adds the head-exit edge.
+    fn loop_body(&mut self, i: usize, to: usize, cur: usize, conditional: bool) -> (usize, usize) {
+        let head = if conditional {
+            let h = self.new_block();
+            self.edge(cur, h, EdgeKind::Seq);
+            h
+        } else {
+            cur
+        };
+        self.push(head, i);
+        let (brace, scanned) = self.head_to_brace(i, to, head);
+        let Some(brace) = brace else {
+            return (head, scanned.max(i + 1));
+        };
+        let close = self.close_of(brace, to);
+        let body = self.new_block();
+        let join = self.new_block();
+        self.edge(
+            head,
+            body,
+            if conditional {
+                EdgeKind::Branch
+            } else {
+                EdgeKind::Seq
+            },
+        );
+        if conditional {
+            self.edge(head, join, EdgeKind::Branch);
+        }
+        self.push(body, brace);
+        let cont = if conditional { head } else { body };
+        self.loops.push((cont, join));
+        let body_end = self.walk(brace + 1, close, body);
+        self.loops.pop();
+        if close > brace && close < to {
+            self.push(body_end, close);
+        }
+        self.edge(body_end, cont, EdgeKind::Back);
+        (join, close + 1)
+    }
+}

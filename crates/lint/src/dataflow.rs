@@ -1,0 +1,84 @@
+//! Generic forward dataflow over a [`Cfg`]: a worklist fixpoint for
+//! join-semilattices.
+//!
+//! The framework is deliberately tiny — one trait, one driver — because
+//! every flow rule (held locks for S1/S9/S11, pending Results for S12)
+//! is a set-valued may-analysis: facts only grow along joins, so the
+//! worklist reaches a fixpoint in at most `height × blocks` relaxations.
+//! A fuel counter bounds the loop anyway, so termination holds even for
+//! a non-monotone transfer function handed in by a test.
+
+use crate::cfg::{Cfg, EdgeKind};
+use std::collections::VecDeque;
+
+/// A join-semilattice fact. `join` folds `other` into `self` and reports
+/// whether `self` changed — the driver re-queues a block only on change.
+pub trait JoinLattice: Clone {
+    /// Least upper bound, in place; `true` when `self` grew.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// Union-of-sets lattice (the may-analysis workhorse).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetUnion<T: Ord + Clone>(pub std::collections::BTreeSet<T>);
+
+impl<T: Ord + Clone> JoinLattice for SetUnion<T> {
+    fn join(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().cloned());
+        self.0.len() != before
+    }
+}
+
+/// Forward fixpoint: returns the in-fact of every block.
+///
+/// `entry` seeds the entry block, `bottom` every other block, and
+/// `transfer(block, in_fact)` produces the block's out-fact. All edge
+/// kinds propagate.
+pub fn forward<L, F>(cfg: &Cfg, entry: L, bottom: L, transfer: F) -> Vec<L>
+where
+    L: JoinLattice,
+    F: Fn(usize, &L) -> L,
+{
+    forward_filtered(cfg, entry, bottom, transfer, |_| true)
+}
+
+/// [`forward`], propagating only along edges whose kind passes `keep`
+/// (S12 drops [`EdgeKind::Question`] so idiomatic `?` early-exits do not
+/// count as discards).
+pub fn forward_filtered<L, F, K>(cfg: &Cfg, entry: L, bottom: L, transfer: F, keep: K) -> Vec<L>
+where
+    L: JoinLattice,
+    F: Fn(usize, &L) -> L,
+    K: Fn(EdgeKind) -> bool,
+{
+    let n = cfg.len();
+    let mut facts: Vec<L> = vec![bottom; n];
+    if n == 0 {
+        return facts;
+    }
+    facts[cfg.entry] = entry;
+    let mut work: VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    // Fuel: generous for any monotone analysis on these graphs; bounds
+    // the loop unconditionally (property-tested with hostile transfers).
+    let mut fuel = n.saturating_mul(256).saturating_add(4096);
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        if fuel == 0 {
+            break;
+        }
+        fuel -= 1;
+        let out = transfer(b, &facts[b]);
+        for &(s, kind) in &cfg.succs[b] {
+            if !keep(kind) {
+                continue;
+            }
+            if facts[s].join(&out) && !queued[s] {
+                queued[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    facts
+}

@@ -7,7 +7,7 @@
 //! property tests rely on this), so rule code can always recover exact
 //! excerpts and line numbers.
 //!
-//! The lexer understands exactly as much Rust as the S1–S8 rules need:
+//! The lexer understands exactly as much Rust as the S1–S12 rules need:
 //! string/char/lifetime literals (so `"lock_manager("` inside a string is
 //! not an acquisition site), nested block comments, doc comments, raw
 //! strings and raw identifiers, and compound operators such as `::` and

@@ -18,12 +18,24 @@
 //! | S6 | `event-coverage` | a stats counter that no longer folds out of the trace (PR 4) |
 //! | S7 | `wall-clock` | wall time leaking into traces, breaking run-over-run identity |
 //! | S8 | `nondeterministic-iteration` | the `PlacementTable` HashMap iteration fixed in PR 4 |
+//! | S9 | `guard-across-ship` | manager guard held across blob transmission (this PR's detach fix) |
+//! | S10 | `guard-escape` | a guard outliving its function via return/field/`move` closure |
+//! | S11 | `cross-shard-order` | keyed sibling locks taken without a canonical order (sharding prep) |
+//! | S12 | `discarded-result` | a swap/placement `Result` silently dropped on some path |
+//!
+//! S1 and S9–S12 are *flow-sensitive*: they run on a per-function control
+//! flow graph ([`cfg`]) with a worklist dataflow framework ([`dataflow`])
+//! and a held-lock-set analysis ([`locks`]) on top, so "held across" and
+//! "on some path" mean actual paths, not lexical containment.
 //!
 //! Violations can be suppressed per line with `// lint:allow(S7, reason)`
 //! on or directly above the offending line, per file with
 //! `// lint:allow-file(S4)`, or per run with `--allow <rule>`.
 
+pub mod cfg;
+pub mod dataflow;
 pub mod lexer;
+pub mod locks;
 pub mod model;
 pub mod rules;
 
@@ -54,10 +66,22 @@ pub enum Rule {
     WallClock,
     /// S8: `HashMap`/`HashSet` iteration on paths feeding the Recorder.
     NondeterministicIteration,
+    /// S9: a lock guard live across a blocking `obiwan-net` blob
+    /// send/fetch call on some path.
+    GuardAcrossShip,
+    /// S10: a guard escaping its function — returned, stored in a field,
+    /// or captured by a `move` closure.
+    GuardEscape,
+    /// S11: two keyed sibling locks (same family, different shard keys)
+    /// held together without canonical ordering evidence.
+    CrossShardOrder,
+    /// S12: a `Result` from a swap/placement operation dropped on some
+    /// path.
+    DiscardedResult,
 }
 
 /// All rules, in catalog order.
-pub const ALL_RULES: [Rule; 8] = [
+pub const ALL_RULES: [Rule; 12] = [
     Rule::LockOrder,
     Rule::RecorderBypass,
     Rule::Layering,
@@ -66,10 +90,14 @@ pub const ALL_RULES: [Rule; 8] = [
     Rule::EventCoverage,
     Rule::WallClock,
     Rule::NondeterministicIteration,
+    Rule::GuardAcrossShip,
+    Rule::GuardEscape,
+    Rule::CrossShardOrder,
+    Rule::DiscardedResult,
 ];
 
 impl Rule {
-    /// Catalog id (`S1`–`S8`).
+    /// Catalog id (`S1`–`S12`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::LockOrder => "S1",
@@ -80,6 +108,10 @@ impl Rule {
             Rule::EventCoverage => "S6",
             Rule::WallClock => "S7",
             Rule::NondeterministicIteration => "S8",
+            Rule::GuardAcrossShip => "S9",
+            Rule::GuardEscape => "S10",
+            Rule::CrossShardOrder => "S11",
+            Rule::DiscardedResult => "S12",
         }
     }
 
@@ -94,6 +126,10 @@ impl Rule {
             Rule::EventCoverage => "event-coverage",
             Rule::WallClock => "wall-clock",
             Rule::NondeterministicIteration => "nondeterministic-iteration",
+            Rule::GuardAcrossShip => "guard-across-ship",
+            Rule::GuardEscape => "guard-escape",
+            Rule::CrossShardOrder => "cross-shard-order",
+            Rule::DiscardedResult => "discarded-result",
         }
     }
 

@@ -1,0 +1,315 @@
+//! Flow-sensitive held-lock analysis: which guards are live at each
+//! program point, computed as a may-analysis over the function's CFG.
+//!
+//! A linear extraction pass (mirroring the guard discipline in
+//! [`crate::model::analyze_body`]) turns the body into per-token events —
+//! a guard is *acquired* at its `lock_x(…)` / `.lock()` token and
+//! *released* at `drop(guard)`, at the `}` closing its binding scope, or
+//! at the `;`/`,` ending its statement when it is a temporary. The events
+//! then flow forward over the CFG with set-union join, so a guard counts
+//! as held at a point exactly when **some** path reaches it with the
+//! guard still live — the right bias for deadlock and
+//! held-across-blocking rules.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{forward, SetUnion};
+use crate::lexer::TokenKind;
+use crate::model::{normalized_args, FileModel, Function, HeldLock, LockHelper};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One guard the analysis tracks.
+#[derive(Debug, Clone)]
+pub struct GuardInfo {
+    /// Lock identity (family), e.g. `manager`.
+    pub lock: String,
+    /// Guard self-type head when the acquisition goes through a helper.
+    pub guard_type: Option<String>,
+    /// Normalized helper-call argument text (shard key); `None` for raw
+    /// `.lock()` acquisitions.
+    pub key: Option<String>,
+    /// Binding name when `let`-bound (`None` for statement temporaries).
+    pub bind: Option<String>,
+    /// Acquiring token index (into the file's significant tokens).
+    pub tok: usize,
+    /// 1-based source line of the acquisition.
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Acquire(usize),
+    Release(usize),
+}
+
+/// The per-function result: guards, per-token events, and block in-facts.
+#[derive(Debug)]
+pub struct LockFlow {
+    /// Guards in acquisition order; ids index this vector.
+    pub guards: Vec<GuardInfo>,
+    events: BTreeMap<usize, Vec<Event>>,
+    facts: Vec<SetUnion<usize>>,
+}
+
+impl LockFlow {
+    /// Run the analysis for `f` over its prebuilt `cfg`.
+    pub fn build(file: &FileModel, f: &Function, helpers: &[LockHelper], cfg: &Cfg) -> LockFlow {
+        let (guards, events) = extract_events(file, f, helpers);
+        let facts = forward(cfg, SetUnion::default(), SetUnion::default(), |b, inf| {
+            let mut out = inf.clone();
+            for tok in cfg.tokens_of(b) {
+                if let Some(evs) = events.get(&tok) {
+                    for ev in evs {
+                        apply(&mut out.0, *ev);
+                    }
+                }
+            }
+            out
+        });
+        LockFlow {
+            guards,
+            events,
+            facts,
+        }
+    }
+
+    /// Guard ids live just before token `tok` executes (strictly-before
+    /// semantics: an acquisition does not hold its own guard).
+    pub fn held_ids_at(&self, cfg: &Cfg, tok: usize) -> BTreeSet<usize> {
+        let Some(b) = cfg.block_of(tok) else {
+            return BTreeSet::new();
+        };
+        let mut set = self.facts[b].0.clone();
+        for t in cfg.tokens_of(b) {
+            if t == tok {
+                break;
+            }
+            if let Some(evs) = self.events.get(&t) {
+                for ev in evs {
+                    apply(&mut set, *ev);
+                }
+            }
+        }
+        set
+    }
+
+    /// [`Self::held_ids_at`] projected through the guard table.
+    pub fn held_at(&self, cfg: &Cfg, tok: usize) -> Vec<HeldLock> {
+        self.held_ids_at(cfg, tok)
+            .into_iter()
+            .filter_map(|id| self.guards.get(id))
+            .map(|g| HeldLock {
+                lock: g.lock.clone(),
+                key: g.key.clone(),
+                guard_type: g.guard_type.clone(),
+            })
+            .collect()
+    }
+
+    /// An empty analysis (used for lock-helper bodies, which define
+    /// rather than use their lock).
+    pub fn empty(cfg: &Cfg) -> LockFlow {
+        LockFlow {
+            guards: Vec::new(),
+            events: BTreeMap::new(),
+            facts: vec![SetUnion::default(); cfg.len()],
+        }
+    }
+}
+
+fn apply(set: &mut BTreeSet<usize>, ev: Event) {
+    match ev {
+        Event::Acquire(id) => {
+            set.insert(id);
+        }
+        Event::Release(id) => {
+            set.remove(&id);
+        }
+    }
+}
+
+/// Methods that adapt a lock-guard result without consuming the guard
+/// (kept in sync with `model::GUARD_ADAPTERS`).
+const ADAPTERS: &[&str] = &["map_err", "expect", "unwrap", "ok", "and_then", "map"];
+
+/// The linear pass: guards plus acquire/release events keyed by token.
+#[allow(clippy::type_complexity)]
+fn extract_events(
+    file: &FileModel,
+    f: &Function,
+    helpers: &[LockHelper],
+) -> (Vec<GuardInfo>, BTreeMap<usize, Vec<Event>>) {
+    struct Active {
+        id: usize,
+        bind: Option<String>,
+        depth: i32,
+        temp: bool,
+    }
+
+    let sig = &file.sig;
+    let body = f.body.clone();
+    let mut guards: Vec<GuardInfo> = Vec::new();
+    let mut events: BTreeMap<usize, Vec<Event>> = BTreeMap::new();
+    let mut active: Vec<Active> = Vec::new();
+    let helper_of = |name: &str| helpers.iter().find(|h| h.name == name);
+
+    let mut depth = 0i32;
+    let mut pdepth = 0i32;
+    let mut stmt_start = body.start;
+    // Brace depths of enclosing loop bodies: `continue`/`break` unwind
+    // every scope inside the innermost one, releasing its guards on that
+    // path (the back/exit edge bypasses the `}` release tokens).
+    let mut loop_stack: Vec<i32> = Vec::new();
+    let mut pending_loop = false;
+    let release = |events: &mut BTreeMap<usize, Vec<Event>>,
+                   active: &mut Vec<Active>,
+                   at: usize,
+                   dies: &dyn Fn(&Active) -> bool| {
+        active.retain(|g| {
+            if dies(g) {
+                events.entry(at).or_default().push(Event::Release(g.id));
+                false
+            } else {
+                true
+            }
+        });
+    };
+
+    let mut i = body.start;
+    while i < body.end {
+        let t = &sig[i];
+        match t.text.as_str() {
+            "loop" | "while" | "for" => pending_loop = true,
+            "{" => {
+                depth += 1;
+                if pending_loop {
+                    loop_stack.push(depth);
+                    pending_loop = false;
+                }
+                stmt_start = i + 1;
+            }
+            "}" => {
+                let d = depth;
+                release(&mut events, &mut active, i, &|g| g.depth >= d || g.temp);
+                if loop_stack.last() == Some(&depth) {
+                    loop_stack.pop();
+                }
+                depth -= 1;
+                stmt_start = i + 1;
+            }
+            "continue" | "break" => {
+                // Path-local release: the jump edge unwinds these scopes,
+                // but the fallthrough paths still hold the guards, so the
+                // guard stays in `active` for its real scope-end `}`.
+                if let Some(&ld) = loop_stack.last() {
+                    for g in active.iter().filter(|g| g.depth >= ld || g.temp) {
+                        events.entry(i).or_default().push(Event::Release(g.id));
+                    }
+                }
+            }
+            ";" if pdepth == 0 => {
+                release(&mut events, &mut active, i, &|g| g.temp);
+                stmt_start = i + 1;
+            }
+            "," if pdepth == 0 => {
+                let d = depth;
+                release(&mut events, &mut active, i, &|g| g.temp && g.depth == d);
+            }
+            "(" | "[" => pdepth += 1,
+            ")" | "]" => pdepth -= 1,
+            _ => {}
+        }
+
+        if t.is_ident("drop")
+            && i + 3 < body.end
+            && sig[i + 1].text == "("
+            && sig[i + 3].text == ")"
+        {
+            let victim = sig[i + 2].text.clone();
+            release(&mut events, &mut active, i, &|g| {
+                g.bind.as_deref() == Some(victim.as_str())
+            });
+        }
+
+        // Acquisition: helper call `lock_x(` or method call `x.lock()`.
+        let acq = if t.kind == TokenKind::Ident
+            && i + 1 < body.end
+            && sig[i + 1].text == "("
+            && (i == body.start || sig[i - 1].text != ".")
+        {
+            helper_of(&t.text).map(|h| {
+                (
+                    h.lock.clone(),
+                    h.guard_type.clone(),
+                    Some(normalized_args(file, i + 1, body.end)),
+                )
+            })
+        } else if t.text == "lock"
+            && i >= 1
+            && sig[i - 1].text == "."
+            && i + 2 < body.end
+            && sig[i + 1].text == "("
+            && sig[i + 2].text == ")"
+        {
+            let id = (1..=3)
+                .filter_map(|back| i.checked_sub(1 + back))
+                .map(|j| &sig[j])
+                .find(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_else(|| "anonymous".to_owned());
+            Some((id, None, None))
+        } else {
+            None
+        };
+
+        if let Some((lock, guard_type, key)) = acq {
+            // Binding discipline mirrors `analyze_body`: `let`-bound only
+            // when the statement is `let [mut] NAME = <acq>(…)?*;` with
+            // nothing but `?`s and result adapters chained after.
+            let mut bind = None;
+            let st = &sig[stmt_start..i.min(body.end)];
+            if st.first().is_some_and(|t| t.text == "let") {
+                let name_tok = st
+                    .iter()
+                    .rev()
+                    .find(|t| t.kind == TokenKind::Ident && t.text != "mut" && t.text != "ref");
+                let close = file.match_paren(i + 1, body.end);
+                let mut k = close + 1;
+                loop {
+                    while k < body.end && sig[k].text == "?" {
+                        k += 1;
+                    }
+                    if k + 2 < body.end
+                        && sig[k].text == "."
+                        && ADAPTERS.contains(&sig[k + 1].text.as_str())
+                        && sig[k + 2].text == "("
+                    {
+                        k = file.match_paren(k + 2, body.end) + 1;
+                        continue;
+                    }
+                    break;
+                }
+                if k < body.end && sig[k].text == ";" {
+                    bind = name_tok.map(|t| t.text.clone());
+                }
+            }
+            let id = guards.len();
+            guards.push(GuardInfo {
+                lock,
+                guard_type,
+                key,
+                bind: bind.clone(),
+                tok: i,
+                line: t.line,
+            });
+            events.entry(i).or_default().push(Event::Acquire(id));
+            active.push(Active {
+                id,
+                bind,
+                depth,
+                temp: guards[id].bind.is_none(),
+            });
+        }
+        i += 1;
+    }
+    (guards, events)
+}

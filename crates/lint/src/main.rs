@@ -1,15 +1,17 @@
 //! `obiwan-lint` CLI.
 //!
 //! ```text
-//! obiwan-lint [--deny] [--json] [--allow <rule>]... [PATH]
+//! obiwan-lint [--deny] [--json] [--allow <rule>]... [--baseline <file>] [PATH]
 //! ```
 //!
 //! With no `PATH`, lints the enclosing workspace (found by walking up from
 //! the current directory to the first `Cargo.toml` containing
-//! `[workspace]`). Exit codes: `0` clean (or violations without `--deny`),
-//! `1` violations under `--deny`, `2` usage or I/O error.
+//! `[workspace]`). `--baseline` takes a previous `--json` report and
+//! suppresses the findings recorded in it, so CI gates on regressions
+//! only. Exit codes: `0` clean (or violations without `--deny`), `1`
+//! violations under `--deny`, `2` usage or I/O error.
 
-use obiwan_lint::{lint_root, Rule, ALL_RULES};
+use obiwan_lint::{lint_root, LintViolation, Rule, ALL_RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,6 +19,7 @@ struct Options {
     deny: bool,
     json: bool,
     allow: Vec<Rule>,
+    baseline: Option<PathBuf>,
     path: Option<PathBuf>,
 }
 
@@ -26,12 +29,13 @@ fn usage() -> String {
         .map(|r| format!("  {:<3} {}", r.id(), r.name()))
         .collect();
     format!(
-        "usage: obiwan-lint [--deny] [--json] [--allow <rule>]... [PATH]\n\
+        "usage: obiwan-lint [--deny] [--json] [--allow <rule>]... [--baseline <file>] [PATH]\n\
          \n\
-         --deny          exit 1 if any violation is found\n\
-         --json          emit violations as a JSON array\n\
-         --allow <rule>  disable a rule by id or name (repeatable)\n\
-         PATH            tree to lint (default: enclosing workspace root)\n\
+         --deny             exit 1 if any violation is found\n\
+         --json             emit violations as a JSON array\n\
+         --allow <rule>     disable a rule by id or name (repeatable)\n\
+         --baseline <file>  suppress findings present in a previous --json report\n\
+         PATH               tree to lint (default: enclosing workspace root)\n\
          \n\
          rules:\n{}",
         rules.join("\n")
@@ -43,6 +47,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deny: false,
         json: false,
         allow: Vec::new(),
+        baseline: None,
         path: None,
     };
     let mut it = args.iter();
@@ -55,8 +60,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .next()
                     .ok_or_else(|| "--allow needs a rule id or name".to_owned())?;
                 let rule = Rule::parse(v)
-                    .ok_or_else(|| format!("unknown rule `{v}` (try S1..S8 or a rule name)"))?;
+                    .ok_or_else(|| format!("unknown rule `{v}` (try S1..S12 or a rule name)"))?;
                 opts.allow.push(rule);
+            }
+            "--baseline" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--baseline needs a file path".to_owned())?;
+                opts.baseline = Some(PathBuf::from(v));
             }
             "--help" | "-h" => return Err(usage()),
             _ if a.starts_with('-') => {
@@ -73,21 +84,58 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-/// Walk up from the current directory to the first `Cargo.toml` declaring
-/// a `[workspace]`.
-fn find_workspace_root() -> Option<PathBuf> {
-    let mut dir = std::env::current_dir().ok()?;
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if let Ok(text) = std::fs::read_to_string(&manifest) {
-            if text.contains("[workspace]") {
-                return Some(dir);
-            }
-        }
-        if !dir.pop() {
-            return None;
+/// A baseline entry: (rule id, file, excerpt). Matching on the excerpt
+/// rather than the line number keeps unrelated edits (which shift lines)
+/// from resurrecting suppressed findings.
+type BaselineKey = (String, String, String);
+
+/// Extract baseline keys from a previous `--json` report with the same
+/// zero-dependency discipline as the encoder: pull the `rule`, `file` and
+/// `excerpt` string fields out of each object, in order.
+fn parse_baseline(text: &str) -> Vec<BaselineKey> {
+    let mut out = Vec::new();
+    for obj in text.split('{').skip(1) {
+        let rule = json_str_field(obj, "rule");
+        let file = json_str_field(obj, "file");
+        let excerpt = json_str_field(obj, "excerpt");
+        if let (Some(r), Some(f), Some(e)) = (rule, file, excerpt) {
+            out.push((r, f, e));
         }
     }
+    out
+}
+
+/// The (unescaped) value of `"name":"…"` inside one JSON object's text.
+fn json_str_field(obj: &str, name: &str) -> Option<String> {
+    let marker = format!("\"{name}\":\"");
+    let start = obj.find(&marker)? + marker.len();
+    let rest = &obj[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn in_baseline(v: &LintViolation, baseline: &[BaselineKey]) -> bool {
+    baseline
+        .iter()
+        .any(|(r, f, e)| r == v.rule.id() && f == &v.file && e == &v.excerpt)
 }
 
 fn main() -> ExitCode {
@@ -106,13 +154,26 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let violations = match lint_root(&root, &opts.allow) {
+    let baseline = match &opts.baseline {
+        None => Vec::new(),
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => parse_baseline(&text),
+            Err(e) => {
+                eprintln!("obiwan-lint: --baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let mut violations = match lint_root(&root, &opts.allow) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("obiwan-lint: {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let total = violations.len();
+    violations.retain(|v| !in_baseline(v, &baseline));
+    let suppressed = total - violations.len();
     if opts.json {
         let items: Vec<String> = violations
             .iter()
@@ -125,8 +186,13 @@ fn main() -> ExitCode {
         }
         let files: std::collections::BTreeSet<&str> =
             violations.iter().map(|v| v.file.as_str()).collect();
+        let note = if suppressed > 0 {
+            format!(" ({suppressed} baseline finding(s) suppressed)")
+        } else {
+            String::new()
+        };
         println!(
-            "obiwan-lint: {} violation(s) in {} file(s) under {}",
+            "obiwan-lint: {} violation(s) in {} file(s) under {}{note}",
             violations.len(),
             files.len(),
             root.display()
@@ -136,5 +202,22 @@ fn main() -> ExitCode {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
     }
 }

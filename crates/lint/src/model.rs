@@ -1,7 +1,8 @@
 //! A light structural model of a Rust source file.
 //!
 //! Built on the lossless token stream from [`crate::lexer`], this module
-//! recovers exactly the structure the S1–S8 rules key on — no full parse:
+//! recovers exactly the structure the S1–S12 rules key on — no full
+//! parse (the flow rules layer [`crate::cfg`] on top of it):
 //!
 //! * items: `impl`/`trait` blocks (self-type head), functions with their
 //!   parameter names and type heads, struct field types;
@@ -68,6 +69,19 @@ pub struct CallSite {
     pub line: u32,
 }
 
+/// A lock held at some program point, with the acquisition evidence the
+/// keyed-ordering rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldLock {
+    /// Lock identity (family), e.g. `manager`.
+    pub lock: String,
+    /// Normalized helper-call argument text (the shard key for keyed
+    /// families); `None` for raw `.lock()` acquisitions.
+    pub key: Option<String>,
+    /// Guard self-type head when known (`SwappingManager`).
+    pub guard_type: Option<String>,
+}
+
 /// One lock acquisition inside a function body.
 #[derive(Debug, Clone)]
 pub struct LockSite {
@@ -77,12 +91,15 @@ pub struct LockSite {
     /// Guard type head when the acquisition goes through a helper whose
     /// signature names a `MutexGuard<'_, T>`.
     pub guard_type: Option<String>,
+    /// Normalized helper-call argument text (the shard key for keyed
+    /// families); `None` for raw `.lock()` acquisitions.
+    pub key: Option<String>,
     /// Index of the acquiring token in the body slice.
     pub tok: usize,
     /// 1-based source line.
     pub line: u32,
-    /// Locks already held at this point (by lock identity).
-    pub held: Vec<String>,
+    /// Locks already held at this point.
+    pub held: Vec<HeldLock>,
 }
 
 /// A call site annotated with the locks held when it runs.
@@ -91,7 +108,7 @@ pub struct HeldCall {
     /// The call.
     pub call: CallSite,
     /// Locks held across the call.
-    pub held: Vec<String>,
+    pub held: Vec<HeldLock>,
 }
 
 /// A function (or method) in library code.
@@ -108,6 +125,11 @@ pub struct Function {
     pub body: std::ops::Range<usize>,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
+    /// Whether the return type mentions `Result` (S12 candidates).
+    pub ret_result: bool,
+    /// Whether the return type mentions `MutexGuard` — intentional guard
+    /// constructors, which S10 exempts from the guard-return escape.
+    pub returns_guard: bool,
 }
 
 /// A struct definition's named fields (name → type head).
@@ -355,6 +377,9 @@ impl FileModel {
             k..k
         };
         let after = if body.is_empty() { k + 1 } else { body.end + 1 };
+        let ret_toks = &self.sig[ret_start..ret_end.min(self.sig.len())];
+        let ret_result = ret_toks.iter().any(|t| t.is_ident("Result"));
+        let returns_guard = ret_toks.iter().any(|t| t.is_ident("MutexGuard"));
 
         if impl_type.is_none() && name.starts_with("lock_") {
             // `fn lock_x(…) -> Result<MutexGuard<'_, T>>` → helper.
@@ -387,6 +412,8 @@ impl FileModel {
             params,
             body,
             line,
+            ret_result,
+            returns_guard,
         });
         after
     }
@@ -837,10 +864,25 @@ pub fn analyze_body(
 
         let was_acq = acq.is_some();
         if let Some((lock, guard_type)) = acq {
-            let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+            let held: Vec<HeldLock> = guards
+                .iter()
+                .map(|g| HeldLock {
+                    lock: g.lock.clone(),
+                    key: None,
+                    guard_type: None,
+                })
+                .collect();
+            // Helper acquisitions carry their normalized argument text as
+            // the shard key (S11); raw `.lock()` calls have none.
+            let key = if helper_of(&t.text).is_some() {
+                Some(normalized_args(file, i + 1, body.end))
+            } else {
+                None
+            };
             locks.push(LockSite {
                 lock: lock.clone(),
                 guard_type: guard_type.clone(),
+                key,
                 tok: i,
                 line: t.line,
                 held,
@@ -947,7 +989,14 @@ pub fn analyze_body(
                 } else {
                     Receiver::Free
                 };
-                let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+                let held: Vec<HeldLock> = guards
+                    .iter()
+                    .map(|g| HeldLock {
+                        lock: g.lock.clone(),
+                        key: None,
+                        guard_type: None,
+                    })
+                    .collect();
                 let call = CallSite {
                     name: t.text.clone(),
                     recv,
@@ -967,6 +1016,20 @@ pub fn analyze_body(
     }
 
     (calls, locks, held_calls)
+}
+
+/// Normalized argument text of the paren group opening at `open`:
+/// token texts joined without spaces (`&self.shards[a]` style), so two
+/// acquisition sites compare keys by exact spelling.
+pub(crate) fn normalized_args(file: &FileModel, open: usize, end: usize) -> String {
+    if open >= end || !file.sig[open].is("(") {
+        return String::new();
+    }
+    let close = file.match_paren(open, end);
+    file.sig[open + 1..close.max(open + 1)]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect()
 }
 
 /// Typed `let` binding at token `i` (`let`): `let [mut] x: Ty …` or

@@ -1,0 +1,243 @@
+//! S12 `discarded-result`: a `Result` from a swap/placement operation
+//! dropped on some path.
+//!
+//! Every swap-domain operation reports failure through `SwapError` (the
+//! PR 1 discipline S4 enforces); that only helps if callers look at the
+//! value. Three discard shapes fire:
+//!
+//! 1. statement position — `self.net.drop_blob(…);` with nothing
+//!    consuming the value;
+//! 2. explicit discard — `let _ = swap_out(…);`;
+//! 3. path discard — `let r = place_blob(…);` where `r` is never
+//!    mentioned again on **some** path to the exit (a dataflow over the
+//!    CFG; `?` early-exit edges are excluded so idiomatic propagation
+//!    elsewhere in the function is not miscounted as a drop).
+//!
+//! A chain ending in `?` or any non-pass-through combinator counts as
+//! consumption — the rule under-approximates, like the call resolver.
+
+use super::{violation, Workspace};
+use crate::cfg::EdgeKind;
+use crate::dataflow::{forward_filtered, SetUnion};
+use crate::lexer::TokenKind;
+use crate::model::{FileModel, STok};
+use crate::{LintViolation, Rule};
+use std::collections::BTreeMap;
+
+/// Name shapes of swap/placement operations the rule watches.
+const OP_PREFIXES: &[&str] = &["swap_", "place_", "ship_", "detach_", "reload_", "repair_"];
+/// Blocking `SimNet` blob verbs: always `Result`, even unresolved.
+const NET_VERBS: &[&str] = &[
+    "send_blob",
+    "send_blob_routed",
+    "fetch_blob",
+    "fetch_blob_routed",
+    "drop_blob",
+    "store_blob",
+];
+
+fn is_op(name: &str) -> bool {
+    NET_VERBS.contains(&name) || OP_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Combinators that pass the Result through unconsumed.
+const PASS_THROUGH: &[&str] = &["map_err", "map", "inspect_err"];
+
+/// Where a call's chain ends, and how.
+enum ChainEnd {
+    /// Consumed by `?` or a handling combinator.
+    Consumed,
+    /// Chain stops at this token index, value still live.
+    Open(usize),
+}
+
+pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for (id, info) in ws.fns.iter().enumerate() {
+        let file = &ws.files[info.file];
+        let f = &file.functions[info.func];
+        let sig = &file.sig;
+        let body = f.body.clone();
+        if body.is_empty() {
+            continue;
+        }
+        let stmt_of = stmt_starts(sig, body.clone());
+        // Tracked simple bindings: (binding id, name, semi tok, let stmt
+        // start, report line, callee name).
+        let mut bindings: Vec<(String, usize, usize, u32, String)> = Vec::new();
+
+        for c in &info.calls {
+            if !is_op(&c.name) {
+                continue;
+            }
+            // A resolved callee's declared signature wins; the NET_VERBS
+            // fallback only covers calls the resolver cannot see (the
+            // `SimNet` behind an opaque guard).
+            let resolved = ws.resolve(id, c);
+            let returns_result = if resolved.is_empty() {
+                NET_VERBS.contains(&c.name.as_str())
+            } else {
+                resolved.into_iter().any(|cid| ws.func(cid).ret_result)
+            };
+            if !returns_result {
+                continue;
+            }
+            let ChainEnd::Open(end) = chain_end(file, c.tok, body.end) else {
+                continue;
+            };
+            if end >= body.end || sig[end].text != ";" {
+                continue; // expression position: some consumer wraps it
+            }
+            let st = stmt_of[c.tok - body.start];
+            if sig[st].text == "let" {
+                let mut p = st + 1;
+                if p < body.end && sig[p].text == "mut" {
+                    p += 1;
+                }
+                if p + 1 < body.end && sig[p].text == "_" && sig[p + 1].text == "=" {
+                    out.push(violation(
+                        file,
+                        Rule::DiscardedResult,
+                        c.line,
+                        format!(
+                            "the Result of `{}` is explicitly discarded with `let _ =` — \
+                             propagate it, match on it, or record the failure",
+                            c.name
+                        ),
+                    ));
+                } else if p + 1 < body.end
+                    && sig[p].kind == TokenKind::Ident
+                    && sig[p + 1].text == "="
+                {
+                    bindings.push((sig[p].text.clone(), end, st, sig[p].line, c.name.clone()));
+                }
+            } else if statement_position(sig, st, c.tok) {
+                out.push(violation(
+                    file,
+                    Rule::DiscardedResult,
+                    c.line,
+                    format!(
+                        "the Result of `{}` is dropped at statement position — `?` it, \
+                         match on it, or record the failure",
+                        c.name
+                    ),
+                ));
+            }
+        }
+
+        // Path analysis for the tracked bindings: born at the `;` of the
+        // `let`, consumed at any later mention; pending at exit on some
+        // non-`?` path means a silent drop.
+        if bindings.is_empty() {
+            continue;
+        }
+        let mut events: BTreeMap<usize, Vec<(bool, usize)>> = BTreeMap::new();
+        for (bid, (name, semi, st, _, _)) in bindings.iter().enumerate() {
+            events.entry(*semi).or_default().push((true, bid));
+            for i in body.clone() {
+                if (*st..=*semi).contains(&i) {
+                    continue; // the binding statement itself
+                }
+                if sig[i].is_ident(name) {
+                    events.entry(i).or_default().push((false, bid));
+                }
+            }
+        }
+        let facts = forward_filtered(
+            &info.cfg,
+            SetUnion::default(),
+            SetUnion::default(),
+            |b, inf: &SetUnion<usize>| {
+                let mut outf = inf.clone();
+                for tok in info.cfg.tokens_of(b) {
+                    if let Some(evs) = events.get(&tok) {
+                        for &(born, bid) in evs {
+                            if born {
+                                outf.0.insert(bid);
+                            } else {
+                                outf.0.remove(&bid);
+                            }
+                        }
+                    }
+                }
+                outf
+            },
+            |kind| kind != EdgeKind::Question,
+        );
+        for &bid in &facts[info.cfg.exit].0 {
+            let (name, _, _, line, callee) = &bindings[bid];
+            out.push(violation(
+                file,
+                Rule::DiscardedResult,
+                *line,
+                format!(
+                    "`{name}` holds the Result of `{callee}` but is dropped on some path \
+                     to the exit — every path must propagate, match, or record it",
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Statement-start index (absolute) for every body token, following the
+/// same boundaries as the guard extraction (`{`/`}`/`;` at paren depth 0).
+fn stmt_starts(sig: &[STok], body: std::ops::Range<usize>) -> Vec<usize> {
+    let mut out = Vec::with_capacity(body.len());
+    let mut pdepth = 0i32;
+    let mut start = body.start;
+    for i in body.clone() {
+        out.push(start);
+        match sig[i].text.as_str() {
+            "{" | "}" => start = i + 1,
+            ";" if pdepth == 0 => start = i + 1,
+            "(" | "[" => pdepth += 1,
+            ")" | "]" => pdepth -= 1,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Whether everything from the statement start to the call token is a
+/// plain receiver path (idents, `.`/`::`, `&`) — i.e. the call *is* the
+/// statement, not part of a larger expression.
+fn statement_position(sig: &[STok], st: usize, call_tok: usize) -> bool {
+    sig[st..call_tok].iter().all(|t| {
+        matches!(t.text.as_str(), "." | "::" | "&")
+            || (t.kind == TokenKind::Ident
+                && !matches!(t.text.as_str(), "return" | "break" | "let" | "if" | "match"))
+    })
+}
+
+/// Walk the combinator chain after the call at `tok`.
+fn chain_end(file: &FileModel, tok: usize, end: usize) -> ChainEnd {
+    let sig = &file.sig;
+    if tok + 1 >= end || sig[tok + 1].text != "(" {
+        return ChainEnd::Consumed; // not a call form we can reason about
+    }
+    let close = file.match_paren(tok + 1, end);
+    let mut k = close + 1;
+    loop {
+        if k < end && sig[k].text == "?" {
+            return ChainEnd::Consumed;
+        }
+        if k + 2 < end
+            && sig[k].text == "."
+            && sig[k + 1].kind == TokenKind::Ident
+            && sig[k + 2].text == "("
+        {
+            if PASS_THROUGH.contains(&sig[k + 1].text.as_str()) {
+                k = file.match_paren(k + 2, end) + 1;
+                continue;
+            }
+            return ChainEnd::Consumed; // some other combinator handles it
+        }
+        if k + 1 < end && sig[k].text == "." {
+            // field/method access without parens (`.is_ok`… unlikely):
+            // treat as consumption.
+            return ChainEnd::Consumed;
+        }
+        return ChainEnd::Open(k);
+    }
+}

@@ -1,0 +1,185 @@
+//! S10 `guard-escape`: a lock guard that outlives its function — returned
+//! to the caller, stored into a field, or captured by a `move` closure.
+//!
+//! A guard that escapes turns a lexically-scoped critical section into an
+//! unbounded one: the lock is released wherever the escaping value
+//! happens to die, which no local reasoning (and no S9 scope-narrowing)
+//! can see. Functions whose declared return type names `MutexGuard` are
+//! exempt from the *returned* form — those are the intentional
+//! constructors (`lock_manager` and friends) every other rule keys on.
+//! Borrowing closures are not flagged: rustc already ties their lifetime
+//! to the guard's scope; only `move` closures can smuggle one out.
+
+use super::{violation, Workspace};
+use crate::lexer::TokenKind;
+use crate::{LintViolation, Rule};
+
+pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for info in &ws.fns {
+        let file = &ws.files[info.file];
+        let f = &file.functions[info.func];
+        let sig = &file.sig;
+        let body = f.body.clone();
+        for (gid, g) in info.flow.guards.iter().enumerate() {
+            let Some(name) = g.bind.as_deref() else {
+                continue;
+            };
+
+            // Returned: `return NAME ;` / `return Ok(NAME)` anywhere, or
+            // the body's tail expression being `NAME` / `Ok(NAME)`.
+            if !f.returns_guard {
+                let returned = (body.start..body.end)
+                    .find(|&i| sig[i].text == "return" && wrapped_name(sig, i + 1, body.end, name));
+                let tail = tail_is_name(sig, body.clone(), name);
+                if let Some(at) = returned.or(tail) {
+                    out.push(violation(
+                        file,
+                        Rule::GuardEscape,
+                        sig[at.min(body.end.saturating_sub(1))].line,
+                        format!(
+                            "the `{}` guard `{name}` is returned from `{}` — the critical \
+                             section now ends wherever the caller drops it; return the data, \
+                             not the lock",
+                            g.lock, f.name
+                        ),
+                    ));
+                    continue;
+                }
+            }
+
+            // Stored in a field: `recv.field = NAME` or a struct-literal
+            // `field: NAME` init.
+            if let Some(at) = field_store(sig, body.clone(), name) {
+                out.push(violation(
+                    file,
+                    Rule::GuardEscape,
+                    sig[at].line,
+                    format!(
+                        "the `{}` guard `{name}` is stored in a field — the lock is now \
+                         released wherever that structure dies, not at the end of this \
+                         critical section",
+                        g.lock
+                    ),
+                ));
+                continue;
+            }
+
+            // Captured by a `move` closure while the guard is live.
+            for i in body.clone() {
+                if sig[i].text != "move" {
+                    continue;
+                }
+                if !info.flow.held_ids_at(&info.cfg, i).contains(&gid) {
+                    continue;
+                }
+                if move_captures(sig, i, body.end, name) {
+                    out.push(violation(
+                        file,
+                        Rule::GuardEscape,
+                        sig[i].line,
+                        format!(
+                            "the `{}` guard `{name}` is captured by a `move` closure — if \
+                             the closure outlives this call the lock does too; pass the \
+                             data by value instead",
+                            g.lock
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `NAME` or `Ok(NAME)` / `Some(NAME)` starting at `i`.
+fn wrapped_name(sig: &[crate::model::STok], i: usize, end: usize, name: &str) -> bool {
+    if i < end && sig[i].is_ident(name) {
+        return true;
+    }
+    i + 3 < end
+        && (sig[i].is_ident("Ok") || sig[i].is_ident("Some"))
+        && sig[i + 1].text == "("
+        && sig[i + 2].is_ident(name)
+        && sig[i + 3].text == ")"
+}
+
+/// The body's tail expression is `NAME` / `Ok(NAME)` — returns its token.
+fn tail_is_name(
+    sig: &[crate::model::STok],
+    body: std::ops::Range<usize>,
+    name: &str,
+) -> Option<usize> {
+    let last = body.end.checked_sub(1).filter(|&l| l >= body.start)?;
+    if sig[last].is_ident(name) && (last == body.start || sig[last - 1].text != ".") {
+        return Some(last);
+    }
+    if last >= body.start + 3
+        && sig[last].text == ")"
+        && sig[last - 1].is_ident(name)
+        && sig[last - 2].text == "("
+        && (sig[last - 3].is_ident("Ok") || sig[last - 3].is_ident("Some"))
+    {
+        return Some(last - 1);
+    }
+    None
+}
+
+/// First `recv.field = NAME` assignment or `field: NAME [,}]` struct
+/// literal init in the body.
+fn field_store(
+    sig: &[crate::model::STok],
+    body: std::ops::Range<usize>,
+    name: &str,
+) -> Option<usize> {
+    for i in body.clone() {
+        if !sig[i].is_ident(name) {
+            continue;
+        }
+        // `… . field = NAME` — assignment into a place expression.
+        if i >= 3
+            && sig[i - 1].text == "="
+            && sig[i - 2].kind == TokenKind::Ident
+            && sig[i - 3].text == "."
+        {
+            return Some(i);
+        }
+        // `field : NAME` followed by `,` or `}` — struct literal.
+        if i >= 2
+            && sig[i - 1].text == ":"
+            && sig[i - 2].kind == TokenKind::Ident
+            && i + 1 < body.end
+            && (sig[i + 1].text == "," || sig[i + 1].text == "}")
+        {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Whether the statement containing the `move` at `m` mentions `name`
+/// after it (the closure body captures the guard by value).
+fn move_captures(sig: &[crate::model::STok], m: usize, end: usize, name: &str) -> bool {
+    let mut depth = 0i32;
+    let mut i = m + 1;
+    while i < end {
+        match sig[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return false;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return false,
+            _ => {
+                if sig[i].is_ident(name) {
+                    return true;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}

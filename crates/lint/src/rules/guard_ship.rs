@@ -1,0 +1,103 @@
+//! S9 `guard-across-ship`: a lock guard live across a blocking
+//! `obiwan-net` blob transfer on some path.
+//!
+//! Shipping a blob is the slowest thing the middleware does — the paper's
+//! B1 experiment measures proxy faults at 9× the local-call cost, and all
+//! of that time is network airtime. Holding the manager (or any other
+//! coarse) guard across the transfer serializes every other swap, cursor
+//! build, and policy tick behind one radio. The upcoming sharded manager
+//! (ROADMAP item 1) makes this a hard contract: bytes move only after the
+//! bookkeeping guard drops.
+//!
+//! The `net` guard itself is exempt — `SimNet` *is* the transport, so its
+//! own lock necessarily brackets every send — and so is the `net` crate,
+//! whose internals hold their own structures while transmitting.
+
+use super::{violation, Workspace};
+use crate::{LintViolation, Rule};
+
+/// Blocking blob-transfer entry points on `SimNet`.
+const SHIP_FNS: &[&str] = &[
+    "send_blob",
+    "send_blob_routed",
+    "fetch_blob",
+    "fetch_blob_routed",
+];
+
+/// Guards that never count as "held across a ship": the transport's own.
+fn transport_guard(lock: &str, guard_type: Option<&str>) -> bool {
+    lock == "net" || guard_type == Some("SimNet")
+}
+
+pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
+    // Transitive "ships blobs" closure over the resolved call graph.
+    let mut ships: Vec<bool> = ws
+        .fns
+        .iter()
+        .map(|info| {
+            info.calls
+                .iter()
+                .any(|c| SHIP_FNS.contains(&c.name.as_str()))
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..ws.fns.len() {
+            if ships[id] {
+                continue;
+            }
+            for call in &ws.fns[id].calls {
+                if ws.resolve(id, call).into_iter().any(|c| ships[c]) {
+                    ships[id] = true;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (id, info) in ws.fns.iter().enumerate() {
+        let file = &ws.files[info.file];
+        if file.crate_name == "net" {
+            continue;
+        }
+        for hc in &info.held_calls {
+            let Some(held) = hc
+                .held
+                .iter()
+                .find(|h| !transport_guard(&h.lock, h.guard_type.as_deref()))
+            else {
+                continue;
+            };
+            if SHIP_FNS.contains(&hc.call.name.as_str()) {
+                out.push(violation(
+                    file,
+                    Rule::GuardAcrossShip,
+                    hc.call.line,
+                    format!(
+                        "`{}` transmits a blob while the `{}` guard is held on some path — \
+                         finish the bookkeeping, drop the guard, then ship",
+                        hc.call.name, held.lock
+                    ),
+                ));
+            } else if ws.resolve(id, &hc.call).into_iter().any(|c| ships[c]) {
+                out.push(violation(
+                    file,
+                    Rule::GuardAcrossShip,
+                    hc.call.line,
+                    format!(
+                        "the call to `{}` (transitively) ships blobs over obiwan-net while \
+                         the `{}` guard is held on some path — restructure so bytes move \
+                         after the guard drops",
+                        hc.call.name, held.lock
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

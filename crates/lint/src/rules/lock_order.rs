@@ -26,12 +26,18 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
     for (id, info) in ws.fns.iter().enumerate() {
         for ls in &info.locks {
             for h in &ls.held {
+                // Same family re-acquired under a *different known shard
+                // key* is not re-entrance — it is S11's domain (two
+                // siblings needing a canonical order), so S1 stays quiet.
+                if h.lock == ls.lock && h.key.is_some() && ls.key.is_some() && h.key != ls.key {
+                    continue;
+                }
                 edges
-                    .entry((h.clone(), ls.lock.clone()))
+                    .entry((h.lock.clone(), ls.lock.clone()))
                     .or_insert_with(|| Edge {
                         file: info.file,
                         line: ls.line,
-                        note: format!("`{}` is acquired while `{}` is held", ls.lock, h),
+                        note: format!("`{}` is acquired while `{}` is held", ls.lock, h.lock),
                     });
             }
         }
@@ -39,14 +45,16 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
             for callee in ws.resolve(id, &hc.call) {
                 for l in &trans[callee] {
                     for h in &hc.held {
-                        edges.entry((h.clone(), l.clone())).or_insert_with(|| Edge {
-                            file: info.file,
-                            line: hc.call.line,
-                            note: format!(
-                                "the call to `{}` (transitively) acquires `{}` while `{}` is held",
-                                hc.call.name, l, h
-                            ),
-                        });
+                        edges
+                            .entry((h.lock.clone(), l.clone()))
+                            .or_insert_with(|| Edge {
+                                file: info.file,
+                                line: hc.call.line,
+                                note: format!(
+                                    "the call to `{}` (transitively) acquires `{}` while `{}` is held",
+                                    hc.call.name, l, h.lock
+                                ),
+                            });
                     }
                 }
             }

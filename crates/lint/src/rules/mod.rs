@@ -1,4 +1,4 @@
-//! The S1–S8 rule catalog, plus the cross-file [`Workspace`] index the
+//! The S1–S12 rule catalog, plus the cross-file [`Workspace`] index the
 //! rules run against.
 //!
 //! Resolution discipline (shared by S1 and S8): a call site resolves to a
@@ -9,13 +9,19 @@
 //! than noisy.
 
 mod blobs;
+mod discard;
+mod guard_escape;
+mod guard_ship;
 mod hash_iter;
 mod layering;
 mod lock_order;
 mod panics;
 mod recorder;
+mod shard_order;
 mod wallclock;
 
+use crate::cfg::Cfg;
+use crate::locks::LockFlow;
 use crate::model::{CallSite, FileModel, HeldCall, LockHelper, LockSite, Receiver};
 use crate::{LintViolation, Rule};
 use std::collections::BTreeMap;
@@ -28,10 +34,14 @@ pub struct FnInfo {
     pub func: usize,
     /// Call sites in the body.
     pub calls: Vec<CallSite>,
-    /// Lock acquisitions in the body.
+    /// Lock acquisitions in the body, with flow-sensitive held sets.
     pub locks: Vec<LockSite>,
-    /// Call sites that run with at least one lock held.
+    /// Call sites that run with at least one lock held on some path.
     pub held_calls: Vec<HeldCall>,
+    /// The function body's control-flow graph.
+    pub cfg: Cfg,
+    /// Flow-sensitive held-lock analysis over `cfg`.
+    pub flow: LockFlow,
 }
 
 /// The whole scanned tree: file models plus global indexes.
@@ -63,17 +73,37 @@ impl Workspace {
                 // A lock helper's own body *defines* its lock; analyzing it
                 // would read the interior `.lock()` as an acquisition site.
                 let is_helper = f.impl_type.is_none() && helpers.iter().any(|h| h.name == f.name);
-                let (calls, locks, held_calls) = if is_helper {
-                    (Vec::new(), Vec::new(), Vec::new())
+                let cfg = Cfg::build(&file.sig, f.body.clone());
+                let (calls, mut locks, flow) = if is_helper {
+                    (Vec::new(), Vec::new(), LockFlow::empty(&cfg))
                 } else {
-                    crate::model::analyze_body(file, f, &helpers)
+                    let (calls, locks, _) = crate::model::analyze_body(file, f, &helpers);
+                    let flow = LockFlow::build(file, f, &helpers, &cfg);
+                    (calls, locks, flow)
                 };
+                // Replace the linear pass's lexical held sets with the
+                // flow-sensitive ones (held on *some* path to the site).
+                for ls in &mut locks {
+                    ls.held = flow.held_at(&cfg, ls.tok);
+                }
+                let held_calls: Vec<HeldCall> = calls
+                    .iter()
+                    .filter_map(|c| {
+                        let held = flow.held_at(&cfg, c.tok);
+                        (!held.is_empty()).then(|| HeldCall {
+                            call: c.clone(),
+                            held,
+                        })
+                    })
+                    .collect();
                 fns.push(FnInfo {
                     file: fi,
                     func: gi,
                     calls,
                     locks,
                     held_calls,
+                    cfg,
+                    flow,
                 });
             }
         }
@@ -237,5 +267,9 @@ pub fn run(rule: Rule, ws: &Workspace) -> Vec<LintViolation> {
         Rule::EventCoverage => recorder::run_coverage(ws),
         Rule::WallClock => wallclock::run(ws),
         Rule::NondeterministicIteration => hash_iter::run(ws),
+        Rule::GuardAcrossShip => guard_ship::run(ws),
+        Rule::GuardEscape => guard_escape::run(ws),
+        Rule::CrossShardOrder => shard_order::run(ws),
+        Rule::DiscardedResult => discard::run(ws),
     }
 }

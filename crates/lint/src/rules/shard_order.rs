@@ -1,0 +1,117 @@
+//! S11 `cross-shard-order`: two locks of the same keyed family held
+//! together without canonical ordering evidence.
+//!
+//! The sharded manager (ROADMAP item 1) splits one mutex into many,
+//! keyed by shard. Code that takes two shard guards at once — a
+//! cross-shard detach, a rebalance — must acquire them in one global
+//! order or two such operations deadlock against each other. The rule
+//! fires on a flow-held pair from the same helper family with *different*
+//! known keys, unless the body shows ordering evidence: a comparison
+//! between the keys' distinguishing tokens, or both keys run through
+//! `min`/`max`/`cmp`/`sort*`. S1 deliberately leaves this shape alone
+//! (different keys are not re-entrance); the two rules partition the
+//! same-family plane between them.
+
+use super::{violation, Workspace};
+use crate::lexer::{lex, TokenKind};
+use crate::model::FileModel;
+use crate::{LintViolation, Rule};
+use std::collections::BTreeSet;
+
+pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for info in &ws.fns {
+        let file = &ws.files[info.file];
+        let f = &file.functions[info.func];
+        for ls in &info.locks {
+            let Some(k2) = ls.key.as_deref() else {
+                continue;
+            };
+            for h in &ls.held {
+                if h.lock != ls.lock {
+                    continue;
+                }
+                let Some(k1) = h.key.as_deref() else {
+                    continue;
+                };
+                if k1 == k2 {
+                    continue; // re-entrance: S1's domain
+                }
+                if ordering_evidence(file, f.body.clone(), k1, k2) {
+                    continue;
+                }
+                out.push(violation(
+                    file,
+                    Rule::CrossShardOrder,
+                    ls.line,
+                    format!(
+                        "two `{}` locks are held together (`{}` then `{}`) with no canonical \
+                         acquisition order — compare the shard keys (or min/max them) and \
+                         always lock the smaller first",
+                        ls.lock, k1, k2
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Tokens that tell two keys apart: idents and numbers appearing in one
+/// key but not the other (`self`, punctuation and shared path prefixes
+/// drop out).
+fn distinguishers(a: &str, b: &str) -> BTreeSet<String> {
+    let toks = |s: &str| -> BTreeSet<String> {
+        lex(s)
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Ident | TokenKind::Number))
+            .map(|t| t.text(s).to_owned())
+            .filter(|t| t != "self")
+            .collect()
+    };
+    toks(a).difference(&toks(b)).cloned().collect()
+}
+
+/// Ordering evidence between `k1` and `k2` inside the body: a direct
+/// comparison of their distinguishing tokens, or both fed to an ordering
+/// combinator.
+fn ordering_evidence(file: &FileModel, body: std::ops::Range<usize>, k1: &str, k2: &str) -> bool {
+    let d1 = distinguishers(k1, k2);
+    let d2 = distinguishers(k2, k1);
+    if d1.is_empty() || d2.is_empty() {
+        return false;
+    }
+    let sig = &file.sig;
+    let hit = |s: &BTreeSet<String>, t: &crate::model::STok| s.contains(&t.text);
+    for i in body.clone() {
+        let t = &sig[i];
+        if matches!(t.text.as_str(), "<" | ">" | "<=" | ">=") && i > body.start && i + 1 < body.end
+        {
+            let (p, n) = (&sig[i - 1], &sig[i + 1]);
+            if (hit(&d1, p) && hit(&d2, n)) || (hit(&d2, p) && hit(&d1, n)) {
+                return true;
+            }
+        }
+        if t.kind == TokenKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "min" | "max" | "cmp" | "sort" | "sort_by" | "sort_unstable"
+            )
+            && i + 1 < body.end
+            && sig[i + 1].text == "("
+        {
+            let close = file.match_paren(i + 1, body.end);
+            let group = &sig[i + 2..close.max(i + 2)];
+            let has = |s: &BTreeSet<String>| group.iter().any(|t| hit(s, t));
+            // `a.min(b)` puts one key before the call; look both inside
+            // the group and at the receiver tokens just before it.
+            let recv_has = |s: &BTreeSet<String>| {
+                (i.saturating_sub(4)..i).any(|j| j >= body.start && hit(s, &sig[j]))
+            };
+            if (has(&d1) || recv_has(&d1)) && (has(&d2) || recv_has(&d2)) {
+                return true;
+            }
+        }
+    }
+    false
+}

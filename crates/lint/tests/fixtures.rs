@@ -1,6 +1,6 @@
-//! Fixture conformance: every rule S1–S8 fires on its seeded bad tree at
-//! the expected file and line, stays quiet on the matching clean tree,
-//! and the whole `lint-fixtures/` forest covers the full catalog.
+//! Fixture conformance: every rule S1–S12 fires on its seeded bad tree
+//! at the expected file and line, stays quiet on the matching clean
+//! tree, and the whole `lint-fixtures/` forest covers the full catalog.
 
 // Tests assert on known-good setups; panicking on failure is the point.
 #![allow(clippy::disallowed_methods)]
@@ -132,6 +132,59 @@ fn s8_nondeterministic_iteration() {
         &[23],
     );
     assert_clean("s8");
+}
+
+#[test]
+fn s9_guard_across_ship() {
+    assert_fires(
+        "s9",
+        Rule::GuardAcrossShip,
+        "crates/core/src/detach.rs",
+        &[54],
+    );
+    // The advice must teach the fix shape: narrow the guard, then ship.
+    let v = lint("s9").pop().expect("one violation");
+    assert!(
+        v.advice.contains("drop the guard"),
+        "S9 advice should say how to fix it: {}",
+        v.advice
+    );
+    assert_clean("s9");
+}
+
+#[test]
+fn s10_guard_escape() {
+    assert_fires(
+        "s10",
+        Rule::GuardEscape,
+        "crates/core/src/manager.rs",
+        &[32],
+    );
+    assert_clean("s10");
+}
+
+#[test]
+fn s11_cross_shard_order() {
+    assert_fires(
+        "s11",
+        Rule::CrossShardOrder,
+        "crates/core/src/manager.rs",
+        &[38],
+    );
+    // The clean tree locks in canonical key order via a `from < to`
+    // comparison — exactly the ordering evidence the rule looks for.
+    assert_clean("s11");
+}
+
+#[test]
+fn s12_discarded_result() {
+    assert_fires(
+        "s12",
+        Rule::DiscardedResult,
+        "crates/core/src/reload.rs",
+        &[25],
+    );
+    assert_clean("s12");
 }
 
 #[test]

@@ -1,0 +1,174 @@
+//! Property tests for the flow machinery: CFG construction is total on
+//! arbitrary token streams (and its invariants hold on whatever comes
+//! out), and the dataflow worklist terminates on random graphs even
+//! when handed a hostile, non-monotone transfer function.
+
+// Tests assert on known-good setups; panicking on failure is the point.
+#![allow(clippy::disallowed_methods)]
+
+use obiwan_lint::cfg::Cfg;
+use obiwan_lint::dataflow::{forward, forward_filtered, JoinLattice, SetUnion};
+use obiwan_lint::model::FileModel;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A hostile "lattice" whose join always reports growth, so a worklist
+/// without a fuel bound would spin forever on any cyclic graph.
+#[derive(Debug, Clone, Default)]
+struct NeverStable(u64);
+
+impl JoinLattice for NeverStable {
+    fn join(&mut self, other: &Self) -> bool {
+        self.0 = self.0.wrapping_add(other.0).wrapping_add(1);
+        true
+    }
+}
+
+/// Build a CFG over every function body (and the whole token stream) of
+/// `src` and check the structural invariants the rules rely on.
+fn assert_cfg_wellformed(src: &str) {
+    let m = FileModel::parse("fuzz.rs".into(), "fuzz".into(), src.to_string());
+    let mut ranges: Vec<std::ops::Range<usize>> =
+        m.functions.iter().map(|f| f.body.clone()).collect();
+    ranges.push(0..m.sig.len());
+    // Out-of-range inputs must clamp, not panic.
+    ranges.push(3..m.sig.len().saturating_add(7));
+    for range in ranges {
+        let cfg = Cfg::build(&m.sig, range.clone());
+        assert!(!cfg.is_empty(), "built graphs always have blocks");
+        assert_eq!(cfg.exit, 0, "exit is block 0 by construction");
+        assert_eq!(cfg.entry, 1, "entry is block 1 by construction");
+        assert!(
+            cfg.blocks[cfg.exit].spans.is_empty(),
+            "exit holds no tokens"
+        );
+        let lo = range.start.min(m.sig.len());
+        let hi = range.end.min(m.sig.len()).max(lo);
+        let mut seen = BTreeSet::new();
+        for b in 0..cfg.len() {
+            for span in &cfg.blocks[b].spans {
+                assert!(span.start <= span.end, "negative span in block {b}");
+                for tok in span.clone() {
+                    assert!(
+                        (lo..hi).contains(&tok),
+                        "block {b} owns token {tok} outside {lo}..{hi}"
+                    );
+                    assert!(seen.insert(tok), "token {tok} owned by two spans");
+                    assert_eq!(cfg.block_of(tok), Some(b), "owner map disagrees");
+                }
+            }
+            for &(succ, _) in &cfg.succs[b] {
+                assert!(succ < cfg.len(), "edge {b}->{succ} out of range");
+            }
+        }
+    }
+}
+
+/// Rust-ish control-flow fragments: every shape the builder recognizes,
+/// plus the malformed edges it must degrade through.
+fn fragments() -> Vec<&'static str> {
+    vec![
+        "fn f() { ",
+        "}",
+        "if a { b(); } else { c(); }",
+        "if a { b(); }",
+        "else",
+        "match x { Some(v) => v, None => 0, }",
+        "match x { _ => { y(); } }",
+        "loop { tick(); }",
+        "while going { step()?; }",
+        "for i in 0..n { sum += i; }",
+        "return Err(e);",
+        "break 'outer;",
+        "continue;",
+        "let g = lock_manager();",
+        "net.send_blob(d, &key, bytes)?;",
+        "? ? ?",
+        "{ } { {",
+        "match {",
+        "if",
+        "=> , ;",
+        "loop while for",
+        "x += 1;",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// CFG construction is total on arbitrary printable soup.
+    #[test]
+    fn cfg_total_on_arbitrary_text(src in "(\\PC|\n|\t)*") {
+        assert_cfg_wellformed(&src);
+    }
+
+    /// Random concatenations of control-flow fragments — nested, broken,
+    /// and unbalanced — still build well-formed graphs.
+    #[test]
+    fn cfg_total_on_fragment_soup(picks in prop::collection::vec(0usize..32, 0..48)) {
+        let frags = fragments();
+        let src: String = picks
+            .iter()
+            .map(|&i| frags[i % frags.len()])
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_cfg_wellformed(&src);
+    }
+
+    /// The worklist reaches a fixpoint on random graphs with a monotone
+    /// transfer, and the result is a valid fixpoint: every block's
+    /// in-fact includes every predecessor's out-fact.
+    #[test]
+    fn dataflow_fixpoint_on_random_graphs(
+        nblocks in 2usize..40,
+        edges in prop::collection::vec((0usize..40, 0usize..40), 0..120),
+        gen_at in prop::collection::vec(0usize..40, 0..12),
+    ) {
+        let cfg = Cfg::synthetic(nblocks, &edges);
+        let gens: BTreeSet<usize> = gen_at.iter().map(|&b| b % cfg.len()).collect();
+        let transfer = |b: usize, inf: &SetUnion<usize>| {
+            let mut out = inf.clone();
+            if gens.contains(&b) {
+                out.0.insert(b);
+            }
+            out
+        };
+        let facts = forward(&cfg, SetUnion::default(), SetUnion::default(), transfer);
+        prop_assert_eq!(facts.len(), cfg.len());
+        for b in 0..cfg.len() {
+            let out = transfer(b, &facts[b]);
+            for &(succ, _) in &cfg.succs[b] {
+                prop_assert!(
+                    out.0.is_subset(&facts[succ].0),
+                    "edge {}->{} not relaxed: {:?} vs {:?}",
+                    b, succ, out.0, facts[succ].0
+                );
+            }
+        }
+    }
+
+    /// The fuel counter bounds the loop even for a "lattice" whose join
+    /// always claims growth — the driver must return, not spin.
+    #[test]
+    fn dataflow_terminates_on_hostile_transfer(
+        nblocks in 2usize..24,
+        edges in prop::collection::vec((0usize..24, 0usize..24), 1..80),
+    ) {
+        let cfg = Cfg::synthetic(nblocks, &edges);
+        let counter = std::cell::Cell::new(0usize);
+        let facts = forward_filtered(
+            &cfg,
+            NeverStable::default(),
+            NeverStable::default(),
+            |_, inf: &NeverStable| {
+                counter.set(counter.get() + 1);
+                inf.clone()
+            },
+            |_| true,
+        );
+        prop_assert_eq!(facts.len(), cfg.len());
+        // Fuel is n*256 + 4096; one transfer call per relaxation, so the
+        // call count stays bounded even though joins never stabilize.
+        prop_assert!(counter.get() <= cfg.len() * 256 + 4096 + cfg.len());
+    }
+}

@@ -1,0 +1,26 @@
+//! Clean counterpart of the S10 fixture: the deferred task captures the
+//! data it needs, not the lock protecting it.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Swap-cluster bookkeeping (stand-in).
+pub struct Manager {
+    /// Next blob epoch.
+    pub epoch: u32,
+}
+
+fn manager_cell() -> &'static Mutex<Manager> {
+    static CELL: OnceLock<Mutex<Manager>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Manager { epoch: 0 }))
+}
+
+/// The middleware's manager-lock helper.
+pub fn lock_manager() -> MutexGuard<'static, Manager> {
+    manager_cell().lock().expect("manager lock poisoned")
+}
+
+/// Queue a deferred epoch read for the pump to run later.
+pub fn queue_epoch_probe(tasks: &mut Vec<Box<dyn FnOnce() -> u32 + Send>>) {
+    let epoch = lock_manager().epoch;
+    tasks.push(Box::new(move || epoch));
+}

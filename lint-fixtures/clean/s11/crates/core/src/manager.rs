@@ -1,0 +1,38 @@
+//! Clean counterpart of the S11 fixture: shard locks are taken in a
+//! canonical key order, so concurrent migrations cannot deadlock.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// One shard of the swap-cluster table (stand-in).
+pub struct Shard {
+    /// Clusters homed on this shard.
+    pub clusters: Vec<u32>,
+}
+
+fn shard_cells() -> &'static (Mutex<Shard>, Mutex<Shard>) {
+    static CELLS: OnceLock<(Mutex<Shard>, Mutex<Shard>)> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        (
+            Mutex::new(Shard { clusters: Vec::new() }),
+            Mutex::new(Shard { clusters: Vec::new() }),
+        )
+    })
+}
+
+/// Lock shard `which` of the cluster table.
+pub fn lock_shard(which: usize) -> MutexGuard<'static, Shard> {
+    let cells = shard_cells();
+    let cell = if which == 0 { &cells.0 } else { &cells.1 };
+    cell.lock().expect("shard lock poisoned")
+}
+
+/// Move cluster `sc` from shard `from` to shard `to`.
+pub fn migrate(sc: u32, from: usize, to: usize) {
+    let (mut a, mut b) = if from < to {
+        (lock_shard(from), lock_shard(to))
+    } else {
+        (lock_shard(to), lock_shard(from))
+    };
+    a.clusters.retain(|c| *c != sc);
+    b.clusters.push(sc);
+}

@@ -1,0 +1,22 @@
+//! Clean counterpart of the S12 fixture: every drop outcome is examined
+//! on every path before the function decides what to report.
+
+/// The shared world (stand-in transport).
+pub struct Net;
+
+impl Net {
+    /// Ask `device` to discard its copy of `key`.
+    pub fn drop_blob(&mut self, _device: u32, _key: &str) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Reclaim the shipped copies of `key` from the primary and backup
+/// holders; report whether every reachable holder honoured the drop.
+pub fn reclaim(net: &mut Net, primary: u32, backup: u32, key: &str) -> bool {
+    let first = net.drop_blob(primary, key).is_ok();
+    if backup != primary {
+        return first && net.drop_blob(backup, key).is_ok();
+    }
+    first
+}

@@ -1,0 +1,33 @@
+//! S10 regression fixture: a lock guard smuggled out of its function by
+//! a `move` closure.
+//!
+//! The queued task captures the live manager guard, so the lock is
+//! released whenever the task queue gets around to running (or dropping)
+//! it — the critical section has no lexical end any more. The clean
+//! counterpart captures the data instead.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Swap-cluster bookkeeping (stand-in).
+pub struct Manager {
+    /// Next blob epoch.
+    pub epoch: u32,
+}
+
+fn manager_cell() -> &'static Mutex<Manager> {
+    static CELL: OnceLock<Mutex<Manager>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Manager { epoch: 0 }))
+}
+
+/// The middleware's manager-lock helper.
+pub fn lock_manager() -> MutexGuard<'static, Manager> {
+    manager_cell().lock().expect("manager lock poisoned")
+}
+
+/// Queue a deferred epoch read for the pump to run later.
+pub fn queue_epoch_probe(tasks: &mut Vec<Box<dyn FnOnce() -> u32 + Send>>) {
+    let manager = lock_manager();
+    // BUG: the task captures the live guard; the manager stays locked
+    // until the queue drains.
+    tasks.push(Box::new(move || manager.epoch));
+}

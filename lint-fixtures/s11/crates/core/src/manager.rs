@@ -1,0 +1,41 @@
+//! S11 regression fixture: two shards of the same lock family taken in
+//! argument order.
+//!
+//! `migrate(a, b)` and a concurrent `migrate(b, a)` acquire the shard
+//! locks in opposite orders and deadlock. The clean counterpart sorts
+//! the keys before locking so every caller agrees on the order.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// One shard of the swap-cluster table (stand-in).
+pub struct Shard {
+    /// Clusters homed on this shard.
+    pub clusters: Vec<u32>,
+}
+
+fn shard_cells() -> &'static (Mutex<Shard>, Mutex<Shard>) {
+    static CELLS: OnceLock<(Mutex<Shard>, Mutex<Shard>)> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        (
+            Mutex::new(Shard { clusters: Vec::new() }),
+            Mutex::new(Shard { clusters: Vec::new() }),
+        )
+    })
+}
+
+/// Lock shard `which` of the cluster table.
+pub fn lock_shard(which: usize) -> MutexGuard<'static, Shard> {
+    let cells = shard_cells();
+    let cell = if which == 0 { &cells.0 } else { &cells.1 };
+    cell.lock().expect("shard lock poisoned")
+}
+
+/// Move cluster `sc` from shard `from` to shard `to`.
+pub fn migrate(sc: u32, from: usize, to: usize) {
+    let mut a = lock_shard(from);
+    // BUG: a concurrent migrate(sc, to, from) locks in the opposite
+    // order and the two calls deadlock.
+    let mut b = lock_shard(to);
+    a.clusters.retain(|c| *c != sc);
+    b.clusters.push(sc);
+}

@@ -1,0 +1,30 @@
+//! S12 regression fixture: a swap-protocol result silently discarded on
+//! one path.
+//!
+//! The first `drop_blob` outcome is bound but never examined when a
+//! distinct backup holder exists — the function returns early on that
+//! branch, so a failed reclamation on the primary goes unnoticed and
+//! the remote copy leaks. The clean counterpart inspects the outcome
+//! before branching.
+
+/// The shared world (stand-in transport).
+pub struct Net;
+
+impl Net {
+    /// Ask `device` to discard its copy of `key`.
+    pub fn drop_blob(&mut self, _device: u32, _key: &str) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Reclaim the shipped copies of `key` from the primary and backup
+/// holders; report whether every reachable holder honoured the drop.
+pub fn reclaim(net: &mut Net, primary: u32, backup: u32, key: &str) -> bool {
+    // BUG: when a distinct backup exists we return before ever looking
+    // at the primary's outcome, so a refused drop leaks the remote copy.
+    let first = net.drop_blob(primary, key);
+    if backup != primary {
+        return net.drop_blob(backup, key).is_ok();
+    }
+    first.is_ok()
+}
