@@ -29,6 +29,9 @@ OPTIONS:
                                                              [default: xml]
     --replication-factor <K>
                         holder devices per swap-out blob     [default: 1]
+    --shards <N>        shards in the manager's lock table; 1 replays the
+                        single-lock shape, larger values spread clusters
+                        across shards                        [default: 8]
     --churn             scripted churn: every 25 steps a storage device
                         departs and the previous absentee returns,
                         exercising holder-loss repair under audit
@@ -72,6 +75,7 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--replication-factor" => {
                 cfg.replication_factor = numeric("--replication-factor")?.max(1) as usize
             }
+            "--shards" => cfg.shards = numeric("--shards")?.max(1) as usize,
             "--churn" => cfg.churn = true,
             "--trace-out" => {
                 trace_out = Some(
@@ -105,7 +109,7 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "replaying {} steps over a {}-node list ({} B payload, {} objects/cluster, {} B heap, seed {}, {} blobs, k = {}{})",
+        "replaying {} steps over a {}-node list ({} B payload, {} objects/cluster, {} B heap, seed {}, {} blobs, k = {}, {} shard(s){})",
         opts.cfg.steps,
         opts.cfg.nodes,
         opts.cfg.payload,
@@ -114,6 +118,7 @@ fn main() -> ExitCode {
         opts.cfg.seed,
         opts.cfg.wire_format,
         opts.cfg.replication_factor,
+        opts.cfg.shards,
         if opts.cfg.churn { ", churn on" } else { "" },
     );
 

@@ -36,6 +36,11 @@ pub struct TraceConfig {
     /// departs (round-robin) and the previously departed one returns, so
     /// the policy pump's `HolderLost` → repair path runs under audit.
     pub churn: bool,
+    /// Shards in the manager's lock table. `1` collapses the table to the
+    /// pre-shard single-lock shape; larger values spread the same
+    /// workload's clusters across shards so per-step audits cover the
+    /// cross-shard paths.
+    pub shards: usize,
 }
 
 /// Steps between scripted depart/arrive pairs when [`TraceConfig::churn`]
@@ -58,6 +63,7 @@ impl Default for TraceConfig {
             wire_format: obiwan_core::WireFormatKind::default(),
             replication_factor: 1,
             churn: false,
+            shards: obiwan_core::SwapConfig::default().shard_count,
         }
     }
 }
@@ -124,7 +130,8 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
         .cluster_size(cfg.cluster_size)
         .device_memory(cfg.device_memory)
         .wire_format(cfg.wire_format)
-        .replication_factor(cfg.replication_factor);
+        .replication_factor(cfg.replication_factor)
+        .shard_count(cfg.shards);
     if cfg.churn || cfg.replication_factor > 1 {
         // Enough storage devices that one can be away while k = 2 copies
         // still have somewhere to live (and be repaired to).
@@ -145,7 +152,10 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
         let net = mw.net();
         let nearby = net
             .lock()
-            .map_err(|_| SwapError::LockPoisoned { what: "net" })?
+            .map_err(|_| SwapError::LockPoisoned {
+                what: "net",
+                shard: None,
+            })?
             .nearby(mw.home_device());
         nearby
     };
@@ -165,9 +175,10 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
         if cfg.churn && step > 0 && step % CHURN_PERIOD == 0 {
             {
                 let net = mw.net();
-                let mut net = net
-                    .lock()
-                    .map_err(|_| SwapError::LockPoisoned { what: "net" })?;
+                let mut net = net.lock().map_err(|_| SwapError::LockPoisoned {
+                    what: "net",
+                    shard: None,
+                })?;
                 if let Some(back) = away.take() {
                     net.arrive(back)?;
                 }
@@ -272,10 +283,6 @@ fn traverse_step(mw: &mut Middleware) -> Result<String, SwapError> {
 fn swap_one(mw: &mut Middleware, rng: &mut u64, reload: bool) -> Result<String, SwapError> {
     let candidates: Vec<u32> = {
         let manager = mw.manager();
-        let manager = match manager.lock() {
-            Ok(m) => m,
-            Err(_) => return Err(SwapError::LockPoisoned { what: "manager" }),
-        };
         if reload {
             manager.swapped_clusters()
         } else {

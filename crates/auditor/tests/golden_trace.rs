@@ -33,6 +33,10 @@ fn golden_config() -> TraceConfig {
         wire_format: obiwan_core::WireFormatKind::Xml,
         replication_factor: 2,
         churn: true,
+        // Pinned: the fixture's event order depends on the shard map, so
+        // the golden workload names its shard count instead of inheriting
+        // the default.
+        shards: 8,
     }
 }
 

@@ -71,16 +71,13 @@ fn warm_k_middleware(stores: usize, k: usize) -> (Middleware, ObjRef) {
 /// The active `(key, holders)` of a swapped-out cluster.
 fn holders_of(mw: &Middleware, sc: u32) -> (String, Vec<obiwan_net::DeviceId>) {
     let manager = mw.manager();
-    let manager = manager.lock().expect("manager");
     let (_, key, holders) = manager.holders_of(sc).expect("cluster is swapped out");
     (key, holders)
 }
 
 /// The live member handles of swap-cluster `sc`.
 fn members_of(mw: &Middleware, sc: u32) -> Vec<ObjRef> {
-    let manager = mw.manager();
-    let manager = manager.lock().expect("manager");
-    manager
+    mw.manager()
         .cluster(sc)
         .expect("cluster exists")
         .members
@@ -240,13 +237,9 @@ fn d1_unpatched_inbound_proxy_is_detected() {
 fn d2_corrupted_replacement_is_detected() {
     let (mut mw, _root) = warm_middleware(40, 10);
     mw.swap_out(2).expect("swap out sc2");
-    let replacement = {
-        let manager = mw.manager();
-        let manager = manager.lock().expect("manager");
-        match manager.cluster(2).expect("entry").state {
-            SwapClusterState::SwappedOut { replacement, .. } => replacement,
-            ref other => panic!("expected swapped-out, got {other:?}"),
-        }
+    let replacement = match mw.manager().cluster(2).expect("entry").state {
+        SwapClusterState::SwappedOut { replacement, .. } => replacement,
+        ref other => panic!("expected swapped-out, got {other:?}"),
     };
     // Retag the replacement-object as belonging to another cluster.
     mw.process_mut()
@@ -263,13 +256,9 @@ fn d2_corrupted_replacement_is_detected() {
 fn d3_replacement_outbound_mismatch_is_detected() {
     let (mut mw, _root) = warm_middleware(40, 10);
     mw.swap_out(2).expect("swap out sc2");
-    let replacement = {
-        let manager = mw.manager();
-        let manager = manager.lock().expect("manager");
-        match manager.cluster(2).expect("entry").state {
-            SwapClusterState::SwappedOut { replacement, .. } => replacement,
-            ref other => panic!("expected swapped-out, got {other:?}"),
-        }
+    let replacement = match mw.manager().cluster(2).expect("entry").state {
+        SwapClusterState::SwappedOut { replacement, .. } => replacement,
+        ref other => panic!("expected swapped-out, got {other:?}"),
     };
     // Sneak a non-proxy reference into the replacement's outbound set.
     let stray = members_of(&mw, 1)[0];
@@ -285,15 +274,11 @@ fn d3_replacement_outbound_mismatch_is_detected() {
 fn d4_missing_blob_is_detected() {
     let (mut mw, _root) = warm_middleware(40, 10);
     mw.swap_out(2).expect("swap out sc2");
-    let (device, key) = {
-        let manager = mw.manager();
-        let manager = manager.lock().expect("manager");
-        match manager.cluster(2).expect("entry").state {
-            SwapClusterState::SwappedOut {
-                device, ref key, ..
-            } => (device, key.clone()),
-            ref other => panic!("expected swapped-out, got {other:?}"),
-        }
+    let (device, key) = match mw.manager().cluster(2).expect("entry").state {
+        SwapClusterState::SwappedOut {
+            device, ref key, ..
+        } => (device, key.clone()),
+        ref other => panic!("expected swapped-out, got {other:?}"),
     };
     let home = mw.home_device();
     mw.net()
@@ -309,13 +294,9 @@ fn d4_missing_blob_is_detected() {
 fn d5_departed_store_is_a_warning_not_an_error() {
     let (mut mw, _root) = warm_middleware(40, 10);
     mw.swap_out(2).expect("swap out sc2");
-    let device = {
-        let manager = mw.manager();
-        let manager = manager.lock().expect("manager");
-        match manager.cluster(2).expect("entry").state {
-            SwapClusterState::SwappedOut { device, .. } => device,
-            ref other => panic!("expected swapped-out, got {other:?}"),
-        }
+    let device = match mw.manager().cluster(2).expect("entry").state {
+        SwapClusterState::SwappedOut { device, .. } => device,
+        ref other => panic!("expected swapped-out, got {other:?}"),
     };
     mw.net()
         .lock()

@@ -137,8 +137,7 @@ mod tests {
     #[test]
     fn every_object_is_its_own_swap_cluster() {
         let mw = warmed(20);
-        let manager = mw.manager();
-        let m = manager.lock().unwrap();
+        let m = mw.manager();
         assert_eq!(m.loaded_clusters().len(), 20);
         for sc in m.loaded_clusters() {
             assert_eq!(m.cluster(sc).unwrap().member_count(), 1);
@@ -165,11 +164,7 @@ mod tests {
     #[test]
     fn proxies_remain_after_swapping_everything() {
         let mut mw = warmed(20);
-        let all: Vec<u32> = {
-            let manager = mw.manager();
-            let ids = manager.lock().unwrap().loaded_clusters();
-            ids
-        };
+        let all: Vec<u32> = mw.manager().loaded_clusters();
         for sc in all {
             mw.swap_out(sc).unwrap();
         }

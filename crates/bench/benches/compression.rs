@@ -29,9 +29,8 @@ fn blob_for(size: usize) -> String {
     let root = mw.replicate_root(head).expect("replicate");
     mw.set_global("head", Value::Ref(root));
     mw.invoke_i64(root, "length", vec![]).expect("warm");
-    let manager = mw.manager();
-    let m = manager.lock().expect("manager");
-    let members: Vec<obiwan_heap::ObjRef> = m
+    let members: Vec<obiwan_heap::ObjRef> = mw
+        .manager()
         .cluster(1)
         .expect("sc1")
         .members

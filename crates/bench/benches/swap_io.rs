@@ -53,16 +53,14 @@ fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
     for cluster_size in [20usize, 100] {
         let mw = world(cluster_size, 400);
-        let members: Vec<obiwan_heap::ObjRef> = {
-            let manager = mw.manager();
-            let m = manager.lock().expect("manager");
-            m.cluster(1)
-                .expect("sc1")
-                .members
-                .iter()
-                .map(|&(_, r)| r)
-                .collect()
-        };
+        let members: Vec<obiwan_heap::ObjRef> = mw
+            .manager()
+            .cluster(1)
+            .expect("sc1")
+            .members
+            .iter()
+            .map(|&(_, r)| r)
+            .collect();
         group.bench_with_input(BenchmarkId::new("capture", cluster_size), &(), |b, ()| {
             b.iter(|| obiwan_core::codec::capture(mw.process(), 1, 0, &members).unwrap())
         });

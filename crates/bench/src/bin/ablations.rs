@@ -71,6 +71,11 @@ fn run(n: usize) -> Result<()> {
     // Ablation 8: reload availability and repair traffic under churn.
     let dpoints = obiwan_bench::durability::run_sweep(40)?;
     println!("{}", obiwan_bench::durability::render(&dpoints));
+
+    // Ablation 9: manager contention over the shard-count grid.
+    let (cn, csteps) = (120, 1_500);
+    let cpoints = obiwan_bench::contention::run_matrix(cn, csteps, &[1, 3], &[1, 4, 8, 16])?;
+    println!("{}", obiwan_bench::contention::render(&cpoints, cn, csteps));
     Ok(())
 }
 
@@ -91,11 +96,12 @@ fn compression_report(list_len: usize) -> Result<String> {
     // Produce the blob text for swap-cluster 1 without swapping.
     let (xml, sc_bytes) = {
         let manager = mw.manager();
-        let m = manager
-            .lock()
-            .map_err(|_| BenchError::msg("manager lock poisoned"))?;
-        let members: Vec<obiwan_heap::ObjRef> =
-            m.cluster(1)?.members.iter().map(|&(_, r)| r).collect();
+        let members: Vec<obiwan_heap::ObjRef> = manager
+            .cluster(1)?
+            .members
+            .iter()
+            .map(|&(_, r)| r)
+            .collect();
         let xml = codec::encode(mw.process(), 1, 0, &members)?;
         let bytes = members.len() * 64;
         (xml, bytes)

@@ -1,0 +1,241 @@
+//! Ablation 9: manager contention — how maintenance throughput scales
+//! with the shard count of the swapping manager's lock table.
+//!
+//! One mutator thread drives a fixed swap/reload/GC schedule through the
+//! middleware while `threads − 1` maintenance threads hammer the
+//! manager's `&self` entry points (stats snapshots, holder lookups,
+//! registry scans, departure/repair sweeps) through bare `Arc` clones
+//! until the mutator finishes. With a single shard every maintenance
+//! probe serializes against the mutator's detach/reload commits; with a
+//! sharded table probes of *other* shards proceed concurrently, so the
+//! maintenance-ops count over the same mutator schedule is a direct
+//! measure of lock-table parallelism.
+//!
+//! Wall-clock timing here measures host lock contention — exactly the
+//! thing the virtual clock cannot see — so this table, unlike the swap-IO
+//! sweep, is *not* snapshot-stable across machines; treat the committed
+//! numbers as one machine's shape, not a contract.
+
+use crate::Result;
+use obiwan_core::{Middleware, StoreSpec, SwapError};
+use obiwan_heap::Value;
+use obiwan_net::DeviceKind;
+use obiwan_replication::{standard_classes, Server};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One measured cell of the threads × shards grid.
+#[derive(Debug, Clone)]
+pub struct ContentionPoint {
+    /// Shards in the manager's lock table.
+    pub shards: usize,
+    /// Maintenance threads racing the mutator (total threads − 1).
+    pub maintenance_threads: usize,
+    /// Mutator operations completed (the fixed schedule length).
+    pub mutator_ops: u64,
+    /// Maintenance operations completed while the mutator ran.
+    pub maintenance_ops: u64,
+    /// Host wall time of the run.
+    pub elapsed: Duration,
+}
+
+impl ContentionPoint {
+    /// Maintenance operations per millisecond of host time.
+    pub fn maintenance_rate(&self) -> f64 {
+        self.maintenance_ops as f64 / (self.elapsed.as_secs_f64() * 1e3).max(1e-9)
+    }
+}
+
+/// Splitmix-style step for the deterministic mutator schedule.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Run the full grid: every shard count × every maintenance-thread count,
+/// same list and same mutator schedule per cell.
+///
+/// # Errors
+///
+/// Setup failures or unexpected mutator failures; the expected state
+/// races (cluster already swapped, nothing evictable) are tolerated.
+pub fn run_matrix(
+    list_len: usize,
+    mutator_steps: usize,
+    threads: &[usize],
+    shards: &[usize],
+) -> Result<Vec<ContentionPoint>> {
+    let mut points = Vec::new();
+    for &s in shards {
+        for &t in threads {
+            points.push(run_cell(list_len, mutator_steps, t, s)?);
+        }
+    }
+    Ok(points)
+}
+
+fn run_cell(
+    list_len: usize,
+    mutator_steps: usize,
+    maintenance_threads: usize,
+    shards: usize,
+) -> Result<ContentionPoint> {
+    let mut server = Server::new(standard_classes());
+    let head = server.build_list("Node", list_len, crate::workloads::PAYLOAD_FOR_64B)?;
+    let mut mw = Middleware::builder()
+        .cluster_size(10)
+        .device_memory(1 << 20)
+        .no_builtin_policies()
+        .wire_format(obiwan_core::WireFormatKind::Binary)
+        .replication_factor(2)
+        .shard_count(shards)
+        .stores(
+            (0..3)
+                .map(|i| StoreSpec::new(format!("store-{i}"), DeviceKind::Laptop, 16 << 20))
+                .collect(),
+        )
+        .build(server);
+    let root = mw.replicate_root(head)?;
+    mw.set_global("head", Value::Ref(root));
+    mw.invoke_i64(root, "length", vec![])?;
+
+    let manager = mw.manager();
+    let clusters = manager.cluster_ids();
+    let app: Vec<u32> = clusters.into_iter().filter(|&c| c != 0).collect();
+    let pick = |rng: &mut u64| -> u32 {
+        app.get((next_rand(rng) as usize) % app.len().max(1))
+            .copied()
+            .unwrap_or(1)
+    };
+
+    let stop = AtomicBool::new(false);
+    let maintenance_ops = AtomicU64::new(0);
+    let mut mutator_err: Option<SwapError> = None;
+    let mut mutator_ops = 0u64;
+    // lint:allow(S7, host lock contention is the measurand; never enters a trace)
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..maintenance_threads as u64 {
+            let manager = manager.clone();
+            let stop = &stop;
+            let ops = &maintenance_ops;
+            let app = &app;
+            scope.spawn(move || {
+                let mut rng = 5000 + worker;
+                while !stop.load(Ordering::Relaxed) {
+                    let sc = app
+                        .get((next_rand(&mut rng) as usize) % app.len().max(1))
+                        .copied()
+                        .unwrap_or(1);
+                    match (next_rand(&mut rng) + worker) % 5 {
+                        0 => {
+                            let _ = manager.stats();
+                        }
+                        1 => {
+                            let _ = manager.holders_of(sc);
+                        }
+                        2 => {
+                            let _ = manager.cluster(sc);
+                        }
+                        3 => {
+                            let _ = manager.loaded_clusters();
+                        }
+                        _ => {
+                            // A sweep may race a detach mid-commit; the
+                            // locks were still exercised, which is the
+                            // measurand — back off a beat and move on.
+                            let swept = manager.note_departures().and(manager.repair_placements());
+                            if swept.is_err() {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    ops.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let mut rng = 42u64;
+        for _ in 0..mutator_steps {
+            let outcome = match next_rand(&mut rng) % 8 {
+                0..=2 => match mw.swap_out(pick(&mut rng)) {
+                    Ok(_)
+                    | Err(SwapError::BadState { .. })
+                    | Err(SwapError::NothingToSwap { .. })
+                    | Err(SwapError::NoStorageDevice { .. }) => Ok(()),
+                    Err(e) => Err(e),
+                },
+                3..=5 => match mw.swap_in(pick(&mut rng)) {
+                    Ok(_) | Err(SwapError::BadState { .. }) => Ok(()),
+                    Err(e) => Err(e),
+                },
+                6 => mw.run_gc().map(|_| ()),
+                _ => mw.pump(),
+            };
+            match outcome {
+                Ok(()) => mutator_ops += 1,
+                Err(e) => {
+                    mutator_err = Some(e);
+                    break;
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = t0.elapsed();
+    if let Some(e) = mutator_err {
+        return Err(e.into());
+    }
+    Ok(ContentionPoint {
+        shards,
+        maintenance_threads,
+        mutator_ops,
+        maintenance_ops: maintenance_ops.into_inner(),
+        elapsed,
+    })
+}
+
+/// Render the grid as a table.
+pub fn render(points: &[ContentionPoint], list_len: usize, mutator_steps: usize) -> String {
+    let mut out = format!(
+        "Ablation 9 — Manager contention: maintenance throughput vs shard count\n\
+         ({list_len}-node list, {mutator_steps} mutator ops; maintenance ops counted while the\n\
+         mutator runs — host wall time, machine-dependent)\n\n"
+    );
+    out.push_str(&format!(
+        "{:<8}{:<14}{:>14}{:>16}{:>14}\n",
+        "shards", "maint thr", "mutator ops", "maint ops", "maint ops/ms"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<8}{:<14}{:>14}{:>16}{:>14.0}\n",
+            p.shards,
+            p.maintenance_threads,
+            p.mutator_ops,
+            p.maintenance_ops,
+            p.maintenance_rate(),
+        ));
+    }
+    out
+}
+
+/// Serialize the grid as a JSON array (one object per cell).
+pub fn to_json(points: &[ContentionPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"shards\": {}, \"maintenance_threads\": {}, \"mutator_ops\": {}, \
+                 \"maintenance_ops\": {}, \"elapsed_ms\": {:.1}}}",
+                p.shards,
+                p.maintenance_threads,
+                p.mutator_ops,
+                p.maintenance_ops,
+                p.elapsed.as_secs_f64() * 1e3,
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}

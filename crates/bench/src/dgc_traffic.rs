@@ -42,11 +42,7 @@ fn swapping_row(n: usize, cluster: usize, epochs: usize) -> Result<DgcRow> {
     // Evict everything.
     let clusters = {
         let manager = mw.manager();
-        let ids = manager
-            .lock()
-            .map_err(|_| BenchError::msg("manager lock poisoned"))?
-            .loaded_clusters();
-        ids
+        manager.loaded_clusters()
     };
     let data_messages = clusters.len() as u64;
     for sc in &clusters {

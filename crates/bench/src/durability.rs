@@ -108,10 +108,7 @@ pub fn run_point(k: usize, churn_rate: f64, rounds: usize, seed: u64) -> Result<
         mw.pump()?;
         let swapped_out = {
             let manager = mw.manager();
-            let m = manager
-                .lock()
-                .map_err(|_| BenchError::msg("manager lock poisoned"))?;
-            m.swapped_clusters().contains(&2)
+            manager.swapped_clusters().contains(&2)
         };
         if swapped_out {
             mw.swap_in(2)

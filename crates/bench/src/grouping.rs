@@ -7,7 +7,7 @@
 //! swap granularity (bigger blobs, coarser eviction). This sweep measures
 //! both ends deterministically.
 
-use crate::{BenchError, Result};
+use crate::Result;
 use obiwan_core::Middleware;
 use obiwan_heap::{ObjectKind, Value};
 use obiwan_replication::{standard_classes, Server};
@@ -59,12 +59,7 @@ pub fn run_sweep(
             .fold((0, 0), |(n, b), o| (n + 1, b + o.size()));
         let swap_clusters = {
             let manager = mw.manager();
-            let n = manager
-                .lock()
-                .map_err(|_| BenchError::msg("manager lock poisoned"))?
-                .loaded_clusters()
-                .len();
-            n
+            manager.loaded_clusters().len()
         };
         let blob_bytes = mw.swap_out(1)?;
         rows.push(GroupingRow {

@@ -49,11 +49,7 @@ fn measure(label: &str, cluster_size: usize, list_len: usize) -> Result<MemoryRo
 
     let clusters = {
         let manager = mw.manager();
-        let ids = manager
-            .lock()
-            .map_err(|_| BenchError::msg("manager lock poisoned"))?
-            .loaded_clusters();
-        ids
+        manager.loaded_clusters()
     };
     for sc in clusters {
         mw.swap_out(sc)?;

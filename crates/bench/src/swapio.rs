@@ -128,10 +128,12 @@ pub fn run_format_sweep(list_len: usize) -> Result<Vec<WireFormatPoint>> {
         mw.invoke_i64(root, "length", vec![])?;
         let members: Vec<obiwan_heap::ObjRef> = {
             let manager = mw.manager();
-            let m = manager
-                .lock()
-                .map_err(|_| BenchError::msg("manager lock poisoned"))?;
-            m.cluster(1)?.members.iter().map(|&(_, r)| r).collect()
+            manager
+                .cluster(1)?
+                .members
+                .iter()
+                .map(|&(_, r)| r)
+                .collect()
         };
         let blob = codec::capture(mw.process(), 1, 0, &members)?;
         for kind in WireFormatKind::ALL {
@@ -191,6 +193,7 @@ pub fn formats_json(
     list_len: usize,
     points: &[WireFormatPoint],
     histograms: &[(String, obiwan_trace::TraceSummary)],
+    contention: &[crate::contention::ContentionPoint],
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"swap_io.wire_formats\",\n");
@@ -208,15 +211,20 @@ pub fn formats_json(
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
-    if histograms.is_empty() {
-        out.push_str("  ]\n}\n");
-    } else {
-        out.push_str("  ],\n");
+    out.push_str("  ]");
+    if !histograms.is_empty() {
         out.push_str(&format!(
-            "  \"trace_histograms\": {}\n}}\n",
+            ",\n  \"trace_histograms\": {}",
             trace_histograms_json(histograms)
         ));
     }
+    if !contention.is_empty() {
+        out.push_str(&format!(
+            ",\n  \"contention\": {}",
+            crate::contention::to_json(contention)
+        ));
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -363,13 +371,20 @@ mod tests {
     fn format_json_snapshot_is_well_formed() {
         let points = run_format_sweep(100).unwrap();
         let histograms = run_trace_histograms(100, 2).unwrap();
-        let json = formats_json(100, &points, &histograms);
+        let contention = crate::contention::run_matrix(60, 50, &[1], &[1, 2]).unwrap();
+        let json = formats_json(100, &points, &histograms, &contention);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"format\"").count(), points.len());
         for kind in ["xml", "binary", "lz-binary"] {
             assert!(json.contains(kind), "missing {kind}");
         }
-        for key in ["trace_histograms", "detach_us", "ship_airtime_us"] {
+        for key in [
+            "trace_histograms",
+            "detach_us",
+            "ship_airtime_us",
+            "contention",
+            "maintenance_ops",
+        ] {
             assert!(json.contains(key), "missing {key}");
         }
     }

@@ -20,18 +20,22 @@
 //!   orphans awaiting a sweep; dropped clusters have released their
 //!   members.
 //!
-//! [`SwappingManager::audit`] walks the whole graph and emits structured
-//! [`Violation`] values; [`crate::Middleware::audit`] is the public entry
-//! point, and debug builds self-audit after every swap-out / reload / GC
+//! [`SwappingManager::audit`] first snapshots the sharded manager state
+//! (coordinator, then every shard in ascending index order — the lock
+//! hierarchy) into one `AuditState`, then walks the whole graph against
+//! that snapshot and emits structured [`Violation`] values;
+//! [`crate::Middleware::audit`] is the public entry point, and debug
+//! builds self-audit after every swap-out / reload / GC
 //! (`debug_assert`-gated). The `obiwan-auditor` crate packages the same
 //! checks as a standalone CLI (`audit-trace`) plus violation-injection
 //! tests.
 
 use crate::proxy;
-use crate::swap_cluster::SwapClusterState;
+use crate::swap_cluster::{SwapClusterEntry, SwapClusterState};
 use crate::SwappingManager;
-use obiwan_heap::{ObjRef, ObjectKind, Oid, Value};
-use obiwan_net::DeviceId;
+use obiwan_heap::{ObjRef, ObjectKind, Oid, Value, WeakRef};
+use obiwan_net::{DeviceId, SimNet};
+use obiwan_placement::PlacementTable;
 use obiwan_replication::Process;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
@@ -41,7 +45,7 @@ use std::sync::PoisonError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
     /// A state a correct run can reach through the public API (a departed
-    /// storing device, a global set to a raw cross-cluster reference, a
+    /// storage device, a global set to a raw cross-cluster reference, a
     /// blob drop that could not reach its device). Reported, not asserted.
     Warning,
     /// Graph corruption: no sequence of public-API calls should ever
@@ -287,11 +291,73 @@ impl fmt::Display for AuditReport {
     }
 }
 
+/// A whole-manager snapshot the rules run against: the coordinator's proxy
+/// tables plus every shard's cluster-keyed state, merged back into the
+/// pre-sharding single-table view. Snapshotting first keeps the rule walks
+/// guard-free (no manager lock is held while the heap is traversed) and
+/// the report internally consistent per table.
+struct AuditState {
+    clusters: BTreeMap<u32, SwapClusterEntry>,
+    outbound: BTreeMap<u32, Vec<WeakRef>>,
+    proxy_index: BTreeMap<(u32, Oid), WeakRef>,
+    orphaned_blobs: Vec<(DeviceId, String)>,
+    placements: PlacementTable,
+    replication_factor: usize,
+    home: DeviceId,
+}
+
 impl SwappingManager {
     /// Audit the whole graph: heap boundaries, manager tables, swapped-out
     /// cluster integrity and blob accounting. Read-only; safe to call at
-    /// any quiescent point.
+    /// any quiescent point, from any thread (the manager state is
+    /// snapshotted coordinator-first, then shard by ascending index, per
+    /// the lock hierarchy).
     pub fn audit(&self, p: &Process) -> AuditReport {
+        let state = self.audit_state();
+        // Diagnostics must survive a panicking peer; recover from poison.
+        let net = self.net.lock().unwrap_or_else(PoisonError::into_inner);
+        state.run(p, &net)
+    }
+
+    /// Snapshot coordinator + shards into one [`AuditState`].
+    fn audit_state(&self) -> AuditState {
+        let (proxy_index, outbound, replication_factor) = {
+            let c = self
+                .coordinator
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            (
+                c.proxy_index.clone(),
+                c.outbound.clone(),
+                c.config.replication_factor,
+            )
+        };
+        let mut clusters: BTreeMap<u32, SwapClusterEntry> = BTreeMap::new();
+        let mut placements = PlacementTable::new();
+        let mut orphaned_blobs: Vec<(DeviceId, String)> = Vec::new();
+        for slot in self.shards.iter() {
+            let shard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            for (&sc, entry) in &shard.clusters {
+                clusters.insert(sc, entry.clone());
+            }
+            placements.absorb(&shard.placements);
+            orphaned_blobs.extend(shard.orphaned_blobs.iter().cloned());
+        }
+        AuditState {
+            clusters,
+            outbound,
+            proxy_index,
+            orphaned_blobs,
+            placements,
+            replication_factor,
+            home: self.home,
+        }
+    }
+}
+
+impl AuditState {
+    /// Run every rule family against the snapshot.
+    fn run(&self, p: &Process, net: &SimNet) -> AuditReport {
         let mut report = AuditReport::default();
 
         // Members of swapped-out clusters: oid -> (cluster, replacement).
@@ -309,8 +375,25 @@ impl SwappingManager {
         self.audit_proxy_index(p, &mut report);
         self.audit_side_tables(p, &mut report);
         self.audit_clusters(p, &mut report);
-        self.audit_blobs(&mut report);
+        self.audit_blobs(net, &mut report);
         report
+    }
+
+    /// The holder set backing swap-cluster `sc` (mirrors
+    /// `Shard::holders_of` over the merged tables).
+    fn holders_of(&self, sc: u32) -> Option<(u32, String, Vec<DeviceId>)> {
+        if let Some((epoch, p)) = self.placements.active(sc) {
+            return Some((epoch, p.key.clone(), p.holders.clone()));
+        }
+        let entry = self.clusters.get(&sc)?;
+        if let SwapClusterState::SwappedOut {
+            device, ref key, ..
+        } = entry.state
+        {
+            Some((entry.epoch.wrapping_sub(1), key.clone(), vec![device]))
+        } else {
+            None
+        }
     }
 
     /// Boundary soundness over every live heap object (rules B1–B3, D1).
@@ -842,8 +925,7 @@ impl SwappingManager {
     /// D8, G1). Every holder in a swapped-out cluster's placement is
     /// checked individually, then the copy counts are judged against the
     /// configured replication factor.
-    fn audit_blobs(&self, report: &mut AuditReport) {
-        let net = self.net.lock().unwrap_or_else(PoisonError::into_inner);
+    fn audit_blobs(&self, net: &SimNet, report: &mut AuditReport) {
         // Expected blobs: every (holder, key) pair of a swapped-out
         // cluster's placement, plus tracked orphans.
         let mut expected: HashSet<(DeviceId, String)> = HashSet::new();
@@ -934,7 +1016,7 @@ impl SwappingManager {
                         holders.len()
                     ),
                 });
-            } else if reachable < self.config.replication_factor {
+            } else if reachable < self.replication_factor {
                 report.violations.push(Violation {
                     rule: Rule::UnderReplicated,
                     swap_cluster: Some(sc),
@@ -945,7 +1027,7 @@ impl SwappingManager {
                         "sc{sc} has {reachable} reachable cop(y/ies) of blob \
                          `{key}`, below the configured replication factor {} \
                          (repair sweep pending)",
-                        self.config.replication_factor
+                        self.replication_factor
                     ),
                 });
             }
@@ -985,6 +1067,7 @@ impl SwappingManager {
 #[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
     use super::*;
+    use crate::shard::{lock_coordinator, lock_shard};
     use crate::{Middleware, SwapConfig};
     use obiwan_replication::{standard_classes, Server};
 
@@ -1021,8 +1104,8 @@ mod tests {
         mw.swap_out(2).expect("swap out");
         {
             let manager = mw.manager();
-            let mut manager = manager.lock().expect("manager");
-            let entry = manager.clusters.get_mut(&2).expect("entry");
+            let mut shard = lock_shard(&manager.shards, manager.shard_of(2)).expect("shard");
+            let entry = shard.clusters.get_mut(&2).expect("entry");
             // Simulate a buggy GC bridge: state flipped without draining.
             entry.state = SwapClusterState::Dropped;
             assert!(!entry.members.is_empty());
@@ -1038,10 +1121,10 @@ mod tests {
     #[test]
     fn b6_outbound_table_source_mismatch_is_detected() {
         let mw = warmed();
+        let manager = mw.manager();
         let (sc, w) = {
-            let manager = mw.manager();
-            let manager = manager.lock().expect("manager");
-            let (&sc, list) = manager
+            let c = lock_coordinator(&manager.coordinator).expect("coordinator");
+            let (&sc, list) = c
                 .outbound
                 .iter()
                 .find(|(_, l)| l.iter().any(|&w| mw.process().heap().weak_get(w).is_some()))
@@ -1053,10 +1136,9 @@ mod tests {
             (sc, w)
         };
         {
-            let manager = mw.manager();
-            let mut manager = manager.lock().expect("manager");
+            let mut c = lock_coordinator(&manager.coordinator).expect("coordinator");
             // File the proxy under a cluster it does not mediate for.
-            manager.outbound.entry(sc + 40).or_default().push(w);
+            c.outbound.entry(sc + 40).or_default().push(w);
         }
         let report = mw.audit();
         assert!(report.has_errors(), "{report}");
@@ -1073,15 +1155,15 @@ mod tests {
         let mw = warmed();
         {
             let manager = mw.manager();
-            let mut manager = manager.lock().expect("manager");
-            let (&key, &w) = manager
+            let mut c = lock_coordinator(&manager.coordinator).expect("coordinator");
+            let (&key, &w) = c
                 .proxy_index
                 .iter()
                 .find(|(_, &w)| mw.process().heap().weak_get(w).is_some())
                 .expect("a live indexed proxy");
             // Re-file the proxy under a key it does not carry.
-            manager.proxy_index.remove(&key);
-            manager.proxy_index.insert((key.0 + 40, key.1), w);
+            c.proxy_index.remove(&key);
+            c.proxy_index.insert((key.0 + 40, key.1), w);
         }
         let report = mw.audit();
         assert!(report.has_errors(), "{report}");

@@ -54,6 +54,11 @@ pub struct SwapConfig {
     /// truncated — size this to the workload when the trace must pass the
     /// conformance checker end-to-end.
     pub trace_capacity: usize,
+    /// How many shards the manager's cluster-keyed state is split across.
+    /// Each swap-cluster maps to one shard (`shard_for`); maintenance
+    /// threads touching different shards never contend. One shard
+    /// reproduces the old fully-serialized manager.
+    pub shard_count: usize,
 }
 
 impl Default for SwapConfig {
@@ -68,6 +73,7 @@ impl Default for SwapConfig {
             replication_factor: 1,
             placement: PlacementKind::default(),
             trace_capacity: obiwan_trace::DEFAULT_CAPACITY,
+            shard_count: 8,
         }
     }
 }
@@ -136,6 +142,17 @@ impl SwapConfig {
         self.trace_capacity = events;
         self
     }
+
+    /// Set how many shards split the manager's cluster-keyed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn shard_count(mut self, n: usize) -> Self {
+        assert!(n > 0, "the manager needs at least one shard");
+        self.shard_count = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +172,13 @@ mod tests {
         assert_eq!(c.replication_factor, 1);
         assert_eq!(c.placement, PlacementKind::FirstFit);
         assert_eq!(c.trace_capacity, obiwan_trace::DEFAULT_CAPACITY);
+        assert_eq!(c.shard_count, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = SwapConfig::default().shard_count(0);
     }
 
     #[test]

@@ -1,37 +1,39 @@
 //! Swap-out: detach a swap-cluster from the application graph and ship it
 //! to a nearby device (paper §3, *Swap-Cluster Swapping-Out*).
 //!
-//! The operation is split into three phases so callers that hold the
-//! manager behind a mutex (the middleware facade) can move bytes without
-//! the guard:
+//! The operation is split into three phases so the bytes move without any
+//! shard guard held — the sharded engine's concurrency story:
 //!
-//! 1. [`SwappingManager::detach_prepare`] — manager-locked bookkeeping:
+//! 1. [`SwappingManager::detach_prepare`] — under the owning shard's lock:
 //!    validation, the `detach_start` trace event, blob capture/encoding
 //!    and holder-candidate ranking;
 //! 2. [`ship_copies`] — a free function that takes only the net lock and
 //!    transmits the blob, carrying per-send clock stamps out in its
 //!    [`ShipOutcome`];
-//! 3. [`SwappingManager::detach_commit`] — manager-locked again: replays
-//!    the shipped events into the recorder (byte-identical stamps),
-//!    records the placement, performs the graph surgery and closes the
-//!    trace pair with `detach_end`/`detach_abort`.
+//! 3. [`SwappingManager::detach_commit`] — coordinator + shard locks:
+//!    replays the shipped events into the recorder (byte-identical
+//!    stamps), revalidates that no concurrent operation raced the cluster
+//!    while the bytes moved, records the placement, performs the graph
+//!    surgery and closes the trace pair with `detach_end`/`detach_abort`.
 //!
-//! [`SwappingManager::swap_out`] composes the three for callers that
-//! already own the manager exclusively.
+//! [`SwappingManager::swap_out`] composes the three. Lock order per the
+//! documented hierarchy: prepare takes shard → net, ship takes net alone,
+//! commit takes coordinator → shard.
 
-use crate::manager::{lock_net, SharedNet};
+use crate::manager::{holder_candidates, lock_net, sweep_shard_orphans, SharedNet};
+use crate::shard::{lock_coordinator, lock_shard, Coordinator, Shard};
 use crate::swap_cluster::SwapClusterState;
-use crate::{codec, proxy, wire, Result, SwapError, SwappingManager};
+use crate::{codec, proxy, wire, Result, SwapConfig, SwapError, SwappingManager};
 use obiwan_heap::{ObjRef, ObjectKind, Value};
-use obiwan_net::{Bytes, DeviceId, NetError};
+use obiwan_net::{Bytes, DeviceId, DeviceKind, NetError};
 use obiwan_policy::PolicyEvent;
 use obiwan_replication::Process;
 
-/// A detach prepared under the manager guard: everything the shipping
-/// phase needs to move the blob without touching manager state. Once one
-/// of these exists the detach is in flight (`detach_start` is in the
-/// trace) and it must be handed to [`SwappingManager::detach_commit`],
-/// which closes the pair either way.
+/// A detach prepared under the shard guard: everything the shipping phase
+/// needs to move the blob without touching manager state. Once one of
+/// these exists the detach is in flight (`detach_start` is in the trace)
+/// and it must be handed to [`SwappingManager::detach_commit`], which
+/// closes the pair either way.
 pub(crate) struct DetachPrep {
     /// The swap-cluster being detached.
     pub(crate) sc: u32,
@@ -148,7 +150,7 @@ impl SwappingManager {
     /// [`SwapError::NoStorageDevice`] when no neighbour accepts the blob,
     /// plus codec/heap errors. The graph is only mutated after the blob has
     /// been stored successfully.
-    pub fn swap_out(&mut self, p: &mut Process, sc: u32) -> Result<usize> {
+    pub fn swap_out(&self, p: &mut Process, sc: u32) -> Result<usize> {
         let prep = self.detach_prepare(p, sc)?;
         let shipped = ship_copies(&self.net, &prep);
         self.detach_commit(p, prep, shipped)
@@ -156,13 +158,17 @@ impl SwappingManager {
 
     /// Phase 1 of swap-out: validate, open the trace pair with
     /// `detach_start`, capture and encode the blob and rank the candidate
-    /// holders. On success the detach is in flight and the returned prep
-    /// **must** reach [`SwappingManager::detach_commit`]; on error the
-    /// pair is already closed (`detach_abort`, unless validation failed
-    /// before the detach started).
-    pub(crate) fn detach_prepare(&mut self, p: &mut Process, sc: u32) -> Result<DetachPrep> {
+    /// holders — all under the owning shard's lock (briefly taking the
+    /// net lock below it for the candidate scan). On success the detach is
+    /// in flight and the returned prep **must** reach
+    /// [`SwappingManager::detach_commit`]; on error the pair is already
+    /// closed (`detach_abort`, unless validation failed before the detach
+    /// started).
+    pub(crate) fn detach_prepare(&self, p: &mut Process, sc: u32) -> Result<DetachPrep> {
+        let (config, preferred) = self.prefs();
+        let mut shard = lock_shard(&self.shards, self.shard_of(sc))?;
         let epoch = {
-            let entry = self
+            let entry = shard
                 .clusters
                 .get_mut(&sc)
                 .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
@@ -184,7 +190,7 @@ impl SwappingManager {
                 // Nothing left to swap; retire the entry and report it so
                 // the victim picker can move on instead of counting an
                 // empty "success".
-                self.clusters.remove(&sc);
+                shard.clusters.remove(&sc);
                 return Err(SwapError::NothingToSwap { swap_cluster: sc });
             }
             entry.epoch
@@ -194,7 +200,7 @@ impl SwappingManager {
         // in the trace so the conformance replay sees start/abort/end pair
         // up.
         self.recorder.detach_start(sc);
-        match self.prepare_body(p, sc, epoch) {
+        match self.prepare_body(p, &mut shard, &config, preferred, sc, epoch) {
             Ok(prep) => Ok(prep),
             Err(e) => {
                 self.recorder.detach_abort(sc);
@@ -203,20 +209,34 @@ impl SwappingManager {
         }
     }
 
-    /// Everything past swap-out validation that still needs the manager;
-    /// an error here aborts the in-flight detach (the cluster stays
+    /// Everything past swap-out validation that still needs the shard
+    /// guard; an error here aborts the in-flight detach (the cluster stays
     /// loaded).
-    fn prepare_body(&mut self, p: &mut Process, sc: u32, epoch: u32) -> Result<DetachPrep> {
-        let members: Vec<ObjRef> = self.clusters[&sc].members.iter().map(|&(_, r)| r).collect();
+    fn prepare_body(
+        &self,
+        p: &mut Process,
+        shard: &mut Shard,
+        config: &SwapConfig,
+        preferred: Option<DeviceKind>,
+        sc: u32,
+        epoch: u32,
+    ) -> Result<DetachPrep> {
+        let members: Vec<ObjRef> = shard.clusters[&sc]
+            .members
+            .iter()
+            .map(|&(_, r)| r)
+            .collect();
 
-        // Opportunistically clean up blobs orphaned by earlier failures.
-        if !self.orphaned_blobs.is_empty() {
-            self.sweep_orphaned_blobs();
+        // Opportunistically clean up blobs orphaned by earlier failures on
+        // this shard (shard → net, per the hierarchy).
+        if !shard.orphaned_blobs.is_empty() {
+            let mut net = lock_net(&self.net)?;
+            sweep_shard_orphans(&mut net, self.home, shard);
         }
 
         // Capture + serialize before any graph mutation.
         let blob = codec::capture(p, sc, epoch, &members)?;
-        let data = wire::encode_blob(self.config.wire_format, &blob)?;
+        let data = wire::encode_blob(config.wire_format, &blob)?;
         // Keys carry the swapping device's id: several PDAs may share one
         // storing neighbour ("available to any user"), and their cluster
         // ids are device-local.
@@ -224,7 +244,7 @@ impl SwappingManager {
         let candidates: Vec<DeviceId> = {
             let net = lock_net(&self.net)?;
             self.recorder.sync_clock(&net);
-            self.holder_candidates(&net, &key, data.len(), &[])
+            holder_candidates(&net, self.home, config, preferred, &key, data.len(), &[])
                 .into_iter()
                 .map(|c| c.device)
                 .collect()
@@ -234,27 +254,41 @@ impl SwappingManager {
             epoch,
             key,
             data,
-            want: self.config.replication_factor,
-            allow_relays: self.config.allow_relays,
+            want: config.replication_factor,
+            allow_relays: config.allow_relays,
             home: self.home,
             candidates,
         })
     }
 
     /// Phase 3 of swap-out: replay the shipped events into the recorder,
-    /// record the placement, bump the epoch and perform the graph
-    /// surgery. Always closes the trace pair opened by
+    /// revalidate the cluster, record the placement, bump the epoch and
+    /// perform the graph surgery — under coordinator + shard locks (in
+    /// that order). Always closes the trace pair opened by
     /// [`SwappingManager::detach_prepare`] — `detach_end` on success,
     /// `detach_abort` on any error.
     pub(crate) fn detach_commit(
-        &mut self,
+        &self,
         p: &mut Process,
         prep: DetachPrep,
         shipped: ShipOutcome,
     ) -> Result<usize> {
         let sc = prep.sc;
-        match self.commit_body(p, &prep, shipped) {
-            Ok(bytes) => Ok(bytes),
+        let outcome = {
+            let mut c = lock_coordinator(&self.coordinator)?;
+            let mut shard = lock_shard(&self.shards, self.shard_of(sc))?;
+            let collect = c.config.collect_after_swap_out;
+            self.commit_body(p, &mut c, &mut shard, &prep, shipped)
+                .map(|bytes| (bytes, collect))
+        };
+        match outcome {
+            Ok((bytes, collect)) => {
+                // Realize the memory release outside every lock.
+                if collect {
+                    p.collect();
+                }
+                Ok(bytes)
+            }
             Err(e) => {
                 self.recorder.detach_abort(sc);
                 Err(e)
@@ -264,8 +298,10 @@ impl SwappingManager {
 
     /// The fallible interior of [`SwappingManager::detach_commit`].
     fn commit_body(
-        &mut self,
+        &self,
         p: &mut Process,
+        c: &mut Coordinator,
+        shard: &mut Shard,
         prep: &DetachPrep,
         shipped: ShipOutcome,
     ) -> Result<usize> {
@@ -276,8 +312,8 @@ impl SwappingManager {
         // byte-identical to the single-phase form.
         let mut holders: Vec<DeviceId> = Vec::new();
         for rec in &shipped.records {
-            self.recorder.set_clock(rec.churn, rec.at_us);
             self.recorder.blob_shipped(
+                Some((rec.churn, rec.at_us)),
                 sc,
                 prep.epoch,
                 rec.device.index(),
@@ -290,9 +326,24 @@ impl SwappingManager {
             // A hard error after partial stores turns the stored copies
             // into tracked orphans before propagating.
             for holder in holders {
-                self.orphaned_blobs.push((holder, prep.key.clone()));
+                shard.orphaned_blobs.push((holder, prep.key.clone()));
             }
             return Err(e);
+        }
+        // Revalidate: the shard lock was released while the bytes moved,
+        // so a concurrent operation may have raced the cluster. If it did,
+        // the freshly stored copies back no placement — track them as
+        // orphans rather than resurrecting a superseded state.
+        let current = shard.clusters.get(&sc).map(|e| (e.is_loaded(), e.epoch));
+        if current != Some((true, prep.epoch)) {
+            for holder in holders {
+                shard.orphaned_blobs.push((holder, prep.key.clone()));
+            }
+            return Err(SwapError::BadState {
+                swap_cluster: sc,
+                expected: "loaded",
+                actual: "concurrently-modified",
+            });
         }
         let Some(&device) = holders.first() else {
             return Err(SwapError::NoStorageDevice {
@@ -301,20 +352,22 @@ impl SwappingManager {
             });
         };
         let copies = holders.len();
-        self.placements
+        shard
+            .placements
             .record(sc, prep.epoch, prep.key.clone(), holders);
         // The blob is out: consume this epoch now so a failure in the graph
         // surgery below cannot lead a retry into a duplicate key; the
         // already-stored blobs become orphans to sweep.
-        self.clusters
+        shard
+            .clusters
             .get_mut(&sc)
             .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?
             .epoch += 1;
-        let surgery = self.detach_graph(p, sc, device, &prep.key);
+        let surgery = self.detach_graph(p, c, shard, sc, device, &prep.key);
         if let Err(e) = surgery {
-            if let Some((_, placement)) = self.placements.remove(sc) {
+            if let Some((_, placement)) = shard.placements.remove(sc) {
                 for holder in placement.holders {
-                    self.orphaned_blobs.push((holder, prep.key.clone()));
+                    shard.orphaned_blobs.push((holder, prep.key.clone()));
                 }
             }
             return Err(e);
@@ -322,29 +375,28 @@ impl SwappingManager {
 
         self.recorder
             .detach_end(sc, prep.epoch, blob_bytes as u64, copies as u32);
-        self.events.push(PolicyEvent::SwappedOut {
+        c.events.push(PolicyEvent::SwappedOut {
             swap_cluster: sc as i64,
             bytes: blob_bytes as i64,
         });
-
-        if self.config.collect_after_swap_out {
-            p.collect();
-        }
         Ok(blob_bytes)
     }
 
     /// The graph surgery of swap-out: build the replacement-object, patch
-    /// the inbound proxies, detach the members.
+    /// the inbound proxies, detach the members. Caller holds coordinator
+    /// (proxy tables) and the owning shard (registry entry).
     fn detach_graph(
-        &mut self,
+        &self,
         p: &mut Process,
+        c: &mut Coordinator,
+        shard: &mut Shard,
         sc: u32,
         device: DeviceId,
         key: &str,
     ) -> Result<()> {
         // Collect the cluster's live outbound proxies for the replacement.
         let outbound: Vec<ObjRef> = {
-            let weaks = self.outbound.get(&sc).cloned().unwrap_or_default();
+            let weaks = c.outbound.get(&sc).cloned().unwrap_or_default();
             let mut seen = std::collections::HashSet::new();
             weaks
                 .iter()
@@ -370,7 +422,7 @@ impl SwappingManager {
         // Patch inbound proxies: "every swap-cluster referencing objects
         // contained in [the victim] will be made to reference [the
         // replacement-object] instead".
-        let inbound = self.inbound.get(&sc).cloned().unwrap_or_default();
+        let inbound = c.inbound.get(&sc).cloned().unwrap_or_default();
         let mw_sp_target = mw.sp_target;
         for w in inbound {
             let Some(pr) = p.heap().weak_get(w) else {
@@ -393,13 +445,13 @@ impl SwappingManager {
         // Detach: forget the replicas so the graph no longer reaches them
         // and future replication wires new references through the
         // replacement-object.
-        let member_oids: Vec<(obiwan_heap::Oid, ObjRef)> = self.clusters[&sc].members.clone();
+        let member_oids: Vec<(obiwan_heap::Oid, ObjRef)> = shard.clusters[&sc].members.clone();
         for (oid, _) in &member_oids {
             p.forget_replica(*oid);
             p.note_swapped(*oid, replacement);
         }
 
-        let entry = self
+        let entry = shard
             .clusters
             .get_mut(&sc)
             .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
@@ -418,7 +470,7 @@ impl SwappingManager {
     /// # Errors
     ///
     /// Propagates [`SwappingManager::swap_out`] failures.
-    pub fn swap_out_victim(&mut self, p: &mut Process) -> Result<Option<u32>> {
+    pub fn swap_out_victim(&self, p: &mut Process) -> Result<Option<u32>> {
         // The loop terminates: each `NothingToSwap` removes the picked
         // cluster from the registry, so the candidate set shrinks.
         while let Some(sc) = self.pick_victim() {

@@ -74,8 +74,11 @@ pub enum SwapError {
     /// A shared-state mutex was poisoned by a panicking thread; the
     /// operation was abandoned rather than acting on possibly-torn state.
     LockPoisoned {
-        /// Which lock (`"manager"` or `"net"`).
+        /// Which lock (`"coordinator"`, `"shard"`, `"manager"` or `"net"`).
         what: &'static str,
+        /// For the sharded lock table, which shard index was poisoned;
+        /// `None` for process-wide locks.
+        shard: Option<u32>,
     },
 }
 
@@ -130,9 +133,10 @@ impl fmt::Display for SwapError {
                     "swap-cluster {swap_cluster} has no live members to swap out"
                 )
             }
-            SwapError::LockPoisoned { what } => {
-                write!(f, "{what} mutex poisoned by a panicking thread")
-            }
+            SwapError::LockPoisoned { what, shard } => match shard {
+                Some(i) => write!(f, "{what} mutex (shard {i}) poisoned by a panicking thread"),
+                None => write!(f, "{what} mutex poisoned by a panicking thread"),
+            },
         }
     }
 }
@@ -251,6 +255,26 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("swap-cluster 3") && s.contains("epoch 2"), "{s}");
+    }
+
+    #[test]
+    fn lock_poisoned_names_the_shard() {
+        let plain = SwapError::LockPoisoned {
+            what: "coordinator",
+            shard: None,
+        };
+        assert_eq!(
+            plain.to_string(),
+            "coordinator mutex poisoned by a panicking thread"
+        );
+        let sharded = SwapError::LockPoisoned {
+            what: "shard",
+            shard: Some(5),
+        };
+        assert_eq!(
+            sharded.to_string(),
+            "shard mutex (shard 5) poisoned by a panicking thread"
+        );
     }
 
     #[test]

@@ -90,6 +90,7 @@ mod middleware;
 mod proxy;
 mod recorder;
 mod reload;
+mod shard;
 mod swap_cluster;
 mod victim;
 pub mod wire;

@@ -8,38 +8,45 @@
 //! belonging to each one, stored in hash-tables. It also contains entries
 //! for all swap-cluster-proxies w.r.t. references to/from each swap-cluster
 //! (using weak-references)."
+//!
+//! Since the sharding refactor the manager is a concurrent engine: there
+//! is no outer manager mutex. Cluster-keyed state lives in the sharded
+//! lock table (`crate::shard`), process-wide state behind the coordinator
+//! lock, and counters/events behind the recorder's own leaf lock. Every
+//! operation takes `&self`; the documented acquisition order is
+//! coordinator → shard (ascending index, via `lock_shard_pair` when two
+//! are needed) → net → recorder, and no method ever acquires backwards.
 
 use crate::proxy;
 use crate::recorder::Recorder;
+use crate::shard::{lock_coordinator, lock_shard, lock_shard_pair, shard_for, Coordinator, Shard};
 use crate::swap_cluster::{SwapClusterEntry, SwapClusterState};
 use crate::{Result, SwapConfig, SwapError, VictimPolicy};
-use obiwan_heap::{ObjRef, ObjectKind, Oid, WeakRef};
+use obiwan_heap::{ObjRef, ObjectKind, Oid};
 use obiwan_net::{DeviceId, DeviceKind, NetError, SimNet};
-use obiwan_placement::{HolderCandidate, PlacementPolicy, PlacementTable};
+use obiwan_placement::{HolderCandidate, PlacementTable};
 use obiwan_policy::PolicyEvent;
 use obiwan_replication::{ClusterInfo, Interceptor, Process, ReplError, Resolved};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A shared simulated world.
 pub type SharedNet = Arc<Mutex<SimNet>>;
 
 /// A manager shared between the middleware facade and the process's
-/// interceptor shim.
-pub type SharedManager = Arc<Mutex<SwappingManager>>;
-
-/// Lock the shared manager, turning poisoning into a structured error
-/// instead of a cascading panic.
-pub(crate) fn lock_manager(m: &SharedManager) -> Result<MutexGuard<'_, SwappingManager>> {
-    m.lock()
-        .map_err(|_| SwapError::LockPoisoned { what: "manager" })
-}
+/// interceptor shim. The manager synchronizes internally (sharded lock
+/// table), so the handle is a plain `Arc` — maintenance threads clone it
+/// and call methods directly.
+pub type SharedManager = Arc<SwappingManager>;
 
 /// Lock the shared world, turning poisoning into a structured error
 /// instead of a cascading panic.
 pub(crate) fn lock_net(n: &SharedNet) -> Result<MutexGuard<'_, SimNet>> {
-    n.lock()
-        .map_err(|_| SwapError::LockPoisoned { what: "net" })
+    n.lock().map_err(|_| SwapError::LockPoisoned {
+        what: "net",
+        shard: None,
+    })
 }
 
 /// Cumulative swapping statistics.
@@ -92,255 +99,257 @@ pub struct SwapStats {
 /// builder wires up.
 #[derive(Debug)]
 pub struct SwappingManager {
-    pub(crate) config: SwapConfig,
     pub(crate) net: SharedNet,
     /// The device this manager runs on (the memory-constrained one).
     pub(crate) home: DeviceId,
-    /// Swap-cluster registry.
-    pub(crate) clusters: BTreeMap<u32, SwapClusterEntry>,
-    /// Proxy reuse table: (source swap-cluster, target identity) → proxy.
-    pub(crate) proxy_index: BTreeMap<(u32, Oid), WeakRef>,
-    /// Proxies whose *target* lives in the keyed swap-cluster (inbound).
-    pub(crate) inbound: BTreeMap<u32, Vec<WeakRef>>,
-    /// Proxies whose *source* is the keyed swap-cluster (outbound).
-    pub(crate) outbound: BTreeMap<u32, Vec<WeakRef>>,
-    /// Mapping replication cluster → swap-cluster (grouping).
-    repl_to_sc: BTreeMap<u32, u32>,
-    next_sc: u32,
-    /// Logical clock for recency statistics.
-    crossing_clock: u64,
-    /// Round-robin victim cursor.
-    pub(crate) victim_cursor: u32,
-    /// Device kind preferred as swap target (set by policies).
-    pub(crate) preferred_kind: Option<DeviceKind>,
-    /// The single choke point for counters *and* lifecycle events.
+    /// Process-wide state: config, proxy tables, grouping, policy events.
+    pub(crate) coordinator: Mutex<Coordinator>,
+    /// The sharded lock table holding all cluster-keyed state.
+    pub(crate) shards: Box<[Mutex<Shard>]>,
+    /// The single choke point for counters *and* lifecycle events (leaf
+    /// of the lock hierarchy; synchronizes internally).
     pub(crate) recorder: Recorder,
-    /// Events for the policy engine, drained by the middleware.
-    pub(crate) events: Vec<PolicyEvent>,
-    /// Blobs stored on neighbours that no longer back any swap-cluster
-    /// (a swap-out failed after its blob was stored); dropped
-    /// opportunistically.
-    pub(crate) orphaned_blobs: Vec<(DeviceId, String)>,
-    /// Where every swapped-out cluster's blob copies live.
-    pub(crate) placements: PlacementTable,
-    /// Ranks candidate holders on swap-out and repair
-    /// ([`SwapConfig::placement`]).
-    pub(crate) placement_policy: Box<dyn PlacementPolicy>,
-    /// (swap-cluster, holder) losses already reported as
-    /// [`PolicyEvent::HolderLost`], so churn does not re-fire every pump.
-    lost_reported: BTreeSet<(u32, DeviceId)>,
-    /// [`SimNet::churn_seq`] at the last holder-loss scan; an unchanged
-    /// sequence lets [`SwappingManager::note_departures`] skip the
-    /// placement-table sweep entirely on quiet pumps.
-    seen_churn_seq: Option<u64>,
+    /// Logical clock for recency statistics.
+    crossing_clock: AtomicU64,
+    /// Round-robin victim cursor.
+    victim_cursor: AtomicU32,
+    /// [`SimNet::churn_seq`] at the last holder-loss scan (`u64::MAX`
+    /// until the first); an unchanged sequence lets
+    /// [`SwappingManager::note_departures`] skip the placement-table
+    /// sweep entirely on quiet pumps.
+    seen_churn_seq: AtomicU64,
 }
 
 impl SwappingManager {
     /// Create a manager for the device `home` in the shared world `net`.
     pub fn new(config: SwapConfig, net: SharedNet, home: DeviceId) -> Self {
+        let shard_count = config.shard_count.max(1);
         SwappingManager {
-            config,
             net,
             home,
-            clusters: BTreeMap::new(),
-            proxy_index: BTreeMap::new(),
-            inbound: BTreeMap::new(),
-            outbound: BTreeMap::new(),
-            repl_to_sc: BTreeMap::new(),
-            next_sc: 1,
-            crossing_clock: 0,
-            victim_cursor: 0,
-            preferred_kind: None,
             recorder: Recorder::new(config.trace_capacity),
-            events: Vec::new(),
-            orphaned_blobs: Vec::new(),
-            placements: PlacementTable::new(),
-            placement_policy: config.placement.policy(),
-            lost_reported: BTreeSet::new(),
-            seen_churn_seq: None,
+            coordinator: Mutex::new(Coordinator::new(config)),
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            crossing_clock: AtomicU64::new(0),
+            victim_cursor: AtomicU32::new(0),
+            seen_churn_seq: AtomicU64::new(u64::MAX),
         }
+    }
+
+    /// Number of shards in the lock table.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard holds the state of swap-cluster `sc`.
+    pub fn shard_of(&self, sc: u32) -> usize {
+        shard_for(sc, self.shards.len())
+    }
+
+    /// Config plus the policy-set device-kind preference, snapshotted in
+    /// one coordinator acquisition. Reads recover from poison (both are
+    /// plain-old-data); call *before* taking any shard guard — the
+    /// hierarchy forbids coordinator acquisition below a shard.
+    pub(crate) fn prefs(&self) -> (SwapConfig, Option<DeviceKind>) {
+        let c = self
+            .coordinator
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        (c.config, c.preferred_kind)
     }
 
     /// Try to drop blobs orphaned by failed swap-outs (best effort; a
     /// departed device keeps its orphan until it returns).
-    pub fn sweep_orphaned_blobs(&mut self) -> usize {
-        // Blob drops are idempotent, so a poisoned world is still safe to
-        // sweep; recover the guard rather than cascade the panic.
-        let mut net = self.net.lock().unwrap_or_else(PoisonError::into_inner);
-        let home = self.home;
-        let before = self.orphaned_blobs.len();
-        self.orphaned_blobs
-            .retain(|(device, key)| net.drop_blob(home, *device, key).is_err());
-        before - self.orphaned_blobs.len()
+    pub fn sweep_orphaned_blobs(&self) -> usize {
+        let mut dropped = 0;
+        for idx in 0..self.shards.len() {
+            // Blob drops are idempotent, so a poisoned shard is still safe
+            // to sweep; recover the guard rather than cascade the panic.
+            let mut shard = self.shards[idx]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if shard.orphaned_blobs.is_empty() {
+                continue;
+            }
+            let mut net = self.net.lock().unwrap_or_else(PoisonError::into_inner);
+            dropped += sweep_shard_orphans(&mut net, self.home, &mut shard);
+        }
+        dropped
     }
 
     /// The configuration.
     pub fn config(&self) -> SwapConfig {
-        self.config
+        self.prefs().0
     }
 
     /// Change the victim policy at runtime.
-    pub fn set_victim_policy(&mut self, policy: VictimPolicy) {
-        self.config.victim_policy = policy;
+    pub fn set_victim_policy(&self, policy: VictimPolicy) {
+        self.coordinator
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .config
+            .victim_policy = policy;
     }
 
     /// Prefer a device kind when choosing swap targets.
-    pub fn set_preferred_kind(&mut self, kind: Option<DeviceKind>) {
-        self.preferred_kind = kind;
+    pub fn set_preferred_kind(&self, kind: Option<DeviceKind>) {
+        self.coordinator
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .preferred_kind = kind;
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> SwapStats {
-        self.recorder.stats
+        self.recorder.stats()
     }
 
     /// Export the lifecycle event stream with run metadata, ready for
     /// [`obiwan_trace::Trace::to_json`] or the conformance checker.
     pub fn export_trace(&self) -> obiwan_trace::Trace {
-        let mut clusters: std::collections::BTreeSet<u32> =
-            self.recorder.known_clusters().collect();
-        clusters.extend(self.clusters.keys().copied());
-        let sink = self.recorder.sink();
+        let config = self.config();
+        let mut clusters: BTreeSet<u32> = self.recorder.known_clusters();
+        let mut swapped: Vec<u32> = Vec::new();
+        for idx in 0..self.shards.len() {
+            let shard = self.shards[idx]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            clusters.extend(shard.clusters.keys().copied());
+            swapped.extend(
+                shard
+                    .clusters
+                    .iter()
+                    .filter(|(_, e)| matches!(e.state, SwapClusterState::SwappedOut { .. }))
+                    .map(|(id, _)| *id),
+            );
+        }
+        swapped.sort_unstable();
+        let (capacity, recorded, dropped, events) = self.recorder.export();
         obiwan_trace::Trace {
             meta: obiwan_trace::TraceMeta {
                 home: self.home.index(),
-                replication_factor: self.config.replication_factor as u32,
-                wire_format: self.config.wire_format.name().to_owned(),
-                capacity: sink.capacity() as u64,
-                recorded: sink.recorded(),
-                dropped: sink.dropped(),
+                replication_factor: config.replication_factor as u32,
+                wire_format: config.wire_format.name().to_owned(),
+                capacity: capacity as u64,
+                recorded,
+                dropped,
                 clusters: clusters.into_iter().collect(),
-                swapped: self.swapped_clusters(),
+                swapped,
             },
-            events: self.recorder.snapshot(),
+            events,
         }
     }
 
     /// Drain policy events.
-    pub fn take_events(&mut self) -> Vec<PolicyEvent> {
-        std::mem::take(&mut self.events)
+    pub fn take_events(&self) -> Vec<PolicyEvent> {
+        std::mem::take(
+            &mut self
+                .coordinator
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .events,
+        )
     }
 
-    /// Registry entry of a swap-cluster.
+    /// Registry entry of a swap-cluster (a point-in-time copy; the live
+    /// entry stays behind its shard lock).
     ///
     /// # Errors
     ///
     /// [`SwapError::UnknownSwapCluster`].
-    pub fn cluster(&self, sc: u32) -> Result<&SwapClusterEntry> {
-        self.clusters
+    pub fn cluster(&self, sc: u32) -> Result<SwapClusterEntry> {
+        let shard = lock_shard(&self.shards, self.shard_of(sc))?;
+        shard
+            .clusters
             .get(&sc)
+            .cloned()
             .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })
     }
 
-    /// Ids of all registered swap-clusters (unordered).
+    /// Ids of all registered swap-clusters (ascending).
     pub fn cluster_ids(&self) -> Vec<u32> {
-        self.clusters.keys().copied().collect()
+        self.collect_cluster_ids(|_| true)
     }
 
     /// Ids of swap-clusters currently loaded.
     pub fn loaded_clusters(&self) -> Vec<u32> {
-        let mut ids: Vec<u32> = self
-            .clusters
-            .iter()
-            .filter(|(_, e)| e.is_loaded())
-            .map(|(id, _)| *id)
-            .collect();
-        ids.sort_unstable();
-        ids
+        self.collect_cluster_ids(SwapClusterEntry::is_loaded)
     }
 
     /// Ids of swap-clusters currently swapped out.
     pub fn swapped_clusters(&self) -> Vec<u32> {
-        let mut ids: Vec<u32> = self
-            .clusters
-            .iter()
-            .filter(|(_, e)| matches!(e.state, SwapClusterState::SwappedOut { .. }))
-            .map(|(id, _)| *id)
-            .collect();
+        self.collect_cluster_ids(|e| matches!(e.state, SwapClusterState::SwappedOut { .. }))
+    }
+
+    fn collect_cluster_ids(&self, keep: impl Fn(&SwapClusterEntry) -> bool) -> Vec<u32> {
+        let mut ids: Vec<u32> = Vec::new();
+        for idx in 0..self.shards.len() {
+            let Ok(shard) = lock_shard(&self.shards, idx) else {
+                continue;
+            };
+            ids.extend(
+                shard
+                    .clusters
+                    .iter()
+                    .filter(|(_, e)| keep(e))
+                    .map(|(id, _)| *id),
+            );
+        }
         ids.sort_unstable();
         ids
     }
 
     /// Choose a victim among loaded swap-clusters per the configured
     /// policy; `None` when nothing is evictable.
-    pub fn pick_victim(&mut self) -> Option<u32> {
-        let pick = self.config.victim_policy.choose(
-            self.clusters.iter().map(|(id, e)| (*id, e)),
-            self.victim_cursor,
-        );
+    pub fn pick_victim(&self) -> Option<u32> {
+        let policy = self.config().victim_policy;
+        let mut entries: Vec<(u32, SwapClusterEntry)> = Vec::new();
+        for idx in 0..self.shards.len() {
+            let Ok(shard) = lock_shard(&self.shards, idx) else {
+                continue;
+            };
+            entries.extend(shard.clusters.iter().map(|(id, e)| (*id, e.clone())));
+        }
+        // Policies see one ascending registry regardless of sharding.
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        let cursor = self.victim_cursor.load(Ordering::Relaxed);
+        let pick = policy.choose(entries.iter().map(|(id, e)| (*id, e)), cursor);
         if let Some(id) = pick {
-            self.victim_cursor = id;
+            self.victim_cursor.store(id, Ordering::Relaxed);
         }
         pick
     }
 
     // --- Durability: placement table, holder loss, repair sweep --------------
 
-    /// Read-only view of the placement table (auditor, tests, benches).
-    pub fn placements(&self) -> &PlacementTable {
-        &self.placements
+    /// Merged view of every shard's placement table (auditor, tests,
+    /// benches). A point-in-time copy; the live rows stay sharded.
+    pub fn placements(&self) -> PlacementTable {
+        let mut merged = PlacementTable::new();
+        for idx in 0..self.shards.len() {
+            let Ok(shard) = lock_shard(&self.shards, idx) else {
+                continue;
+            };
+            merged.absorb(&shard.placements);
+        }
+        merged
     }
 
     /// The holder set backing swap-cluster `sc` while it is swapped out:
-    /// `(epoch, key, holders)` from the placement table, falling back to
-    /// the single device recorded in the entry state (worlds whose state
-    /// was crafted directly, e.g. by injection tests).
+    /// `(epoch, key, holders)` from the owning shard's placement table,
+    /// falling back to the single device recorded in the entry state.
     pub fn holders_of(&self, sc: u32) -> Option<(u32, String, Vec<DeviceId>)> {
-        if let Some((epoch, p)) = self.placements.active(sc) {
-            return Some((epoch, p.key.clone(), p.holders.clone()));
-        }
-        let entry = self.clusters.get(&sc)?;
-        if let SwapClusterState::SwappedOut {
-            device, ref key, ..
-        } = entry.state
-        {
-            // The entry's epoch was bumped right after the store, so the
-            // blob on the wire carries the previous one.
-            Some((entry.epoch.wrapping_sub(1), key.clone(), vec![device]))
-        } else {
-            None
-        }
-    }
-
-    /// Candidate holders for a blob of `need` bytes under `key`, ranked by
-    /// the configured placement policy. Devices in `exclude` (current
-    /// holders) are skipped.
-    pub(crate) fn holder_candidates(
-        &self,
-        net: &SimNet,
-        key: &str,
-        need: usize,
-        exclude: &[DeviceId],
-    ) -> Vec<HolderCandidate> {
-        let source: Vec<(DeviceId, usize)> = if self.config.allow_relays {
-            net.reachable(self.home)
-        } else {
-            net.nearby(self.home).into_iter().map(|d| (d, 1)).collect()
-        };
-        let mut candidates: Vec<HolderCandidate> = source
-            .into_iter()
-            .filter(|(d, _)| !exclude.contains(d))
-            .filter_map(|(d, hops)| {
-                let profile = net.profile(d).ok()?;
-                let kind_preferred = Some(profile.kind) == self.preferred_kind;
-                let free = net.free_storage(d).ok()?;
-                // The store charges key bytes too.
-                (free >= key.len() + need).then_some(HolderCandidate {
-                    device: d,
-                    kind_preferred,
-                    hops,
-                    free_storage: free,
-                })
-            })
-            .collect();
-        self.placement_policy.rank(&mut candidates);
-        candidates
+        let shard = lock_shard(&self.shards, self.shard_of(sc)).ok()?;
+        shard.holders_of(sc)
     }
 
     /// Detect blob holders that departed since the last pump and emit one
     /// [`PolicyEvent::HolderLost`] per fresh loss. A holder that returns
     /// is eligible to be reported again if it departs later.
-    pub fn note_departures(&mut self) -> Result<()> {
+    pub fn note_departures(&self) -> Result<()> {
+        let (config, _) = self.prefs();
         let present: HashSet<DeviceId> = {
             let net = lock_net(&self.net)?;
             self.recorder.sync_clock(&net);
@@ -348,11 +357,10 @@ impl SwappingManager {
             // device moved and no link changed since the last scan, so the
             // placement sweep below would find exactly what it found then.
             let seq = net.churn_seq();
-            if self.seen_churn_seq == Some(seq) {
+            if self.seen_churn_seq.swap(seq, Ordering::Relaxed) == seq {
                 return Ok(());
             }
-            self.seen_churn_seq = Some(seq);
-            if self.config.allow_relays {
+            if config.allow_relays {
                 net.reachable(self.home)
                     .into_iter()
                     .map(|(d, _)| d)
@@ -361,29 +369,39 @@ impl SwappingManager {
                 net.nearby(self.home).into_iter().collect()
             }
         };
-        let mut fresh: Vec<(u32, DeviceId, i64)> = Vec::new();
-        for (sc, _epoch, placement) in self.placements.iter() {
-            let left = placement
-                .holders
-                .iter()
-                .filter(|d| present.contains(d))
-                .count() as i64;
-            for &holder in &placement.holders {
-                if present.contains(&holder) {
-                    self.lost_reported.remove(&(sc, holder));
-                } else if !self.lost_reported.contains(&(sc, holder)) {
-                    fresh.push((sc, holder, left));
+        let mut fresh_events: Vec<PolicyEvent> = Vec::new();
+        for idx in 0..self.shards.len() {
+            let mut shard = lock_shard(&self.shards, idx)?;
+            let shard = &mut *shard;
+            let mut fresh: Vec<(u32, DeviceId, i64)> = Vec::new();
+            for (sc, _epoch, placement) in shard.placements.iter() {
+                let left = placement
+                    .holders
+                    .iter()
+                    .filter(|d| present.contains(d))
+                    .count() as i64;
+                for &holder in &placement.holders {
+                    if present.contains(&holder) {
+                        shard.lost_reported.remove(&(sc, holder));
+                    } else if !shard.lost_reported.contains(&(sc, holder)) {
+                        fresh.push((sc, holder, left));
+                    }
                 }
             }
+            for (sc, holder, left) in fresh {
+                shard.lost_reported.insert((sc, holder));
+                self.recorder.holder_lost(sc, holder.index(), left as u32);
+                fresh_events.push(PolicyEvent::HolderLost {
+                    swap_cluster: sc as i64,
+                    device: holder.index() as i64,
+                    holders_left: left,
+                });
+            }
         }
-        for (sc, holder, left) in fresh {
-            self.lost_reported.insert((sc, holder));
-            self.recorder.holder_lost(sc, holder.index(), left as u32);
-            self.events.push(PolicyEvent::HolderLost {
-                swap_cluster: sc as i64,
-                device: holder.index() as i64,
-                holders_left: left,
-            });
+        if !fresh_events.is_empty() {
+            lock_coordinator(&self.coordinator)?
+                .events
+                .extend(fresh_events);
         }
         Ok(())
     }
@@ -397,21 +415,31 @@ impl SwappingManager {
     /// cluster whose every holder is gone keeps its record so a returning
     /// holder makes the blob reachable again.
     ///
+    /// Per entry the sweep runs in two phases: bytes move under the net
+    /// lock only, then the outcome commits under the owning shard lock —
+    /// revalidating that the placement is still the one that was probed
+    /// (a racing reload turns freshly-placed copies into tracked orphans
+    /// instead of silently resurrecting a dead placement).
+    ///
     /// Returns `(clusters_repaired, bytes_moved)`.
     ///
     /// # Errors
     ///
     /// [`SwapError::LockPoisoned`], or hard network errors; per-device
     /// refusals (quota, departure, injected faults) are skipped.
-    pub fn repair_placements(&mut self) -> Result<(u64, u64)> {
-        let k = self.config.replication_factor;
-        let allow_relays = self.config.allow_relays;
+    pub fn repair_placements(&self) -> Result<(u64, u64)> {
+        let (config, preferred) = self.prefs();
+        let k = config.replication_factor;
+        let allow_relays = config.allow_relays;
         let home = self.home;
-        let entries: Vec<(u32, u32, String, Vec<DeviceId>)> = self
-            .placements
-            .iter()
-            .map(|(sc, epoch, p)| (sc, epoch, p.key.clone(), p.holders.clone()))
-            .collect();
+        let mut entries: Vec<(u32, u32, String, Vec<DeviceId>)> = Vec::new();
+        for idx in 0..self.shards.len() {
+            let shard = lock_shard(&self.shards, idx)?;
+            for (sc, epoch, p) in shard.placements.iter() {
+                entries.push((sc, epoch, p.key.clone(), p.holders.clone()));
+            }
+        }
+        entries.sort_unstable_by_key(|e| e.0);
         {
             let net = lock_net(&self.net)?;
             self.recorder.sync_clock(&net);
@@ -420,6 +448,7 @@ impl SwappingManager {
         let mut repaired = 0u64;
         let mut moved = 0u64;
         for (sc, epoch, key, holders) in entries {
+            // Phase A: probe and move bytes under the net lock only.
             let mut net = lock_net(&self.net)?;
             self.recorder.sync_clock(&net);
             let present: HashSet<DeviceId> = if allow_relays {
@@ -438,11 +467,11 @@ impl SwappingManager {
             // its copy intact. The key embeds home device, cluster and
             // epoch, so an exact key match *is* the current bytes; adopting
             // it costs no airtime where a re-replication would.
+            let mut unorphan: Vec<DeviceId> = Vec::new();
             for d in net.holders_of_key(&key) {
                 if d != home && present.contains(&d) && !live.contains(&d) {
                     live.push(d);
-                    self.orphaned_blobs
-                        .retain(|(od, ok)| !(*od == d && *ok == key));
+                    unorphan.push(d);
                 }
             }
             let dead: Vec<DeviceId> = holders
@@ -458,14 +487,14 @@ impl SwappingManager {
             // Re-adoption can push the live set past the placement width;
             // prune back down to `k` so the table never over-replicates
             // (the excess copies become tracked orphans).
+            let mut orphan: Vec<DeviceId> = Vec::new();
             if live.len() > k {
-                for &extra in &live[k..] {
-                    self.orphaned_blobs.push((extra, key.clone()));
-                }
+                orphan.extend(live[k..].iter().copied());
                 live.truncate(k);
             }
             let deficit = k.saturating_sub(live.len());
             let mut added: Vec<DeviceId> = Vec::new();
+            let mut sent_bytes = 0u64;
             if deficit > 0 {
                 let mut data = None;
                 for &src in &live {
@@ -487,8 +516,9 @@ impl SwappingManager {
                     }
                 }
                 let Some(data) = data else { continue };
-                moved += data.len() as u64;
-                let candidates = self.holder_candidates(&net, &key, data.len(), &holders);
+                sent_bytes += data.len() as u64;
+                let candidates =
+                    holder_candidates(&net, home, &config, preferred, &key, data.len(), &holders);
                 for c in candidates {
                     if added.len() >= deficit {
                         break;
@@ -503,6 +533,7 @@ impl SwappingManager {
                         Ok(cost) => {
                             self.recorder.sync_clock(&net);
                             self.recorder.blob_shipped(
+                                None,
                                 sc,
                                 epoch,
                                 c.device.index(),
@@ -510,7 +541,7 @@ impl SwappingManager {
                                 cost.as_micros(),
                             );
                             added.push(c.device);
-                            moved += data.len() as u64;
+                            sent_bytes += data.len() as u64;
                         }
                         Err(NetError::DuplicateBlob { .. }) => {
                             // The device already holds this exact key —
@@ -518,8 +549,7 @@ impl SwappingManager {
                             // intact. Re-adopt the copy instead of
                             // sweeping it as an orphan.
                             added.push(c.device);
-                            self.orphaned_blobs
-                                .retain(|(d, k2)| !(*d == c.device && *k2 == key));
+                            unorphan.push(c.device);
                         }
                         Err(NetError::QuotaExceeded { .. })
                         | Err(NetError::InjectedFailure { .. })
@@ -530,18 +560,41 @@ impl SwappingManager {
                 }
             }
             drop(net);
+            moved += sent_bytes;
+            // Phase B: commit under the owning shard lock, revalidating
+            // that the probed placement is still current.
             let new_holders: Vec<DeviceId> =
                 live.iter().copied().chain(added.iter().copied()).collect();
+            let mut shard = lock_shard(&self.shards, self.shard_of(sc))?;
+            let still = shard.placements.active(sc).map(|(e, p)| (e, p.key.clone()));
+            if still != Some((epoch, key.clone())) {
+                // The cluster reloaded (or re-swapped) while the bytes
+                // moved; the copies just placed back no cluster — track
+                // them so the orphan sweep reclaims them.
+                for &d in &added {
+                    shard.orphaned_blobs.push((d, key.clone()));
+                }
+                continue;
+            }
+            for d in &unorphan {
+                shard
+                    .orphaned_blobs
+                    .retain(|(od, ok)| !(od == d && *ok == key));
+            }
+            for &d in &orphan {
+                shard.orphaned_blobs.push((d, key.clone()));
+            }
             if new_holders != holders {
                 // Stale copies on pruned (departed) holders get swept if
                 // the device ever returns.
                 for &d in &dead {
-                    self.orphaned_blobs.push((d, key.clone()));
-                    self.lost_reported.remove(&(sc, d));
+                    shard.orphaned_blobs.push((d, key.clone()));
+                    shard.lost_reported.remove(&(sc, d));
                 }
-                self.placements
+                shard
+                    .placements
                     .record(sc, epoch, key.clone(), new_holders.clone());
-                if let Some(entry) = self.clusters.get_mut(&sc) {
+                if let Some(entry) = shard.clusters.get_mut(&sc) {
                     if let SwapClusterState::SwappedOut { device, .. } = &mut entry.state {
                         if let Some(&primary) = new_holders.first() {
                             *device = primary;
@@ -561,27 +614,64 @@ impl SwappingManager {
 
     /// The swap-cluster a replication cluster belongs to, creating the
     /// grouping lazily: `clusters_per_swap_cluster` consecutive replication
-    /// clusters share one swap-cluster.
-    fn sc_for_repl_cluster(&mut self, repl_cluster: u32) -> u32 {
-        if let Some(&sc) = self.repl_to_sc.get(&repl_cluster) {
-            return sc;
+    /// clusters share one swap-cluster. Caller holds the coordinator; the
+    /// owning shard is locked briefly to seed the registry entry
+    /// (coordinator → shard is the documented order).
+    fn sc_for_repl_cluster(&self, c: &mut Coordinator, repl_cluster: u32) -> Result<u32> {
+        if let Some(&sc) = c.repl_to_sc.get(&repl_cluster) {
+            return Ok(sc);
         }
-        let group = repl_cluster / self.config.clusters_per_swap_cluster as u32;
+        let group = repl_cluster / c.config.clusters_per_swap_cluster as u32;
         let sc = group + 1; // 0 is reserved for swap-cluster-0
-        self.next_sc = self.next_sc.max(sc + 1);
-        self.repl_to_sc.insert(repl_cluster, sc);
-        self.clusters.entry(sc).or_default();
+        c.next_sc = c.next_sc.max(sc + 1);
+        c.repl_to_sc.insert(repl_cluster, sc);
+        {
+            let mut shard = lock_shard(&self.shards, self.shard_of(sc))?;
+            shard.clusters.entry(sc).or_default();
+        }
         self.recorder.register_cluster(sc);
-        sc
+        Ok(sc)
     }
 
-    fn note_crossing(&mut self, sc: u32) {
-        self.crossing_clock += 1;
+    /// Record a boundary crossing from `from_sc` into `to_sc`. The two
+    /// clusters may live on different shards, so this is the canonical
+    /// two-shard transaction: both guards come from `lock_shard_pair`,
+    /// which orders them by ascending shard index.
+    fn note_crossing(&self, from_sc: u32, to_sc: u32) -> Result<()> {
+        let clock = self.crossing_clock.fetch_add(1, Ordering::Relaxed) + 1;
         self.recorder.note_crossing();
-        if let Some(e) = self.clusters.get_mut(&sc) {
-            e.crossings += 1;
-            e.last_crossing = self.crossing_clock;
+        let a = self.shard_of(from_sc);
+        let b = self.shard_of(to_sc);
+        let (mut first, mut second) = lock_shard_pair(&self.shards, a, b)?;
+        let lo = a.min(b);
+        {
+            let to_shard: &mut Shard = if b == lo {
+                &mut first
+            } else {
+                match second.as_mut() {
+                    Some(g) => g,
+                    None => &mut first,
+                }
+            };
+            if let Some(e) = to_shard.clusters.get_mut(&to_sc) {
+                e.crossings += 1;
+                e.last_crossing = clock;
+            }
         }
+        {
+            let from_shard: &mut Shard = if a == lo {
+                &mut first
+            } else {
+                match second.as_mut() {
+                    Some(g) => g,
+                    None => &mut first,
+                }
+            };
+            if let Some(e) = from_shard.clusters.get_mut(&from_sc) {
+                e.out_crossings += 1;
+            }
+        }
+        Ok(())
     }
 
     // --- The proxy rules ------------------------------------------------------
@@ -591,24 +681,25 @@ impl SwappingManager {
     /// Edges reuse one proxy per (source, target) pair — the paper's "when
     /// there are multiple references to the same object, across the same
     /// pair of swap-clusters, only a swap-cluster-proxy is required"
-    /// (rules i and ii).
+    /// (rules i and ii). Caller holds the coordinator.
     pub(crate) fn proxy_for(
-        &mut self,
+        &self,
         p: &mut Process,
+        c: &mut Coordinator,
         source_sc: u32,
         target: ObjRef,
         oid: Oid,
     ) -> Result<ObjRef> {
-        if let Some(&weak) = self.proxy_index.get(&(source_sc, oid)) {
+        if let Some(&weak) = c.proxy_index.get(&(source_sc, oid)) {
             if let Some(existing) = p.heap().weak_get(weak) {
                 self.recorder.proxy_reused(source_sc);
                 return Ok(existing);
             }
-            self.proxy_index.remove(&(source_sc, oid));
+            c.proxy_index.remove(&(source_sc, oid));
         }
-        let proxy = self.proxy_fresh(p, source_sc, target, oid)?;
+        let proxy = self.proxy_fresh(p, c, source_sc, target, oid)?;
         let weak = p.heap_mut().weak_ref(proxy)?;
-        self.proxy_index.insert((source_sc, oid), weak);
+        c.proxy_index.insert((source_sc, oid), weak);
         Ok(proxy)
     }
 
@@ -617,8 +708,9 @@ impl SwappingManager {
     /// these being created per reference and "later reclaimed by the LGC" —
     /// they are never entered into the edge-reuse index.
     pub(crate) fn proxy_fresh(
-        &mut self,
+        &self,
         p: &mut Process,
+        c: &mut Coordinator,
         source_sc: u32,
         target: ObjRef,
         oid: Oid,
@@ -626,8 +718,8 @@ impl SwappingManager {
         let proxy = proxy::create(p, source_sc, target, oid)?;
         let weak = p.heap_mut().weak_ref(proxy)?;
         let target_sc = p.heap().get(target)?.header().swap_cluster;
-        self.inbound.entry(target_sc).or_default().push(weak);
-        self.outbound.entry(source_sc).or_default().push(weak);
+        c.inbound.entry(target_sc).or_default().push(weak);
+        c.outbound.entry(source_sc).or_default().push(weak);
         self.recorder.proxy_created(source_sc);
         Ok(proxy)
     }
@@ -637,8 +729,9 @@ impl SwappingManager {
     /// the marked proxy patches itself and is returned instead of a fresh
     /// proxy).
     fn deliver_cross(
-        &mut self,
+        &self,
         p: &mut Process,
+        c: &mut Coordinator,
         to_sc: u32,
         target: ObjRef,
         oid: Oid,
@@ -665,18 +758,18 @@ impl SwappingManager {
                     // Crossing into a new cluster: (re-)register as inbound
                     // there so swap-out / reload keep patching it.
                     let weak = p.heap_mut().weak_ref(ep)?;
-                    self.inbound.entry(target_sc).or_default().push(weak);
+                    c.inbound.entry(target_sc).or_default().push(weak);
                 }
                 self.recorder.assign_patch(target_sc);
                 return Ok(ep);
             }
         }
-        self.proxy_fresh(p, to_sc, target, oid)
+        self.proxy_fresh(p, c, to_sc, target, oid)
     }
 
     /// The complete transfer rule for a reference moving into `to_sc`.
     pub(crate) fn transfer(
-        &mut self,
+        &self,
         p: &mut Process,
         r: ObjRef,
         to_sc: u32,
@@ -693,7 +786,8 @@ impl SwappingManager {
                 if r_sc == to_sc {
                     Ok(r)
                 } else {
-                    self.deliver_cross(p, to_sc, r, r_oid, entry_proxy)
+                    let mut c = lock_coordinator(&self.coordinator)?;
+                    self.deliver_cross(p, &mut c, to_sc, r, r_oid, entry_proxy)
                 }
             }
             ObjectKind::SwapProxy => {
@@ -708,7 +802,8 @@ impl SwappingManager {
                     Ok(r)
                 } else {
                     let oid = proxy::oid_of(p, r)?;
-                    self.deliver_cross(p, to_sc, target, oid, entry_proxy)
+                    let mut c = lock_coordinator(&self.coordinator)?;
+                    self.deliver_cross(p, &mut c, to_sc, target, oid, entry_proxy)
                 }
             }
         }
@@ -724,7 +819,7 @@ impl SwappingManager {
     ///
     /// Heap errors, or [`SwapError::Codec`] when `r` does not denote an
     /// application object.
-    pub fn make_cursor(&mut self, p: &mut Process, r: ObjRef) -> Result<ObjRef> {
+    pub fn make_cursor(&self, p: &mut Process, r: ObjRef) -> Result<ObjRef> {
         let (target, oid) = match p.heap().get(r)?.kind() {
             ObjectKind::SwapProxy => (proxy::target_of(p, r)?, proxy::oid_of(p, r)?),
             ObjectKind::App => (r, p.heap().get(r)?.header().oid),
@@ -738,20 +833,24 @@ impl SwappingManager {
         proxy::set_assign_mark(p, cursor, true)?;
         let target_sc = p.heap().get(target)?.header().swap_cluster;
         let weak = p.heap_mut().weak_ref(cursor)?;
-        self.inbound.entry(target_sc).or_default().push(weak);
+        {
+            let mut c = lock_coordinator(&self.coordinator)?;
+            c.inbound.entry(target_sc).or_default().push(weak);
+        }
         self.recorder.proxy_created(0);
         Ok(cursor)
     }
 
     /// Assign-mark a swap-cluster-proxy held by application code — the
     /// paper's `SwapClusterUtils.assign` (§4). Only proxies with source in
-    /// swap-cluster-0 may be marked.
+    /// swap-cluster-0 may be marked. Touches only the heap, so it takes no
+    /// manager lock at all.
     ///
     /// # Errors
     ///
     /// [`SwapError::Codec`] when `r` is not a swap-cluster-proxy, or its
     /// source is not swap-cluster-0.
-    pub fn assign(&mut self, p: &mut Process, r: ObjRef) -> Result<()> {
+    pub fn assign(&self, p: &mut Process, r: ObjRef) -> Result<()> {
         if p.heap().get(r)?.kind() != ObjectKind::SwapProxy {
             return Err(SwapError::codec(
                 "assign() takes a swap-cluster-proxy reference",
@@ -768,31 +867,31 @@ impl SwappingManager {
 
     // --- Interceptor entry points (called via the shim) ----------------------
 
-    pub(crate) fn on_cluster_replicated(
-        &mut self,
-        p: &mut Process,
-        info: &ClusterInfo,
-    ) -> Result<()> {
-        let sc = self.sc_for_repl_cluster(info.repl_cluster);
+    pub(crate) fn on_cluster_replicated(&self, p: &mut Process, info: &ClusterInfo) -> Result<()> {
+        let mut c = lock_coordinator(&self.coordinator)?;
+        let sc = self.sc_for_repl_cluster(&mut c, info.repl_cluster)?;
         // Tag members and register them.
         let mut bytes = 0;
+        let mut fresh: Vec<(Oid, ObjRef)> = Vec::new();
         for &m in &info.members {
             let size = p.heap().get(m)?.size();
             bytes += size;
             let h = p.heap_mut().get_mut(m)?.header_mut();
             h.swap_cluster = sc;
-            let oid = h.oid;
-            let entry = self.clusters.entry(sc).or_default();
-            entry.members.push((oid, m));
+            fresh.push((h.oid, m));
         }
-        let entry = self.clusters.entry(sc).or_default();
-        entry.bytes += bytes;
+        {
+            let mut shard = lock_shard(&self.shards, self.shard_of(sc))?;
+            let entry = shard.clusters.entry(sc).or_default();
+            entry.members.extend(fresh);
+            entry.bytes += bytes;
+        }
         // Re-mediate references:
         // 1. fresh member fields that point out of the swap-cluster;
         for &m in &info.members {
             let field_count = p.heap().get(m)?.fields().len();
             for idx in 0..field_count {
-                self.mediate_slot(p, m, sc, idx)?;
+                self.mediate_slot(p, &mut c, m, sc, idx)?;
             }
         }
         // 2. older holders whose fault proxy was just replaced by a member;
@@ -801,7 +900,7 @@ impl SwappingManager {
                 continue;
             }
             let holder_sc = p.heap().get(holder)?.header().swap_cluster;
-            self.mediate_slot(p, holder, holder_sc, idx)?;
+            self.mediate_slot(p, &mut c, holder, holder_sc, idx)?;
         }
         // 3. globals (swap-cluster-0) whose fault proxy was just replaced.
         for name in &info.patched_globals {
@@ -810,9 +909,7 @@ impl SwappingManager {
                 let t_obj = p.heap().get(t)?;
                 if t_obj.kind() == ObjectKind::App && t_obj.header().swap_cluster != 0 {
                     let oid = t_obj.header().oid;
-                    let sc_of_t = t_obj.header().swap_cluster;
-                    let _ = sc_of_t;
-                    let proxy = self.proxy_for(p, 0, t, oid)?;
+                    let proxy = self.proxy_for(p, &mut c, 0, t, oid)?;
                     p.set_global(name.clone(), obiwan_heap::Value::Ref(proxy));
                 }
             }
@@ -821,10 +918,11 @@ impl SwappingManager {
     }
 
     /// Wrap one slot of `holder` (which lives in `holder_sc`) if it holds a
-    /// direct cross-swap-cluster reference.
+    /// direct cross-swap-cluster reference. Caller holds the coordinator.
     fn mediate_slot(
-        &mut self,
+        &self,
         p: &mut Process,
+        c: &mut Coordinator,
         holder: ObjRef,
         holder_sc: u32,
         idx: usize,
@@ -839,7 +937,7 @@ impl SwappingManager {
         };
         match t_kind {
             ObjectKind::App | ObjectKind::Replacement if t_sc != holder_sc => {
-                let proxy = self.proxy_for(p, holder_sc, t, t_oid)?;
+                let proxy = self.proxy_for(p, c, holder_sc, t, t_oid)?;
                 p.heap_mut()
                     .set_any_field(holder, idx, obiwan_heap::Value::Ref(proxy))?;
             }
@@ -848,13 +946,10 @@ impl SwappingManager {
         Ok(())
     }
 
-    pub(crate) fn on_resolve_invocable(
-        &mut self,
-        p: &mut Process,
-        obj: ObjRef,
-    ) -> Result<Resolved> {
+    pub(crate) fn on_resolve_invocable(&self, p: &mut Process, obj: ObjRef) -> Result<Resolved> {
         match p.heap().get(obj)?.kind() {
             ObjectKind::SwapProxy => {
+                let from_sc = proxy::source_of(p, obj)?;
                 let mut target = proxy::target_of(p, obj)?;
                 if p.heap().get(target)?.kind() == ObjectKind::Replacement {
                     let sc = p.heap().get(target)?.header().swap_cluster;
@@ -862,7 +957,7 @@ impl SwappingManager {
                     target = proxy::target_of(p, obj)?;
                 }
                 let target_sc = p.heap().get(target)?.header().swap_cluster;
-                self.note_crossing(target_sc);
+                self.note_crossing(from_sc, target_sc)?;
                 if p.heap().get(target)?.kind() != ObjectKind::App {
                     return Err(SwapError::codec(format!(
                         "swap-cluster-proxy target did not resolve to an \
@@ -886,9 +981,59 @@ impl SwappingManager {
     }
 }
 
+/// Candidate holders for a blob of `need` bytes under `key`, ranked by
+/// the configured placement policy. Devices in `exclude` (current
+/// holders) are skipped. A free function over snapshotted prefs so it can
+/// run under the net lock without touching coordinator or shard state.
+pub(crate) fn holder_candidates(
+    net: &SimNet,
+    home: DeviceId,
+    config: &SwapConfig,
+    preferred: Option<DeviceKind>,
+    key: &str,
+    need: usize,
+    exclude: &[DeviceId],
+) -> Vec<HolderCandidate> {
+    let source: Vec<(DeviceId, usize)> = if config.allow_relays {
+        net.reachable(home)
+    } else {
+        net.nearby(home).into_iter().map(|d| (d, 1)).collect()
+    };
+    let mut candidates: Vec<HolderCandidate> = source
+        .into_iter()
+        .filter(|(d, _)| !exclude.contains(d))
+        .filter_map(|(d, hops)| {
+            let profile = net.profile(d).ok()?;
+            let kind_preferred = Some(profile.kind) == preferred;
+            let free = net.free_storage(d).ok()?;
+            // The store charges key bytes too.
+            (free >= key.len() + need).then_some(HolderCandidate {
+                device: d,
+                kind_preferred,
+                hops,
+                free_storage: free,
+            })
+        })
+        .collect();
+    config.placement.policy().rank(&mut candidates);
+    candidates
+}
+
+/// Drop one shard's orphaned blobs, best effort. Caller holds the shard
+/// guard and the net guard (in that order).
+pub(crate) fn sweep_shard_orphans(net: &mut SimNet, home: DeviceId, shard: &mut Shard) -> usize {
+    let before = shard.orphaned_blobs.len();
+    shard
+        .orphaned_blobs
+        .retain(|(device, key)| net.drop_blob(home, *device, key).is_err());
+    before - shard.orphaned_blobs.len()
+}
+
 /// The adapter installing a [`SwappingManager`] as a replication
 /// [`Interceptor`]. Holds the shared handle; the middleware keeps the
-/// other.
+/// other. The manager synchronizes internally, so the shim holds no
+/// guard of its own — a reload triggered mid-invocation locks exactly
+/// the shards and net windows it needs, phase by phase.
 #[derive(Debug, Clone)]
 pub struct InterceptorShim(pub SharedManager);
 
@@ -898,8 +1043,7 @@ impl Interceptor for InterceptorShim {
         p: &mut Process,
         info: &ClusterInfo,
     ) -> obiwan_replication::Result<()> {
-        lock_manager(&self.0)
-            .map_err(SwapError::into_repl)?
+        self.0
             .on_cluster_replicated(p, info)
             .map_err(SwapError::into_repl)
     }
@@ -909,13 +1053,7 @@ impl Interceptor for InterceptorShim {
         p: &mut Process,
         obj: ObjRef,
     ) -> obiwan_replication::Result<Resolved> {
-        // Resolving a zombie proxy reloads its cluster mid-invocation; the
-        // reload must see the same manager state the invocation saw, so
-        // the guard genuinely spans the fetch until the sharding refactor
-        // (ROADMAP item 1) gives faults their own shard.
-        lock_manager(&self.0)
-            .map_err(SwapError::into_repl)?
-            // lint:allow(S9, reload-mid-invocation is re-entrant on the manager by design)
+        self.0
             .on_resolve_invocable(p, obj)
             .map_err(SwapError::into_repl)
     }
@@ -927,8 +1065,7 @@ impl Interceptor for InterceptorShim {
         to_sc: u32,
         entry_proxy: Option<ObjRef>,
     ) -> obiwan_replication::Result<ObjRef> {
-        lock_manager(&self.0)
-            .map_err(SwapError::into_repl)?
+        self.0
             .transfer(p, r, to_sc, entry_proxy)
             .map_err(SwapError::into_repl)
     }
@@ -938,7 +1075,6 @@ impl Interceptor for InterceptorShim {
         p: &mut Process,
         oid: Oid,
     ) -> obiwan_replication::Result<Option<ObjRef>> {
-        let mut manager = lock_manager(&self.0).map_err(SwapError::into_repl)?;
         let Some(replacement) = p.swapped_replacement(oid) else {
             return Ok(None);
         };
@@ -948,11 +1084,7 @@ impl Interceptor for InterceptorShim {
             .map_err(|e| SwapError::from(e).into_repl())?
             .header()
             .swap_cluster;
-        // Same shape as resolve_invocable: the swapped identity must be
-        // reloaded under the guard that observed it swapped, or a racing
-        // detach could re-swap it between lookup and fetch.
-        // lint:allow(S9, reload-mid-resolution is re-entrant on the manager by design)
-        manager.swap_in(p, sc).map_err(SwapError::into_repl)?;
+        self.0.swap_in(p, sc).map_err(SwapError::into_repl)?;
         Ok(p.lookup_replica(oid))
     }
 }

@@ -2,11 +2,9 @@
 //! wireless world and the swapping manager into one object.
 
 use crate::audit::AuditReport;
-use crate::detach::ship_copies;
 use crate::manager::{
-    lock_manager, lock_net, repl_to_swap, InterceptorShim, SharedManager, SharedNet, SwapStats,
+    lock_net, repl_to_swap, InterceptorShim, SharedManager, SharedNet, SwapStats,
 };
-use crate::reload::fetch_copy;
 use crate::{identity, Result, SwapConfig, SwapError, SwappingManager, VictimPolicy};
 use obiwan_heap::{HeapStats, ObjRef, Oid, Value};
 use obiwan_net::{DeviceId, DeviceKind, LinkSpec, SimNet, SimTime};
@@ -164,6 +162,17 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// How many shards split the manager's cluster-keyed state (default 8;
+    /// one shard reproduces the old fully-serialized manager).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn shard_count(mut self, n: usize) -> Self {
+        self.swap_config = self.swap_config.shard_count(n);
+        self
+    }
+
     /// Placement strategy used to rank candidate holders at swap-out and
     /// during repair (default: first-fit, the paper's order).
     pub fn placement(mut self, kind: obiwan_placement::PlacementKind) -> Self {
@@ -278,11 +287,11 @@ impl MiddlewareBuilder {
             self.device_memory,
             ReplConfig::with_cluster_size(self.cluster_size),
         );
-        let manager: SharedManager = Arc::new(Mutex::new(SwappingManager::new(
+        let manager: SharedManager = Arc::new(SwappingManager::new(
             self.swap_config,
             Arc::clone(&net),
             home,
-        )));
+        ));
         if self.swapping_enabled {
             process.set_interceptor(Box::new(InterceptorShim(Arc::clone(&manager))));
         }
@@ -352,7 +361,10 @@ impl Middleware {
         Arc::clone(&self.net)
     }
 
-    /// The shared swapping manager.
+    /// The shared swapping manager. The manager synchronizes internally
+    /// (sharded lock table); maintenance threads clone the handle and call
+    /// methods like [`SwappingManager::note_departures`] or
+    /// [`SwappingManager::repair_placements`] directly.
     pub fn manager(&self) -> SharedManager {
         Arc::clone(&self.manager)
     }
@@ -536,46 +548,31 @@ impl Middleware {
         self.process.set_global(name, value);
     }
 
-    /// Swap out a specific swap-cluster.
+    /// Swap out a specific swap-cluster. The manager runs its own phased
+    /// detach (prepare under the shard lock, ship under the net lock only,
+    /// commit under coordinator + shard), so bytes never move while any
+    /// shard is locked.
     ///
     /// # Errors
     ///
     /// See [`SwappingManager::swap_out`].
     pub fn swap_out(&mut self, sc: u32) -> Result<usize> {
-        let out = self.swap_out_phases(sc);
+        let out = self.manager.swap_out(&mut self.process, sc);
         self.debug_self_audit("swap_out");
         out
     }
 
-    /// The phased swap-out: prepare under the manager guard, ship the
-    /// blob with only the net lock held, commit under the manager guard
-    /// again. Bytes never move while the manager is locked, so a reload
-    /// triggered concurrently (interceptor shim) cannot convoy behind a
-    /// slow radio.
-    fn swap_out_phases(&mut self, sc: u32) -> Result<usize> {
-        let prep = lock_manager(&self.manager)?.detach_prepare(&mut self.process, sc)?;
-        let shipped = ship_copies(&self.net, &prep);
-        lock_manager(&self.manager)?.detach_commit(&mut self.process, prep, shipped)
-    }
-
-    /// Reload a specific swap-cluster.
+    /// Reload a specific swap-cluster (the phased swap-in mirrors
+    /// [`Middleware::swap_out`]: the failover fetch holds only the net
+    /// lock).
     ///
     /// # Errors
     ///
     /// See [`SwappingManager::swap_in`].
     pub fn swap_in(&mut self, sc: u32) -> Result<usize> {
-        let out = self.swap_in_phases(sc);
+        let out = self.manager.swap_in(&mut self.process, sc);
         self.debug_self_audit("swap_in");
         out
-    }
-
-    /// The phased swap-in: placement lookup under the manager guard, the
-    /// failover fetch with only the net lock held, rematerialization
-    /// under the manager guard again.
-    fn swap_in_phases(&mut self, sc: u32) -> Result<usize> {
-        let prep = lock_manager(&self.manager)?.reload_prepare(sc)?;
-        let fetched = fetch_copy(&self.net, &prep);
-        lock_manager(&self.manager)?.reload_commit(&mut self.process, prep, fetched)
     }
 
     /// Pick a victim by policy and swap it out; `None` when nothing is
@@ -585,34 +582,9 @@ impl Middleware {
     ///
     /// See [`SwappingManager::swap_out`].
     pub fn swap_out_victim(&mut self) -> Result<Option<u32>> {
-        let out = self.swap_out_victim_phases();
+        let out = self.manager.swap_out_victim(&mut self.process);
         self.debug_self_audit("swap_out_victim");
         out
-    }
-
-    /// Victim eviction with the same phase discipline as
-    /// [`Middleware::swap_out`]. The loop terminates: each
-    /// `NothingToSwap` retires the picked cluster, so the candidate set
-    /// shrinks.
-    fn swap_out_victim_phases(&mut self) -> Result<Option<u32>> {
-        loop {
-            let prep = {
-                let mut manager = lock_manager(&self.manager)?;
-                let Some(sc) = manager.pick_victim() else {
-                    return Ok(None);
-                };
-                match manager.detach_prepare(&mut self.process, sc) {
-                    Ok(prep) => prep,
-                    Err(SwapError::NothingToSwap { .. }) => continue,
-                    Err(e) => return Err(e),
-                }
-            };
-            let sc = prep.sc;
-            let shipped = ship_copies(&self.net, &prep);
-            return lock_manager(&self.manager)?
-                .detach_commit(&mut self.process, prep, shipped)
-                .map(|_| Some(sc));
-        }
     }
 
     /// Run a collection and process finalizers (blob drops, table pruning).
@@ -622,18 +594,14 @@ impl Middleware {
     /// See [`SwappingManager::process_finalized`].
     pub fn run_gc(&mut self) -> Result<obiwan_heap::CollectStats> {
         let stats = self.process.collect();
-        let out = {
-            let mut manager = lock_manager(&self.manager)?;
-            let dropped = manager.process_finalized(&mut self.process);
-            if let Ok(d) = &dropped {
-                manager
-                    .recorder
-                    .gc_run(stats.freed_objects as u64, *d as u64);
-            }
-            dropped
-        };
+        let dropped = self.manager.process_finalized(&mut self.process);
+        if let Ok(d) = &dropped {
+            self.manager
+                .recorder
+                .gc_run(stats.freed_objects as u64, *d as u64);
+        }
         self.debug_self_audit("run_gc");
-        out?;
+        dropped?;
         Ok(stats)
     }
 
@@ -644,7 +612,7 @@ impl Middleware {
     ///
     /// See [`SwappingManager::assign`].
     pub fn assign(&mut self, proxy: ObjRef) -> Result<()> {
-        lock_manager(&self.manager)?.assign(&mut self.process, proxy)
+        self.manager.assign(&mut self.process, proxy)
     }
 
     /// Create a private, assign-marked iterator proxy denoting the same
@@ -657,12 +625,13 @@ impl Middleware {
     /// See [`SwappingManager::make_cursor`]; additionally fault failures
     /// when `r` is a not-yet-replicated placeholder.
     pub fn make_cursor(&mut self, r: ObjRef) -> Result<ObjRef> {
-        // Fault lazily-unfetched replicas in *before* taking the manager
-        // lock: a zombie fault-proxy (identity swapped out behind it)
-        // resolves through the interceptor shim, which locks the manager —
-        // reentrant locking would deadlock.
+        // Fault lazily-unfetched replicas in *before* building the cursor:
+        // a zombie fault-proxy (identity swapped out behind it) resolves
+        // through the interceptor shim, and running that reload inside
+        // `make_cursor` would interleave its shard/coordinator windows with
+        // the cursor's own bookkeeping.
         let r = self.process.ensure_replica(r).map_err(repl_to_swap)?;
-        lock_manager(&self.manager)?.make_cursor(&mut self.process, r)
+        self.manager.make_cursor(&mut self.process, r)
     }
 
     /// Commit a replica's state back to the server (see
@@ -698,12 +667,7 @@ impl Middleware {
     /// call at any quiescent point. Tests assert `audit().has_errors()` is
     /// false; debug builds do so automatically after every swap operation.
     pub fn audit(&self) -> AuditReport {
-        // Read-only pass; recover a poisoned guard rather than panic so the
-        // auditor can still describe the state a panicking thread left.
-        self.manager
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .audit(&self.process)
+        self.manager.audit(&self.process)
     }
 
     /// In debug builds, audit the graph after a swapping operation and
@@ -724,10 +688,9 @@ impl Middleware {
         // Counters stay meaningful even if another thread panicked while
         // holding a guard; recover rather than cascade the panic.
         let net = self.net.lock().unwrap_or_else(PoisonError::into_inner);
-        let manager = self.manager.lock().unwrap_or_else(PoisonError::into_inner);
         MiddlewareStats {
             heap: self.process.heap().stats(),
-            swap: manager.stats(),
+            swap: self.manager.stats(),
             traffic: net.traffic(),
             now: net.now(),
             process: self.process.counters(),
@@ -736,19 +699,13 @@ impl Middleware {
 
     /// Swapping counters only.
     pub fn swap_stats(&self) -> SwapStats {
-        self.manager
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .stats()
+        self.manager.stats()
     }
 
     /// Export the swap-lifecycle event trace with run metadata — the input
     /// to `obiwan_trace::conformance::check` and the JSON exporter.
     pub fn export_trace(&self) -> obiwan_trace::Trace {
-        self.manager
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .export_trace()
+        self.manager.export_trace()
     }
 
     /// The trace serialized as deterministic JSON (byte-identical for
@@ -785,14 +742,11 @@ impl Middleware {
                 ReplicationEvent::ObjectFault { .. } => {}
             }
         }
-        {
-            let mut manager = lock_manager(&self.manager)?;
-            // Compare the placement table against the room before draining:
-            // a holder that walked away surfaces as `HolderLost` in this
-            // same pump, so the repair policy reacts without a second tick.
-            manager.note_departures()?;
-            events.extend(manager.take_events());
-        }
+        // Compare the placement table against the room before draining:
+        // a holder that walked away surfaces as `HolderLost` in this
+        // same pump, so the repair policy reacts without a second tick.
+        self.manager.note_departures()?;
+        events.extend(self.manager.take_events());
         {
             let stats = self.process.heap().stats();
             if let Some(e) = self
@@ -826,13 +780,9 @@ impl Middleware {
     }
 
     fn apply(&mut self, action: Action) -> Result<()> {
-        {
-            // Record the decision before executing it, so the pump-action
-            // event precedes the lifecycle events it causes. Scoped: the
-            // handlers below re-take the manager lock themselves.
-            let mut manager = lock_manager(&self.manager)?;
-            manager.recorder.pump_action(action.name());
-        }
+        // Record the decision before executing it, so the pump-action
+        // event precedes the lifecycle events it causes.
+        self.manager.recorder.pump_action(action.name());
         match action {
             Action::RunGc => {
                 self.run_gc()?;
@@ -863,17 +813,12 @@ impl Middleware {
                     "access-point" => Some(DeviceKind::AccessPoint),
                     _ => None,
                 };
-                let mut manager = lock_manager(&self.manager)?;
-                manager.set_preferred_kind(parsed);
+                self.manager.set_preferred_kind(parsed);
             }
             Action::RepairPlacements => {
-                let mut manager = lock_manager(&self.manager)?;
-                // The repair sweep walks the placement table while it
-                // re-replicates, so it genuinely needs the manager for its
-                // whole duration; it runs from the pump, never from an
-                // invocation path, so nothing can convoy behind it.
-                // lint:allow(S9, repair re-replicates under the manager by design)
-                manager.repair_placements()?;
+                // The repair sweep phases itself: bytes move under the net
+                // lock only, each entry commits under its owning shard.
+                self.manager.repair_placements()?;
             }
             Action::Log { message } => self.log.push(message),
         }
@@ -913,14 +858,13 @@ mod tests {
             .cluster_size(7)
             .device_memory(12_345)
             .victim_policy(VictimPolicy::LargestFirst)
+            .shard_count(3)
             .build(server);
         assert_eq!(mw.process().config().cluster_size, 7);
         assert_eq!(mw.process().heap().capacity(), 12_345);
         let manager = mw.manager();
-        assert_eq!(
-            manager.lock().expect("manager").config().victim_policy,
-            VictimPolicy::LargestFirst
-        );
+        assert_eq!(manager.config().victim_policy, VictimPolicy::LargestFirst);
+        assert_eq!(manager.shard_count(), 3);
     }
 
     #[test]

@@ -5,21 +5,33 @@
 //! and the event stream cannot drift apart (the trace-consistency tests
 //! fold the stream back into counters and assert exact equality).
 //!
+//! The recorder is the leaf of the sharded manager's lock hierarchy
+//! (coordinator → shard → net → recorder): sequence numbers come from one
+//! atomic counter and the counters/sink live behind a private mutex, so
+//! any thread may record an event while holding any combination of
+//! coordinator, shard, or net guards — or none at all. The recorder never
+//! calls back out, so it can introduce no ordering cycle.
+//!
 //! Stamps are deterministic: the recorder caches the simulated world's
 //! churn sequence and virtual clock and re-reads them only at
 //! [`Recorder::sync_clock`] call sites — places that already hold the net
-//! guard — so recording an event never takes a lock of its own.
+//! guard. Commit phases that replay ship/fetch outcomes captured outside
+//! the shard guard pass the captured stamp explicitly (the `at` argument
+//! of [`Recorder::blob_shipped`] / [`Recorder::failover`]), which updates
+//! the cache and emits in one critical section — so single-threaded runs
+//! export byte-identical traces whether or not the phases interleave.
 
 use crate::manager::SwapStats;
 use obiwan_net::SimNet;
 use obiwan_trace::{EventKind, TraceRecord, TraceSink};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
-/// Owns the counters and the event sink; lives inside the
-/// `SwappingManager` behind the manager lock.
+/// Everything behind the recorder's interior lock.
 #[derive(Debug)]
-pub(crate) struct Recorder {
-    pub(crate) stats: SwapStats,
+struct RecorderInner {
+    stats: SwapStats,
     sink: TraceSink,
     /// Cached [`SimNet::churn_seq`] from the last clock sync.
     churn: u64,
@@ -31,178 +43,257 @@ pub(crate) struct Recorder {
     known_clusters: BTreeSet<u32>,
 }
 
+/// Owns the counters and the event sink; shared by every shard of the
+/// `SwappingManager` so the exported trace stays one totally-ordered
+/// stream.
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    /// The atomic stamp choke point: every emitted event takes its
+    /// sequence number from here, inside the inner critical section, so
+    /// sequences in the sink are allocated in emission order.
+    seq: AtomicU64,
+    inner: Mutex<RecorderInner>,
+}
+
 impl Recorder {
     pub(crate) fn new(capacity: usize) -> Self {
         Recorder {
-            stats: SwapStats::default(),
-            sink: TraceSink::with_capacity(capacity),
-            churn: 0,
-            at_us: 0,
-            known_clusters: BTreeSet::from([0]),
+            seq: AtomicU64::new(0),
+            inner: Mutex::new(RecorderInner {
+                stats: SwapStats::default(),
+                sink: TraceSink::with_capacity(capacity),
+                churn: 0,
+                at_us: 0,
+                known_clusters: BTreeSet::from([0]),
+            }),
         }
+    }
+
+    /// The recorder is diagnostics: a thread that panicked while holding
+    /// the inner lock leaves counters at worst one event out of step, so
+    /// recording recovers from poison instead of propagating it.
+    fn locked(&self) -> MutexGuard<'_, RecorderInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Refresh the cached logical clock from the world. Call while the
     /// net guard is held; events recorded until the next sync carry this
     /// stamp.
-    pub(crate) fn sync_clock(&mut self, net: &SimNet) {
-        self.churn = net.churn_seq();
-        self.at_us = net.now().as_micros();
+    pub(crate) fn sync_clock(&self, net: &SimNet) {
+        let mut inner = self.locked();
+        inner.churn = net.churn_seq();
+        inner.at_us = net.now().as_micros();
     }
 
     /// Restore the cached logical clock from a stamp carried out of a
     /// guard-free shipping or fetch phase, so events replayed under the
-    /// manager guard keep the stamps they had when the bytes moved.
-    pub(crate) fn set_clock(&mut self, churn: u64, at_us: u64) {
-        self.churn = churn;
-        self.at_us = at_us;
+    /// shard guard keep the stamps they had when the bytes moved.
+    pub(crate) fn set_clock(&self, churn: u64, at_us: u64) {
+        let mut inner = self.locked();
+        inner.churn = churn;
+        inner.at_us = at_us;
     }
 
-    pub(crate) fn register_cluster(&mut self, sc: u32) {
-        self.known_clusters.insert(sc);
+    pub(crate) fn register_cluster(&self, sc: u32) {
+        self.locked().known_clusters.insert(sc);
     }
 
-    pub(crate) fn known_clusters(&self) -> impl Iterator<Item = u32> + '_ {
-        self.known_clusters.iter().copied()
+    pub(crate) fn known_clusters(&self) -> BTreeSet<u32> {
+        self.locked().known_clusters.clone()
     }
 
-    pub(crate) fn sink(&self) -> &TraceSink {
-        &self.sink
+    /// Copy out the current counters.
+    pub(crate) fn stats(&self) -> SwapStats {
+        self.locked().stats
     }
 
-    pub(crate) fn snapshot(&self) -> Vec<TraceRecord> {
-        self.sink.snapshot()
+    /// One-lock export of the sink: `(capacity, recorded, dropped,
+    /// records)`.
+    pub(crate) fn export(&self) -> (usize, u64, u64, Vec<TraceRecord>) {
+        let inner = self.locked();
+        (
+            inner.sink.capacity(),
+            inner.sink.recorded(),
+            inner.sink.dropped(),
+            inner.sink.snapshot(),
+        )
     }
 
-    fn emit(&mut self, kind: EventKind) {
-        self.sink.push(self.churn, self.at_us, kind);
+    fn emit(&self, inner: &mut RecorderInner, kind: EventKind) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let (churn, at_us) = (inner.churn, inner.at_us);
+        inner.sink.push_stamped(seq, churn, at_us, kind);
     }
 
     // --- Paired bumps: one method per lifecycle fact ----------------------
 
-    pub(crate) fn detach_start(&mut self, sc: u32) {
-        self.emit(EventKind::DetachStart { sc });
+    pub(crate) fn detach_start(&self, sc: u32) {
+        let mut inner = self.locked();
+        self.emit(&mut inner, EventKind::DetachStart { sc });
     }
 
-    pub(crate) fn detach_end(&mut self, sc: u32, epoch: u32, bytes: u64, copies: u32) {
-        self.stats.swap_outs += 1;
-        self.stats.bytes_swapped_out += bytes * u64::from(copies);
-        self.emit(EventKind::DetachEnd {
-            sc,
-            epoch,
-            bytes,
-            copies,
-        });
+    pub(crate) fn detach_end(&self, sc: u32, epoch: u32, bytes: u64, copies: u32) {
+        let mut inner = self.locked();
+        inner.stats.swap_outs += 1;
+        inner.stats.bytes_swapped_out += bytes * u64::from(copies);
+        self.emit(
+            &mut inner,
+            EventKind::DetachEnd {
+                sc,
+                epoch,
+                bytes,
+                copies,
+            },
+        );
     }
 
-    pub(crate) fn detach_abort(&mut self, sc: u32) {
-        self.emit(EventKind::DetachAbort { sc });
+    pub(crate) fn detach_abort(&self, sc: u32) {
+        let mut inner = self.locked();
+        self.emit(&mut inner, EventKind::DetachAbort { sc });
     }
 
-    pub(crate) fn reload_start(&mut self, sc: u32) {
-        self.emit(EventKind::ReloadStart { sc });
+    pub(crate) fn reload_start(&self, sc: u32) {
+        let mut inner = self.locked();
+        self.emit(&mut inner, EventKind::ReloadStart { sc });
     }
 
-    pub(crate) fn reload_end(&mut self, sc: u32, epoch: u32, bytes: u64, failovers: u32) {
-        self.stats.swap_ins += 1;
-        self.stats.bytes_swapped_in += bytes;
+    pub(crate) fn reload_end(&self, sc: u32, epoch: u32, bytes: u64, failovers: u32) {
+        let mut inner = self.locked();
+        inner.stats.swap_ins += 1;
+        inner.stats.bytes_swapped_in += bytes;
         if failovers > 0 {
-            self.stats.reload_failovers += 1;
+            inner.stats.reload_failovers += 1;
         }
-        self.emit(EventKind::ReloadEnd {
-            sc,
-            epoch,
-            bytes,
-            failovers,
-        });
+        self.emit(
+            &mut inner,
+            EventKind::ReloadEnd {
+                sc,
+                epoch,
+                bytes,
+                failovers,
+            },
+        );
     }
 
-    pub(crate) fn reload_abort(&mut self, sc: u32) {
-        self.emit(EventKind::ReloadAbort { sc });
+    pub(crate) fn reload_abort(&self, sc: u32) {
+        let mut inner = self.locked();
+        self.emit(&mut inner, EventKind::ReloadAbort { sc });
     }
 
+    /// `at` is the `(churn, at_us)` stamp captured when the bytes moved
+    /// under the net guard; `Some` replays it (updating the cached clock
+    /// so the paired `detach_end` stamps consistently), `None` keeps the
+    /// cached clock from the last sync.
     pub(crate) fn blob_shipped(
-        &mut self,
+        &self,
+        at: Option<(u64, u64)>,
         sc: u32,
         epoch: u32,
         device: u32,
         bytes: u64,
         airtime_us: u64,
     ) {
-        self.emit(EventKind::BlobShipped {
-            sc,
-            epoch,
-            device,
-            bytes,
-            airtime_us,
-        });
-    }
-
-    pub(crate) fn blob_dropped(&mut self, sc: u32, device: u32, ok: bool) {
-        if ok {
-            self.stats.blobs_dropped += 1;
-        } else {
-            self.stats.drop_failures += 1;
+        let mut inner = self.locked();
+        if let Some((churn, at_us)) = at {
+            inner.churn = churn;
+            inner.at_us = at_us;
         }
-        self.emit(EventKind::BlobDropped { sc, device, ok });
+        self.emit(
+            &mut inner,
+            EventKind::BlobShipped {
+                sc,
+                epoch,
+                device,
+                bytes,
+                airtime_us,
+            },
+        );
     }
 
-    pub(crate) fn cluster_dropped(&mut self, sc: u32) {
-        self.emit(EventKind::ClusterDropped { sc });
+    pub(crate) fn blob_dropped(&self, sc: u32, device: u32, ok: bool) {
+        let mut inner = self.locked();
+        if ok {
+            inner.stats.blobs_dropped += 1;
+        } else {
+            inner.stats.drop_failures += 1;
+        }
+        self.emit(&mut inner, EventKind::BlobDropped { sc, device, ok });
     }
 
-    pub(crate) fn failover(&mut self, sc: u32, epoch: u32, device: u32) {
-        self.emit(EventKind::Failover { sc, epoch, device });
+    pub(crate) fn cluster_dropped(&self, sc: u32) {
+        let mut inner = self.locked();
+        self.emit(&mut inner, EventKind::ClusterDropped { sc });
     }
 
-    pub(crate) fn repair_start(&mut self) {
-        self.emit(EventKind::RepairStart);
+    /// Like [`Recorder::blob_shipped`], `at` replays a stamp captured
+    /// during the guard-free fetch phase.
+    pub(crate) fn failover(&self, at: Option<(u64, u64)>, sc: u32, epoch: u32, device: u32) {
+        let mut inner = self.locked();
+        if let Some((churn, at_us)) = at {
+            inner.churn = churn;
+            inner.at_us = at_us;
+        }
+        self.emit(&mut inner, EventKind::Failover { sc, epoch, device });
     }
 
-    pub(crate) fn repair_end(&mut self, repaired: u64, bytes: u64) {
-        self.stats.repairs += repaired;
-        self.stats.repair_bytes += bytes;
-        self.emit(EventKind::RepairEnd { repaired, bytes });
+    pub(crate) fn repair_start(&self) {
+        let mut inner = self.locked();
+        self.emit(&mut inner, EventKind::RepairStart);
     }
 
-    pub(crate) fn proxy_created(&mut self, sc: u32) {
-        self.stats.proxies_created += 1;
-        self.emit(EventKind::ProxyCreated { sc });
+    pub(crate) fn repair_end(&self, repaired: u64, bytes: u64) {
+        let mut inner = self.locked();
+        inner.stats.repairs += repaired;
+        inner.stats.repair_bytes += bytes;
+        self.emit(&mut inner, EventKind::RepairEnd { repaired, bytes });
     }
 
-    pub(crate) fn proxy_reused(&mut self, sc: u32) {
-        self.stats.proxies_reused += 1;
-        self.emit(EventKind::ProxyReused { sc });
+    pub(crate) fn proxy_created(&self, sc: u32) {
+        let mut inner = self.locked();
+        inner.stats.proxies_created += 1;
+        self.emit(&mut inner, EventKind::ProxyCreated { sc });
     }
 
-    pub(crate) fn proxy_dismantled(&mut self, sc: u32) {
-        self.stats.proxies_dismantled += 1;
-        self.emit(EventKind::ProxyDismantled { sc });
+    pub(crate) fn proxy_reused(&self, sc: u32) {
+        let mut inner = self.locked();
+        inner.stats.proxies_reused += 1;
+        self.emit(&mut inner, EventKind::ProxyReused { sc });
     }
 
-    pub(crate) fn assign_patch(&mut self, sc: u32) {
-        self.stats.assign_patches += 1;
-        self.emit(EventKind::AssignPatch { sc });
+    pub(crate) fn proxy_dismantled(&self, sc: u32) {
+        let mut inner = self.locked();
+        inner.stats.proxies_dismantled += 1;
+        self.emit(&mut inner, EventKind::ProxyDismantled { sc });
     }
 
-    pub(crate) fn gc_run(&mut self, freed: u64, dropped: u64) {
-        self.emit(EventKind::GcRun { freed, dropped });
+    pub(crate) fn assign_patch(&self, sc: u32) {
+        let mut inner = self.locked();
+        inner.stats.assign_patches += 1;
+        self.emit(&mut inner, EventKind::AssignPatch { sc });
     }
 
-    pub(crate) fn holder_lost(&mut self, sc: u32, device: u32, left: u32) {
-        self.emit(EventKind::HolderLost { sc, device, left });
+    pub(crate) fn gc_run(&self, freed: u64, dropped: u64) {
+        let mut inner = self.locked();
+        self.emit(&mut inner, EventKind::GcRun { freed, dropped });
     }
 
-    pub(crate) fn pump_action(&mut self, action: &str) {
-        self.emit(EventKind::PumpAction {
+    pub(crate) fn holder_lost(&self, sc: u32, device: u32, left: u32) {
+        let mut inner = self.locked();
+        self.emit(&mut inner, EventKind::HolderLost { sc, device, left });
+    }
+
+    pub(crate) fn pump_action(&self, action: &str) {
+        let kind = EventKind::PumpAction {
             action: action.to_owned(),
-        });
+        };
+        let mut inner = self.locked();
+        self.emit(&mut inner, kind);
     }
 
     /// Boundary crossings are counted but not traced: they fire per
     /// invocation and would drown the lifecycle stream.
     // lint:allow(S6, crossings is the documented counted-but-not-traced exception)
-    pub(crate) fn note_crossing(&mut self) {
-        self.stats.crossings += 1;
+    pub(crate) fn note_crossing(&self) {
+        self.locked().stats.crossings += 1;
     }
 }

@@ -1,24 +1,28 @@
 //! Swap-in: reload a swapped-out cluster from its storing device
 //! (paper §3, *Swap-Cluster Reload*).
 //!
-//! Like swap-out, the reload is split into three phases so the middleware
-//! can fetch bytes without holding the manager guard:
+//! Like swap-out, the reload is split into three phases so the bytes move
+//! without any shard guard held:
 //!
-//! 1. [`SwappingManager::reload_prepare`] — manager-locked: validation,
-//!    the `reload_start` trace event, and the placement lookup (epoch,
-//!    key, holders);
+//! 1. [`SwappingManager::reload_prepare`] — under the owning shard's lock:
+//!    validation, the `reload_start` trace event, and the placement lookup
+//!    (epoch, key, holders);
 //! 2. [`fetch_copy`] — a free function that takes only the net lock and
 //!    runs the failover fetch over the recorded holders, carrying clock
 //!    stamps out in its [`FetchOutcome`];
-//! 3. [`SwappingManager::reload_commit`] — manager-locked again: replays
-//!    the failover events (byte-identical stamps), rematerializes the
+//! 3. [`SwappingManager::reload_commit`] — coordinator + shard locks:
+//!    replays the failover events (byte-identical stamps), revalidates
+//!    that no concurrent operation raced the cluster, rematerializes the
 //!    members and closes the trace pair with `reload_end`/`reload_abort`.
 //!
-//! [`SwappingManager::swap_in`] composes the three for callers that
-//! already own the manager exclusively.
+//! [`SwappingManager::swap_in`] composes the three. Lock order per the
+//! documented hierarchy: prepare takes the shard lock, fetch takes net
+//! alone, commit takes coordinator → shard → net (the net window only for
+//! the eager blob drops).
 
 use crate::codec::BlobField;
 use crate::manager::{lock_net, SharedNet};
+use crate::shard::{lock_coordinator, lock_shard, Coordinator, Shard};
 use crate::swap_cluster::SwapClusterState;
 use crate::{proxy, wire, Result, SwapError, SwappingManager};
 use obiwan_heap::{ObjRef, ObjectKind, Oid, Value};
@@ -27,8 +31,8 @@ use obiwan_policy::PolicyEvent;
 use obiwan_replication::Process;
 use std::collections::HashMap;
 
-/// A reload prepared under the manager guard: the placement facts the
-/// fetch phase needs. Once one of these exists the reload is in flight
+/// A reload prepared under the shard guard: the placement facts the fetch
+/// phase needs. Once one of these exists the reload is in flight
 /// (`reload_start` is in the trace) and it must be handed to
 /// [`SwappingManager::reload_commit`], which closes the pair either way.
 pub(crate) struct ReloadPrep {
@@ -149,21 +153,23 @@ impl SwappingManager {
     /// cluster stays swapped out so the operation can be retried if a
     /// holder returns), plus codec / heap errors (out-of-memory leaves the
     /// cluster swapped out and the graph untouched).
-    pub fn swap_in(&mut self, p: &mut Process, sc: u32) -> Result<usize> {
+    pub fn swap_in(&self, p: &mut Process, sc: u32) -> Result<usize> {
         let prep = self.reload_prepare(sc)?;
         let fetched = fetch_copy(&self.net, &prep);
         self.reload_commit(p, prep, fetched)
     }
 
     /// Phase 1 of swap-in: validate, open the trace pair with
-    /// `reload_start` and look up the placement. On success the reload is
-    /// in flight and the returned prep **must** reach
-    /// [`SwappingManager::reload_commit`]; on error the pair is already
-    /// closed (`reload_abort`, unless validation failed before the reload
-    /// started).
-    pub(crate) fn reload_prepare(&mut self, sc: u32) -> Result<ReloadPrep> {
+    /// `reload_start` and look up the placement — under the owning shard's
+    /// lock. On success the reload is in flight and the returned prep
+    /// **must** reach [`SwappingManager::reload_commit`]; on error the
+    /// pair is already closed (`reload_abort`, unless validation failed
+    /// before the reload started).
+    pub(crate) fn reload_prepare(&self, sc: u32) -> Result<ReloadPrep> {
+        let (config, _) = self.prefs();
+        let shard = lock_shard(&self.shards, self.shard_of(sc))?;
         let replacement = {
-            let entry = self
+            let entry = shard
                 .clusters
                 .get(&sc)
                 .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
@@ -193,13 +199,13 @@ impl SwappingManager {
         // leaves the cluster swapped out — emit the matching abort so the
         // conformance replay tracks the revert.
         self.recorder.reload_start(sc);
-        match self.holders_of(sc) {
+        match shard.holders_of(sc) {
             Some((epoch, key, holders)) => Ok(ReloadPrep {
                 sc,
                 epoch,
                 key,
                 holders,
-                allow_relays: self.config.allow_relays,
+                allow_relays: config.allow_relays,
                 home: self.home,
                 replacement,
             }),
@@ -211,18 +217,23 @@ impl SwappingManager {
     }
 
     /// Phase 3 of swap-in: replay the fetch-phase events into the
-    /// recorder, then rematerialize the cluster from the blob. Always
-    /// closes the trace pair opened by
-    /// [`SwappingManager::reload_prepare`] — `reload_end` on success,
-    /// `reload_abort` on any error.
+    /// recorder, then rematerialize the cluster from the blob — under
+    /// coordinator + shard locks (in that order). Always closes the trace
+    /// pair opened by [`SwappingManager::reload_prepare`] — `reload_end`
+    /// on success, `reload_abort` on any error.
     pub(crate) fn reload_commit(
-        &mut self,
+        &self,
         p: &mut Process,
         prep: ReloadPrep,
         fetched: FetchOutcome,
     ) -> Result<usize> {
         let sc = prep.sc;
-        match self.commit_reload(p, &prep, fetched) {
+        let result = {
+            let mut c = lock_coordinator(&self.coordinator)?;
+            let mut shard = lock_shard(&self.shards, self.shard_of(sc))?;
+            self.commit_reload(p, &mut c, &mut shard, &prep, fetched)
+        };
+        match result {
             Ok(bytes) => Ok(bytes),
             Err(e) => {
                 self.recorder.reload_abort(sc);
@@ -233,8 +244,10 @@ impl SwappingManager {
 
     /// The fallible interior of [`SwappingManager::reload_commit`].
     fn commit_reload(
-        &mut self,
+        &self,
         p: &mut Process,
+        c: &mut Coordinator,
+        shard: &mut Shard,
         prep: &ReloadPrep,
         fetched: FetchOutcome,
     ) -> Result<usize> {
@@ -249,11 +262,25 @@ impl SwappingManager {
             self.recorder.set_clock(churn, at_us);
         }
         for &(holder, churn, at_us) in &fetched.failovers {
-            self.recorder.set_clock(churn, at_us);
-            self.recorder.failover(sc, epoch, holder.index());
+            self.recorder
+                .failover(Some((churn, at_us)), sc, epoch, holder.index());
         }
         if let Some(e) = fetched.hard_error {
             return Err(e);
+        }
+        // Revalidate: the shard lock was released while the bytes moved.
+        // If a concurrent operation raced the cluster, this reload's view
+        // is stale — bail before any graph mutation.
+        let still_ours = shard.clusters.get(&sc).is_some_and(|e| {
+            matches!(&e.state,
+                SwapClusterState::SwappedOut { replacement: r, .. } if *r == replacement)
+        });
+        if !still_ours {
+            return Err(SwapError::BadState {
+                swap_cluster: sc,
+                expected: "swapped-out",
+                actual: "concurrently-modified",
+            });
         }
         let tried = fetched.tried;
         let Some(data) = fetched.data else {
@@ -327,10 +354,10 @@ impl SwappingManager {
                         })?)
                     }
                     BlobField::ProxyRef(oid) => {
-                        Value::Ref(self.reconnect_proxy_ref(p, sc, *oid, &outbound_by_oid)?)
+                        Value::Ref(self.reconnect_proxy_ref(p, c, sc, *oid, &outbound_by_oid)?)
                     }
                     BlobField::FaultRef(oid) => {
-                        Value::Ref(self.reconnect_fault_ref(p, sc, *oid, &member_map)?)
+                        Value::Ref(self.reconnect_fault_ref(p, c, sc, *oid, &member_map)?)
                     }
                 };
                 p.heap_mut().set_any_field(r, *idx, value)?;
@@ -338,7 +365,7 @@ impl SwappingManager {
         }
 
         // Pass 3: patch inbound proxies back to the fresh replicas.
-        let inbound = self.inbound.get(&sc).cloned().unwrap_or_default();
+        let inbound = c.inbound.get(&sc).cloned().unwrap_or_default();
         for w in inbound {
             let Some(pr) = p.heap().weak_get(w) else {
                 continue;
@@ -358,7 +385,7 @@ impl SwappingManager {
             bytes += p.heap().get(m)?.size();
         }
         {
-            let entry = self
+            let entry = shard
                 .clusters
                 .get_mut(&sc)
                 .ok_or(SwapError::UnknownSwapCluster { swap_cluster: sc })?;
@@ -373,10 +400,10 @@ impl SwappingManager {
         if p.heap().is_live(replacement) {
             p.heap_mut().get_mut(replacement)?.header_mut().finalize = false;
         }
-        if self.config.drop_blob_on_reload {
+        if c.config.drop_blob_on_reload {
             let mut net = lock_net(&self.net)?;
             for &holder in &prep.holders {
-                let dropped = if self.config.allow_relays {
+                let dropped = if prep.allow_relays {
                     net.drop_blob_routed(self.home, holder, key)
                 } else {
                     net.drop_blob(self.home, holder, key)
@@ -389,7 +416,7 @@ impl SwappingManager {
                         // Track it as an orphan so a future sweep (or the
                         // repair pass re-adopting it) keeps the room clean.
                         self.recorder.blob_dropped(sc, holder.index(), false);
-                        self.orphaned_blobs.push((holder, key.clone()));
+                        shard.orphaned_blobs.push((holder, key.clone()));
                     }
                 }
             }
@@ -397,25 +424,27 @@ impl SwappingManager {
         // Loaded again: the placement record is retired either way (without
         // eager drops, the remaining copies become tracked orphans swept at
         // the next swap-out).
-        if let Some((_, placement)) = self.placements.remove(sc) {
-            if !self.config.drop_blob_on_reload {
+        if let Some((_, placement)) = shard.placements.remove(sc) {
+            if !c.config.drop_blob_on_reload {
                 for holder in placement.holders {
-                    self.orphaned_blobs.push((holder, key.clone()));
+                    shard.orphaned_blobs.push((holder, key.clone()));
                 }
             }
         }
         self.recorder
             .reload_end(sc, epoch, blob_bytes as u64, tried.len() as u32);
-        self.events.push(PolicyEvent::SwappedIn {
+        c.events.push(PolicyEvent::SwappedIn {
             swap_cluster: sc as i64,
         });
         Ok(blob_bytes)
     }
 
     /// Reconnect a member field that was mediated by an outbound proxy.
+    /// Caller holds the coordinator (proxy tables).
     fn reconnect_proxy_ref(
-        &mut self,
+        &self,
         p: &mut Process,
+        c: &mut Coordinator,
         sc: u32,
         oid: Oid,
         outbound_by_oid: &HashMap<Oid, ObjRef>,
@@ -430,20 +459,21 @@ impl SwappingManager {
             if t_sc == sc {
                 return Ok(t);
             }
-            return self.proxy_for(p, sc, t, oid);
+            return self.proxy_for(p, c, sc, t, oid);
         }
         if let Some(rep) = p.swapped_replacement(oid) {
-            return self.proxy_for(p, sc, rep, oid);
+            return self.proxy_for(p, c, sc, rep, oid);
         }
         Ok(p.ensure_fault_proxy(oid)?)
     }
 
     /// Reconnect a member field that referenced a not-yet-replicated
     /// identity at swap-out time. The identity may have been replicated —
-    /// or even swapped — in the meantime.
+    /// or even swapped — in the meantime. Caller holds the coordinator.
     fn reconnect_fault_ref(
-        &mut self,
+        &self,
         p: &mut Process,
+        c: &mut Coordinator,
         sc: u32,
         oid: Oid,
         member_map: &HashMap<Oid, ObjRef>,
@@ -456,10 +486,10 @@ impl SwappingManager {
             if t_sc == sc {
                 return Ok(t);
             }
-            return self.proxy_for(p, sc, t, oid);
+            return self.proxy_for(p, c, sc, t, oid);
         }
         if let Some(rep) = p.swapped_replacement(oid) {
-            return self.proxy_for(p, sc, rep, oid);
+            return self.proxy_for(p, c, sc, rep, oid);
         }
         Ok(p.ensure_fault_proxy(oid)?)
     }

@@ -54,6 +54,11 @@ pub struct SwapClusterEntry {
     pub bytes: usize,
     /// Boundary crossings into this cluster (frequency).
     pub crossings: u64,
+    /// Boundary crossings *out of* this cluster: invocations that left
+    /// through one of its proxies. Bookkeeping only (victim policies key
+    /// on inbound crossings), but it makes cross-shard crossing updates a
+    /// genuine two-shard transaction.
+    pub out_crossings: u64,
     /// Logical time of the latest crossing (recency).
     pub last_crossing: u64,
     /// Swap-out epoch: increments per swap-out, making blob keys unique.
@@ -68,6 +73,7 @@ impl SwapClusterEntry {
             members: Vec::new(),
             bytes: 0,
             crossings: 0,
+            out_crossings: 0,
             last_crossing: 0,
             epoch: 0,
         }

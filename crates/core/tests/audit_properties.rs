@@ -117,11 +117,7 @@ proptest! {
                     mw.run_gc().expect("gc");
                 }
                 Op::Sweep => {
-                    let manager = mw.manager();
-                    manager
-                        .lock()
-                        .expect("manager")
-                        .sweep_orphaned_blobs();
+                    mw.manager().sweep_orphaned_blobs();
                 }
             }
             assert_no_errors(&mw, &format!("{op:?}"));

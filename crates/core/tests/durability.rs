@@ -51,7 +51,6 @@ fn k_world(
 /// The active `(key, holders)` of a swapped-out cluster.
 fn holders(mw: &Middleware, sc: u32) -> (String, Vec<DeviceId>) {
     let manager = mw.manager();
-    let manager = manager.lock().unwrap();
     let (_, key, holders) = manager.holders_of(sc).expect("cluster is swapped out");
     (key, holders)
 }
@@ -161,22 +160,14 @@ fn repair_readopts_a_returning_holder_without_airtime() {
     let (key, before) = holders(&mw, 2);
     mw.net().lock().unwrap().depart(before[0]).unwrap();
     // Prune the departed holder (its stale copy becomes a tracked orphan).
-    {
-        let manager = mw.manager();
-        let mut manager = manager.lock().unwrap();
-        manager.repair_placements().unwrap();
-    }
+    mw.manager().repair_placements().unwrap();
     let (_, pruned) = holders(&mw, 2);
     assert_eq!(pruned, vec![before[1]], "down to the surviving holder");
     // The holder returns with its copy intact: the next sweep re-adopts the
     // existing copy instead of shipping a new one.
     mw.net().lock().unwrap().arrive(before[0]).unwrap();
     let (sent_before, _) = mw.net().lock().unwrap().traffic();
-    {
-        let manager = mw.manager();
-        let mut manager = manager.lock().unwrap();
-        manager.repair_placements().unwrap();
-    }
+    mw.manager().repair_placements().unwrap();
     let (sent_after, _) = mw.net().lock().unwrap().traffic();
     let (_, restored) = holders(&mw, 2);
     assert_eq!(restored.len(), 2, "back to k holders");

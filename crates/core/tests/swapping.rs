@@ -42,8 +42,7 @@ fn swap_out_releases_memory_and_reload_restores_the_graph() {
     warm(&mut mw, root, 40);
     let before = mw.process().heap().bytes_used();
     let manager = mw.manager();
-    let loaded = manager.lock().unwrap().loaded_clusters();
-    assert_eq!(loaded, vec![1, 2, 3, 4]);
+    assert_eq!(manager.loaded_clusters(), vec![1, 2, 3, 4]);
 
     // Swap out the second cluster (nodes 10..20).
     let shipped = mw.swap_out(2).unwrap();
@@ -53,14 +52,11 @@ fn swap_out_releases_memory_and_reload_restores_the_graph() {
         after < before,
         "swap-out must release memory: {before} -> {after}"
     );
-    {
-        let m = manager.lock().unwrap();
-        assert_eq!(m.swapped_clusters(), vec![2]);
-        assert!(matches!(
-            m.cluster(2).unwrap().state,
-            SwapClusterState::SwappedOut { .. }
-        ));
-    }
+    assert_eq!(manager.swapped_clusters(), vec![2]);
+    assert!(matches!(
+        manager.cluster(2).unwrap().state,
+        SwapClusterState::SwappedOut { .. }
+    ));
     // The blob is on the laptop.
     {
         let net = mw.net();
@@ -71,11 +67,8 @@ fn swap_out_releases_memory_and_reload_restores_the_graph() {
 
     // Traversing reloads transparently and the graph is intact.
     warm(&mut mw, root, 40);
-    {
-        let m = manager.lock().unwrap();
-        assert!(m.swapped_clusters().is_empty());
-        assert_eq!(m.stats().swap_ins, 1);
-    }
+    assert!(manager.swapped_clusters().is_empty());
+    assert_eq!(manager.stats().swap_ins, 1);
     // Payloads survive byte-exactly.
     let mut cur = root;
     for _ in 0..39 {
@@ -311,12 +304,11 @@ fn gc_cooperation_drops_blob_when_replacement_dies() {
     };
     assert_eq!(blobs_after, 0, "blob must be dropped after unreachability");
     let manager = mw.manager();
-    let m = manager.lock().unwrap();
     assert!(matches!(
-        m.cluster(2).unwrap().state,
+        manager.cluster(2).unwrap().state,
         SwapClusterState::Dropped
     ));
-    assert!(m.stats().blobs_dropped >= 1);
+    assert!(manager.stats().blobs_dropped >= 1);
 }
 
 #[test]
@@ -484,11 +476,10 @@ fn clusters_per_swap_cluster_groups_replication_clusters() {
     mw.set_global("head", Value::Ref(root));
     assert_eq!(mw.invoke_i64(root, "length", vec![]).unwrap(), 60);
     let manager = mw.manager();
-    let m = manager.lock().unwrap();
     // 6 replication clusters → 2 swap-clusters.
-    assert_eq!(m.loaded_clusters(), vec![1, 2]);
-    assert_eq!(m.cluster(1).unwrap().member_count(), 30);
-    assert_eq!(m.cluster(2).unwrap().member_count(), 30);
+    assert_eq!(manager.loaded_clusters(), vec![1, 2]);
+    assert_eq!(manager.cluster(1).unwrap().member_count(), 30);
+    assert_eq!(manager.cluster(2).unwrap().member_count(), 30);
 }
 
 #[test]
@@ -499,13 +490,11 @@ fn crossing_statistics_accumulate() {
     warm(&mut mw, root, 40);
     warm(&mut mw, root, 40);
     let manager = mw.manager();
-    let crossings: u64 = {
-        let m = manager.lock().unwrap();
-        m.loaded_clusters()
-            .iter()
-            .map(|&sc| m.cluster(sc).unwrap().crossings)
-            .sum()
-    };
+    let crossings: u64 = manager
+        .loaded_clusters()
+        .iter()
+        .map(|&sc| manager.cluster(sc).unwrap().crossings)
+        .sum();
     assert!(crossings >= 4, "each boundary crossing counts: {crossings}");
     assert!(mw.swap_stats().crossings >= crossings);
 }

@@ -14,7 +14,7 @@
 use crate::cfg::Cfg;
 use crate::dataflow::{forward, SetUnion};
 use crate::lexer::TokenKind;
-use crate::model::{normalized_args, FileModel, Function, HeldLock, LockHelper};
+use crate::model::{pair_keys, FileModel, Function, HeldLock, LockHelper};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One guard the analysis tracks.
@@ -231,6 +231,8 @@ fn extract_events(
         }
 
         // Acquisition: helper call `lock_x(` or method call `x.lock()`.
+        // A `lock_<family>_pair` helper yields two same-family guards with
+        // the split trailing-argument keys (mirroring `analyze_body`).
         let acq = if t.kind == TokenKind::Ident
             && i + 1 < body.end
             && sig[i + 1].text == "("
@@ -240,7 +242,7 @@ fn extract_events(
                 (
                     h.lock.clone(),
                     h.guard_type.clone(),
-                    Some(normalized_args(file, i + 1, body.end)),
+                    pair_keys(file, i + 1, body.end, h.pair),
                 )
             })
         } else if t.text == "lock"
@@ -256,22 +258,23 @@ fn extract_events(
                 .find(|t| t.kind == TokenKind::Ident)
                 .map(|t| t.text.clone())
                 .unwrap_or_else(|| "anonymous".to_owned());
-            Some((id, None, None))
+            Some((id, None, vec![(None, None)]))
         } else {
             None
         };
 
-        if let Some((lock, guard_type, key)) = acq {
+        if let Some((lock, guard_type, keys)) = acq {
             // Binding discipline mirrors `analyze_body`: `let`-bound only
             // when the statement is `let [mut] NAME = <acq>(…)?*;` with
-            // nothing but `?`s and result adapters chained after.
-            let mut bind = None;
+            // nothing but `?`s and result adapters chained after. A pair
+            // helper binds through a tuple pattern: its last two idents.
+            let mut binds: Vec<Option<String>> = vec![None; keys.len()];
             let st = &sig[stmt_start..i.min(body.end)];
             if st.first().is_some_and(|t| t.text == "let") {
-                let name_tok = st
+                let mut names = st
                     .iter()
                     .rev()
-                    .find(|t| t.kind == TokenKind::Ident && t.text != "mut" && t.text != "ref");
+                    .filter(|t| t.kind == TokenKind::Ident && t.text != "mut" && t.text != "ref");
                 let close = file.match_paren(i + 1, body.end);
                 let mut k = close + 1;
                 loop {
@@ -289,25 +292,31 @@ fn extract_events(
                     break;
                 }
                 if k < body.end && sig[k].text == ";" {
-                    bind = name_tok.map(|t| t.text.clone());
+                    for b in binds.iter_mut().rev() {
+                        *b = names.next().map(|t| t.text.clone());
+                    }
                 }
             }
-            let id = guards.len();
-            guards.push(GuardInfo {
-                lock,
-                guard_type,
-                key,
-                bind: bind.clone(),
-                tok: i,
-                line: t.line,
-            });
-            events.entry(i).or_default().push(Event::Acquire(id));
-            active.push(Active {
-                id,
-                bind,
-                depth,
-                temp: guards[id].bind.is_none(),
-            });
+            for (n, ((key, _), bind)) in keys.into_iter().zip(binds).enumerate() {
+                let id = guards.len();
+                guards.push(GuardInfo {
+                    lock: lock.clone(),
+                    guard_type: guard_type.clone(),
+                    key,
+                    bind: bind.clone(),
+                    // The second pair guard acquires on the `(` token so
+                    // the flow sees the first one held at its own site.
+                    tok: i + n,
+                    line: t.line,
+                });
+                events.entry(i + n).or_default().push(Event::Acquire(id));
+                active.push(Active {
+                    id,
+                    bind,
+                    depth,
+                    temp: guards[id].bind.is_none(),
+                });
+            }
         }
         i += 1;
     }

@@ -94,6 +94,10 @@ pub struct LockSite {
     /// Normalized helper-call argument text (the shard key for keyed
     /// families); `None` for raw `.lock()` acquisitions.
     pub key: Option<String>,
+    /// For a `lock_<family>_pair` acquisition: the *other* guard's key.
+    /// The ordering evidence for such a site lives in the helper body,
+    /// not the caller's (S11 checks the helper's last two parameters).
+    pub pair_with: Option<String>,
     /// Index of the acquiring token in the body slice.
     pub tok: usize,
     /// 1-based source line.
@@ -143,14 +147,21 @@ pub struct StructDef {
 
 /// A free function recognized as a lock helper: it returns
 /// `Result<MutexGuard<'_, T>>` and its name starts with `lock_`.
+///
+/// A `lock_<family>_pair` helper acquires **two** guards of `<family>`
+/// in one call (the canonical ordered cross-shard acquisition); its call
+/// sites are modeled as two same-family acquisitions with the split
+/// argument keys.
 #[derive(Debug, Clone)]
 pub struct LockHelper {
-    /// Helper function name (`lock_manager`).
+    /// Helper function name (`lock_manager`, `lock_shard_pair`).
     pub name: String,
-    /// Lock identity (`manager`).
+    /// Lock identity (`manager`; `shard` for `lock_shard_pair`).
     pub lock: String,
     /// Guard self-type head (`SwappingManager`).
     pub guard_type: Option<String>,
+    /// Whether this is a two-guard `lock_<family>_pair` helper.
+    pub pair: bool,
 }
 
 /// The per-file model.
@@ -398,10 +409,18 @@ impl FileModel {
                 r += 1;
             }
             if guard_type.is_some() || name.len() > 5 {
+                let base = name.trim_start_matches("lock_");
+                let pair = base.len() > "_pair".len() && base.ends_with("_pair");
+                let lock = if pair {
+                    base.trim_end_matches("_pair")
+                } else {
+                    base
+                };
                 self.lock_helpers.push(LockHelper {
                     name: name.clone(),
-                    lock: name.trim_start_matches("lock_").to_owned(),
+                    lock: lock.to_owned(),
                     guard_type,
+                    pair,
                 });
             }
         }
@@ -842,7 +861,7 @@ pub fn analyze_body(
             && sig[i + 1].is("(")
             && (i == body.start || !sig[i - 1].is("."))
         {
-            helper_of(&t.text).map(|h| (h.lock.clone(), h.guard_type.clone()))
+            helper_of(&t.text).map(|h| (h.lock.clone(), h.guard_type.clone(), h.pair))
         } else if t.is("lock")
             && i >= 1
             && sig[i - 1].is(".")
@@ -857,13 +876,13 @@ pub fn analyze_body(
                 .find(|t| t.kind == TokenKind::Ident)
                 .map(|t| t.text.clone())
                 .unwrap_or_else(|| "anonymous".to_owned());
-            Some((id, None))
+            Some((id, None, false))
         } else {
             None
         };
 
         let was_acq = acq.is_some();
-        if let Some((lock, guard_type)) = acq {
+        if let Some((lock, guard_type, pair)) = acq {
             let held: Vec<HeldLock> = guards
                 .iter()
                 .map(|g| HeldLock {
@@ -873,31 +892,39 @@ pub fn analyze_body(
                 })
                 .collect();
             // Helper acquisitions carry their normalized argument text as
-            // the shard key (S11); raw `.lock()` calls have none.
-            let key = if helper_of(&t.text).is_some() {
-                Some(normalized_args(file, i + 1, body.end))
+            // the shard key (S11); raw `.lock()` calls have none. A pair
+            // helper takes both keys as its trailing arguments and yields
+            // two same-family guards.
+            let keys = if helper_of(&t.text).is_some() {
+                pair_keys(file, i + 1, body.end, pair)
             } else {
-                None
+                vec![(None, None)]
             };
-            locks.push(LockSite {
-                lock: lock.clone(),
-                guard_type: guard_type.clone(),
-                key,
-                tok: i,
-                line: t.line,
-                held,
-            });
+            for (n, (key, partner)) in keys.iter().enumerate() {
+                locks.push(LockSite {
+                    lock: lock.clone(),
+                    guard_type: guard_type.clone(),
+                    key: key.clone(),
+                    pair_with: partner.clone(),
+                    // The second pair guard sits on the `(` token so the
+                    // flow analysis sees the first one held at its site.
+                    tok: i + n,
+                    line: t.line,
+                    held: held.clone(),
+                });
+            }
             // The guard is `let`-bound only when the whole statement is
             // `let [mut] NAME = <acq>(…)?*;` — anything chained after the
             // call means the statement binds the chain's result and the
-            // guard itself is a statement temporary.
-            let mut bind = None;
+            // guard itself is a statement temporary. A pair helper binds
+            // through a tuple pattern: its last two idents, in order.
+            let mut binds: Vec<Option<String>> = vec![None; keys.len()];
             let st = &sig[stmt_start..i.min(body.end)];
             if st.first().is_some_and(|t| t.is("let")) {
-                let name_tok = st
+                let mut names = st
                     .iter()
                     .rev()
-                    .find(|t| t.kind == TokenKind::Ident && !is_keyword(&t.text));
+                    .filter(|t| t.kind == TokenKind::Ident && !is_keyword(&t.text));
                 // Skip `?`s and result adapters (`.map_err(…)`): they
                 // pass the guard through, so the `let` still binds it.
                 let close = file.match_paren(i + 1, body.end);
@@ -917,16 +944,20 @@ pub fn analyze_body(
                     break;
                 }
                 if k < body.end && sig[k].is(";") {
-                    bind = name_tok.map(|t| t.text.clone());
+                    for b in binds.iter_mut().rev() {
+                        *b = names.next().map(|t| t.text.clone());
+                    }
                 }
             }
-            let temp = bind.is_none();
-            guards.push(Guard {
-                lock,
-                bind,
-                depth,
-                temp,
-            });
+            for bind in binds {
+                let temp = bind.is_none();
+                guards.push(Guard {
+                    lock: lock.clone(),
+                    bind,
+                    depth,
+                    temp,
+                });
+            }
             // Classify calls chained directly onto the guard: skip result
             // adapters (`.map_err(…)?`), type the first real method call.
             let close = file.match_paren(i + 1, body.end);
@@ -1030,6 +1061,59 @@ pub(crate) fn normalized_args(file: &FileModel, open: usize, end: usize) -> Stri
         .iter()
         .map(|t| t.text.as_str())
         .collect()
+}
+
+/// The acquisition keys of a helper call at the paren group opening at
+/// `open`: one `(key, partner)` entry per guard the call produces. A
+/// plain helper yields its whole normalized argument text; a
+/// `lock_<family>_pair` helper yields its last two top-level arguments as
+/// two keys, each carrying the other as its partner. Falls back to the
+/// single whole-text key when the two pair arguments cannot be split
+/// apart or are textually identical (the helper then degenerates to one
+/// guard anyway).
+pub(crate) fn pair_keys(
+    file: &FileModel,
+    open: usize,
+    end: usize,
+    pair: bool,
+) -> Vec<(Option<String>, Option<String>)> {
+    let args = normalized_args(file, open, end);
+    if pair {
+        let parts = split_args(&args);
+        if parts.len() >= 2 {
+            let b = parts[parts.len() - 1].clone();
+            let a = parts[parts.len() - 2].clone();
+            if a != b {
+                return vec![(Some(a.clone()), Some(b.clone())), (Some(b), Some(a))];
+            }
+        }
+    }
+    vec![(Some(args), None)]
+}
+
+/// Split a normalized argument string at top-level commas (`(`/`[`/`{`
+/// nesting respected; `<` is ambiguous in expression position and left
+/// alone).
+fn split_args(args: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in args.chars() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
 }
 
 /// Typed `let` binding at token `i` (`let`): `let [mut] x: Ty …` or

@@ -11,6 +11,14 @@
 //! `min`/`max`/`cmp`/`sort*`. S1 deliberately leaves this shape alone
 //! (different keys are not re-entrance); the two rules partition the
 //! same-family plane between them.
+//!
+//! A `lock_<family>_pair` helper acquires both guards in one call; there
+//! the canonical order lives in the **helper body**, not the caller's, so
+//! for the second guard of a pair acquisition checked against the first
+//! the rule looks for ordering evidence between the helper's last two
+//! parameters (`a.min(b)` / `a.max(b)` in the shipped `lock_shard_pair`).
+//! A pair helper that merely locks its arguments in the order given is
+//! not evidence, and every call through it is flagged.
 
 use super::{violation, Workspace};
 use crate::lexer::{lex, TokenKind};
@@ -37,6 +45,12 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
                 if k1 == k2 {
                     continue; // re-entrance: S1's domain
                 }
+                // The second guard of a `lock_<family>_pair(…)` call,
+                // checked against its partner: the ordering discipline
+                // lives in the helper, so that is where the evidence is.
+                if ls.pair_with.as_deref() == Some(k1) && pair_helper_orders(ws, &ls.lock) {
+                    continue;
+                }
                 if ordering_evidence(file, f.body.clone(), k1, k2) {
                     continue;
                 }
@@ -55,6 +69,24 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
         }
     }
     out
+}
+
+/// Whether the `lock_<family>_pair` helper establishes the canonical
+/// order itself: its body shows ordering evidence between its last two
+/// parameters (the two shard keys). When it does, every call through it
+/// is ordered by construction, whatever the caller passes.
+fn pair_helper_orders(ws: &Workspace, family: &str) -> bool {
+    let name = format!("lock_{family}_pair");
+    for file in &ws.files {
+        for f in &file.functions {
+            if f.impl_type.is_none() && f.name == name && f.params.len() >= 2 {
+                let a = &f.params[f.params.len() - 2].0;
+                let b = &f.params[f.params.len() - 1].0;
+                return ordering_evidence(file, f.body.clone(), a, b);
+            }
+        }
+    }
+    false
 }
 
 /// Tokens that tell two keys apart: idents and numbers appearing in one

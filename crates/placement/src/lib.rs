@@ -274,6 +274,15 @@ impl PlacementTable {
         self.entries.iter().map(|(&(sc, epoch), p)| (sc, epoch, p))
     }
 
+    /// Merge every entry of `other` into this table (used to assemble a
+    /// whole-process view from per-shard tables; shards partition the
+    /// swap-cluster id space, so no entry can collide).
+    pub fn absorb(&mut self, other: &PlacementTable) {
+        for (sc, epoch, p) in other.iter() {
+            self.record(sc, epoch, p.key.clone(), p.holders.clone());
+        }
+    }
+
     /// Number of tracked placements.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -43,7 +43,16 @@ impl TraceSink {
     /// sequence number assigned.
     pub fn push(&mut self, churn: u64, at_us: u64, kind: EventKind) -> u64 {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.push_stamped(seq, churn, at_us, kind);
+        seq
+    }
+
+    /// Append an event whose sequence number was allocated elsewhere (a
+    /// recorder's atomic choke point). `next_seq` only moves forward, so
+    /// [`TraceSink::recorded`] stays the count of events ever stamped even
+    /// when sequences arrive out of order.
+    pub fn push_stamped(&mut self, seq: u64, churn: u64, at_us: u64, kind: EventKind) {
+        self.next_seq = self.next_seq.max(seq + 1);
         if self.records.len() == self.capacity {
             self.records.pop_front();
             self.dropped += 1;
@@ -52,7 +61,6 @@ impl TraceSink {
             stamp: Stamp { seq, churn, at_us },
             kind,
         });
-        seq
     }
 
     /// Events currently buffered (oldest first).
@@ -121,6 +129,21 @@ mod tests {
         assert_eq!(sink.recorded(), 5);
         let first = sink.iter().next().map(|r| r.stamp.seq);
         assert_eq!(first, Some(2));
+    }
+
+    #[test]
+    fn push_stamped_accepts_preallocated_sequences() {
+        let mut sink = TraceSink::with_capacity(8);
+        sink.push_stamped(3, 1, 10, EventKind::RepairStart);
+        sink.push_stamped(4, 1, 20, EventKind::RepairStart);
+        assert_eq!(sink.recorded(), 5);
+        // A later plain push continues past the highest stamped sequence.
+        let seq = sink.push(1, 30, EventKind::RepairStart);
+        assert_eq!(seq, 5);
+        // An out-of-order stamp never rewinds `recorded`.
+        sink.push_stamped(0, 0, 0, EventKind::RepairStart);
+        assert_eq!(sink.recorded(), 6);
+        assert_eq!(sink.len(), 4);
     }
 
     #[test]

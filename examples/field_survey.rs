@@ -54,10 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Prefer the laptop as the swap target while it is around (the same
     // knob the policy dialect's <prefer-device kind="laptop"/> drives).
-    mw.manager()
-        .lock()
-        .expect("manager")
-        .set_preferred_kind(Some(DeviceKind::Laptop));
+    mw.manager().set_preferred_kind(Some(DeviceKind::Laptop));
 
     // Swap the first three pages out; they land on the laptop.
     for page in [1u32, 2, 3] {

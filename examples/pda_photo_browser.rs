@@ -134,7 +134,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "viewed {title} — heap {:>6} B / {} B, swapped-out albums: {:?}",
             mw.process().heap().bytes_used(),
             mw.process().heap().capacity(),
-            mw.manager().lock().expect("manager").swapped_clusters(),
+            mw.manager().swapped_clusters(),
         );
         // Revisit the favorite album (keeps it hot).
         let fav = mw.global("album0")?.expect_ref().expect("album 0");

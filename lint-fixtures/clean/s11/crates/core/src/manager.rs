@@ -36,3 +36,23 @@ pub fn migrate(sc: u32, from: usize, to: usize) {
     a.clusters.retain(|c| *c != sc);
     b.clusters.push(sc);
 }
+
+/// Lock shards `a` and `b` in ascending index order — the canonical
+/// cross-shard discipline, encapsulated so no caller can get it wrong.
+pub fn lock_shard_pair(
+    a: usize,
+    b: usize,
+) -> (MutexGuard<'static, Shard>, MutexGuard<'static, Shard>) {
+    let lo = a.min(b);
+    let hi = a.max(b);
+    (lock_shard(lo), lock_shard(hi))
+}
+
+/// Merge cluster `sc`'s roster from shard `from` into shard `to`. The
+/// caller shows no ordering evidence of its own: the pair helper is the
+/// evidence.
+pub fn merge(sc: u32, from: usize, to: usize) {
+    let (mut a, mut b) = lock_shard_pair(from, to);
+    a.clusters.retain(|c| *c != sc);
+    b.clusters.push(sc);
+}

@@ -39,3 +39,19 @@ pub fn migrate(sc: u32, from: usize, to: usize) {
     a.clusters.retain(|c| *c != sc);
     b.clusters.push(sc);
 }
+
+/// BUG: a "pair" helper that locks in the order given — it encapsulates
+/// nothing, and two callers passing swapped arguments still deadlock.
+pub fn lock_shard_pair(
+    a: usize,
+    b: usize,
+) -> (MutexGuard<'static, Shard>, MutexGuard<'static, Shard>) {
+    (lock_shard(a), lock_shard(b))
+}
+
+/// Merge cluster `sc`'s roster from shard `from` into shard `to`.
+pub fn merge(sc: u32, from: usize, to: usize) {
+    let (mut a, mut b) = lock_shard_pair(from, to);
+    a.clusters.retain(|c| *c != sc);
+    b.clusters.push(sc);
+}

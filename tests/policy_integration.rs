@@ -77,8 +77,7 @@ fn adjust_cluster_size_action_adapts_replication_granularity() {
     // use the adapted size (10).
     assert_eq!(mw.process().config().cluster_size, 10);
     mw.invoke_i64(root, "length", vec![]).expect("traverse");
-    let manager = mw.manager();
-    let m = manager.lock().expect("manager");
+    let m = mw.manager();
     let ids = m.loaded_clusters();
     // 1 × 50 + 15 × 10 = 200 objects.
     assert_eq!(ids.len(), 16, "one big cluster then small ones: {ids:?}");
@@ -130,8 +129,12 @@ fn prefer_device_action_steers_placement() {
 #[test]
 fn middleware_stack_is_send() {
     fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
     assert_send::<Middleware>();
     assert_send::<Process>();
     assert_send::<SwappingManager>();
+    // The sharded engine is shared across threads as a bare
+    // `Arc<SwappingManager>`; losing `Sync` would be a breaking change.
+    assert_sync::<SwappingManager>();
     assert_send::<Server>();
 }

@@ -40,11 +40,7 @@ fn tree_sum_is_invariant_under_swapping_subtrees() {
     assert_eq!(mw.invoke_i64(root, "sum_tags", vec![]).unwrap(), expected);
     // Swap out every other cluster — with BFS clustering these are
     // horizontal slabs of the tree, so boundaries cut through many edges.
-    let clusters = {
-        let manager = mw.manager();
-        let ids = manager.lock().expect("manager").loaded_clusters();
-        ids
-    };
+    let clusters = mw.manager().loaded_clusters();
     for sc in clusters.iter().copied().filter(|sc| sc % 2 == 0) {
         mw.swap_out(sc).expect("swap out");
     }
@@ -65,11 +61,7 @@ fn find_max_tag_returns_identity_preserving_reference() {
     assert_eq!(mw.invoke_i64(max, "tag_of", vec![]).unwrap(), n);
     // Swap the cluster holding it out; the reference still denotes it.
     let max_before = mw.global("max").unwrap().expect_ref().unwrap();
-    let victims = {
-        let manager = mw.manager();
-        let ids = manager.lock().expect("manager").loaded_clusters();
-        ids
-    };
+    let victims = mw.manager().loaded_clusters();
     for sc in victims {
         mw.swap_out(sc).expect("swap");
     }
