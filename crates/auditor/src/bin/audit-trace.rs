@@ -32,6 +32,10 @@ OPTIONS:
     --shards <N>        shards in the manager's lock table; 1 replays the
                         single-lock shape, larger values spread clusters
                         across shards                        [default: 8]
+    --transport <T>     swap fabric to replay over: sim (deterministic
+                        simulation) | tcp (in-process obiwan-blobd daemons
+                        behind the actor runtime, real sockets)
+                                                             [default: sim]
     --churn             scripted churn: every 25 steps a storage device
                         departs and the previous absentee returns,
                         exercising holder-loss repair under audit
@@ -76,6 +80,17 @@ fn parse_args() -> Result<Option<Options>, String> {
                 cfg.replication_factor = numeric("--replication-factor")?.max(1) as usize
             }
             "--shards" => cfg.shards = numeric("--shards")?.max(1) as usize,
+            "--transport" => {
+                cfg.transport = match args
+                    .next()
+                    .ok_or_else(|| "--transport needs a value".to_string())?
+                    .as_str()
+                {
+                    "sim" => obiwan_net::TransportKind::Sim,
+                    "tcp" => obiwan_net::TransportKind::Tcp,
+                    other => return Err(format!("--transport: `{other}` is not sim | tcp")),
+                }
+            }
             "--churn" => cfg.churn = true,
             "--trace-out" => {
                 trace_out = Some(
@@ -109,7 +124,7 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "replaying {} steps over a {}-node list ({} B payload, {} objects/cluster, {} B heap, seed {}, {} blobs, k = {}, {} shard(s){})",
+        "replaying {} steps over a {}-node list ({} B payload, {} objects/cluster, {} B heap, seed {}, {} blobs, k = {}, {} shard(s){}, transport {})",
         opts.cfg.steps,
         opts.cfg.nodes,
         opts.cfg.payload,
@@ -120,6 +135,10 @@ fn main() -> ExitCode {
         opts.cfg.replication_factor,
         opts.cfg.shards,
         if opts.cfg.churn { ", churn on" } else { "" },
+        match opts.cfg.transport {
+            obiwan_net::TransportKind::Sim => "sim",
+            obiwan_net::TransportKind::Tcp => "tcp",
+        },
     );
 
     let outcome = match replay(&opts.cfg) {

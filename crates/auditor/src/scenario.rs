@@ -11,6 +11,7 @@
 use obiwan_core::audit::AuditReport;
 use obiwan_core::{Middleware, SwapError};
 use obiwan_heap::Value;
+use obiwan_net::Transport as _;
 use obiwan_replication::{standard_classes, Server};
 
 /// Parameters of a replayed trace.
@@ -41,6 +42,13 @@ pub struct TraceConfig {
     /// workload's clusters across shards so per-step audits cover the
     /// cross-shard paths.
     pub shards: usize,
+    /// Which transport the replay runs over. `Sim` (the default) is the
+    /// deterministic simulation; `Tcp` spawns one in-process
+    /// `obiwan-blobd` daemon per storage device and drives the identical
+    /// workload through the actor runtime over real sockets. Step
+    /// schedules stay deterministic either way (the schedule is seeded);
+    /// wall-clock timestamps in the exported trace do not.
+    pub transport: obiwan_net::TransportKind,
 }
 
 /// Steps between scripted depart/arrive pairs when [`TraceConfig::churn`]
@@ -64,6 +72,7 @@ impl Default for TraceConfig {
             replication_factor: 1,
             churn: false,
             shards: obiwan_core::SwapConfig::default().shard_count,
+            transport: obiwan_net::TransportKind::Sim,
         }
     }
 }
@@ -131,12 +140,18 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
         .device_memory(cfg.device_memory)
         .wire_format(cfg.wire_format)
         .replication_factor(cfg.replication_factor)
-        .shard_count(cfg.shards);
-    if cfg.churn || cfg.replication_factor > 1 {
-        // Enough storage devices that one can be away while k = 2 copies
-        // still have somewhere to live (and be repaired to).
+        .shard_count(cfg.shards)
+        .transport(cfg.transport);
+    // Enough storage devices that one can be away while k = 2 copies
+    // still have somewhere to live (and be repaired to).
+    let store_count = if cfg.churn || cfg.replication_factor > 1 {
+        CHURN_STORES
+    } else {
+        1
+    };
+    if cfg.transport == obiwan_net::TransportKind::Sim {
         builder = builder.stores(
-            (0..CHURN_STORES)
+            (0..store_count)
                 .map(|i| {
                     obiwan_core::StoreSpec::new(
                         format!("store-{i}"),
@@ -147,7 +162,39 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
                 .collect(),
         );
     }
-    let mut mw = builder.build(server);
+    // Over TCP the room is assembled externally: one in-process
+    // `obiwan-blobd` daemon per storage device, fronted by the actor
+    // runtime. The daemon handles keep the processes alive for the whole
+    // replay and shut them down at the end.
+    let mut daemons: Vec<obiwan_blobd::BlobdHandle> = Vec::new();
+    let mut mw = match cfg.transport {
+        obiwan_net::TransportKind::Sim => builder.build(server),
+        obiwan_net::TransportKind::Tcp => {
+            let universe = server.classes().clone();
+            let mut net = obiwan_netd::ActorNet::new();
+            let home = net.add_device("pda", obiwan_net::DeviceKind::Pda, 0);
+            for i in 0..store_count {
+                let handle = obiwan_blobd::Blobd::spawn_local(16 << 20).map_err(|e| {
+                    SwapError::Net(obiwan_net::NetError::Protocol {
+                        device: home,
+                        detail: format!("spawning loopback obiwan-blobd: {e}"),
+                    })
+                })?;
+                let d = net.add_remote_device(
+                    format!("store-{i}"),
+                    obiwan_net::DeviceKind::Laptop,
+                    16 << 20,
+                    handle.addr(),
+                );
+                net.connect(home, d, obiwan_net::LinkSpec::bluetooth())?;
+                daemons.push(handle);
+            }
+            let shared = std::sync::Arc::new(std::sync::Mutex::new(
+                obiwan_net::NetFabric::backend(Box::new(net)),
+            ));
+            builder.build_in_world(universe, server.into_shared(), shared, home)
+        }
+    };
     let storage: Vec<obiwan_net::DeviceId> = {
         let net = mw.net();
         let nearby = net
@@ -246,13 +293,18 @@ pub fn replay(cfg: &TraceConfig) -> Result<TraceOutcome, SwapError> {
     }
 
     let stats = mw.swap_stats();
-    Ok(TraceOutcome {
+    let outcome = TraceOutcome {
         steps,
         final_report: mw.audit(),
         swap_outs: stats.swap_outs,
         swap_ins: stats.swap_ins,
         trace: mw.export_trace(),
-    })
+    };
+    // Stop the loopback daemons a TCP replay spawned (no-op for sim).
+    for handle in &daemons {
+        handle.shutdown();
+    }
+    Ok(outcome)
 }
 
 /// Advance the cursor one hop (reloading transparently under the hood);

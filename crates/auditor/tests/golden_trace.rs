@@ -37,6 +37,8 @@ fn golden_config() -> TraceConfig {
         // the golden workload names its shard count instead of inheriting
         // the default.
         shards: 8,
+        // Pinned too: byte-identical traces are a simulator property.
+        transport: obiwan_net::TransportKind::Sim,
     }
 }
 

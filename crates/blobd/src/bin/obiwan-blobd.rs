@@ -1,0 +1,57 @@
+//! The `obiwan-blobd` daemon binary: a dumb storage device as a process.
+//!
+//! ```text
+//! obiwan-blobd [--addr 127.0.0.1:0] [--quota BYTES]
+//! ```
+//!
+//! Prints `obiwan-blobd listening on <addr>` on stdout once bound (parents
+//! that spawn it with port 0 read the chosen port from that line), then
+//! serves until a `shutdown` op arrives.
+
+use obiwan_blobd::Blobd;
+use std::io::Write;
+
+const USAGE: &str = "usage: obiwan-blobd [--addr HOST:PORT] [--quota BYTES]
+
+  --addr HOST:PORT   listen address (default 127.0.0.1:0 = ephemeral port)
+  --quota BYTES      storage quota in bytes (default 16777216 = 16 MiB)
+";
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:0");
+    let mut quota: usize = 16 * 1024 * 1024;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => die("--addr needs a value"),
+            },
+            "--quota" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => quota = v,
+                None => die("--quota needs an integer byte count"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let daemon = match Blobd::bind(&addr, quota) {
+        Ok(d) => d,
+        Err(e) => die(&format!("bind {addr}: {e}")),
+    };
+    println!("obiwan-blobd listening on {}", daemon.local_addr());
+    let _ = std::io::stdout().flush();
+    if let Err(e) = daemon.run() {
+        die(&format!("serve: {e}"));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("obiwan-blobd: {msg}\n{USAGE}");
+    std::process::exit(2);
+}

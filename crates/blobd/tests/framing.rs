@@ -1,0 +1,158 @@
+//! Property tests of the wire framing: a malformed, truncated or corrupt
+//! frame must surface as a structured [`FrameError`] — never a panic,
+//! never a hang, never a silent misparse.
+
+#![allow(clippy::disallowed_methods)] // tests may panic on impossible states
+
+use obiwan_blobd::frame::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    FrameError, Request, Response, MAX_FRAME,
+};
+use obiwan_net::Bytes;
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = String> {
+    // Up to the u16 key-length limit, through the interesting sizes.
+    prop_oneof!["[a-z0-9-]{0,40}", "[a-z]{200,300}", Just(String::new()),]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (arb_key(), prop::collection::vec(any::<u8>(), 0..2048)).prop_map(|(key, data)| {
+            Request::Store {
+                key,
+                data: Bytes::from(data),
+            }
+        }),
+        arb_key().prop_map(|key| Request::Fetch { key }),
+        arb_key().prop_map(|key| Request::Drop { key }),
+        arb_key().prop_map(|key| Request::PeekHeader { key }),
+        Just(Request::Stat),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..2048).prop_map(|payload| Response::Ok {
+            payload: Bytes::from(payload),
+        }),
+        Just(Response::UnknownBlob),
+        Just(Response::Duplicate),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(requested, used, quota)| {
+            Response::QuotaExceeded {
+                requested,
+                used,
+                quota,
+            }
+        }),
+        Just(Response::Injected),
+        "[ -~]{0,60}".prop_map(|detail| Response::Malformed { detail }),
+        Just(Response::ShuttingDown),
+    ]
+}
+
+/// A full frame as it would appear on the wire.
+fn framed(body: &[u8]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, body).expect("writing to a Vec cannot fail");
+    wire
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn requests_round_trip_through_the_wire(req in arb_request()) {
+        let wire = framed(&encode_request(&req));
+        let body = read_frame(&mut wire.as_slice()).expect("complete frame reads");
+        let back = decode_request(&body).expect("encoded request decodes");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire(resp in arb_response()) {
+        let wire = framed(&encode_response(&resp));
+        let body = read_frame(&mut wire.as_slice()).expect("complete frame reads");
+        let back = decode_response(&body).expect("encoded response decodes");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_structured_error(
+        req in arb_request(),
+        cut_seed in 0u32..u32::MAX,
+    ) {
+        let wire = framed(&encode_request(&req));
+        // Cut strictly short of the full frame, anywhere: inside the
+        // length prefix, inside the body, or right at the boundary.
+        let cut = cut_seed as usize % wire.len();
+        let truncated = wire.get(..cut).expect("cut is in range");
+        match read_frame(&mut &truncated[..]) {
+            Err(FrameError::Closed) => prop_assert_eq!(cut, 0, "Closed only at a frame boundary"),
+            Err(FrameError::Truncated { .. }) => prop_assert!(cut > 0),
+            Err(other) => prop_assert!(false, "unexpected error for cut {}: {}", cut, other),
+            Ok(_) => prop_assert!(false, "a truncated frame must not parse"),
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic_the_decoders(junk in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Whatever a hostile or confused peer sends, the decoders return.
+        let _ = decode_request(&junk);
+        let _ = decode_response(&junk);
+        let _ = read_frame(&mut junk.as_slice());
+    }
+
+    #[test]
+    fn flipping_one_byte_is_an_error_or_a_different_message(
+        req in arb_request(),
+        pos_seed in 0u32..u32::MAX,
+        xor in 1u32..256,
+    ) {
+        let body = encode_request(&req);
+        prop_assert!(!body.is_empty(), "every request carries at least an op byte");
+        let pos = pos_seed as usize % body.len();
+        let mut corrupt = body.clone();
+        if let Some(b) = corrupt.get_mut(pos) {
+            *b ^= xor as u8;
+        }
+        // Either a structured decode error, or a validly-framed *different*
+        // message — never a panic, and never the original parsing back out
+        // of corrupted bytes as if nothing happened... unless the flip
+        // landed in ignored padding, which this protocol does not have.
+        if let Ok(back) = decode_request(&corrupt) {
+            prop_assert!(back != req, "a flipped byte cannot decode to the same request");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_without_allocating(
+        extra in 1u64..=u64::from(u32::MAX - MAX_FRAME as u32)
+    ) {
+        let len = MAX_FRAME as u32 + u32::try_from(extra).expect("range-bounded");
+        let mut wire = len.to_le_bytes().to_vec();
+        wire.extend_from_slice(b"body bytes that should never be read");
+        match read_frame(&mut wire.as_slice()) {
+            Err(FrameError::Oversized { len: l, .. }) => prop_assert_eq!(l as u32, len),
+            other => prop_assert!(false, "expected Oversized, got {:?}", other.map(|_| ())),
+        }
+    }
+}
+
+#[test]
+fn a_short_key_length_prefix_is_a_decode_error_not_a_panic() {
+    // Claims a 300-byte key but carries 3 bytes.
+    let mut body = vec![1u8]; // op = store
+    body.extend_from_slice(&300u16.to_le_bytes());
+    body.extend_from_slice(b"abc");
+    assert!(decode_request(&body).is_err());
+}
+
+#[test]
+fn non_utf8_keys_are_rejected_structurally() {
+    let mut body = vec![2u8]; // op = fetch
+    body.extend_from_slice(&2u16.to_le_bytes());
+    body.extend_from_slice(&[0xff, 0xfe]);
+    assert!(decode_request(&body).is_err());
+}

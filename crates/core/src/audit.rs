@@ -34,7 +34,7 @@ use crate::proxy;
 use crate::swap_cluster::{SwapClusterEntry, SwapClusterState};
 use crate::SwappingManager;
 use obiwan_heap::{ObjRef, ObjectKind, Oid, Value, WeakRef};
-use obiwan_net::{DeviceId, SimNet};
+use obiwan_net::{DeviceId, NetFabric};
 use obiwan_placement::PlacementTable;
 use obiwan_replication::Process;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -357,7 +357,7 @@ impl SwappingManager {
 
 impl AuditState {
     /// Run every rule family against the snapshot.
-    fn run(&self, p: &Process, net: &SimNet) -> AuditReport {
+    fn run(&self, p: &Process, net: &NetFabric) -> AuditReport {
         let mut report = AuditReport::default();
 
         // Members of swapped-out clusters: oid -> (cluster, replacement).
@@ -925,7 +925,7 @@ impl AuditState {
     /// D8, G1). Every holder in a swapped-out cluster's placement is
     /// checked individually, then the copy counts are judged against the
     /// configured replication factor.
-    fn audit_blobs(&self, net: &SimNet, report: &mut AuditReport) {
+    fn audit_blobs(&self, net: &NetFabric, report: &mut AuditReport) {
         // Expected blobs: every (holder, key) pair of a swapped-out
         // cluster's placement, plus tracked orphans.
         let mut expected: HashSet<(DeviceId, String)> = HashSet::new();

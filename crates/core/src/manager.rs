@@ -23,7 +23,7 @@ use crate::shard::{lock_coordinator, lock_shard, lock_shard_pair, shard_for, Coo
 use crate::swap_cluster::{SwapClusterEntry, SwapClusterState};
 use crate::{Result, SwapConfig, SwapError, VictimPolicy};
 use obiwan_heap::{ObjRef, ObjectKind, Oid};
-use obiwan_net::{DeviceId, DeviceKind, NetError, SimNet};
+use obiwan_net::{DeviceId, DeviceKind, NetError, NetFabric};
 use obiwan_placement::{HolderCandidate, PlacementTable};
 use obiwan_policy::PolicyEvent;
 use obiwan_replication::{ClusterInfo, Interceptor, Process, ReplError, Resolved};
@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A shared simulated world.
-pub type SharedNet = Arc<Mutex<SimNet>>;
+pub type SharedNet = Arc<Mutex<NetFabric>>;
 
 /// A manager shared between the middleware facade and the process's
 /// interceptor shim. The manager synchronizes internally (sharded lock
@@ -42,7 +42,7 @@ pub type SharedManager = Arc<SwappingManager>;
 
 /// Lock the shared world, turning poisoning into a structured error
 /// instead of a cascading panic.
-pub(crate) fn lock_net(n: &SharedNet) -> Result<MutexGuard<'_, SimNet>> {
+pub(crate) fn lock_net(n: &SharedNet) -> Result<MutexGuard<'_, NetFabric>> {
     n.lock().map_err(|_| SwapError::LockPoisoned {
         what: "net",
         shard: None,
@@ -113,7 +113,7 @@ pub struct SwappingManager {
     crossing_clock: AtomicU64,
     /// Round-robin victim cursor.
     victim_cursor: AtomicU32,
-    /// [`SimNet::churn_seq`] at the last holder-loss scan (`u64::MAX`
+    /// [`obiwan_net::SimNet::churn_seq`] at the last holder-loss scan (`u64::MAX`
     /// until the first); an unchanged sequence lets
     /// [`SwappingManager::note_departures`] skip the placement-table
     /// sweep entirely on quiet pumps.
@@ -986,7 +986,7 @@ impl SwappingManager {
 /// holders) are skipped. A free function over snapshotted prefs so it can
 /// run under the net lock without touching coordinator or shard state.
 pub(crate) fn holder_candidates(
-    net: &SimNet,
+    net: &NetFabric,
     home: DeviceId,
     config: &SwapConfig,
     preferred: Option<DeviceKind>,
@@ -1021,7 +1021,7 @@ pub(crate) fn holder_candidates(
 
 /// Drop one shard's orphaned blobs, best effort. Caller holds the shard
 /// guard and the net guard (in that order).
-pub(crate) fn sweep_shard_orphans(net: &mut SimNet, home: DeviceId, shard: &mut Shard) -> usize {
+pub(crate) fn sweep_shard_orphans(net: &mut NetFabric, home: DeviceId, shard: &mut Shard) -> usize {
     let before = shard.orphaned_blobs.len();
     shard
         .orphaned_blobs

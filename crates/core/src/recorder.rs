@@ -22,7 +22,7 @@
 //! export byte-identical traces whether or not the phases interleave.
 
 use crate::manager::SwapStats;
-use obiwan_net::SimNet;
+use obiwan_net::NetFabric;
 use obiwan_trace::{EventKind, TraceRecord, TraceSink};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,7 +33,7 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 struct RecorderInner {
     stats: SwapStats,
     sink: TraceSink,
-    /// Cached [`SimNet::churn_seq`] from the last clock sync.
+    /// Cached [`obiwan_net::SimNet::churn_seq`] from the last clock sync.
     churn: u64,
     /// Cached virtual clock (µs) from the last sync.
     at_us: u64,
@@ -79,7 +79,7 @@ impl Recorder {
     /// Refresh the cached logical clock from the world. Call while the
     /// net guard is held; events recorded until the next sync carry this
     /// stamp.
-    pub(crate) fn sync_clock(&self, net: &SimNet) {
+    pub(crate) fn sync_clock(&self, net: &NetFabric) {
         let mut inner = self.locked();
         inner.churn = net.churn_seq();
         inner.at_us = net.now().as_micros();

@@ -27,8 +27,11 @@ const CORE_ALLOWED: &[&str] = &["detach.rs", "reload.rs", "gc_bridge.rs", "manag
 
 fn allowed(crate_name: &str, rel_path: &str) -> bool {
     match crate_name {
-        // The network crate owns the verbs (definitions + internal use).
-        "net" => true,
+        // The network crate owns the verbs (definitions + internal use),
+        // and the live-transport crates *implement* them: the daemon's
+        // store dispatch and the actor runtime's `Transport` impl are the
+        // layer below the placement fan-out, not callers bypassing it.
+        "net" | "netd" | "blobd" => true,
         // Pre-OBIWAN baselines bypass placement by design: they exist to
         // measure what the paper's machinery buys.
         "baselines" => true,

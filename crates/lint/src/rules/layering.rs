@@ -8,7 +8,13 @@
 //! * `core` never reaches into `obiwan_net`'s `sim`/`route` modules —
 //!   only the crate-root façade;
 //! * `Placement`/`PlacementTable` internals (struct literals, patterns,
-//!   `.holders`/`.key` mutation) stay inside `crates/placement`.
+//!   `.holders`/`.key` mutation) stay inside `crates/placement`;
+//! * the live-transport crates stay low in the graph: `blobd` names no
+//!   workspace crate but `obiwan_net`, and `netd` only `obiwan_net` and
+//!   `obiwan_blobd` — a daemon that imports the core would drag the whole
+//!   swapping stack into every storage process;
+//! * `core` never names `obiwan_netd`/`obiwan_blobd`: it dispatches over
+//!   the `Transport` trait, and live worlds are assembled *above* it.
 
 use super::{violation, Workspace};
 use crate::lexer::TokenKind;
@@ -16,6 +22,14 @@ use crate::{LintViolation, Rule};
 
 /// Crates that must stay leaves (no `obiwan_*` imports at all).
 const LEAF_CRATES: &[&str] = &["trace", "xml", "lz"];
+
+/// Live-transport crates and the only workspace crates each may name
+/// (besides itself): the daemon is a dumb storage device over the net
+/// façade, and the actor runtime adds just the daemon's client.
+const TRANSPORT_IMPORTS: &[(&str, &[&str])] = &[
+    ("blobd", &["obiwan_net"]),
+    ("netd", &["obiwan_net", "obiwan_blobd"]),
+];
 
 /// Vec-mutating method names for the `.holders` check.
 const VEC_MUTATORS: &[&str] = &[
@@ -75,6 +89,47 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
                      only; naming sim/route internals couples core to the simulator's \
                      module layout"
                         .to_owned(),
+                ));
+            }
+            // S3d: transport crates import only their sanctioned slice of
+            // the workspace.
+            if let Some((_, allowed)) = TRANSPORT_IMPORTS
+                .iter()
+                .find(|(c, _)| *c == file.crate_name)
+            {
+                if t.kind == TokenKind::Ident
+                    && t.text.starts_with("obiwan_")
+                    && t.text != own
+                    && !allowed.contains(&t.text.as_str())
+                {
+                    out.push(violation(
+                        file,
+                        Rule::Layering,
+                        t.line,
+                        format!(
+                            "live-transport crate `{}` must not depend on `{}`; daemons \
+                             and the actor runtime stay below the swapping stack so a \
+                             storage process never drags the core in",
+                            file.crate_name, t.text
+                        ),
+                    ));
+                }
+            }
+            // S3e: core dispatches over the Transport trait; naming the
+            // live backends would invert the dependency wall.
+            if file.crate_name == "core"
+                && (t.is_ident("obiwan_netd") || t.is_ident("obiwan_blobd"))
+            {
+                out.push(violation(
+                    file,
+                    Rule::Layering,
+                    t.line,
+                    format!(
+                        "core must not name `{}`: live worlds are assembled above the \
+                         middleware and handed in through NetFabric::backend / \
+                         build_in_world, never constructed inside core",
+                        t.text
+                    ),
                 ));
             }
             // S3c: placement internals stay in crates/placement.

@@ -5,15 +5,17 @@
 //! PR 1 converted core+net to structured `SwapError`s after panics were
 //! observed stranding half-patched proxy graphs; this rule extends the
 //! same discipline to the measurement crates, whose panics abort whole
-//! figure runs. Tests, benches and bins are outside the scanned set, so
-//! they keep their idiomatic `unwrap`s.
+//! figure runs, and to the live-transport crates (`netd`, `blobd`),
+//! where a panic takes down a daemon serving other devices' blobs.
+//! Tests, benches and bins are outside the scanned set, so they keep
+//! their idiomatic `unwrap`s.
 
 use super::{violation, Workspace};
 use crate::lexer::TokenKind;
 use crate::{LintViolation, Rule};
 
 /// Crates governed by this rule.
-const SCOPE: &[&str] = &["bench", "auditor", "baselines", "policy"];
+const SCOPE: &[&str] = &["bench", "auditor", "baselines", "policy", "netd", "blobd"];
 
 const UNWRAP_FAMILY: &[&str] = &[
     "unwrap",

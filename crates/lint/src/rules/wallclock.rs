@@ -6,9 +6,20 @@
 //! `crates/net/src/clock.rs`. A wall-clock read anywhere else makes
 //! run-over-run traces diverge, which turns golden-trace comparisons into
 //! flakes.
+//!
+//! The live-transport crates (`netd`, `blobd`) are held to a stricter
+//! bar: they legitimately run on real time, but only through the
+//! `clock::real()` seam `crates/net/src/clock.rs` exports — so there the
+//! raw `Instant`/`SystemTime` types may not appear *at all*, not merely
+//! their `::now` reads (`Duration` stays fine). One seam means one place
+//! where simulated and real time can ever be confused.
 
 use super::{violation, Workspace};
+use crate::lexer::TokenKind;
 use crate::{LintViolation, Rule};
+
+/// Crates that may touch real time only via `obiwan_net::clock::real()`.
+const LIVE_CRATES: &[&str] = &["netd", "blobd"];
 
 pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
     let mut out = Vec::new();
@@ -16,8 +27,24 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
         if file.rel_path.ends_with("net/src/clock.rs") {
             continue;
         }
+        let live = LIVE_CRATES.contains(&file.crate_name.as_str());
         let sig = &file.sig;
         for (i, t) in sig.iter().enumerate() {
+            if live && t.kind == TokenKind::Ident && (t.text == "Instant" || t.text == "SystemTime")
+            {
+                out.push(violation(
+                    file,
+                    Rule::WallClock,
+                    t.line,
+                    format!(
+                        "`{}` may not appear in live-transport crate `{}` at all: real \
+                         time enters only through obiwan_net::clock::real(), the one \
+                         seam where simulated and wall time may meet",
+                        t.text, file.crate_name
+                    ),
+                ));
+                continue;
+            }
             if (t.is_ident("Instant") || t.is_ident("SystemTime"))
                 && sig.get(i + 1).is_some_and(|n| n.text == "::")
                 && sig.get(i + 2).is_some_and(|n| n.is_ident("now"))

@@ -88,6 +88,22 @@ fn s3_layering() {
 }
 
 #[test]
+fn s3_transport_crates_stay_below_the_core() {
+    // blobd importing the swapping core would drag the whole stack into
+    // every storage process.
+    assert_fires("s3d", Rule::Layering, "crates/blobd/src/daemon.rs", &[4]);
+    assert_clean("s3d");
+}
+
+#[test]
+fn s3_core_never_names_the_live_backends() {
+    // Fires once on the `use` and once on the return type: every mention
+    // inverts the dependency wall, not just the import.
+    assert_fires("s3e", Rule::Layering, "crates/core/src/world.rs", &[4, 7]);
+    assert_clean("s3e");
+}
+
+#[test]
 fn s4_panic_paths_flags_unwrap_and_indexing() {
     assert_fires(
         "s4",
@@ -121,6 +137,20 @@ fn s7_wall_clock() {
     // The clean tree documents its wall-clock read with lint:allow — this
     // exercises the suppression machinery, not just absence of the call.
     assert_clean("s7");
+}
+
+#[test]
+fn s7_live_crates_may_not_name_wall_clock_types_at_all() {
+    // In netd/blobd the bare type is the violation — the import, the
+    // parameter type, and the `::now` read each fire; the clean tree
+    // reads real time through obiwan_net::clock's seam instead.
+    assert_fires(
+        "s7-live",
+        Rule::WallClock,
+        "crates/netd/src/pacing.rs",
+        &[4, 7, 8],
+    );
+    assert_clean("s7-live");
 }
 
 #[test]

@@ -130,6 +130,38 @@ impl Clock {
     }
 }
 
+/// A monotonic real-time clock reporting [`SimTime`] microseconds since
+/// its construction.
+///
+/// This is the **only** sanctioned wall-clock seam in the workspace (lint
+/// S7 exempts exactly this file): live transport backends — the actor
+/// runtime, the `obiwan-blobd` daemon — stamp their events through a
+/// `RealClock` obtained from [`real`], never through `Instant::now()`
+/// directly. Keeping the seam here means the rest of the system stays
+/// indifferent to whether time is simulated or real.
+#[derive(Debug, Clone)]
+pub struct RealClock {
+    origin: std::time::Instant,
+}
+
+impl RealClock {
+    /// Microseconds elapsed since this clock was created, as a [`SimTime`].
+    pub fn now(&self) -> SimTime {
+        let us = u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX);
+        SimTime::from_micros(us)
+    }
+}
+
+/// A real-time clock anchored at the current instant.
+///
+/// See [`RealClock`] for why backends must obtain wall time through this
+/// function and nowhere else.
+pub fn real() -> RealClock {
+    RealClock {
+        origin: std::time::Instant::now(),
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::disallowed_methods)] // tests may panic on impossible states
 mod tests {
@@ -162,5 +194,13 @@ mod tests {
     #[test]
     fn secs_f64_conversion() {
         assert!((SimDuration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_clock_is_monotone_from_zero() {
+        let c = real();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
     }
 }

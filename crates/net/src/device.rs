@@ -11,6 +11,16 @@ impl DeviceId {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// Construct an id from a raw dense index.
+    ///
+    /// The simulation allocates its own ids in [`crate::SimNet::add_device`];
+    /// this constructor exists for transport backends *outside* this crate
+    /// (the actor runtime, remote worlds) that host their own device tables
+    /// and must mint ids consistent with their dense ordering.
+    pub fn from_index(raw: u32) -> DeviceId {
+        DeviceId(raw)
+    }
 }
 
 impl fmt::Display for DeviceId {

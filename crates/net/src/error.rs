@@ -55,6 +55,16 @@ pub enum NetError {
         /// The duplicated key.
         key: String,
     },
+    /// A live transport peer spoke the framed protocol incorrectly
+    /// (truncated frame, oversized length, unknown op or status). Unlike
+    /// [`NetError::Departed`], this is a hard error: failover must not
+    /// paper over corruption.
+    Protocol {
+        /// Device whose connection misbehaved.
+        device: DeviceId,
+        /// Human-readable description of the framing fault.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -82,6 +92,9 @@ impl fmt::Display for NetError {
             }
             NetError::DuplicateBlob { device, key } => {
                 write!(f, "device {device} already holds blob `{key}`")
+            }
+            NetError::Protocol { device, detail } => {
+                write!(f, "protocol error talking to device {device}: {detail}")
             }
         }
     }

@@ -40,7 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod clock;
+pub mod clock;
 mod device;
 mod error;
 mod link;
@@ -48,9 +48,10 @@ mod route;
 mod sim;
 mod store;
 mod trace;
+mod transport;
 
 pub use bytes::Bytes;
-pub use clock::{Clock, SimDuration, SimTime};
+pub use clock::{Clock, RealClock, SimDuration, SimTime};
 pub use device::{DeviceId, DeviceKind, DeviceProfile};
 pub use error::NetError;
 pub use link::LinkSpec;
@@ -58,6 +59,7 @@ pub use route::Route;
 pub use sim::SimNet;
 pub use store::{BlobStore, FailurePlan, MemStore};
 pub use trace::{TraceEvent, TraceKind};
+pub use transport::{NetFabric, Transport, TransportKind};
 
 /// Convenience result alias used across this crate.
 pub type Result<T> = std::result::Result<T, NetError>;

@@ -97,7 +97,12 @@ impl FailurePlan {
         }
     }
 
-    fn should_fail(&self, op_counter: u64) -> bool {
+    /// Whether the `op_counter`-th operation must fail under this plan.
+    ///
+    /// Public so transport backends outside this crate (the actor
+    /// runtime) can evaluate the same deterministic plan at their own
+    /// dispatch layer instead of inside a store they may not own.
+    pub fn should_fail(&self, op_counter: u64) -> bool {
         if self.fail_at.contains(&op_counter) {
             return true;
         }

@@ -1,0 +1,9 @@
+//! Clean S3 counterpart: the daemon stays on obiwan_net's façade — the
+//! store it wraps and the error vocabulary it answers in.
+
+use obiwan_net::{BlobStore, MemStore};
+
+/// Bytes currently charged against the daemon store's quota.
+pub fn used(store: &MemStore) -> usize {
+    store.used_bytes()
+}

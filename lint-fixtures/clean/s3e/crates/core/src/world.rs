@@ -1,0 +1,9 @@
+//! Clean S3 counterpart: core receives an assembled world and dispatches
+//! over the Transport trait; it never names the live backends.
+
+use obiwan_net::NetFabric;
+
+/// The transport in play, read off the fabric a caller assembled.
+pub fn kind(net: &NetFabric) -> obiwan_net::TransportKind {
+    net.kind()
+}

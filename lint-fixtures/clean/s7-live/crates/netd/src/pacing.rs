@@ -1,0 +1,15 @@
+//! Clean S7 counterpart: the actor runtime reads real time through the
+//! sanctioned seam and otherwise handles only durations.
+
+use obiwan_net::clock::RealClock;
+use std::time::Duration;
+
+/// Microseconds since the runtime's origin, via the one real-time seam.
+pub fn elapsed_us(clock: &RealClock) -> u64 {
+    clock.now().as_micros()
+}
+
+/// A pacing delay scaled down by a divisor (no wall-clock types named).
+pub fn scaled(cost_us: u64, divisor: u64) -> Duration {
+    Duration::from_micros(cost_us / divisor.max(1))
+}

@@ -1,0 +1,9 @@
+//! S3 fixture (transport layering): the daemon reaching up into the
+//! swapping core. A storage process must not drag the whole stack in.
+
+use obiwan_core::SwapStats;
+
+/// Report swap counters from inside the daemon (wrong layer entirely).
+pub fn report(stats: &SwapStats) -> String {
+    format!("outs={}", stats.swap_outs)
+}

@@ -1,0 +1,9 @@
+//! S3 fixture (inverted transport dependency): core constructing a live
+//! daemon directly instead of dispatching over the Transport trait.
+
+use obiwan_blobd::Blobd;
+
+/// Boot a daemon from inside the middleware (the wall runs the other way).
+pub fn boot() -> std::io::Result<obiwan_blobd::BlobdHandle> {
+    Blobd::spawn_local(1 << 20)
+}

@@ -1,0 +1,11 @@
+//! S7 fixture (live-transport): the actor runtime holding a raw Instant.
+//! Real time must enter only through obiwan_net::clock::real().
+
+use std::time::Instant;
+
+/// Spin until a deadline computed from a raw wall-clock read.
+pub fn pace(deadline: Instant) {
+    while Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+}

@@ -32,9 +32,11 @@
 //! ```
 
 pub use obiwan_baselines as baselines;
+pub use obiwan_blobd as blobd;
 pub use obiwan_core as core;
 pub use obiwan_heap as heap;
 pub use obiwan_net as net;
+pub use obiwan_netd as netd;
 pub use obiwan_policy as policy;
 pub use obiwan_replication as replication;
 pub use obiwan_trace as trace;
@@ -49,7 +51,7 @@ pub mod prelude {
         VictimPolicy,
     };
     pub use obiwan_heap::{ClassBuilder, ClassRegistry, Heap, ObjRef, ObjectKind, Oid, Value};
-    pub use obiwan_net::{DeviceId, DeviceKind, LinkSpec, SimNet};
+    pub use obiwan_net::{DeviceId, DeviceKind, LinkSpec, NetFabric, SimNet, TransportKind};
     pub use obiwan_policy::{ContextManager, PolicyEngine, Watermarks};
     pub use obiwan_replication::{
         standard_classes, ClusterStrategy, Process, Server, UniverseBuilder,

@@ -25,7 +25,7 @@ fn room() -> (
         .expect("a");
     net.connect(pda_b, laptop, LinkSpec::bluetooth())
         .expect("b");
-    let net = Arc::new(Mutex::new(net));
+    let net = Arc::new(Mutex::new(obiwan_net::NetFabric::sim(net)));
 
     let build = |home| {
         Middleware::builder()
