@@ -105,6 +105,34 @@ fn golden_trace_round_trips_and_conforms() {
 }
 
 #[test]
+fn golden_trace_is_byte_identical_at_shard_extremes() {
+    // The slab-arena heap must not leak allocation nondeterminism into the
+    // trace at either extreme of the lock table: the collapsed single-lock
+    // shape (`--shards 1`) and a spread wider than the golden 8
+    // (`--shards 16`). Each shape replays byte-identically run over run
+    // and passes the conformance rules; the shards-8 shape is additionally
+    // pinned against the committed fixture above.
+    for shards in [1usize, 16] {
+        let cfg = TraceConfig {
+            shards,
+            ..golden_config()
+        };
+        let export = |cfg: &TraceConfig| {
+            let outcome = replay(cfg).expect("shard-extreme replay must succeed");
+            assert!(!outcome.has_errors(), "shards={shards}: graph audit");
+            let report = obiwan_trace::conformance::check(&outcome.trace);
+            assert!(report.is_clean(), "shards={shards}: {report}");
+            outcome.trace.to_json()
+        };
+        assert_eq!(
+            export(&cfg),
+            export(&cfg),
+            "shards={shards}: trace must be byte-identical run over run"
+        );
+    }
+}
+
+#[test]
 fn every_format_and_replication_factor_exports_a_conforming_trace() {
     for wire_format in obiwan_core::WireFormatKind::ALL {
         for k in [1usize, 2] {

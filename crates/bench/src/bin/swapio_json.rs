@@ -3,6 +3,10 @@
 //! ```text
 //! cargo run --release -p obiwan-bench --bin swapio_json > BENCH_swapio.json
 //! ```
+//!
+//! Doubles as the CI decode gate: exits nonzero when the binary reload
+//! decode (straight into arena objects) exceeds 2× the binary encode at
+//! the 100-object cluster size — see [`swapio::check_decode_gate`].
 
 use obiwan_bench::swapio;
 
@@ -22,6 +26,7 @@ fn main() -> std::process::ExitCode {
 
 fn run(list_len: usize) -> obiwan_bench::Result<String> {
     let points = swapio::run_format_sweep(list_len)?;
+    swapio::check_decode_gate(&points)?;
     let histograms = swapio::run_trace_histograms(list_len, 8)?;
     let contention = obiwan_bench::contention::run_matrix(120, 1_500, &[1, 3], &[1, 4, 8, 16])?;
     Ok(swapio::formats_json(

@@ -86,6 +86,7 @@ mod error;
 mod gc_bridge;
 mod identity;
 mod manager;
+pub mod materialize;
 mod middleware;
 mod proxy;
 mod recorder;

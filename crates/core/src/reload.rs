@@ -20,8 +20,8 @@
 //! alone, commit takes coordinator → shard → net (the net window only for
 //! the eager blob drops).
 
-use crate::codec::BlobField;
 use crate::manager::{lock_net, SharedNet};
+use crate::materialize::{ClusterMaterializer, FixupKind, OidMap};
 use crate::shard::{lock_coordinator, lock_shard, Coordinator, Shard};
 use crate::swap_cluster::SwapClusterState;
 use crate::{proxy, wire, Result, SwapError, SwappingManager};
@@ -29,7 +29,6 @@ use obiwan_heap::{ObjRef, ObjectKind, Oid, Value};
 use obiwan_net::{Bytes, DeviceId, NetError};
 use obiwan_policy::PolicyEvent;
 use obiwan_replication::Process;
-use std::collections::HashMap;
 
 /// A reload prepared under the shard guard: the placement facts the fetch
 /// phase needs. Once one of these exists the reload is in flight
@@ -294,39 +293,43 @@ impl SwappingManager {
             self.recorder.set_clock(churn, at_us);
         }
         let blob_bytes = data.len();
-        let blob = wire::decode_blob(&data)?;
-        if blob.swap_cluster != sc {
+        // Decode straight into detached arena objects: one streaming pass
+        // over the wire bytes (byte payloads sliced zero-copy out of the
+        // fetched buffer), no `Blob` IR and no per-field re-accounting. The
+        // materializer is pure, so a parse error here leaves the heap
+        // untouched — same as the legacy decode-then-allocate path.
+        let mut mat = ClusterMaterializer::new(p.universe().registry.clone(), sc);
+        let header = wire::decode_blob_into(&data, &mut mat)?;
+        if header.swap_cluster != sc {
             return Err(SwapError::codec(format!(
                 "blob `{key}` labels itself swap-cluster {}, expected {sc}",
-                blob.swap_cluster
+                header.swap_cluster
             )));
         }
+        let (objects, fixups) = mat.into_parts();
 
-        // Pass 1: rematerialize members.
-        let mut member_map: HashMap<Oid, ObjRef> = HashMap::new();
-        let mut members: Vec<(Oid, ObjRef)> = Vec::with_capacity(blob.objects.len());
-        for bo in &blob.objects {
-            let class = p.universe().registry.class_id(&bo.class)?;
-            let r = match p.heap_mut().alloc(class, ObjectKind::App) {
+        // Pass 1: adopt the members, in stream order — the same handle
+        // sequence the per-object alloc path produced. Reserving from the
+        // frame's object count keeps slab growth out of the loop.
+        p.heap_mut().reserve_slots(objects.len());
+        let mut member_map: OidMap<ObjRef> =
+            OidMap::with_capacity_and_hasher(objects.len(), Default::default());
+        let mut members: Vec<(Oid, ObjRef)> = Vec::with_capacity(objects.len());
+        for (oid, obj) in objects {
+            let r = match p.heap_mut().adopt(obj) {
                 Ok(r) => r,
                 Err(e) => {
-                    // Nothing registered yet; the orphan allocations are
+                    // Nothing registered yet; the orphan adoptions are
                     // reclaimed by the next collection. State unchanged.
                     return Err(e.into());
                 }
             };
-            {
-                let h = p.heap_mut().get_mut(r)?.header_mut();
-                h.oid = bo.oid;
-                h.repl_cluster = bo.repl_cluster;
-                h.swap_cluster = sc;
-            }
-            member_map.insert(bo.oid, r);
-            members.push((bo.oid, r));
+            member_map.insert(oid, r);
+            members.push((oid, r));
         }
 
         // The outbound proxies kept alive by the replacement-object.
-        let outbound_by_oid: HashMap<Oid, ObjRef> = {
+        let outbound_by_oid: OidMap<ObjRef> = {
             let extras = p.heap().extra_fields(replacement)?.to_vec();
             extras
                 .iter()
@@ -341,27 +344,41 @@ impl SwappingManager {
                 .collect::<Result<_>>()?
         };
 
-        // Pass 2: reconnect fields.
-        for (bo, &(_, r)) in blob.objects.iter().zip(&members) {
-            for (idx, field) in &bo.fields {
-                let value = match field {
-                    BlobField::Scalar(v) => v.clone(),
-                    BlobField::MemberRef(oid) => {
-                        Value::Ref(member_map.get(oid).copied().ok_or_else(|| {
-                            SwapError::codec(format!(
-                                "blob references member {oid} which it does not contain"
-                            ))
-                        })?)
+        // Pass 2: resolve the reference fixups, in stream order. The
+        // reconnect procedures are idempotent per identity, so memoizing
+        // them per distinct oid walks the proxy index once per target
+        // instead of once per referring field, with identical allocation
+        // order to the per-field legacy loop.
+        let mut memo_proxy: OidMap<ObjRef> = OidMap::default();
+        let mut memo_fault: OidMap<ObjRef> = OidMap::default();
+        for f in &fixups {
+            let (_, holder) = members[f.ordinal as usize];
+            let target = match f.kind {
+                FixupKind::Member => member_map.get(&f.oid).copied().ok_or_else(|| {
+                    SwapError::codec(format!(
+                        "blob references member {} which it does not contain",
+                        f.oid
+                    ))
+                })?,
+                FixupKind::Proxy => match memo_proxy.get(&f.oid) {
+                    Some(&t) => t,
+                    None => {
+                        let t = self.reconnect_proxy_ref(p, c, sc, f.oid, &outbound_by_oid)?;
+                        memo_proxy.insert(f.oid, t);
+                        t
                     }
-                    BlobField::ProxyRef(oid) => {
-                        Value::Ref(self.reconnect_proxy_ref(p, c, sc, *oid, &outbound_by_oid)?)
+                },
+                FixupKind::Fault => match memo_fault.get(&f.oid) {
+                    Some(&t) => t,
+                    None => {
+                        let t = self.reconnect_fault_ref(p, c, sc, f.oid, &member_map)?;
+                        memo_fault.insert(f.oid, t);
+                        t
                     }
-                    BlobField::FaultRef(oid) => {
-                        Value::Ref(self.reconnect_fault_ref(p, c, sc, *oid, &member_map)?)
-                    }
-                };
-                p.heap_mut().set_any_field(r, *idx, value)?;
-            }
+                },
+            };
+            p.heap_mut()
+                .set_slot_fast(holder, f.field as usize, Value::Ref(target))?;
         }
 
         // Pass 3: patch inbound proxies back to the fresh replicas.
@@ -447,7 +464,7 @@ impl SwappingManager {
         c: &mut Coordinator,
         sc: u32,
         oid: Oid,
-        outbound_by_oid: &HashMap<Oid, ObjRef>,
+        outbound_by_oid: &OidMap<ObjRef>,
     ) -> Result<ObjRef> {
         if let Some(&pr) = outbound_by_oid.get(&oid) {
             return Ok(pr);
@@ -476,7 +493,7 @@ impl SwappingManager {
         c: &mut Coordinator,
         sc: u32,
         oid: Oid,
-        member_map: &HashMap<Oid, ObjRef>,
+        member_map: &OidMap<ObjRef>,
     ) -> Result<ObjRef> {
         if let Some(&m) = member_map.get(&oid) {
             return Ok(m);

@@ -262,13 +262,232 @@ fn frame_header(format_id: u8, blob: &Blob) -> Vec<u8> {
 }
 
 fn check_frame_consistency(header: &BlobHeader, blob: &Blob) -> Result<()> {
-    if header.swap_cluster != blob.swap_cluster || header.epoch != blob.epoch {
+    check_frame_values(header, blob.swap_cluster, blob.epoch)
+}
+
+fn check_frame_values(header: &BlobHeader, swap_cluster: u32, epoch: u32) -> Result<()> {
+    if header.swap_cluster != swap_cluster || header.epoch != epoch {
         return Err(SwapError::codec(format!(
             "frame header names sc{} e{} but the body decodes to sc{} e{}",
-            header.swap_cluster, header.epoch, blob.swap_cluster, blob.epoch
+            header.swap_cluster, header.epoch, swap_cluster, epoch
         )));
     }
     Ok(())
+}
+
+/// Streaming consumer of a decoding blob.
+///
+/// The decoder pushes the header, then each object and its fields in wire
+/// order; an implementation materializes them however it likes — the
+/// [`Blob`] IR for the legacy path, or detached arena objects for the
+/// zero-copy reload path ([`crate::materialize::ClusterMaterializer`]).
+/// Any error returned from a hook aborts the decode.
+pub trait BlobSink {
+    /// The frame header and declared object count, before any object.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; aborts the decode.
+    fn begin(&mut self, header: &BlobHeader, object_count: usize) -> Result<()>;
+
+    /// Start of the next object. Its fields follow before the next
+    /// `begin_object`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; aborts the decode.
+    fn begin_object(
+        &mut self,
+        oid: Oid,
+        class: &str,
+        repl_cluster: u32,
+        field_count: usize,
+    ) -> Result<()>;
+
+    /// One field of the current object, at layout index `index`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; aborts the decode.
+    fn field(&mut self, index: usize, field: BlobField) -> Result<()>;
+}
+
+/// [`BlobSink`] that rebuilds the [`Blob`] IR — the legacy decode target,
+/// now just one consumer of the streaming parser.
+#[derive(Debug)]
+struct BlobBuilder {
+    blob: Blob,
+}
+
+impl BlobBuilder {
+    fn new() -> Self {
+        BlobBuilder {
+            blob: Blob {
+                swap_cluster: 0,
+                epoch: 0,
+                objects: Vec::new(),
+            },
+        }
+    }
+}
+
+impl BlobSink for BlobBuilder {
+    fn begin(&mut self, header: &BlobHeader, object_count: usize) -> Result<()> {
+        self.blob.swap_cluster = header.swap_cluster;
+        self.blob.epoch = header.epoch;
+        self.blob.objects.reserve(object_count);
+        Ok(())
+    }
+
+    fn begin_object(
+        &mut self,
+        oid: Oid,
+        class: &str,
+        repl_cluster: u32,
+        field_count: usize,
+    ) -> Result<()> {
+        self.blob.objects.push(BlobObject {
+            oid,
+            class: class.to_owned(),
+            repl_cluster,
+            fields: Vec::with_capacity(field_count),
+        });
+        Ok(())
+    }
+
+    fn field(&mut self, index: usize, field: BlobField) -> Result<()> {
+        let obj = self
+            .blob
+            .objects
+            .last_mut()
+            .ok_or_else(|| SwapError::codec("field event before any object"))?;
+        obj.fields.push((index, field));
+        Ok(())
+    }
+}
+
+/// Replay an already-decoded [`Blob`] through a sink (the XML formats have
+/// no streaming parser — the document is parsed to IR first).
+fn replay_blob<S: BlobSink + ?Sized>(format_id: u8, blob: &Blob, sink: &mut S) -> Result<()> {
+    let header = BlobHeader {
+        format_id,
+        swap_cluster: blob.swap_cluster,
+        epoch: blob.epoch,
+    };
+    sink.begin(&header, blob.objects.len())?;
+    for bo in &blob.objects {
+        sink.begin_object(bo.oid, &bo.class, bo.repl_cluster, bo.fields.len())?;
+        for (i, f) in &bo.fields {
+            sink.field(*i, f.clone())?;
+        }
+    }
+    Ok(())
+}
+
+/// The single streaming parser behind every binary decode. When `backing`
+/// is the `Bytes` buffer `data` points into, byte payloads are pushed as
+/// zero-copy sub-slices of it; otherwise they are copied out.
+fn decode_binary_stream<S: BlobSink + ?Sized>(
+    data: &[u8],
+    backing: Option<&Bytes>,
+    sink: &mut S,
+) -> Result<BlobHeader> {
+    let header = peek_frame(data)?;
+    if !data.starts_with(&MAGIC) || header.format_id != BINARY_FORMAT_ID {
+        return Err(SwapError::codec(format!(
+            "not a binary blob frame (format id 0x{:02x})",
+            blob_format_id(data)
+        )));
+    }
+    let mut r = Reader {
+        data,
+        pos: HEADER_LEN,
+    };
+    let count = r.varint().map_err(parse_err)? as usize;
+    sink.begin(&header, count)?;
+    // Swap-clusters are overwhelmingly runs of one class: remember the last
+    // validated class-name bytes so repeat objects skip the UTF-8 check.
+    let mut last_class: Option<(&[u8], &str)> = None;
+    for _ in 0..count {
+        let oid = Oid(r.varint().map_err(parse_err)?);
+        let class_len = r.varint().map_err(parse_err)? as usize;
+        let raw_class = r.take(class_len).map_err(parse_err)?;
+        let class = match last_class {
+            Some((raw, name)) if raw == raw_class => name,
+            _ => {
+                let name = std::str::from_utf8(raw_class)
+                    .map_err(|e| parse_err(ParseErr::ClassUtf8(e)))?;
+                last_class = Some((raw_class, name));
+                name
+            }
+        };
+        let repl_cluster = r.varint_u32("repl cluster").map_err(parse_err)?;
+        let field_count = r.varint().map_err(parse_err)? as usize;
+        sink.begin_object(oid, class, repl_cluster, field_count)?;
+        for _ in 0..field_count {
+            let i = r.varint().map_err(parse_err)? as usize;
+            let field = decode_binary_field(&mut r, backing).map_err(parse_err)?;
+            sink.field(i, field)?;
+        }
+    }
+    if r.pos != data.len() {
+        return Err(SwapError::codec(format!(
+            "{} trailing bytes after the last object",
+            data.len() - r.pos
+        )));
+    }
+    Ok(header)
+}
+
+/// Decode a blob of any known format straight into a [`BlobSink`],
+/// returning the header the body decoded under. This is the reload hot
+/// path: binary frames stream object-by-object with byte payloads sliced
+/// zero-copy out of `data`'s backing buffer, LZ frames decompress once and
+/// stream from the inflated buffer, and XML replays its parsed IR.
+///
+/// Error parity with [`decode_blob`] is exact for well-formed input and
+/// for the first parse error of corrupt input; a sink may have consumed a
+/// prefix of the objects by the time a later error aborts the decode.
+///
+/// # Errors
+///
+/// [`SwapError::Codec`] as [`decode_blob`], plus whatever the sink hooks
+/// return.
+pub fn decode_blob_into<S: BlobSink + ?Sized>(data: &Bytes, sink: &mut S) -> Result<BlobHeader> {
+    if data.starts_with(&MAGIC) {
+        let header = peek_frame(data)?;
+        match header.format_id {
+            BINARY_FORMAT_ID => decode_binary_stream(data, Some(data), sink),
+            id if id & LZ_FLAG != 0 => {
+                let inner = obiwan_lz::decompress(&data[HEADER_LEN..])
+                    .map_err(|e| SwapError::codec(format!("lz body: {e}")))?;
+                let inner_id = blob_format_id(&inner);
+                let inner = Bytes::from(inner);
+                let body = decode_blob_into(&inner, sink)?;
+                check_frame_values(&header, body.swap_cluster, body.epoch)?;
+                if inner_id != id & !LZ_FLAG {
+                    return Err(SwapError::codec(format!(
+                        "lz frame id 0x{id:02x} does not match its inner format"
+                    )));
+                }
+                Ok(BlobHeader {
+                    format_id: id,
+                    ..body
+                })
+            }
+            other => Err(SwapError::codec(format!(
+                "unknown blob format id 0x{other:02x}"
+            ))),
+        }
+    } else {
+        let blob = XmlFormat.decode(data)?;
+        replay_blob(XML_FORMAT_ID, &blob, sink)?;
+        Ok(BlobHeader {
+            format_id: XML_FORMAT_ID,
+            swap_cluster: blob.swap_cluster,
+            epoch: blob.epoch,
+        })
+    }
 }
 
 /// The paper's XML wire format — self-describing text, no binary header.
@@ -342,49 +561,9 @@ impl WireFormat for BinaryFormat {
     }
 
     fn decode(&self, data: &[u8]) -> Result<Blob> {
-        let header = peek_frame(data)?;
-        if !data.starts_with(&MAGIC) || header.format_id != BINARY_FORMAT_ID {
-            return Err(SwapError::codec(format!(
-                "not a binary blob frame (format id 0x{:02x})",
-                blob_format_id(data)
-            )));
-        }
-        let mut r = Reader {
-            data,
-            pos: HEADER_LEN,
-        };
-        let count = r.varint()? as usize;
-        let mut objects = Vec::new();
-        for _ in 0..count {
-            let oid = Oid(r.varint()?);
-            let class_len = r.varint()? as usize;
-            let class = String::from_utf8(r.take(class_len)?.to_vec())
-                .map_err(|e| SwapError::codec(format!("class name is not UTF-8: {e}")))?;
-            let repl_cluster = r.varint_u32("repl cluster")?;
-            let field_count = r.varint()? as usize;
-            let mut fields = Vec::with_capacity(field_count);
-            for _ in 0..field_count {
-                let i = r.varint()? as usize;
-                fields.push((i, decode_binary_field(&mut r)?));
-            }
-            objects.push(BlobObject {
-                oid,
-                class,
-                repl_cluster,
-                fields,
-            });
-        }
-        if r.pos != data.len() {
-            return Err(SwapError::codec(format!(
-                "{} trailing bytes after the last object",
-                data.len() - r.pos
-            )));
-        }
-        Ok(Blob {
-            swap_cluster: header.swap_cluster,
-            epoch: header.epoch,
-            objects,
-        })
+        let mut builder = BlobBuilder::new();
+        decode_binary_stream(data, None, &mut builder)?;
+        Ok(builder.blob)
     }
 }
 
@@ -434,7 +613,11 @@ fn encode_binary_field(out: &mut Vec<u8>, i: usize, f: &BlobField) -> Result<()>
     Ok(())
 }
 
-fn decode_binary_field(r: &mut Reader<'_>) -> Result<BlobField> {
+#[inline(always)]
+fn decode_binary_field(
+    r: &mut Reader<'_>,
+    backing: Option<&Bytes>,
+) -> std::result::Result<BlobField, ParseErr> {
     let tag = r.byte("field tag")?;
     Ok(match tag {
         TAG_MEMBER_REF => BlobField::MemberRef(Oid(r.varint()?)),
@@ -450,23 +633,26 @@ fn decode_binary_field(r: &mut Reader<'_>) -> Result<BlobField> {
         TAG_BOOL => match r.byte("bool value")? {
             0 => BlobField::Scalar(Value::Bool(false)),
             1 => BlobField::Scalar(Value::Bool(true)),
-            other => {
-                return Err(SwapError::codec(format!(
-                    "bool field holds 0x{other:02x}, expected 0 or 1"
-                )))
-            }
+            other => return Err(ParseErr::BadBool(other)),
         },
         TAG_STR => {
             let len = r.varint()? as usize;
-            let s = std::str::from_utf8(r.take(len)?)
-                .map_err(|e| SwapError::codec(format!("str field is not UTF-8: {e}")))?;
+            let s = std::str::from_utf8(r.take(len)?).map_err(ParseErr::StrUtf8)?;
             BlobField::Scalar(Value::from(s))
         }
         TAG_BYTES => {
             let len = r.varint()? as usize;
-            BlobField::Scalar(Value::Bytes(Bytes::copy_from_slice(r.take(len)?)))
+            let start = r.pos;
+            let raw = r.take(len)?;
+            // With a backing buffer the payload is a zero-copy sub-slice of
+            // the fetched bytes; without one (plain `&[u8]` decode) it is
+            // copied out as before.
+            BlobField::Scalar(Value::Bytes(match backing {
+                Some(b) => b.slice(start..start + len),
+                None => Bytes::copy_from_slice(raw),
+            }))
         }
-        other => return Err(SwapError::codec(format!("unknown field tag 0x{other:02x}"))),
+        other => return Err(ParseErr::UnknownTag(other)),
     })
 }
 
@@ -529,38 +715,92 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
+/// Thin parser-internal error: [`SwapError`] is 64 bytes, and threading it
+/// through every hot `Result` made the reload decode loop shuffle error
+/// space it never uses. Each variant carries exactly what the legacy
+/// message needs; [`parse_err`] reconstructs the byte-identical
+/// [`SwapError`] on the cold path.
+#[derive(Debug, Clone, Copy)]
+enum ParseErr {
+    Missing(&'static str),
+    Run { len: usize, rem: usize },
+    VarintTooLong,
+    U32Overflow { what: &'static str, v: u64 },
+    BadBool(u8),
+    StrUtf8(std::str::Utf8Error),
+    ClassUtf8(std::str::Utf8Error),
+    UnknownTag(u8),
+}
+
+#[cold]
+#[inline(never)]
+fn parse_err(e: ParseErr) -> SwapError {
+    match e {
+        ParseErr::Missing(what) => SwapError::codec(format!("truncated blob: missing {what}")),
+        ParseErr::Run { len, rem } => SwapError::codec(format!(
+            "truncated blob: {len}-byte run exceeds the remaining {rem}"
+        )),
+        ParseErr::VarintTooLong => SwapError::codec("varint longer than 64 bits"),
+        ParseErr::U32Overflow { what, v } => SwapError::codec(format!("{what} {v} exceeds u32")),
+        ParseErr::BadBool(b) => {
+            SwapError::codec(format!("bool field holds 0x{b:02x}, expected 0 or 1"))
+        }
+        ParseErr::StrUtf8(e) => SwapError::codec(format!("str field is not UTF-8: {e}")),
+        ParseErr::ClassUtf8(e) => SwapError::codec(format!("class name is not UTF-8: {e}")),
+        ParseErr::UnknownTag(t) => SwapError::codec(format!("unknown field tag 0x{t:02x}")),
+    }
+}
+
 struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
-impl Reader<'_> {
-    fn byte(&mut self, what: &str) -> Result<u8> {
-        let b = *self
-            .data
-            .get(self.pos)
-            .ok_or_else(|| SwapError::codec(format!("truncated blob: missing {what}")))?;
+impl<'a> Reader<'a> {
+    #[inline(always)]
+    fn byte(&mut self, what: &'static str) -> std::result::Result<u8, ParseErr> {
+        let b = *self.data.get(self.pos).ok_or(ParseErr::Missing(what))?;
         self.pos += 1;
         Ok(b)
     }
 
-    fn take(&mut self, len: usize) -> Result<&[u8]> {
+    #[inline(always)]
+    fn take(&mut self, len: usize) -> std::result::Result<&'a [u8], ParseErr> {
         let end = self
             .pos
             .checked_add(len)
             .filter(|&end| end <= self.data.len())
-            .ok_or_else(|| {
-                SwapError::codec(format!(
-                    "truncated blob: {len}-byte run exceeds the remaining {}",
-                    self.data.len() - self.pos
-                ))
+            .ok_or(ParseErr::Run {
+                len,
+                rem: self.data.len() - self.pos,
             })?;
         let out = &self.data[self.pos..end];
         self.pos = end;
         Ok(out)
     }
 
-    fn varint(&mut self) -> Result<u64> {
+    #[inline(always)]
+    fn varint(&mut self) -> std::result::Result<u64, ParseErr> {
+        // Fast path for the overwhelmingly common 1- and 2-byte encodings
+        // (field indices, tags, cluster-sized oids and lengths).
+        if let Some(&a) = self.data.get(self.pos) {
+            if a & 0x80 == 0 {
+                self.pos += 1;
+                return Ok(u64::from(a));
+            }
+            if let Some(&b) = self.data.get(self.pos + 1) {
+                if b & 0x80 == 0 {
+                    self.pos += 2;
+                    return Ok(u64::from(b) << 7 | u64::from(a & 0x7f));
+                }
+            }
+        }
+        self.varint_long()
+    }
+
+    /// ≥3-byte and truncated encodings; same wire grammar and errors as
+    /// the original single loop.
+    fn varint_long(&mut self) -> std::result::Result<u64, ParseErr> {
         let mut v = 0u64;
         for shift in (0..64).step_by(7) {
             let byte = self.byte("varint continuation")?;
@@ -569,12 +809,13 @@ impl Reader<'_> {
                 return Ok(v);
             }
         }
-        Err(SwapError::codec("varint longer than 64 bits"))
+        Err(ParseErr::VarintTooLong)
     }
 
-    fn varint_u32(&mut self, what: &str) -> Result<u32> {
+    #[inline]
+    fn varint_u32(&mut self, what: &'static str) -> std::result::Result<u32, ParseErr> {
         let v = self.varint()?;
-        u32::try_from(v).map_err(|_| SwapError::codec(format!("{what} {v} exceeds u32")))
+        u32::try_from(v).map_err(|_| ParseErr::U32Overflow { what, v })
     }
 }
 

@@ -9,7 +9,7 @@
 //! storing device may be instructed to drop the corresponding XML blob
 //! (paper §3, *Integration with GC Mechanisms*).
 
-use crate::heap::Slot;
+use crate::heap::{slot_at, Slot, SlotBody};
 use crate::{ClassId, Heap, ObjRef, ObjectKind, Oid, Value};
 
 /// Statistics of one collection.
@@ -52,7 +52,7 @@ impl Heap {
     pub fn collect(&mut self) -> CollectStats {
         self.gc_runs += 1;
         // --- Mark ---------------------------------------------------------
-        let mut marked = vec![false; self.slots.len()];
+        let mut marked = vec![false; self.slot_count as usize];
         let mut stack: Vec<ObjRef> = Vec::new();
         for (_, v) in self.globals() {
             if let Value::Ref(r) = v {
@@ -60,53 +60,62 @@ impl Heap {
             }
         }
         stack.extend(self.extra_roots.iter().copied());
-        for (i, slot) in self.slots.iter().enumerate() {
-            if let Slot::Used { generation, obj } = slot {
+        for (index, slot) in self.enumerate_slots() {
+            if let SlotBody::Used(obj) = &slot.body {
                 if obj.header.pinned {
                     stack.push(ObjRef {
-                        index: i as u32,
-                        generation: *generation,
+                        index,
+                        generation: slot.generation,
                     });
                 }
             }
         }
         while let Some(r) = stack.pop() {
-            let Some(Slot::Used { generation, obj }) = self.slots.get(r.index as usize) else {
+            let Some(Slot {
+                generation,
+                body: SlotBody::Used(obj),
+            }) = self.slot(r.index)
+            else {
                 continue;
             };
             if *generation != r.generation || marked[r.index as usize] {
                 continue;
             }
             marked[r.index as usize] = true;
-            for v in &obj.fields {
+            for v in obj.fields.as_slice() {
                 if let Value::Ref(next) = v {
                     stack.push(*next);
                 }
             }
         }
-        // --- Sweep --------------------------------------------------------
+        // --- Sweep (ascending slot order, so the LIFO free list ends up in
+        // --- the same reuse order the old free stack produced) ------------
         let mut stats = CollectStats::default();
         let bytes_before = self.bytes_used;
-        for index in 0..self.slots.len() as u32 {
-            let dead =
-                matches!(self.slots[index as usize], Slot::Used { .. }) && !marked[index as usize];
-            if !dead {
+        for index in 0..self.slot_count {
+            // Copy the death record out before mutating the heap.
+            let dead = match self.slot(index) {
+                Some(Slot {
+                    generation,
+                    body: SlotBody::Used(obj),
+                }) if !marked[index as usize] => Some(obj.header.finalize.then_some(Finalized {
+                    obj: ObjRef {
+                        index,
+                        generation: *generation,
+                    },
+                    kind: obj.header.kind,
+                    class: obj.class,
+                    oid: obj.header.oid,
+                    swap_cluster: obj.header.swap_cluster,
+                })),
+                _ => None,
+            };
+            let Some(finalized) = dead else {
                 continue;
-            }
-            if let Slot::Used { generation, obj } = &self.slots[index as usize] {
-                if obj.header.finalize {
-                    self.finalized.push(Finalized {
-                        obj: ObjRef {
-                            index,
-                            generation: *generation,
-                        },
-                        kind: obj.header.kind,
-                        class: obj.class,
-                        oid: obj.header.oid,
-                        swap_cluster: obj.header.swap_cluster,
-                    });
-                    stats.finalized += 1;
-                }
+            };
+            if let Some(record) = finalized {
+                self.finalized.push(record);
+                stats.finalized += 1;
             }
             self.free_slot(index);
             stats.freed_objects += 1;
@@ -114,11 +123,11 @@ impl Heap {
         stats.freed_bytes = bytes_before - self.bytes_used;
         stats.live_objects = self.live_objects;
         // --- Weak table ----------------------------------------------------
-        let slots = &self.slots;
+        let slabs = &self.slabs;
         self.weak.clear_dead(|target| {
             !matches!(
-                slots.get(target.index as usize),
-                Some(Slot::Used { generation, .. }) if *generation == target.generation
+                slot_at(slabs, target.index),
+                Some(Slot { generation, body: SlotBody::Used(_) }) if *generation == target.generation
             )
         });
         stats

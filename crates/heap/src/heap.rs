@@ -1,4 +1,12 @@
-//! The slab of object slots and its accounting.
+//! The slab arena of object slots and its accounting.
+//!
+//! Objects live *inline* in generation-tagged slots grouped into fixed-size
+//! slabs (`Vec<Vec<Slot>>`): handle→slot resolution is a shift and a mask,
+//! not a map probe, growth never moves existing objects (only whole new
+//! slabs are added), and a freed slot is threaded onto an intrusive
+//! free list through its own `next_free` word — no side allocation at all
+//! on the alloc/free path for small layouts (see
+//! [`crate::object`]'s inline field store).
 
 use crate::gc::Finalized;
 use crate::object::Object;
@@ -6,6 +14,15 @@ use crate::weak::WeakTable;
 use crate::{ClassId, ClassRegistry, FieldId, HeapError, ObjectKind, Result, Value, WeakRef};
 use std::collections::HashMap;
 use std::fmt;
+
+/// log2 of the number of slots per slab.
+const SLAB_SHIFT: u32 = 9;
+/// Slots per slab (512): big enough to amortize slab growth, small enough
+/// that a fresh device heap stays cheap.
+const SLAB_CAPACITY: usize = 1 << SLAB_SHIFT;
+const SLAB_MASK: u32 = SLAB_CAPACITY as u32 - 1;
+/// Free-list terminator for the intrusive `next_free` chain.
+const NO_SLOT: u32 = u32::MAX;
 
 /// Generational handle to a heap object.
 ///
@@ -41,22 +58,45 @@ impl fmt::Display for ObjRef {
     }
 }
 
+/// One arena slot: the generation the slot is currently at, plus either the
+/// object stored inline or the free-list link.
 #[derive(Debug)]
-pub(crate) enum Slot {
-    /// Empty slot; `next_generation` is what the next occupant will get.
-    Free { next_generation: u32 },
-    /// Occupied slot at the given generation.
-    Used { generation: u32, obj: Box<Object> },
+pub(crate) struct Slot {
+    /// Generation of the current occupant; bumped when the slot is freed,
+    /// so handles minted before the free never match again.
+    pub(crate) generation: u32,
+    pub(crate) body: SlotBody,
 }
 
-/// The managed heap of one device: slots, globals, pins, weak table,
+#[derive(Debug)]
+pub(crate) enum SlotBody {
+    /// Empty slot, threaded on the intrusive free list.
+    Free { next_free: u32 },
+    /// Occupied slot: the object lives inline in the slab.
+    Used(Object),
+}
+
+/// Resolve a slot index against a slab table (free function so the GC can
+/// borrow the slabs while mutating the weak table).
+pub(crate) fn slot_at(slabs: &[Vec<Slot>], index: u32) -> Option<&Slot> {
+    slabs
+        .get((index >> SLAB_SHIFT) as usize)?
+        .get((index & SLAB_MASK) as usize)
+}
+
+/// The managed heap of one device: slab arena, globals, pins, weak table,
 /// accounting, and the collector (in the `gc` module).
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct Heap {
-    pub(crate) slots: Vec<Slot>,
-    pub(crate) free: Vec<u32>,
+    /// Slab table. A slab never moves or shrinks once pushed, so `&Object`
+    /// stability matches the old boxed-slot representation.
+    pub(crate) slabs: Vec<Vec<Slot>>,
+    /// Total slots ever created (fresh allocations extend the tail slab).
+    pub(crate) slot_count: u32,
+    /// Head of the intrusive LIFO free list ([`NO_SLOT`] when empty).
+    pub(crate) free_head: u32,
     classes: ClassRegistry,
     /// Named global variables — the paper's *swap-cluster-0* roots.
     globals: HashMap<String, Value>,
@@ -79,8 +119,9 @@ impl Heap {
     /// capacity (the device's memory budget).
     pub fn new(classes: ClassRegistry, capacity: usize) -> Self {
         Heap {
-            slots: Vec::new(),
-            free: Vec::new(),
+            slabs: Vec::new(),
+            slot_count: 0,
+            free_head: NO_SLOT,
             classes,
             globals: HashMap::new(),
             extra_roots: Vec::new(),
@@ -121,6 +162,73 @@ impl Heap {
         self.live_objects
     }
 
+    #[inline]
+    pub(crate) fn slot(&self, index: u32) -> Option<&Slot> {
+        slot_at(&self.slabs, index)
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, index: u32) -> Option<&mut Slot> {
+        self.slabs
+            .get_mut((index >> SLAB_SHIFT) as usize)?
+            .get_mut((index & SLAB_MASK) as usize)
+    }
+
+    /// Enumerate every slot with its index (collector-internal).
+    pub(crate) fn enumerate_slots(&self) -> impl Iterator<Item = (u32, &Slot)> + '_ {
+        self.slabs.iter().enumerate().flat_map(|(si, slab)| {
+            slab.iter()
+                .enumerate()
+                .map(move |(i, s)| (((si << SLAB_SHIFT) | i) as u32, s))
+        })
+    }
+
+    /// Put a finished object into a slot: pop the free list (LIFO, so the
+    /// reuse order matches the old `Vec<u32>` free stack exactly) or extend
+    /// the tail slab.
+    fn place(&mut self, obj: Object) -> ObjRef {
+        if self.free_head != NO_SLOT {
+            let index = self.free_head;
+            let slab = &mut self.slabs[(index >> SLAB_SHIFT) as usize];
+            let slot = &mut slab[(index & SLAB_MASK) as usize];
+            self.free_head = match slot.body {
+                SlotBody::Free { next_free } => next_free,
+                SlotBody::Used(_) => unreachable!("free list points at a used slot"),
+            };
+            slot.body = SlotBody::Used(obj);
+            return ObjRef {
+                index,
+                generation: slot.generation,
+            };
+        }
+        let index = self.slot_count;
+        let slab_index = (index >> SLAB_SHIFT) as usize;
+        if slab_index == self.slabs.len() {
+            self.slabs.push(Vec::with_capacity(SLAB_CAPACITY));
+        }
+        self.slabs[slab_index].push(Slot {
+            generation: 0,
+            body: SlotBody::Used(obj),
+        });
+        self.slot_count += 1;
+        ObjRef {
+            index,
+            generation: 0,
+        }
+    }
+
+    /// Pre-size the arena so the next `additional` fresh allocations extend
+    /// existing slabs without growing the slab table mid-stream. The decode
+    /// path calls this with the frame's object count before materializing a
+    /// reloaded cluster.
+    pub fn reserve_slots(&mut self, additional: usize) {
+        let mut spare = self.slabs.len() * SLAB_CAPACITY - self.slot_count as usize;
+        while spare < additional {
+            self.slabs.push(Vec::with_capacity(SLAB_CAPACITY));
+            spare += SLAB_CAPACITY;
+        }
+    }
+
     /// Allocate an object of `class` with the given runtime `kind`, all
     /// fields `Null`.
     ///
@@ -132,7 +240,38 @@ impl Heap {
     ///   swap out a victim and retry.
     pub fn alloc(&mut self, class: ClassId, kind: ObjectKind) -> Result<ObjRef> {
         let field_count = self.classes.class(class)?.field_count();
-        let mut obj = Object::new(class, kind, field_count);
+        let obj = Object::new(class, kind, field_count);
+        self.adopt(obj)
+    }
+
+    /// Insert a detached object (built with [`Object::with_field_count`] and
+    /// [`Object::set_raw_field`]) into the arena, charging its full size —
+    /// base, field slots *and* payloads — against capacity in one step.
+    ///
+    /// This is the decode-into-arena entry point: the wire decoder fills an
+    /// `Object` straight from the frame and adopts it, instead of allocating
+    /// null fields and re-writing every slot through the accounting. Like
+    /// the graph-surgery primitive [`Heap::set_any_field`], adoption does
+    /// not type-check field values against the class layout; it does check
+    /// that the field *count* matches (variadic classes may exceed it).
+    ///
+    /// # Errors
+    ///
+    /// * [`HeapError::NoSuchClass`] for an unknown class.
+    /// * [`HeapError::TypeMismatch`] when the field count does not fit the
+    ///   class layout.
+    /// * [`HeapError::OutOfMemory`] when the object would exceed capacity;
+    ///   the heap is left unchanged.
+    pub fn adopt(&mut self, mut obj: Object) -> Result<ObjRef> {
+        let descriptor = self.classes.class(obj.class)?;
+        let layout = descriptor.field_count();
+        let count = obj.fields.len();
+        if count < layout || (count > layout && !descriptor.is_variadic()) {
+            return Err(HeapError::TypeMismatch {
+                expected: "a field count matching the class layout",
+                found: "a mismatched field count",
+            });
+        }
         let size = obj.size();
         if self.bytes_used + size > self.capacity {
             return Err(HeapError::OutOfMemory {
@@ -146,31 +285,7 @@ impl Heap {
         self.peak_bytes = self.peak_bytes.max(self.bytes_used);
         self.live_objects += 1;
         self.total_allocs += 1;
-        let r = match self.free.pop() {
-            Some(index) => {
-                let generation = match &self.slots[index as usize] {
-                    Slot::Free { next_generation } => *next_generation,
-                    Slot::Used { .. } => unreachable!("free list points at used slot"),
-                };
-                self.slots[index as usize] = Slot::Used {
-                    generation,
-                    obj: Box::new(obj),
-                };
-                ObjRef { index, generation }
-            }
-            None => {
-                let index = self.slots.len() as u32;
-                self.slots.push(Slot::Used {
-                    generation: 0,
-                    obj: Box::new(obj),
-                });
-                ObjRef {
-                    index,
-                    generation: 0,
-                }
-            }
-        };
-        Ok(r)
+        Ok(self.place(obj))
     }
 
     /// Immutable access to an object.
@@ -179,8 +294,11 @@ impl Heap {
     ///
     /// [`HeapError::InvalidRef`] for dangling or stale handles.
     pub fn get(&self, obj: ObjRef) -> Result<&Object> {
-        match self.slots.get(obj.index as usize) {
-            Some(Slot::Used { generation, obj: o }) if *generation == obj.generation => Ok(o),
+        match self.slot(obj.index) {
+            Some(Slot {
+                generation,
+                body: SlotBody::Used(o),
+            }) if *generation == obj.generation => Ok(o),
             _ => Err(HeapError::InvalidRef { obj }),
         }
     }
@@ -191,8 +309,11 @@ impl Heap {
     ///
     /// [`HeapError::InvalidRef`] for dangling or stale handles.
     pub fn get_mut(&mut self, obj: ObjRef) -> Result<&mut Object> {
-        match self.slots.get_mut(obj.index as usize) {
-            Some(Slot::Used { generation, obj: o }) if *generation == obj.generation => Ok(o),
+        match self.slot_mut(obj.index) {
+            Some(Slot {
+                generation,
+                body: SlotBody::Used(o),
+            }) if *generation == obj.generation => Ok(o),
             _ => Err(HeapError::InvalidRef { obj }),
         }
     }
@@ -329,15 +450,31 @@ impl Heap {
     /// is beyond the object's current fields, or [`HeapError::OutOfMemory`]
     /// when a larger payload would exceed capacity.
     pub fn set_any_field(&mut self, obj: ObjRef, index: usize, value: Value) -> Result<()> {
+        {
+            // Validate first with shared borrows so the hot path below never
+            // clones the class name (the old implementation allocated it on
+            // every call, live or not).
+            let o = self.get(obj)?;
+            if index >= o.fields.len() {
+                let class = self
+                    .classes
+                    .class(o.class)
+                    .map(|c| c.name().to_string())
+                    .unwrap_or_default();
+                return Err(HeapError::FieldIndex {
+                    class,
+                    index: index.min(u16::MAX as usize) as u16,
+                });
+            }
+        }
         let capacity = self.capacity;
         let bytes_used = self.bytes_used;
-        let class_id = self.get(obj)?.class;
-        let class_name = self.classes.class(class_id)?.name().to_string();
         let o = self.get_mut(obj)?;
-        let slot = o.fields.get_mut(index).ok_or(HeapError::FieldIndex {
-            class: class_name,
-            index: index.min(u16::MAX as usize) as u16,
-        })?;
+        #[allow(clippy::disallowed_methods)]
+        let slot = o
+            .fields
+            .get_mut(index)
+            .expect("index validated against the live object above");
         let old_payload = slot.payload_size();
         let new_payload = value.payload_size();
         if new_payload > old_payload && bytes_used + (new_payload - old_payload) > capacity {
@@ -396,7 +533,7 @@ impl Heap {
     pub fn extra_fields(&self, obj: ObjRef) -> Result<&[Value]> {
         let o = self.get(obj)?;
         let layout = self.classes.class(o.class)?.field_count();
-        Ok(&o.fields[layout..])
+        Ok(&o.fields.as_slice()[layout..])
     }
 
     /// Read a global variable (swap-cluster-0).
@@ -470,25 +607,37 @@ impl Heap {
     /// Iterate over the handles of all live objects (diagnostics, tests,
     /// and the victim-selection heuristics that scan the heap).
     pub fn iter_live(&self) -> impl Iterator<Item = ObjRef> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
-            Slot::Used { generation, .. } => Some(ObjRef {
-                index: i as u32,
-                generation: *generation,
-            }),
-            Slot::Free { .. } => None,
-        })
+        self.enumerate_slots()
+            .filter_map(|(index, s)| match s.body {
+                SlotBody::Used(_) => Some(ObjRef {
+                    index,
+                    generation: s.generation,
+                }),
+                SlotBody::Free { .. } => None,
+            })
     }
 
-    /// Free a slot immediately (collector and middleware-internal).
+    /// Free a slot immediately (collector and middleware-internal): bump the
+    /// generation so outstanding handles go stale, drop the object in place,
+    /// and push the slot on the free list.
     pub(crate) fn free_slot(&mut self, index: u32) {
-        if let Slot::Used { generation, obj } = &self.slots[index as usize] {
-            let next_generation = generation.wrapping_add(1);
-            self.bytes_used -= obj.charged_size;
-            self.live_objects -= 1;
-            self.total_frees += 1;
-            self.slots[index as usize] = Slot::Free { next_generation };
-            self.free.push(index);
+        let next_free = self.free_head;
+        let freed_bytes;
+        {
+            let Some(slot) = self.slot_mut(index) else {
+                return;
+            };
+            match &slot.body {
+                SlotBody::Used(obj) => freed_bytes = obj.charged_size,
+                SlotBody::Free { .. } => return,
+            }
+            slot.generation = slot.generation.wrapping_add(1);
+            slot.body = SlotBody::Free { next_free };
         }
+        self.free_head = index;
+        self.bytes_used -= freed_bytes;
+        self.live_objects -= 1;
+        self.total_frees += 1;
     }
 }
 
@@ -531,6 +680,95 @@ mod tests {
         assert_ne!(b.generation, a.generation);
         assert!(heap.get(a).is_err());
         assert!(heap.get(b).is_ok());
+    }
+
+    #[test]
+    fn free_list_is_lifo_across_slots() {
+        let (mut heap, node) = node_heap(1 << 20);
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        let b = heap.alloc(node, ObjectKind::App).unwrap();
+        let c = heap.alloc(node, ObjectKind::App).unwrap();
+        heap.free_slot(a.index);
+        heap.free_slot(b.index);
+        heap.free_slot(c.index);
+        // Last freed, first reused — the order the old Vec free stack gave.
+        let r1 = heap.alloc(node, ObjectKind::App).unwrap();
+        let r2 = heap.alloc(node, ObjectKind::App).unwrap();
+        let r3 = heap.alloc(node, ObjectKind::App).unwrap();
+        assert_eq!(
+            (r1.index, r2.index, r3.index),
+            (c.index, b.index, a.index),
+            "intrusive free list must stay LIFO"
+        );
+    }
+
+    #[test]
+    fn arena_grows_past_one_slab() {
+        let (mut heap, node) = node_heap(1 << 24);
+        let n = SLAB_CAPACITY + 10;
+        let refs: Vec<ObjRef> = (0..n)
+            .map(|_| heap.alloc(node, ObjectKind::App).unwrap())
+            .collect();
+        assert!(heap.slabs.len() >= 2, "second slab must exist");
+        assert_eq!(heap.live_objects(), n);
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(r.index as usize, i, "fresh indices are sequential");
+            assert!(heap.get(*r).is_ok());
+        }
+        assert_eq!(heap.iter_live().count(), n);
+    }
+
+    #[test]
+    fn reserve_slots_presizes_without_observable_change() {
+        let (mut heap, node) = node_heap(1 << 20);
+        heap.reserve_slots(SLAB_CAPACITY + 3);
+        assert_eq!(heap.live_objects(), 0);
+        assert_eq!(heap.iter_live().count(), 0);
+        let a = heap.alloc(node, ObjectKind::App).unwrap();
+        assert_eq!(a.index, 0, "reservation must not shift handle assignment");
+    }
+
+    #[test]
+    fn adopt_charges_whole_object_and_respects_capacity() {
+        let (mut heap, node) = node_heap(200);
+        let mut obj = Object::with_field_count(node, ObjectKind::App, 3);
+        assert!(obj.set_raw_field(2, Value::Bytes(Bytes::from(vec![7u8; 64]))));
+        let r = heap.adopt(obj).unwrap();
+        // Node is 24 + 3*16 = 72 bytes, plus the 64-byte payload.
+        assert_eq!(heap.bytes_used(), 72 + 64);
+        assert_eq!(heap.field_by_name(r, "payload").unwrap().payload_size(), 64);
+        // A second one would exceed 200 bytes: heap unchanged.
+        let mut big = Object::with_field_count(node, ObjectKind::App, 3);
+        assert!(big.set_raw_field(2, Value::Bytes(Bytes::from(vec![7u8; 64]))));
+        assert!(matches!(
+            heap.adopt(big),
+            Err(HeapError::OutOfMemory { .. })
+        ));
+        assert_eq!(heap.live_objects(), 1);
+        assert_eq!(heap.bytes_used(), 72 + 64);
+    }
+
+    #[test]
+    fn adopt_rejects_mismatched_field_count() {
+        let mut reg = ClassRegistry::new();
+        let node = reg.register(ClassBuilder::new("Node").int_field("x"));
+        let arr = reg.register(ClassBuilder::new("Array").variadic().int_field("len"));
+        let mut heap = Heap::new(reg, 4096);
+        // Too few fields for the layout.
+        assert!(matches!(
+            heap.adopt(Object::with_field_count(node, ObjectKind::App, 0)),
+            Err(HeapError::TypeMismatch { .. })
+        ));
+        // Extras on a fixed-layout class.
+        assert!(matches!(
+            heap.adopt(Object::with_field_count(node, ObjectKind::App, 2)),
+            Err(HeapError::TypeMismatch { .. })
+        ));
+        // Extras on a variadic class are fine.
+        let r = heap
+            .adopt(Object::with_field_count(arr, ObjectKind::Replacement, 3))
+            .unwrap();
+        assert_eq!(heap.extra_fields(r).unwrap().len(), 2);
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub struct ObjectHeader {
 }
 
 impl ObjectHeader {
+    #[inline]
     pub(crate) fn new(kind: ObjectKind) -> Self {
         ObjectHeader {
             kind,
@@ -88,12 +89,104 @@ impl ObjectHeader {
     }
 }
 
+/// Fields stored inline in the object for the common small layouts.
+///
+/// Figure-5 application nodes have 3–4 fields and proxies have 3; storing
+/// those in the object itself (which itself lives inline in an arena slab
+/// slot) means allocating such an object touches **zero** heap allocations.
+/// Larger or variadic layouts spill to a `Vec` exactly once.
+const INLINE_FIELDS: usize = 4;
+
+/// Storage for an object's field values: inline array for small layouts,
+/// spilled `Vec` beyond [`INLINE_FIELDS`] slots.
+#[derive(Debug, Clone)]
+pub(crate) enum FieldStore {
+    /// Up to [`INLINE_FIELDS`] values stored inside the object.
+    Inline {
+        /// Number of occupied slots (prefix of `slots`).
+        len: u8,
+        /// Backing array; slots at `len..` are `Null` and unobservable.
+        slots: [Value; INLINE_FIELDS],
+    },
+    /// Layouts wider than the inline array.
+    Spilled(Vec<Value>),
+}
+
+const NULL_SLOTS: [Value; INLINE_FIELDS] = [Value::Null, Value::Null, Value::Null, Value::Null];
+
+impl FieldStore {
+    /// `count` null fields.
+    #[inline]
+    pub(crate) fn with_nulls(count: usize) -> Self {
+        if count <= INLINE_FIELDS {
+            FieldStore::Inline {
+                len: count as u8,
+                slots: NULL_SLOTS,
+            }
+        } else {
+            FieldStore::Spilled(vec![Value::Null; count])
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            FieldStore::Inline { len, .. } => *len as usize,
+            FieldStore::Spilled(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[Value] {
+        match self {
+            FieldStore::Inline { len, slots } => &slots[..*len as usize],
+            FieldStore::Spilled(v) => v,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, index: usize) -> Option<&Value> {
+        self.as_slice().get(index)
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, index: usize) -> Option<&mut Value> {
+        match self {
+            FieldStore::Inline { len, slots } => slots[..*len as usize].get_mut(index),
+            FieldStore::Spilled(v) => v.get_mut(index),
+        }
+    }
+
+    /// Append one value, spilling to a `Vec` when the inline array is full.
+    pub(crate) fn push(&mut self, value: Value) {
+        match self {
+            FieldStore::Inline { len, slots } if (*len as usize) < INLINE_FIELDS => {
+                slots[*len as usize] = value;
+                *len += 1;
+            }
+            FieldStore::Inline { len, slots } => {
+                let mut spilled = Vec::with_capacity(*len as usize + 1);
+                spilled.extend(slots.iter_mut().map(std::mem::take));
+                spilled.push(value);
+                *self = FieldStore::Spilled(spilled);
+            }
+            FieldStore::Spilled(v) => v.push(value),
+        }
+    }
+}
+
+impl PartialEq for FieldStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// An object stored in a heap slot: header + class + field values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Object {
     pub(crate) header: ObjectHeader,
     pub(crate) class: ClassId,
-    pub(crate) fields: Vec<Value>,
+    pub(crate) fields: FieldStore,
     /// Cached byte size currently charged to the accounting.
     pub(crate) charged_size: usize,
 }
@@ -105,45 +198,78 @@ pub(crate) const OBJECT_BASE_SIZE: usize = 24;
 pub(crate) const FIELD_SLOT_SIZE: usize = 16;
 
 impl Object {
+    #[inline]
     pub(crate) fn new(class: ClassId, kind: ObjectKind, field_count: usize) -> Self {
         Object {
             header: ObjectHeader::new(kind),
             class,
-            fields: vec![Value::Null; field_count],
+            fields: FieldStore::with_nulls(field_count),
             charged_size: 0,
         }
     }
 
+    /// Construct a detached object for arena materialization: the zero-copy
+    /// decode path builds objects field by field *outside* any heap and
+    /// hands the finished value to [`crate::Heap::adopt`], which charges the
+    /// whole object against capacity in one step.
+    ///
+    /// All fields start `Null`; fill them with [`Object::set_raw_field`].
+    #[inline]
+    pub fn with_field_count(class: ClassId, kind: ObjectKind, field_count: usize) -> Self {
+        Object::new(class, kind, field_count)
+    }
+
+    /// Write a raw field slot on a detached object — no layout type
+    /// checking and no accounting, because the object is not charged to any
+    /// heap yet ([`crate::Heap::adopt`] charges its final size). Returns
+    /// `false` when `index` is out of range.
+    #[inline]
+    pub fn set_raw_field(&mut self, index: usize, value: Value) -> bool {
+        match self.fields.get_mut(index) {
+            Some(slot) => {
+                *slot = value;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The object's header (kind, oid, cluster tags, GC bits).
+    #[inline]
     pub fn header(&self) -> &ObjectHeader {
         &self.header
     }
 
     /// Mutable access to the header tag words.
+    #[inline]
     pub fn header_mut(&mut self) -> &mut ObjectHeader {
         &mut self.header
     }
 
     /// The object's class.
+    #[inline]
     pub fn class(&self) -> ClassId {
         self.class
     }
 
     /// The raw field values in layout order.
+    #[inline]
     pub fn fields(&self) -> &[Value] {
-        &self.fields
+        self.fields.as_slice()
     }
 
     /// Runtime role shorthand.
+    #[inline]
     pub fn kind(&self) -> ObjectKind {
         self.header.kind
     }
 
     /// Byte size this object should be charged: base + field slots + payloads.
     pub fn size(&self) -> usize {
+        let fields = self.fields.as_slice();
         OBJECT_BASE_SIZE
-            + FIELD_SLOT_SIZE * self.fields.len()
-            + self.fields.iter().map(Value::payload_size).sum::<usize>()
+            + FIELD_SLOT_SIZE * fields.len()
+            + fields.iter().map(Value::payload_size).sum::<usize>()
     }
 }
 
@@ -156,8 +282,9 @@ mod tests {
     fn size_counts_base_fields_and_payload() {
         let mut o = Object::new(ClassId(0), ObjectKind::App, 3);
         assert_eq!(o.size(), OBJECT_BASE_SIZE + 3 * FIELD_SLOT_SIZE);
-        o.fields[0] = Value::Bytes(Bytes::from(vec![0u8; 40]));
+        assert!(o.set_raw_field(0, Value::Bytes(Bytes::from(vec![0u8; 40]))));
         assert_eq!(o.size(), OBJECT_BASE_SIZE + 3 * FIELD_SLOT_SIZE + 40);
+        assert!(!o.set_raw_field(3, Value::Null), "out of range is reported");
     }
 
     #[test]
@@ -181,5 +308,37 @@ mod tests {
         .map(|k| k.name())
         .collect();
         assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn field_store_spills_past_inline_capacity() {
+        let mut s = FieldStore::with_nulls(2);
+        assert!(matches!(s, FieldStore::Inline { .. }));
+        assert_eq!(s.len(), 2);
+        s.push(Value::Int(1));
+        s.push(Value::Int(2));
+        assert!(matches!(s, FieldStore::Inline { .. }), "4 fit inline");
+        s.push(Value::Int(3));
+        assert!(matches!(s, FieldStore::Spilled(_)), "5th spills");
+        assert_eq!(
+            s.as_slice(),
+            &[
+                Value::Null,
+                Value::Null,
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3)
+            ]
+        );
+        // Wide layouts spill from the start.
+        let wide = FieldStore::with_nulls(9);
+        assert!(matches!(wide, FieldStore::Spilled(_)));
+        assert_eq!(wide.len(), 9);
+        // Equality is by content, not representation.
+        let mut inline = FieldStore::with_nulls(0);
+        for _ in 0..3 {
+            inline.push(Value::Null);
+        }
+        assert_eq!(inline, FieldStore::with_nulls(3));
     }
 }

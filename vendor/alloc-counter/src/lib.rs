@@ -1,0 +1,60 @@
+//! Offline stand-in for a crates.io allocation-counting test helper.
+//!
+//! Wraps the system allocator and counts every `alloc` / `alloc_zeroed` /
+//! `realloc` call, so tests can assert that a hot path performs a bounded
+//! number of heap allocations. A test binary installs it with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+//! ```
+//!
+//! and then measures a region with [`count`]. The counter is global to the
+//! process, so measuring tests must run the measured region on a single
+//! thread with no concurrent tests in the same binary (or accept the
+//! noise). This workspace forbids `unsafe_code` in its own crates; the
+//! `GlobalAlloc` impl lives here because `vendor/*` mirrors external APIs
+//! and is exempt from that wall.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A `#[global_allocator]` that delegates to [`System`] and counts calls.
+pub struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Total allocation calls since process start.
+pub fn allocation_count() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Run `f` and return how many allocation calls it performed alongside its
+/// result. Only meaningful when [`CountingAllocator`] is installed as the
+/// `#[global_allocator]` and nothing else allocates concurrently.
+pub fn count<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = allocation_count();
+    let result = f();
+    (allocation_count() - before, result)
+}

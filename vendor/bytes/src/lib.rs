@@ -3,67 +3,155 @@
 //! The build environment for this repository has no network access and no
 //! registry cache, so the workspace patches `bytes` to this vendored
 //! implementation. It provides the (small) API subset the workspace uses:
-//! a cheaply-clonable, immutable byte buffer.
+//! a cheaply-clonable, immutable byte buffer with zero-copy sub-slicing —
+//! [`Bytes::slice`] returns a view sharing the same backing allocation,
+//! which is what lets the swap codec materialize byte payloads straight
+//! out of a fetched wire buffer without copying them.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable contiguous slice of memory.
 ///
-/// Unlike the real `bytes::Bytes` this does not support zero-copy
-/// sub-slicing; the workspace only stores, clones, compares and reads whole
-/// buffers.
-#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Bytes(Arc<[u8]>);
+/// Like the real `bytes::Bytes`, a value is a refcounted view (offset +
+/// length) into a shared backing buffer: [`Bytes::slice`] is O(1) and
+/// allocation-free. Equality, ordering and hashing are by content, so two
+/// views of different buffers with the same bytes compare equal.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    offset: u32,
+    len: u32,
+}
 
 impl Bytes {
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = u32::try_from(data.len()).unwrap_or_else(|_| {
+            // The workspace only moves device-sized blobs (kilobytes);
+            // a 4 GiB buffer here is a programming error.
+            panic!("Bytes buffer of {} bytes exceeds u32 range", data.len())
+        });
+        Bytes {
+            data,
+            offset: 0,
+            len,
+        }
+    }
+
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes::from_arc(Arc::from(&[][..]))
     }
 
     /// Wrap a static slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes(Arc::from(bytes))
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Length in bytes.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len as usize
     }
 
     /// Whether the buffer is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view of this buffer: the returned `Bytes` shares the
+    /// backing allocation, no bytes are moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range falls outside `0..=len` (mirroring slice
+    /// indexing).
+    #[inline]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} out of range for Bytes of length {}",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start as u32,
+            len: (end - start) as u32,
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        let start = self.offset as usize;
+        &self.data[start..start + self.len as usize]
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
 
+    #[inline]
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -74,7 +162,7 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        Bytes::from_arc(Arc::from(v.into_boxed_slice()))
     }
 }
 
@@ -104,13 +192,13 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.0[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &self.0[..] == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -119,7 +207,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type IntoIter = std::slice::Iter<'a, u8>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.as_slice().iter()
     }
 }
 
@@ -153,5 +241,45 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(format!("{:?}", Bytes::from_static(b"a\"b")), "b\"a\\\"b\"");
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_content_equal() {
+        let base = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = base.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        // Views share the backing allocation.
+        assert!(Arc::ptr_eq(&base.data, &mid.data));
+        // Sub-slicing a view composes offsets.
+        let inner = mid.slice(1..3);
+        assert_eq!(&inner[..], &[3, 4]);
+        // Content equality across different backings and offsets.
+        assert_eq!(inner, Bytes::copy_from_slice(&[3, 4]));
+        // Open-ended ranges.
+        assert_eq!(&base.slice(..3)[..], &[0, 1, 2]);
+        assert_eq!(&base.slice(5..)[..], &[5, 6, 7]);
+        assert_eq!(base.slice(..), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let _ = Bytes::from_static(b"abc").slice(1..5);
+    }
+
+    #[test]
+    fn hash_and_ord_follow_content() {
+        use std::collections::hash_map::DefaultHasher;
+        let whole = Bytes::from(vec![7u8, 8, 9]);
+        let view = Bytes::from(vec![0u8, 7, 8, 9, 0]).slice(1..4);
+        let h = |b: &Bytes| {
+            let mut s = DefaultHasher::new();
+            b.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(whole, view);
+        assert_eq!(h(&whole), h(&view));
+        assert_eq!(whole.cmp(&view), std::cmp::Ordering::Equal);
+        assert!(Bytes::from_static(b"a") < Bytes::from_static(b"b"));
     }
 }
