@@ -81,25 +81,47 @@ impl RemoteStore {
         Ok(stream)
     }
 
+    /// Take the cached connection, leaving the slot empty.
+    fn take_conn(&self) -> Option<TcpStream> {
+        self.conn.lock().unwrap_or_else(|p| p.into_inner()).take()
+    }
+
+    /// Stow a healthy connection back for the next call. If another call
+    /// raced us and stowed its own, the newer one wins and ours is
+    /// dropped — briefly redundant, never wrong.
+    fn stow_conn(&self, stream: TcpStream) {
+        *self.conn.lock().unwrap_or_else(|p| p.into_inner()) = Some(stream);
+    }
+
     /// One request/response exchange with bounded reconnect-and-retry.
+    ///
+    /// The `conn` mutex is held only to take the cached stream out and to
+    /// stow it back: every dial and wire exchange runs lock-free, so a
+    /// slow or dead daemon stalls only the calling thread, never other
+    /// threads parked on the client's lock.
     fn call(&self, req: &Request) -> Result<CallOutcome, NetError> {
         let body = encode_request(req);
-        let mut guard = self.conn.lock().unwrap_or_else(|p| p.into_inner());
+        let mut cached = self.take_conn();
         let mut reconnected = false;
         for _attempt in 0..MAX_ATTEMPTS {
-            if guard.is_none() {
+            if cached.is_none() {
                 reconnected = true;
                 match self.dial() {
-                    Ok(s) => *guard = Some(s),
+                    Ok(s) => cached = Some(s),
                     Err(_) => continue, // daemon down; next attempt re-dials
                 }
             }
-            let Some(stream) = guard.as_mut() else {
+            let Some(stream) = cached.as_mut() else {
                 continue;
             };
             let exchanged = write_frame(stream, &body).and_then(|()| read_frame(stream));
             match exchanged {
                 Ok(resp_body) => {
+                    // The wire exchange succeeded, so the connection is
+                    // healthy — stow it whatever the payload says.
+                    if let Some(stream) = cached.take() {
+                        self.stow_conn(stream);
+                    }
                     let response = decode_response(&resp_body).map_err(|e| self.protocol(&e))?;
                     if let Response::Malformed { detail } = response {
                         return Err(self.protocol(detail));
@@ -110,13 +132,12 @@ impl RemoteStore {
                     });
                 }
                 Err(FrameError::Oversized { .. } | FrameError::UnknownStatus(_)) => {
-                    *guard = None;
                     return Err(self.protocol("corrupt response frame"));
                 }
                 Err(_io_or_truncation) => {
                     // Dead socket, timeout or mid-frame stall: reconnect
                     // and retry with the next attempt.
-                    *guard = None;
+                    cached = None;
                 }
             }
         }

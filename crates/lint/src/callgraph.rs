@@ -1,0 +1,217 @@
+//! Workspace-wide call graph: resolved call edges plus Tarjan SCCs in
+//! bottom-up (callees-first) order.
+//!
+//! Edge resolution reuses the structural model's unambiguous discipline
+//! (typed receiver, free-function key, unique-by-name) and layers one
+//! fallback on top that the intraprocedural rules never needed: a method
+//! call whose receiver is typed as a *trait* head — a `Box<dyn
+//! Transport>` parameter, or an enum match-arm binding whose variant
+//! payload is a trait object — resolves through the class hierarchy to
+//! every `impl Trait for Type` that defines the method. That keeps the
+//! graph an under-approximation for static calls while still seeing
+//! through the dynamic dispatch the netd/blobd layers lean on.
+
+use crate::model::{CallSite, Receiver};
+use crate::rules::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One resolved out-edge of a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallEdge {
+    /// Index of the call site in the caller's `FnInfo::calls`.
+    pub call: usize,
+    /// Callee function id.
+    pub callee: usize,
+}
+
+/// The resolved graph. Function ids are [`Workspace::fns`] indexes.
+pub struct CallGraph {
+    /// Per-function resolved out-edges, in call-site order.
+    pub edges: Vec<Vec<CallEdge>>,
+    /// Strongly connected components, callees-first: an SCC appears after
+    /// every SCC it has an edge into, so a single forward pass over this
+    /// list visits callees before their callers.
+    pub sccs: Vec<Vec<usize>>,
+    /// Function id → index into [`CallGraph::sccs`].
+    pub scc_of: Vec<usize>,
+    /// Trait name → method names it declares.
+    trait_methods: BTreeMap<String, BTreeSet<String>>,
+    /// Trait name → implementing self-type heads.
+    trait_impls: BTreeMap<String, Vec<String>>,
+}
+
+impl CallGraph {
+    /// Resolve every call site and compute the SCC order.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut trait_methods: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut trait_impls: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for file in &ws.files {
+            for t in &file.traits {
+                trait_methods.entry(t.clone()).or_default();
+            }
+            for (tr, ty) in &file.trait_impls {
+                let v = trait_impls.entry(tr.clone()).or_default();
+                if !v.contains(ty) {
+                    v.push(ty.clone());
+                }
+            }
+        }
+        // A function declared inside a `trait` block carries the trait
+        // name as its impl type; those are the trait's method names.
+        for id in 0..ws.fns.len() {
+            let f = ws.func(id);
+            if let Some(t) = &f.impl_type {
+                if let Some(methods) = trait_methods.get_mut(t) {
+                    methods.insert(f.name.clone());
+                }
+            }
+        }
+        let mut g = CallGraph {
+            edges: Vec::with_capacity(ws.fns.len()),
+            sccs: Vec::new(),
+            scc_of: vec![0; ws.fns.len()],
+            trait_methods,
+            trait_impls,
+        };
+        let mut adj: Vec<Vec<usize>> = Vec::with_capacity(ws.fns.len());
+        for id in 0..ws.fns.len() {
+            let mut out = Vec::new();
+            for (ci, call) in ws.fns[id].calls.iter().enumerate() {
+                for callee in g.resolve(ws, id, call) {
+                    out.push(CallEdge { call: ci, callee });
+                }
+            }
+            adj.push(out.iter().map(|e| e.callee).collect());
+            g.edges.push(out);
+        }
+        g.sccs = tarjan(&adj);
+        for (n, scc) in g.sccs.iter().enumerate() {
+            for &id in scc {
+                g.scc_of[id] = n;
+            }
+        }
+        g
+    }
+
+    /// Resolve a call site: the workspace's unambiguous discipline first,
+    /// plus the class-hierarchy fallback when the receiver is *typed as a
+    /// trait* — that typed key would only find the trait block's own
+    /// (bodiless) stubs, so the call goes to every implementor instead.
+    /// Untyped receivers deliberately get no hierarchy walk: a generic
+    /// method name like `contains` on an unknown receiver would smear
+    /// every implementor's effects onto unrelated std-container calls.
+    /// Candidates are sorted, deduped, and never include the caller.
+    pub fn resolve(&self, ws: &Workspace, caller: usize, call: &CallSite) -> Vec<usize> {
+        let trait_recv = match &call.recv {
+            Receiver::Typed(t) => self.trait_methods.contains_key(t),
+            Receiver::Unknown | Receiver::Free => false,
+        };
+        if !trait_recv {
+            return ws.resolve(caller, call);
+        }
+        let Receiver::Typed(tr) = &call.recv else {
+            return Vec::new();
+        };
+        let mut out: Vec<usize> = Vec::new();
+        if self
+            .trait_methods
+            .get(tr)
+            .is_some_and(|m| m.contains(&call.name))
+        {
+            if let Some(types) = self.trait_impls.get(tr) {
+                for ty in types {
+                    out.extend_from_slice(ws.lookup(ty, &call.name));
+                }
+            }
+        }
+        out.retain(|&id| id != caller);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Function ids reachable from `roots` over resolved edges, with the
+    /// first-discovered predecessor of each (for chain reconstruction).
+    pub fn reachable_from(&self, roots: &[usize]) -> BTreeMap<usize, Option<usize>> {
+        use std::collections::btree_map::Entry;
+        let mut seen: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if let Entry::Vacant(slot) = seen.entry(r) {
+                slot.insert(None);
+                queue.push(r);
+            }
+        }
+        while let Some(id) = queue.pop() {
+            for e in &self.edges[id] {
+                if let Entry::Vacant(slot) = seen.entry(e.callee) {
+                    slot.insert(Some(id));
+                    queue.push(e.callee);
+                }
+            }
+        }
+        seen
+    }
+}
+
+const UNSEEN: usize = usize::MAX;
+
+/// Iterative Tarjan (explicit DFS frames — fixture soup can nest deeply
+/// enough to make recursion a liability). SCCs come out in reverse
+/// topological order of the condensation, i.e. callees-first.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut next = 0usize;
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        index[root] = next;
+        low[root] = next;
+        next += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, 0));
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.0;
+            if frame.1 < adj[v].len() {
+                let w = adj[v][frame.1];
+                frame.1 += 1;
+                if index[w] == UNSEEN {
+                    index[w] = next;
+                    low[w] = next;
+                    next += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    low[parent.0] = low[parent.0].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}

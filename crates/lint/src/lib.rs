@@ -22,26 +22,38 @@
 //! | S10 | `guard-escape` | a guard outliving its function via return/field/`move` closure |
 //! | S11 | `cross-shard-order` | keyed sibling locks taken without a canonical order (sharding prep) |
 //! | S12 | `discarded-result` | a swap/placement `Result` silently dropped on some path |
+//! | S13 | `blocking-under-lock` | netd pacing sleeps / blobd socket I/O charged under a guard |
+//! | S14 | `actor-reentrancy` | an actor thread re-entering its own mailbox via a Transport verb |
+//! | S15 | `unchecked-quota-arithmetic` | raw `+`/`-` on quota/used/airtime counters |
 //!
 //! S1 and S9–S12 are *flow-sensitive*: they run on a per-function control
 //! flow graph ([`cfg`]) with a worklist dataflow framework ([`dataflow`])
 //! and a held-lock-set analysis ([`locks`]) on top, so "held across" and
 //! "on some path" mean actual paths, not lexical containment.
 //!
+//! S1, S9, S13, and S14 are additionally *interprocedural*: a
+//! workspace-wide call graph ([`callgraph`]) feeds bottom-up per-function
+//! summaries ([`summaries`]) computed SCC by SCC with a fuel-bounded
+//! fixpoint, so a lock acquired in one function and a sleep buried three
+//! calls deep meet anyway — and the violation carries the call chain.
+//!
 //! Violations can be suppressed per line with `// lint:allow(S7, reason)`
 //! on or directly above the offending line, per file with
 //! `// lint:allow-file(S4)`, or per run with `--allow <rule>`.
 
+pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
 pub mod lexer;
 pub mod locks;
 pub mod model;
 pub mod rules;
+pub mod summaries;
 
 use model::FileModel;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// The rule catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -78,10 +90,19 @@ pub enum Rule {
     /// S12: a `Result` from a swap/placement operation dropped on some
     /// path.
     DiscardedResult,
+    /// S13: a blocking operation (sleep, socket I/O, channel wait)
+    /// reachable while a lock guard is held, across function boundaries.
+    BlockingUnderLock,
+    /// S14: a device-actor thread context transitively calling back into
+    /// a verb that enqueues to its own mailbox and deadlocks.
+    ActorReentrancy,
+    /// S15: raw `+`/`-` arithmetic on quota/used-bytes/airtime counters
+    /// outside checked/saturating helpers.
+    UncheckedQuotaArithmetic,
 }
 
 /// All rules, in catalog order.
-pub const ALL_RULES: [Rule; 12] = [
+pub const ALL_RULES: [Rule; 15] = [
     Rule::LockOrder,
     Rule::RecorderBypass,
     Rule::Layering,
@@ -94,6 +115,9 @@ pub const ALL_RULES: [Rule; 12] = [
     Rule::GuardEscape,
     Rule::CrossShardOrder,
     Rule::DiscardedResult,
+    Rule::BlockingUnderLock,
+    Rule::ActorReentrancy,
+    Rule::UncheckedQuotaArithmetic,
 ];
 
 impl Rule {
@@ -112,6 +136,9 @@ impl Rule {
             Rule::GuardEscape => "S10",
             Rule::CrossShardOrder => "S11",
             Rule::DiscardedResult => "S12",
+            Rule::BlockingUnderLock => "S13",
+            Rule::ActorReentrancy => "S14",
+            Rule::UncheckedQuotaArithmetic => "S15",
         }
     }
 
@@ -130,6 +157,9 @@ impl Rule {
             Rule::GuardEscape => "guard-escape",
             Rule::CrossShardOrder => "cross-shard-order",
             Rule::DiscardedResult => "discarded-result",
+            Rule::BlockingUnderLock => "blocking-under-lock",
+            Rule::ActorReentrancy => "actor-reentrancy",
+            Rule::UncheckedQuotaArithmetic => "unchecked-quota-arithmetic",
         }
     }
 
@@ -161,20 +191,32 @@ pub struct LintViolation {
     pub excerpt: String,
     /// What to do about it.
     pub advice: String,
+    /// Interprocedural call chain from the flagged site to the effect —
+    /// function display names, outermost first; empty for direct
+    /// (intraprocedural) findings. Names, not spans, so baselines stay
+    /// stable across line renumbering.
+    pub chain: Vec<String>,
 }
 
 impl LintViolation {
     /// Render as a single JSON object (own, dependency-free encoder —
     /// same discipline as `obiwan_trace::json`).
     pub fn to_json(&self) -> String {
+        let chain = self
+            .chain
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{{\"rule\":\"{}\",\"name\":\"{}\",\"file\":\"{}\",\"line\":{},\"excerpt\":\"{}\",\"advice\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"name\":\"{}\",\"file\":\"{}\",\"line\":{},\"excerpt\":\"{}\",\"advice\":\"{}\",\"chain\":[{}]}}",
             self.rule.id(),
             self.rule.name(),
             json_escape(&self.file),
             self.line,
             json_escape(&self.excerpt),
             json_escape(&self.advice),
+            chain,
         )
     }
 }
@@ -183,6 +225,9 @@ impl fmt::Display for LintViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}: {}:{}", self.rule, self.file, self.line)?;
         writeln!(f, "    {}", self.excerpt)?;
+        if !self.chain.is_empty() {
+            writeln!(f, "    via: {}", self.chain.join(" -> "))?;
+        }
         write!(f, "    advice: {}", self.advice)
     }
 }
@@ -267,6 +312,42 @@ fn classify(rel: &str) -> Option<String> {
     None
 }
 
+/// Wall-clock timing of one full run, for the CI self-timing budget.
+#[derive(Debug, Clone)]
+pub struct LintStats {
+    /// Files scanned.
+    pub files: usize,
+    /// Functions analyzed.
+    pub functions: usize,
+    /// Read + lex + structural model time.
+    pub parse: Duration,
+    /// Workspace build (per-function CFG + lock flow).
+    pub analyze: Duration,
+    /// Call graph + summaries build.
+    pub interproc: Duration,
+    /// Per-rule run time, in catalog order (skipped rules omitted).
+    pub rules: Vec<(Rule, Duration)>,
+    /// End-to-end time of the whole run.
+    pub total: Duration,
+}
+
+impl fmt::Display for LintStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scanned {} file(s), {} function(s)",
+            self.files, self.functions
+        )?;
+        writeln!(f, "  parse     {:>8.1?}", self.parse)?;
+        writeln!(f, "  analyze   {:>8.1?}", self.analyze)?;
+        writeln!(f, "  interproc {:>8.1?}", self.interproc)?;
+        for (rule, d) in &self.rules {
+            writeln!(f, "  {:<9} {:>8.1?}", rule.id(), d)?;
+        }
+        write!(f, "  total     {:>8.1?}", self.total)
+    }
+}
+
 /// Run every rule (minus `allowed`) over the tree under `root`.
 ///
 /// # Errors
@@ -274,6 +355,21 @@ fn classify(rel: &str) -> Option<String> {
 /// I/O errors reading the tree; individual files that are not valid UTF-8
 /// are skipped.
 pub fn lint_root(root: &Path, allowed: &[Rule]) -> std::io::Result<Vec<LintViolation>> {
+    lint_root_timed(root, allowed).map(|(v, _)| v)
+}
+
+/// [`lint_root`] plus per-phase wall-clock timing. The timing is
+/// diagnostic output, never recorded into traces, so the wall-clock reads
+/// are exempt from S7 here.
+///
+/// # Errors
+///
+/// Same as [`lint_root`].
+pub fn lint_root_timed(
+    root: &Path,
+    allowed: &[Rule],
+) -> std::io::Result<(Vec<LintViolation>, LintStats)> {
+    let t0 = std::time::Instant::now(); // lint:allow(S7, lint self-timing diagnostics)
     let mut files = Vec::new();
     for path in collect_sources(root)? {
         let rel = path
@@ -289,13 +385,23 @@ pub fn lint_root(root: &Path, allowed: &[Rule]) -> std::io::Result<Vec<LintViola
         };
         files.push(FileModel::parse(rel, crate_name, src));
     }
+    let n_files = files.len();
+    let parse = t0.elapsed();
+    let t1 = std::time::Instant::now(); // lint:allow(S7, lint self-timing diagnostics)
     let ws = rules::Workspace::build(files);
+    let analyze = t1.elapsed();
+    let t2 = std::time::Instant::now(); // lint:allow(S7, lint self-timing diagnostics)
+    let ip = rules::Interproc::build(&ws);
+    let interproc = t2.elapsed();
     let mut out = Vec::new();
+    let mut rule_times = Vec::new();
     for rule in ALL_RULES {
         if allowed.contains(&rule) {
             continue;
         }
-        out.extend(rules::run(rule, &ws));
+        let tr = std::time::Instant::now(); // lint:allow(S7, lint self-timing diagnostics)
+        out.extend(rules::run(rule, &ws, &ip));
+        rule_times.push((rule, tr.elapsed()));
     }
     // Per-line / per-file suppression directives.
     out.retain(|v| {
@@ -303,6 +409,27 @@ pub fn lint_root(root: &Path, allowed: &[Rule]) -> std::io::Result<Vec<LintViola
             .is_none_or(|f| !f.allowed(v.rule.id(), v.line))
     });
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    out.dedup();
-    Ok(out)
+    // A span flagged by both the intraprocedural and the interprocedural
+    // side of a rule reports once, keeping the call chain if either
+    // finding carries one.
+    out.dedup_by(|later, kept| {
+        if later.rule == kept.rule && later.file == kept.file && later.line == kept.line {
+            if kept.chain.is_empty() && !later.chain.is_empty() {
+                kept.chain = std::mem::take(&mut later.chain);
+            }
+            true
+        } else {
+            false
+        }
+    });
+    let stats = LintStats {
+        files: n_files,
+        functions: ws.fns.len(),
+        parse,
+        analyze,
+        interproc,
+        rules: rule_times,
+        total: t0.elapsed(),
+    };
+    Ok((out, stats))
 }

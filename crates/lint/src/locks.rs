@@ -129,7 +129,15 @@ fn apply(set: &mut BTreeSet<usize>, ev: Event) {
 
 /// Methods that adapt a lock-guard result without consuming the guard
 /// (kept in sync with `model::GUARD_ADAPTERS`).
-const ADAPTERS: &[&str] = &["map_err", "expect", "unwrap", "ok", "and_then", "map"];
+const ADAPTERS: &[&str] = &[
+    "map_err",
+    "expect",
+    "unwrap",
+    "unwrap_or_else",
+    "ok",
+    "and_then",
+    "map",
+];
 
 /// The linear pass: guards plus acquire/release events keyed by token.
 #[allow(clippy::type_complexity)]
@@ -271,10 +279,15 @@ fn extract_events(
             let mut binds: Vec<Option<String>> = vec![None; keys.len()];
             let st = &sig[stmt_start..i.min(body.end)];
             if st.first().is_some_and(|t| t.text == "let") {
-                let mut names = st
+                // Binding names live in the pattern, strictly before `=`.
+                let eq = st.iter().position(|t| t.text == "=").unwrap_or(st.len());
+                let mut names = st[..eq]
                     .iter()
                     .rev()
                     .filter(|t| t.kind == TokenKind::Ident && t.text != "mut" && t.text != "ref");
+                // `let g = match <acq>(…) { … };` binds too: the match arms
+                // adapt the acquisition result in place.
+                let in_match = st.iter().any(|t| t.text == "match");
                 let close = file.match_paren(i + 1, body.end);
                 let mut k = close + 1;
                 loop {
@@ -287,6 +300,10 @@ fn extract_events(
                         && sig[k + 2].text == "("
                     {
                         k = file.match_paren(k + 2, body.end) + 1;
+                        continue;
+                    }
+                    if in_match && k < body.end && sig[k].text == "{" {
+                        k = file.match_brace(k, body.end) + 1;
                         continue;
                     }
                     break;

@@ -1,23 +1,28 @@
 //! `obiwan-lint` CLI.
 //!
 //! ```text
-//! obiwan-lint [--deny] [--json] [--allow <rule>]... [--baseline <file>] [PATH]
+//! obiwan-lint [--deny] [--json] [--allow <rule>]... [--baseline <file>]
+//!             [--stats] [--budget-ms <n>] [PATH]
 //! ```
 //!
 //! With no `PATH`, lints the enclosing workspace (found by walking up from
 //! the current directory to the first `Cargo.toml` containing
 //! `[workspace]`). `--baseline` takes a previous `--json` report and
 //! suppresses the findings recorded in it, so CI gates on regressions
-//! only. Exit codes: `0` clean (or violations without `--deny`), `1`
-//! violations under `--deny`, `2` usage or I/O error.
+//! only. `--stats` prints per-phase/per-rule wall-clock timing, and
+//! `--budget-ms` turns the total into a gate. Exit codes: `0` clean (or
+//! violations without `--deny`), `1` violations under `--deny`, `2` usage
+//! or I/O error, `3` wall-clock budget exceeded.
 
-use obiwan_lint::{lint_root, LintViolation, Rule, ALL_RULES};
+use obiwan_lint::{lint_root_timed, LintViolation, Rule, ALL_RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Options {
     deny: bool,
     json: bool,
+    stats: bool,
+    budget_ms: Option<u64>,
     allow: Vec<Rule>,
     baseline: Option<PathBuf>,
     path: Option<PathBuf>,
@@ -29,12 +34,15 @@ fn usage() -> String {
         .map(|r| format!("  {:<3} {}", r.id(), r.name()))
         .collect();
     format!(
-        "usage: obiwan-lint [--deny] [--json] [--allow <rule>]... [--baseline <file>] [PATH]\n\
+        "usage: obiwan-lint [--deny] [--json] [--allow <rule>]... [--baseline <file>]\n\
+         \x20                  [--stats] [--budget-ms <n>] [PATH]\n\
          \n\
          --deny             exit 1 if any violation is found\n\
          --json             emit violations as a JSON array\n\
          --allow <rule>     disable a rule by id or name (repeatable)\n\
          --baseline <file>  suppress findings present in a previous --json report\n\
+         --stats            print per-phase and per-rule wall-clock timing\n\
+         --budget-ms <n>    exit 3 if the whole run takes longer than n ms\n\
          PATH               tree to lint (default: enclosing workspace root)\n\
          \n\
          rules:\n{}",
@@ -46,6 +54,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         deny: false,
         json: false,
+        stats: false,
+        budget_ms: None,
         allow: Vec::new(),
         baseline: None,
         path: None,
@@ -55,12 +65,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match a.as_str() {
             "--deny" => opts.deny = true,
             "--json" => opts.json = true,
+            "--stats" => opts.stats = true,
+            "--budget-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--budget-ms needs a millisecond count".to_owned())?;
+                let ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--budget-ms: `{v}` is not a number"))?;
+                opts.budget_ms = Some(ms);
+            }
             "--allow" => {
                 let v = it
                     .next()
                     .ok_or_else(|| "--allow needs a rule id or name".to_owned())?;
                 let rule = Rule::parse(v)
-                    .ok_or_else(|| format!("unknown rule `{v}` (try S1..S12 or a rule name)"))?;
+                    .ok_or_else(|| format!("unknown rule `{v}` (try S1..S15 or a rule name)"))?;
                 opts.allow.push(rule);
             }
             "--baseline" => {
@@ -84,22 +104,74 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-/// A baseline entry: (rule id, file, excerpt). Matching on the excerpt
-/// rather than the line number keeps unrelated edits (which shift lines)
-/// from resurrecting suppressed findings.
-type BaselineKey = (String, String, String);
+/// A baseline entry: (rule id, file, excerpt, chain). Matching on the
+/// excerpt rather than the line number keeps unrelated edits (which shift
+/// lines) from resurrecting suppressed findings; the chain (when the
+/// report recorded one — `None` for pre-chain reports) distinguishes
+/// same-excerpt findings reached through different call paths.
+struct BaselineKey {
+    rule: String,
+    file: String,
+    excerpt: String,
+    chain: Option<Vec<String>>,
+}
+
+/// Split a JSON array's text into its top-level objects, tracking string
+/// boundaries so a `{` or `}` inside an excerpt does not sever an object
+/// (most lint excerpts end in `{`).
+fn split_objects(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, c) in text.char_indices() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    out.push(&text[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
 
 /// Extract baseline keys from a previous `--json` report with the same
-/// zero-dependency discipline as the encoder: pull the `rule`, `file` and
-/// `excerpt` string fields out of each object, in order.
+/// zero-dependency discipline as the encoder: pull the `rule`, `file`,
+/// `excerpt` and `chain` fields out of each object, in order.
 fn parse_baseline(text: &str) -> Vec<BaselineKey> {
     let mut out = Vec::new();
-    for obj in text.split('{').skip(1) {
+    for obj in split_objects(text) {
         let rule = json_str_field(obj, "rule");
         let file = json_str_field(obj, "file");
         let excerpt = json_str_field(obj, "excerpt");
-        if let (Some(r), Some(f), Some(e)) = (rule, file, excerpt) {
-            out.push((r, f, e));
+        if let (Some(rule), Some(file), Some(excerpt)) = (rule, file, excerpt) {
+            out.push(BaselineKey {
+                rule,
+                file,
+                excerpt,
+                chain: json_str_array(obj, "chain"),
+            });
         }
     }
     out
@@ -109,18 +181,42 @@ fn parse_baseline(text: &str) -> Vec<BaselineKey> {
 fn json_str_field(obj: &str, name: &str) -> Option<String> {
     let marker = format!("\"{name}\":\"");
     let start = obj.find(&marker)? + marker.len();
-    let rest = &obj[start..];
+    json_string_at(&obj[start..]).map(|(s, _)| s)
+}
+
+/// The `"name":[…]` string-array field inside one JSON object's text;
+/// `None` when the field is absent (pre-chain baseline reports).
+fn json_str_array(obj: &str, name: &str) -> Option<Vec<String>> {
+    let marker = format!("\"{name}\":[");
+    let start = obj.find(&marker)? + marker.len();
+    let mut rest = &obj[start..];
+    let mut items = Vec::new();
+    loop {
+        rest = rest.trim_start_matches([',', ' ']);
+        if rest.starts_with(']') {
+            return Some(items);
+        }
+        let body = rest.strip_prefix('"')?;
+        let (s, used) = json_string_at(body)?;
+        items.push(s);
+        rest = &body[used..];
+    }
+}
+
+/// Decode a JSON string body starting *after* the opening quote; returns
+/// the value and the byte length consumed including the closing quote.
+fn json_string_at(body: &str) -> Option<(String, usize)> {
     let mut out = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
         match c {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
+            '"' => return Some((out, i + 1)),
+            '\\' => match chars.next()?.1 {
                 'n' => out.push('\n'),
                 'r' => out.push('\r'),
                 't' => out.push('\t'),
                 'u' => {
-                    let hex: String = chars.by_ref().take(4).collect();
+                    let hex: String = chars.by_ref().take(4).map(|(_, c)| c).collect();
                     let code = u32::from_str_radix(&hex, 16).ok()?;
                     out.push(char::from_u32(code)?);
                 }
@@ -133,9 +229,12 @@ fn json_str_field(obj: &str, name: &str) -> Option<String> {
 }
 
 fn in_baseline(v: &LintViolation, baseline: &[BaselineKey]) -> bool {
-    baseline
-        .iter()
-        .any(|(r, f, e)| r == v.rule.id() && f == &v.file && e == &v.excerpt)
+    baseline.iter().any(|k| {
+        k.rule == v.rule.id()
+            && k.file == v.file
+            && k.excerpt == v.excerpt
+            && k.chain.as_ref().is_none_or(|c| *c == v.chain)
+    })
 }
 
 fn main() -> ExitCode {
@@ -164,7 +263,7 @@ fn main() -> ExitCode {
             }
         },
     };
-    let mut violations = match lint_root(&root, &opts.allow) {
+    let (mut violations, stats) = match lint_root_timed(&root, &opts.allow) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("obiwan-lint: {}: {e}", root.display());
@@ -197,6 +296,16 @@ fn main() -> ExitCode {
             files.len(),
             root.display()
         );
+    }
+    if opts.stats {
+        eprintln!("{stats}");
+    }
+    if let Some(budget) = opts.budget_ms {
+        let took = stats.total.as_millis();
+        if took > u128::from(budget) {
+            eprintln!("obiwan-lint: run took {took} ms, over the --budget-ms {budget} gate");
+            return ExitCode::from(3);
+        }
     }
     if opts.deny && !violations.is_empty() {
         ExitCode::from(1)

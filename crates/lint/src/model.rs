@@ -183,6 +183,17 @@ pub struct FileModel {
     pub structs: Vec<StructDef>,
     /// Lock helpers defined in this file.
     pub lock_helpers: Vec<LockHelper>,
+    /// Names of traits declared in this file (`trait Transport { … }`).
+    /// Their methods are the functions whose `impl_type` is the trait name.
+    pub traits: Vec<String>,
+    /// `impl Trait for Type` pairs: (trait head, self-type head). The
+    /// interprocedural call graph uses these for class-hierarchy fallback
+    /// resolution of dynamic-dispatch calls.
+    pub trait_impls: Vec<(String, String)>,
+    /// Single-field tuple enum variants: (variant name, payload type
+    /// head). A match-arm binding `Variant(x) =>` types `x` with the
+    /// payload, which is how the `NetFabric` dispatch arms get receivers.
+    pub enum_variants: Vec<(String, String)>,
     /// Lines carrying a `lint:allow(...)` directive → rule ids allowed.
     pub allow_lines: Vec<(u32, Vec<String>)>,
     /// Rule ids allowed for the whole file via `lint:allow-file(...)`.
@@ -202,7 +213,15 @@ fn is_keyword(s: &str) -> bool {
 
 /// Methods that adapt a lock-guard result without consuming the guard —
 /// a chained call *after* these still runs against the guarded value.
-const GUARD_ADAPTERS: &[&str] = &["map_err", "expect", "unwrap", "ok", "and_then", "map"];
+const GUARD_ADAPTERS: &[&str] = &[
+    "map_err",
+    "expect",
+    "unwrap",
+    "unwrap_or_else",
+    "ok",
+    "and_then",
+    "map",
+];
 
 impl FileModel {
     /// Build the model for one source file.
@@ -217,6 +236,9 @@ impl FileModel {
             functions: Vec::new(),
             structs: Vec::new(),
             lock_helpers: Vec::new(),
+            traits: Vec::new(),
+            trait_impls: Vec::new(),
+            enum_variants: Vec::new(),
             allow_lines,
             allow_file,
         };
@@ -256,7 +278,15 @@ impl FileModel {
             let t = &self.sig[i];
             match t.text.as_str() {
                 "impl" | "trait" => {
-                    let (head, body) = self.parse_impl_head(i, to);
+                    let is_trait = t.is("trait");
+                    let (head, trait_head, body) = self.parse_impl_head(i, to);
+                    if is_trait {
+                        if let Some(h) = &head {
+                            self.traits.push(h.clone());
+                        }
+                    } else if let (Some(tr), Some(ty)) = (&trait_head, &head) {
+                        self.trait_impls.push((tr.clone(), ty.clone()));
+                    }
                     if let Some((b0, b1)) = body {
                         self.scan_items(b0, b1, head);
                         i = b1 + 1;
@@ -284,8 +314,11 @@ impl FileModel {
                 "struct" => {
                     i = self.parse_struct(i, to);
                 }
-                "enum" | "union" => {
-                    // Skip the body; variant fields are not modeled.
+                "enum" => {
+                    i = self.parse_enum(i, to);
+                }
+                "union" => {
+                    // Skip the body; union fields are not modeled.
                     let mut j = i + 1;
                     while j < to && !self.sig[j].is("{") && !self.sig[j].is(";") {
                         j += 1;
@@ -313,20 +346,68 @@ impl FileModel {
         }
     }
 
-    /// At `impl`/`trait` token `i`: return (self-type head, body range).
-    fn parse_impl_head(&self, i: usize, to: usize) -> (Option<String>, Option<(usize, usize)>) {
+    /// At an `enum` token: record the single-field tuple variants
+    /// (variant name → payload type head) and return the index after the
+    /// item. Struct-style and multi-field variants bind no single
+    /// receiver, so they are skipped.
+    fn parse_enum(&mut self, i: usize, to: usize) -> usize {
+        let mut j = i + 1;
+        while j < to && !self.sig[j].is("{") && !self.sig[j].is(";") {
+            j += 1;
+        }
+        if j >= to || !self.sig[j].is("{") {
+            return j + 1;
+        }
+        let end = self.match_brace(j, to);
+        let mut k = j + 1;
+        while k < end {
+            let t = &self.sig[k];
+            if t.kind == TokenKind::Ident && k + 1 < end && self.sig[k + 1].is("(") {
+                let close = self.match_paren(k + 1, end);
+                let ty = {
+                    let run = &self.sig[k + 2..close.min(end)];
+                    if run.iter().any(|t| t.is(",")) {
+                        None
+                    } else {
+                        type_head(run)
+                    }
+                };
+                if let Some(ty) = ty {
+                    let name = self.sig[k].text.clone();
+                    self.enum_variants.push((name, ty));
+                }
+                k = close + 1;
+            } else if t.is("{") {
+                k = self.match_brace(k, end) + 1;
+            } else {
+                k += 1;
+            }
+        }
+        end + 1
+    }
+
+    /// At `impl`/`trait` token `i`: return (self-type head, trait head for
+    /// `impl Trait for Type` blocks, body range).
+    #[allow(clippy::type_complexity)]
+    fn parse_impl_head(
+        &self,
+        i: usize,
+        to: usize,
+    ) -> (Option<String>, Option<String>, Option<(usize, usize)>) {
         let mut j = i + 1;
         // Skip generic parameters directly after the keyword.
         if j < to && self.sig[j].is("<") {
             j = self.skip_angles(j, to);
         }
-        // Collect until `{`; if a `for` appears, restart collection.
+        // Collect until `{`; if a `for` appears, what was collected so far
+        // is the trait head and collection restarts on the self type.
         let mut head: Option<String> = None;
+        let mut trait_head: Option<String> = None;
         let mut k = j;
         while k < to && !self.sig[k].is("{") && !self.sig[k].is(";") {
             let t = &self.sig[k];
             if t.is("for") {
-                head = None;
+                trait_head = head.take();
             } else if t.is("where") {
                 break;
             } else if t.is("<") {
@@ -343,9 +424,9 @@ impl FileModel {
         }
         if k < to && self.sig[k].is("{") {
             let end = self.match_brace(k, to);
-            (head, Some((k + 1, end)))
+            (head, trait_head, Some((k + 1, end)))
         } else {
-            (head, None)
+            (head, trait_head, None)
         }
     }
 
@@ -921,12 +1002,19 @@ pub fn analyze_body(
             let mut binds: Vec<Option<String>> = vec![None; keys.len()];
             let st = &sig[stmt_start..i.min(body.end)];
             if st.first().is_some_and(|t| t.is("let")) {
-                let mut names = st
+                // Binding names live in the pattern, strictly before `=`
+                // (the receiver chain of an `x.lock()` acquisition comes
+                // after it and must not shadow them).
+                let eq = st.iter().position(|t| t.is("=")).unwrap_or(st.len());
+                let mut names = st[..eq]
                     .iter()
                     .rev()
                     .filter(|t| t.kind == TokenKind::Ident && !is_keyword(&t.text));
                 // Skip `?`s and result adapters (`.map_err(…)`): they
-                // pass the guard through, so the `let` still binds it.
+                // pass the guard through, so the `let` still binds it. A
+                // `let g = match <acq>(…) { … };` likewise binds — the
+                // match arms adapt the acquisition result in place.
+                let in_match = st.iter().any(|t| t.is("match"));
                 let close = file.match_paren(i + 1, body.end);
                 let mut k = close + 1;
                 loop {
@@ -941,6 +1029,10 @@ pub fn analyze_body(
                         k = file.match_paren(k + 2, body.end) + 1;
                         continue;
                     }
+                    if in_match && k < body.end && sig[k].is("{") {
+                        k = file.match_brace(k, body.end) + 1;
+                        continue;
+                    }
                     break;
                 }
                 if k < body.end && sig[k].is(";") {
@@ -951,6 +1043,13 @@ pub fn analyze_body(
             }
             for bind in binds {
                 let temp = bind.is_none();
+                // A named guard binding types later method calls on it
+                // with the helper's guard self-type: `let net =
+                // lock_net(…)?;` makes `net.send_blob(…)` dispatch on
+                // `NetFabric`.
+                if let (Some(name), Some(gt)) = (&bind, &guard_type) {
+                    lets.push((name.clone(), gt.clone()));
+                }
                 guards.push(Guard {
                     lock: lock.clone(),
                     bind,
@@ -1176,9 +1275,12 @@ fn receiver_of(
         if name == "self" {
             return f.impl_type.clone();
         }
-        f.params
-            .iter()
-            .chain(lets.iter())
+        // Later `let`s shadow earlier ones and parameters, as in Rust —
+        // `fn f(net: &SharedNet)` rebinding `let net = lock_net(net)?;`
+        // must type `net.…` with the guard type, not the param's.
+        lets.iter()
+            .rev()
+            .chain(f.params.iter())
             .find(|(n, _)| n == name)
             .map(|(_, t)| t.clone())
     };
@@ -1197,7 +1299,27 @@ fn receiver_of(
     if i >= 3 && sig[i - 3].is(".") {
         return Receiver::Unknown;
     }
-    match lookup(&r.text) {
+    // `Variant(x) =>` match arm (or `if let Variant(x) = …`): a
+    // single-field tuple variant's payload type types the binding. Search
+    // lexically backwards so the nearest enclosing arm wins.
+    let arm_bound = |name: &str| -> Option<String> {
+        (f.body.start..i).rev().find_map(|j| {
+            if sig[j].text != name || j < f.body.start + 2 {
+                return None;
+            }
+            let closes = sig.get(j + 1).is_some_and(|t| t.is(")"));
+            let arm = sig.get(j + 2).is_some_and(|t| t.is("=>") || t.is("="));
+            if !closes || !arm || !sig[j - 1].is("(") || sig[j - 2].kind != TokenKind::Ident {
+                return None;
+            }
+            let variant = &sig[j - 2].text;
+            file.enum_variants
+                .iter()
+                .find(|(v, _)| v == variant)
+                .map(|(_, ty)| ty.clone())
+        })
+    };
+    match lookup(&r.text).or_else(|| arm_bound(&r.text)) {
         Some(t) => Receiver::Typed(t),
         None => Receiver::Unknown,
     }

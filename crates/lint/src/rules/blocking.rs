@@ -1,0 +1,88 @@
+//! S13 `blocking-under-lock`: a blocking operation reachable while a
+//! lock guard is held on some path — across function boundaries.
+//!
+//! The live-system layers introduced real blocking: netd's pacing sleeps
+//! charge simulated airtime with `thread::sleep`, blobd's client does
+//! TCP connect/read/write with OS timeouts, and the device actors block
+//! on `recv_timeout` for replies. None of that may happen under a
+//! coordinator/shard/manager guard — one paced store would stall every
+//! other swap behind a radio. The classes differ in strictness:
+//!
+//! * **sleep** is wrong under *any* guard, the transport's own included —
+//!   a lock is never the place to wait out airtime;
+//! * **socket I/O** and **channel waits** are the transport's own
+//!   business under its own guard (`net`, `SimNet`/`NetFabric`), so they
+//!   fire only when some *other* guard is held.
+//!
+//! Each site reports once, for the most severe reachable class, with the
+//! summary's example call chain attached when the blocking is buried in
+//! a callee.
+
+use super::{transport_guard, violation, Interproc, Workspace};
+use crate::summaries::{blocking_kind, display, BlockKind};
+use crate::{LintViolation, Rule};
+
+pub(super) fn run(ws: &Workspace, ip: &Interproc) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for (id, info) in ws.fns.iter().enumerate() {
+        let file = &ws.files[info.file];
+        for hc in &info.held_calls {
+            // Every blocking class reachable from this call site, with an
+            // example chain per class (empty chain = the site itself).
+            let mut reachable: Vec<(BlockKind, Vec<String>)> = Vec::new();
+            let resolved = ip.cg.edges[id]
+                .iter()
+                .any(|e| info.calls[e.call].tok == hc.call.tok);
+            if !resolved {
+                if let Some(kind) = blocking_kind(&hc.call) {
+                    reachable.push((kind, Vec::new()));
+                }
+            }
+            for edge in &ip.cg.edges[id] {
+                if info.calls[edge.call].tok != hc.call.tok {
+                    continue;
+                }
+                for (kind, tail) in &ip.sums[edge.callee].blocking {
+                    if reachable.iter().any(|(k, _)| k == kind) {
+                        continue;
+                    }
+                    let mut chain = vec![display(ws, edge.callee)];
+                    chain.extend(tail.iter().cloned());
+                    reachable.push((*kind, chain));
+                }
+            }
+            reachable.sort_by_key(|(k, _)| *k);
+            for (kind, chain) in reachable {
+                let culpable = hc.held.iter().find(|h| {
+                    kind == BlockKind::Sleep || !transport_guard(&h.lock, h.guard_type.as_deref())
+                });
+                let Some(held) = culpable else {
+                    continue;
+                };
+                let how = if chain.is_empty() {
+                    format!("`{}` {}", hc.call.name, kind.describe())
+                } else {
+                    format!(
+                        "the call to `{}` (transitively) {}",
+                        hc.call.name,
+                        kind.describe()
+                    )
+                };
+                let mut v = violation(
+                    file,
+                    Rule::BlockingUnderLock,
+                    hc.call.line,
+                    format!(
+                        "{} while the `{}` guard is held on some path — do the blocking \
+                         work before taking the guard or after dropping it",
+                        how, held.lock
+                    ),
+                );
+                v.chain = chain;
+                out.push(v);
+                break;
+            }
+        }
+    }
+    out
+}

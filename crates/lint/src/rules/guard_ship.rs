@@ -5,60 +5,24 @@
 //! B1 experiment measures proxy faults at 9× the local-call cost, and all
 //! of that time is network airtime. Holding the manager (or any other
 //! coarse) guard across the transfer serializes every other swap, cursor
-//! build, and policy tick behind one radio. The upcoming sharded manager
-//! (ROADMAP item 1) makes this a hard contract: bytes move only after the
-//! bookkeeping guard drops.
+//! build, and policy tick behind one radio. The sharded manager makes
+//! this a hard contract: bytes move only after the bookkeeping guard
+//! drops.
 //!
-//! The `net` guard itself is exempt — `SimNet` *is* the transport, so its
-//! own lock necessarily brackets every send — and so is the `net` crate,
-//! whose internals hold their own structures while transmitting.
+//! The `net` guard itself is exempt — `SimNet`/`NetFabric` *are* the
+//! transport, so their own lock necessarily brackets every send — and so
+//! is the `net` crate, whose internals hold their own structures while
+//! transmitting.
+//!
+//! The transitive case runs on the interprocedural summaries: a held
+//! call whose callee's summary reaches a ship verb fires, with the
+//! summary's example call chain attached to the report.
 
-use super::{violation, Workspace};
+use super::{transport_guard, violation, Interproc, Workspace};
+use crate::summaries::SHIP_FNS;
 use crate::{LintViolation, Rule};
 
-/// Blocking blob-transfer entry points on `SimNet`.
-const SHIP_FNS: &[&str] = &[
-    "send_blob",
-    "send_blob_routed",
-    "fetch_blob",
-    "fetch_blob_routed",
-];
-
-/// Guards that never count as "held across a ship": the transport's own.
-fn transport_guard(lock: &str, guard_type: Option<&str>) -> bool {
-    lock == "net" || guard_type == Some("SimNet")
-}
-
-pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
-    // Transitive "ships blobs" closure over the resolved call graph.
-    let mut ships: Vec<bool> = ws
-        .fns
-        .iter()
-        .map(|info| {
-            info.calls
-                .iter()
-                .any(|c| SHIP_FNS.contains(&c.name.as_str()))
-        })
-        .collect();
-    loop {
-        let mut changed = false;
-        for id in 0..ws.fns.len() {
-            if ships[id] {
-                continue;
-            }
-            for call in &ws.fns[id].calls {
-                if ws.resolve(id, call).into_iter().any(|c| ships[c]) {
-                    ships[id] = true;
-                    changed = true;
-                    break;
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-
+pub(super) fn run(ws: &Workspace, ip: &Interproc) -> Vec<LintViolation> {
     let mut out = Vec::new();
     for (id, info) in ws.fns.iter().enumerate() {
         let file = &ws.files[info.file];
@@ -84,8 +48,19 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
                         hc.call.name, held.lock
                     ),
                 ));
-            } else if ws.resolve(id, &hc.call).into_iter().any(|c| ships[c]) {
-                out.push(violation(
+                continue;
+            }
+            // Transitive: does any resolved callee's summary ship?
+            for edge in &ip.cg.edges[id] {
+                if info.calls[edge.call].tok != hc.call.tok {
+                    continue;
+                }
+                let Some(tail) = &ip.sums[edge.callee].ships else {
+                    continue;
+                };
+                let mut chain = vec![crate::summaries::display(ws, edge.callee)];
+                chain.extend(tail.iter().cloned());
+                let mut v = violation(
                     file,
                     Rule::GuardAcrossShip,
                     hc.call.line,
@@ -95,7 +70,10 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
                          after the guard drops",
                         hc.call.name, held.lock
                     ),
-                ));
+                );
+                v.chain = chain;
+                out.push(v);
+                break;
             }
         }
     }

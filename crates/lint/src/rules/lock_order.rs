@@ -1,14 +1,17 @@
 //! S1 `lock-order`: cycles in the static lock-acquisition graph.
 //!
 //! Every acquisition site contributes edges `held → acquired`, both for
-//! direct acquisitions and — through the resolved call approximation — for
-//! calls made while a guard is live. A cycle (including the 1-cycle of
-//! re-acquiring a non-reentrant `std::sync::Mutex`) is the shape of the
-//! historical `make_cursor` deadlock: the middleware held the manager lock
-//! and called into replication, which re-entered the interceptor shim and
-//! took `lock_manager` again.
+//! direct acquisitions and — through the call graph's per-function
+//! summaries — for calls made while a guard is live. A cycle (including
+//! the 1-cycle of re-acquiring a non-reentrant `std::sync::Mutex`) is the
+//! shape of the historical `make_cursor` deadlock: the middleware held
+//! the manager lock and called into replication, which re-entered the
+//! interceptor shim and took `lock_manager` again.
+//!
+//! Interprocedural edges carry the example call chain from the summary,
+//! so the report shows *how* the buried acquisition is reached.
 
-use super::{violation, Workspace};
+use super::{violation, Interproc, Workspace};
 use crate::{LintViolation, Rule};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -17,10 +20,10 @@ struct Edge {
     file: usize,
     line: u32,
     note: String,
+    chain: Vec<String>,
 }
 
-pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
-    let trans = ws.transitive_locks();
+pub(super) fn run(ws: &Workspace, ip: &Interproc) -> Vec<LintViolation> {
     // (held, acquired) → first site introducing that edge.
     let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
     for (id, info) in ws.fns.iter().enumerate() {
@@ -38,22 +41,34 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
                         file: info.file,
                         line: ls.line,
                         note: format!("`{}` is acquired while `{}` is held", ls.lock, h.lock),
+                        chain: Vec::new(),
                     });
             }
         }
+        // Interprocedural: a call made under a guard reaches whatever its
+        // summary says it acquires.
         for hc in &info.held_calls {
-            for callee in ws.resolve(id, &hc.call) {
-                for l in &trans[callee] {
+            for edge in &ip.cg.edges[id] {
+                if info.calls[edge.call].tok != hc.call.tok {
+                    continue;
+                }
+                for (lock, tail) in &ip.sums[edge.callee].acquires {
                     for h in &hc.held {
                         edges
-                            .entry((h.lock.clone(), l.clone()))
-                            .or_insert_with(|| Edge {
-                                file: info.file,
-                                line: hc.call.line,
-                                note: format!(
-                                    "the call to `{}` (transitively) acquires `{}` while `{}` is held",
-                                    hc.call.name, l, h.lock
-                                ),
+                            .entry((h.lock.clone(), lock.clone()))
+                            .or_insert_with(|| {
+                                let mut chain =
+                                    vec![crate::summaries::display(ws, edge.callee)];
+                                chain.extend(tail.iter().cloned());
+                                Edge {
+                                    file: info.file,
+                                    line: hc.call.line,
+                                    note: format!(
+                                        "the call to `{}` (transitively) acquires `{}` while `{}` is held",
+                                        hc.call.name, lock, h.lock
+                                    ),
+                                    chain,
+                                }
                             });
                     }
                 }
@@ -87,8 +102,8 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
     let mut out = Vec::new();
     for ((held, acquired), edge) in &edges {
         let file = &ws.files[edge.file];
-        if held == acquired {
-            out.push(violation(
+        let mut v = if held == acquired {
+            violation(
                 file,
                 Rule::LockOrder,
                 edge.line,
@@ -97,9 +112,9 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
                      make_cursor bug) — drop the `{}` guard before re-entering",
                     edge.note, held
                 ),
-            ));
+            )
         } else if reaches(acquired, held) {
-            out.push(violation(
+            violation(
                 file,
                 Rule::LockOrder,
                 edge.line,
@@ -108,8 +123,12 @@ pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
                      while `{}` is held — pick one global acquisition order",
                     edge.note, held, acquired
                 ),
-            ));
-        }
+            )
+        } else {
+            continue;
+        };
+        v.chain = edge.chain.clone();
+        out.push(v);
     }
     out
 }

@@ -9,6 +9,7 @@
 //! than noisy.
 
 mod blobs;
+mod blocking;
 mod discard;
 mod guard_escape;
 mod guard_ship;
@@ -16,13 +17,17 @@ mod hash_iter;
 mod layering;
 mod lock_order;
 mod panics;
+mod quota;
 mod recorder;
+mod reentry;
 mod shard_order;
 mod wallclock;
 
+use crate::callgraph::CallGraph;
 use crate::cfg::Cfg;
 use crate::locks::LockFlow;
 use crate::model::{CallSite, FileModel, HeldCall, LockHelper, LockSite, Receiver};
+use crate::summaries::Summary;
 use crate::{LintViolation, Rule};
 use std::collections::BTreeMap;
 
@@ -183,36 +188,14 @@ impl Workspace {
         out
     }
 
-    /// Per-function transitive lock-acquisition sets (fixpoint over the
-    /// resolved call approximation).
-    pub fn transitive_locks(&self) -> Vec<std::collections::BTreeSet<String>> {
-        let mut acq: Vec<std::collections::BTreeSet<String>> = self
-            .fns
-            .iter()
-            .map(|f| f.locks.iter().map(|l| l.lock.clone()).collect())
-            .collect();
-        loop {
-            let mut changed = false;
-            for id in 0..self.fns.len() {
-                let mut add = Vec::new();
-                for call in &self.fns[id].calls {
-                    for callee in self.resolve(id, call) {
-                        for l in &acq[callee] {
-                            if !acq[id].contains(l) {
-                                add.push(l.clone());
-                            }
-                        }
-                    }
-                }
-                if !add.is_empty() {
-                    changed = true;
-                    acq[id].extend(add);
-                }
-            }
-            if !changed {
-                return acq;
-            }
-        }
+    /// Function ids implementing `name` on self-type `impl_type` (the
+    /// typed-key index; empty string keys free functions). The call
+    /// graph's class-hierarchy fallback resolves through this.
+    pub fn lookup(&self, impl_type: &str, name: &str) -> &[usize] {
+        self.by_key
+            .get(&(impl_type.to_owned(), name.to_owned()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Which functions sit on a path feeding the Recorder: any function
@@ -245,6 +228,31 @@ impl Workspace {
     }
 }
 
+/// The interprocedural layer, built once per run and shared by every
+/// rule that looks across function boundaries.
+pub struct Interproc {
+    /// The resolved workspace call graph.
+    pub cg: CallGraph,
+    /// Per-function effect summaries, indexed like [`Workspace::fns`].
+    pub sums: Vec<Summary>,
+}
+
+impl Interproc {
+    /// Build the call graph and compute all summaries bottom-up.
+    pub fn build(ws: &Workspace) -> Interproc {
+        let cg = CallGraph::build(ws);
+        let sums = crate::summaries::compute(ws, &cg);
+        Interproc { cg, sums }
+    }
+}
+
+/// Guards owned by the transport itself. S9 and S13's I/O classes exempt
+/// them: `SimNet`/`NetFabric` *are* the transport, so their own lock
+/// necessarily brackets every transfer.
+pub(super) fn transport_guard(lock: &str, guard_type: Option<&str>) -> bool {
+    lock == "net" || guard_type == Some("SimNet") || guard_type == Some("NetFabric")
+}
+
 /// Build a violation with the excerpt filled from the source line.
 pub(crate) fn violation(file: &FileModel, rule: Rule, line: u32, advice: String) -> LintViolation {
     LintViolation {
@@ -253,13 +261,14 @@ pub(crate) fn violation(file: &FileModel, rule: Rule, line: u32, advice: String)
         line,
         excerpt: file.line_text(line),
         advice,
+        chain: Vec::new(),
     }
 }
 
 /// Run one rule over the workspace.
-pub fn run(rule: Rule, ws: &Workspace) -> Vec<LintViolation> {
+pub fn run(rule: Rule, ws: &Workspace, ip: &Interproc) -> Vec<LintViolation> {
     match rule {
-        Rule::LockOrder => lock_order::run(ws),
+        Rule::LockOrder => lock_order::run(ws, ip),
         Rule::RecorderBypass => recorder::run_bypass(ws),
         Rule::Layering => layering::run(ws),
         Rule::PanicPaths => panics::run(ws),
@@ -267,9 +276,12 @@ pub fn run(rule: Rule, ws: &Workspace) -> Vec<LintViolation> {
         Rule::EventCoverage => recorder::run_coverage(ws),
         Rule::WallClock => wallclock::run(ws),
         Rule::NondeterministicIteration => hash_iter::run(ws),
-        Rule::GuardAcrossShip => guard_ship::run(ws),
+        Rule::GuardAcrossShip => guard_ship::run(ws, ip),
         Rule::GuardEscape => guard_escape::run(ws),
         Rule::CrossShardOrder => shard_order::run(ws),
         Rule::DiscardedResult => discard::run(ws),
+        Rule::BlockingUnderLock => blocking::run(ws, ip),
+        Rule::ActorReentrancy => reentry::run(ws, ip),
+        Rule::UncheckedQuotaArithmetic => quota::run(ws),
     }
 }

@@ -1,0 +1,82 @@
+//! S15 `unchecked-quota-arithmetic`: raw `+`/`-` on quota, used-bytes,
+//! and airtime counters.
+//!
+//! The storage-accounting counters are the levers every placement and
+//! refusal decision pivots on: `used + incoming > quota` deciding a
+//! store, `used -= size` on a drop, airtime/bytes counters feeding the
+//! pacing model. Raw arithmetic on them wraps on overflow in release
+//! builds (and underflows silently on a double-drop bug), turning a full
+//! device into an infinitely roomy one. In the accounting crates (`net`,
+//! `netd`, `blobd`, `placement`) these counters move only through
+//! `checked_*`/`saturating_*` helpers; this rule flags the raw operator
+//! sites.
+
+use super::{violation, Workspace};
+use crate::lexer::TokenKind;
+use crate::{LintViolation, Rule};
+
+/// Crates whose counters the rule governs.
+const SCOPED_CRATES: &[&str] = &["net", "netd", "blobd", "placement"];
+
+/// Whether an identifier names an accounting counter: any `_`-separated
+/// segment is `quota`/`used`/`airtime`, or it is one of the named
+/// transfer counters.
+fn is_counter(name: &str) -> bool {
+    name == "bytes_sent"
+        || name == "bytes_fetched"
+        || name
+            .split('_')
+            .any(|seg| seg == "quota" || seg == "used" || seg == "airtime")
+}
+
+pub(super) fn run(ws: &Workspace) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !SCOPED_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let sig = &file.sig;
+        for i in 0..sig.len() {
+            let op = sig[i].text.as_str();
+            if !matches!(op, "+" | "-" | "+=" | "-=") {
+                continue;
+            }
+            // A counter on either side of the operator: the previous
+            // identifier (`used +`), the next identifier (`+ used`), or a
+            // `self . used` to the right.
+            let prev = i
+                .checked_sub(1)
+                .map(|j| &sig[j])
+                .filter(|t| t.kind == TokenKind::Ident)
+                .is_some_and(|t| is_counter(&t.text));
+            let next = sig
+                .get(i + 1)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .is_some_and(|t| is_counter(&t.text))
+                || (sig.get(i + 1).is_some_and(|t| t.text == "self")
+                    && sig.get(i + 2).is_some_and(|t| t.text == ".")
+                    && sig
+                        .get(i + 3)
+                        .filter(|t| t.kind == TokenKind::Ident)
+                        .is_some_and(|t| is_counter(&t.text)));
+            if !(prev || next) {
+                continue;
+            }
+            let verb = match op {
+                "+" | "+=" => "add",
+                _ => "sub",
+            };
+            out.push(violation(
+                file,
+                Rule::UncheckedQuotaArithmetic,
+                sig[i].line,
+                format!(
+                    "raw `{op}` on an accounting counter wraps on overflow/underflow \
+                     in release builds — go through `checked_{verb}`/`saturating_{verb}` \
+                     instead so a full device can't read as an empty one"
+                ),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,225 @@
+//! Bottom-up per-function summaries over the call graph.
+//!
+//! Each function gets a [`Summary`] of the effects reachable from its
+//! body: lock families acquired, blocking operations (sleeps, socket I/O,
+//! channel waits), obiwan-net blob transfers, device-actor mailbox
+//! enqueues, and Result-producing swap-protocol verbs. Every transitive
+//! fact carries an example *call chain* — callee display names, outermost
+//! first — so a rule firing on a caller can show the path to the buried
+//! effect.
+//!
+//! Summaries are computed one SCC at a time in the call graph's
+//! callees-first order, so acyclic call chains converge in a single pass.
+//! Within an SCC (recursion) the merge iterates to fixpoint: the merge
+//! only ever *adds* facts and a chain is recorded once per fact, so the
+//! fixpoint is monotone over a finite domain and terminates on its own —
+//! but, mirroring the dataflow engine's discipline, a fuel bound
+//! proportional to the SCC size backstops it anyway.
+
+use crate::callgraph::CallGraph;
+use crate::model::{CallSite, Receiver};
+use crate::rules::Workspace;
+use std::collections::BTreeMap;
+
+/// A blocking-operation class, ordered by severity (S13 reports the
+/// worst one at a site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BlockKind {
+    /// `thread::sleep` and friends — unconditionally wrong under a lock.
+    Sleep,
+    /// TCP connect/read/write with OS-level timeouts.
+    SocketIo,
+    /// `mpsc` receive, with or without timeout.
+    ChannelWait,
+}
+
+impl BlockKind {
+    /// Human phrasing for advice strings.
+    pub fn describe(self) -> &'static str {
+        match self {
+            BlockKind::Sleep => "sleeps on the calling thread",
+            BlockKind::SocketIo => "performs blocking socket I/O",
+            BlockKind::ChannelWait => "waits on a channel receive",
+        }
+    }
+}
+
+/// Classify a call site as a blocking entry point. Socket verbs are
+/// name-based for the timeout-carrying calls (`connect_timeout`,
+/// `read_exact`, `write_all`, `read_to_end`) and type-gated for the bare
+/// `connect`/`accept` so `TcpStream::connect` counts but an iterator
+/// adapter named `connect` does not.
+pub fn blocking_kind(call: &CallSite) -> Option<BlockKind> {
+    match call.name.as_str() {
+        "sleep" => Some(BlockKind::Sleep),
+        "connect_timeout" | "read_exact" | "write_all" | "read_to_end" => Some(BlockKind::SocketIo),
+        "connect" | "accept" if matches!(&call.recv, Receiver::Typed(t) if t == "TcpStream" || t == "TcpListener") => {
+            Some(BlockKind::SocketIo)
+        }
+        "recv" | "recv_timeout" => Some(BlockKind::ChannelWait),
+        _ => None,
+    }
+}
+
+/// The blocking blob-transfer verbs (S9's vocabulary).
+pub const SHIP_FNS: &[&str] = &[
+    "send_blob",
+    "send_blob_routed",
+    "fetch_blob",
+    "fetch_blob_routed",
+];
+
+/// Result-producing swap-protocol verbs whose reachability a summary
+/// records (the interprocedural face of S12's vocabulary).
+const SWAP_RESULT_FNS: &[&str] = &[
+    "send_blob",
+    "send_blob_routed",
+    "fetch_blob",
+    "fetch_blob_routed",
+    "drop_blob",
+    "drop_blob_routed",
+    "store_blob",
+    "reload_cluster",
+    "swap_out_cluster",
+];
+
+/// Whether a call site puts an envelope on a device actor's mailbox and
+/// blocks for the reply: `Actor::call` by receiver type, or the
+/// `ActorNet` dispatch shim by name.
+pub fn is_mailbox_enqueue(call: &CallSite) -> bool {
+    (call.name == "call" && matches!(&call.recv, Receiver::Typed(t) if t == "Actor"))
+        || call.name == "actor_call"
+}
+
+/// What a function (transitively) does. Each map value / `Some` payload
+/// is an example call chain to the effect — callee display names,
+/// outermost first; an empty chain means the effect is in the function's
+/// own body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Lock families acquired.
+    pub acquires: BTreeMap<String, Vec<String>>,
+    /// Blocking operations reachable, by kind.
+    pub blocking: BTreeMap<BlockKind, Vec<String>>,
+    /// An obiwan-net blob transfer is reachable.
+    pub ships: Option<Vec<String>>,
+    /// A device-actor mailbox enqueue is reachable.
+    pub enqueues_mailbox: Option<Vec<String>>,
+    /// A Result-producing swap-protocol verb is reachable.
+    pub swap_results: bool,
+}
+
+/// Display name used in chains: `Type::name` for methods, bare `name`
+/// for free functions (stable across line renumbering, unlike spans).
+pub fn display(ws: &Workspace, id: usize) -> String {
+    let f = ws.func(id);
+    match &f.impl_type {
+        Some(t) => format!("{}::{}", t, f.name),
+        None => f.name.clone(),
+    }
+}
+
+/// Fuel for one SCC's fixpoint: `members × 4 + 4` rounds. The merge is
+/// monotone, so `members × fact-kinds` rounds always suffice; the bound
+/// exists so a modeling bug degrades to an under-approximation instead
+/// of a hang.
+fn scc_fuel(members: usize) -> usize {
+    members * 4 + 4
+}
+
+/// Compute all summaries, bottom-up over the call graph's SCC order.
+pub fn compute(ws: &Workspace, cg: &CallGraph) -> Vec<Summary> {
+    let mut sums: Vec<Summary> = (0..ws.fns.len()).map(|id| base(ws, cg, id)).collect();
+    for scc in &cg.sccs {
+        for _round in 0..scc_fuel(scc.len()) {
+            let mut changed = false;
+            for &id in scc {
+                for k in 0..cg.edges[id].len() {
+                    let callee = cg.edges[id][k].callee;
+                    if callee == id {
+                        continue;
+                    }
+                    let from = sums[callee].clone();
+                    let step = display(ws, callee);
+                    changed |= absorb(&mut sums[id], &step, &from);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    sums
+}
+
+/// Direct facts from a function's own body. A blocking-shaped call that
+/// *resolves* to a project function is not counted here — that callee's
+/// own summary decides (so a virtual-clock `sleep` stays quiet while
+/// `thread::sleep` counts).
+fn base(ws: &Workspace, cg: &CallGraph, id: usize) -> Summary {
+    let info = &ws.fns[id];
+    let mut s = Summary::default();
+    for ls in &info.locks {
+        s.acquires.entry(ls.lock.clone()).or_default();
+    }
+    for (ci, c) in info.calls.iter().enumerate() {
+        let resolved = cg.edges[id].iter().any(|e| e.call == ci);
+        if !resolved {
+            if let Some(kind) = blocking_kind(c) {
+                s.blocking.entry(kind).or_default();
+            }
+        }
+        if SHIP_FNS.contains(&c.name.as_str()) && s.ships.is_none() {
+            s.ships = Some(Vec::new());
+        }
+        if is_mailbox_enqueue(c) && s.enqueues_mailbox.is_none() {
+            s.enqueues_mailbox = Some(Vec::new());
+        }
+        if SWAP_RESULT_FNS.contains(&c.name.as_str()) {
+            s.swap_results = true;
+        }
+    }
+    s
+}
+
+/// Merge a callee's summary into a caller's, prefixing chains with the
+/// callee's display name. Only absent facts are inserted — an existing
+/// chain is never replaced, which is what makes the fixpoint monotone.
+fn absorb(into: &mut Summary, step: &str, from: &Summary) -> bool {
+    let chain = |tail: &[String]| {
+        let mut c = Vec::with_capacity(tail.len() + 1);
+        c.push(step.to_owned());
+        c.extend(tail.iter().cloned());
+        c
+    };
+    let mut changed = false;
+    for (lock, tail) in &from.acquires {
+        if !into.acquires.contains_key(lock) {
+            into.acquires.insert(lock.clone(), chain(tail));
+            changed = true;
+        }
+    }
+    for (kind, tail) in &from.blocking {
+        if !into.blocking.contains_key(kind) {
+            into.blocking.insert(*kind, chain(tail));
+            changed = true;
+        }
+    }
+    if into.ships.is_none() {
+        if let Some(tail) = &from.ships {
+            into.ships = Some(chain(tail));
+            changed = true;
+        }
+    }
+    if into.enqueues_mailbox.is_none() {
+        if let Some(tail) = &from.enqueues_mailbox {
+            into.enqueues_mailbox = Some(chain(tail));
+            changed = true;
+        }
+    }
+    if !into.swap_results && from.swap_results {
+        into.swap_results = true;
+        changed = true;
+    }
+    changed
+}

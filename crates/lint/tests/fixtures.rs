@@ -1,6 +1,9 @@
-//! Fixture conformance: every rule S1–S12 fires on its seeded bad tree
+//! Fixture conformance: every rule S1–S15 fires on its seeded bad tree
 //! at the expected file and line, stays quiet on the matching clean
 //! tree, and the whole `lint-fixtures/` forest covers the full catalog.
+//! The `*-cross` trees split the lock acquisition and the violation into
+//! different functions, so only the interprocedural summaries connect
+//! them — each asserts the reported call chain, not just the site.
 
 // Tests assert on known-good setups; panicking on failure is the point.
 #![allow(clippy::disallowed_methods)]
@@ -220,6 +223,99 @@ fn s12_discarded_result() {
         &[25],
     );
     assert_clean("s12");
+}
+
+#[test]
+fn s1_interprocedural_reacquisition_one_call_deep() {
+    // The make_cursor shape again, but the re-acquisition lives in the
+    // callee: only the call-graph summary can see it.
+    assert_fires(
+        "s1-cross",
+        Rule::LockOrder,
+        "crates/core/src/middleware.rs",
+        &[36],
+    );
+    let v = lint("s1-cross").pop().expect("one violation");
+    assert_eq!(v.chain, vec!["rebuild_cursor"], "chain: {v:?}");
+    assert!(
+        v.advice.contains("make_cursor"),
+        "S1 advice should name the historical bug: {}",
+        v.advice
+    );
+    assert_clean("s1-cross");
+}
+
+#[test]
+fn s9_interprocedural_ship_buried_in_helper() {
+    assert_fires(
+        "s9-cross",
+        Rule::GuardAcrossShip,
+        "crates/core/src/detach.rs",
+        &[55],
+    );
+    let v = lint("s9-cross").pop().expect("one violation");
+    assert_eq!(v.chain, vec!["ship_blob"], "chain: {v:?}");
+    assert!(
+        v.advice.contains("after the guard drops"),
+        "S9 advice should teach the fix shape: {}",
+        v.advice
+    );
+    assert_clean("s9-cross");
+}
+
+#[test]
+fn s13_blocking_under_lock_across_functions() {
+    // The lock is taken in `swap_out`, the sleep lives in
+    // `charge_airtime` — the two-function case the summaries exist for.
+    assert_fires(
+        "s13",
+        Rule::BlockingUnderLock,
+        "crates/core/src/charge.rs",
+        &[34],
+    );
+    let v = lint("s13").pop().expect("one violation");
+    assert_eq!(v.chain, vec!["charge_airtime"], "chain: {v:?}");
+    assert!(
+        v.advice.contains("sleeps on the calling thread"),
+        "S13 advice should name the blocking class: {}",
+        v.advice
+    );
+    assert_clean("s13");
+}
+
+#[test]
+fn s14_actor_reentrancy() {
+    assert_fires(
+        "s14",
+        Rule::ActorReentrancy,
+        "crates/netd/src/relay.rs",
+        &[34],
+    );
+    let v = lint("s14").pop().expect("one violation");
+    assert_eq!(v.chain, vec!["forward"], "chain: {v:?}");
+    assert!(
+        v.advice.contains("mailbox"),
+        "S14 advice should explain the deadlock: {}",
+        v.advice
+    );
+    assert_clean("s14");
+}
+
+#[test]
+fn s15_unchecked_quota_arithmetic() {
+    assert_fires(
+        "s15",
+        Rule::UncheckedQuotaArithmetic,
+        "crates/placement/src/quota.rs",
+        &[17, 20, 27],
+    );
+    let v = lint("s15").pop().expect("violations");
+    assert!(
+        v.advice.contains("saturating_sub"),
+        "S15 advice should name the checked alternative: {}",
+        v.advice
+    );
+    assert_clean("s15");
 }
 
 #[test]

@@ -1,14 +1,19 @@
 //! Property tests for the flow machinery: CFG construction is total on
 //! arbitrary token streams (and its invariants hold on whatever comes
-//! out), and the dataflow worklist terminates on random graphs even
-//! when handed a hostile, non-monotone transfer function.
+//! out), the dataflow worklist terminates on random graphs even when
+//! handed a hostile, non-monotone transfer function, call-graph
+//! construction is total on token soup, and the summary fixpoint is
+//! deterministic and fuel-terminating on random recursive call graphs.
 
 // Tests assert on known-good setups; panicking on failure is the point.
 #![allow(clippy::disallowed_methods)]
 
+use obiwan_lint::callgraph::CallGraph;
 use obiwan_lint::cfg::Cfg;
 use obiwan_lint::dataflow::{forward, forward_filtered, JoinLattice, SetUnion};
 use obiwan_lint::model::FileModel;
+use obiwan_lint::rules::Workspace;
+use obiwan_lint::summaries;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -93,6 +98,70 @@ fn fragments() -> Vec<&'static str> {
     ]
 }
 
+/// Build a call graph over `src` and check the structural invariants the
+/// interprocedural rules rely on: edges stay in range, the SCCs
+/// partition the function set, and the SCC order is callees-first.
+fn assert_callgraph_wellformed(src: &str) {
+    let m = FileModel::parse("fuzz.rs".into(), "fuzz".into(), src.to_string());
+    let ws = Workspace::build(vec![m]);
+    let cg = CallGraph::build(&ws);
+    assert_eq!(cg.edges.len(), ws.fns.len(), "one edge list per fn");
+    assert_eq!(cg.scc_of.len(), ws.fns.len(), "one SCC index per fn");
+    let mut seen = vec![false; ws.fns.len()];
+    for (n, scc) in cg.sccs.iter().enumerate() {
+        assert!(!scc.is_empty(), "empty SCC {n}");
+        for &id in scc {
+            assert!(id < ws.fns.len(), "SCC member {id} out of range");
+            assert!(!seen[id], "fn {id} appears in two SCCs");
+            seen[id] = true;
+            assert_eq!(cg.scc_of[id], n, "scc_of disagrees for fn {id}");
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "every fn belongs to some SCC");
+    for (id, out) in cg.edges.iter().enumerate() {
+        for e in out {
+            assert!(e.callee < ws.fns.len(), "callee out of range");
+            assert!(e.call < ws.fns[id].calls.len(), "call index out of range");
+            assert!(
+                cg.scc_of[e.callee] <= cg.scc_of[id],
+                "edge {id}->{} breaks the callees-first SCC order",
+                e.callee
+            );
+        }
+    }
+}
+
+/// A synthetic workspace of `n` free functions with a random call matrix
+/// and random per-function effects, shaped so calls resolve through the
+/// unique-free-function discipline (every `f{i}` is defined exactly once).
+fn synthetic_workspace_src(n: usize, calls: &[(usize, usize)], effects: &[usize]) -> String {
+    let mut src = String::from(
+        "use std::sync::{Mutex, MutexGuard, OnceLock};\n\
+         pub struct Manager { pub epoch: u32 }\n\
+         fn manager_cell() -> &'static Mutex<Manager> {\n\
+             static CELL: OnceLock<Mutex<Manager>> = OnceLock::new();\n\
+             CELL.get_or_init(|| Mutex::new(Manager { epoch: 0 }))\n\
+         }\n\
+         pub fn lock_manager() -> MutexGuard<'static, Manager> {\n\
+             manager_cell().lock().expect(\"poisoned\")\n\
+         }\n",
+    );
+    for id in 0..n {
+        src.push_str(&format!("fn f{id}() {{\n"));
+        match effects.get(id).copied().unwrap_or(0) % 4 {
+            1 => src.push_str("    std::thread::sleep(std::time::Duration::from_micros(1));\n"),
+            2 => src.push_str("    let _g = lock_manager();\n"),
+            3 => src.push_str("    actor_call();\n"),
+            _ => {}
+        }
+        for &(_, target) in calls.iter().filter(|&&(caller, _)| caller == id) {
+            src.push_str(&format!("    f{}();\n", target % n));
+        }
+        src.push_str("}\n");
+    }
+    src
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -170,5 +239,74 @@ proptest! {
         // Fuel is n*256 + 4096; one transfer call per relaxation, so the
         // call count stays bounded even though joins never stabilize.
         prop_assert!(counter.get() <= cfg.len() * 256 + 4096 + cfg.len());
+    }
+
+    /// Call-graph construction is total on arbitrary printable soup and
+    /// its invariants hold on whatever comes out.
+    #[test]
+    fn callgraph_total_on_arbitrary_text(src in "(\\PC|\n|\t)*") {
+        assert_callgraph_wellformed(&src);
+    }
+
+    /// Random concatenations of control-flow fragments still build
+    /// well-formed call graphs.
+    #[test]
+    fn callgraph_total_on_fragment_soup(picks in prop::collection::vec(0usize..32, 0..48)) {
+        let frags = fragments();
+        let src: String = picks
+            .iter()
+            .map(|&i| frags[i % frags.len()])
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_callgraph_wellformed(&src);
+    }
+
+    /// Summary computation is deterministic and fuel-terminating on
+    /// random (mutually) recursive call graphs, and the result is a
+    /// closed fixpoint: every caller's summary includes every resolved
+    /// callee's facts.
+    #[test]
+    fn summaries_deterministic_and_closed_on_random_recursion(
+        n in 2usize..12,
+        calls in prop::collection::vec((0usize..12, 0usize..12), 0..36),
+        effects in prop::collection::vec(0usize..4, 0..12),
+    ) {
+        let calls: Vec<(usize, usize)> =
+            calls.iter().map(|&(c, t)| (c % n, t % n)).collect();
+        let src = synthetic_workspace_src(n, &calls, &effects);
+        let m = FileModel::parse("synth.rs".into(), "synth".into(), src);
+        let ws = Workspace::build(vec![m]);
+        let cg = CallGraph::build(&ws);
+        // Terminates (the fuel bound backstops the SCC fixpoint) and is
+        // deterministic run to run.
+        let first = summaries::compute(&ws, &cg);
+        let second = summaries::compute(&ws, &cg);
+        prop_assert_eq!(&first, &second);
+        // Fixpoint closure: a caller absorbs each resolved callee's facts.
+        for (id, out) in cg.edges.iter().enumerate() {
+            for e in out {
+                if e.callee == id {
+                    continue;
+                }
+                for lock in first[e.callee].acquires.keys() {
+                    prop_assert!(
+                        first[id].acquires.contains_key(lock),
+                        "fn {} misses lock `{}` from callee {}", id, lock, e.callee
+                    );
+                }
+                for kind in first[e.callee].blocking.keys() {
+                    prop_assert!(
+                        first[id].blocking.contains_key(kind),
+                        "fn {} misses blocking {:?} from callee {}", id, kind, e.callee
+                    );
+                }
+                if first[e.callee].enqueues_mailbox.is_some() {
+                    prop_assert!(
+                        first[id].enqueues_mailbox.is_some(),
+                        "fn {} misses the mailbox enqueue from callee {}", id, e.callee
+                    );
+                }
+            }
+        }
     }
 }

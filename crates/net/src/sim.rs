@@ -223,7 +223,7 @@ impl SimNet {
         let bytes = data.len();
         let cost = link.transfer_time(bytes);
         self.clock.advance(cost);
-        self.bytes_sent += bytes as u64;
+        self.bytes_sent = self.bytes_sent.saturating_add(bytes as u64);
         self.state_mut(to)?.store.store(key, data)?;
         self.push_trace(TraceKind::BlobStored {
             from,
@@ -247,7 +247,7 @@ impl SimNet {
         let bytes = data.len();
         let cost = link.transfer_time(bytes);
         self.clock.advance(cost);
-        self.bytes_fetched += bytes as u64;
+        self.bytes_fetched = self.bytes_fetched.saturating_add(bytes as u64);
         self.push_trace(TraceKind::BlobFetched {
             from,
             to,

@@ -207,7 +207,7 @@ impl BlobStore for MemStore {
             });
         }
         let size = key.len() + data.len();
-        if self.used + size > self.quota {
+        if self.used.saturating_add(size) > self.quota {
             return Err(NetError::QuotaExceeded {
                 device: self.device,
                 requested: size,
@@ -215,7 +215,7 @@ impl BlobStore for MemStore {
                 quota: self.quota,
             });
         }
-        self.used += size;
+        self.used = self.used.saturating_add(size);
         self.blobs.insert(key.to_string(), data);
         Ok(())
     }
@@ -235,7 +235,7 @@ impl BlobStore for MemStore {
         self.bump_op("drop")?;
         match self.blobs.remove_entry(key) {
             Some((key, data)) => {
-                self.used -= key.len() + data.len();
+                self.used = self.used.saturating_sub(key.len() + data.len());
                 Ok(())
             }
             None => Err(NetError::UnknownBlob {

@@ -16,7 +16,7 @@
 //! sockets, and traces are not replayable — which is exactly why
 //! `TransportKind::Sim` remains the default everywhere.
 
-use crate::actor::{Actor, Op, Reply};
+use crate::actor::{Actor, Op, Pace, Reply};
 use obiwan_blobd::RemoteStore;
 use obiwan_net::clock::RealClock;
 use obiwan_net::{
@@ -177,9 +177,25 @@ impl ActorNet {
         Ok(())
     }
 
-    fn pace(&self, cost: SimDuration) {
-        if let Some(us) = cost.as_micros().checked_div(self.latency_divisor) {
-            std::thread::sleep(Duration::from_micros(us));
+    /// The store-path pace: the payload size (and thus the modelled cost)
+    /// is known up front, so the sleep ships to the actor precomputed.
+    fn pace_micros(&self, cost: SimDuration) -> Pace {
+        match cost.as_micros().checked_div(self.latency_divisor) {
+            Some(us) => Pace::Micros(us),
+            None => Pace::None,
+        }
+    }
+
+    /// The fetch-path pace: the blob size is unknown until the far store
+    /// answers, so the actor prices the route itself from its links.
+    fn pace_per_byte(&self, hops: Vec<LinkSpec>) -> Pace {
+        if self.latency_divisor == 0 {
+            Pace::None
+        } else {
+            Pace::PerByte {
+                hops,
+                divisor: self.latency_divisor,
+            }
         }
     }
 
@@ -187,9 +203,9 @@ impl ActorNet {
         self.slot(device)?.actor.call(device, op, ACTOR_TIMEOUT)
     }
 
-    /// Hop-by-hop modelled cost of moving `bytes` along `route`.
-    fn route_cost(&self, route: &Route, bytes: usize) -> Result<SimDuration> {
-        let mut total = SimDuration::ZERO;
+    /// The link specs along `route`, in hop order.
+    fn route_links(&self, route: &Route) -> Result<Vec<LinkSpec>> {
+        let mut hops = Vec::new();
         let mut cur = route.from;
         for &next in route.relays.iter().chain(std::iter::once(&route.to)) {
             let link = self
@@ -200,8 +216,17 @@ impl ActorNet {
                     from: cur,
                     to: next,
                 })?;
-            total += link.transfer_time(bytes);
+            hops.push(link);
             cur = next;
+        }
+        Ok(hops)
+    }
+
+    /// Hop-by-hop modelled cost of moving `bytes` along `route`.
+    fn route_cost(&self, route: &Route, bytes: usize) -> Result<SimDuration> {
+        let mut total = SimDuration::ZERO;
+        for hop in self.route_links(route)? {
+            total += hop.transfer_time(bytes);
         }
         Ok(total)
     }
@@ -414,14 +439,15 @@ impl Transport for ActorNet {
         let bytes = data.len();
         let cost = link.transfer_time(bytes);
         // Airtime is spent before the far store accepts or refuses — the
-        // same accounting the simulation uses.
-        self.bytes_sent += bytes as u64;
-        self.pace(cost);
+        // same accounting the simulation uses. The sleep itself rides in
+        // the op and is paid on the actor thread.
+        self.bytes_sent = self.bytes_sent.saturating_add(bytes as u64);
         self.actor_call(
             to,
             Op::Store {
                 key: key.to_owned(),
                 data,
+                pace: self.pace_micros(cost),
             },
         )?;
         Ok(cost)
@@ -434,6 +460,7 @@ impl Transport for ActorNet {
             to,
             Op::Fetch {
                 key: key.to_owned(),
+                pace: self.pace_per_byte(vec![link]),
             },
         )?;
         let Reply::Blob(data) = reply else {
@@ -442,8 +469,7 @@ impl Transport for ActorNet {
                 detail: "actor returned a mismatched reply for Fetch".into(),
             });
         };
-        self.bytes_fetched += data.len() as u64;
-        self.pace(link.transfer_time(data.len()));
+        self.bytes_fetched = self.bytes_fetched.saturating_add(data.len() as u64);
         Ok(data)
     }
 
@@ -475,13 +501,13 @@ impl Transport for ActorNet {
         }
         let total = self.route_cost(&route, data.len())?;
         self.check_plan(to, "store")?;
-        self.bytes_sent += data.len() as u64;
-        self.pace(total);
+        self.bytes_sent = self.bytes_sent.saturating_add(data.len() as u64);
         self.actor_call(
             to,
             Op::Store {
                 key: key.to_owned(),
                 data,
+                pace: self.pace_micros(total),
             },
         )?;
         Ok((route, total))
@@ -505,6 +531,7 @@ impl Transport for ActorNet {
             to,
             Op::Fetch {
                 key: key.to_owned(),
+                pace: self.pace_per_byte(self.route_links(&route)?),
             },
         )?;
         let Reply::Blob(data) = reply else {
@@ -513,9 +540,7 @@ impl Transport for ActorNet {
                 detail: "actor returned a mismatched reply for Fetch".into(),
             });
         };
-        let total = self.route_cost(&route, data.len())?;
-        self.bytes_fetched += data.len() as u64;
-        self.pace(total);
+        self.bytes_fetched = self.bytes_fetched.saturating_add(data.len() as u64);
         Ok((route, data))
     }
 

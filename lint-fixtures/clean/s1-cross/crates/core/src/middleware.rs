@@ -1,0 +1,37 @@
+//! Clean counterpart of the S1 interprocedural fixture: the shim reads
+//! what it needs, drops the guard, and only then re-enters replication.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Swap-cluster bookkeeping (stand-in).
+pub struct Manager {
+    /// Next blob epoch.
+    pub epoch: u32,
+}
+
+fn manager_cell() -> &'static Mutex<Manager> {
+    static CELL: OnceLock<Mutex<Manager>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Manager { epoch: 0 }))
+}
+
+/// The middleware's manager-lock helper.
+pub fn lock_manager() -> MutexGuard<'static, Manager> {
+    manager_cell().lock().expect("manager lock poisoned")
+}
+
+/// Rebuild the cursor tables (stand-in replication re-entry).
+fn rebuild_cursor() -> u32 {
+    let mut manager = lock_manager();
+    manager.epoch += 1;
+    manager.epoch
+}
+
+/// Interceptor shim: the guard drops before replication is re-entered.
+pub fn intercept_build() -> u32 {
+    let epoch = {
+        let manager = lock_manager();
+        manager.epoch
+    };
+    let rebuilt = rebuild_cursor();
+    epoch.max(rebuilt)
+}

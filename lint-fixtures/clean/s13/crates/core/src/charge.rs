@@ -1,0 +1,37 @@
+//! Clean counterpart of the S13 fixture: the manager guard covers only
+//! the bookkeeping; the airtime is paid after it drops.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Swap-cluster bookkeeping (stand-in).
+pub struct Manager {
+    /// Next blob epoch.
+    pub epoch: u32,
+}
+
+fn manager_cell() -> &'static Mutex<Manager> {
+    static CELL: OnceLock<Mutex<Manager>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Manager { epoch: 0 }))
+}
+
+/// The middleware's manager-lock helper.
+pub fn lock_manager() -> MutexGuard<'static, Manager> {
+    manager_cell().lock().expect("manager lock poisoned")
+}
+
+/// Pay the modelled airtime in wall time (stand-in pacing).
+fn charge_airtime(cost_us: u64) {
+    std::thread::sleep(Duration::from_micros(cost_us));
+}
+
+/// Swap out: finish the bookkeeping, drop the guard, then pay airtime.
+pub fn swap_out(cost_us: u64) -> u32 {
+    let epoch = {
+        let mut manager = lock_manager();
+        manager.epoch += 1;
+        manager.epoch
+    };
+    charge_airtime(cost_us);
+    epoch
+}

@@ -1,0 +1,43 @@
+//! Clean counterpart of the S14 fixture: the drain loop only applies
+//! work locally, and the mailbox verb is called from ordinary caller
+//! threads that drain no mailbox of their own.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// A device actor handle (stand-in): an inbox plus a reply channel.
+pub struct Actor {
+    inbox: mpsc::Sender<u32>,
+    replies: mpsc::Receiver<u32>,
+}
+
+impl Actor {
+    /// Ship `op` to the actor and wait for its reply.
+    pub fn call(&self, op: u32) -> Result<u32, String> {
+        self.inbox.send(op).map_err(|e| e.to_string())?;
+        self.replies
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Forward one operation to the peer actor — fine from a caller thread.
+pub fn forward(peer: &Actor, op: u32) -> Result<u32, String> {
+    peer.call(op)
+}
+
+/// The relay actor's drain loop: applies ops locally, never re-enters.
+fn relay_main(rx: &mpsc::Receiver<u32>, acc: &mut Vec<u32>) {
+    while let Ok(op) = rx.recv() {
+        acc.push(op);
+    }
+}
+
+/// Spawn the relay actor.
+pub fn spawn_relay(rx: mpsc::Receiver<u32>) -> std::thread::JoinHandle<Vec<u32>> {
+    std::thread::spawn(move || {
+        let mut acc = Vec::new();
+        relay_main(&rx, &mut acc);
+        acc
+    })
+}

@@ -1,0 +1,26 @@
+//! Clean counterpart of the S15 fixture: the counters move only through
+//! saturating arithmetic, so a full device can never read as empty.
+
+/// Per-device storage accounting (stand-in).
+pub struct Ledger {
+    /// Bytes currently charged against the quota.
+    pub used: usize,
+    /// Storage quota.
+    pub quota: usize,
+}
+
+impl Ledger {
+    /// Admit `size` bytes if they fit.
+    pub fn admit(&mut self, size: usize) -> bool {
+        if self.used.saturating_add(size) > self.quota {
+            return false;
+        }
+        self.used = self.used.saturating_add(size);
+        true
+    }
+
+    /// Release `size` bytes.
+    pub fn release(&mut self, size: usize) {
+        self.used = self.used.saturating_sub(size);
+    }
+}

@@ -1,0 +1,38 @@
+//! S1 interprocedural regression fixture: the historical `make_cursor`
+//! deadlock with the re-acquisition buried one call deep. The shim holds
+//! the manager guard and calls into replication, whose cursor rebuild
+//! takes `lock_manager` again — only the callee's summary shows it.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Swap-cluster bookkeeping (stand-in).
+pub struct Manager {
+    /// Next blob epoch.
+    pub epoch: u32,
+}
+
+fn manager_cell() -> &'static Mutex<Manager> {
+    static CELL: OnceLock<Mutex<Manager>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Manager { epoch: 0 }))
+}
+
+/// The middleware's manager-lock helper.
+pub fn lock_manager() -> MutexGuard<'static, Manager> {
+    manager_cell().lock().expect("manager lock poisoned")
+}
+
+/// Rebuild the cursor tables (stand-in replication re-entry).
+fn rebuild_cursor() -> u32 {
+    let mut manager = lock_manager();
+    manager.epoch += 1;
+    manager.epoch
+}
+
+/// Interceptor shim: re-enters replication with the guard still live.
+pub fn intercept_build() -> u32 {
+    let manager = lock_manager();
+    let epoch = manager.epoch;
+    // BUG: rebuild_cursor re-takes `manager` while our guard is live.
+    let rebuilt = rebuild_cursor();
+    epoch.max(rebuilt)
+}

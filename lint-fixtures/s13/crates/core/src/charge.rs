@@ -1,0 +1,36 @@
+//! S13 regression fixture: airtime is paid in wall time while the
+//! manager guard is held — and the lock and the sleep live in different
+//! functions, so only an interprocedural summary connects them.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Swap-cluster bookkeeping (stand-in).
+pub struct Manager {
+    /// Next blob epoch.
+    pub epoch: u32,
+}
+
+fn manager_cell() -> &'static Mutex<Manager> {
+    static CELL: OnceLock<Mutex<Manager>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Manager { epoch: 0 }))
+}
+
+/// The middleware's manager-lock helper.
+pub fn lock_manager() -> MutexGuard<'static, Manager> {
+    manager_cell().lock().expect("manager lock poisoned")
+}
+
+/// Pay the modelled airtime in wall time (stand-in pacing).
+fn charge_airtime(cost_us: u64) {
+    std::thread::sleep(Duration::from_micros(cost_us));
+}
+
+/// Swap out: charges airtime inside the manager critical section.
+pub fn swap_out(cost_us: u64) -> u32 {
+    let mut manager = lock_manager();
+    manager.epoch += 1;
+    // BUG: the sleep is buried in the callee; the guard is live here.
+    charge_airtime(cost_us);
+    manager.epoch
+}

@@ -1,0 +1,41 @@
+//! S14 regression fixture: the relay actor's own drain loop re-enters a
+//! device-actor verb. The enqueue targets a mailbox of the very shape
+//! this thread is supposed to be draining, so the reply can only burn
+//! the actor timeout (or deadlock outright with a rendezvous channel).
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// A device actor handle (stand-in): an inbox plus a reply channel.
+pub struct Actor {
+    inbox: mpsc::Sender<u32>,
+    replies: mpsc::Receiver<u32>,
+}
+
+impl Actor {
+    /// Ship `op` to the actor and wait for its reply.
+    pub fn call(&self, op: u32) -> Result<u32, String> {
+        self.inbox.send(op).map_err(|e| e.to_string())?;
+        self.replies
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Forward one operation to the peer actor.
+fn forward(peer: &Actor, op: u32) -> Result<u32, String> {
+    peer.call(op)
+}
+
+/// The relay actor's drain loop.
+fn relay_main(rx: &mpsc::Receiver<u32>, peer: &Actor) {
+    while let Ok(op) = rx.recv() {
+        // BUG: the drain loop re-enters a mailbox verb.
+        let _cost = forward(peer, op);
+    }
+}
+
+/// Spawn the relay actor.
+pub fn spawn_relay(rx: mpsc::Receiver<u32>, peer: Actor) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || relay_main(&rx, &peer))
+}

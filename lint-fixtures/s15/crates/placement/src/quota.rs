@@ -1,0 +1,29 @@
+//! S15 regression fixture: raw arithmetic on the accounting counters a
+//! placement decision pivots on. In release builds the `+` wraps and the
+//! `-` underflows, turning a full device into an infinitely roomy one.
+
+/// Per-device storage accounting (stand-in).
+pub struct Ledger {
+    /// Bytes currently charged against the quota.
+    pub used: usize,
+    /// Storage quota.
+    pub quota: usize,
+}
+
+impl Ledger {
+    /// Admit `size` bytes if they fit.
+    pub fn admit(&mut self, size: usize) -> bool {
+        // BUG: wraps on overflow in release builds.
+        if self.used + size > self.quota {
+            return false;
+        }
+        self.used += size;
+        true
+    }
+
+    /// Release `size` bytes.
+    pub fn release(&mut self, size: usize) {
+        // BUG: underflows silently on a double-drop.
+        self.used -= size;
+    }
+}

@@ -1,0 +1,57 @@
+//! S9 interprocedural regression fixture: the blob transfer is buried in
+//! a helper, so only the callee's summary connects the manager guard to
+//! the bytes moving over the radio.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Swap-cluster bookkeeping (stand-in).
+pub struct Manager {
+    /// Next blob epoch.
+    pub epoch: u32,
+}
+
+/// The shared world (stand-in transport).
+pub struct Net;
+
+impl Net {
+    /// Store `blob` under `key` on `device`; returns the airtime cost.
+    pub fn send_blob(&mut self, _device: u32, _key: &str, blob: Vec<u8>) -> Result<u64, String> {
+        Ok(blob.len() as u64)
+    }
+}
+
+fn manager_cell() -> &'static Mutex<Manager> {
+    static CELL: OnceLock<Mutex<Manager>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Manager { epoch: 0 }))
+}
+
+fn net_cell() -> &'static Mutex<Net> {
+    static CELL: OnceLock<Mutex<Net>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Net))
+}
+
+/// The middleware's manager-lock helper.
+pub fn lock_manager() -> MutexGuard<'static, Manager> {
+    manager_cell().lock().expect("manager lock poisoned")
+}
+
+/// The world-lock helper.
+pub fn lock_net() -> MutexGuard<'static, Net> {
+    net_cell().lock().expect("net lock poisoned")
+}
+
+/// Ship one blob to its holder (stand-in replication path).
+fn ship_blob(key: &str, blob: Vec<u8>) -> Result<u64, String> {
+    let mut net = lock_net();
+    net.send_blob(7, key, blob)
+}
+
+/// Swap out: the manager guard is live across the buried transfer.
+pub fn swap_out(sc: u32, blob: Vec<u8>) -> Result<usize, String> {
+    let mut manager = lock_manager();
+    manager.epoch += 1;
+    let key = format!("sc{sc}-e{}", manager.epoch);
+    // BUG: ship_blob transmits while our manager guard is held.
+    ship_blob(&key, blob)?;
+    Ok(key.len())
+}
